@@ -1,0 +1,37 @@
+// Ablation (google-benchmark): why the buffering layer pools its direct
+// ByteBuffers — acquiring staging storage from the pool vs allocating a
+// fresh direct buffer per message ("avoids the overhead of creating a
+// ByteBuffer every time a message ... is communicated", Section IV-A).
+#include <benchmark/benchmark.h>
+
+#include "jhpc/minijvm/bytebuffer.hpp"
+#include "jhpc/mpjbuf/buffer_factory.hpp"
+
+namespace {
+
+using jhpc::minijvm::ByteBuffer;
+
+void BM_PooledAcquireRelease(benchmark::State& state) {
+  jhpc::mpjbuf::BufferFactory factory;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    jhpc::mpjbuf::Buffer b = factory.get(n);
+    benchmark::DoNotOptimize(b.native_address());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PooledAcquireRelease)->Range(1 << 10, 4 << 20);
+
+void BM_FreshDirectAllocation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ByteBuffer b = ByteBuffer::allocate_direct(n);
+    benchmark::DoNotOptimize(b.storage_address(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FreshDirectAllocation)->Range(1 << 10, 4 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Ablation (google-benchmark): element-wise access cost of Java arrays vs
+// ByteBuffers — the mechanism behind the paper's Figure 18 result that
+// arrays win once populate/verify time counts. Measures per-element
+// writes and reads for: JArray, direct ByteBuffer (native order), direct
+// ByteBuffer (big-endian, java.nio's default), and heap ByteBuffer.
+#include <benchmark/benchmark.h>
+
+#include "jhpc/minijvm/bytebuffer.hpp"
+#include "jhpc/minijvm/jvm.hpp"
+
+namespace {
+
+using jhpc::minijvm::ByteBuffer;
+using jhpc::minijvm::jbyte;
+using jhpc::minijvm::jint;
+using jhpc::minijvm::Jvm;
+using jhpc::minijvm::JvmConfig;
+
+JvmConfig bench_cfg() {
+  JvmConfig c;
+  c.heap_bytes = 64 << 20;
+  c.jni_crossing_ns = 0;
+  return c;
+}
+
+void BM_ArrayWriteByte(benchmark::State& state) {
+  Jvm jvm(bench_cfg());
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto arr = jvm.new_array<jbyte>(n);
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < n; ++j)
+      arr[j] = static_cast<jbyte>(j & 0x7f);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ArrayWriteByte)->Range(256, 1 << 20);
+
+void BM_ArrayReadByte(benchmark::State& state) {
+  Jvm jvm(bench_cfg());
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto arr = jvm.new_array<jbyte>(n);
+  for (auto _ : state) {
+    jint sum = 0;
+    for (std::size_t j = 0; j < n; ++j) sum += arr[j];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ArrayReadByte)->Range(256, 1 << 20);
+
+void BM_DirectBufferWriteByteNativeOrder(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto buf = ByteBuffer::allocate_direct(n).order(jhpc::native_order());
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < n; ++j)
+      buf.put(j, static_cast<jbyte>(j & 0x7f));
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DirectBufferWriteByteNativeOrder)->Range(256, 1 << 20);
+
+void BM_DirectBufferReadByte(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto buf = ByteBuffer::allocate_direct(n);
+  for (auto _ : state) {
+    jint sum = 0;
+    for (std::size_t j = 0; j < n; ++j) sum += buf.get(j);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DirectBufferReadByte)->Range(256, 1 << 20);
+
+void BM_HeapBufferWriteByte(benchmark::State& state) {
+  Jvm jvm(bench_cfg());
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto buf = ByteBuffer::allocate(jvm, n);
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < n; ++j)
+      buf.put(j, static_cast<jbyte>(j & 0x7f));
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HeapBufferWriteByte)->Range(256, 1 << 20);
+
+// Typed (int) access: byte-order handling shows up here.
+void BM_DirectBufferPutIntBigEndian(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto buf = ByteBuffer::allocate_direct(n * 4)
+                 .order(jhpc::ByteOrder::kBigEndian);
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < n; ++j)
+      buf.put_int(j * 4, static_cast<jint>(j));
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+}
+BENCHMARK(BM_DirectBufferPutIntBigEndian)->Range(256, 1 << 18);
+
+void BM_DirectBufferPutIntNativeOrder(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto buf = ByteBuffer::allocate_direct(n * 4).order(jhpc::native_order());
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < n; ++j)
+      buf.put_int(j * 4, static_cast<jint>(j));
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+}
+BENCHMARK(BM_DirectBufferPutIntNativeOrder)->Range(256, 1 << 18);
+
+void BM_ArrayWriteInt(benchmark::State& state) {
+  Jvm jvm(bench_cfg());
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto arr = jvm.new_array<jint>(n);
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < n; ++j) arr[j] = static_cast<jint>(j);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+}
+BENCHMARK(BM_ArrayWriteInt)->Range(256, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Ablation (google-benchmark): staging-buffer encoding cost. The mpjbuf
+// layer can stage in a non-native byte order (setEncoding); matching the
+// native order makes write()/read() straight memcpys — the fast path a
+// real implementation must hit.
+#include <benchmark/benchmark.h>
+
+#include "jhpc/minijvm/jvm.hpp"
+#include "jhpc/mpjbuf/buffer_factory.hpp"
+
+namespace {
+
+using jhpc::minijvm::jint;
+using jhpc::minijvm::Jvm;
+
+jhpc::ByteOrder other_order() {
+  return jhpc::native_order() == jhpc::ByteOrder::kBigEndian
+             ? jhpc::ByteOrder::kLittleEndian
+             : jhpc::ByteOrder::kBigEndian;
+}
+
+void stage_roundtrip(benchmark::State& state, jhpc::ByteOrder encoding) {
+  Jvm jvm({.heap_bytes = 64 << 20, .jni_crossing_ns = 0});
+  jhpc::mpjbuf::BufferFactory factory;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto src = jvm.new_array<jint>(n);
+  auto dst = jvm.new_array<jint>(n);
+  for (auto _ : state) {
+    jhpc::mpjbuf::Buffer buf = factory.get(n * sizeof(jint));
+    buf.set_encoding(encoding);
+    buf.write(src, 0, n);
+    buf.commit();
+    buf.read(dst, 0, n);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+}
+
+void BM_StagingNativeOrder(benchmark::State& state) {
+  stage_roundtrip(state, jhpc::native_order());
+}
+BENCHMARK(BM_StagingNativeOrder)->Range(1 << 10, 1 << 18);
+
+void BM_StagingSwappedOrder(benchmark::State& state) {
+  stage_roundtrip(state, other_order());
+}
+BENCHMARK(BM_StagingSwappedOrder)->Range(1 << 10, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Shared helpers for the per-figure bench binaries.
+#pragma once
+
+#include "jhpc/ombj/harness.hpp"
+
+namespace jhpc::ombj {
+
+/// The paper's four-series comparison (both libraries x both APIs).
+inline std::vector<SeriesSpec> four_series() {
+  return {{Library::kMv2j, Api::kBuffer, "MVAPICH2-J buffer"},
+          {Library::kMv2j, Api::kArrays, "MVAPICH2-J arrays"},
+          {Library::kOmpij, Api::kBuffer, "Open MPI-J buffer"},
+          {Library::kOmpij, Api::kArrays, "Open MPI-J arrays"}};
+}
+
+/// Standard comparison ratios the paper quotes for the four series.
+inline std::vector<std::pair<std::string, std::string>> four_ratios() {
+  return {{"Open MPI-J buffer", "MVAPICH2-J buffer"},
+          {"Open MPI-J arrays", "MVAPICH2-J arrays"}};
+}
+
+/// Small-message window: 1 B .. 1 KB (the paper's "small" plots).
+inline void small_sizes(FigureSpec& fig) {
+  fig.options.min_size = 1;
+  fig.options.max_size = 1024;
+}
+
+/// Large-message window: 2 KB .. 4 MB (the paper's "large" plots).
+inline void large_sizes(FigureSpec& fig) {
+  fig.options.min_size = 2048;
+  fig.options.max_size = 4u << 20;
+}
+
+/// The paper's collective geometry: 4 nodes x 16 processes per node.
+/// Iteration counts are scaled for 64 rank threads on a small host.
+inline void paper_collective_geometry(FigureSpec& fig) {
+  fig.ranks = 64;
+  fig.ppn = 16;
+  fig.options.iters_small = 100;
+  fig.options.warmup_small = 10;
+  fig.options.iters_large = 15;
+  fig.options.warmup_large = 3;
+}
+
+}  // namespace jhpc::ombj

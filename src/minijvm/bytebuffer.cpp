@@ -1,0 +1,177 @@
+#include "jhpc/minijvm/bytebuffer.hpp"
+
+#include <cstring>
+
+#include "jhpc/minijvm/direct_memory.hpp"
+#include "jhpc/minijvm/jvm.hpp"
+#include "jhpc/support/clock.hpp"
+
+namespace jhpc::minijvm {
+
+ByteBuffer ByteBuffer::allocate_direct(std::size_t capacity) {
+  // Direct memory is a bounded JVM resource: account first (may throw
+  // OutOfMemoryError("Direct buffer memory")), release via the deleter.
+  DirectMemory::instance().reserve(capacity);
+  ByteBuffer b;
+  try {
+    b.direct_ = std::shared_ptr<std::byte[]>(
+        new std::byte[capacity](), [capacity](std::byte* p) {
+          DirectMemory::instance().release(capacity);
+          delete[] p;
+        });
+  } catch (...) {
+    DirectMemory::instance().release(capacity);
+    throw;
+  }
+  // Model the documented extra cost of direct allocation (page-touching,
+  // alignment bookkeeping) so "costly to create" is observable.
+  jhpc::burn_ns(200 + static_cast<std::int64_t>(capacity / 64));
+  b.capacity_ = b.limit_ = capacity;
+  return b;
+}
+
+ByteBuffer ByteBuffer::allocate(Jvm& jvm, std::size_t capacity) {
+  return wrap(jvm.new_array<jbyte>(capacity));
+}
+
+ByteBuffer ByteBuffer::wrap(JArray<jbyte> array) {
+  ByteBuffer b;
+  b.capacity_ = b.limit_ = array.length();
+  b.heap_ = std::move(array);
+  return b;
+}
+
+ByteBuffer& ByteBuffer::position(std::size_t p) {
+  if (p > limit_) throw BufferError("position beyond limit");
+  position_ = p;
+  if (mark_ >= 0 && static_cast<std::size_t>(mark_) > p) mark_ = -1;
+  return *this;
+}
+
+ByteBuffer& ByteBuffer::limit(std::size_t n) {
+  if (n > capacity_) throw BufferError("limit beyond capacity");
+  limit_ = n;
+  if (position_ > n) position_ = n;
+  if (mark_ >= 0 && static_cast<std::size_t>(mark_) > n) mark_ = -1;
+  return *this;
+}
+
+ByteBuffer& ByteBuffer::clear() {
+  position_ = 0;
+  limit_ = capacity_;
+  mark_ = -1;
+  return *this;
+}
+
+ByteBuffer& ByteBuffer::flip() {
+  limit_ = position_;
+  position_ = 0;
+  mark_ = -1;
+  return *this;
+}
+
+ByteBuffer& ByteBuffer::rewind() {
+  position_ = 0;
+  mark_ = -1;
+  return *this;
+}
+
+ByteBuffer& ByteBuffer::mark() {
+  mark_ = static_cast<std::ptrdiff_t>(position_);
+  return *this;
+}
+
+ByteBuffer& ByteBuffer::reset() {
+  if (mark_ < 0) throw BufferError("reset without a mark");
+  position_ = static_cast<std::size_t>(mark_);
+  return *this;
+}
+
+std::byte* ByteBuffer::storage_address(std::size_t index) const {
+  JHPC_REQUIRE(!is_null(), "storage_address on null buffer");
+  if (direct_ != nullptr) return direct_.get() + base_ + index;
+  return heap_.raw_address() + base_ + index;
+}
+
+std::byte* ByteBuffer::at(std::size_t index, std::size_t width) const {
+  if (is_null()) throw BufferError("access on null buffer");
+  if (index + width > limit_) throw BufferError("buffer index out of bounds");
+  return storage_address(index);
+}
+
+std::byte* ByteBuffer::advance(std::size_t width) {
+  if (is_null()) throw BufferError("access on null buffer");
+  if (position_ + width > limit_)
+    throw BufferError("buffer overflow/underflow at position " +
+                      std::to_string(position_));
+  std::byte* p = storage_address(position_);
+  position_ += width;
+  return p;
+}
+
+ByteBuffer& ByteBuffer::put(jbyte v) { return put_value(v); }
+jbyte ByteBuffer::get() { return get_value<jbyte>(); }
+ByteBuffer& ByteBuffer::put_char(jchar v) { return put_value(v); }
+jchar ByteBuffer::get_char() { return get_value<jchar>(); }
+ByteBuffer& ByteBuffer::put_short(jshort v) { return put_value(v); }
+jshort ByteBuffer::get_short() { return get_value<jshort>(); }
+ByteBuffer& ByteBuffer::put_int(jint v) { return put_value(v); }
+jint ByteBuffer::get_int() { return get_value<jint>(); }
+ByteBuffer& ByteBuffer::put_long(jlong v) { return put_value(v); }
+jlong ByteBuffer::get_long() { return get_value<jlong>(); }
+ByteBuffer& ByteBuffer::put_float(jfloat v) { return put_value(v); }
+jfloat ByteBuffer::get_float() { return get_value<jfloat>(); }
+ByteBuffer& ByteBuffer::put_double(jdouble v) { return put_value(v); }
+jdouble ByteBuffer::get_double() { return get_value<jdouble>(); }
+
+ByteBuffer& ByteBuffer::put(std::size_t index, jbyte v) {
+  return put_value_at(index, v);
+}
+jbyte ByteBuffer::get(std::size_t index) const {
+  return get_value_at<jbyte>(index);
+}
+ByteBuffer& ByteBuffer::put_int(std::size_t index, jint v) {
+  return put_value_at(index, v);
+}
+jint ByteBuffer::get_int(std::size_t index) const {
+  return get_value_at<jint>(index);
+}
+ByteBuffer& ByteBuffer::put_long(std::size_t index, jlong v) {
+  return put_value_at(index, v);
+}
+jlong ByteBuffer::get_long(std::size_t index) const {
+  return get_value_at<jlong>(index);
+}
+ByteBuffer& ByteBuffer::put_double(std::size_t index, jdouble v) {
+  return put_value_at(index, v);
+}
+jdouble ByteBuffer::get_double(std::size_t index) const {
+  return get_value_at<jdouble>(index);
+}
+
+ByteBuffer& ByteBuffer::put_bytes(const void* src, std::size_t n) {
+  std::memcpy(advance(n), src, n);
+  return *this;
+}
+
+ByteBuffer& ByteBuffer::get_bytes(void* dst, std::size_t n) {
+  std::memcpy(dst, advance(n), n);
+  return *this;
+}
+
+ByteBuffer ByteBuffer::slice() const {
+  JHPC_REQUIRE(!is_null(), "slice of null buffer");
+  ByteBuffer b = *this;
+  b.base_ = base_ + position_;
+  b.capacity_ = b.limit_ = remaining();
+  b.position_ = 0;
+  b.mark_ = -1;
+  return b;
+}
+
+ByteBuffer ByteBuffer::duplicate() const {
+  JHPC_REQUIRE(!is_null(), "duplicate of null buffer");
+  return *this;  // shared storage, copied state — exactly java.nio
+}
+
+}  // namespace jhpc::minijvm

@@ -1,0 +1,140 @@
+#include "jhpc/minijvm/heap.hpp"
+
+#include <cstring>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minijvm {
+namespace {
+constexpr std::size_t kAlign = 16;
+
+std::size_t align_up(std::size_t n) {
+  return (n + kAlign - 1) & ~(kAlign - 1);
+}
+}  // namespace
+
+ManagedHeap::ManagedHeap(std::size_t heap_bytes)
+    : semispace_bytes_(align_up(heap_bytes / 2)) {
+  JHPC_REQUIRE(heap_bytes >= 4 * kAlign, "heap too small");
+  space_a_ = std::unique_ptr<std::byte[]>(new std::byte[semispace_bytes_]);
+  space_b_ = std::unique_ptr<std::byte[]>(new std::byte[semispace_bytes_]);
+  from_base_ = space_a_.get();
+  to_base_ = space_b_.get();
+}
+
+ManagedHeap::~ManagedHeap() = default;
+
+const ManagedHeap::Slot& ManagedHeap::checked_slot(int handle) const {
+  JHPC_REQUIRE(handle >= 0 &&
+                   static_cast<std::size_t>(handle) < slots_.size() &&
+                   slots_[static_cast<std::size_t>(handle)].live,
+               "invalid or dead heap handle");
+  return slots_[static_cast<std::size_t>(handle)];
+}
+
+std::byte* ManagedHeap::bump_allocate(std::size_t bytes) {
+  const std::size_t need = align_up(bytes);
+  if (bump_ + need > semispace_bytes_) return nullptr;
+  std::byte* p = from_base_ + bump_;
+  bump_ += need;
+  return p;
+}
+
+int ManagedHeap::allocate(std::size_t bytes) {
+  std::byte* p = bump_allocate(bytes);
+  if (p == nullptr) {
+    if (!collect()) {
+      throw OutOfMemoryError(
+          "managed heap exhausted while a critical section pins the heap "
+          "(GetPrimitiveArrayCritical held too long)");
+    }
+    p = bump_allocate(bytes);
+    if (p == nullptr) {
+      throw OutOfMemoryError("managed heap exhausted: live set + " +
+                             std::to_string(bytes) +
+                             " bytes exceeds a semispace of " +
+                             std::to_string(semispace_bytes_) + " bytes");
+    }
+  }
+  std::memset(p, 0, bytes);
+
+  int handle;
+  if (!free_slots_.empty()) {
+    handle = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    handle = static_cast<int>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[static_cast<std::size_t>(handle)];
+  s.addr = p;
+  s.bytes = bytes;
+  s.pin_count = 0;
+  s.live = true;
+
+  ++stats_.allocations;
+  stats_.allocated_bytes += bytes;
+  stats_.live_bytes += bytes;
+  return handle;
+}
+
+void ManagedHeap::release(int handle) {
+  Slot& s = const_cast<Slot&>(checked_slot(handle));
+  JHPC_REQUIRE(s.pin_count == 0, "releasing a pinned object");
+  stats_.live_bytes -= s.bytes;
+  s.live = false;
+  s.addr = nullptr;
+  free_slots_.push_back(handle);
+}
+
+std::byte* ManagedHeap::address(int handle) const {
+  return checked_slot(handle).addr;
+}
+
+std::size_t ManagedHeap::size_of(int handle) const {
+  return checked_slot(handle).bytes;
+}
+
+void ManagedHeap::pin(int handle) {
+  Slot& s = const_cast<Slot&>(checked_slot(handle));
+  ++s.pin_count;
+  ++active_pins_;
+}
+
+void ManagedHeap::unpin(int handle) {
+  Slot& s = const_cast<Slot&>(checked_slot(handle));
+  JHPC_REQUIRE(s.pin_count > 0, "unpin without matching pin");
+  --s.pin_count;
+  --active_pins_;
+}
+
+bool ManagedHeap::is_pinned(int handle) const {
+  return checked_slot(handle).pin_count > 0;
+}
+
+bool ManagedHeap::collect() {
+  if (active_pins_ > 0) {
+    // A critical section is active: the collector must not move anything.
+    ++stats_.blocked_collections;
+    return false;
+  }
+  // Copy every live object into to-space and retarget its slot. Addresses
+  // change on every collection (semispace swap), so stale raw pointers
+  // are genuinely invalid afterwards.
+  std::size_t to_bump = 0;
+  for (Slot& s : slots_) {
+    if (!s.live) continue;
+    std::byte* dst = to_base_ + to_bump;
+    std::memcpy(dst, s.addr, s.bytes);
+    s.addr = dst;
+    to_bump += align_up(s.bytes);
+    ++stats_.objects_moved;
+    stats_.bytes_copied += s.bytes;
+  }
+  std::swap(from_base_, to_base_);
+  bump_ = to_bump;
+  ++stats_.collections;
+  return true;
+}
+
+}  // namespace jhpc::minijvm

@@ -1,0 +1,157 @@
+// java.nio ByteBuffer emulation: direct and heap variants.
+//
+// Direct buffers live in native (malloc) memory outside the managed heap:
+// their address is stable for the buffer's lifetime, which is exactly why
+// the Java MPI bindings can hand them to native MPI without a copy. Heap
+// buffers wrap a managed byte array and move with the collector.
+//
+// Element accessors follow java.nio semantics: position/limit state
+// machine, bounds checks on every access, byte-order-aware assembly
+// (default BIG_ENDIAN, as in Java). That per-element machinery is the
+// structural overhead that makes ByteBuffer reads/writes slower than raw
+// array accesses — the effect the paper measures in Figure 18.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "jhpc/minijvm/jarray.hpp"
+#include "jhpc/minijvm/jtypes.hpp"
+#include "jhpc/support/byte_order.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minijvm {
+
+using jhpc::ByteOrder;
+
+class Jvm;
+
+/// Thrown on buffer under/overflow and invalid marks, mirroring the
+/// java.nio exception family.
+class BufferError : public jhpc::Error {
+ public:
+  explicit BufferError(const std::string& what) : Error(what) {}
+};
+
+/// A byte buffer with java.nio semantics (a null default-constructed
+/// state is provided for convenience; all accessors reject it).
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+
+  /// Allocate a direct buffer (outside any managed heap). Mirrors
+  /// ByteBuffer.allocateDirect — deliberately more expensive to create
+  /// than a heap buffer, never moved by GC.
+  static ByteBuffer allocate_direct(std::size_t capacity);
+
+  /// Allocate a non-direct buffer backed by a managed byte[] in `jvm`.
+  static ByteBuffer allocate(Jvm& jvm, std::size_t capacity);
+
+  /// Wrap an existing managed byte array (ByteBuffer.wrap).
+  static ByteBuffer wrap(JArray<jbyte> array);
+
+  bool is_null() const { return direct_ == nullptr && heap_.is_null(); }
+  bool is_direct() const { return direct_ != nullptr; }
+
+  // --- java.nio.Buffer state machine -------------------------------------
+  std::size_t capacity() const { return capacity_; }
+  std::size_t position() const { return position_; }
+  std::size_t limit() const { return limit_; }
+  std::size_t remaining() const { return limit_ - position_; }
+  bool has_remaining() const { return position_ < limit_; }
+
+  ByteBuffer& position(std::size_t p);
+  ByteBuffer& limit(std::size_t n);
+  ByteBuffer& clear();    ///< position=0, limit=capacity, mark discarded
+  ByteBuffer& flip();     ///< limit=position, position=0
+  ByteBuffer& rewind();   ///< position=0
+  ByteBuffer& mark();
+  ByteBuffer& reset();    ///< position=mark; throws without a mark
+
+  ByteOrder order() const { return order_; }
+  ByteBuffer& order(ByteOrder o) {
+    order_ = o;
+    return *this;
+  }
+
+  // --- Relative accessors (advance position) ------------------------------
+  ByteBuffer& put(jbyte v);
+  jbyte get();
+  ByteBuffer& put_char(jchar v);
+  jchar get_char();
+  ByteBuffer& put_short(jshort v);
+  jshort get_short();
+  ByteBuffer& put_int(jint v);
+  jint get_int();
+  ByteBuffer& put_long(jlong v);
+  jlong get_long();
+  ByteBuffer& put_float(jfloat v);
+  jfloat get_float();
+  ByteBuffer& put_double(jdouble v);
+  jdouble get_double();
+
+  // --- Absolute accessors ---------------------------------------------------
+  ByteBuffer& put(std::size_t index, jbyte v);
+  jbyte get(std::size_t index) const;
+  ByteBuffer& put_int(std::size_t index, jint v);
+  jint get_int(std::size_t index) const;
+  ByteBuffer& put_long(std::size_t index, jlong v);
+  jlong get_long(std::size_t index) const;
+  ByteBuffer& put_double(std::size_t index, jdouble v);
+  jdouble get_double(std::size_t index) const;
+
+  // --- Bulk transfers ----------------------------------------------------------
+  /// Copy `n` raw bytes into the buffer at position (relative bulk put).
+  ByteBuffer& put_bytes(const void* src, std::size_t n);
+  /// Copy `n` raw bytes out of the buffer at position.
+  ByteBuffer& get_bytes(void* dst, std::size_t n);
+
+  // --- Views ---------------------------------------------------------------------
+  /// New buffer sharing content [position, limit) with independent state.
+  ByteBuffer slice() const;
+  /// New buffer sharing all content with independent position/limit/mark.
+  ByteBuffer duplicate() const;
+
+  /// Raw storage address of element `index` relative to this view's base.
+  /// For direct buffers this is stable (what GetDirectBufferAddress
+  /// exposes); for heap buffers it is GC-movable — the JNI emulation
+  /// refuses to expose it. Library-internal and test use only.
+  std::byte* storage_address(std::size_t index = 0) const;
+
+ private:
+  // Per-element address computation + bounds check shared by accessors.
+  std::byte* at(std::size_t index, std::size_t width) const;
+  std::byte* advance(std::size_t width);
+
+  template <typename T>
+  ByteBuffer& put_value(T v) {
+    jhpc::store_ordered(advance(sizeof(T)), v, order_);
+    return *this;
+  }
+  template <typename T>
+  T get_value() {
+    return jhpc::load_ordered<T>(advance(sizeof(T)), order_);
+  }
+  template <typename T>
+  ByteBuffer& put_value_at(std::size_t index, T v) {
+    jhpc::store_ordered(at(index, sizeof(T)), v, order_);
+    return *this;
+  }
+  template <typename T>
+  T get_value_at(std::size_t index) const {
+    return jhpc::load_ordered<T>(at(index, sizeof(T)), order_);
+  }
+
+  // Direct storage (shared among slices/duplicates) or managed array.
+  std::shared_ptr<std::byte[]> direct_;
+  JArray<jbyte> heap_;
+  std::size_t base_ = 0;  // view offset into the backing storage
+
+  std::size_t capacity_ = 0;
+  std::size_t position_ = 0;
+  std::size_t limit_ = 0;
+  std::ptrdiff_t mark_ = -1;
+  ByteOrder order_ = ByteOrder::kBigEndian;
+};
+
+}  // namespace jhpc::minijvm

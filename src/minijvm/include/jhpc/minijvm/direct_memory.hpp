@@ -1,0 +1,53 @@
+// Accounting for direct (off-heap) buffer memory.
+//
+// The JVM bounds the memory direct ByteBuffers may occupy
+// (-XX:MaxDirectMemorySize) and raises OutOfMemoryError("Direct buffer
+// memory") past it — a real operational constraint for Java MPI codes
+// that allocate large direct buffers (and one more reason the buffering
+// layer pools them instead of allocating per message). This registry
+// reproduces it: every ByteBuffer::allocate_direct reserves here and the
+// storage's deleter releases.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace jhpc::minijvm {
+
+struct DirectMemoryStats {
+  std::uint64_t allocations = 0;      ///< total direct allocations ever
+  std::uint64_t allocated_bytes = 0;  ///< total bytes ever reserved
+  std::size_t live_bytes = 0;         ///< currently reserved
+  std::size_t peak_bytes = 0;         ///< high-water mark
+};
+
+/// Process-wide direct-memory registry (the paper's per-rank JVMs map to
+/// rank threads of one process, so a single registry plays the role of
+/// all their -XX:MaxDirectMemorySize budgets combined).
+class DirectMemory {
+ public:
+  static DirectMemory& instance();
+
+  /// Cap in bytes; 0 means unlimited. Env default: JHPC_MAX_DIRECT_MB
+  /// (0 = unlimited).
+  void set_limit(std::size_t bytes);
+  std::size_t limit() const;
+
+  /// Reserve `bytes`; throws jhpc::minijvm::OutOfMemoryError with the
+  /// JVM's "Direct buffer memory" message when the cap would be exceeded.
+  void reserve(std::size_t bytes);
+  void release(std::size_t bytes);
+
+  DirectMemoryStats stats() const;
+  /// Zero the counters (tests). Does not touch live accounting.
+  void reset_peak();
+
+ private:
+  DirectMemory();
+  mutable std::mutex mu_;
+  std::size_t limit_ = 0;
+  DirectMemoryStats stats_;
+};
+
+}  // namespace jhpc::minijvm

@@ -1,0 +1,95 @@
+// Managed Java-style primitive arrays.
+//
+// A JArray is a handle into the managed heap: the collector may relocate
+// its storage at any allocation point, so element access goes through the
+// handle table (one indirection — the price of movability). This is the
+// "Java array" of the paper: fast to read/write element-wise (Figure 18),
+// but impossible to hand to native code without a copy or a pin.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "jhpc/minijvm/heap.hpp"
+#include "jhpc/minijvm/jtypes.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minijvm {
+
+/// Shared-ownership handle to a managed primitive array. Copying a JArray
+/// copies the reference (Java semantics); the object is released when the
+/// last reference drops.
+template <JavaPrimitive T>
+class JArray {
+ public:
+  /// Null reference.
+  JArray() = default;
+
+  bool is_null() const { return ref_ == nullptr; }
+  std::size_t length() const { return len_; }
+
+  /// Element access with bounds checking (Java semantics). The reference
+  /// returned is invalidated by the next allocation/GC — use and discard.
+  /// This is the JIT-compiled array access of a real JVM: a bounds check
+  /// plus one indirection through the (movable) handle — markedly cheaper
+  /// than ByteBuffer's accessor machinery, which is the mechanism behind
+  /// the paper's Figure 18.
+  T& operator[](std::size_t i) {
+    JHPC_REQUIRE(ref_ != nullptr && i < len_,
+                 "JArray index out of bounds");
+    return reinterpret_cast<T*>(
+        ref_->heap->address_fast(ref_->id))[i];
+  }
+  const T& operator[](std::size_t i) const {
+    JHPC_REQUIRE(ref_ != nullptr && i < len_,
+                 "JArray index out of bounds");
+    return reinterpret_cast<const T*>(
+        ref_->heap->address_fast(ref_->id))[i];
+  }
+
+  /// Heap handle (for JNI-style calls).
+  int handle() const {
+    JHPC_REQUIRE(ref_ != nullptr, "handle() on null JArray");
+    return ref_->id;
+  }
+
+  /// The owning heap.
+  ManagedHeap& heap() const {
+    JHPC_REQUIRE(ref_ != nullptr, "heap() on null JArray");
+    return *ref_->heap;
+  }
+
+  /// Current raw storage address — moves on GC. Exposed for tests that
+  /// assert the collector really relocates objects, and for the JNI
+  /// emulation; application code must not hold it across allocations.
+  std::byte* raw_address() const {
+    JHPC_REQUIRE(ref_ != nullptr, "raw_address() on null JArray");
+    return ref_->heap->address(ref_->id);
+  }
+
+  bool operator==(const JArray& other) const { return ref_ == other.ref_; }
+
+ private:
+  friend class Jvm;
+
+  struct Ref {
+    Ref(ManagedHeap* h, int i) : heap(h), id(i) {}
+    Ref(const Ref&) = delete;
+    Ref& operator=(const Ref&) = delete;
+    ~Ref() { heap->release(id); }
+    ManagedHeap* heap;
+    int id;
+  };
+
+  JArray(ManagedHeap* heap, int id, std::size_t len)
+      : ref_(std::make_shared<Ref>(heap, id)), len_(len) {}
+
+  T* typed() const {
+    return reinterpret_cast<T*>(ref_->heap->address(ref_->id));
+  }
+
+  std::shared_ptr<Ref> ref_;
+  std::size_t len_ = 0;
+};
+
+}  // namespace jhpc::minijvm

@@ -1,0 +1,171 @@
+// JNI environment emulation: the three ways native code can reach Java
+// data, with their true costs and hazards.
+//
+//   get_array_elements / release_array_elements
+//       — copy-out on get, copy-back on release (modern JVMs do not pin,
+//         so is_copy is always true; Section IV-B of the paper).
+//   get_primitive_array_critical / release_primitive_array_critical
+//       — no copy, but the heap is pinned: the collector cannot run until
+//         release (the hazard the paper warns about).
+//   get_direct_buffer_address
+//       — raw pointer for direct buffers; null for heap buffers (as JNI
+//         returns NULL for non-direct buffers).
+//
+// The Java->native transition cost is charged once per bound call via
+// crossing() — the bindings invoke it at native-method entry, the way a
+// real JNI call pays its marshalling cost once. The utility functions
+// above only pay a small per-call handle check (handle_check()), matching
+// their real cost profile. Figure 11's ~1 us Java-vs-native overhead
+// emerges from crossing() + handle checks + the real copies.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <unordered_map>
+
+#include "jhpc/minijvm/bytebuffer.hpp"
+#include "jhpc/minijvm/jarray.hpp"
+#include "jhpc/minijvm/jtypes.hpp"
+#include "jhpc/support/clock.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minijvm {
+
+class Jvm;
+
+/// Release modes, mirroring the JNI constants.
+enum class ReleaseMode {
+  kCommitAndFree,  ///< 0: copy back and free the native copy
+  kCommit,         ///< JNI_COMMIT: copy back, keep the copy alive
+  kAbort,          ///< JNI_ABORT: discard changes, free the copy
+};
+
+/// The per-JVM JNI environment. Like a real JNIEnv it is owned by one
+/// thread (the rank thread).
+class JniEnv {
+ public:
+  explicit JniEnv(Jvm& jvm, std::int64_t crossing_ns)
+      : jvm_(jvm), crossing_ns_(crossing_ns) {}
+  ~JniEnv();
+  JniEnv(const JniEnv&) = delete;
+  JniEnv& operator=(const JniEnv&) = delete;
+
+  /// Model one Java->native method transition (argument marshalling,
+  /// local-reference frame setup). The bindings charge this once at the
+  /// entry of every bound native method.
+  void crossing() const { jhpc::burn_ns(crossing_ns_); }
+
+  /// Cheap per-utility cost: a JNI handle-table dereference and check.
+  void handle_check() const { jhpc::burn_ns(crossing_ns_ / 10); }
+
+  /// Get<Type>ArrayElements: returns a NATIVE COPY of the array contents.
+  /// `is_copy`, when non-null, is set true (no pinning support, like
+  /// OpenJDK). The copy stays valid across GCs — that is the point.
+  template <JavaPrimitive T>
+  T* get_array_elements(const JArray<T>& array, bool* is_copy = nullptr) {
+    handle_check();
+    const std::size_t bytes = array.length() * sizeof(T);
+    T* copy = static_cast<T*>(::operator new(bytes));
+    std::memcpy(copy, array.raw_address(), bytes);
+    copies_.emplace(copy, Copy{array.handle(), bytes});
+    if (is_copy != nullptr) *is_copy = true;
+    return copy;
+  }
+
+  /// Release<Type>ArrayElements: copy back (unless kAbort) into the
+  /// array's CURRENT location (found via its handle, so a GC between get
+  /// and release is harmless) and free the copy (unless kCommit).
+  template <JavaPrimitive T>
+  void release_array_elements(const JArray<T>& array, T* elems,
+                              ReleaseMode mode = ReleaseMode::kCommitAndFree) {
+    handle_check();
+    const auto it = copies_.find(elems);
+    JHPC_REQUIRE(it != copies_.end(),
+                 "release_array_elements: pointer was not returned by "
+                 "get_array_elements");
+    JHPC_REQUIRE(it->second.handle == array.handle(),
+                 "release_array_elements: wrong array for this pointer");
+    if (mode != ReleaseMode::kAbort) {
+      std::memcpy(array.raw_address(), elems, it->second.bytes);
+    }
+    if (mode != ReleaseMode::kCommit) {
+      ::operator delete(elems);
+      copies_.erase(it);
+    }
+  }
+
+  /// Get<Type>ArrayRegion: copy `len` elements starting at `start` into a
+  /// caller-provided native buffer. This is what the real Open MPI Java
+  /// bindings use per call — the copy is sized by the message, not by the
+  /// array.
+  template <JavaPrimitive T>
+  void get_array_region(const JArray<T>& array, std::size_t start,
+                        std::size_t len, T* out) {
+    handle_check();
+    JHPC_REQUIRE(start + len <= array.length(),
+                 "get_array_region out of bounds");
+    std::memcpy(out, array.raw_address() + start * sizeof(T),
+                len * sizeof(T));
+  }
+
+  /// Set<Type>ArrayRegion: copy a native buffer back into the array.
+  template <JavaPrimitive T>
+  void set_array_region(const JArray<T>& array, std::size_t start,
+                        std::size_t len, const T* in) {
+    handle_check();
+    JHPC_REQUIRE(start + len <= array.length(),
+                 "set_array_region out of bounds");
+    std::memcpy(array.raw_address() + start * sizeof(T), in,
+                len * sizeof(T));
+  }
+
+  /// GetPrimitiveArrayCritical: no copy; pins the heap (GC blocked) and
+  /// returns the live storage pointer. Must be paired with
+  /// release_primitive_array_critical promptly.
+  template <JavaPrimitive T>
+  T* get_primitive_array_critical(const JArray<T>& array) {
+    handle_check();
+    array.heap().pin(array.handle());
+    return reinterpret_cast<T*>(array.raw_address());
+  }
+
+  template <JavaPrimitive T>
+  void release_primitive_array_critical(const JArray<T>& array, T* carray) {
+    handle_check();
+    JHPC_REQUIRE(carray ==
+                     reinterpret_cast<T*>(array.raw_address()),
+                 "release_primitive_array_critical: pointer mismatch "
+                 "(the array cannot have moved while pinned)");
+    array.heap().unpin(array.handle());
+  }
+
+  /// GetDirectBufferAddress: stable raw pointer for direct buffers,
+  /// nullptr for heap buffers (JNI returns NULL there).
+  void* get_direct_buffer_address(const ByteBuffer& buffer) const {
+    handle_check();
+    if (buffer.is_null() || !buffer.is_direct()) return nullptr;
+    return buffer.storage_address(0);
+  }
+
+  /// GetDirectBufferCapacity: capacity for direct buffers, SIZE_MAX (JNI
+  /// returns -1) otherwise.
+  std::size_t get_direct_buffer_capacity(const ByteBuffer& buffer) const {
+    handle_check();
+    if (buffer.is_null() || !buffer.is_direct()) return SIZE_MAX;
+    return buffer.capacity();
+  }
+
+  /// Outstanding native copies (leak detector for tests).
+  std::size_t outstanding_copies() const { return copies_.size(); }
+
+ private:
+  struct Copy {
+    int handle;
+    std::size_t bytes;
+  };
+  Jvm& jvm_;
+  std::int64_t crossing_ns_;
+  std::unordered_map<void*, Copy> copies_;
+};
+
+}  // namespace jhpc::minijvm

@@ -1,0 +1,29 @@
+// Java primitive type aliases (JNI naming) and the concept constraining
+// managed arrays to Java's eight primitive types.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+
+namespace jhpc::minijvm {
+
+using jbyte = std::int8_t;
+using jboolean = std::uint8_t;
+using jchar = std::uint16_t;  // UTF-16 code unit
+using jshort = std::int16_t;
+using jint = std::int32_t;
+using jlong = std::int64_t;
+using jfloat = float;
+using jdouble = double;
+
+/// The eight Java primitive types, the only element types a JArray can
+/// carry (Java has no arrays of structs).
+template <typename T>
+concept JavaPrimitive =
+    std::same_as<T, jbyte> || std::same_as<T, jboolean> ||
+    std::same_as<T, jchar> || std::same_as<T, jshort> ||
+    std::same_as<T, jint> || std::same_as<T, jlong> ||
+    std::same_as<T, jfloat> || std::same_as<T, jdouble>;
+
+}  // namespace jhpc::minijvm

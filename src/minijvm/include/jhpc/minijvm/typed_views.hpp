@@ -1,0 +1,133 @@
+// Typed buffer views: java.nio's CharBuffer / ShortBuffer / IntBuffer /
+// LongBuffer / FloatBuffer / DoubleBuffer family (paper Section II-B),
+// created from a ByteBuffer the way asIntBuffer() et al. do.
+//
+// A view shares the backing storage of the ByteBuffer slice it was
+// created from and keeps its own element-granular position/limit. Element
+// accessors carry the same structural costs as ByteBuffer's (bounds check
+// + byte-order handling), which is precisely why Figure 18 finds plain
+// Java arrays faster to read and write.
+#pragma once
+
+#include <cstddef>
+
+#include "jhpc/minijvm/bytebuffer.hpp"
+#include "jhpc/minijvm/jtypes.hpp"
+
+namespace jhpc::minijvm {
+
+/// A T-element view over a ByteBuffer's [position, limit) window.
+template <JavaPrimitive T>
+class TypedBufferView {
+ public:
+  /// View of `buffer`'s remaining content (ByteBuffer.as<T>Buffer()).
+  /// The element capacity is remaining()/sizeof(T), truncated.
+  explicit TypedBufferView(const ByteBuffer& buffer)
+      : bytes_(buffer.slice()),
+        capacity_(bytes_.capacity() / sizeof(T)),
+        limit_(capacity_) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t position() const { return position_; }
+  std::size_t limit() const { return limit_; }
+  std::size_t remaining() const { return limit_ - position_; }
+  bool has_remaining() const { return position_ < limit_; }
+  ByteOrder order() const { return bytes_.order(); }
+
+  TypedBufferView& position(std::size_t p) {
+    if (p > limit_) throw BufferError("view position beyond limit");
+    position_ = p;
+    return *this;
+  }
+  TypedBufferView& limit(std::size_t n) {
+    if (n > capacity_) throw BufferError("view limit beyond capacity");
+    limit_ = n;
+    if (position_ > n) position_ = n;
+    return *this;
+  }
+  TypedBufferView& clear() {
+    position_ = 0;
+    limit_ = capacity_;
+    return *this;
+  }
+  TypedBufferView& flip() {
+    limit_ = position_;
+    position_ = 0;
+    return *this;
+  }
+  TypedBufferView& rewind() {
+    position_ = 0;
+    return *this;
+  }
+
+  /// Relative accessors (advance position).
+  TypedBufferView& put(T value) {
+    store(checked(position_), value);
+    ++position_;
+    return *this;
+  }
+  T get() {
+    const T v = load(checked(position_));
+    ++position_;
+    return v;
+  }
+
+  /// Absolute accessors.
+  TypedBufferView& put(std::size_t index, T value) {
+    store(checked_abs(index), value);
+    return *this;
+  }
+  T get(std::size_t index) const { return load(checked_abs(index)); }
+
+ private:
+  std::size_t checked(std::size_t index) const {
+    if (index >= limit_) throw BufferError("view overflow/underflow");
+    return index;
+  }
+  std::size_t checked_abs(std::size_t index) const {
+    if (index >= limit_) throw BufferError("view index out of bounds");
+    return index;
+  }
+  void store(std::size_t index, T value) {
+    jhpc::store_ordered(bytes_.storage_address(index * sizeof(T)), value,
+                        bytes_.order());
+  }
+  T load(std::size_t index) const {
+    return jhpc::load_ordered<T>(bytes_.storage_address(index * sizeof(T)),
+                                 bytes_.order());
+  }
+
+  ByteBuffer bytes_;  // slice sharing the parent's storage and order
+  std::size_t capacity_;
+  std::size_t position_ = 0;
+  std::size_t limit_;
+};
+
+using CharBufferView = TypedBufferView<jchar>;
+using ShortBufferView = TypedBufferView<jshort>;
+using IntBufferView = TypedBufferView<jint>;
+using LongBufferView = TypedBufferView<jlong>;
+using FloatBufferView = TypedBufferView<jfloat>;
+using DoubleBufferView = TypedBufferView<jdouble>;
+
+/// ByteBuffer.asIntBuffer() and friends.
+inline CharBufferView as_char_buffer(const ByteBuffer& b) {
+  return CharBufferView(b);
+}
+inline ShortBufferView as_short_buffer(const ByteBuffer& b) {
+  return ShortBufferView(b);
+}
+inline IntBufferView as_int_buffer(const ByteBuffer& b) {
+  return IntBufferView(b);
+}
+inline LongBufferView as_long_buffer(const ByteBuffer& b) {
+  return LongBufferView(b);
+}
+inline FloatBufferView as_float_buffer(const ByteBuffer& b) {
+  return FloatBufferView(b);
+}
+inline DoubleBufferView as_double_buffer(const ByteBuffer& b) {
+  return DoubleBufferView(b);
+}
+
+}  // namespace jhpc::minijvm

@@ -1,0 +1,31 @@
+#include "jhpc/minijvm/jvm.hpp"
+
+#include "jhpc/minijvm/jni.hpp"
+#include "jhpc/support/env.hpp"
+
+namespace jhpc::minijvm {
+
+JvmConfig JvmConfig::from_env() {
+  JvmConfig cfg;
+  cfg.heap_bytes = static_cast<std::size_t>(env_int64(
+                       "JHPC_HEAP_MB",
+                       static_cast<std::int64_t>(cfg.heap_bytes >> 20)))
+                   << 20;
+  cfg.jni_crossing_ns = env_int64("JHPC_JNI_CROSS_NS", cfg.jni_crossing_ns);
+  return cfg;
+}
+
+Jvm::Jvm(JvmConfig config)
+    : config_(config),
+      heap_(std::make_unique<ManagedHeap>(config.heap_bytes)),
+      jni_(std::make_unique<JniEnv>(*this, config.jni_crossing_ns)) {}
+
+Jvm::~Jvm() = default;
+
+JniEnv::~JniEnv() {
+  // Leaked Get<Type>ArrayElements copies are reclaimed here; tests check
+  // outstanding_copies() to catch the leak itself.
+  for (auto& [ptr, copy] : copies_) ::operator delete(ptr);
+}
+
+}  // namespace jhpc::minijvm

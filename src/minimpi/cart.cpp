@@ -1,0 +1,94 @@
+#include "jhpc/minimpi/cart.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+
+CartComm CartComm::create(const Comm& base, std::vector<int> dims,
+                          std::vector<bool> periodic) {
+  JHPC_REQUIRE(!dims.empty() && dims.size() == periodic.size(),
+               "cart_create: dims/periodic must be non-empty and equal");
+  long long total = 1;
+  for (int d : dims) {
+    JHPC_REQUIRE(d >= 1, "cart_create: dimension extents must be >= 1");
+    total *= d;
+  }
+  JHPC_REQUIRE(total <= base.size(),
+               "cart_create: grid larger than the communicator");
+  // Ranks [0, total) form the grid; the rest get MPI_COMM_NULL.
+  const int color = base.rank() < total ? 0 : -1;
+  Comm grid = base.split(color, base.rank());
+  if (!grid.valid()) return CartComm{};
+  return CartComm(grid, std::move(dims), std::move(periodic));
+}
+
+std::vector<int> CartComm::dims_create(int nranks, int ndims) {
+  JHPC_REQUIRE(nranks >= 1 && ndims >= 1, "dims_create: bad arguments");
+  // Balanced factorisation: assign prime factors, largest first, to the
+  // currently smallest extent (what MPI_Dims_create implementations do).
+  std::vector<int> factors;
+  int remaining = nranks;
+  for (int f = 2; remaining > 1; ) {
+    if (remaining % f == 0) {
+      factors.push_back(f);
+      remaining /= f;
+    } else {
+      ++f;
+    }
+  }
+  std::sort(factors.rbegin(), factors.rend());
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  for (int f : factors) {
+    *std::min_element(dims.begin(), dims.end()) *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+std::vector<int> CartComm::coords_of(int rank) const {
+  JHPC_REQUIRE(valid(), "coords_of on invalid CartComm");
+  JHPC_REQUIRE(rank >= 0 && rank < comm_.size(), "rank off the grid");
+  std::vector<int> c(dims_.size());
+  int rem = rank;
+  for (int d = static_cast<int>(dims_.size()) - 1; d >= 0; --d) {
+    const auto di = static_cast<std::size_t>(d);
+    c[di] = rem % dims_[di];
+    rem /= dims_[di];
+  }
+  return c;
+}
+
+int CartComm::rank_of(std::vector<int> coords) const {
+  JHPC_REQUIRE(valid(), "rank_of on invalid CartComm");
+  JHPC_REQUIRE(coords.size() == dims_.size(),
+               "rank_of: coordinate dimensionality mismatch");
+  int rank = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    int c = coords[d];
+    if (c < 0 || c >= dims_[d]) {
+      if (!periodic_[d]) return -1;  // off an open edge: MPI_PROC_NULL
+      c = ((c % dims_[d]) + dims_[d]) % dims_[d];
+    }
+    rank = rank * dims_[d] + c;
+  }
+  return rank;
+}
+
+CartComm::Shift CartComm::shift(int dim, int disp) const {
+  JHPC_REQUIRE(valid(), "shift on invalid CartComm");
+  JHPC_REQUIRE(dim >= 0 && dim < ndims(), "shift: dimension out of range");
+  const auto my = coords();
+  Shift s;
+  auto to = my;
+  to[static_cast<std::size_t>(dim)] += disp;
+  s.dest = rank_of(to);
+  auto from = my;
+  from[static_cast<std::size_t>(dim)] -= disp;
+  s.source = rank_of(from);
+  return s;
+}
+
+}  // namespace jhpc::minimpi

@@ -1,0 +1,235 @@
+// The "basic" collective suite: flat linear algorithms, modelling an
+// untuned baseline library. Everything funnels through the root (rank 0
+// for rootless operations), which is exactly the serialisation the paper
+// blames for Open MPI's collective numbers relative to MVAPICH2's.
+#include <cstring>
+#include <vector>
+
+#include "detail/coll.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi::detail::basic {
+namespace {
+
+/// Linear fan-in of zero-byte tokens to `root`.
+void sync_to_root(const Comm& c, int root, int tag) {
+  const int size = c.size();
+  const int rank = c.rank();
+  char token = 0;
+  if (rank == root) {
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      c.recv(&token, sizeof(token), r, tag);
+    }
+  } else {
+    c.send(&token, sizeof(token), root, tag);
+  }
+}
+
+/// Linear fan-out of zero-byte tokens from `root`.
+void release_from_root(const Comm& c, int root, int tag) {
+  const int size = c.size();
+  const int rank = c.rank();
+  char token = 0;
+  if (rank == root) {
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      c.send(&token, sizeof(token), r, tag);
+    }
+  } else {
+    c.recv(&token, sizeof(token), root, tag);
+  }
+}
+
+}  // namespace
+
+void barrier(const Comm& c) {
+  sync_to_root(c, 0, kTagBarrier);
+  release_from_root(c, 0, kTagBarrier);
+}
+
+void bcast(const Comm& c, void* buf, std::size_t bytes, int root) {
+  const int size = c.size();
+  const int rank = c.rank();
+  if (size == 1) return;
+  if (rank == root) {
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      c.send(buf, bytes, r, kTagBcast);
+    }
+  } else {
+    c.recv(buf, bytes, root, kTagBcast);
+  }
+}
+
+void reduce(const Comm& c, const void* sbuf, void* rbuf, std::size_t count,
+            BasicKind kind, ReduceOp op, int root) {
+  const int size = c.size();
+  const int rank = c.rank();
+  const std::size_t bytes = count * basic_size(kind);
+  if (rank == root) {
+    if (rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
+    std::vector<std::byte> incoming(bytes);
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      c.recv(incoming.data(), bytes, r, kTagReduce);
+      apply_reduce(op, kind, rbuf, incoming.data(), count);
+    }
+  } else {
+    c.send(sbuf, bytes, root, kTagReduce);
+  }
+}
+
+void allreduce(const Comm& c, const void* sbuf, void* rbuf,
+               std::size_t count, BasicKind kind, ReduceOp op) {
+  reduce(c, sbuf, rbuf, count, kind, op, 0);
+  bcast(c, rbuf, count * basic_size(kind), 0);
+}
+
+void reduce_scatter_block(const Comm& c, const void* sbuf, void* rbuf,
+                          std::size_t count_per_rank, BasicKind kind,
+                          ReduceOp op) {
+  // Flat: reduce everything to rank 0, scatter the blocks back out.
+  const int size = c.size();
+  const std::size_t block = count_per_rank * basic_size(kind);
+  std::vector<std::byte> full(static_cast<std::size_t>(size) * block);
+  reduce(c, sbuf, full.data(), count_per_rank * static_cast<std::size_t>(size),
+         kind, op, 0);
+  scatter(c, full.data(), block, rbuf, 0);
+}
+
+void scan(const Comm& c, const void* sbuf, void* rbuf, std::size_t count,
+          BasicKind kind, ReduceOp op) {
+  // Linear chain: fold the predecessor's prefix, pass mine downstream.
+  const int size = c.size();
+  const int rank = c.rank();
+  const std::size_t bytes = count * basic_size(kind);
+  if (rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
+  if (rank > 0) {
+    std::vector<std::byte> incoming(bytes);
+    c.recv(incoming.data(), bytes, rank - 1, kTagScan);
+    apply_reduce(op, kind, rbuf, incoming.data(), count);
+  }
+  if (rank + 1 < size) c.send(rbuf, bytes, rank + 1, kTagScan);
+}
+
+void gather(const Comm& c, const void* sbuf, std::size_t bpr, void* rbuf,
+            int root) {
+  const int size = c.size();
+  const int rank = c.rank();
+  if (rank == root) {
+    auto* out = static_cast<std::byte*>(rbuf);
+    std::memcpy(out + static_cast<std::size_t>(root) * bpr, sbuf, bpr);
+    // Post all receives first so senders never block on an absent match.
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      reqs.push_back(c.irecv(out + static_cast<std::size_t>(r) * bpr, bpr, r,
+                             kTagGather));
+    }
+    Request::wait_all(reqs);
+  } else {
+    c.send(sbuf, bpr, root, kTagGather);
+  }
+}
+
+void scatter(const Comm& c, const void* sbuf, std::size_t bpr, void* rbuf,
+             int root) {
+  const int size = c.size();
+  const int rank = c.rank();
+  if (rank == root) {
+    const auto* in = static_cast<const std::byte*>(sbuf);
+    std::memcpy(rbuf, in + static_cast<std::size_t>(root) * bpr, bpr);
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      c.send(in + static_cast<std::size_t>(r) * bpr, bpr, r, kTagScatter);
+    }
+  } else {
+    c.recv(rbuf, bpr, root, kTagScatter);
+  }
+}
+
+void allgather(const Comm& c, const void* sbuf, std::size_t bpr,
+               void* rbuf) {
+  gather(c, sbuf, bpr, rbuf, 0);
+  bcast(c, rbuf, bpr * static_cast<std::size_t>(c.size()), 0);
+}
+
+void alltoall(const Comm& c, const void* sbuf, std::size_t bpp, void* rbuf) {
+  const int size = c.size();
+  const int rank = c.rank();
+  const auto* in = static_cast<const std::byte*>(sbuf);
+  auto* out = static_cast<std::byte*>(rbuf);
+  std::memcpy(out + static_cast<std::size_t>(rank) * bpp,
+              in + static_cast<std::size_t>(rank) * bpp, bpp);
+  // Everyone posts all receives, then sends linearly.
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    if (r == rank) continue;
+    reqs.push_back(c.irecv(out + static_cast<std::size_t>(r) * bpp, bpp, r,
+                           kTagAlltoall));
+  }
+  for (int r = 0; r < size; ++r) {
+    if (r == rank) continue;
+    c.send(in + static_cast<std::size_t>(r) * bpp, bpp, r, kTagAlltoall);
+  }
+  Request::wait_all(reqs);
+}
+
+void allgatherv(const Comm& c, const void* sbuf, std::size_t sbytes,
+                void* rbuf, std::span<const std::size_t> counts,
+                std::span<const std::size_t> displs) {
+  const int size = c.size();
+  const int rank = c.rank();
+  JHPC_REQUIRE(counts.size() == static_cast<std::size_t>(size) &&
+                   displs.size() == static_cast<std::size_t>(size),
+               "allgatherv counts/displs must have comm-size entries");
+  JHPC_REQUIRE(sbytes == counts[static_cast<std::size_t>(rank)],
+               "allgatherv send size must equal my count");
+  auto* out = static_cast<std::byte*>(rbuf);
+  std::memcpy(out + displs[static_cast<std::size_t>(rank)], sbuf, sbytes);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    if (r == rank) continue;
+    const auto ri = static_cast<std::size_t>(r);
+    reqs.push_back(
+        c.irecv(out + displs[ri], counts[ri], r, kTagAllgatherv));
+  }
+  for (int r = 0; r < size; ++r) {
+    if (r == rank) continue;
+    c.send(sbuf, sbytes, r, kTagAllgatherv);
+  }
+  Request::wait_all(reqs);
+}
+
+void alltoallv(const Comm& c, const void* sbuf,
+               std::span<const std::size_t> scounts,
+               std::span<const std::size_t> sdispls, void* rbuf,
+               std::span<const std::size_t> rcounts,
+               std::span<const std::size_t> rdispls) {
+  const int size = c.size();
+  const int rank = c.rank();
+  const auto* in = static_cast<const std::byte*>(sbuf);
+  auto* out = static_cast<std::byte*>(rbuf);
+  const auto me = static_cast<std::size_t>(rank);
+  std::memcpy(out + rdispls[me], in + sdispls[me], scounts[me]);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    if (r == rank) continue;
+    const auto ri = static_cast<std::size_t>(r);
+    reqs.push_back(
+        c.irecv(out + rdispls[ri], rcounts[ri], r, kTagAlltoallv));
+  }
+  for (int r = 0; r < size; ++r) {
+    if (r == rank) continue;
+    const auto ri = static_cast<std::size_t>(r);
+    c.send(in + sdispls[ri], scounts[ri], r, kTagAlltoallv);
+  }
+  Request::wait_all(reqs);
+}
+
+}  // namespace jhpc::minimpi::detail::basic

@@ -1,0 +1,62 @@
+// Root-centric vectored collectives shared by both suites.
+#include <cstring>
+#include <vector>
+
+#include "detail/coll.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi::detail {
+
+void gatherv_linear(const Comm& c, const void* sbuf, std::size_t sbytes,
+                    void* rbuf, std::span<const std::size_t> counts,
+                    std::span<const std::size_t> displs, int root) {
+  const int size = c.size();
+  const int rank = c.rank();
+  if (rank == root) {
+    JHPC_REQUIRE(counts.size() == static_cast<std::size_t>(size) &&
+                     displs.size() == static_cast<std::size_t>(size),
+                 "gatherv counts/displs must have comm-size entries");
+    auto* out = static_cast<std::byte*>(rbuf);
+    const auto me = static_cast<std::size_t>(root);
+    JHPC_REQUIRE(sbytes == counts[me],
+                 "gatherv: root send size must equal its count");
+    std::memcpy(out + displs[me], sbuf, sbytes);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      const auto ri = static_cast<std::size_t>(r);
+      reqs.push_back(c.irecv(out + displs[ri], counts[ri], r, kTagGatherv));
+    }
+    Request::wait_all(reqs);
+  } else {
+    c.send(sbuf, sbytes, root, kTagGatherv);
+  }
+}
+
+void scatterv_linear(const Comm& c, const void* sbuf,
+                     std::span<const std::size_t> counts,
+                     std::span<const std::size_t> displs, void* rbuf,
+                     std::size_t rbytes, int root) {
+  const int size = c.size();
+  const int rank = c.rank();
+  if (rank == root) {
+    JHPC_REQUIRE(counts.size() == static_cast<std::size_t>(size) &&
+                     displs.size() == static_cast<std::size_t>(size),
+                 "scatterv counts/displs must have comm-size entries");
+    const auto* in = static_cast<const std::byte*>(sbuf);
+    const auto me = static_cast<std::size_t>(root);
+    JHPC_REQUIRE(rbytes >= counts[me],
+                 "scatterv: root receive buffer too small");
+    std::memcpy(rbuf, in + displs[me], counts[me]);
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      const auto ri = static_cast<std::size_t>(r);
+      c.send(in + displs[ri], counts[ri], r, kTagScatterv);
+    }
+  } else {
+    c.recv(rbuf, rbytes, root, kTagScatterv);
+  }
+}
+
+}  // namespace jhpc::minimpi::detail

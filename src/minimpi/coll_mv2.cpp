@@ -1,0 +1,540 @@
+// The "mv2" collective suite: tuned algorithms in the MVAPICH2/MPICH
+// style. Threshold switches between latency-optimal (trees, recursive
+// doubling) and bandwidth-optimal (scatter+ring) algorithms come from the
+// owning Universe's config.
+#include <cstring>
+#include <vector>
+
+#include "detail/coll.hpp"
+#include "detail/transport.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi::detail::mv2 {
+namespace {
+
+/// Byte range of rank k's chunk when `total` bytes are split across
+/// `size` ranks as evenly as possible.
+struct Chunk {
+  std::size_t off;
+  std::size_t len;
+};
+
+Chunk chunk_of(std::size_t total, int size, int k) {
+  const auto s = static_cast<std::size_t>(size);
+  const auto i = static_cast<std::size_t>(k);
+  const std::size_t off = total * i / s;
+  const std::size_t end = total * (i + 1) / s;
+  return Chunk{off, end - off};
+}
+
+/// Largest power of two <= n (n >= 1).
+int floor_pow2(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+void bcast_binomial(const Comm& c, void* buf, std::size_t bytes, int root) {
+  const int size = c.size();
+  const int rank = c.rank();
+  const int relative = (rank - root + size) % size;
+  int mask = 1;
+  while (mask < size) {
+    if (relative & mask) {
+      const int src = (relative - mask + root + size) % size;
+      c.recv(buf, bytes, src, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < size) {
+      const int dst = (relative + mask + root) % size;
+      c.send(buf, bytes, dst, kTagBcast);
+    }
+    mask >>= 1;
+  }
+}
+
+/// Large-message broadcast: root scatters chunks, then a ring allgather
+/// circulates them. Root-link volume matches binomial scatter; the ring
+/// keeps every link busy (bandwidth-optimal for large payloads).
+void bcast_scatter_ring(const Comm& c, void* buf, std::size_t bytes,
+                        int root) {
+  const int size = c.size();
+  const int rank = c.rank();
+  auto* bytes_buf = static_cast<std::byte*>(buf);
+
+  // Scatter phase: root sends every rank its chunk.
+  if (rank == root) {
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      const Chunk ch = chunk_of(bytes, size, r);
+      if (ch.len > 0) c.send(bytes_buf + ch.off, ch.len, r, kTagBcastScatter);
+    }
+  } else {
+    const Chunk ch = chunk_of(bytes, size, rank);
+    if (ch.len > 0)
+      c.recv(bytes_buf + ch.off, ch.len, root, kTagBcastScatter);
+  }
+
+  // Ring allgather phase: in step s, rank sends the chunk it obtained
+  // s steps ago to its right neighbour and receives one from the left.
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+  for (int s = 0; s < size - 1; ++s) {
+    const int send_idx = (rank - s + size) % size;
+    const int recv_idx = (rank - s - 1 + size) % size;
+    const Chunk sc = chunk_of(bytes, size, send_idx);
+    const Chunk rc = chunk_of(bytes, size, recv_idx);
+    c.sendrecv(bytes_buf + sc.off, sc.len, right, kTagBcastRing,
+               bytes_buf + rc.off, rc.len, left, kTagBcastRing);
+  }
+}
+
+void reduce_binomial(const Comm& c, const void* sbuf, void* rbuf,
+                     std::size_t count, BasicKind kind, ReduceOp op,
+                     int root) {
+  const int size = c.size();
+  const int rank = c.rank();
+  const std::size_t bytes = count * basic_size(kind);
+  const int relative = (rank - root + size) % size;
+
+  std::vector<std::byte> acc(bytes);
+  std::memcpy(acc.data(), sbuf, bytes);
+  std::vector<std::byte> incoming(bytes);
+
+  int mask = 1;
+  while (mask < size) {
+    if ((relative & mask) == 0) {
+      const int src_rel = relative | mask;
+      if (src_rel < size) {
+        const int src = (src_rel + root) % size;
+        c.recv(incoming.data(), bytes, src, kTagReduce);
+        apply_reduce(op, kind, acc.data(), incoming.data(), count);
+      }
+    } else {
+      const int dst = ((relative & ~mask) + root) % size;
+      c.send(acc.data(), bytes, dst, kTagReduce);
+      break;
+    }
+    mask <<= 1;
+  }
+  if (rank == root) std::memcpy(rbuf, acc.data(), bytes);
+}
+
+/// Recursive-doubling allreduce with the standard fold-in of the ranks
+/// beyond the largest power of two.
+void allreduce_recursive_doubling(const Comm& c, const void* sbuf,
+                                  void* rbuf, std::size_t count,
+                                  BasicKind kind, ReduceOp op) {
+  const int size = c.size();
+  const int rank = c.rank();
+  const std::size_t bytes = count * basic_size(kind);
+  const int pof2 = floor_pow2(size);
+  const int rem = size - pof2;
+
+  if (rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
+  std::vector<std::byte> incoming(bytes);
+
+  // Fold the first 2*rem ranks pairwise so pof2 participants remain.
+  int newrank;
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      c.send(rbuf, bytes, rank + 1, kTagAllreduce);
+      newrank = -1;  // sits out; receives the result at the end
+    } else {
+      c.recv(incoming.data(), bytes, rank - 1, kTagAllreduce);
+      apply_reduce(op, kind, rbuf, incoming.data(), count);
+      newrank = rank / 2;
+    }
+  } else {
+    newrank = rank - rem;
+  }
+
+  if (newrank != -1) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_new = newrank ^ mask;
+      const int partner =
+          partner_new < rem ? partner_new * 2 + 1 : partner_new + rem;
+      c.sendrecv(rbuf, bytes, partner, kTagAllreduce, incoming.data(), bytes,
+                 partner, kTagAllreduce);
+      apply_reduce(op, kind, rbuf, incoming.data(), count);
+    }
+  }
+
+  // Hand the result back to the folded-out even ranks.
+  if (rank < 2 * rem) {
+    if (rank % 2 != 0) {
+      c.send(rbuf, bytes, rank - 1, kTagAllreduce);
+    } else {
+      c.recv(rbuf, bytes, rank + 1, kTagAllreduce);
+    }
+  }
+}
+
+/// Ring allreduce (reduce-scatter ring + allgather ring): bandwidth-optimal
+/// for large payloads. Chunks are element-aligned so reductions stay typed.
+void allreduce_ring(const Comm& c, const void* sbuf, void* rbuf,
+                    std::size_t count, BasicKind kind, ReduceOp op) {
+  const int size = c.size();
+  const int rank = c.rank();
+  const std::size_t esz = basic_size(kind);
+  const std::size_t bytes = count * esz;
+  if (rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
+  if (size == 1) return;
+
+  auto elem_chunk = [&](int k) {
+    const auto s = static_cast<std::size_t>(size);
+    const auto i = static_cast<std::size_t>(k);
+    const std::size_t first = count * i / s;
+    const std::size_t last = count * (i + 1) / s;
+    return Chunk{first * esz, (last - first) * esz};
+  };
+  auto* data = static_cast<std::byte*>(rbuf);
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+
+  std::size_t max_chunk = 0;
+  for (int k = 0; k < size; ++k)
+    max_chunk = std::max(max_chunk, elem_chunk(k).len);
+  std::vector<std::byte> incoming(max_chunk);
+
+  // Reduce-scatter: after size-1 steps rank owns the full reduction of
+  // chunk (rank+1) % size.
+  for (int s = 0; s < size - 1; ++s) {
+    const int send_idx = (rank - s + size) % size;
+    const int recv_idx = (rank - s - 1 + size) % size;
+    const Chunk sc = elem_chunk(send_idx);
+    const Chunk rc = elem_chunk(recv_idx);
+    c.sendrecv(data + sc.off, sc.len, right, kTagAllreduceRs,
+               incoming.data(), rc.len, left, kTagAllreduceRs);
+    apply_reduce(op, kind, data + rc.off, incoming.data(), rc.len / esz);
+  }
+
+  // Allgather ring circulating the finished chunks.
+  for (int s = 0; s < size - 1; ++s) {
+    const int send_idx = (rank + 1 - s + 2 * size) % size;
+    const int recv_idx = (rank - s + 2 * size) % size;
+    const Chunk sc = elem_chunk(send_idx);
+    const Chunk rc = elem_chunk(recv_idx);
+    c.sendrecv(data + sc.off, sc.len, right, kTagAllreduceAg,
+               data + rc.off, rc.len, left, kTagAllreduceAg);
+  }
+}
+
+void allgather_recursive_doubling(const Comm& c, const void* sbuf,
+                                  std::size_t bpr, void* rbuf) {
+  const int size = c.size();
+  const int rank = c.rank();
+  auto* out = static_cast<std::byte*>(rbuf);
+  std::memcpy(out + static_cast<std::size_t>(rank) * bpr, sbuf, bpr);
+  for (int mask = 1; mask < size; mask <<= 1) {
+    const int partner = rank ^ mask;
+    const int my_group = rank & ~(mask - 1);
+    const int partner_group = partner & ~(mask - 1);
+    c.sendrecv(out + static_cast<std::size_t>(my_group) * bpr,
+               static_cast<std::size_t>(mask) * bpr, partner, kTagAllgather,
+               out + static_cast<std::size_t>(partner_group) * bpr,
+               static_cast<std::size_t>(mask) * bpr, partner, kTagAllgather);
+  }
+}
+
+void allgather_ring(const Comm& c, const void* sbuf, std::size_t bpr,
+                    void* rbuf) {
+  const int size = c.size();
+  const int rank = c.rank();
+  auto* out = static_cast<std::byte*>(rbuf);
+  std::memcpy(out + static_cast<std::size_t>(rank) * bpr, sbuf, bpr);
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+  for (int s = 0; s < size - 1; ++s) {
+    const int send_idx = (rank - s + size) % size;
+    const int recv_idx = (rank - s - 1 + size) % size;
+    c.sendrecv(out + static_cast<std::size_t>(send_idx) * bpr, bpr, right,
+               kTagAllgather, out + static_cast<std::size_t>(recv_idx) * bpr,
+               bpr, left, kTagAllgather);
+  }
+}
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+void barrier(const Comm& c) {
+  // Dissemination barrier: ceil(log2(n)) rounds.
+  const int size = c.size();
+  const int rank = c.rank();
+  char token = 0;
+  for (int mask = 1; mask < size; mask <<= 1) {
+    const int dst = (rank + mask) % size;
+    const int src = (rank - mask + size) % size;
+    c.sendrecv(&token, sizeof(token), dst, kTagBarrier, &token,
+               sizeof(token), src, kTagBarrier);
+  }
+}
+
+void bcast(const Comm& c, void* buf, std::size_t bytes, int root) {
+  if (c.size() == 1) return;
+  // Small payloads (or tiny comms) use the binomial tree; large payloads
+  // switch to scatter + ring allgather.
+  if (bytes <= c.universe_config().bcast_binomial_max || c.size() <= 2) {
+    bcast_binomial(c, buf, bytes, root);
+  } else {
+    bcast_scatter_ring(c, buf, bytes, root);
+  }
+}
+
+void reduce(const Comm& c, const void* sbuf, void* rbuf, std::size_t count,
+            BasicKind kind, ReduceOp op, int root) {
+  if (c.size() == 1) {
+    if (rbuf != sbuf) std::memcpy(rbuf, sbuf, count * basic_size(kind));
+    return;
+  }
+  reduce_binomial(c, sbuf, rbuf, count, kind, op, root);
+}
+
+void allreduce(const Comm& c, const void* sbuf, void* rbuf,
+               std::size_t count, BasicKind kind, ReduceOp op) {
+  const std::size_t bytes = count * basic_size(kind);
+  if (c.size() == 1) {
+    if (rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
+    return;
+  }
+  if (bytes <= c.universe_config().allreduce_rd_max ||
+      count < static_cast<std::size_t>(c.size())) {
+    allreduce_recursive_doubling(c, sbuf, rbuf, count, kind, op);
+  } else {
+    allreduce_ring(c, sbuf, rbuf, count, kind, op);
+  }
+}
+
+void reduce_scatter_block(const Comm& c, const void* sbuf, void* rbuf,
+                          std::size_t count_per_rank, BasicKind kind,
+                          ReduceOp op) {
+  const int size = c.size();
+  const int rank = c.rank();
+  const std::size_t esz = basic_size(kind);
+  const std::size_t block = count_per_rank * esz;
+  if (size == 1) {
+    if (rbuf != sbuf) std::memcpy(rbuf, sbuf, block);
+    return;
+  }
+  // Ring reduce-scatter: each block travels the ring accumulating
+  // partial reductions and comes to rest at its owner. Labels are chosen
+  // so rank r ends owning block r.
+  std::vector<std::byte> work(static_cast<std::size_t>(size) * block);
+  std::memcpy(work.data(), sbuf, work.size());
+  std::vector<std::byte> incoming(block);
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+  for (int s = 0; s < size - 1; ++s) {
+    const auto send_idx =
+        static_cast<std::size_t>((rank - s - 1 + 2 * size) % size);
+    const auto recv_idx =
+        static_cast<std::size_t>((rank - s - 2 + 2 * size) % size);
+    c.sendrecv(work.data() + send_idx * block, block, right,
+               kTagReduceScatter, incoming.data(), block, left,
+               kTagReduceScatter);
+    apply_reduce(op, kind, work.data() + recv_idx * block, incoming.data(),
+                 count_per_rank);
+  }
+  std::memcpy(rbuf, work.data() + static_cast<std::size_t>(rank) * block,
+              block);
+}
+
+void scan(const Comm& c, const void* sbuf, void* rbuf, std::size_t count,
+          BasicKind kind, ReduceOp op) {
+  // Recursive-doubling inclusive scan (commutative operators): maintain a
+  // running total of [rank-2^k+1, rank] and fold lower partials into the
+  // result.
+  const int size = c.size();
+  const int rank = c.rank();
+  const std::size_t bytes = count * basic_size(kind);
+  if (rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
+  if (size == 1) return;
+  std::vector<std::byte> partial(bytes);
+  std::memcpy(partial.data(), sbuf, bytes);
+  std::vector<std::byte> incoming(bytes);
+  for (int mask = 1; mask < size; mask <<= 1) {
+    const int dst = rank + mask;
+    const int src = rank - mask;
+    if (dst < size) c.send(partial.data(), bytes, dst, kTagScan);
+    if (src >= 0) {
+      c.recv(incoming.data(), bytes, src, kTagScan);
+      apply_reduce(op, kind, partial.data(), incoming.data(), count);
+      apply_reduce(op, kind, rbuf, incoming.data(), count);
+    }
+  }
+}
+
+void gather(const Comm& c, const void* sbuf, std::size_t bpr, void* rbuf,
+            int root) {
+  // Binomial gather: each subtree root accumulates its subtree's blocks in
+  // relative order, then the root rotates them into rank order.
+  const int size = c.size();
+  const int rank = c.rank();
+  const int relative = (rank - root + size) % size;
+
+  // Subtree of `relative` contains min(2^k, size - relative) ranks once
+  // the loop exits at mask = 2^k.
+  std::vector<std::byte> tmp(static_cast<std::size_t>(size) * bpr);
+  std::memcpy(tmp.data(), sbuf, bpr);
+  int have = 1;  // blocks accumulated so far (relative, contiguous)
+
+  int mask = 1;
+  while (mask < size) {
+    if ((relative & mask) == 0) {
+      const int src_rel = relative | mask;
+      if (src_rel < size) {
+        const int src = (src_rel + root) % size;
+        const int blocks = std::min(mask, size - src_rel);
+        c.recv(tmp.data() + static_cast<std::size_t>(mask) * bpr,
+               static_cast<std::size_t>(blocks) * bpr, src, kTagGather);
+        have += blocks;
+      }
+    } else {
+      const int dst = ((relative & ~mask) + root) % size;
+      c.send(tmp.data(), static_cast<std::size_t>(have) * bpr, dst,
+             kTagGather);
+      break;
+    }
+    mask <<= 1;
+  }
+
+  if (rank == root) {
+    auto* out = static_cast<std::byte*>(rbuf);
+    for (int rel = 0; rel < size; ++rel) {
+      const int r = (rel + root) % size;
+      std::memcpy(out + static_cast<std::size_t>(r) * bpr,
+                  tmp.data() + static_cast<std::size_t>(rel) * bpr, bpr);
+    }
+  }
+}
+
+void scatter(const Comm& c, const void* sbuf, std::size_t bpr, void* rbuf,
+             int root) {
+  // Binomial scatter (mirror of the gather): the root seeds a relative-
+  // order staging buffer, internal nodes forward their subtree's tail.
+  const int size = c.size();
+  const int rank = c.rank();
+  const int relative = (rank - root + size) % size;
+
+  std::vector<std::byte> tmp;
+  int have = 0;  // blocks held, starting at my own relative index
+
+  if (rank == root) {
+    tmp.resize(static_cast<std::size_t>(size) * bpr);
+    const auto* in = static_cast<const std::byte*>(sbuf);
+    for (int rel = 0; rel < size; ++rel) {
+      const int r = (rel + root) % size;
+      std::memcpy(tmp.data() + static_cast<std::size_t>(rel) * bpr,
+                  in + static_cast<std::size_t>(r) * bpr, bpr);
+    }
+    have = size;
+  } else {
+    // Receive my subtree's blocks from my parent.
+    int mask = 1;
+    while ((relative & mask) == 0) mask <<= 1;
+    const int parent = ((relative & ~mask) + root) % size;
+    const int blocks = std::min(mask, size - relative);
+    tmp.resize(static_cast<std::size_t>(blocks) * bpr);
+    c.recv(tmp.data(), tmp.size(), parent, kTagScatter);
+    have = blocks;
+  }
+
+  // Forward the upper halves to children, largest subtree first.
+  int top = 1;
+  while (top < size) top <<= 1;
+  for (int mask = top >> 1; mask > 0; mask >>= 1) {
+    if (relative + mask < size && mask < have) {
+      const int dst = (relative + mask + root) % size;
+      const int blocks = std::min(mask, size - (relative + mask));
+      c.send(tmp.data() + static_cast<std::size_t>(mask) * bpr,
+             static_cast<std::size_t>(blocks) * bpr, dst, kTagScatter);
+      have = mask;
+    }
+  }
+  std::memcpy(rbuf, tmp.data(), bpr);
+}
+
+void allgather(const Comm& c, const void* sbuf, std::size_t bpr,
+               void* rbuf) {
+  if (c.size() == 1) {
+    std::memcpy(rbuf, sbuf, bpr);
+    return;
+  }
+  if (is_pow2(c.size()) && bpr * static_cast<std::size_t>(c.size()) <=
+                               c.universe_config().allgather_rd_max) {
+    allgather_recursive_doubling(c, sbuf, bpr, rbuf);
+  } else {
+    allgather_ring(c, sbuf, bpr, rbuf);
+  }
+}
+
+void alltoall(const Comm& c, const void* sbuf, std::size_t bpp, void* rbuf) {
+  // Pairwise exchange: size-1 balanced sendrecv rounds.
+  const int size = c.size();
+  const int rank = c.rank();
+  const auto* in = static_cast<const std::byte*>(sbuf);
+  auto* out = static_cast<std::byte*>(rbuf);
+  std::memcpy(out + static_cast<std::size_t>(rank) * bpp,
+              in + static_cast<std::size_t>(rank) * bpp, bpp);
+  for (int s = 1; s < size; ++s) {
+    const int dst = (rank + s) % size;
+    const int src = (rank - s + size) % size;
+    c.sendrecv(in + static_cast<std::size_t>(dst) * bpp, bpp, dst,
+               kTagAlltoall, out + static_cast<std::size_t>(src) * bpp, bpp,
+               src, kTagAlltoall);
+  }
+}
+
+void allgatherv(const Comm& c, const void* sbuf, std::size_t sbytes,
+                void* rbuf, std::span<const std::size_t> counts,
+                std::span<const std::size_t> displs) {
+  // Ring allgatherv: block k travels k hops right.
+  const int size = c.size();
+  const int rank = c.rank();
+  JHPC_REQUIRE(counts.size() == static_cast<std::size_t>(size) &&
+                   displs.size() == static_cast<std::size_t>(size),
+               "allgatherv counts/displs must have comm-size entries");
+  JHPC_REQUIRE(sbytes == counts[static_cast<std::size_t>(rank)],
+               "allgatherv send size must equal my count");
+  auto* out = static_cast<std::byte*>(rbuf);
+  std::memcpy(out + displs[static_cast<std::size_t>(rank)], sbuf, sbytes);
+  if (size == 1) return;
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+  for (int s = 0; s < size - 1; ++s) {
+    const auto send_idx = static_cast<std::size_t>((rank - s + size) % size);
+    const auto recv_idx =
+        static_cast<std::size_t>((rank - s - 1 + size) % size);
+    c.sendrecv(out + displs[send_idx], counts[send_idx], right,
+               kTagAllgatherv, out + displs[recv_idx], counts[recv_idx],
+               left, kTagAllgatherv);
+  }
+}
+
+void alltoallv(const Comm& c, const void* sbuf,
+               std::span<const std::size_t> scounts,
+               std::span<const std::size_t> sdispls, void* rbuf,
+               std::span<const std::size_t> rcounts,
+               std::span<const std::size_t> rdispls) {
+  // Pairwise exchange with per-pair sizes.
+  const int size = c.size();
+  const int rank = c.rank();
+  const auto* in = static_cast<const std::byte*>(sbuf);
+  auto* out = static_cast<std::byte*>(rbuf);
+  const auto me = static_cast<std::size_t>(rank);
+  std::memcpy(out + rdispls[me], in + sdispls[me], scounts[me]);
+  for (int s = 1; s < size; ++s) {
+    const auto dst = static_cast<std::size_t>((rank + s) % size);
+    const auto src = static_cast<std::size_t>((rank - s + size) % size);
+    c.sendrecv(in + sdispls[dst], scounts[dst], static_cast<int>(dst),
+               kTagAlltoallv, out + rdispls[src], rcounts[src],
+               static_cast<int>(src), kTagAlltoallv);
+  }
+}
+
+}  // namespace jhpc::minimpi::detail::mv2

@@ -1,0 +1,403 @@
+#include "jhpc/minimpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "detail/coll.hpp"
+#include "detail/transport.hpp"
+#include "jhpc/support/clock.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+
+namespace {
+
+void check_valid(const detail::UniverseImpl* impl) {
+  JHPC_REQUIRE(impl != nullptr, "operation on an invalid communicator");
+}
+
+void check_peer(int peer, int size, const char* what) {
+  JHPC_REQUIRE(peer >= 0 && peer < size,
+               std::string(what) + ": peer rank out of range");
+}
+
+void check_tag_send(int tag) {
+  // User tags are restricted; internal collective tags live above.
+  JHPC_REQUIRE(tag >= 0, "send tag must be non-negative");
+}
+
+void check_tag_recv(int tag) {
+  JHPC_REQUIRE(tag >= 0 || tag == kAnyTag,
+               "recv tag must be non-negative or kAnyTag");
+}
+
+}  // namespace
+
+CollectiveSuite Comm::suite() const {
+  check_valid(impl_);
+  return impl_->config.suite;
+}
+
+const UniverseConfig& Comm::universe_config() const {
+  check_valid(impl_);
+  return impl_->config;
+}
+
+// --- Point-to-point ---------------------------------------------------------
+
+void Comm::send(const void* buf, std::size_t bytes, int dst, int tag) const {
+  check_valid(impl_);
+  check_peer(dst, size(), "send");
+  check_tag_send(tag);
+  auto pending = impl_->deliver(my_world(), world_of(dst), context_id_,
+                                my_rank_, tag, buf, bytes);
+  if (pending) detail::wait_request(*pending);
+}
+
+void Comm::recv(void* buf, std::size_t capacity, int src, int tag,
+                Status* status) const {
+  check_valid(impl_);
+  if (src != kAnySource) check_peer(src, size(), "recv");
+  check_tag_recv(tag);
+  auto rs = impl_->post_recv(my_world(), context_id_, src, tag, buf,
+                             capacity);
+  const Status st = detail::wait_request(*rs);
+  if (status != nullptr) *status = st;
+}
+
+Request Comm::isend(const void* buf, std::size_t bytes, int dst,
+                    int tag) const {
+  check_valid(impl_);
+  check_peer(dst, size(), "isend");
+  check_tag_send(tag);
+  auto pending = impl_->deliver(my_world(), world_of(dst), context_id_,
+                                my_rank_, tag, buf, bytes);
+  if (!pending) return Request{};  // completed locally: null request
+  return Request{std::move(pending)};
+}
+
+Request Comm::irecv(void* buf, std::size_t capacity, int src,
+                    int tag) const {
+  check_valid(impl_);
+  if (src != kAnySource) check_peer(src, size(), "irecv");
+  check_tag_recv(tag);
+  return Request{
+      impl_->post_recv(my_world(), context_id_, src, tag, buf, capacity)};
+}
+
+void Comm::sendrecv(const void* send_buf, std::size_t send_bytes, int dst,
+                    int send_tag, void* recv_buf, std::size_t recv_capacity,
+                    int src, int recv_tag, Status* status) const {
+  // Post the receive first, then run the (possibly blocking) send: the
+  // mirror-image pattern cannot deadlock because every party's receive is
+  // visible before anyone blocks in a rendezvous send.
+  Request r = irecv(recv_buf, recv_capacity, src, recv_tag);
+  send(send_buf, send_bytes, dst, send_tag);
+  r.wait(status);
+}
+
+Prequest Comm::send_init(const void* buf, std::size_t bytes, int dst,
+                         int tag) const {
+  check_valid(impl_);
+  check_peer(dst, size(), "send_init");
+  check_tag_send(tag);
+  return Prequest(*this, Prequest::Kind::kSend, const_cast<void*>(buf),
+                  bytes, dst, tag);
+}
+
+Prequest Comm::recv_init(void* buf, std::size_t capacity, int src,
+                         int tag) const {
+  check_valid(impl_);
+  if (src != kAnySource) check_peer(src, size(), "recv_init");
+  check_tag_recv(tag);
+  return Prequest(*this, Prequest::Kind::kRecv, buf, capacity, src, tag);
+}
+
+void Prequest::start() {
+  JHPC_REQUIRE(valid(), "start() on an invalid persistent request");
+  JHPC_REQUIRE(!active(), "start() while the previous instance is active");
+  current_ = kind_ == Kind::kSend
+                 ? comm_.isend(buf_, bytes_, peer_, tag_)
+                 : comm_.irecv(buf_, bytes_, peer_, tag_);
+}
+
+void Prequest::wait(Status* status) {
+  // A persistent send may have completed locally at start() (eager), in
+  // which case current_ is the null request and wait is a no-op.
+  current_.wait(status);
+}
+
+bool Prequest::test(Status* status) { return current_.test(status); }
+
+void Prequest::start_all(std::span<Prequest> requests) {
+  for (Prequest& r : requests) r.start();
+}
+
+Status Comm::probe(int src, int tag) const {
+  check_valid(impl_);
+  if (src != kAnySource) check_peer(src, size(), "probe");
+  check_tag_recv(tag);
+  Status st;
+  impl_->probe_match(my_world(), context_id_, src, tag, /*blocking=*/true,
+                     &st);
+  return st;
+}
+
+bool Comm::iprobe(int src, int tag, Status* status) const {
+  check_valid(impl_);
+  if (src != kAnySource) check_peer(src, size(), "iprobe");
+  check_tag_recv(tag);
+  return impl_->probe_match(my_world(), context_id_, src, tag,
+                            /*blocking=*/false, status);
+}
+
+// --- Collectives: suite dispatch ----------------------------------------------
+
+void Comm::barrier() const {
+  check_valid(impl_);
+  suite() == CollectiveSuite::kMv2 ? detail::mv2::barrier(*this)
+                                   : detail::basic::barrier(*this);
+}
+
+void Comm::bcast(void* buf, std::size_t bytes, int root) const {
+  check_valid(impl_);
+  check_peer(root, size(), "bcast");
+  suite() == CollectiveSuite::kMv2
+      ? detail::mv2::bcast(*this, buf, bytes, root)
+      : detail::basic::bcast(*this, buf, bytes, root);
+}
+
+void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
+                  BasicKind kind, ReduceOp op, int root) const {
+  check_valid(impl_);
+  check_peer(root, size(), "reduce");
+  suite() == CollectiveSuite::kMv2
+      ? detail::mv2::reduce(*this, send_buf, recv_buf, count, kind, op, root)
+      : detail::basic::reduce(*this, send_buf, recv_buf, count, kind, op,
+                              root);
+}
+
+void Comm::allreduce(const void* send_buf, void* recv_buf, std::size_t count,
+                     BasicKind kind, ReduceOp op) const {
+  check_valid(impl_);
+  suite() == CollectiveSuite::kMv2
+      ? detail::mv2::allreduce(*this, send_buf, recv_buf, count, kind, op)
+      : detail::basic::allreduce(*this, send_buf, recv_buf, count, kind, op);
+}
+
+void Comm::reduce_scatter_block(const void* send_buf, void* recv_buf,
+                                std::size_t count_per_rank, BasicKind kind,
+                                ReduceOp op) const {
+  check_valid(impl_);
+  suite() == CollectiveSuite::kMv2
+      ? detail::mv2::reduce_scatter_block(*this, send_buf, recv_buf,
+                                          count_per_rank, kind, op)
+      : detail::basic::reduce_scatter_block(*this, send_buf, recv_buf,
+                                            count_per_rank, kind, op);
+}
+
+void Comm::scan(const void* send_buf, void* recv_buf, std::size_t count,
+                BasicKind kind, ReduceOp op) const {
+  check_valid(impl_);
+  suite() == CollectiveSuite::kMv2
+      ? detail::mv2::scan(*this, send_buf, recv_buf, count, kind, op)
+      : detail::basic::scan(*this, send_buf, recv_buf, count, kind, op);
+}
+
+void Comm::gather(const void* send_buf, std::size_t bytes_per_rank,
+                  void* recv_buf, int root) const {
+  check_valid(impl_);
+  check_peer(root, size(), "gather");
+  suite() == CollectiveSuite::kMv2
+      ? detail::mv2::gather(*this, send_buf, bytes_per_rank, recv_buf, root)
+      : detail::basic::gather(*this, send_buf, bytes_per_rank, recv_buf,
+                              root);
+}
+
+void Comm::scatter(const void* send_buf, std::size_t bytes_per_rank,
+                   void* recv_buf, int root) const {
+  check_valid(impl_);
+  check_peer(root, size(), "scatter");
+  suite() == CollectiveSuite::kMv2
+      ? detail::mv2::scatter(*this, send_buf, bytes_per_rank, recv_buf, root)
+      : detail::basic::scatter(*this, send_buf, bytes_per_rank, recv_buf,
+                               root);
+}
+
+void Comm::allgather(const void* send_buf, std::size_t bytes_per_rank,
+                     void* recv_buf) const {
+  check_valid(impl_);
+  suite() == CollectiveSuite::kMv2
+      ? detail::mv2::allgather(*this, send_buf, bytes_per_rank, recv_buf)
+      : detail::basic::allgather(*this, send_buf, bytes_per_rank, recv_buf);
+}
+
+void Comm::alltoall(const void* send_buf, std::size_t bytes_per_pair,
+                    void* recv_buf) const {
+  check_valid(impl_);
+  suite() == CollectiveSuite::kMv2
+      ? detail::mv2::alltoall(*this, send_buf, bytes_per_pair, recv_buf)
+      : detail::basic::alltoall(*this, send_buf, bytes_per_pair, recv_buf);
+}
+
+void Comm::gatherv(const void* send_buf, std::size_t send_bytes,
+                   void* recv_buf, std::span<const std::size_t> counts,
+                   std::span<const std::size_t> displs, int root) const {
+  check_valid(impl_);
+  check_peer(root, size(), "gatherv");
+  detail::gatherv_linear(*this, send_buf, send_bytes, recv_buf, counts,
+                         displs, root);
+}
+
+void Comm::scatterv(const void* send_buf,
+                    std::span<const std::size_t> counts,
+                    std::span<const std::size_t> displs, void* recv_buf,
+                    std::size_t recv_bytes, int root) const {
+  check_valid(impl_);
+  check_peer(root, size(), "scatterv");
+  detail::scatterv_linear(*this, send_buf, counts, displs, recv_buf,
+                          recv_bytes, root);
+}
+
+void Comm::allgatherv(const void* send_buf, std::size_t send_bytes,
+                      void* recv_buf, std::span<const std::size_t> counts,
+                      std::span<const std::size_t> displs) const {
+  check_valid(impl_);
+  suite() == CollectiveSuite::kMv2
+      ? detail::mv2::allgatherv(*this, send_buf, send_bytes, recv_buf,
+                                counts, displs)
+      : detail::basic::allgatherv(*this, send_buf, send_bytes, recv_buf,
+                                  counts, displs);
+}
+
+void Comm::alltoallv(const void* send_buf,
+                     std::span<const std::size_t> send_counts,
+                     std::span<const std::size_t> send_displs,
+                     void* recv_buf,
+                     std::span<const std::size_t> recv_counts,
+                     std::span<const std::size_t> recv_displs) const {
+  check_valid(impl_);
+  suite() == CollectiveSuite::kMv2
+      ? detail::mv2::alltoallv(*this, send_buf, send_counts, send_displs,
+                               recv_buf, recv_counts, recv_displs)
+      : detail::basic::alltoallv(*this, send_buf, send_counts, send_displs,
+                                 recv_buf, recv_counts, recv_displs);
+}
+
+// --- Communicator management ---------------------------------------------------
+
+Comm Comm::dup() const {
+  check_valid(impl_);
+  // Rank 0 allocates a fresh context id and broadcasts it over *this*
+  // communicator (safe: dup is collective).
+  int new_cid = 0;
+  if (my_rank_ == 0)
+    new_cid = impl_->next_context_id.fetch_add(1, std::memory_order_relaxed);
+  bcast_cid(&new_cid);
+  return Comm(impl_, group_, my_rank_, new_cid);
+}
+
+Comm Comm::split(int color, int key) const {
+  check_valid(impl_);
+  const int size = this->size();
+
+  // Gather (color, key) from everyone.
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  std::vector<Entry> entries(static_cast<std::size_t>(size));
+  const Entry mine{color, key, my_rank_};
+  allgather(&mine, sizeof(Entry), entries.data());
+
+  // Allocate one context id per distinct non-negative color, from rank 0,
+  // deterministically (colors in ascending order).
+  std::vector<int> colors;
+  for (const Entry& e : entries)
+    if (e.color >= 0) colors.push_back(e.color);
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+
+  int base_cid = 0;
+  if (my_rank_ == 0 && !colors.empty()) {
+    base_cid = impl_->next_context_id.fetch_add(
+        static_cast<int>(colors.size()), std::memory_order_relaxed);
+  }
+  bcast_cid(&base_cid);
+
+  if (color < 0) return Comm{};  // MPI_UNDEFINED
+
+  // My color group, ordered by (key, old rank).
+  std::vector<Entry> members;
+  for (const Entry& e : entries)
+    if (e.color == color) members.push_back(e);
+  std::stable_sort(members.begin(), members.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+                   });
+
+  std::vector<int> world_ranks;
+  world_ranks.reserve(members.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    world_ranks.push_back(group_.world_rank(members[i].rank));
+    if (members[i].rank == my_rank_) my_new_rank = static_cast<int>(i);
+  }
+  const auto color_it = std::find(colors.begin(), colors.end(), color);
+  const int cid =
+      base_cid + static_cast<int>(color_it - colors.begin());
+  return Comm(impl_, Group(std::move(world_ranks)), my_new_rank, cid);
+}
+
+Comm Comm::create(const Group& subgroup) const {
+  check_valid(impl_);
+  // Agree on a fresh context id over the parent.
+  int new_cid = 0;
+  if (my_rank_ == 0)
+    new_cid = impl_->next_context_id.fetch_add(1, std::memory_order_relaxed);
+  bcast_cid(&new_cid);
+
+  const int my_pos = subgroup.rank_of(my_world());
+  if (my_pos < 0) return Comm{};
+  return Comm(impl_, subgroup, my_pos, new_cid);
+}
+
+double Comm::wtime() {
+  return static_cast<double>(now_ns()) / 1e9;
+}
+
+std::int64_t Comm::vtime_ns() const {
+  check_valid(impl_);
+  detail::RankClock& clock =
+      impl_->clocks[static_cast<std::size_t>(my_world())];
+  clock.advance_cpu();
+  return clock.vclock;
+}
+
+// Binomial broadcast of one int from rank 0 on the management tag; used by
+// the context-id agreement above (cannot reuse bcast(): the suite may be
+// "basic" but the agreement must work before the new comm exists, and it
+// must not consume user-visible collective semantics).
+void Comm::bcast_cid(int* value) const {
+  const int size = this->size();
+  const int rank = my_rank_;
+  int mask = 1;
+  while (mask < size) {
+    if (rank & mask) {
+      recv(value, sizeof(int), rank - mask, detail::kTagCommMgmt);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rank + mask < size) {
+      send(value, sizeof(int), rank + mask, detail::kTagCommMgmt);
+    }
+    mask >>= 1;
+  }
+}
+
+}  // namespace jhpc::minimpi

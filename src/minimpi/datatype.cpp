@@ -1,0 +1,302 @@
+#include "jhpc/minimpi/datatype.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+
+std::size_t basic_size(BasicKind kind) {
+  switch (kind) {
+    case BasicKind::kByte:
+    case BasicKind::kBoolean:
+      return 1;
+    case BasicKind::kChar:
+    case BasicKind::kShort:
+      return 2;
+    case BasicKind::kInt:
+    case BasicKind::kFloat:
+      return 4;
+    case BasicKind::kLong:
+    case BasicKind::kDouble:
+      return 8;
+  }
+  throw InternalError("unknown BasicKind");
+}
+
+struct Datatype::Desc {
+  enum class Shape { kBasic, kContiguous, kVector, kIndexed };
+  Shape shape = Shape::kBasic;
+  BasicKind basic = BasicKind::kByte;
+  std::size_t size = 1;    // payload bytes per element
+  std::size_t extent = 1;  // memory span per element
+  // Derived parameters (counts are in base elements).
+  int count = 0;
+  int blocklen = 0;
+  int stride = 0;
+  // Indexed parameters (in base elements).
+  std::vector<int> blocklens;
+  std::vector<int> displs;
+  std::shared_ptr<const Desc> base;
+};
+
+namespace {
+
+std::shared_ptr<const Datatype::Desc> make_basic_desc(BasicKind kind) {
+  auto d = std::make_shared<Datatype::Desc>();
+  d->shape = Datatype::Desc::Shape::kBasic;
+  d->basic = kind;
+  d->size = d->extent = basic_size(kind);
+  return d;
+}
+
+// Recursive pack of one element described by `d` from src to dst; returns
+// bytes written to dst.
+std::size_t pack_one(const Datatype::Desc& d, const std::byte* src,
+                     std::byte* dst) {
+  using Shape = Datatype::Desc::Shape;
+  switch (d.shape) {
+    case Shape::kBasic:
+      std::memcpy(dst, src, d.size);
+      return d.size;
+    case Shape::kContiguous: {
+      std::size_t written = 0;
+      for (int i = 0; i < d.count; ++i) {
+        written += pack_one(*d.base, src + static_cast<std::size_t>(i) *
+                                               d.base->extent,
+                            dst + written);
+      }
+      return written;
+    }
+    case Shape::kVector: {
+      std::size_t written = 0;
+      for (int b = 0; b < d.count; ++b) {
+        const std::byte* block_src =
+            src + static_cast<std::size_t>(b) *
+                      static_cast<std::size_t>(d.stride) * d.base->extent;
+        for (int e = 0; e < d.blocklen; ++e) {
+          written += pack_one(
+              *d.base, block_src + static_cast<std::size_t>(e) *
+                                       d.base->extent,
+              dst + written);
+        }
+      }
+      return written;
+    }
+    case Shape::kIndexed: {
+      std::size_t written = 0;
+      for (std::size_t b = 0; b < d.blocklens.size(); ++b) {
+        const std::byte* block_src =
+            src + static_cast<std::size_t>(d.displs[b]) * d.base->extent;
+        for (int e = 0; e < d.blocklens[b]; ++e) {
+          written += pack_one(
+              *d.base,
+              block_src + static_cast<std::size_t>(e) * d.base->extent,
+              dst + written);
+        }
+      }
+      return written;
+    }
+  }
+  throw InternalError("unknown datatype shape");
+}
+
+std::size_t unpack_one(const Datatype::Desc& d, const std::byte* src,
+                       std::byte* dst) {
+  using Shape = Datatype::Desc::Shape;
+  switch (d.shape) {
+    case Shape::kBasic:
+      std::memcpy(dst, src, d.size);
+      return d.size;
+    case Shape::kContiguous: {
+      std::size_t consumed = 0;
+      for (int i = 0; i < d.count; ++i) {
+        consumed += unpack_one(*d.base, src + consumed,
+                               dst + static_cast<std::size_t>(i) *
+                                         d.base->extent);
+      }
+      return consumed;
+    }
+    case Shape::kVector: {
+      std::size_t consumed = 0;
+      for (int b = 0; b < d.count; ++b) {
+        std::byte* block_dst =
+            dst + static_cast<std::size_t>(b) *
+                      static_cast<std::size_t>(d.stride) * d.base->extent;
+        for (int e = 0; e < d.blocklen; ++e) {
+          consumed += unpack_one(
+              *d.base, src + consumed,
+              block_dst + static_cast<std::size_t>(e) * d.base->extent);
+        }
+      }
+      return consumed;
+    }
+    case Shape::kIndexed: {
+      std::size_t consumed = 0;
+      for (std::size_t b = 0; b < d.blocklens.size(); ++b) {
+        std::byte* block_dst =
+            dst + static_cast<std::size_t>(d.displs[b]) * d.base->extent;
+        for (int e = 0; e < d.blocklens[b]; ++e) {
+          consumed += unpack_one(
+              *d.base, src + consumed,
+              block_dst + static_cast<std::size_t>(e) * d.base->extent);
+        }
+      }
+      return consumed;
+    }
+  }
+  throw InternalError("unknown datatype shape");
+}
+
+bool desc_equal(const Datatype::Desc& a, const Datatype::Desc& b) {
+  if (a.shape != b.shape) return false;
+  using Shape = Datatype::Desc::Shape;
+  switch (a.shape) {
+    case Shape::kBasic:
+      return a.basic == b.basic;
+    case Shape::kContiguous:
+      return a.count == b.count && desc_equal(*a.base, *b.base);
+    case Shape::kVector:
+      return a.count == b.count && a.blocklen == b.blocklen &&
+             a.stride == b.stride && desc_equal(*a.base, *b.base);
+    case Shape::kIndexed:
+      return a.blocklens == b.blocklens && a.displs == b.displs &&
+             desc_equal(*a.base, *b.base);
+  }
+  return false;
+}
+
+BasicKind leaf_of(const Datatype::Desc& d) {
+  if (d.shape == Datatype::Desc::Shape::kBasic) return d.basic;
+  return leaf_of(*d.base);
+}
+
+}  // namespace
+
+Datatype::Datatype(std::shared_ptr<const Desc> desc)
+    : desc_(std::move(desc)) {}
+
+Datatype Datatype::basic(BasicKind kind) {
+  // One shared immutable descriptor per basic kind.
+  static const std::array<std::shared_ptr<const Desc>, kBasicKindCount>
+      cache = [] {
+        std::array<std::shared_ptr<const Desc>, kBasicKindCount> c;
+        for (int i = 0; i < kBasicKindCount; ++i)
+          c[static_cast<std::size_t>(i)] =
+              make_basic_desc(static_cast<BasicKind>(i));
+        return c;
+      }();
+  return Datatype(cache[static_cast<std::size_t>(kind)]);
+}
+
+Datatype Datatype::byte_type() { return basic(BasicKind::kByte); }
+Datatype Datatype::boolean_type() { return basic(BasicKind::kBoolean); }
+Datatype Datatype::char_type() { return basic(BasicKind::kChar); }
+Datatype Datatype::short_type() { return basic(BasicKind::kShort); }
+Datatype Datatype::int_type() { return basic(BasicKind::kInt); }
+Datatype Datatype::long_type() { return basic(BasicKind::kLong); }
+Datatype Datatype::float_type() { return basic(BasicKind::kFloat); }
+Datatype Datatype::double_type() { return basic(BasicKind::kDouble); }
+
+Datatype Datatype::contiguous(int count, const Datatype& base) {
+  JHPC_REQUIRE(count >= 0, "contiguous datatype needs count >= 0");
+  auto d = std::make_shared<Desc>();
+  d->shape = Desc::Shape::kContiguous;
+  d->count = count;
+  d->base = base.desc_;
+  d->size = static_cast<std::size_t>(count) * base.size();
+  d->extent = static_cast<std::size_t>(count) * base.extent();
+  return Datatype(std::move(d));
+}
+
+Datatype Datatype::vector(int count, int blocklen, int stride,
+                          const Datatype& base) {
+  JHPC_REQUIRE(count >= 0 && blocklen >= 0, "vector datatype needs counts >= 0");
+  JHPC_REQUIRE(stride >= blocklen,
+               "vector datatype requires stride >= blocklen");
+  auto d = std::make_shared<Desc>();
+  d->shape = Desc::Shape::kVector;
+  d->count = count;
+  d->blocklen = blocklen;
+  d->stride = stride;
+  d->base = base.desc_;
+  d->size = static_cast<std::size_t>(count) *
+            static_cast<std::size_t>(blocklen) * base.size();
+  // MPI_Type_vector extent: span from first to one-past-last element.
+  d->extent =
+      count == 0
+          ? 0
+          : (static_cast<std::size_t>(count - 1) *
+                 static_cast<std::size_t>(stride) +
+             static_cast<std::size_t>(blocklen)) *
+                base.extent();
+  return Datatype(std::move(d));
+}
+
+Datatype Datatype::indexed(std::span<const int> blocklens,
+                           std::span<const int> displs,
+                           const Datatype& base) {
+  JHPC_REQUIRE(blocklens.size() == displs.size(),
+               "indexed datatype: blocklens/displs size mismatch");
+  auto d = std::make_shared<Desc>();
+  d->shape = Desc::Shape::kIndexed;
+  d->base = base.desc_;
+  std::size_t total_elems = 0;
+  std::size_t span_end = 0;
+  for (std::size_t b = 0; b < blocklens.size(); ++b) {
+    JHPC_REQUIRE(blocklens[b] >= 0 && displs[b] >= 0,
+                 "indexed datatype: negative blocklen/displacement");
+    total_elems += static_cast<std::size_t>(blocklens[b]);
+    span_end = std::max(span_end, static_cast<std::size_t>(displs[b]) +
+                                      static_cast<std::size_t>(blocklens[b]));
+  }
+  d->blocklens.assign(blocklens.begin(), blocklens.end());
+  d->displs.assign(displs.begin(), displs.end());
+  d->size = total_elems * base.size();
+  d->extent = span_end * base.extent();
+  return Datatype(std::move(d));
+}
+
+std::size_t Datatype::size() const { return desc_->size; }
+std::size_t Datatype::extent() const { return desc_->extent; }
+
+bool Datatype::is_basic() const {
+  return desc_->shape == Desc::Shape::kBasic;
+}
+
+BasicKind Datatype::kind() const {
+  JHPC_REQUIRE(is_basic(), "kind() on a derived datatype");
+  return desc_->basic;
+}
+
+BasicKind Datatype::leaf_kind() const { return leaf_of(*desc_); }
+
+void Datatype::pack(const void* src, void* dst, int count) const {
+  JHPC_REQUIRE(count >= 0, "pack with negative count");
+  const auto* s = static_cast<const std::byte*>(src);
+  auto* d = static_cast<std::byte*>(dst);
+  std::size_t written = 0;
+  for (int i = 0; i < count; ++i) {
+    written += pack_one(*desc_,
+                        s + static_cast<std::size_t>(i) * desc_->extent,
+                        d + written);
+  }
+}
+
+void Datatype::unpack(const void* src, void* dst, int count) const {
+  JHPC_REQUIRE(count >= 0, "unpack with negative count");
+  const auto* s = static_cast<const std::byte*>(src);
+  auto* d = static_cast<std::byte*>(dst);
+  std::size_t consumed = 0;
+  for (int i = 0; i < count; ++i) {
+    consumed += unpack_one(*desc_, s + consumed,
+                           d + static_cast<std::size_t>(i) * desc_->extent);
+  }
+}
+
+bool Datatype::operator==(const Datatype& other) const {
+  return desc_ == other.desc_ || desc_equal(*desc_, *other.desc_);
+}
+
+}  // namespace jhpc::minimpi

@@ -1,0 +1,200 @@
+// Internal transport machinery of minimpi: endpoints, message matching,
+// eager/rendezvous delivery. Not installed; shared by the minimpi .cpp
+// files and white-box tests only.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "jhpc/minimpi/types.hpp"
+#include "jhpc/minimpi/universe.hpp"
+#include "jhpc/netsim/fabric.hpp"
+#include "jhpc/support/clock.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi::detail {
+
+/// Thrown inside rank threads when another rank failed and the Universe
+/// aborted the job; Universe::run treats it as a secondary failure.
+class AbortError : public jhpc::Error {
+ public:
+  AbortError() : Error("minimpi job aborted (another rank failed)") {}
+};
+
+/// Per-rank virtual clock.
+///
+/// `vclock` is the rank's simulated time: it advances by (a) the real CPU
+/// time the rank thread consumes (measured with CLOCK_THREAD_CPUTIME_ID,
+/// so parked waits and preemption by other rank threads do not count) and
+/// (b) modelled network delays from the fabric. Because each rank's CPU
+/// is metered separately, N rank threads on one physical core behave —
+/// in virtual time — like N ranks on N cores: tree collectives show their
+/// real critical path, bandwidth saturates at the modelled link rate.
+/// Only the owning rank thread mutates its clock (receiver-side jumps are
+/// applied by the owner when it observes a completion).
+struct RankClock {
+  std::int64_t vclock = 0;
+  std::int64_t last_cpu = 0;
+
+  /// Fold the CPU consumed since the last sync point into virtual time.
+  /// Called at transport-call ENTRY: it charges the user-region work
+  /// (application compute, bindings copies, JNI emulation) done since the
+  /// previous transport call returned. Must run on the owning thread.
+  void advance_cpu() {
+    const std::int64_t cpu = jhpc::thread_cpu_ns();
+    vclock += cpu - last_cpu;
+    last_cpu = cpu;
+  }
+  /// Discard CPU consumed since the last sync point WITHOUT charging it.
+  /// Called at transport-call EXIT so that lock contention, futex wakeups
+  /// and scheduler artifacts of running many rank threads on few cores do
+  /// not pollute the virtual clock; the real work a call performs
+  /// (payload copies) is charged explicitly via charge()/ChargedSection.
+  void resync_cpu() { last_cpu = jhpc::thread_cpu_ns(); }
+  /// Explicitly add `ns` of modelled or measured work.
+  void charge(std::int64_t ns) { vclock += ns; }
+  /// Jump forward to `t` if it is in this rank's virtual future.
+  void observe(std::int64_t t) {
+    if (t > vclock) vclock = t;
+  }
+};
+
+/// RAII: measures the CPU consumed in a scope (a payload memcpy) and
+/// charges it to the clock.
+class ChargedSection {
+ public:
+  explicit ChargedSection(RankClock& clock)
+      : clock_(clock), t0_(jhpc::thread_cpu_ns()) {}
+  ~ChargedSection() { clock_.charge(jhpc::thread_cpu_ns() - t0_); }
+  ChargedSection(const ChargedSection&) = delete;
+  ChargedSection& operator=(const ChargedSection&) = delete;
+
+ private:
+  RankClock& clock_;
+  std::int64_t t0_;
+};
+
+/// Shared state of one non-blocking operation (send or receive).
+struct RequestState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool complete = false;
+  bool failed = false;
+  std::string error;
+  /// VIRTUAL time at which the result exists at its destination (fabric
+  /// delivery time); the owner's clock jumps to it on wait/test success.
+  std::int64_t ready_at_ns = 0;
+  Status status;
+  /// Clock of the rank that will wait on this request.
+  RankClock* owner_clock = nullptr;
+  /// Virtual time at which the receive was posted (rendezvous start).
+  std::int64_t post_vtime = 0;
+
+  // Matching fields for posted receives.
+  bool is_recv = false;
+  void* recv_buf = nullptr;
+  std::size_t recv_capacity = 0;
+  int match_src = kAnySource;  // comm rank or wildcard
+  int match_tag = kAnyTag;
+  int context_id = 0;
+
+  /// Abort flag of the owning universe (polled while waiting).
+  const std::atomic<bool>* abort = nullptr;
+};
+
+/// Mark `rs` complete. Callers may hold the endpoint lock; waiters only
+/// ever take the request lock, so endpoint->request is a safe lock order.
+void complete_request(RequestState& rs, const Status& st,
+                      std::int64_t ready_at_ns);
+void fail_request(RequestState& rs, std::string error);
+
+/// Block until `rs` completes; jumps the owner's virtual clock to the
+/// delivery time; throws the delivered error or AbortError. Must run on
+/// the owning rank thread. Returns the final Status.
+Status wait_request(RequestState& rs);
+
+/// Non-blocking completion check with virtual-time semantics: a completed
+/// operation whose delivery time is still in the owner's virtual future
+/// reports "not yet" (the caller's polling CPU advances the clock until
+/// it catches up). Returns true and fills `out` once observable.
+bool test_request(RequestState& rs, Status* out);
+
+/// An incoming message parked in the unexpected queue.
+struct InMsg {
+  int src = 0;       // sender's rank in the communicator
+  int tag = 0;
+  int context_id = 0;
+  int src_world = 0;  // sender's world rank (fabric cost at copy time)
+  std::size_t bytes = 0;
+  /// Eager payload (owned copy); empty for rendezvous.
+  std::vector<std::byte> eager;
+  /// Virtual delivery time: eager payload arrival, or the rendezvous
+  /// header's arrival (what probe sees).
+  std::int64_t deliver_at_ns = 0;
+  /// Sender's virtual time at the send call (rendezvous transfer start).
+  std::int64_t send_vtime = 0;
+  /// Rendezvous: the sender's live buffer and its completion request.
+  const void* rndv_src = nullptr;
+  std::shared_ptr<RequestState> rndv_sender;
+
+  bool is_rndv() const { return rndv_sender != nullptr; }
+};
+
+/// Per-world-rank mailbox.
+struct Endpoint {
+  std::mutex mu;
+  /// Signaled when a message joins `unexpected` (probe wakes) or on abort.
+  std::condition_variable cv;
+  std::deque<InMsg> unexpected;
+  std::deque<std::shared_ptr<RequestState>> posted;
+};
+
+/// The state behind a Universe, shared with Comm/Request implementations.
+struct UniverseImpl {
+  explicit UniverseImpl(UniverseConfig cfg);
+
+  UniverseConfig config;
+  netsim::Fabric fabric;
+  std::vector<std::unique_ptr<Endpoint>> endpoints;
+  /// One virtual clock per world rank (owner-thread mutation only).
+  std::vector<RankClock> clocks;
+  /// Context ids: 0 is COMM_WORLD; dup/split/create allocate upward.
+  std::atomic<int> next_context_id{1};
+  std::atomic<bool> abort{false};
+
+  /// Set the abort flag and wake every parked thread.
+  void abort_all();
+  void throw_if_aborted() const;
+
+  /// Sender-side delivery. Returns the sender's request when the message
+  /// went rendezvous-unmatched (caller waits or wraps it in a Request);
+  /// nullptr when the send completed locally.
+  std::shared_ptr<RequestState> deliver(int src_world, int dst_world,
+                                        int context_id, int src_comm_rank,
+                                        int tag, const void* buf,
+                                        std::size_t bytes);
+
+  /// Receiver-side post. Returns the receive request (matched-and-complete
+  /// or parked in the posted queue).
+  std::shared_ptr<RequestState> post_recv(int my_world, int context_id,
+                                          int src, int tag, void* buf,
+                                          std::size_t capacity);
+
+  /// Probe my endpoint for a matching pending message. Blocking variant
+  /// waits; both fill `out` and return true on a match.
+  bool probe_match(int my_world, int context_id, int src, int tag,
+                   bool blocking, Status* out);
+};
+
+/// True when the message envelope satisfies the receive's match spec.
+bool envelope_matches(int msg_cid, int msg_src, int msg_tag, int want_cid,
+                      int want_src, int want_tag);
+
+}  // namespace jhpc::minimpi::detail

@@ -1,0 +1,81 @@
+#include "jhpc/minimpi/group.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+
+Group::Group(std::vector<int> world_ranks) : ranks_(std::move(world_ranks)) {
+  std::unordered_set<int> seen;
+  for (int r : ranks_) {
+    JHPC_REQUIRE(r >= 0, "group ranks must be non-negative");
+    JHPC_REQUIRE(seen.insert(r).second, "group ranks must be distinct");
+  }
+}
+
+int Group::rank_of(int world_rank) const {
+  for (std::size_t i = 0; i < ranks_.size(); ++i)
+    if (ranks_[i] == world_rank) return static_cast<int>(i);
+  return -1;
+}
+
+int Group::world_rank(int group_rank) const {
+  JHPC_REQUIRE(group_rank >= 0 && group_rank < size(),
+               "group rank out of range");
+  return ranks_[static_cast<std::size_t>(group_rank)];
+}
+
+Group Group::incl(const std::vector<int>& group_ranks) const {
+  std::vector<int> out;
+  out.reserve(group_ranks.size());
+  for (int r : group_ranks) out.push_back(world_rank(r));
+  return Group(std::move(out));
+}
+
+Group Group::excl(const std::vector<int>& group_ranks) const {
+  std::unordered_set<int> drop;
+  for (int r : group_ranks) {
+    JHPC_REQUIRE(r >= 0 && r < size(), "group rank out of range");
+    drop.insert(r);
+  }
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i)
+    if (!drop.contains(i)) out.push_back(ranks_[static_cast<std::size_t>(i)]);
+  return Group(std::move(out));
+}
+
+Group Group::union_with(const Group& other) const {
+  std::vector<int> out = ranks_;
+  std::unordered_set<int> have(ranks_.begin(), ranks_.end());
+  for (int r : other.ranks_)
+    if (!have.contains(r)) out.push_back(r);
+  return Group(std::move(out));
+}
+
+Group Group::intersection(const Group& other) const {
+  std::unordered_set<int> have(other.ranks_.begin(), other.ranks_.end());
+  std::vector<int> out;
+  for (int r : ranks_)
+    if (have.contains(r)) out.push_back(r);
+  return Group(std::move(out));
+}
+
+Group Group::difference(const Group& other) const {
+  std::unordered_set<int> have(other.ranks_.begin(), other.ranks_.end());
+  std::vector<int> out;
+  for (int r : ranks_)
+    if (!have.contains(r)) out.push_back(r);
+  return Group(std::move(out));
+}
+
+std::vector<int> Group::translate(const std::vector<int>& group_ranks,
+                                  const Group& other) const {
+  std::vector<int> out;
+  out.reserve(group_ranks.size());
+  for (int r : group_ranks) out.push_back(other.rank_of(world_rank(r)));
+  return out;
+}
+
+}  // namespace jhpc::minimpi

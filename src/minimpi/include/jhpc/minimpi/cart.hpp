@@ -1,0 +1,59 @@
+// Cartesian process topologies (MPI_Cart_create and friends): the
+// structured-grid decomposition stencil codes are written against.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "jhpc/minimpi/comm.hpp"
+
+namespace jhpc::minimpi {
+
+/// A communicator with an attached N-dimensional Cartesian topology.
+/// Ranks are laid out row-major over the dims (MPI's ordering).
+class CartComm {
+ public:
+  CartComm() = default;
+
+  /// Collective over `base`: build a topology with the given extents and
+  /// per-dimension periodicity. The product of dims must not exceed
+  /// base.size(); surplus ranks receive an invalid CartComm
+  /// (MPI_COMM_NULL semantics).
+  static CartComm create(const Comm& base, std::vector<int> dims,
+                         std::vector<bool> periodic);
+
+  /// Balanced factorisation of `nranks` into `ndims` extents
+  /// (MPI_Dims_create).
+  static std::vector<int> dims_create(int nranks, int ndims);
+
+  bool valid() const { return comm_.valid(); }
+  const Comm& comm() const { return comm_; }
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  const std::vector<int>& dims() const { return dims_; }
+
+  /// My coordinates (MPI_Cart_coords of my rank).
+  std::vector<int> coords() const { return coords_of(comm_.rank()); }
+  /// Coordinates of any rank.
+  std::vector<int> coords_of(int rank) const;
+  /// Rank at `coords`; -1 when a non-periodic coordinate is off the grid
+  /// (MPI_PROC_NULL semantics).
+  int rank_of(std::vector<int> coords) const;
+
+  /// Source/destination pair for a shift along `dim` by `disp`
+  /// (MPI_Cart_shift): receive-from and send-to ranks, -1 at open edges.
+  struct Shift {
+    int source = -1;
+    int dest = -1;
+  };
+  Shift shift(int dim, int disp) const;
+
+ private:
+  CartComm(Comm comm, std::vector<int> dims, std::vector<bool> periodic)
+      : comm_(comm), dims_(std::move(dims)), periodic_(std::move(periodic)) {}
+
+  Comm comm_;
+  std::vector<int> dims_;
+  std::vector<bool> periodic_;
+};
+
+}  // namespace jhpc::minimpi

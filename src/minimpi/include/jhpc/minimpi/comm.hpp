@@ -1,0 +1,207 @@
+// Communicators: the central user-facing object of the minimpi substrate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "jhpc/minimpi/datatype.hpp"
+#include "jhpc/minimpi/group.hpp"
+#include "jhpc/minimpi/op.hpp"
+#include "jhpc/minimpi/request.hpp"
+#include "jhpc/minimpi/types.hpp"
+
+namespace jhpc::minimpi {
+
+class Universe;
+struct UniverseConfig;
+
+namespace detail {
+struct UniverseImpl;
+}
+
+/// A communicator: an isolated communication context over an ordered group
+/// of ranks. Point-to-point traffic is matched on (communicator, source,
+/// tag) with MPI's non-overtaking ordering; collectives must be entered by
+/// every rank of the communicator in the same order.
+///
+/// Comm is a cheap value type (it holds the group and a context id); it is
+/// only usable from the rank thread it belongs to.
+class Comm {
+ public:
+  Comm() = default;
+
+  /// True for a real communicator; false for the "undefined" result of
+  /// split() with negative color or create() when not a member.
+  bool valid() const { return impl_ != nullptr; }
+
+  int rank() const { return my_rank_; }
+  int size() const { return group_.size(); }
+  const Group& group() const { return group_; }
+  /// The collective-algorithm suite of the owning Universe.
+  CollectiveSuite suite() const;
+  /// Configuration of the owning Universe (tuning thresholds etc.).
+  const UniverseConfig& universe_config() const;
+
+  // --- Blocking point-to-point (byte-oriented payloads) -----------------
+  /// Standard-mode blocking send. Completes locally: eager messages are
+  /// buffered, rendezvous messages block until the receiver has copied.
+  void send(const void* buf, std::size_t bytes, int dst, int tag) const;
+  /// Blocking receive into a buffer of `capacity` bytes. Receiving a
+  /// larger message throws (truncation is an error, as in MPI).
+  void recv(void* buf, std::size_t capacity, int src, int tag,
+            Status* status = nullptr) const;
+  /// Combined send+receive that cannot deadlock against its mirror image.
+  void sendrecv(const void* send_buf, std::size_t send_bytes, int dst,
+                int send_tag, void* recv_buf, std::size_t recv_capacity,
+                int src, int recv_tag, Status* status = nullptr) const;
+
+  // --- Non-blocking point-to-point ---------------------------------------
+  Request isend(const void* buf, std::size_t bytes, int dst, int tag) const;
+  Request irecv(void* buf, std::size_t capacity, int src, int tag) const;
+
+  // --- Persistent requests ---------------------------------------------------
+  /// Create a persistent send (MPI_Send_init): the envelope and buffer are
+  /// fixed once; start()/wait() cycles reuse them without re-validation.
+  class Prequest send_init(const void* buf, std::size_t bytes, int dst,
+                           int tag) const;
+  /// Create a persistent receive (MPI_Recv_init).
+  class Prequest recv_init(void* buf, std::size_t capacity, int src,
+                           int tag) const;
+
+  // --- Probing ------------------------------------------------------------
+  /// Block until a matching message is pending; returns its envelope.
+  Status probe(int src, int tag) const;
+  /// Non-blocking probe; true and fills `status` when a message is pending.
+  bool iprobe(int src, int tag, Status* status) const;
+
+  // --- Blocking collectives ------------------------------------------------
+  void barrier() const;
+  void bcast(void* buf, std::size_t bytes, int root) const;
+  /// Element-wise reduction of `count` elements of `kind` to `root`.
+  /// send_buf may equal recv_buf on the root (MPI_IN_PLACE semantics).
+  void reduce(const void* send_buf, void* recv_buf, std::size_t count,
+              BasicKind kind, ReduceOp op, int root) const;
+  void allreduce(const void* send_buf, void* recv_buf, std::size_t count,
+                 BasicKind kind, ReduceOp op) const;
+  /// Element-wise reduction of size()*count elements, block i of the
+  /// result delivered to rank i (MPI_Reduce_scatter_block).
+  void reduce_scatter_block(const void* send_buf, void* recv_buf,
+                            std::size_t count_per_rank, BasicKind kind,
+                            ReduceOp op) const;
+  /// Inclusive prefix reduction: rank r receives op(ranks 0..r)
+  /// (MPI_Scan).
+  void scan(const void* send_buf, void* recv_buf, std::size_t count,
+            BasicKind kind, ReduceOp op) const;
+  /// Fixed-size gather: every rank contributes `bytes_per_rank` bytes;
+  /// root receives size()*bytes_per_rank bytes ordered by rank.
+  void gather(const void* send_buf, std::size_t bytes_per_rank,
+              void* recv_buf, int root) const;
+  void scatter(const void* send_buf, std::size_t bytes_per_rank,
+               void* recv_buf, int root) const;
+  void allgather(const void* send_buf, std::size_t bytes_per_rank,
+                 void* recv_buf) const;
+  /// Personalised all-to-all: block i of send_buf goes to rank i.
+  void alltoall(const void* send_buf, std::size_t bytes_per_pair,
+                void* recv_buf) const;
+
+  // --- Vectored blocking collectives ---------------------------------------
+  /// counts/displs are per-rank byte counts/offsets into the root buffer.
+  void gatherv(const void* send_buf, std::size_t send_bytes, void* recv_buf,
+               std::span<const std::size_t> counts,
+               std::span<const std::size_t> displs, int root) const;
+  void scatterv(const void* send_buf, std::span<const std::size_t> counts,
+                std::span<const std::size_t> displs, void* recv_buf,
+                std::size_t recv_bytes, int root) const;
+  void allgatherv(const void* send_buf, std::size_t send_bytes,
+                  void* recv_buf, std::span<const std::size_t> counts,
+                  std::span<const std::size_t> displs) const;
+  void alltoallv(const void* send_buf,
+                 std::span<const std::size_t> send_counts,
+                 std::span<const std::size_t> send_displs, void* recv_buf,
+                 std::span<const std::size_t> recv_counts,
+                 std::span<const std::size_t> recv_displs) const;
+
+  // --- Communicator management ----------------------------------------------
+  /// New communicator, same group, fresh context (collective).
+  Comm dup() const;
+  /// Partition by color; order within a color by (key, old rank).
+  /// Negative color yields an invalid Comm for that rank (collective).
+  Comm split(int color, int key) const;
+  /// Communicator over a subgroup; invalid Comm for non-members
+  /// (collective over the parent).
+  Comm create(const Group& subgroup) const;
+
+  /// Seconds since an arbitrary epoch (MPI_Wtime). Wall clock.
+  static double wtime();
+
+  /// This rank's VIRTUAL time in ns: real per-thread CPU consumed plus
+  /// modelled network delays. This is what benchmarks must measure — it
+  /// behaves as if every rank had its own core, regardless of how
+  /// oversubscribed the host is. Advances the CPU passthrough on call.
+  std::int64_t vtime_ns() const;
+
+ private:
+  friend class Universe;
+
+  Comm(detail::UniverseImpl* impl, Group group, int my_rank, int context_id)
+      : impl_(impl),
+        group_(std::move(group)),
+        my_rank_(my_rank),
+        context_id_(context_id) {}
+
+  /// Binomial broadcast of one int from rank 0 on the internal management
+  /// tag (context-id agreement during dup/split/create).
+  void bcast_cid(int* value) const;
+
+  /// World rank of communicator rank `r`.
+  int world_of(int r) const { return group_.world_rank(r); }
+  int my_world() const { return group_.world_rank(my_rank_); }
+
+  detail::UniverseImpl* impl_ = nullptr;
+  Group group_;
+  int my_rank_ = -1;
+  int context_id_ = -1;
+};
+
+/// A persistent communication request (MPI_Send_init / MPI_Recv_init):
+/// the operation's buffer and envelope are bound at creation; each
+/// start() launches one instance, each wait()/test() completes it. Used
+/// by iteration-heavy codes (and OMB's persistent variants) to avoid
+/// per-iteration request setup.
+class Prequest {
+ public:
+  Prequest() = default;
+
+  bool valid() const { return comm_.valid(); }
+  /// True between start() and the completing wait()/test().
+  bool active() const { return current_.valid(); }
+
+  /// Launch one instance of the operation (MPI_Start). The previous
+  /// instance must have completed.
+  void start();
+  /// Complete the active instance; the request stays reusable.
+  void wait(Status* status = nullptr);
+  bool test(Status* status = nullptr);
+
+  /// Start every request in the span (MPI_Startall).
+  static void start_all(std::span<Prequest> requests);
+
+ private:
+  friend class Comm;
+  enum class Kind { kSend, kRecv };
+  Prequest(Comm comm, Kind kind, void* buf, std::size_t bytes, int peer,
+           int tag)
+      : comm_(comm), kind_(kind), buf_(buf), bytes_(bytes), peer_(peer),
+        tag_(tag) {}
+
+  Comm comm_;
+  Kind kind_ = Kind::kSend;
+  void* buf_ = nullptr;
+  std::size_t bytes_ = 0;
+  int peer_ = -1;
+  int tag_ = 0;
+  Request current_;
+};
+
+}  // namespace jhpc::minimpi

@@ -1,0 +1,98 @@
+// Datatype descriptors: the eight Java-relevant basic types plus the
+// derived constructors (contiguous, vector, indexed) the bindings layer
+// needs for packing non-contiguous data through the buffering layer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace jhpc::minimpi {
+
+/// Basic element kinds, mirroring Java's primitive types (the paper's
+/// bindings communicate Java primitive arrays and ByteBuffers).
+enum class BasicKind : int {
+  kByte = 0,    // 1 byte  (Java byte / MPI.BYTE)
+  kBoolean,     // 1 byte  (Java boolean)
+  kChar,        // 2 bytes (Java char, UTF-16 code unit)
+  kShort,       // 2 bytes
+  kInt,         // 4 bytes
+  kLong,        // 8 bytes
+  kFloat,       // 4 bytes
+  kDouble,      // 8 bytes
+};
+
+/// Number of distinct basic kinds.
+inline constexpr int kBasicKindCount = 8;
+
+/// Size in bytes of one element of `kind`.
+std::size_t basic_size(BasicKind kind);
+
+/// An immutable, shareable datatype descriptor.
+///
+/// `size()` is the number of payload bytes one element carries; `extent()`
+/// is the span it occupies in user memory (they differ for vector types
+/// with stride > blocklen). `pack` gathers `count` elements from a user
+/// buffer into a contiguous destination; `unpack` is the inverse. This is
+/// exactly the facility the paper says the buffering layer provides for
+/// "copying scattered elements in the array onto consecutive locations in
+/// the ByteBuffer".
+class Datatype {
+ public:
+  // Factories for basic types.
+  static Datatype byte_type();
+  static Datatype boolean_type();
+  static Datatype char_type();
+  static Datatype short_type();
+  static Datatype int_type();
+  static Datatype long_type();
+  static Datatype float_type();
+  static Datatype double_type();
+  static Datatype basic(BasicKind kind);
+
+  /// `count` consecutive elements of `base` (MPI_Type_contiguous).
+  static Datatype contiguous(int count, const Datatype& base);
+
+  /// `count` blocks of `blocklen` base elements, block starts separated by
+  /// `stride` base extents (MPI_Type_vector). Requires stride >= blocklen.
+  static Datatype vector(int count, int blocklen, int stride,
+                         const Datatype& base);
+
+  /// Irregular blocks: block i has `blocklens[i]` base elements starting
+  /// at base-element displacement `displs[i]` (MPI_Type_indexed).
+  /// Displacements must be non-negative; blocks may not overlap.
+  static Datatype indexed(std::span<const int> blocklens,
+                          std::span<const int> displs, const Datatype& base);
+
+  /// Payload bytes per element.
+  std::size_t size() const;
+  /// Memory span per element.
+  std::size_t extent() const;
+  /// True for the eight basic kinds.
+  bool is_basic() const;
+  /// Basic kind; throws for derived types.
+  BasicKind kind() const;
+  /// The basic kind at the leaves of this type (derived types are built
+  /// from exactly one basic type in this subset).
+  BasicKind leaf_kind() const;
+
+  /// Gather `count` elements from `src` (laid out with extent()) into the
+  /// contiguous buffer `dst` (count * size() bytes).
+  void pack(const void* src, void* dst, int count) const;
+  /// Scatter the contiguous `src` (count * size() bytes) into `dst`.
+  void unpack(const void* src, void* dst, int count) const;
+
+  /// Structural equality (same shape, not just same size).
+  bool operator==(const Datatype& other) const;
+
+  /// Implementation descriptor; public only so the implementation file's
+  /// free helpers can traverse it. Not part of the supported API.
+  struct Desc;
+
+ private:
+  explicit Datatype(std::shared_ptr<const Desc> desc);
+  std::shared_ptr<const Desc> desc_;
+};
+
+}  // namespace jhpc::minimpi

@@ -1,0 +1,45 @@
+// Process groups (MPI_Group): ordered sets of world ranks with the usual
+// set algebra. Purely local objects.
+#pragma once
+
+#include <vector>
+
+namespace jhpc::minimpi {
+
+/// An ordered list of distinct world ranks.
+class Group {
+ public:
+  Group() = default;
+  /// Build from an explicit ordered rank list (must be distinct).
+  explicit Group(std::vector<int> world_ranks);
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  /// Position of `world_rank` in this group, or -1 (MPI_UNDEFINED).
+  int rank_of(int world_rank) const;
+  /// World rank at group position `group_rank`.
+  int world_rank(int group_rank) const;
+  const std::vector<int>& ranks() const { return ranks_; }
+
+  /// Keep only the listed positions, in the listed order (MPI_Group_incl).
+  Group incl(const std::vector<int>& group_ranks) const;
+  /// Drop the listed positions (MPI_Group_excl).
+  Group excl(const std::vector<int>& group_ranks) const;
+  /// Elements of this, then elements of other not in this.
+  Group union_with(const Group& other) const;
+  /// Elements of this that are also in other, in this order.
+  Group intersection(const Group& other) const;
+  /// Elements of this that are not in other.
+  Group difference(const Group& other) const;
+
+  /// Translate positions in this group to positions in `other`
+  /// (-1 where absent), MPI_Group_translate_ranks.
+  std::vector<int> translate(const std::vector<int>& group_ranks,
+                             const Group& other) const;
+
+  bool operator==(const Group& other) const { return ranks_ == other.ranks_; }
+
+ private:
+  std::vector<int> ranks_;
+};
+
+}  // namespace jhpc::minimpi

@@ -1,0 +1,10 @@
+// Umbrella header for the minimpi substrate.
+#pragma once
+
+#include "jhpc/minimpi/comm.hpp"
+#include "jhpc/minimpi/datatype.hpp"
+#include "jhpc/minimpi/group.hpp"
+#include "jhpc/minimpi/op.hpp"
+#include "jhpc/minimpi/request.hpp"
+#include "jhpc/minimpi/types.hpp"
+#include "jhpc/minimpi/universe.hpp"

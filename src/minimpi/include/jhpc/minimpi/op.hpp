@@ -1,0 +1,35 @@
+// Reduction operators for reduce/allreduce/reduce-scatter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "jhpc/minimpi/datatype.hpp"
+
+namespace jhpc::minimpi {
+
+/// The predefined commutative reduction operators the bindings expose
+/// (MPI_SUM, MPI_PROD, MPI_MIN, MPI_MAX, logical and bitwise and/or/xor).
+enum class ReduceOp : std::uint8_t {
+  kSum,
+  kProd,
+  kMin,
+  kMax,
+  kLand,
+  kLor,
+  kBand,
+  kBor,
+  kBxor,
+};
+
+/// inout[i] = op(inout[i], in[i]) for `count` elements of basic `kind`.
+///
+/// Floating-point kinds reject bitwise operators; kChar/kBoolean reject
+/// arithmetic where Java does (boolean supports logical ops only).
+void apply_reduce(ReduceOp op, BasicKind kind, void* inout, const void* in,
+                  std::size_t count);
+
+/// Human-readable operator name (for error messages and bench labels).
+const char* reduce_op_name(ReduceOp op);
+
+}  // namespace jhpc::minimpi

@@ -1,0 +1,49 @@
+// Non-blocking communication requests.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "jhpc/minimpi/types.hpp"
+
+namespace jhpc::minimpi {
+
+namespace detail {
+struct RequestState;
+}
+
+/// Handle to an in-flight non-blocking send or receive.
+///
+/// Copyable (shared handle semantics, like MPI_Request values passed
+/// around by value). A default-constructed Request is the null request:
+/// wait() returns immediately with an empty Status.
+class Request {
+ public:
+  Request() = default;
+
+  /// True when this handle refers to an actual operation.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Block until the operation completes; fills `status` if non-null.
+  /// Waiting on the null request is a no-op (MPI_REQUEST_NULL semantics).
+  void wait(Status* status = nullptr);
+
+  /// Non-blocking completion check.
+  bool test(Status* status = nullptr);
+
+  /// Wait for every request in the span (MPI_Waitall).
+  static void wait_all(std::span<Request> requests);
+
+  /// Wait for any one request; returns its index (MPI_Waitany). Throws if
+  /// all requests are null.
+  static std::size_t wait_any(std::span<Request> requests,
+                              Status* status = nullptr);
+
+ private:
+  friend class Comm;
+  explicit Request(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+}  // namespace jhpc::minimpi

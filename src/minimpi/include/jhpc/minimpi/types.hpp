@@ -1,0 +1,43 @@
+// Core constants and small value types of the minimpi substrate.
+//
+// minimpi plays the role of the native MPI libraries (MVAPICH2 / Open MPI)
+// in the paper's stack: a message-passing runtime with communicators,
+// tag/source matching, eager+rendezvous point-to-point protocols and a
+// full set of blocking collectives. Ranks are threads inside one process;
+// inter-node behaviour comes from jhpc::netsim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jhpc::minimpi {
+
+/// Wildcard source for receives (MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+
+/// Wildcard tag for receives (MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// Largest tag available to user code; higher tag values are reserved for
+/// the collective algorithms.
+inline constexpr int kMaxUserTag = (1 << 28) - 1;
+
+/// Which vendor collective-algorithm suite a Universe uses.
+///
+/// The paper's collective results (Figures 14-17) are attributed to
+/// "performance differences in the native MPI libraries"; we reproduce the
+/// cause by shipping two suites over the same transport:
+///   kMv2       — tuned algorithms (binomial trees, scatter-allgather
+///                broadcast, recursive doubling, ring reduce-scatter),
+///                modelling MVAPICH2-X.
+///   kOmpiBasic — flat linear algorithms, modelling an untuned baseline.
+enum class CollectiveSuite : std::uint8_t { kMv2, kOmpiBasic };
+
+/// Completion information for a receive (subset of MPI_Status).
+struct Status {
+  int source = kAnySource;       ///< Matched source rank (in the comm).
+  int tag = kAnyTag;             ///< Matched tag.
+  std::size_t count_bytes = 0;   ///< Bytes actually received.
+};
+
+}  // namespace jhpc::minimpi

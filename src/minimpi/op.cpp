@@ -1,0 +1,142 @@
+#include "jhpc/minimpi/op.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+namespace {
+
+template <typename T>
+void apply_arith(ReduceOp op, T* inout, const T* in, std::size_t count) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < count; ++i) inout[i] += in[i];
+      return;
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < count; ++i) inout[i] *= in[i];
+      return;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::min(inout[i], in[i]);
+      return;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::max(inout[i], in[i]);
+      return;
+    default:
+      break;
+  }
+  if constexpr (std::is_integral_v<T>) {
+    switch (op) {
+      case ReduceOp::kLand:
+        for (std::size_t i = 0; i < count; ++i)
+          inout[i] = static_cast<T>((inout[i] != 0) && (in[i] != 0));
+        return;
+      case ReduceOp::kLor:
+        for (std::size_t i = 0; i < count; ++i)
+          inout[i] = static_cast<T>((inout[i] != 0) || (in[i] != 0));
+        return;
+      case ReduceOp::kBand:
+        for (std::size_t i = 0; i < count; ++i) inout[i] &= in[i];
+        return;
+      case ReduceOp::kBor:
+        for (std::size_t i = 0; i < count; ++i) inout[i] |= in[i];
+        return;
+      case ReduceOp::kBxor:
+        for (std::size_t i = 0; i < count; ++i) inout[i] ^= in[i];
+        return;
+      default:
+        break;
+    }
+  }
+  throw InvalidArgumentError(
+      std::string("reduction operator ") + reduce_op_name(op) +
+      " is not defined for this datatype");
+}
+
+void apply_boolean(ReduceOp op, std::uint8_t* inout, const std::uint8_t* in,
+                   std::size_t count) {
+  switch (op) {
+    case ReduceOp::kLand:
+    case ReduceOp::kBand:
+    case ReduceOp::kMin:
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = static_cast<std::uint8_t>((inout[i] != 0) && (in[i] != 0));
+      return;
+    case ReduceOp::kLor:
+    case ReduceOp::kBor:
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = static_cast<std::uint8_t>((inout[i] != 0) || (in[i] != 0));
+      return;
+    case ReduceOp::kBxor:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = static_cast<std::uint8_t>((inout[i] != 0) != (in[i] != 0));
+      return;
+    default:
+      throw InvalidArgumentError(
+          std::string("reduction operator ") + reduce_op_name(op) +
+          " is not defined for boolean");
+  }
+}
+
+}  // namespace
+
+void apply_reduce(ReduceOp op, BasicKind kind, void* inout, const void* in,
+                  std::size_t count) {
+  switch (kind) {
+    case BasicKind::kByte:
+      apply_arith(op, static_cast<std::int8_t*>(inout),
+                  static_cast<const std::int8_t*>(in), count);
+      return;
+    case BasicKind::kBoolean:
+      apply_boolean(op, static_cast<std::uint8_t*>(inout),
+                    static_cast<const std::uint8_t*>(in), count);
+      return;
+    case BasicKind::kChar:
+      apply_arith(op, static_cast<std::uint16_t*>(inout),
+                  static_cast<const std::uint16_t*>(in), count);
+      return;
+    case BasicKind::kShort:
+      apply_arith(op, static_cast<std::int16_t*>(inout),
+                  static_cast<const std::int16_t*>(in), count);
+      return;
+    case BasicKind::kInt:
+      apply_arith(op, static_cast<std::int32_t*>(inout),
+                  static_cast<const std::int32_t*>(in), count);
+      return;
+    case BasicKind::kLong:
+      apply_arith(op, static_cast<std::int64_t*>(inout),
+                  static_cast<const std::int64_t*>(in), count);
+      return;
+    case BasicKind::kFloat:
+      apply_arith(op, static_cast<float*>(inout),
+                  static_cast<const float*>(in), count);
+      return;
+    case BasicKind::kDouble:
+      apply_arith(op, static_cast<double*>(inout),
+                  static_cast<const double*>(in), count);
+      return;
+  }
+  throw InternalError("unknown BasicKind in apply_reduce");
+}
+
+const char* reduce_op_name(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "SUM";
+    case ReduceOp::kProd: return "PROD";
+    case ReduceOp::kMin: return "MIN";
+    case ReduceOp::kMax: return "MAX";
+    case ReduceOp::kLand: return "LAND";
+    case ReduceOp::kLor: return "LOR";
+    case ReduceOp::kBand: return "BAND";
+    case ReduceOp::kBor: return "BOR";
+    case ReduceOp::kBxor: return "BXOR";
+  }
+  return "?";
+}
+
+}  // namespace jhpc::minimpi

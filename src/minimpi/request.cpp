@@ -1,0 +1,55 @@
+#include "jhpc/minimpi/request.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "detail/transport.hpp"
+#include "jhpc/support/clock.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+
+void Request::wait(Status* status) {
+  if (!state_) {
+    if (status != nullptr) *status = Status{};
+    return;
+  }
+  const Status st = detail::wait_request(*state_);
+  if (status != nullptr) *status = st;
+  state_.reset();
+}
+
+bool Request::test(Status* status) {
+  if (!state_) {
+    if (status != nullptr) *status = Status{};
+    return true;
+  }
+  Status st;
+  try {
+    if (!detail::test_request(*state_, &st)) return false;
+  } catch (...) {
+    state_.reset();
+    throw;
+  }
+  if (status != nullptr) *status = st;
+  state_.reset();
+  return true;
+}
+
+void Request::wait_all(std::span<Request> requests) {
+  for (Request& r : requests) r.wait();
+}
+
+std::size_t Request::wait_any(std::span<Request> requests, Status* status) {
+  bool any_valid = false;
+  for (const Request& r : requests) any_valid |= r.valid();
+  JHPC_REQUIRE(any_valid, "wait_any on all-null request list");
+  for (;;) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].valid() && requests[i].test(status)) return i;
+    }
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace jhpc::minimpi

@@ -1,0 +1,311 @@
+#include "detail/transport.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "jhpc/support/clock.hpp"
+
+namespace jhpc::minimpi::detail {
+
+using namespace std::chrono_literals;
+
+// Polling period for abort detection while parked on a condition variable.
+// Only failure paths ever pay this latency.
+constexpr auto kAbortPoll = 20ms;
+
+void complete_request(RequestState& rs, const Status& st,
+                      std::int64_t ready_at_ns) {
+  std::lock_guard<std::mutex> lk(rs.mu);
+  rs.status = st;
+  rs.ready_at_ns = ready_at_ns;
+  rs.complete = true;
+  rs.cv.notify_all();
+}
+
+void fail_request(RequestState& rs, std::string error) {
+  std::lock_guard<std::mutex> lk(rs.mu);
+  rs.failed = true;
+  rs.error = std::move(error);
+  rs.complete = true;
+  rs.cv.notify_all();
+}
+
+Status wait_request(RequestState& rs) {
+  // Fold in the CPU the owner spent since its last transport call so the
+  // virtual clock is current before we observe the completion time.
+  if (rs.owner_clock != nullptr) rs.owner_clock->advance_cpu();
+  std::unique_lock<std::mutex> lk(rs.mu);
+  while (!rs.complete) {
+    rs.cv.wait_for(lk, kAbortPoll);
+    if (!rs.complete && rs.abort != nullptr &&
+        rs.abort->load(std::memory_order_relaxed)) {
+      throw AbortError();
+    }
+  }
+  if (rs.failed) {
+    const std::string err = rs.error;
+    lk.unlock();
+    throw jhpc::Error(err);
+  }
+  const Status st = rs.status;
+  const std::int64_t ready_at = rs.ready_at_ns;
+  lk.unlock();
+  if (rs.owner_clock != nullptr) {
+    rs.owner_clock->observe(ready_at);
+    // Blocking machinery (futex wakeups, lock contention) is a host
+    // artifact, not simulated work: drop it from the CPU passthrough.
+    rs.owner_clock->resync_cpu();
+  }
+  return st;
+}
+
+bool test_request(RequestState& rs, Status* out) {
+  if (rs.owner_clock != nullptr) rs.owner_clock->advance_cpu();
+  std::unique_lock<std::mutex> lk(rs.mu);
+  if (!rs.complete) return false;
+  if (rs.failed) {
+    const std::string err = rs.error;
+    lk.unlock();
+    throw jhpc::Error(err);
+  }
+  // Completed, but only observable once the owner's virtual time reaches
+  // the delivery time; polling burns CPU and therefore advances it.
+  if (rs.owner_clock != nullptr &&
+      rs.ready_at_ns > rs.owner_clock->vclock) {
+    return false;
+  }
+  const Status st = rs.status;
+  lk.unlock();
+  if (out != nullptr) *out = st;
+  return true;
+}
+
+bool envelope_matches(int msg_cid, int msg_src, int msg_tag, int want_cid,
+                      int want_src, int want_tag) {
+  if (msg_cid != want_cid) return false;
+  if (want_src != kAnySource && want_src != msg_src) return false;
+  if (want_tag != kAnyTag && want_tag != msg_tag) return false;
+  return true;
+}
+
+UniverseImpl::UniverseImpl(UniverseConfig cfg)
+    : config(cfg), fabric(cfg.world_size, cfg.fabric) {
+  JHPC_REQUIRE(cfg.world_size >= 1, "world_size must be >= 1");
+  endpoints.resize(static_cast<std::size_t>(cfg.world_size));
+  for (auto& ep : endpoints) ep = std::make_unique<Endpoint>();
+  clocks.resize(static_cast<std::size_t>(cfg.world_size));
+}
+
+void UniverseImpl::abort_all() {
+  abort.store(true, std::memory_order_relaxed);
+  for (auto& ep : endpoints) {
+    std::lock_guard<std::mutex> lk(ep->mu);
+    ep->cv.notify_all();
+  }
+}
+
+void UniverseImpl::throw_if_aborted() const {
+  if (abort.load(std::memory_order_relaxed)) throw AbortError();
+}
+
+std::shared_ptr<RequestState> UniverseImpl::deliver(
+    int src_world, int dst_world, int context_id, int src_comm_rank, int tag,
+    const void* buf, std::size_t bytes) {
+  Endpoint& ep = *endpoints[static_cast<std::size_t>(dst_world)];
+  RankClock& sclock = clocks[static_cast<std::size_t>(src_world)];
+  const bool eager = bytes <= config.eager_limit;
+
+  sclock.advance_cpu();
+  // Vendor shared-memory channel cost (see UniverseConfig).
+  if (config.intra_send_overhead_ns > 0 &&
+      fabric.same_node(src_world, dst_world)) {
+    sclock.charge(config.intra_send_overhead_ns);
+  }
+
+  std::lock_guard<std::mutex> lk(ep.mu);
+  throw_if_aborted();
+
+  // Try to match an already-posted receive (in post order: MPI's
+  // non-overtaking rule for the receive side).
+  for (auto it = ep.posted.begin(); it != ep.posted.end(); ++it) {
+    RequestState& rs = **it;
+    if (!envelope_matches(context_id, src_comm_rank, tag, rs.context_id,
+                          rs.match_src, rs.match_tag)) {
+      continue;
+    }
+    std::shared_ptr<RequestState> matched = *it;
+    ep.posted.erase(it);
+    if (bytes > matched->recv_capacity) {
+      fail_request(*matched,
+                   "message truncated: " + std::to_string(bytes) +
+                       " bytes into a " +
+                       std::to_string(matched->recv_capacity) +
+                       "-byte receive buffer");
+      // The send itself still completes locally (the data is gone).
+      return nullptr;
+    }
+    {
+      ChargedSection copy_cost(sclock);
+      std::memcpy(matched->recv_buf, buf, bytes);
+    }
+    const std::int64_t send_v = sclock.vclock;
+    std::int64_t arrival;
+    if (eager) {
+      arrival = fabric.reserve_delivery(send_v, src_world, dst_world, bytes);
+    } else {
+      // Rendezvous with the receive already posted: RTS travels one hop,
+      // the CTS answer another, then the payload moves (the handshake the
+      // eager protocol exists to avoid).
+      const std::int64_t hop = fabric.hop_latency_ns(src_world, dst_world);
+      const std::int64_t start =
+          std::max(send_v + hop, matched->post_vtime) + hop;
+      arrival = fabric.reserve_delivery(start, src_world, dst_world, bytes);
+      // The sender is locally complete when its data has left the node.
+      sclock.observe(start + fabric.serialization_ns(bytes));
+    }
+    complete_request(*matched, Status{src_comm_rank, tag, bytes}, arrival);
+    sclock.resync_cpu();
+    return nullptr;
+  }
+
+  // No posted receive: park the message in the unexpected queue.
+  InMsg msg;
+  msg.src = src_comm_rank;
+  msg.tag = tag;
+  msg.context_id = context_id;
+  msg.src_world = src_world;
+  msg.bytes = bytes;
+  if (eager) {
+    {
+      ChargedSection copy_cost(sclock);
+      const auto* p = static_cast<const std::byte*>(buf);
+      msg.eager.assign(p, p + bytes);
+    }
+    msg.send_vtime = sclock.vclock;
+    msg.deliver_at_ns = fabric.reserve_delivery(msg.send_vtime, src_world,
+                                                dst_world, bytes);
+    ep.unexpected.push_back(std::move(msg));
+    ep.cv.notify_all();
+    sclock.resync_cpu();
+    return nullptr;  // sender completes locally (buffered)
+  }
+  msg.send_vtime = sclock.vclock;
+  // Rendezvous: expose the sender's live buffer; the sender completes when
+  // a matching receive is posted and the transfer is scheduled. The header
+  // (what probe can see) arrives after one fabric hop.
+  auto sender = std::make_shared<RequestState>();
+  sender->abort = &abort;
+  sender->owner_clock = &sclock;
+  msg.deliver_at_ns = fabric.reserve_delivery(msg.send_vtime, src_world,
+                                              dst_world, /*bytes=*/0);
+  msg.rndv_src = buf;
+  msg.rndv_sender = sender;
+  ep.unexpected.push_back(std::move(msg));
+  ep.cv.notify_all();
+  sclock.resync_cpu();
+  return sender;
+}
+
+std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
+                                                      int context_id, int src,
+                                                      int tag, void* buf,
+                                                      std::size_t capacity) {
+  RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
+  rclock.advance_cpu();
+
+  auto rs = std::make_shared<RequestState>();
+  rs->abort = &abort;
+  rs->owner_clock = &rclock;
+  rs->post_vtime = rclock.vclock;
+  rs->is_recv = true;
+  rs->recv_buf = buf;
+  rs->recv_capacity = capacity;
+  rs->match_src = src;
+  rs->match_tag = tag;
+  rs->context_id = context_id;
+
+  Endpoint& ep = *endpoints[static_cast<std::size_t>(my_world)];
+  std::lock_guard<std::mutex> lk(ep.mu);
+  throw_if_aborted();
+
+  // Scan the unexpected queue in arrival order (non-overtaking rule for
+  // the send side).
+  for (auto it = ep.unexpected.begin(); it != ep.unexpected.end(); ++it) {
+    if (!envelope_matches(it->context_id, it->src, it->tag, context_id, src,
+                          tag)) {
+      continue;
+    }
+    InMsg msg = std::move(*it);
+    ep.unexpected.erase(it);
+    if (msg.bytes > capacity) {
+      if (msg.is_rndv()) {
+        // Release the sender; its data was never transferred.
+        complete_request(*msg.rndv_sender, Status{}, 0);
+      }
+      fail_request(*rs, "message truncated: " + std::to_string(msg.bytes) +
+                            " bytes into a " + std::to_string(capacity) +
+                            "-byte receive buffer");
+      return rs;
+    }
+    std::int64_t arrival = 0;
+    if (msg.is_rndv()) {
+      {
+        ChargedSection copy_cost(rclock);
+        std::memcpy(buf, msg.rndv_src, msg.bytes);
+      }
+      // RTS arrived at send_vtime + hop; we answer with CTS now, and the
+      // payload starts moving when the CTS reaches the sender.
+      const std::int64_t hop = fabric.hop_latency_ns(msg.src_world, my_world);
+      const std::int64_t start =
+          std::max(msg.send_vtime + hop, rclock.vclock) + hop;
+      arrival =
+          fabric.reserve_delivery(start, msg.src_world, my_world, msg.bytes);
+      complete_request(*msg.rndv_sender, Status{},
+                       start + fabric.serialization_ns(msg.bytes));
+    } else {
+      {
+        ChargedSection copy_cost(rclock);
+        std::memcpy(buf, msg.eager.data(), msg.bytes);
+      }
+      arrival = msg.deliver_at_ns;
+    }
+    complete_request(*rs, Status{msg.src, msg.tag, msg.bytes}, arrival);
+    rclock.resync_cpu();
+    return rs;
+  }
+
+  ep.posted.push_back(rs);
+  rclock.resync_cpu();
+  return rs;
+}
+
+bool UniverseImpl::probe_match(int my_world, int context_id, int src, int tag,
+                               bool blocking, Status* out) {
+  RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
+  Endpoint& ep = *endpoints[static_cast<std::size_t>(my_world)];
+  std::unique_lock<std::mutex> lk(ep.mu);
+  for (;;) {
+    throw_if_aborted();
+    rclock.advance_cpu();
+    for (const auto& msg : ep.unexpected) {
+      if (envelope_matches(msg.context_id, msg.src, msg.tag, context_id, src,
+                           tag)) {
+        // Respect the fabric: the envelope is visible only once it has
+        // arrived in this rank's virtual time. A blocking probe would
+        // simply have waited — jump the clock. A non-blocking probe
+        // reports "nothing yet"; the caller's polling CPU advances the
+        // clock until the arrival becomes visible.
+        if (msg.deliver_at_ns > rclock.vclock) {
+          if (!blocking) return false;
+          rclock.observe(msg.deliver_at_ns);
+        }
+        if (out != nullptr) *out = Status{msg.src, msg.tag, msg.bytes};
+        return true;
+      }
+    }
+    if (!blocking) return false;
+    ep.cv.wait_for(lk, kAbortPoll);
+  }
+}
+
+}  // namespace jhpc::minimpi::detail

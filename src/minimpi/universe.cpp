@@ -1,0 +1,78 @@
+#include "jhpc/minimpi/universe.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "detail/transport.hpp"
+#include "jhpc/support/env.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+
+UniverseConfig& UniverseConfig::apply_env() {
+  fabric = netsim::FabricConfig::from_env();
+  eager_limit = static_cast<std::size_t>(
+      env_int64("JHPC_EAGER_LIMIT", static_cast<std::int64_t>(eager_limit)));
+  return *this;
+}
+
+Universe::Universe(UniverseConfig config)
+    : impl_(std::make_unique<detail::UniverseImpl>(config)) {}
+
+Universe::~Universe() = default;
+
+const UniverseConfig& Universe::config() const { return impl_->config; }
+
+netsim::Fabric& Universe::fabric() { return impl_->fabric; }
+
+void Universe::run(const std::function<void(Comm&)>& rank_main) {
+  JHPC_REQUIRE(static_cast<bool>(rank_main), "rank_main must be callable");
+  const int n = impl_->config.world_size;
+
+  // Reset the abort flag and the fabric's virtual link clocks so a
+  // Universe can run several jobs in sequence.
+  impl_->abort.store(false, std::memory_order_relaxed);
+  impl_->fabric.reset();
+
+  Group world_group = [n] {
+    std::vector<int> ranks(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) ranks[static_cast<std::size_t>(i)] = i;
+    return Group(std::move(ranks));
+  }();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([this, r, &world_group, &rank_main, &errors] {
+      // Fresh virtual clock for this run, anchored to this thread's CPU.
+      detail::RankClock& clock = impl_->clocks[static_cast<std::size_t>(r)];
+      clock.vclock = 0;
+      clock.last_cpu = thread_cpu_ns();
+      Comm world(impl_.get(), world_group, r, /*context_id=*/0);
+      try {
+        rank_main(world);
+      } catch (const detail::AbortError&) {
+        // Secondary failure: another rank already recorded the cause.
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        impl_->abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void Universe::launch(const UniverseConfig& config,
+                      const std::function<void(Comm&)>& rank_main) {
+  Universe u(config);
+  u.run(rank_main);
+}
+
+}  // namespace jhpc::minimpi

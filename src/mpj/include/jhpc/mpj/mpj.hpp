@@ -1,0 +1,206 @@
+// An mpiJava 1.2 / MPJ API compatibility adapter over MVAPICH2-J.
+//
+// The paper (Sections I, II-C) recounts the API history: the Java Grande
+// Forum's mpiJava 1.2 API and its MPJ successor — Capitalised method
+// names, Java arrays only, and an `offset` argument on every
+// communication primitive — were what mpiJava, MPJ Express and FastMPJ
+// implemented, and what legacy Java HPC codes (e.g. NPB-MPJ) are written
+// against. The Open MPI Java API that MVAPICH2-J adopts dropped the
+// offset argument, which "mandates modifying Java HPC applications".
+//
+// This adapter restores the old surface on top of the new bindings, so a
+// legacy-style code runs unchanged: point-to-point maps directly onto
+// MVAPICH2-J's offset extension (zero extra cost — the buffering layer
+// stages exactly the sub-range); collectives, whose modern API has no
+// offset, are adapted via a staged sub-array copy when offset != 0.
+#pragma once
+
+#include "jhpc/mv2j/env.hpp"
+
+namespace jhpc::mpj {
+
+using minijvm::JArray;
+using minijvm::JavaPrimitive;
+using mv2j::Datatype;
+using mv2j::Op;
+
+/// mpiJava 1.2 re-exports (MPI.BYTE ... MPI.DOUBLE, MPI.SUM ...).
+inline const Datatype& BYTE = mv2j::BYTE;
+inline const Datatype& BOOLEAN = mv2j::BOOLEAN;
+inline const Datatype& CHAR = mv2j::CHAR;
+inline const Datatype& SHORT = mv2j::SHORT;
+inline const Datatype& INT = mv2j::INT;
+inline const Datatype& LONG = mv2j::LONG;
+inline const Datatype& FLOAT = mv2j::FLOAT;
+inline const Datatype& DOUBLE = mv2j::DOUBLE;
+inline constexpr Op SUM = mv2j::SUM;
+inline constexpr Op PROD = mv2j::PROD;
+inline constexpr Op MIN = mv2j::MIN;
+inline constexpr Op MAX = mv2j::MAX;
+inline constexpr int ANY_SOURCE = mv2j::ANY_SOURCE;
+inline constexpr int ANY_TAG = mv2j::ANY_TAG;
+
+/// mpiJava 1.2 Status: Get_count / source / tag accessors.
+class Status {
+ public:
+  Status() = default;
+  explicit Status(const mv2j::Status& s) : s_(s) {}
+  int Get_count(const Datatype& type) const { return s_.getCount(type); }
+  int Source() const { return s_.getSource(); }
+  int Tag() const { return s_.getTag(); }
+
+ private:
+  mv2j::Status s_;
+};
+
+/// mpiJava 1.2 Request.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(mv2j::Request r) : r_(std::move(r)) {}
+  Status Wait() { return Status(r_.waitFor()); }
+  bool Test(Status* status = nullptr) {
+    mv2j::Status s;
+    if (!r_.test(&s)) return false;
+    if (status != nullptr) *status = Status(s);
+    return true;
+  }
+
+ private:
+  mv2j::Request r_;
+};
+
+/// The mpiJava 1.2 communicator surface (Java arrays + offsets only; the
+/// old API predates NIO buffers).
+class Comm {
+ public:
+  explicit Comm(mv2j::Comm modern, mv2j::Env& env)
+      : modern_(modern), env_(&env) {}
+
+  int Rank() const { return modern_.getRank(); }
+  int Size() const { return modern_.getSize(); }
+
+  // --- Point-to-point (all with the classic offset argument) --------------
+  template <JavaPrimitive T>
+  void Send(const JArray<T>& buf, int offset, int count,
+            const Datatype& type, int dest, int tag) const {
+    modern_.send(buf, offset, count, type, dest, tag);
+  }
+  template <JavaPrimitive T>
+  Status Recv(JArray<T>& buf, int offset, int count, const Datatype& type,
+              int source, int tag) const {
+    return Status(modern_.recv(buf, offset, count, type, source, tag));
+  }
+  template <JavaPrimitive T>
+  Request Isend(const JArray<T>& buf, int offset, int count,
+                const Datatype& type, int dest, int tag) const {
+    return Request(modern_.iSend(buf, offset, count, type, dest, tag));
+  }
+  template <JavaPrimitive T>
+  Request Irecv(JArray<T>& buf, int offset, int count, const Datatype& type,
+                int source, int tag) const {
+    return Request(modern_.iRecv(buf, offset, count, type, source, tag));
+  }
+  Status Probe(int source, int tag) const {
+    return Status(modern_.probe(source, tag));
+  }
+
+  // --- Collectives (offset adapted via sub-array staging) ------------------
+  void Barrier() const { modern_.barrier(); }
+
+  template <JavaPrimitive T>
+  void Bcast(JArray<T>& buf, int offset, int count, const Datatype& type,
+             int root) const {
+    if (offset == 0) {
+      modern_.bcast(buf, count, type, root);
+      return;
+    }
+    JArray<T> tmp = sub_array(buf, offset, count);
+    modern_.bcast(tmp, count, type, root);
+    write_back(buf, offset, count, tmp);
+  }
+
+  template <JavaPrimitive T>
+  void Reduce(const JArray<T>& sendbuf, int sendoffset, JArray<T>& recvbuf,
+              int recvoffset, int count, const Datatype& type, const Op& op,
+              int root) const {
+    JArray<T> stmp = sub_array(sendbuf, sendoffset, count);
+    JArray<T> rtmp = env_->newArray<T>(static_cast<std::size_t>(count));
+    modern_.reduce(stmp, rtmp, count, type, op, root);
+    if (Rank() == root) write_back(recvbuf, recvoffset, count, rtmp);
+  }
+
+  template <JavaPrimitive T>
+  void Allreduce(const JArray<T>& sendbuf, int sendoffset,
+                 JArray<T>& recvbuf, int recvoffset, int count,
+                 const Datatype& type, const Op& op) const {
+    JArray<T> stmp = sub_array(sendbuf, sendoffset, count);
+    JArray<T> rtmp = env_->newArray<T>(static_cast<std::size_t>(count));
+    modern_.allReduce(stmp, rtmp, count, type, op);
+    write_back(recvbuf, recvoffset, count, rtmp);
+  }
+
+  template <JavaPrimitive T>
+  void Gather(const JArray<T>& sendbuf, int sendoffset, int sendcount,
+              JArray<T>& recvbuf, int recvoffset, const Datatype& type,
+              int root) const {
+    JArray<T> stmp = sub_array(sendbuf, sendoffset, sendcount);
+    JArray<T> rtmp = env_->newArray<T>(
+        static_cast<std::size_t>(sendcount) *
+        static_cast<std::size_t>(Size()));
+    modern_.gather(stmp, sendcount, type, rtmp, root);
+    if (Rank() == root)
+      write_back(recvbuf, recvoffset, sendcount * Size(), rtmp);
+  }
+
+  template <JavaPrimitive T>
+  void Alltoall(const JArray<T>& sendbuf, int sendoffset, int count,
+                JArray<T>& recvbuf, int recvoffset,
+                const Datatype& type) const {
+    const int total = count * Size();
+    JArray<T> stmp = sub_array(sendbuf, sendoffset, total);
+    JArray<T> rtmp = env_->newArray<T>(static_cast<std::size_t>(total));
+    modern_.allToAll(stmp, count, type, rtmp);
+    write_back(recvbuf, recvoffset, total, rtmp);
+  }
+
+  /// The wrapped modern communicator (escape hatch for mixed code).
+  const mv2j::Comm& modern() const { return modern_; }
+
+ private:
+  template <JavaPrimitive T>
+  JArray<T> sub_array(const JArray<T>& src, int offset, int count) const {
+    JHPC_REQUIRE(offset >= 0 && count >= 0 &&
+                     static_cast<std::size_t>(offset) +
+                             static_cast<std::size_t>(count) <=
+                         src.length(),
+                 "MPJ adapter: offset/count out of range");
+    auto tmp = env_->newArray<T>(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+      tmp[static_cast<std::size_t>(i)] =
+          src[static_cast<std::size_t>(offset + i)];
+    return tmp;
+  }
+  template <JavaPrimitive T>
+  void write_back(JArray<T>& dst, int offset, int count,
+                  const JArray<T>& tmp) const {
+    JHPC_REQUIRE(offset >= 0 &&
+                     static_cast<std::size_t>(offset) +
+                             static_cast<std::size_t>(count) <=
+                         dst.length(),
+                 "MPJ adapter: offset/count out of range");
+    for (int i = 0; i < count; ++i)
+      dst[static_cast<std::size_t>(offset + i)] =
+          tmp[static_cast<std::size_t>(i)];
+  }
+
+  mv2j::Comm modern_;
+  mv2j::Env* env_;
+};
+
+/// The legacy entry point: wrap a modern environment.
+inline Comm COMM_WORLD(mv2j::Env& env) {
+  return Comm(env.COMM_WORLD(), env);
+}
+
+}  // namespace jhpc::mpj

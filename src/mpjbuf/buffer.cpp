@@ -1,0 +1,198 @@
+#include "jhpc/mpjbuf/buffer.hpp"
+
+#include <cstring>
+
+#include "jhpc/mpjbuf/buffer_factory.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::mpjbuf {
+
+Buffer::Buffer(BufferFactory* factory, minijvm::ByteBuffer storage)
+    : factory_(factory), storage_(std::move(storage)) {}
+
+Buffer::~Buffer() {
+  if (factory_ != nullptr) free();
+}
+
+Buffer::Buffer(Buffer&& other) noexcept { *this = std::move(other); }
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    if (factory_ != nullptr) free();
+    factory_ = other.factory_;
+    storage_ = std::move(other.storage_);
+    write_pos_ = other.write_pos_;
+    read_pos_ = other.read_pos_;
+    last_section_els_ = other.last_section_els_;
+    encoding_ = other.encoding_;
+    other.factory_ = nullptr;
+  }
+  return *this;
+}
+
+std::size_t Buffer::capacity() const {
+  JHPC_REQUIRE(is_valid(), "capacity() on freed buffer");
+  return storage_.capacity();
+}
+
+std::size_t Buffer::size() const { return write_pos_; }
+
+std::byte* Buffer::native_address() const {
+  JHPC_REQUIRE(is_valid(), "native_address() on freed buffer");
+  return storage_.storage_address(0);
+}
+
+template <typename T>
+void Buffer::write_impl(const T* src, std::size_t num_els) {
+  JHPC_REQUIRE(is_valid(), "write() on freed buffer");
+  const std::size_t bytes = num_els * sizeof(T);
+  JHPC_REQUIRE(write_pos_ + bytes <= storage_.capacity(),
+               "buffer overflow in mpjbuf write");
+  std::byte* dst = storage_.storage_address(write_pos_);
+  if (encoding_ == jhpc::native_order() || sizeof(T) == 1) {
+    std::memcpy(dst, src, bytes);
+  } else {
+    for (std::size_t i = 0; i < num_els; ++i)
+      jhpc::store_ordered(dst + i * sizeof(T), src[i], encoding_);
+  }
+  write_pos_ += bytes;
+}
+
+template <typename T>
+void Buffer::read_impl(T* dst, std::size_t num_els) {
+  JHPC_REQUIRE(is_valid(), "read() on freed buffer");
+  const std::size_t bytes = num_els * sizeof(T);
+  JHPC_REQUIRE(read_pos_ + bytes <= write_pos_,
+               "buffer underflow in mpjbuf read");
+  const std::byte* src = storage_.storage_address(read_pos_);
+  if (encoding_ == jhpc::native_order() || sizeof(T) == 1) {
+    std::memcpy(dst, src, bytes);
+  } else {
+    for (std::size_t i = 0; i < num_els; ++i)
+      dst[i] = jhpc::load_ordered<T>(src + i * sizeof(T), encoding_);
+  }
+  read_pos_ += bytes;
+}
+
+template <JavaPrimitive T>
+void Buffer::write(const JArray<T>& source, std::size_t src_off,
+                   std::size_t num_els) {
+  JHPC_REQUIRE(src_off + num_els <= source.length(),
+               "mpjbuf write: source range out of bounds");
+  // The array cannot move mid-copy (no allocation happens here), so one
+  // bulk copy from its current address is safe and fast.
+  write_impl(reinterpret_cast<const T*>(source.raw_address()) + src_off,
+             num_els);
+}
+
+template <JavaPrimitive T>
+void Buffer::write(const T* source, std::size_t num_els) {
+  write_impl(source, num_els);
+}
+
+template <JavaPrimitive T>
+void Buffer::read(JArray<T>& dest, std::size_t dst_off,
+                  std::size_t num_els) {
+  JHPC_REQUIRE(dst_off + num_els <= dest.length(),
+               "mpjbuf read: destination range out of bounds");
+  read_impl(reinterpret_cast<T*>(dest.raw_address()) + dst_off, num_els);
+}
+
+template <JavaPrimitive T>
+void Buffer::read(T* dest, std::size_t num_els) {
+  read_impl(dest, num_els);
+}
+
+std::byte* Buffer::reserve(std::size_t bytes) {
+  JHPC_REQUIRE(is_valid(), "reserve() on freed buffer");
+  JHPC_REQUIRE(write_pos_ + bytes <= storage_.capacity(),
+               "buffer overflow in mpjbuf reserve");
+  std::byte* p = storage_.storage_address(write_pos_);
+  write_pos_ += bytes;
+  return p;
+}
+
+const std::byte* Buffer::consume(std::size_t bytes) {
+  JHPC_REQUIRE(is_valid(), "consume() on freed buffer");
+  JHPC_REQUIRE(read_pos_ + bytes <= write_pos_,
+               "buffer underflow in mpjbuf consume");
+  const std::byte* p = storage_.storage_address(read_pos_);
+  read_pos_ += bytes;
+  return p;
+}
+
+void Buffer::put_section_header(SectionType type, std::size_t num_els) {
+  JHPC_REQUIRE(is_valid(), "put_section_header on freed buffer");
+  JHPC_REQUIRE(write_pos_ + 9 <= storage_.capacity(),
+               "buffer overflow writing section header");
+  std::byte* dst = storage_.storage_address(write_pos_);
+  dst[0] = static_cast<std::byte>(type);
+  jhpc::store_ordered<std::uint64_t>(dst + 1,
+                                     static_cast<std::uint64_t>(num_els),
+                                     encoding_);
+  write_pos_ += 9;
+  last_section_els_ = num_els;
+}
+
+SectionType Buffer::get_section_header(std::size_t* num_els) {
+  JHPC_REQUIRE(is_valid(), "get_section_header on freed buffer");
+  JHPC_REQUIRE(read_pos_ + 9 <= write_pos_,
+               "buffer underflow reading section header");
+  const std::byte* src = storage_.storage_address(read_pos_);
+  const auto type = static_cast<SectionType>(src[0]);
+  const auto els = static_cast<std::size_t>(
+      jhpc::load_ordered<std::uint64_t>(src + 1, encoding_));
+  read_pos_ += 9;
+  if (num_els != nullptr) *num_els = els;
+  last_section_els_ = els;
+  return type;
+}
+
+void Buffer::commit() {
+  JHPC_REQUIRE(is_valid(), "commit() on freed buffer");
+  read_pos_ = 0;
+}
+
+void Buffer::notify_native_write(std::size_t bytes) {
+  JHPC_REQUIRE(is_valid(), "notify_native_write() on freed buffer");
+  JHPC_REQUIRE(bytes <= storage_.capacity(),
+               "native wrote past the staging buffer capacity");
+  write_pos_ = bytes;
+  read_pos_ = 0;
+}
+
+void Buffer::clear() {
+  JHPC_REQUIRE(is_valid(), "clear() on freed buffer");
+  write_pos_ = 0;
+  read_pos_ = 0;
+  last_section_els_ = 0;
+}
+
+void Buffer::free() {
+  JHPC_REQUIRE(is_valid(), "double free of mpjbuf buffer");
+  BufferFactory* f = factory_;
+  factory_ = nullptr;
+  f->give_back(std::move(storage_));
+  storage_ = minijvm::ByteBuffer{};
+  write_pos_ = read_pos_ = 0;
+}
+
+// Explicit instantiations for the eight Java primitive types.
+#define JHPC_MPJBUF_INSTANTIATE(T)                                          \
+  template void Buffer::write<T>(const JArray<T>&, std::size_t,             \
+                                 std::size_t);                              \
+  template void Buffer::write<T>(const T*, std::size_t);                    \
+  template void Buffer::read<T>(JArray<T>&, std::size_t, std::size_t);      \
+  template void Buffer::read<T>(T*, std::size_t);
+
+JHPC_MPJBUF_INSTANTIATE(minijvm::jbyte)
+JHPC_MPJBUF_INSTANTIATE(minijvm::jboolean)
+JHPC_MPJBUF_INSTANTIATE(minijvm::jchar)
+JHPC_MPJBUF_INSTANTIATE(minijvm::jshort)
+JHPC_MPJBUF_INSTANTIATE(minijvm::jint)
+JHPC_MPJBUF_INSTANTIATE(minijvm::jlong)
+JHPC_MPJBUF_INSTANTIATE(minijvm::jfloat)
+JHPC_MPJBUF_INSTANTIATE(minijvm::jdouble)
+#undef JHPC_MPJBUF_INSTANTIATE
+
+}  // namespace jhpc::mpjbuf

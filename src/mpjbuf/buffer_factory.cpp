@@ -1,0 +1,75 @@
+#include "jhpc/mpjbuf/buffer_factory.hpp"
+
+#include <algorithm>
+
+#include "jhpc/support/env.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::mpjbuf {
+
+FactoryConfig FactoryConfig::from_env() {
+  FactoryConfig cfg;
+  cfg.min_capacity = static_cast<std::size_t>(
+      env_int64("JHPC_POOL_MIN_CAPACITY",
+                static_cast<std::int64_t>(cfg.min_capacity)));
+  cfg.max_pooled_buffers = static_cast<std::size_t>(
+      env_int64("JHPC_POOL_MAX_BUFFERS",
+                static_cast<std::int64_t>(cfg.max_pooled_buffers)));
+  return cfg;
+}
+
+BufferFactory::BufferFactory(FactoryConfig config) : config_(config) {
+  JHPC_REQUIRE(config_.min_capacity >= 64, "pool min_capacity too small");
+}
+
+std::size_t BufferFactory::size_class(std::size_t bytes,
+                                      std::size_t min_capacity) {
+  std::size_t cls = min_capacity;
+  while (cls < bytes) cls <<= 1;
+  return cls;
+}
+
+Buffer BufferFactory::get(std::size_t min_bytes) {
+  const std::size_t want = size_class(min_bytes, config_.min_capacity);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.requests;
+    // Smallest pooled buffer that fits.
+    auto best = pool_.end();
+    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+      if (it->capacity() >= want &&
+          (best == pool_.end() || it->capacity() < best->capacity())) {
+        best = it;
+      }
+    }
+    if (best != pool_.end()) {
+      ++stats_.pool_hits;
+      minijvm::ByteBuffer storage = std::move(*best);
+      pool_.erase(best);
+      stats_.pooled_now = pool_.size();
+      return Buffer(this, std::move(storage));
+    }
+    ++stats_.pool_misses;
+  }
+  // Miss: create a fresh direct buffer (outside the lock — creation is
+  // the expensive part the pool exists to avoid).
+  return Buffer(this, minijvm::ByteBuffer::allocate_direct(want));
+}
+
+void BufferFactory::give_back(minijvm::ByteBuffer storage) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.returned;
+  if (pool_.size() >= config_.max_pooled_buffers) {
+    ++stats_.dropped;
+    return;  // storage destroyed here (direct memory released)
+  }
+  pool_.push_back(std::move(storage));
+  stats_.pooled_now = pool_.size();
+}
+
+BufferFactory::Stats BufferFactory::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace jhpc::mpjbuf

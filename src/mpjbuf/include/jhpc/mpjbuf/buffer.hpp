@@ -1,0 +1,156 @@
+// The mpjbuf buffering layer (paper Section IV-A, Listing 1).
+//
+// Inspired by MPJ Express: a pool of direct ByteBuffers used as staging
+// storage so that communicating Java arrays does not allocate a fresh
+// direct buffer per message. A Buffer is a typed, sectioned view over one
+// pooled direct ByteBuffer:
+//
+//   write(src, srcOff, numEls)  — copy from a Java array into the buffer
+//   read(dst, dstOff, numEls)   — copy out into a Java array
+//   put_section_header / get_section_header — multiple typed sections
+//   set/get encoding            — byte order of the staged data
+//   commit / clear / free       — lifecycle
+//
+// write/read use the element type's natural width and the configured
+// encoding; when the encoding matches the native order the copy is a
+// straight memcpy (the fast path a real implementation would take).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "jhpc/minijvm/bytebuffer.hpp"
+#include "jhpc/minijvm/jarray.hpp"
+#include "jhpc/minijvm/jtypes.hpp"
+#include "jhpc/support/byte_order.hpp"
+
+namespace jhpc::mpjbuf {
+
+using minijvm::JArray;
+using minijvm::JavaPrimitive;
+
+/// Element type tag stored in section headers.
+enum class SectionType : std::uint8_t {
+  kUndefined = 0,
+  kByte,
+  kBoolean,
+  kChar,
+  kShort,
+  kInt,
+  kLong,
+  kFloat,
+  kDouble,
+};
+
+/// Map a Java primitive to its section tag.
+template <JavaPrimitive T>
+constexpr SectionType section_type_of();
+
+class BufferFactory;
+
+/// A staging buffer backed by a pooled direct ByteBuffer.
+///
+/// Buffers are created by a BufferFactory and returned to its pool by
+/// free() (or the destructor). The usable payload capacity is fixed at
+/// creation.
+class Buffer {
+ public:
+  Buffer() = default;
+  ~Buffer();
+  Buffer(Buffer&&) noexcept;
+  Buffer& operator=(Buffer&&) noexcept;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  bool is_valid() const { return factory_ != nullptr; }
+  std::size_t capacity() const;
+  /// Bytes staged so far (the write cursor).
+  std::size_t size() const;
+
+  // --- Typed bulk copies (the paper's write()/read()) ----------------------
+  /// Append `num_els` elements from `source[src_off...]`.
+  template <JavaPrimitive T>
+  void write(const JArray<T>& source, std::size_t src_off,
+             std::size_t num_els);
+  /// Append from a raw native array (used by the bindings' native side).
+  template <JavaPrimitive T>
+  void write(const T* source, std::size_t num_els);
+  /// Consume `num_els` elements into `dest[dst_off...]`.
+  template <JavaPrimitive T>
+  void read(JArray<T>& dest, std::size_t dst_off, std::size_t num_els);
+  template <JavaPrimitive T>
+  void read(T* dest, std::size_t num_els);
+
+  // --- Native-side cursor access ---------------------------------------------
+  /// Reserve `bytes` at the write cursor for direct filling (e.g. a
+  /// derived-datatype pack) and advance it; returns the stable pointer.
+  std::byte* reserve(std::size_t bytes);
+  /// Consume `bytes` at the read cursor (e.g. a derived-datatype unpack)
+  /// and advance it; returns the stable pointer.
+  const std::byte* consume(std::size_t bytes);
+
+  // --- Sections -------------------------------------------------------------
+  /// Begin a typed section at the write cursor (one header byte + element
+  /// count), so one buffer can stage several arrays of different types.
+  void put_section_header(SectionType type, std::size_t num_els);
+  /// Read a section header at the read cursor.
+  SectionType get_section_header(std::size_t* num_els);
+  /// Size of the most recently written section header's payload.
+  std::size_t get_section_size() const { return last_section_els_; }
+  void set_section_size(std::size_t els) { last_section_els_ = els; }
+
+  // --- Encoding ----------------------------------------------------------------
+  void set_encoding(jhpc::ByteOrder order) { encoding_ = order; }
+  jhpc::ByteOrder get_encoding() const { return encoding_; }
+
+  // --- Lifecycle ------------------------------------------------------------------
+  /// Freeze the staged bytes and rewind the read cursor (sender side
+  /// hand-off point to the native layer).
+  void commit();
+  /// Receiver-side hand-off: the native layer deposited `bytes` directly
+  /// into the backing storage; make them readable from the start.
+  void notify_native_write(std::size_t bytes);
+  /// Reset both cursors, keep the storage.
+  void clear();
+  /// Return the storage to the factory pool; the Buffer becomes invalid.
+  void free();
+
+  /// The backing direct storage (stable address) for the native side.
+  std::byte* native_address() const;
+  /// Direct view of the staged bytes (for the JNI layer).
+  const minijvm::ByteBuffer& backing() const { return storage_; }
+
+ private:
+  friend class BufferFactory;
+  Buffer(BufferFactory* factory, minijvm::ByteBuffer storage);
+
+  template <typename T>
+  void write_impl(const T* src, std::size_t num_els);
+  template <typename T>
+  void read_impl(T* dst, std::size_t num_els);
+
+  BufferFactory* factory_ = nullptr;
+  minijvm::ByteBuffer storage_;
+  std::size_t write_pos_ = 0;
+  std::size_t read_pos_ = 0;
+  std::size_t last_section_els_ = 0;
+  jhpc::ByteOrder encoding_ = jhpc::native_order();
+};
+
+template <JavaPrimitive T>
+constexpr SectionType section_type_of() {
+  if constexpr (std::is_same_v<T, minijvm::jbyte>) return SectionType::kByte;
+  if constexpr (std::is_same_v<T, minijvm::jboolean>)
+    return SectionType::kBoolean;
+  if constexpr (std::is_same_v<T, minijvm::jchar>) return SectionType::kChar;
+  if constexpr (std::is_same_v<T, minijvm::jshort>)
+    return SectionType::kShort;
+  if constexpr (std::is_same_v<T, minijvm::jint>) return SectionType::kInt;
+  if constexpr (std::is_same_v<T, minijvm::jlong>) return SectionType::kLong;
+  if constexpr (std::is_same_v<T, minijvm::jfloat>)
+    return SectionType::kFloat;
+  if constexpr (std::is_same_v<T, minijvm::jdouble>)
+    return SectionType::kDouble;
+}
+
+}  // namespace jhpc::mpjbuf

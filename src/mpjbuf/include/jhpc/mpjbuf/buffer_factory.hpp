@@ -1,0 +1,71 @@
+// The pool behind the buffering layer.
+//
+// "The buffering layer dynamically maintains a pool of direct ByteBuffers
+//  ... The proposed buffering layer avoids the overhead of creating a
+//  ByteBuffer every time a message comprising of Java arrays is
+//  communicated." (paper, Section IV-A)
+//
+// Buffers are size-classed to powers of two; get() returns the smallest
+// pooled buffer that fits or allocates a fresh direct buffer on a miss.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "jhpc/minijvm/bytebuffer.hpp"
+#include "jhpc/mpjbuf/buffer.hpp"
+
+namespace jhpc::mpjbuf {
+
+/// Pool configuration (env-overridable).
+struct FactoryConfig {
+  /// Smallest buffer the pool hands out; requests below are rounded up.
+  std::size_t min_capacity = 16 * 1024;
+  /// Pool retention cap; buffers freed beyond this are dropped (their
+  /// direct storage is released).
+  std::size_t max_pooled_buffers = 64;
+
+  /// Read JHPC_POOL_MIN_CAPACITY / JHPC_POOL_MAX_BUFFERS.
+  static FactoryConfig from_env();
+};
+
+/// Factory + pool of direct staging buffers.
+///
+/// Thread-safe: in the bindings each rank owns one factory, but nothing
+/// prevents sharing. Buffers must not outlive their factory.
+class BufferFactory {
+ public:
+  explicit BufferFactory(FactoryConfig config = FactoryConfig::from_env());
+
+  /// Obtain a staging buffer with capacity >= min_bytes. Pool hit: reuse;
+  /// miss: allocate a fresh direct ByteBuffer (costly, by design).
+  Buffer get(std::size_t min_bytes);
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t pool_misses = 0;  ///< fresh direct allocations
+    std::uint64_t returned = 0;
+    std::uint64_t dropped = 0;      ///< freed past the retention cap
+    std::size_t pooled_now = 0;
+  };
+  Stats stats() const;
+
+  const FactoryConfig& config() const { return config_; }
+
+ private:
+  friend class Buffer;
+  /// Called by Buffer::free()/~Buffer to return storage to the pool.
+  void give_back(minijvm::ByteBuffer storage);
+
+  static std::size_t size_class(std::size_t bytes, std::size_t min_capacity);
+
+  FactoryConfig config_;
+  mutable std::mutex mu_;
+  std::vector<minijvm::ByteBuffer> pool_;
+  Stats stats_;
+};
+
+}  // namespace jhpc::mpjbuf

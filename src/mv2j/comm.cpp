@@ -1,0 +1,347 @@
+// ByteBuffer paths and communicator management of the MVAPICH2-J
+// bindings. This is the paper's Figure 4 pipeline: reference in, one JNI
+// crossing, GetDirectBufferAddress, native MPI call on the raw pointer.
+#include "jhpc/mv2j/comm.hpp"
+
+#include "jhpc/minijvm/jni.hpp"
+#include "jhpc/mv2j/env.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::mv2j {
+
+namespace {
+std::size_t payload_bytes(int count, const Datatype& type) {
+  JHPC_REQUIRE(count >= 0, "negative element count");
+  if (!type.isBasic()) {
+    // Derived datatypes need the gather/scatter of the buffering layer;
+    // the direct-ByteBuffer path is a raw pointer hand-off.
+    throw UnsupportedOperationError(
+        "derived datatypes are only supported with the Java-array API "
+        "(they are packed through the buffering layer)");
+  }
+  return static_cast<std::size_t>(count) * type.size();
+}
+}  // namespace
+
+std::byte* Comm::buffer_address(const ByteBuffer& buf, std::size_t bytes,
+                                const char* what) const {
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  void* p = jni.get_direct_buffer_address(buf);
+  if (p == nullptr) {
+    throw UnsupportedOperationError(
+        std::string(what) +
+        ": the bindings require a direct ByteBuffer (heap buffers have no "
+        "stable native address)");
+  }
+  JHPC_REQUIRE(bytes <= jni.get_direct_buffer_capacity(buf),
+               std::string(what) + ": count exceeds buffer capacity");
+  return static_cast<std::byte*>(p);
+}
+
+// --- Point-to-point: ByteBuffer ------------------------------------------------
+
+void Comm::send(const ByteBuffer& buf, int count, const Datatype& type,
+                int dest, int tag) const {
+  JHPC_REQUIRE(valid(), "send on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* p = buffer_address(buf, bytes, "send");
+  native_.send(p, bytes, dest, tag);
+}
+
+Status Comm::recv(ByteBuffer& buf, int count, const Datatype& type,
+                  int source, int tag) const {
+  JHPC_REQUIRE(valid(), "recv on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  std::byte* p = buffer_address(buf, bytes, "recv");
+  minimpi::Status st;
+  native_.recv(p, bytes, source, tag, &st);
+  return Status(st);
+}
+
+Request Comm::iSend(const ByteBuffer& buf, int count, const Datatype& type,
+                    int dest, int tag) const {
+  JHPC_REQUIRE(valid(), "iSend on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* p = buffer_address(buf, bytes, "iSend");
+  return Request(native_.isend(p, bytes, dest, tag), nullptr);
+}
+
+Request Comm::iRecv(ByteBuffer& buf, int count, const Datatype& type,
+                    int source, int tag) const {
+  JHPC_REQUIRE(valid(), "iRecv on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  std::byte* p = buffer_address(buf, bytes, "iRecv");
+  return Request(native_.irecv(p, bytes, source, tag), nullptr);
+}
+
+Status Comm::sendRecv(const ByteBuffer& sendbuf, int sendcount,
+                      const Datatype& sendtype, int dest, int sendtag,
+                      ByteBuffer& recvbuf, int recvcount,
+                      const Datatype& recvtype, int source,
+                      int recvtag) const {
+  JHPC_REQUIRE(valid(), "sendRecv on invalid communicator");
+  const std::size_t sbytes = payload_bytes(sendcount, sendtype);
+  const std::size_t rbytes = payload_bytes(recvcount, recvtype);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, sbytes, "sendRecv");
+  std::byte* rp = buffer_address(recvbuf, rbytes, "sendRecv");
+  minimpi::Status st;
+  native_.sendrecv(sp, sbytes, dest, sendtag, rp, rbytes, source, recvtag,
+                   &st);
+  return Status(st);
+}
+
+Status Comm::probe(int source, int tag) const {
+  JHPC_REQUIRE(valid(), "probe on invalid communicator");
+  env_->jvm_->jni().crossing();
+  return Status(native_.probe(source, tag));
+}
+
+bool Comm::iProbe(int source, int tag, Status* status) const {
+  JHPC_REQUIRE(valid(), "iProbe on invalid communicator");
+  env_->jvm_->jni().crossing();
+  minimpi::Status st;
+  if (!native_.iprobe(source, tag, &st)) return false;
+  if (status != nullptr) *status = Status(st);
+  return true;
+}
+
+// --- Blocking collectives: ByteBuffer ------------------------------------------
+
+void Comm::barrier() const {
+  JHPC_REQUIRE(valid(), "barrier on invalid communicator");
+  env_->jvm_->jni().crossing();
+  native_.barrier();
+}
+
+void Comm::bcast(ByteBuffer& buf, int count, const Datatype& type,
+                 int root) const {
+  JHPC_REQUIRE(valid(), "bcast on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  std::byte* p = buffer_address(buf, bytes, "bcast");
+  native_.bcast(p, bytes, root);
+}
+
+void Comm::reduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
+                  const Datatype& type, const Op& op, int root) const {
+  JHPC_REQUIRE(valid(), "reduce on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "reduce");
+  // Non-root ranks may pass any recv buffer; only the root's is written.
+  std::byte* rp = getRank() == root
+                      ? buffer_address(recvbuf, bytes, "reduce")
+                      : buffer_address(recvbuf, 0, "reduce");
+  native_.reduce(sp, rp, static_cast<std::size_t>(count), type.kind(),
+                 op.native(), root);
+}
+
+void Comm::allReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf,
+                     int count, const Datatype& type, const Op& op) const {
+  JHPC_REQUIRE(valid(), "allReduce on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "allReduce");
+  std::byte* rp = buffer_address(recvbuf, bytes, "allReduce");
+  native_.allreduce(sp, rp, static_cast<std::size_t>(count), type.kind(),
+                    op.native());
+}
+
+void Comm::reduceScatterBlock(const ByteBuffer& sendbuf,
+                              ByteBuffer& recvbuf, int recvcount,
+                              const Datatype& type, const Op& op) const {
+  JHPC_REQUIRE(valid(), "reduceScatterBlock on invalid communicator");
+  const std::size_t block = payload_bytes(recvcount, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(
+      sendbuf, block * static_cast<std::size_t>(getSize()),
+      "reduceScatterBlock");
+  std::byte* rp = buffer_address(recvbuf, block, "reduceScatterBlock");
+  native_.reduce_scatter_block(sp, rp,
+                               static_cast<std::size_t>(recvcount),
+                               type.kind(), op.native());
+}
+
+void Comm::scan(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
+                const Datatype& type, const Op& op) const {
+  JHPC_REQUIRE(valid(), "scan on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "scan");
+  std::byte* rp = buffer_address(recvbuf, bytes, "scan");
+  native_.scan(sp, rp, static_cast<std::size_t>(count), type.kind(),
+               op.native());
+}
+
+void Comm::gather(const ByteBuffer& sendbuf, int count, const Datatype& type,
+                  ByteBuffer& recvbuf, int root) const {
+  JHPC_REQUIRE(valid(), "gather on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "gather");
+  std::byte* rp =
+      getRank() == root
+          ? buffer_address(recvbuf,
+                           bytes * static_cast<std::size_t>(getSize()),
+                           "gather")
+          : nullptr;
+  native_.gather(sp, bytes, rp, root);
+}
+
+void Comm::scatter(const ByteBuffer& sendbuf, int count,
+                   const Datatype& type, ByteBuffer& recvbuf,
+                   int root) const {
+  JHPC_REQUIRE(valid(), "scatter on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp =
+      getRank() == root
+          ? buffer_address(sendbuf,
+                           bytes * static_cast<std::size_t>(getSize()),
+                           "scatter")
+          : nullptr;
+  std::byte* rp = buffer_address(recvbuf, bytes, "scatter");
+  native_.scatter(sp, bytes, rp, root);
+}
+
+void Comm::allGather(const ByteBuffer& sendbuf, int count,
+                     const Datatype& type, ByteBuffer& recvbuf) const {
+  JHPC_REQUIRE(valid(), "allGather on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "allGather");
+  std::byte* rp = buffer_address(
+      recvbuf, bytes * static_cast<std::size_t>(getSize()), "allGather");
+  native_.allgather(sp, bytes, rp);
+}
+
+void Comm::allToAll(const ByteBuffer& sendbuf, int count,
+                    const Datatype& type, ByteBuffer& recvbuf) const {
+  JHPC_REQUIRE(valid(), "allToAll on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  const auto total = bytes * static_cast<std::size_t>(getSize());
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, total, "allToAll");
+  std::byte* rp = buffer_address(recvbuf, total, "allToAll");
+  native_.alltoall(sp, bytes, rp);
+}
+
+// --- Vectored collectives: ByteBuffer -------------------------------------------
+
+namespace {
+// Convert element counts/displacements to byte vectors.
+void to_bytes(std::span<const int> in, std::size_t el,
+              std::vector<std::size_t>* out) {
+  out->clear();
+  out->reserve(in.size());
+  for (int v : in) {
+    JHPC_REQUIRE(v >= 0, "negative count/displacement");
+    out->push_back(static_cast<std::size_t>(v) * el);
+  }
+}
+}  // namespace
+
+void Comm::gatherv(const ByteBuffer& sendbuf, int sendcount,
+                   const Datatype& type, ByteBuffer& recvbuf,
+                   std::span<const int> recvcounts,
+                   std::span<const int> displs, int root) const {
+  JHPC_REQUIRE(valid(), "gatherv on invalid communicator");
+  const std::size_t sbytes = payload_bytes(sendcount, type);
+  std::vector<std::size_t> counts, offs;
+  to_bytes(recvcounts, type.size(), &counts);
+  to_bytes(displs, type.size(), &offs);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, sbytes, "gatherv");
+  std::byte* rp = nullptr;
+  if (getRank() == root) {
+    std::size_t span_end = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      span_end = std::max(span_end, offs[i] + counts[i]);
+    rp = buffer_address(recvbuf, span_end, "gatherv");
+  }
+  native_.gatherv(sp, sbytes, rp, counts, offs, root);
+}
+
+void Comm::scatterv(const ByteBuffer& sendbuf,
+                    std::span<const int> sendcounts,
+                    std::span<const int> displs, const Datatype& type,
+                    ByteBuffer& recvbuf, int recvcount, int root) const {
+  JHPC_REQUIRE(valid(), "scatterv on invalid communicator");
+  const std::size_t rbytes = payload_bytes(recvcount, type);
+  std::vector<std::size_t> counts, offs;
+  to_bytes(sendcounts, type.size(), &counts);
+  to_bytes(displs, type.size(), &offs);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = nullptr;
+  if (getRank() == root) {
+    std::size_t span_end = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      span_end = std::max(span_end, offs[i] + counts[i]);
+    sp = buffer_address(sendbuf, span_end, "scatterv");
+  }
+  std::byte* rp = buffer_address(recvbuf, rbytes, "scatterv");
+  native_.scatterv(sp, counts, offs, rp, rbytes, root);
+}
+
+void Comm::allGatherv(const ByteBuffer& sendbuf, int sendcount,
+                      const Datatype& type, ByteBuffer& recvbuf,
+                      std::span<const int> recvcounts,
+                      std::span<const int> displs) const {
+  JHPC_REQUIRE(valid(), "allGatherv on invalid communicator");
+  const std::size_t sbytes = payload_bytes(sendcount, type);
+  std::vector<std::size_t> counts, offs;
+  to_bytes(recvcounts, type.size(), &counts);
+  to_bytes(displs, type.size(), &offs);
+  std::size_t span_end = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    span_end = std::max(span_end, offs[i] + counts[i]);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, sbytes, "allGatherv");
+  std::byte* rp = buffer_address(recvbuf, span_end, "allGatherv");
+  native_.allgatherv(sp, sbytes, rp, counts, offs);
+}
+
+void Comm::allToAllv(const ByteBuffer& sendbuf,
+                     std::span<const int> sendcounts,
+                     std::span<const int> sdispls, const Datatype& type,
+                     ByteBuffer& recvbuf, std::span<const int> recvcounts,
+                     std::span<const int> rdispls) const {
+  JHPC_REQUIRE(valid(), "allToAllv on invalid communicator");
+  std::vector<std::size_t> sc, so, rc, ro;
+  to_bytes(sendcounts, type.size(), &sc);
+  to_bytes(sdispls, type.size(), &so);
+  to_bytes(recvcounts, type.size(), &rc);
+  to_bytes(rdispls, type.size(), &ro);
+  std::size_t s_end = 0, r_end = 0;
+  for (std::size_t i = 0; i < sc.size(); ++i)
+    s_end = std::max(s_end, so[i] + sc[i]);
+  for (std::size_t i = 0; i < rc.size(); ++i)
+    r_end = std::max(r_end, ro[i] + rc[i]);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, s_end, "allToAllv");
+  std::byte* rp = buffer_address(recvbuf, r_end, "allToAllv");
+  native_.alltoallv(sp, sc, so, rp, rc, ro);
+}
+
+// --- Communicator management ------------------------------------------------------
+
+Comm Comm::dup() const {
+  JHPC_REQUIRE(valid(), "dup on invalid communicator");
+  env_->jvm_->jni().crossing();
+  return Comm(env_, native_.dup());
+}
+
+Comm Comm::split(int color, int key) const {
+  JHPC_REQUIRE(valid(), "split on invalid communicator");
+  env_->jvm_->jni().crossing();
+  minimpi::Comm sub = native_.split(color, key);
+  if (!sub.valid()) return Comm{};
+  return Comm(env_, sub);
+}
+
+}  // namespace jhpc::mv2j

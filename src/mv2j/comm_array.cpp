@@ -1,0 +1,564 @@
+// Java-array paths of the MVAPICH2-J bindings: the paper's Figure 3
+// pipeline, built on the mpjbuf buffering layer.
+//
+//   1. acquire a pooled direct staging buffer,
+//   2. bulk-copy the Java array onto it (mpjbuf write),
+//   3. one JNI crossing with the staging buffer reference,
+//   4. native MPI call on the staging buffer's stable pointer,
+//   (receive side mirrors with mpjbuf read).
+//
+// Because the staging buffer can outlive the call inside a Request, the
+// same pipeline supports non-blocking operations — the capability the
+// Open MPI Java bindings lack for arrays.
+#include <memory>
+
+#include "jhpc/minijvm/jni.hpp"
+#include "jhpc/mv2j/comm.hpp"
+#include "jhpc/mv2j/env.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::mv2j {
+
+namespace {
+
+/// Validate an (offset, count, type) triple against a backing array.
+/// Works for basic and derived datatypes: the span check uses the type's
+/// extent (slightly conservative for trailing strided gaps).
+template <minijvm::JavaPrimitive T>
+void check_args(const JArray<T>& buf, std::size_t offset, int count,
+                const Datatype& type, const char* what) {
+  JHPC_REQUIRE(count >= 0, std::string(what) + ": negative count");
+  JHPC_REQUIRE(kind_of<T>() == type.leafKind(),
+               std::string(what) + ": datatype does not match array type");
+  const std::size_t span_bytes =
+      offset * sizeof(T) + static_cast<std::size_t>(count) * type.extent();
+  JHPC_REQUIRE(span_bytes <= buf.length() * sizeof(T),
+               std::string(what) + ": offset+count exceeds array length");
+}
+
+template <minijvm::JavaPrimitive T>
+void check_args(const JArray<T>& buf, int count, const Datatype& type,
+                const char* what) {
+  check_args(buf, 0, count, type, what);
+}
+
+/// Payload bytes carried by `count` elements of `type`.
+std::size_t payload_of(int count, const Datatype& type) {
+  return static_cast<std::size_t>(count) * type.size();
+}
+
+/// Copy `count` elements of `type` starting at element `offset` of `buf`
+/// onto the staging buffer (Figure 3 step 2). Basic types take the bulk
+/// path; derived types are packed element by element (the gather the
+/// buffering layer exists for).
+template <minijvm::JavaPrimitive T>
+void stage_in(mpjbuf::Buffer& stage, const JArray<T>& buf,
+              std::size_t offset, int count, const Datatype& type) {
+  if (type.isBasic()) {
+    stage.write(buf, offset, static_cast<std::size_t>(count));
+  } else {
+    type.native().pack(buf.raw_address() + offset * sizeof(T),
+                       stage.reserve(payload_of(count, type)), count);
+  }
+  stage.commit();
+}
+
+/// Inverse of stage_in: scatter `bytes` of staged payload back into the
+/// array at element `offset`.
+template <minijvm::JavaPrimitive T>
+void stage_out(mpjbuf::Buffer& stage, JArray<T>& buf, std::size_t offset,
+               const Datatype& type, std::size_t bytes) {
+  stage.notify_native_write(bytes);
+  if (type.isBasic()) {
+    stage.read(buf, offset, bytes / sizeof(T));
+  } else {
+    const auto count = static_cast<int>(bytes / type.size());
+    type.native().unpack(stage.consume(bytes),
+                         buf.raw_address() + offset * sizeof(T), count);
+  }
+}
+
+}  // namespace
+
+// --- Point-to-point ----------------------------------------------------------
+
+template <JavaPrimitive T>
+void Comm::send(const JArray<T>& buf, int offset, int count,
+                const Datatype& type, int dest, int tag) const {
+  JHPC_REQUIRE(valid(), "send on invalid communicator");
+  JHPC_REQUIRE(offset >= 0, "send: negative offset");
+  check_args(buf, static_cast<std::size_t>(offset), count, type, "send");
+  const std::size_t bytes = payload_of(count, type);
+  mpjbuf::Buffer stage = env_->pool_->get(bytes);            // step 1
+  stage_in(stage, buf, static_cast<std::size_t>(offset), count, type);
+  env_->jvm_->jni().crossing();                              // step 3
+  native_.send(stage.native_address(), bytes, dest, tag);    // step 4
+}
+
+template <JavaPrimitive T>
+void Comm::send(const JArray<T>& buf, int count, const Datatype& type,
+                int dest, int tag) const {
+  send(buf, 0, count, type, dest, tag);
+}
+
+template <JavaPrimitive T>
+Status Comm::recv(JArray<T>& buf, int offset, int count,
+                  const Datatype& type, int source, int tag) const {
+  JHPC_REQUIRE(valid(), "recv on invalid communicator");
+  JHPC_REQUIRE(offset >= 0, "recv: negative offset");
+  check_args(buf, static_cast<std::size_t>(offset), count, type, "recv");
+  const std::size_t bytes = payload_of(count, type);
+  mpjbuf::Buffer stage = env_->pool_->get(bytes);
+  env_->jvm_->jni().crossing();
+  minimpi::Status st;
+  native_.recv(stage.native_address(), bytes, source, tag, &st);
+  stage_out(stage, buf, static_cast<std::size_t>(offset), type,
+            st.count_bytes);
+  return Status(st);
+}
+
+template <JavaPrimitive T>
+Status Comm::recv(JArray<T>& buf, int count, const Datatype& type,
+                  int source, int tag) const {
+  return recv(buf, 0, count, type, source, tag);
+}
+
+template <JavaPrimitive T>
+Request Comm::iSend(const JArray<T>& buf, int offset, int count,
+                    const Datatype& type, int dest, int tag) const {
+  JHPC_REQUIRE(valid(), "iSend on invalid communicator");
+  JHPC_REQUIRE(offset >= 0, "iSend: negative offset");
+  check_args(buf, static_cast<std::size_t>(offset), count, type, "iSend");
+  const std::size_t bytes = payload_of(count, type);
+  auto stage = std::make_shared<mpjbuf::Buffer>(env_->pool_->get(bytes));
+  stage_in(*stage, buf, static_cast<std::size_t>(offset), count, type);
+  env_->jvm_->jni().crossing();
+  minimpi::Request r =
+      native_.isend(stage->native_address(), bytes, dest, tag);
+  auto completion = std::make_shared<Request::CompletionState>();
+  // Nothing to copy back; the completion merely keeps the staging buffer
+  // alive until the native send no longer needs it.
+  completion->on_complete = [stage](const minimpi::Status&) {};
+  return Request(std::move(r), std::move(completion));
+}
+
+template <JavaPrimitive T>
+Request Comm::iSend(const JArray<T>& buf, int count, const Datatype& type,
+                    int dest, int tag) const {
+  return iSend(buf, 0, count, type, dest, tag);
+}
+
+template <JavaPrimitive T>
+Request Comm::iRecv(JArray<T>& buf, int offset, int count,
+                    const Datatype& type, int source, int tag) const {
+  JHPC_REQUIRE(valid(), "iRecv on invalid communicator");
+  JHPC_REQUIRE(offset >= 0, "iRecv: negative offset");
+  check_args(buf, static_cast<std::size_t>(offset), count, type, "iRecv");
+  const std::size_t bytes = payload_of(count, type);
+  auto stage = std::make_shared<mpjbuf::Buffer>(env_->pool_->get(bytes));
+  env_->jvm_->jni().crossing();
+  minimpi::Request r =
+      native_.irecv(stage->native_address(), bytes, source, tag);
+  auto completion = std::make_shared<Request::CompletionState>();
+  JArray<T> target = buf;  // shared handle: keeps the array alive
+  const auto off = static_cast<std::size_t>(offset);
+  const Datatype dt = type;
+  completion->on_complete = [stage, target, off,
+                             dt](const minimpi::Status& st) mutable {
+    stage_out(*stage, target, off, dt, st.count_bytes);
+  };
+  return Request(std::move(r), std::move(completion));
+}
+
+template <JavaPrimitive T>
+Request Comm::iRecv(JArray<T>& buf, int count, const Datatype& type,
+                    int source, int tag) const {
+  return iRecv(buf, 0, count, type, source, tag);
+}
+
+// --- Blocking collectives -------------------------------------------------------
+
+template <JavaPrimitive T>
+void Comm::bcast(JArray<T>& buf, int count, const Datatype& type,
+                 int root) const {
+  JHPC_REQUIRE(valid(), "bcast on invalid communicator");
+  check_args(buf, count, type, "bcast");
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+  mpjbuf::Buffer stage = env_->pool_->get(bytes);
+  if (getRank() == root) {
+    stage.write(buf, 0, static_cast<std::size_t>(count));
+    stage.commit();
+  }
+  env_->jvm_->jni().crossing();
+  native_.bcast(stage.native_address(), bytes, root);
+  if (getRank() != root) {
+    stage.notify_native_write(bytes);
+    stage.read(buf, 0, static_cast<std::size_t>(count));
+  }
+}
+
+template <JavaPrimitive T>
+void Comm::reduce(const JArray<T>& sendbuf, JArray<T>& recvbuf, int count,
+                  const Datatype& type, const Op& op, int root) const {
+  JHPC_REQUIRE(valid(), "reduce on invalid communicator");
+  check_args(sendbuf, count, type, "reduce");
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+  mpjbuf::Buffer sstage = env_->pool_->get(bytes);
+  mpjbuf::Buffer rstage = env_->pool_->get(bytes);
+  sstage.write(sendbuf, 0, static_cast<std::size_t>(count));
+  sstage.commit();
+  env_->jvm_->jni().crossing();
+  native_.reduce(sstage.native_address(), rstage.native_address(),
+                 static_cast<std::size_t>(count), type.kind(), op.native(),
+                 root);
+  if (getRank() == root) {
+    check_args(recvbuf, count, type, "reduce(recv)");
+    rstage.notify_native_write(bytes);
+    rstage.read(recvbuf, 0, static_cast<std::size_t>(count));
+  }
+}
+
+template <JavaPrimitive T>
+void Comm::allReduce(const JArray<T>& sendbuf, JArray<T>& recvbuf, int count,
+                     const Datatype& type, const Op& op) const {
+  JHPC_REQUIRE(valid(), "allReduce on invalid communicator");
+  check_args(sendbuf, count, type, "allReduce");
+  check_args(recvbuf, count, type, "allReduce(recv)");
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+  mpjbuf::Buffer sstage = env_->pool_->get(bytes);
+  mpjbuf::Buffer rstage = env_->pool_->get(bytes);
+  sstage.write(sendbuf, 0, static_cast<std::size_t>(count));
+  sstage.commit();
+  env_->jvm_->jni().crossing();
+  native_.allreduce(sstage.native_address(), rstage.native_address(),
+                    static_cast<std::size_t>(count), type.kind(),
+                    op.native());
+  rstage.notify_native_write(bytes);
+  rstage.read(recvbuf, 0, static_cast<std::size_t>(count));
+}
+
+template <JavaPrimitive T>
+void Comm::reduceScatterBlock(const JArray<T>& sendbuf, JArray<T>& recvbuf,
+                              int recvcount, const Datatype& type,
+                              const Op& op) const {
+  JHPC_REQUIRE(valid(), "reduceScatterBlock on invalid communicator");
+  check_args(recvbuf, recvcount, type, "reduceScatterBlock(recv)");
+  const std::size_t block = payload_of(recvcount, type);
+  const std::size_t total = block * static_cast<std::size_t>(getSize());
+  JHPC_REQUIRE(sendbuf.length() * sizeof(T) >= total,
+               "reduceScatterBlock: send array too small");
+  mpjbuf::Buffer sstage = env_->pool_->get(total);
+  mpjbuf::Buffer rstage = env_->pool_->get(block);
+  sstage.write(sendbuf, 0, total / sizeof(T));
+  sstage.commit();
+  env_->jvm_->jni().crossing();
+  native_.reduce_scatter_block(sstage.native_address(),
+                               rstage.native_address(),
+                               static_cast<std::size_t>(recvcount),
+                               type.kind(), op.native());
+  rstage.notify_native_write(block);
+  rstage.read(recvbuf, 0, static_cast<std::size_t>(recvcount));
+}
+
+template <JavaPrimitive T>
+void Comm::scan(const JArray<T>& sendbuf, JArray<T>& recvbuf, int count,
+                const Datatype& type, const Op& op) const {
+  JHPC_REQUIRE(valid(), "scan on invalid communicator");
+  check_args(sendbuf, count, type, "scan");
+  check_args(recvbuf, count, type, "scan(recv)");
+  const std::size_t bytes = payload_of(count, type);
+  mpjbuf::Buffer sstage = env_->pool_->get(bytes);
+  mpjbuf::Buffer rstage = env_->pool_->get(bytes);
+  sstage.write(sendbuf, 0, static_cast<std::size_t>(count));
+  sstage.commit();
+  env_->jvm_->jni().crossing();
+  native_.scan(sstage.native_address(), rstage.native_address(),
+               static_cast<std::size_t>(count), type.kind(), op.native());
+  rstage.notify_native_write(bytes);
+  rstage.read(recvbuf, 0, static_cast<std::size_t>(count));
+}
+
+template <JavaPrimitive T>
+void Comm::gather(const JArray<T>& sendbuf, int count, const Datatype& type,
+                  JArray<T>& recvbuf, int root) const {
+  JHPC_REQUIRE(valid(), "gather on invalid communicator");
+  check_args(sendbuf, count, type, "gather");
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+  const std::size_t total = bytes * static_cast<std::size_t>(getSize());
+  mpjbuf::Buffer sstage = env_->pool_->get(bytes);
+  sstage.write(sendbuf, 0, static_cast<std::size_t>(count));
+  sstage.commit();
+  mpjbuf::Buffer rstage =
+      getRank() == root ? env_->pool_->get(total) : mpjbuf::Buffer{};
+  env_->jvm_->jni().crossing();
+  native_.gather(sstage.native_address(), bytes,
+                 getRank() == root ? rstage.native_address() : nullptr,
+                 root);
+  if (getRank() == root) {
+    JHPC_REQUIRE(recvbuf.length() >= total / sizeof(T),
+                 "gather: receive array too small");
+    rstage.notify_native_write(total);
+    rstage.read(recvbuf, 0, total / sizeof(T));
+  }
+}
+
+template <JavaPrimitive T>
+void Comm::scatter(const JArray<T>& sendbuf, int count, const Datatype& type,
+                   JArray<T>& recvbuf, int root) const {
+  JHPC_REQUIRE(valid(), "scatter on invalid communicator");
+  check_args(recvbuf, count, type, "scatter(recv)");
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+  const std::size_t total = bytes * static_cast<std::size_t>(getSize());
+  mpjbuf::Buffer sstage =
+      getRank() == root ? env_->pool_->get(total) : mpjbuf::Buffer{};
+  if (getRank() == root) {
+    JHPC_REQUIRE(sendbuf.length() >= total / sizeof(T),
+                 "scatter: send array too small");
+    sstage.write(sendbuf, 0, total / sizeof(T));
+    sstage.commit();
+  }
+  mpjbuf::Buffer rstage = env_->pool_->get(bytes);
+  env_->jvm_->jni().crossing();
+  native_.scatter(getRank() == root ? sstage.native_address() : nullptr,
+                  bytes, rstage.native_address(), root);
+  rstage.notify_native_write(bytes);
+  rstage.read(recvbuf, 0, static_cast<std::size_t>(count));
+}
+
+template <JavaPrimitive T>
+void Comm::allGather(const JArray<T>& sendbuf, int count,
+                     const Datatype& type, JArray<T>& recvbuf) const {
+  JHPC_REQUIRE(valid(), "allGather on invalid communicator");
+  check_args(sendbuf, count, type, "allGather");
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+  const std::size_t total = bytes * static_cast<std::size_t>(getSize());
+  JHPC_REQUIRE(recvbuf.length() >= total / sizeof(T),
+               "allGather: receive array too small");
+  mpjbuf::Buffer sstage = env_->pool_->get(bytes);
+  mpjbuf::Buffer rstage = env_->pool_->get(total);
+  sstage.write(sendbuf, 0, static_cast<std::size_t>(count));
+  sstage.commit();
+  env_->jvm_->jni().crossing();
+  native_.allgather(sstage.native_address(), bytes, rstage.native_address());
+  rstage.notify_native_write(total);
+  rstage.read(recvbuf, 0, total / sizeof(T));
+}
+
+template <JavaPrimitive T>
+void Comm::allToAll(const JArray<T>& sendbuf, int count,
+                    const Datatype& type, JArray<T>& recvbuf) const {
+  JHPC_REQUIRE(valid(), "allToAll on invalid communicator");
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+  const std::size_t total = bytes * static_cast<std::size_t>(getSize());
+  JHPC_REQUIRE(sendbuf.length() >= total / sizeof(T),
+               "allToAll: send array too small");
+  JHPC_REQUIRE(recvbuf.length() >= total / sizeof(T),
+               "allToAll: receive array too small");
+  JHPC_REQUIRE(kind_of<T>() == type.kind(),
+               "allToAll: datatype does not match array type");
+  mpjbuf::Buffer sstage = env_->pool_->get(total);
+  mpjbuf::Buffer rstage = env_->pool_->get(total);
+  sstage.write(sendbuf, 0, total / sizeof(T));
+  sstage.commit();
+  env_->jvm_->jni().crossing();
+  native_.alltoall(sstage.native_address(), bytes, rstage.native_address());
+  rstage.notify_native_write(total);
+  rstage.read(recvbuf, 0, total / sizeof(T));
+}
+
+// --- Vectored collectives ----------------------------------------------------------
+
+template <JavaPrimitive T>
+void Comm::gatherv(const JArray<T>& sendbuf, int sendcount,
+                   const Datatype& type, JArray<T>& recvbuf,
+                   std::span<const int> recvcounts,
+                   std::span<const int> displs, int root) const {
+  JHPC_REQUIRE(valid(), "gatherv on invalid communicator");
+  check_args(sendbuf, sendcount, type, "gatherv");
+  const std::size_t sbytes =
+      static_cast<std::size_t>(sendcount) * sizeof(T);
+  std::vector<std::size_t> counts, offs;
+  counts.reserve(recvcounts.size());
+  offs.reserve(displs.size());
+  std::size_t span_end = 0;
+  for (std::size_t i = 0; i < recvcounts.size(); ++i) {
+    counts.push_back(static_cast<std::size_t>(recvcounts[i]) * sizeof(T));
+    offs.push_back(static_cast<std::size_t>(displs[i]) * sizeof(T));
+    span_end = std::max(span_end, offs.back() + counts.back());
+  }
+  mpjbuf::Buffer sstage = env_->pool_->get(sbytes);
+  sstage.write(sendbuf, 0, static_cast<std::size_t>(sendcount));
+  sstage.commit();
+  mpjbuf::Buffer rstage =
+      getRank() == root ? env_->pool_->get(span_end) : mpjbuf::Buffer{};
+  env_->jvm_->jni().crossing();
+  native_.gatherv(sstage.native_address(), sbytes,
+                  getRank() == root ? rstage.native_address() : nullptr,
+                  counts, offs, root);
+  if (getRank() == root) {
+    JHPC_REQUIRE(recvbuf.length() * sizeof(T) >= span_end,
+                 "gatherv: receive array too small");
+    rstage.notify_native_write(span_end);
+    rstage.read(recvbuf, 0, span_end / sizeof(T));
+  }
+}
+
+template <JavaPrimitive T>
+void Comm::scatterv(const JArray<T>& sendbuf,
+                    std::span<const int> sendcounts,
+                    std::span<const int> displs, const Datatype& type,
+                    JArray<T>& recvbuf, int recvcount, int root) const {
+  JHPC_REQUIRE(valid(), "scatterv on invalid communicator");
+  check_args(recvbuf, recvcount, type, "scatterv(recv)");
+  const std::size_t rbytes =
+      static_cast<std::size_t>(recvcount) * sizeof(T);
+  std::vector<std::size_t> counts, offs;
+  std::size_t span_end = 0;
+  for (std::size_t i = 0; i < sendcounts.size(); ++i) {
+    counts.push_back(static_cast<std::size_t>(sendcounts[i]) * sizeof(T));
+    offs.push_back(static_cast<std::size_t>(displs[i]) * sizeof(T));
+    span_end = std::max(span_end, offs.back() + counts.back());
+  }
+  mpjbuf::Buffer sstage =
+      getRank() == root ? env_->pool_->get(span_end) : mpjbuf::Buffer{};
+  if (getRank() == root) {
+    JHPC_REQUIRE(sendbuf.length() * sizeof(T) >= span_end,
+                 "scatterv: send array too small");
+    sstage.write(sendbuf, 0, span_end / sizeof(T));
+    sstage.commit();
+  }
+  mpjbuf::Buffer rstage = env_->pool_->get(rbytes);
+  env_->jvm_->jni().crossing();
+  native_.scatterv(getRank() == root ? sstage.native_address() : nullptr,
+                   counts, offs, rstage.native_address(), rbytes, root);
+  rstage.notify_native_write(rbytes);
+  rstage.read(recvbuf, 0, static_cast<std::size_t>(recvcount));
+}
+
+template <JavaPrimitive T>
+void Comm::allGatherv(const JArray<T>& sendbuf, int sendcount,
+                      const Datatype& type, JArray<T>& recvbuf,
+                      std::span<const int> recvcounts,
+                      std::span<const int> displs) const {
+  JHPC_REQUIRE(valid(), "allGatherv on invalid communicator");
+  check_args(sendbuf, sendcount, type, "allGatherv");
+  const std::size_t sbytes =
+      static_cast<std::size_t>(sendcount) * sizeof(T);
+  std::vector<std::size_t> counts, offs;
+  std::size_t span_end = 0;
+  for (std::size_t i = 0; i < recvcounts.size(); ++i) {
+    counts.push_back(static_cast<std::size_t>(recvcounts[i]) * sizeof(T));
+    offs.push_back(static_cast<std::size_t>(displs[i]) * sizeof(T));
+    span_end = std::max(span_end, offs.back() + counts.back());
+  }
+  JHPC_REQUIRE(recvbuf.length() * sizeof(T) >= span_end,
+               "allGatherv: receive array too small");
+  mpjbuf::Buffer sstage = env_->pool_->get(sbytes);
+  mpjbuf::Buffer rstage = env_->pool_->get(span_end);
+  sstage.write(sendbuf, 0, static_cast<std::size_t>(sendcount));
+  sstage.commit();
+  env_->jvm_->jni().crossing();
+  native_.allgatherv(sstage.native_address(), sbytes,
+                     rstage.native_address(), counts, offs);
+  rstage.notify_native_write(span_end);
+  rstage.read(recvbuf, 0, span_end / sizeof(T));
+}
+
+template <JavaPrimitive T>
+void Comm::allToAllv(const JArray<T>& sendbuf,
+                     std::span<const int> sendcounts,
+                     std::span<const int> sdispls, const Datatype& type,
+                     JArray<T>& recvbuf, std::span<const int> recvcounts,
+                     std::span<const int> rdispls) const {
+  JHPC_REQUIRE(valid(), "allToAllv on invalid communicator");
+  JHPC_REQUIRE(kind_of<T>() == type.kind(),
+               "allToAllv: datatype does not match array type");
+  std::vector<std::size_t> sc, so, rc, ro;
+  std::size_t s_end = 0, r_end = 0;
+  for (std::size_t i = 0; i < sendcounts.size(); ++i) {
+    sc.push_back(static_cast<std::size_t>(sendcounts[i]) * sizeof(T));
+    so.push_back(static_cast<std::size_t>(sdispls[i]) * sizeof(T));
+    s_end = std::max(s_end, so.back() + sc.back());
+  }
+  for (std::size_t i = 0; i < recvcounts.size(); ++i) {
+    rc.push_back(static_cast<std::size_t>(recvcounts[i]) * sizeof(T));
+    ro.push_back(static_cast<std::size_t>(rdispls[i]) * sizeof(T));
+    r_end = std::max(r_end, ro.back() + rc.back());
+  }
+  JHPC_REQUIRE(sendbuf.length() * sizeof(T) >= s_end,
+               "allToAllv: send array too small");
+  JHPC_REQUIRE(recvbuf.length() * sizeof(T) >= r_end,
+               "allToAllv: receive array too small");
+  mpjbuf::Buffer sstage = env_->pool_->get(s_end == 0 ? 1 : s_end);
+  mpjbuf::Buffer rstage = env_->pool_->get(r_end == 0 ? 1 : r_end);
+  sstage.write(sendbuf, 0, s_end / sizeof(T));
+  sstage.commit();
+  env_->jvm_->jni().crossing();
+  native_.alltoallv(sstage.native_address(), sc, so,
+                    rstage.native_address(), rc, ro);
+  rstage.notify_native_write(r_end);
+  rstage.read(recvbuf, 0, r_end / sizeof(T));
+}
+
+// --- Explicit instantiations for the eight Java primitive types --------------
+
+#define JHPC_MV2J_INSTANTIATE(T)                                             \
+  template void Comm::send<T>(const JArray<T>&, int, const Datatype&, int,   \
+                              int) const;                                    \
+  template Status Comm::recv<T>(JArray<T>&, int, const Datatype&, int, int)  \
+      const;                                                                 \
+  template Request Comm::iSend<T>(const JArray<T>&, int, const Datatype&,    \
+                                  int, int) const;                           \
+  template Request Comm::iRecv<T>(JArray<T>&, int, const Datatype&, int,     \
+                                  int) const;                                \
+  template void Comm::send<T>(const JArray<T>&, int, int, const Datatype&,   \
+                              int, int) const;                               \
+  template Status Comm::recv<T>(JArray<T>&, int, int, const Datatype&, int,  \
+                                int) const;                                  \
+  template Request Comm::iSend<T>(const JArray<T>&, int, int,                \
+                                  const Datatype&, int, int) const;          \
+  template Request Comm::iRecv<T>(JArray<T>&, int, int, const Datatype&,     \
+                                  int, int) const;                           \
+  template void Comm::bcast<T>(JArray<T>&, int, const Datatype&, int) const; \
+  template void Comm::reduce<T>(const JArray<T>&, JArray<T>&, int,           \
+                                const Datatype&, const Op&, int) const;      \
+  template void Comm::allReduce<T>(const JArray<T>&, JArray<T>&, int,        \
+                                   const Datatype&, const Op&) const;        \
+  template void Comm::reduceScatterBlock<T>(const JArray<T>&, JArray<T>&,    \
+                                            int, const Datatype&,            \
+                                            const Op&) const;                \
+  template void Comm::scan<T>(const JArray<T>&, JArray<T>&, int,             \
+                              const Datatype&, const Op&) const;             \
+  template void Comm::gather<T>(const JArray<T>&, int, const Datatype&,      \
+                                JArray<T>&, int) const;                      \
+  template void Comm::scatter<T>(const JArray<T>&, int, const Datatype&,     \
+                                 JArray<T>&, int) const;                     \
+  template void Comm::allGather<T>(const JArray<T>&, int, const Datatype&,   \
+                                   JArray<T>&) const;                        \
+  template void Comm::allToAll<T>(const JArray<T>&, int, const Datatype&,    \
+                                  JArray<T>&) const;                         \
+  template void Comm::gatherv<T>(const JArray<T>&, int, const Datatype&,     \
+                                 JArray<T>&, std::span<const int>,           \
+                                 std::span<const int>, int) const;           \
+  template void Comm::scatterv<T>(const JArray<T>&, std::span<const int>,    \
+                                  std::span<const int>, const Datatype&,     \
+                                  JArray<T>&, int, int) const;               \
+  template void Comm::allGatherv<T>(const JArray<T>&, int, const Datatype&,  \
+                                    JArray<T>&, std::span<const int>,        \
+                                    std::span<const int>) const;             \
+  template void Comm::allToAllv<T>(const JArray<T>&, std::span<const int>,   \
+                                   std::span<const int>, const Datatype&,    \
+                                   JArray<T>&, std::span<const int>,         \
+                                   std::span<const int>) const;
+
+JHPC_MV2J_INSTANTIATE(minijvm::jbyte)
+JHPC_MV2J_INSTANTIATE(minijvm::jboolean)
+JHPC_MV2J_INSTANTIATE(minijvm::jchar)
+JHPC_MV2J_INSTANTIATE(minijvm::jshort)
+JHPC_MV2J_INSTANTIATE(minijvm::jint)
+JHPC_MV2J_INSTANTIATE(minijvm::jlong)
+JHPC_MV2J_INSTANTIATE(minijvm::jfloat)
+JHPC_MV2J_INSTANTIATE(minijvm::jdouble)
+#undef JHPC_MV2J_INSTANTIATE
+
+}  // namespace jhpc::mv2j

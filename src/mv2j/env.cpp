@@ -1,0 +1,34 @@
+#include "jhpc/mv2j/env.hpp"
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::mv2j {
+
+minimpi::UniverseConfig RunOptions::universe_config() const {
+  minimpi::UniverseConfig cfg;
+  cfg.world_size = ranks;
+  cfg.fabric = fabric;
+  cfg.eager_limit = eager_limit;
+  cfg.suite = minimpi::CollectiveSuite::kMv2;  // "MVAPICH2" underneath
+  cfg.apply_suite_profile();
+  return cfg;
+}
+
+Env::Env(minimpi::Comm& native_world, const RunOptions& options)
+    : jvm_(std::make_unique<minijvm::Jvm>(options.jvm)),
+      pool_(std::make_unique<mpjbuf::BufferFactory>(options.pool)),
+      world_(this, native_world) {}
+
+Env::~Env() = default;
+
+void run(const RunOptions& options,
+         const std::function<void(Env&)>& rank_main) {
+  JHPC_REQUIRE(static_cast<bool>(rank_main), "rank_main must be callable");
+  minimpi::Universe::launch(options.universe_config(),
+                            [&options, &rank_main](minimpi::Comm& world) {
+                              Env env(world, options);
+                              rank_main(env);
+                            });
+}
+
+}  // namespace jhpc::mv2j

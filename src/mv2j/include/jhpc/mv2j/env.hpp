@@ -1,0 +1,68 @@
+// The per-rank MVAPICH2-J environment and the job runner.
+//
+// In the paper's deployment each MPI rank is a JVM process that loads the
+// MVAPICH2-J bindings on top of the native MVAPICH2 library. Here each
+// rank thread owns an Env: its simulated JVM (managed heap + JNI), its
+// mpjbuf buffer pool, and COMM_WORLD bound to the native communicator.
+// The native library is a minimpi Universe configured with the mv2
+// collective suite — "MVAPICH2" in this reproduction.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "jhpc/minijvm/jvm.hpp"
+#include "jhpc/minimpi/universe.hpp"
+#include "jhpc/mpjbuf/buffer_factory.hpp"
+#include "jhpc/mv2j/comm.hpp"
+
+namespace jhpc::mv2j {
+
+/// Job-level options (the mpirun line plus JVM flags).
+struct RunOptions {
+  int ranks = 2;
+  netsim::FabricConfig fabric{};
+  std::size_t eager_limit = 16 * 1024;
+  minijvm::JvmConfig jvm = minijvm::JvmConfig::from_env();
+  mpjbuf::FactoryConfig pool = mpjbuf::FactoryConfig::from_env();
+
+  /// The native universe configuration this implies (suite forced to
+  /// kMv2 — these bindings run on "MVAPICH2").
+  minimpi::UniverseConfig universe_config() const;
+};
+
+/// One rank's bindings environment.
+class Env {
+ public:
+  Env(minimpi::Comm& native_world, const RunOptions& options);
+  ~Env();
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// MPI.COMM_WORLD.
+  Comm& COMM_WORLD() { return world_; }
+  minijvm::Jvm& jvm() { return *jvm_; }
+  mpjbuf::BufferFactory& pool() { return *pool_; }
+
+  /// Convenience allocators mirroring a Java program's
+  /// `ByteBuffer.allocateDirect(...)` / `new T[n]`.
+  ByteBuffer newDirectBuffer(std::size_t bytes) {
+    return ByteBuffer::allocate_direct(bytes);
+  }
+  template <JavaPrimitive T>
+  JArray<T> newArray(std::size_t n) {
+    return jvm_->new_array<T>(n);
+  }
+
+ private:
+  friend class Comm;
+  std::unique_ptr<minijvm::Jvm> jvm_;
+  std::unique_ptr<mpjbuf::BufferFactory> pool_;
+  Comm world_;
+};
+
+/// Launch an MVAPICH2-J job: spin up the native universe, give each rank
+/// an Env, run `rank_main` everywhere, join.
+void run(const RunOptions& options, const std::function<void(Env&)>& rank_main);
+
+}  // namespace jhpc::mv2j

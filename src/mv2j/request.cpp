@@ -1,0 +1,30 @@
+#include "jhpc/mv2j/request.hpp"
+
+namespace jhpc::mv2j {
+
+Status Request::waitFor() {
+  minimpi::Status st;
+  native_.wait(&st);
+  if (completion_ != nullptr) {
+    if (completion_->on_complete) completion_->on_complete(st);
+    completion_.reset();
+  }
+  return Status(st);
+}
+
+bool Request::test(Status* status) {
+  minimpi::Status st;
+  if (!native_.test(&st)) return false;
+  if (completion_ != nullptr) {
+    if (completion_->on_complete) completion_->on_complete(st);
+    completion_.reset();
+  }
+  if (status != nullptr) *status = Status(st);
+  return true;
+}
+
+void Request::waitAll(std::span<Request> requests) {
+  for (Request& r : requests) r.waitFor();
+}
+
+}  // namespace jhpc::mv2j

@@ -1,0 +1,88 @@
+#include "jhpc/netsim/fabric.hpp"
+
+#include "jhpc/support/clock.hpp"
+#include "jhpc/support/env.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::netsim {
+
+FabricConfig FabricConfig::from_env() {
+  FabricConfig cfg;
+  cfg.ranks_per_node = static_cast<int>(
+      env_int64("JHPC_PPN", cfg.ranks_per_node));
+  cfg.inter_latency_ns = env_int64("JHPC_INTER_LAT_NS", cfg.inter_latency_ns);
+  cfg.inter_bandwidth_mbps =
+      env_double("JHPC_INTER_BW_MBPS", cfg.inter_bandwidth_mbps);
+  cfg.intra_latency_ns = env_int64("JHPC_INTRA_LAT_NS", cfg.intra_latency_ns);
+  if (auto p = env_string("JHPC_PLACEMENT")) {
+    if (*p == "block") {
+      cfg.placement = Placement::kBlock;
+    } else if (*p == "rr") {
+      cfg.placement = Placement::kRoundRobin;
+    } else {
+      throw InvalidArgumentError("$JHPC_PLACEMENT must be 'block' or 'rr'");
+    }
+  }
+  return cfg;
+}
+
+Fabric::Fabric(int world_size, FabricConfig config)
+    : config_(config), world_size_(world_size) {
+  JHPC_REQUIRE(world_size >= 1, "fabric needs at least one rank");
+  JHPC_REQUIRE(config_.inter_latency_ns >= 0, "negative inter-node latency");
+  JHPC_REQUIRE(config_.intra_latency_ns >= 0, "negative intra-node latency");
+  JHPC_REQUIRE(config_.inter_bandwidth_mbps > 0.0,
+               "inter-node bandwidth must be positive");
+  ranks_per_node_ =
+      config_.ranks_per_node <= 0 ? world_size : config_.ranks_per_node;
+  node_count_ = (world_size + ranks_per_node_ - 1) / ranks_per_node_;
+  links_.resize(static_cast<std::size_t>(node_count_) *
+                static_cast<std::size_t>(node_count_));
+  for (auto& l : links_) l = std::make_unique<Link>();
+}
+
+int Fabric::node_of(int rank) const {
+  JHPC_REQUIRE(rank >= 0 && rank < world_size_, "rank out of range");
+  return config_.placement == Placement::kBlock ? rank / ranks_per_node_
+                                                : rank % node_count_;
+}
+
+bool Fabric::same_node(int rank_a, int rank_b) const {
+  return node_of(rank_a) == node_of(rank_b);
+}
+
+std::int64_t Fabric::serialization_ns(std::size_t bytes) const {
+  // MB/s with MB = 1e6 bytes  =>  ns per byte = 1e3 / MBps.
+  return static_cast<std::int64_t>(static_cast<double>(bytes) * 1e3 /
+                                   config_.inter_bandwidth_mbps);
+}
+
+void Fabric::reset() {
+  for (auto& l : links_) l->next_free_ns.store(0, std::memory_order_relaxed);
+}
+
+Fabric::Link& Fabric::link(int src_node, int dst_node) {
+  return *links_[static_cast<std::size_t>(src_node) *
+                     static_cast<std::size_t>(node_count_) +
+                 static_cast<std::size_t>(dst_node)];
+}
+
+std::int64_t Fabric::reserve_delivery(std::int64_t start_ns, int src_rank,
+                                      int dst_rank, std::size_t bytes) {
+  const int sn = node_of(src_rank);
+  const int dn = node_of(dst_rank);
+  if (sn == dn) return start_ns + config_.intra_latency_ns;
+
+  const std::int64_t occupy = serialization_ns(bytes);
+  Link& l = link(sn, dn);
+  std::int64_t free_at = l.next_free_ns.load(std::memory_order_relaxed);
+  std::int64_t start, end;
+  do {
+    start = free_at > start_ns ? free_at : start_ns;
+    end = start + occupy;
+  } while (!l.next_free_ns.compare_exchange_weak(free_at, end,
+                                                 std::memory_order_acq_rel));
+  return end + config_.inter_latency_ns;
+}
+
+}  // namespace jhpc::netsim

@@ -1,0 +1,794 @@
+// OMB-J benchmark bodies (see benchmarks.hpp).
+#include "jhpc/ombj/benchmarks.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "jhpc/support/clock.hpp"  // vtime via Comm::vtime_ns
+#include "jhpc/support/error.hpp"
+#include "jhpc/support/sizes.hpp"
+#include "jhpc/support/stats.hpp"
+
+namespace jhpc::ombj {
+
+using minijvm::jbyte;
+using minijvm::jfloat;
+using mv2j::BYTE;
+using mv2j::FLOAT;
+using mv2j::SUM;
+
+namespace {
+
+constexpr int kPingTag = 1;
+constexpr int kPongTag = 2;
+constexpr int kAckTag = 3;
+
+/// Sizes for a byte-payload sweep.
+std::vector<std::size_t> byte_sizes(const BenchOptions& opt) {
+  auto sizes = size_sweep(opt.min_size == 0 ? 1 : opt.min_size, opt.max_size);
+  return sizes;
+}
+
+/// Sizes for a float-payload sweep (reductions): multiples of 4 only.
+std::vector<std::size_t> float_sizes(const BenchOptions& opt) {
+  auto sizes =
+      size_sweep(opt.min_size < 4 ? 4 : opt.min_size, opt.max_size);
+  return sizes;
+}
+
+// Deterministic per-iteration payload byte.
+jbyte expected_byte(std::size_t j, int iteration) {
+  return static_cast<jbyte>((j + static_cast<std::size_t>(iteration)) & 0x7f);
+}
+
+// Populate/verify helpers for the validation mode (Figure 18): element-
+// wise access through each API's natural accessors — the very thing the
+// experiment measures.
+void fill(minijvm::ByteBuffer& b, std::size_t n, int iteration) {
+  for (std::size_t j = 0; j < n; ++j) b.put(j, expected_byte(j, iteration));
+}
+void fill(minijvm::JArray<jbyte>& a, std::size_t n, int iteration) {
+  for (std::size_t j = 0; j < n; ++j) a[j] = expected_byte(j, iteration);
+}
+void verify(const minijvm::ByteBuffer& b, std::size_t n, int iteration) {
+  for (std::size_t j = 0; j < n; ++j) {
+    if (b.get(j) != expected_byte(j, iteration))
+      throw jhpc::Error("validation failed at byte " + std::to_string(j));
+  }
+}
+void verify(const minijvm::JArray<jbyte>& a, std::size_t n, int iteration) {
+  for (std::size_t j = 0; j < n; ++j) {
+    if (a[j] != expected_byte(j, iteration))
+      throw jhpc::Error("validation failed at byte " + std::to_string(j));
+  }
+}
+
+/// Average a per-rank value across the communicator (untimed; OMB uses
+/// MPI_Reduce for exactly this).
+template <typename EnvT>
+double rank_average(EnvT& env, double local) {
+  double sum = 0.0;
+  env.COMM_WORLD().native().allreduce(&local, &sum, 1,
+                                      minimpi::BasicKind::kDouble,
+                                      minimpi::ReduceOp::kSum);
+  return sum / env.COMM_WORLD().getSize();
+}
+
+/// Generic ping-pong latency over any (sendable, recvable) pair of
+/// payload handles.
+template <typename EnvT, typename Payload>
+std::vector<ResultRow> latency_loop(EnvT& env, const BenchOptions& opt,
+                                    Payload& sbuf, Payload& rbuf) {
+  auto& world = env.COMM_WORLD();
+  const int rank = world.getRank();
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : byte_sizes(opt)) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    const int count = static_cast<int>(size);
+    world.barrier();
+    if (rank == 0) {
+      std::int64_t t0 = 0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) t0 = world.native().vtime_ns();
+        if (opt.validate) fill(sbuf, size, i);
+        world.send(sbuf, count, BYTE, 1, kPingTag);
+        world.recv(rbuf, count, BYTE, 1, kPongTag);
+        if (opt.validate) verify(rbuf, size, i);
+      }
+      const auto elapsed = world.native().vtime_ns() - t0;
+      rows.push_back(
+          {size, static_cast<double>(elapsed) / (2.0 * iters * 1000.0)});
+    } else if (rank == 1) {
+      for (int i = 0; i < warmup + iters; ++i) {
+        world.recv(rbuf, count, BYTE, 0, kPingTag);
+        if (opt.validate) {
+          verify(rbuf, size, i);
+          fill(sbuf, size, i);
+        }
+        world.send(sbuf, count, BYTE, 0, kPongTag);
+      }
+    }
+    world.barrier();
+  }
+  return rows;
+}
+
+/// Windowed unidirectional bandwidth (osu_bw).
+template <typename EnvT, typename Payload>
+std::vector<ResultRow> bandwidth_loop(EnvT& env, const BenchOptions& opt,
+                                      Payload& sbuf, Payload& rbuf,
+                                      Payload& ack) {
+  using RequestT = mv2j::Request;
+  auto& world = env.COMM_WORLD();
+  const int rank = world.getRank();
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : byte_sizes(opt)) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    const int count = static_cast<int>(size);
+    world.barrier();
+    if (rank == 0) {
+      std::int64_t t0 = 0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) t0 = world.native().vtime_ns();
+        std::vector<RequestT> reqs;
+        reqs.reserve(static_cast<std::size_t>(opt.window));
+        for (int w = 0; w < opt.window; ++w)
+          reqs.push_back(world.iSend(sbuf, count, BYTE, 1, kPingTag));
+        RequestT::waitAll(reqs);
+        world.recv(ack, 1, BYTE, 1, kAckTag);
+      }
+      const auto elapsed = world.native().vtime_ns() - t0;
+      const auto total_bytes = static_cast<std::int64_t>(size) *
+                               opt.window * iters;
+      rows.push_back({size, bandwidth_mbps(total_bytes, elapsed)});
+    } else if (rank == 1) {
+      for (int i = 0; i < warmup + iters; ++i) {
+        std::vector<RequestT> reqs;
+        reqs.reserve(static_cast<std::size_t>(opt.window));
+        for (int w = 0; w < opt.window; ++w)
+          reqs.push_back(world.iRecv(rbuf, count, BYTE, 0, kPingTag));
+        RequestT::waitAll(reqs);
+        world.send(ack, 1, BYTE, 0, kAckTag);
+      }
+    }
+    world.barrier();
+  }
+  return rows;
+}
+
+/// Bidirectional bandwidth (osu_bibw): both ranks stream simultaneously.
+template <typename EnvT, typename Payload>
+std::vector<ResultRow> bibandwidth_loop(EnvT& env, const BenchOptions& opt,
+                                        Payload& sbuf, Payload& rbuf,
+                                        Payload& ack) {
+  using RequestT = mv2j::Request;
+  auto& world = env.COMM_WORLD();
+  const int rank = world.getRank();
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : byte_sizes(opt)) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    const int count = static_cast<int>(size);
+    world.barrier();
+    if (rank > 1) {
+      for (int b = 0; b < 2; ++b) world.barrier();
+      continue;
+    }
+    const int peer = 1 - rank;
+    std::int64_t t0 = 0;
+    for (int i = 0; i < warmup + iters; ++i) {
+      if (i == warmup) t0 = world.native().vtime_ns();
+      std::vector<RequestT> reqs;
+      reqs.reserve(static_cast<std::size_t>(2 * opt.window));
+      for (int w = 0; w < opt.window; ++w)
+        reqs.push_back(world.iRecv(rbuf, count, BYTE, peer, kPingTag));
+      for (int w = 0; w < opt.window; ++w)
+        reqs.push_back(world.iSend(sbuf, count, BYTE, peer, kPingTag));
+      RequestT::waitAll(reqs);
+      // Handshake so windows stay aligned.
+      if (rank == 0) {
+        world.recv(ack, 1, BYTE, 1, kAckTag);
+      } else {
+        world.send(ack, 1, BYTE, 0, kAckTag);
+      }
+    }
+    if (rank == 0) {
+      const auto elapsed = world.native().vtime_ns() - t0;
+      const auto total_bytes =
+          2 * static_cast<std::int64_t>(size) * opt.window * iters;
+      rows.push_back({size, bandwidth_mbps(total_bytes, elapsed)});
+    }
+    world.barrier();
+    world.barrier();  // mirror the idle ranks' extra barrier
+  }
+  return rows;
+}
+
+/// Collective latency loop: `op(count_bytes)` runs the collective once.
+template <typename EnvT, typename OpFn>
+std::vector<ResultRow> collective_loop(EnvT& env, const BenchOptions& opt,
+                                       const std::vector<std::size_t>& sizes,
+                                       OpFn&& op) {
+  auto& world = env.COMM_WORLD();
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : sizes) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    double local_ns = 0.0;
+    for (int i = 0; i < warmup + iters; ++i) {
+      world.barrier();
+      const auto t0 = world.native().vtime_ns();
+      op(size);
+      const auto dt = world.native().vtime_ns() - t0;
+      if (i >= warmup) local_ns += static_cast<double>(dt);
+    }
+    const double avg_us = rank_average(env, local_ns / iters / 1000.0);
+    if (world.getRank() == 0) rows.push_back({size, avg_us});
+  }
+  return rows;
+}
+
+}  // namespace
+
+// --- Point-to-point -----------------------------------------------------------
+
+template <typename EnvT>
+std::vector<ResultRow> run_latency(EnvT& env, const BenchOptions& opt) {
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    return latency_loop(env, opt, sbuf, rbuf);
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size);
+  auto rarr = env.template newArray<jbyte>(opt.max_size);
+  return latency_loop(env, opt, sarr, rarr);
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_bandwidth(EnvT& env, const BenchOptions& opt) {
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    auto ack = env.newDirectBuffer(4);
+    return bandwidth_loop(env, opt, sbuf, rbuf, ack);
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size);
+  auto rarr = env.template newArray<jbyte>(opt.max_size);
+  auto ack = env.template newArray<jbyte>(4);
+  return bandwidth_loop(env, opt, sarr, rarr, ack);
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_bibandwidth(EnvT& env, const BenchOptions& opt) {
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    auto ack = env.newDirectBuffer(4);
+    return bibandwidth_loop(env, opt, sbuf, rbuf, ack);
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size);
+  auto rarr = env.template newArray<jbyte>(opt.max_size);
+  auto ack = env.template newArray<jbyte>(4);
+  return bibandwidth_loop(env, opt, sarr, rarr, ack);
+}
+
+namespace {
+
+/// osu_mbw_mr body: the first half of the ranks stream windows at their
+/// partner in the second half; aggregate bandwidth is total bytes over
+/// the slowest pair's (virtual) elapsed time.
+template <typename EnvT, typename Payload>
+std::vector<ResultRow> multi_bandwidth_loop(EnvT& env,
+                                            const BenchOptions& opt,
+                                            Payload& sbuf, Payload& rbuf,
+                                            Payload& ack) {
+  using RequestT = mv2j::Request;
+  auto& world = env.COMM_WORLD();
+  const int rank = world.getRank();
+  const int pairs = world.getSize() / 2;
+  JHPC_REQUIRE(pairs >= 1, "osu_mbw_mr needs at least 2 ranks");
+  const bool is_sender = rank < pairs;
+  const int peer = is_sender ? rank + pairs : rank - pairs;
+  const bool active = rank < 2 * pairs;
+
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : byte_sizes(opt)) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    const int count = static_cast<int>(size);
+    world.barrier();
+    std::int64_t t0 = 0;
+    if (active) {
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) t0 = world.native().vtime_ns();
+        std::vector<RequestT> reqs;
+        reqs.reserve(static_cast<std::size_t>(opt.window));
+        if (is_sender) {
+          for (int w = 0; w < opt.window; ++w)
+            reqs.push_back(world.iSend(sbuf, count, BYTE, peer, kPingTag));
+          RequestT::waitAll(reqs);
+          world.recv(ack, 1, BYTE, peer, kAckTag);
+        } else {
+          for (int w = 0; w < opt.window; ++w)
+            reqs.push_back(world.iRecv(rbuf, count, BYTE, peer, kPingTag));
+          RequestT::waitAll(reqs);
+          world.send(ack, 1, BYTE, peer, kAckTag);
+        }
+      }
+    }
+    // Slowest pair limits the aggregate (max over the senders' elapsed).
+    double local_elapsed =
+        is_sender && active
+            ? static_cast<double>(world.native().vtime_ns() - t0)
+            : 0.0;
+    double max_elapsed = 0.0;
+    world.native().allreduce(&local_elapsed, &max_elapsed, 1,
+                             minimpi::BasicKind::kDouble,
+                             minimpi::ReduceOp::kMax);
+    if (rank == 0) {
+      const auto total_bytes = static_cast<std::int64_t>(size) *
+                               opt.window * iters * pairs;
+      rows.push_back({size, bandwidth_mbps(total_bytes,
+                                           static_cast<std::int64_t>(
+                                               max_elapsed))});
+    }
+    world.barrier();
+  }
+  return rows;
+}
+
+}  // namespace
+
+template <typename EnvT>
+std::vector<ResultRow> run_multi_bandwidth(EnvT& env,
+                                           const BenchOptions& opt) {
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    auto ack = env.newDirectBuffer(4);
+    return multi_bandwidth_loop(env, opt, sbuf, rbuf, ack);
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size);
+  auto rarr = env.template newArray<jbyte>(opt.max_size);
+  auto ack = env.template newArray<jbyte>(4);
+  return multi_bandwidth_loop(env, opt, sarr, rarr, ack);
+}
+
+namespace {
+
+/// osu_multi_lat body: every pair (r, r+pairs) ping-pongs simultaneously;
+/// the reported latency is the average over pairs.
+template <typename EnvT, typename Payload>
+std::vector<ResultRow> multi_latency_loop(EnvT& env, const BenchOptions& opt,
+                                          Payload& sbuf, Payload& rbuf) {
+  auto& world = env.COMM_WORLD();
+  const int rank = world.getRank();
+  const int pairs = world.getSize() / 2;
+  JHPC_REQUIRE(pairs >= 1, "osu_multi_lat needs at least 2 ranks");
+  const bool is_initiator = rank < pairs;
+  const int peer = is_initiator ? rank + pairs : rank - pairs;
+  const bool active = rank < 2 * pairs;
+
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : byte_sizes(opt)) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    const int count = static_cast<int>(size);
+    world.barrier();
+    std::int64_t t0 = 0;
+    if (active) {
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) t0 = world.native().vtime_ns();
+        if (is_initiator) {
+          world.send(sbuf, count, BYTE, peer, kPingTag);
+          world.recv(rbuf, count, BYTE, peer, kPongTag);
+        } else {
+          world.recv(rbuf, count, BYTE, peer, kPingTag);
+          world.send(sbuf, count, BYTE, peer, kPongTag);
+        }
+      }
+    }
+    double local_us =
+        is_initiator && active
+            ? static_cast<double>(world.native().vtime_ns() - t0) /
+                  (2.0 * iters * 1000.0)
+            : 0.0;
+    double sum_us = 0.0;
+    world.native().allreduce(&local_us, &sum_us, 1,
+                             minimpi::BasicKind::kDouble,
+                             minimpi::ReduceOp::kSum);
+    if (rank == 0) rows.push_back({size, sum_us / pairs});
+    world.barrier();
+  }
+  return rows;
+}
+
+}  // namespace
+
+template <typename EnvT>
+std::vector<ResultRow> run_multi_latency(EnvT& env, const BenchOptions& opt) {
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    return multi_latency_loop(env, opt, sbuf, rbuf);
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size);
+  auto rarr = env.template newArray<jbyte>(opt.max_size);
+  return multi_latency_loop(env, opt, sarr, rarr);
+}
+
+// --- Collectives ---------------------------------------------------------------
+
+template <typename EnvT>
+std::vector<ResultRow> run_bcast(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  if (opt.api == Api::kBuffer) {
+    auto buf = env.newDirectBuffer(opt.max_size);
+    return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+      world.bcast(buf, static_cast<int>(s), BYTE, 0);
+    });
+  }
+  auto arr = env.template newArray<jbyte>(opt.max_size);
+  return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+    world.bcast(arr, static_cast<int>(s), BYTE, 0);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_reduce(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const std::size_t max_count = opt.max_size / sizeof(jfloat);
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    return collective_loop(env, opt, float_sizes(opt), [&](std::size_t s) {
+      world.reduce(sbuf, rbuf, static_cast<int>(s / sizeof(jfloat)), FLOAT,
+                   SUM, 0);
+    });
+  }
+  auto sarr = env.template newArray<jfloat>(max_count);
+  auto rarr = env.template newArray<jfloat>(max_count);
+  return collective_loop(env, opt, float_sizes(opt), [&](std::size_t s) {
+    world.reduce(sarr, rarr, static_cast<int>(s / sizeof(jfloat)), FLOAT,
+                 SUM, 0);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_allreduce(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const std::size_t max_count = opt.max_size / sizeof(jfloat);
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    return collective_loop(env, opt, float_sizes(opt), [&](std::size_t s) {
+      world.allReduce(sbuf, rbuf, static_cast<int>(s / sizeof(jfloat)),
+                      FLOAT, SUM);
+    });
+  }
+  auto sarr = env.template newArray<jfloat>(max_count);
+  auto rarr = env.template newArray<jfloat>(max_count);
+  return collective_loop(env, opt, float_sizes(opt), [&](std::size_t s) {
+    world.allReduce(sarr, rarr, static_cast<int>(s / sizeof(jfloat)), FLOAT,
+                    SUM);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_reduce_scatter(EnvT& env,
+                                          const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const auto n = static_cast<std::size_t>(world.getSize());
+  const std::size_t max_count = opt.max_size / sizeof(jfloat);
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size * n);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    return collective_loop(env, opt, float_sizes(opt), [&](std::size_t s) {
+      world.reduceScatterBlock(sbuf, rbuf,
+                               static_cast<int>(s / sizeof(jfloat)), FLOAT,
+                               SUM);
+    });
+  }
+  auto sarr = env.template newArray<jfloat>(max_count * n);
+  auto rarr = env.template newArray<jfloat>(max_count);
+  return collective_loop(env, opt, float_sizes(opt), [&](std::size_t s) {
+    world.reduceScatterBlock(sarr, rarr,
+                             static_cast<int>(s / sizeof(jfloat)), FLOAT,
+                             SUM);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_scan(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const std::size_t max_count = opt.max_size / sizeof(jfloat);
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    return collective_loop(env, opt, float_sizes(opt), [&](std::size_t s) {
+      world.scan(sbuf, rbuf, static_cast<int>(s / sizeof(jfloat)), FLOAT,
+                 SUM);
+    });
+  }
+  auto sarr = env.template newArray<jfloat>(max_count);
+  auto rarr = env.template newArray<jfloat>(max_count);
+  return collective_loop(env, opt, float_sizes(opt), [&](std::size_t s) {
+    world.scan(sarr, rarr, static_cast<int>(s / sizeof(jfloat)), FLOAT, SUM);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_gather(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const auto n = static_cast<std::size_t>(world.getSize());
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size * n);
+    return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+      world.gather(sbuf, static_cast<int>(s), BYTE, rbuf, 0);
+    });
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size);
+  auto rarr = env.template newArray<jbyte>(opt.max_size * n);
+  return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+    world.gather(sarr, static_cast<int>(s), BYTE, rarr, 0);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_scatter(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const auto n = static_cast<std::size_t>(world.getSize());
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size * n);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+      world.scatter(sbuf, static_cast<int>(s), BYTE, rbuf, 0);
+    });
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size * n);
+  auto rarr = env.template newArray<jbyte>(opt.max_size);
+  return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+    world.scatter(sarr, static_cast<int>(s), BYTE, rarr, 0);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_allgather(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const auto n = static_cast<std::size_t>(world.getSize());
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size * n);
+    return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+      world.allGather(sbuf, static_cast<int>(s), BYTE, rbuf);
+    });
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size);
+  auto rarr = env.template newArray<jbyte>(opt.max_size * n);
+  return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+    world.allGather(sarr, static_cast<int>(s), BYTE, rarr);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_alltoall(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const auto n = static_cast<std::size_t>(world.getSize());
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size * n);
+    auto rbuf = env.newDirectBuffer(opt.max_size * n);
+    return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+      world.allToAll(sbuf, static_cast<int>(s), BYTE, rbuf);
+    });
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size * n);
+  auto rarr = env.template newArray<jbyte>(opt.max_size * n);
+  return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+    world.allToAll(sarr, static_cast<int>(s), BYTE, rarr);
+  });
+}
+
+// --- Vectored collectives --------------------------------------------------------
+
+namespace {
+/// Equal per-rank counts/displacements in elements for the v-variants
+/// (OMB's vectored benchmarks use uniform counts; the v-API is the
+/// subject, not irregularity).
+struct VectorLayout {
+  std::vector<int> counts;
+  std::vector<int> displs;
+};
+VectorLayout uniform_layout(int ranks, std::size_t count) {
+  VectorLayout l;
+  for (int r = 0; r < ranks; ++r) {
+    l.counts.push_back(static_cast<int>(count));
+    l.displs.push_back(static_cast<int>(count) * r);
+  }
+  return l;
+}
+}  // namespace
+
+template <typename EnvT>
+std::vector<ResultRow> run_gatherv(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const auto n = static_cast<std::size_t>(world.getSize());
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size * n);
+    return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+      const auto l = uniform_layout(world.getSize(), s);
+      world.gatherv(sbuf, static_cast<int>(s), BYTE, rbuf, l.counts,
+                    l.displs, 0);
+    });
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size);
+  auto rarr = env.template newArray<jbyte>(opt.max_size * n);
+  return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+    const auto l = uniform_layout(world.getSize(), s);
+    world.gatherv(sarr, static_cast<int>(s), BYTE, rarr, l.counts, l.displs,
+                  0);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_scatterv(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const auto n = static_cast<std::size_t>(world.getSize());
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size * n);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+      const auto l = uniform_layout(world.getSize(), s);
+      world.scatterv(sbuf, l.counts, l.displs, BYTE, rbuf,
+                     static_cast<int>(s), 0);
+    });
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size * n);
+  auto rarr = env.template newArray<jbyte>(opt.max_size);
+  return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+    const auto l = uniform_layout(world.getSize(), s);
+    world.scatterv(sarr, l.counts, l.displs, BYTE, rarr,
+                   static_cast<int>(s), 0);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_allgatherv(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const auto n = static_cast<std::size_t>(world.getSize());
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size * n);
+    return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+      const auto l = uniform_layout(world.getSize(), s);
+      world.allGatherv(sbuf, static_cast<int>(s), BYTE, rbuf, l.counts,
+                       l.displs);
+    });
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size);
+  auto rarr = env.template newArray<jbyte>(opt.max_size * n);
+  return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+    const auto l = uniform_layout(world.getSize(), s);
+    world.allGatherv(sarr, static_cast<int>(s), BYTE, rarr, l.counts,
+                     l.displs);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_alltoallv(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const auto n = static_cast<std::size_t>(world.getSize());
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size * n);
+    auto rbuf = env.newDirectBuffer(opt.max_size * n);
+    return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+      const auto l = uniform_layout(world.getSize(), s);
+      world.allToAllv(sbuf, l.counts, l.displs, BYTE, rbuf, l.counts,
+                      l.displs);
+    });
+  }
+  auto sarr = env.template newArray<jbyte>(opt.max_size * n);
+  auto rarr = env.template newArray<jbyte>(opt.max_size * n);
+  return collective_loop(env, opt, byte_sizes(opt), [&](std::size_t s) {
+    const auto l = uniform_layout(world.getSize(), s);
+    world.allToAllv(sarr, l.counts, l.displs, BYTE, rarr, l.counts,
+                    l.displs);
+  });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_barrier(EnvT& env, const BenchOptions& opt) {
+  auto& world = env.COMM_WORLD();
+  const int iters = opt.iters_small;
+  const int warmup = opt.warmup_small;
+  double local_ns = 0.0;
+  for (int i = 0; i < warmup + iters; ++i) {
+    const auto t0 = world.native().vtime_ns();
+    world.barrier();
+    if (i >= warmup) local_ns += static_cast<double>(world.native().vtime_ns() - t0);
+  }
+  const double avg_us = rank_average(env, local_ns / iters / 1000.0);
+  std::vector<ResultRow> rows;
+  if (world.getRank() == 0) rows.push_back({0, avg_us});
+  return rows;
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_benchmark(BenchKind kind, EnvT& env,
+                                     const BenchOptions& opt) {
+  switch (kind) {
+    case BenchKind::kLatency: return run_latency(env, opt);
+    case BenchKind::kBandwidth: return run_bandwidth(env, opt);
+    case BenchKind::kBiBandwidth: return run_bibandwidth(env, opt);
+    case BenchKind::kMultiBw: return run_multi_bandwidth(env, opt);
+    case BenchKind::kMultiLat: return run_multi_latency(env, opt);
+    case BenchKind::kBcast: return run_bcast(env, opt);
+    case BenchKind::kReduce: return run_reduce(env, opt);
+    case BenchKind::kAllreduce: return run_allreduce(env, opt);
+    case BenchKind::kReduceScatter: return run_reduce_scatter(env, opt);
+    case BenchKind::kScan: return run_scan(env, opt);
+    case BenchKind::kGather: return run_gather(env, opt);
+    case BenchKind::kScatter: return run_scatter(env, opt);
+    case BenchKind::kAllgather: return run_allgather(env, opt);
+    case BenchKind::kAlltoall: return run_alltoall(env, opt);
+    case BenchKind::kGatherv: return run_gatherv(env, opt);
+    case BenchKind::kScatterv: return run_scatterv(env, opt);
+    case BenchKind::kAllgatherv: return run_allgatherv(env, opt);
+    case BenchKind::kAlltoallv: return run_alltoallv(env, opt);
+    case BenchKind::kBarrier: return run_barrier(env, opt);
+  }
+  throw InternalError("unknown benchmark kind");
+}
+
+// --- Explicit instantiations for both binding environments -------------------
+
+#define JHPC_OMBJ_INSTANTIATE(EnvT)                                          \
+  template std::vector<ResultRow> run_latency<EnvT>(EnvT&,                   \
+                                                    const BenchOptions&);    \
+  template std::vector<ResultRow> run_bandwidth<EnvT>(EnvT&,                 \
+                                                      const BenchOptions&);  \
+  template std::vector<ResultRow> run_bibandwidth<EnvT>(                     \
+      EnvT&, const BenchOptions&);                                           \
+  template std::vector<ResultRow> run_multi_bandwidth<EnvT>(                 \
+      EnvT&, const BenchOptions&);                                           \
+  template std::vector<ResultRow> run_multi_latency<EnvT>(                   \
+      EnvT&, const BenchOptions&);                                           \
+  template std::vector<ResultRow> run_reduce_scatter<EnvT>(                  \
+      EnvT&, const BenchOptions&);                                           \
+  template std::vector<ResultRow> run_scan<EnvT>(EnvT&,                      \
+                                                 const BenchOptions&);       \
+  template std::vector<ResultRow> run_bcast<EnvT>(EnvT&,                     \
+                                                  const BenchOptions&);      \
+  template std::vector<ResultRow> run_reduce<EnvT>(EnvT&,                    \
+                                                   const BenchOptions&);     \
+  template std::vector<ResultRow> run_allreduce<EnvT>(EnvT&,                 \
+                                                      const BenchOptions&);  \
+  template std::vector<ResultRow> run_gather<EnvT>(EnvT&,                    \
+                                                   const BenchOptions&);     \
+  template std::vector<ResultRow> run_scatter<EnvT>(EnvT&,                   \
+                                                    const BenchOptions&);    \
+  template std::vector<ResultRow> run_allgather<EnvT>(EnvT&,                 \
+                                                      const BenchOptions&);  \
+  template std::vector<ResultRow> run_alltoall<EnvT>(EnvT&,                  \
+                                                     const BenchOptions&);   \
+  template std::vector<ResultRow> run_gatherv<EnvT>(EnvT&,                   \
+                                                    const BenchOptions&);    \
+  template std::vector<ResultRow> run_scatterv<EnvT>(EnvT&,                  \
+                                                     const BenchOptions&);   \
+  template std::vector<ResultRow> run_allgatherv<EnvT>(                      \
+      EnvT&, const BenchOptions&);                                           \
+  template std::vector<ResultRow> run_alltoallv<EnvT>(EnvT&,                 \
+                                                      const BenchOptions&);  \
+  template std::vector<ResultRow> run_barrier<EnvT>(EnvT&,                   \
+                                                    const BenchOptions&);    \
+  template std::vector<ResultRow> run_benchmark<EnvT>(BenchKind, EnvT&,      \
+                                                      const BenchOptions&);
+
+JHPC_OMBJ_INSTANTIATE(mv2j::Env)
+JHPC_OMBJ_INSTANTIATE(ompij::Env)
+#undef JHPC_OMBJ_INSTANTIATE
+
+}  // namespace jhpc::ombj

@@ -1,0 +1,228 @@
+// Native-level OMB benchmarks: the same measurement loops run directly on
+// the minimpi substrate with malloc'd buffers — no JVM, no JNI, no
+// bindings. This is the "native library" baseline of the paper's
+// Figure 11 (Java-vs-native latency overhead) and of the collective
+// algorithm ablation.
+#include <cstring>
+#include <vector>
+
+#include "jhpc/ombj/benchmarks.hpp"
+#include "jhpc/support/clock.hpp"
+#include "jhpc/support/error.hpp"
+#include "jhpc/support/sizes.hpp"
+#include "jhpc/support/stats.hpp"
+
+namespace jhpc::ombj {
+namespace {
+
+constexpr int kPingTag = 1;
+constexpr int kPongTag = 2;
+constexpr int kAckTag = 3;
+
+std::vector<std::size_t> byte_sizes(const BenchOptions& opt) {
+  return size_sweep(opt.min_size == 0 ? 1 : opt.min_size, opt.max_size);
+}
+
+std::vector<std::size_t> float_sizes(const BenchOptions& opt) {
+  return size_sweep(opt.min_size < 4 ? 4 : opt.min_size, opt.max_size);
+}
+
+double rank_average(const minimpi::Comm& world, double local) {
+  double sum = 0.0;
+  world.allreduce(&local, &sum, 1, minimpi::BasicKind::kDouble,
+                  minimpi::ReduceOp::kSum);
+  return sum / world.size();
+}
+
+template <typename OpFn>
+std::vector<ResultRow> native_collective_loop(
+    const minimpi::Comm& world, const BenchOptions& opt,
+    const std::vector<std::size_t>& sizes, OpFn&& op) {
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : sizes) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    double local_ns = 0.0;
+    for (int i = 0; i < warmup + iters; ++i) {
+      world.barrier();
+      const auto t0 = world.vtime_ns();
+      op(size);
+      if (i >= warmup) local_ns += static_cast<double>(world.vtime_ns() - t0);
+    }
+    const double avg_us = rank_average(world, local_ns / iters / 1000.0);
+    if (world.rank() == 0) rows.push_back({size, avg_us});
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<ResultRow> run_latency_native(const minimpi::Comm& world,
+                                          const BenchOptions& opt) {
+  const int rank = world.rank();
+  std::vector<std::byte> sbuf(opt.max_size), rbuf(opt.max_size);
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : byte_sizes(opt)) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    world.barrier();
+    if (rank == 0) {
+      std::int64_t t0 = 0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) t0 = world.vtime_ns();
+        world.send(sbuf.data(), size, 1, kPingTag);
+        world.recv(rbuf.data(), size, 1, kPongTag);
+      }
+      const auto elapsed = world.vtime_ns() - t0;
+      rows.push_back(
+          {size, static_cast<double>(elapsed) / (2.0 * iters * 1000.0)});
+    } else if (rank == 1) {
+      for (int i = 0; i < warmup + iters; ++i) {
+        world.recv(rbuf.data(), size, 0, kPingTag);
+        world.send(sbuf.data(), size, 0, kPongTag);
+      }
+    }
+    world.barrier();
+  }
+  return rows;
+}
+
+std::vector<ResultRow> run_bandwidth_native(const minimpi::Comm& world,
+                                            const BenchOptions& opt) {
+  const int rank = world.rank();
+  std::vector<std::byte> sbuf(opt.max_size), rbuf(opt.max_size);
+  char ack = 0;
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : byte_sizes(opt)) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    world.barrier();
+    if (rank == 0) {
+      std::int64_t t0 = 0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) t0 = world.vtime_ns();
+        std::vector<minimpi::Request> reqs;
+        reqs.reserve(static_cast<std::size_t>(opt.window));
+        for (int w = 0; w < opt.window; ++w)
+          reqs.push_back(world.isend(sbuf.data(), size, 1, kPingTag));
+        minimpi::Request::wait_all(reqs);
+        world.recv(&ack, 1, 1, kAckTag);
+      }
+      const auto elapsed = world.vtime_ns() - t0;
+      rows.push_back({size, bandwidth_mbps(static_cast<std::int64_t>(size) *
+                                               opt.window * iters,
+                                           elapsed)});
+    } else if (rank == 1) {
+      for (int i = 0; i < warmup + iters; ++i) {
+        std::vector<minimpi::Request> reqs;
+        reqs.reserve(static_cast<std::size_t>(opt.window));
+        for (int w = 0; w < opt.window; ++w)
+          reqs.push_back(world.irecv(rbuf.data(), size, 0, kPingTag));
+        minimpi::Request::wait_all(reqs);
+        world.send(&ack, 1, 0, kAckTag);
+      }
+    }
+    world.barrier();
+  }
+  return rows;
+}
+
+std::vector<ResultRow> run_bcast_native(const minimpi::Comm& world,
+                                        const BenchOptions& opt) {
+  std::vector<std::byte> buf(opt.max_size);
+  return native_collective_loop(world, opt, byte_sizes(opt),
+                                [&](std::size_t s) {
+                                  world.bcast(buf.data(), s, 0);
+                                });
+}
+
+std::vector<ResultRow> run_allreduce_native(const minimpi::Comm& world,
+                                            const BenchOptions& opt) {
+  std::vector<float> sbuf(opt.max_size / 4), rbuf(opt.max_size / 4);
+  return native_collective_loop(
+      world, opt, float_sizes(opt), [&](std::size_t s) {
+        world.allreduce(sbuf.data(), rbuf.data(), s / 4,
+                        minimpi::BasicKind::kFloat, minimpi::ReduceOp::kSum);
+      });
+}
+
+std::vector<ResultRow> run_reduce_native(const minimpi::Comm& world,
+                                         const BenchOptions& opt) {
+  std::vector<float> sbuf(opt.max_size / 4), rbuf(opt.max_size / 4);
+  return native_collective_loop(
+      world, opt, float_sizes(opt), [&](std::size_t s) {
+        world.reduce(sbuf.data(), rbuf.data(), s / 4,
+                     minimpi::BasicKind::kFloat, minimpi::ReduceOp::kSum, 0);
+      });
+}
+
+std::vector<ResultRow> run_gather_native(const minimpi::Comm& world,
+                                         const BenchOptions& opt) {
+  std::vector<std::byte> sbuf(opt.max_size);
+  std::vector<std::byte> rbuf(opt.max_size *
+                              static_cast<std::size_t>(world.size()));
+  return native_collective_loop(
+      world, opt, byte_sizes(opt), [&](std::size_t s) {
+        world.gather(sbuf.data(), s,
+                     world.rank() == 0 ? rbuf.data() : nullptr, 0);
+      });
+}
+
+std::vector<ResultRow> run_scatter_native(const minimpi::Comm& world,
+                                          const BenchOptions& opt) {
+  std::vector<std::byte> sbuf(opt.max_size *
+                              static_cast<std::size_t>(world.size()));
+  std::vector<std::byte> rbuf(opt.max_size);
+  return native_collective_loop(
+      world, opt, byte_sizes(opt), [&](std::size_t s) {
+        world.scatter(world.rank() == 0 ? sbuf.data() : nullptr, s,
+                      rbuf.data(), 0);
+      });
+}
+
+std::vector<ResultRow> run_allgather_native(const minimpi::Comm& world,
+                                            const BenchOptions& opt) {
+  std::vector<std::byte> sbuf(opt.max_size);
+  std::vector<std::byte> rbuf(opt.max_size *
+                              static_cast<std::size_t>(world.size()));
+  return native_collective_loop(world, opt, byte_sizes(opt),
+                                [&](std::size_t s) {
+                                  world.allgather(sbuf.data(), s,
+                                                  rbuf.data());
+                                });
+}
+
+std::vector<ResultRow> run_alltoall_native(const minimpi::Comm& world,
+                                           const BenchOptions& opt) {
+  std::vector<std::byte> sbuf(opt.max_size *
+                              static_cast<std::size_t>(world.size()));
+  std::vector<std::byte> rbuf(opt.max_size *
+                              static_cast<std::size_t>(world.size()));
+  return native_collective_loop(world, opt, byte_sizes(opt),
+                                [&](std::size_t s) {
+                                  world.alltoall(sbuf.data(), s,
+                                                 rbuf.data());
+                                });
+}
+
+std::vector<ResultRow> run_benchmark_native(BenchKind kind,
+                                            const minimpi::Comm& world,
+                                            const BenchOptions& opt) {
+  switch (kind) {
+    case BenchKind::kLatency: return run_latency_native(world, opt);
+    case BenchKind::kBandwidth: return run_bandwidth_native(world, opt);
+    case BenchKind::kBcast: return run_bcast_native(world, opt);
+    case BenchKind::kReduce: return run_reduce_native(world, opt);
+    case BenchKind::kAllreduce: return run_allreduce_native(world, opt);
+    case BenchKind::kGather: return run_gather_native(world, opt);
+    case BenchKind::kScatter: return run_scatter_native(world, opt);
+    case BenchKind::kAllgather: return run_allgather_native(world, opt);
+    case BenchKind::kAlltoall: return run_alltoall_native(world, opt);
+    default:
+      throw UnsupportedOperationError(
+          std::string("native benchmark not implemented for ") +
+          bench_name(kind));
+  }
+}
+
+}  // namespace jhpc::ombj

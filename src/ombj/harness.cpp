@@ -1,0 +1,239 @@
+#include "jhpc/ombj/harness.hpp"
+
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "jhpc/minimpi/universe.hpp"
+#include "jhpc/mv2j/env.hpp"
+#include "jhpc/ombj/benchmarks.hpp"
+#include "jhpc/ompij/ompij.hpp"
+#include "jhpc/support/error.hpp"
+#include "jhpc/support/sizes.hpp"
+#include "jhpc/support/stats.hpp"
+
+namespace jhpc::ombj {
+
+namespace {
+
+std::string default_label(const SeriesSpec& s) {
+  return std::string(library_name(s.library)) + " " + api_name(s.api);
+}
+
+netsim::FabricConfig fabric_for(const FigureSpec& fig) {
+  netsim::FabricConfig f = fig.fabric;
+  f.ranks_per_node = fig.ppn;
+  return f;
+}
+
+}  // namespace
+
+SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series) {
+  SeriesResult result;
+  result.label = series.label.empty() ? default_label(series) : series.label;
+
+  // The series decides which user-facing API the benchmark exercises.
+  BenchOptions options = fig.options;
+  options.api = series.api;
+
+  // Rows produced by rank 0 inside the job.
+  std::vector<ResultRow> rows;
+  try {
+    switch (series.library) {
+      case Library::kMv2j: {
+        mv2j::RunOptions opts;
+        opts.ranks = fig.ranks;
+        opts.fabric = fabric_for(fig);
+        // Size the managed heap for the benchmark's arrays (live payload
+        // plus copying-GC headroom).
+        opts.jvm.heap_bytes = std::max<std::size_t>(
+            32ull << 20, 8 * fig.options.max_size);
+        mv2j::run(opts, [&](mv2j::Env& env) {
+          auto r = run_benchmark(fig.kind, env, options);
+          if (env.COMM_WORLD().getRank() == 0) rows = std::move(r);
+        });
+        break;
+      }
+      case Library::kOmpij: {
+        ompij::RunOptions opts;
+        opts.ranks = fig.ranks;
+        opts.fabric = fabric_for(fig);
+        opts.jvm.heap_bytes = std::max<std::size_t>(
+            32ull << 20, 8 * fig.options.max_size);
+        ompij::run(opts, [&](ompij::Env& env) {
+          auto r = run_benchmark(fig.kind, env, options);
+          if (env.COMM_WORLD().getRank() == 0) rows = std::move(r);
+        });
+        break;
+      }
+      case Library::kNativeMv2:
+      case Library::kNativeOmpi: {
+        minimpi::UniverseConfig cfg;
+        cfg.world_size = fig.ranks;
+        cfg.fabric = fabric_for(fig);
+        cfg.suite = series.library == Library::kNativeMv2
+                        ? minimpi::CollectiveSuite::kMv2
+                        : minimpi::CollectiveSuite::kOmpiBasic;
+        cfg.apply_suite_profile();
+        minimpi::Universe::launch(cfg, [&](minimpi::Comm& world) {
+          auto r = run_benchmark_native(fig.kind, world, options);
+          if (world.rank() == 0) rows = std::move(r);
+        });
+        break;
+      }
+    }
+    result.rows = std::move(rows);
+  } catch (const UnsupportedOperationError& e) {
+    // E.g. Open MPI-J + arrays + non-blocking (the bandwidth benches):
+    // the figure reports the series as absent, exactly like the paper.
+    result.supported = false;
+    result.error = e.what();
+  }
+  return result;
+}
+
+std::vector<SeriesResult> run_figure(const FigureSpec& fig) {
+  std::vector<SeriesResult> out;
+  out.reserve(fig.series.size());
+  for (const SeriesSpec& s : fig.series) {
+    std::cerr << "[" << fig.id << "] running series: "
+              << (s.label.empty() ? default_label(s) : s.label) << "\n";
+    out.push_back(run_series(fig, s));
+  }
+  return out;
+}
+
+Table figure_table(const FigureSpec& fig,
+                   const std::vector<SeriesResult>& results) {
+  const bool is_bw = fig.kind == BenchKind::kBandwidth ||
+                     fig.kind == BenchKind::kBiBandwidth;
+  std::vector<std::string> headers{"Size"};
+  for (const auto& r : results)
+    headers.push_back(r.label + (is_bw ? " MB/s" : " us"));
+  Table table(std::move(headers));
+
+  // Union of sizes, ordered.
+  std::map<std::size_t, std::vector<std::string>> by_size;
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    for (const auto& row : results[c].rows) {
+      auto& cells = by_size[row.size];
+      cells.resize(results.size(), "-");
+      cells[c] = fmt_double(row.value, 2);
+    }
+  }
+  // Unsupported series: mark every row.
+  for (auto& [size, cells] : by_size) {
+    cells.resize(results.size(), "-");
+    for (std::size_t c = 0; c < results.size(); ++c)
+      if (!results[c].supported) cells[c] = "n/a";
+    std::vector<std::string> row{format_size(size)};
+    row.insert(row.end(), cells.begin(), cells.end());
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+double average_ratio(const std::vector<SeriesResult>& results,
+                     const std::string& baseline_label,
+                     const std::string& candidate_label) {
+  const SeriesResult* base = nullptr;
+  const SeriesResult* cand = nullptr;
+  for (const auto& r : results) {
+    if (r.label == baseline_label) base = &r;
+    if (r.label == candidate_label) cand = &r;
+  }
+  if (base == nullptr || cand == nullptr || !base->supported ||
+      !cand->supported) {
+    return 0.0;
+  }
+  std::vector<double> ratios;
+  for (const auto& b : base->rows) {
+    for (const auto& c : cand->rows) {
+      if (b.size == c.size && c.value > 0.0) {
+        ratios.push_back(b.value / c.value);
+        break;
+      }
+    }
+  }
+  if (ratios.empty()) return 0.0;
+  return geometric_mean(ratios);
+}
+
+int figure_main(FigureSpec fig, int argc, char** argv) {
+  std::string csv_path;
+  bool quick = false;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        JHPC_REQUIRE(i + 1 < argc, "missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--ranks") {
+        fig.ranks = std::stoi(next());
+      } else if (arg == "--ppn") {
+        fig.ppn = std::stoi(next());
+      } else if (arg == "--min") {
+        fig.options.min_size = parse_size(next());
+      } else if (arg == "--max") {
+        fig.options.max_size = parse_size(next());
+      } else if (arg == "--iters") {
+        fig.options.iters_small = std::stoi(next());
+        fig.options.iters_large = std::max(1, fig.options.iters_small / 10);
+      } else if (arg == "--window") {
+        fig.options.window = std::stoi(next());
+      } else if (arg == "--csv") {
+        csv_path = next();
+      } else if (arg == "--quick") {
+        quick = true;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << fig.id << ": " << fig.title << "\n"
+                  << "flags: --ranks N --ppn N --min SZ --max SZ --iters N "
+                     "--window N --csv PATH --quick\n";
+        return 0;
+      } else {
+        throw InvalidArgumentError("unknown flag: " + arg);
+      }
+    }
+    if (quick) {
+      fig.options.iters_small = std::min(fig.options.iters_small, 20);
+      fig.options.iters_large = std::min(fig.options.iters_large, 5);
+      fig.options.warmup_small = std::min(fig.options.warmup_small, 5);
+      fig.options.warmup_large = std::min(fig.options.warmup_large, 2);
+    }
+
+    std::cout << "== " << fig.id << ": " << fig.title << " ==\n"
+              << "ranks=" << fig.ranks << " ppn=" << fig.ppn
+              << " sizes=[" << format_size(fig.options.min_size) << ","
+              << format_size(fig.options.max_size) << "]\n";
+    const auto results = run_figure(fig);
+    const Table table = figure_table(fig, results);
+    std::cout << table.to_text();
+    for (const auto& r : results) {
+      if (!r.supported)
+        std::cout << "note: " << r.label << " not supported: " << r.error
+                  << "\n";
+    }
+    const bool is_bw = fig.kind == BenchKind::kBandwidth ||
+                       fig.kind == BenchKind::kBiBandwidth;
+    for (const auto& [base, cand] : fig.ratios) {
+      const double ratio = is_bw ? average_ratio(results, cand, base)
+                                 : average_ratio(results, base, cand);
+      if (ratio > 0.0) {
+        std::cout << "avg ratio (" << base << " vs " << cand
+                  << "): " << fmt_double(ratio, 2) << "x\n";
+      }
+    }
+    if (!csv_path.empty()) {
+      table.write_csv(csv_path);
+      std::cout << "csv written to " << csv_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << fig.id << " failed: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace jhpc::ombj

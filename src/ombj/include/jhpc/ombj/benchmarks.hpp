@@ -1,0 +1,97 @@
+// OMB-J benchmark bodies.
+//
+// Each function runs inside one rank of an already-launched job and
+// returns the per-size results (meaningful on rank 0; the collective
+// benchmarks reduce the per-rank averages as OMB does). The templates are
+// instantiated for both binding environments — mv2j::Env and ompij::Env —
+// which implement the same Java API; the native variants bypass the Java
+// layer entirely (Figure 11's baseline).
+#pragma once
+
+#include <vector>
+
+#include "jhpc/minimpi/comm.hpp"
+#include "jhpc/mv2j/env.hpp"
+#include "jhpc/ombj/options.hpp"
+#include "jhpc/ompij/ompij.hpp"
+
+namespace jhpc::ombj {
+
+// --- Point-to-point (first two ranks; others idle at the barrier) ---------
+template <typename EnvT>
+std::vector<ResultRow> run_latency(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_bandwidth(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_bibandwidth(EnvT& env, const BenchOptions& opt);
+/// osu_mbw_mr: all ranks pair up (i <-> i + size/2); aggregate MB/s.
+template <typename EnvT>
+std::vector<ResultRow> run_multi_bandwidth(EnvT& env,
+                                           const BenchOptions& opt);
+/// osu_multi_lat: all pairs ping-pong simultaneously; average latency.
+template <typename EnvT>
+std::vector<ResultRow> run_multi_latency(EnvT& env, const BenchOptions& opt);
+
+// --- Blocking collectives (latency, averaged over ranks) -------------------
+template <typename EnvT>
+std::vector<ResultRow> run_bcast(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_reduce(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_allreduce(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_reduce_scatter(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_scan(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_gather(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_scatter(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_allgather(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_alltoall(EnvT& env, const BenchOptions& opt);
+
+// --- Vectored blocking collectives ------------------------------------------
+template <typename EnvT>
+std::vector<ResultRow> run_gatherv(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_scatterv(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_allgatherv(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_alltoallv(EnvT& env, const BenchOptions& opt);
+
+/// osu_barrier: one row (size 0, average barrier latency in us).
+template <typename EnvT>
+std::vector<ResultRow> run_barrier(EnvT& env, const BenchOptions& opt);
+
+/// Dispatch by kind.
+template <typename EnvT>
+std::vector<ResultRow> run_benchmark(BenchKind kind, EnvT& env,
+                                     const BenchOptions& opt);
+
+// --- Native (no Java layer) -----------------------------------------------
+std::vector<ResultRow> run_latency_native(const minimpi::Comm& world,
+                                          const BenchOptions& opt);
+std::vector<ResultRow> run_bandwidth_native(const minimpi::Comm& world,
+                                            const BenchOptions& opt);
+std::vector<ResultRow> run_bcast_native(const minimpi::Comm& world,
+                                        const BenchOptions& opt);
+std::vector<ResultRow> run_allreduce_native(const minimpi::Comm& world,
+                                            const BenchOptions& opt);
+std::vector<ResultRow> run_reduce_native(const minimpi::Comm& world,
+                                         const BenchOptions& opt);
+std::vector<ResultRow> run_gather_native(const minimpi::Comm& world,
+                                         const BenchOptions& opt);
+std::vector<ResultRow> run_scatter_native(const minimpi::Comm& world,
+                                          const BenchOptions& opt);
+std::vector<ResultRow> run_allgather_native(const minimpi::Comm& world,
+                                            const BenchOptions& opt);
+std::vector<ResultRow> run_alltoall_native(const minimpi::Comm& world,
+                                           const BenchOptions& opt);
+std::vector<ResultRow> run_benchmark_native(BenchKind kind,
+                                            const minimpi::Comm& world,
+                                            const BenchOptions& opt);
+
+}  // namespace jhpc::ombj

@@ -1,0 +1,65 @@
+// The figure harness: runs one benchmark kind across several
+// library/API series — each series as its own job on a fresh virtual
+// cluster — and merges the per-size results into one OMB-style table.
+// Every fig*_ binary in bench/ is a thin FigureSpec around this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jhpc/netsim/fabric.hpp"
+#include "jhpc/ombj/options.hpp"
+#include "jhpc/support/table.hpp"
+
+namespace jhpc::ombj {
+
+/// One plotted line of a paper figure.
+struct SeriesSpec {
+  Library library;
+  Api api;
+  std::string label;  ///< column header; defaults to "<lib> <api>" if empty
+};
+
+/// One paper figure (or ablation) to regenerate.
+struct FigureSpec {
+  std::string id;            ///< e.g. "fig05"
+  std::string title;         ///< human description printed above the table
+  BenchKind kind = BenchKind::kLatency;
+  BenchOptions options{};
+  int ranks = 2;
+  /// Ranks per virtual node (0 = all on one node, the intra-node setup).
+  int ppn = 0;
+  netsim::FabricConfig fabric{};  ///< latency/bandwidth knobs (ppn is set
+                                  ///< from `ppn` above)
+  std::vector<SeriesSpec> series;
+  /// (baseline label, candidate label) pairs; figure_main prints the
+  /// geometric-mean baseline/candidate ratio for each — the paper's
+  /// "factor of N on average over all message sizes".
+  std::vector<std::pair<std::string, std::string>> ratios;
+};
+
+/// Run one series in a fresh job; never throws for unsupported
+/// combinations (reports them in the result instead).
+SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series);
+
+/// Run all series and merge rows by message size.
+std::vector<SeriesResult> run_figure(const FigureSpec& fig);
+
+/// Render merged results as an OMB-style table (first column: size).
+Table figure_table(const FigureSpec& fig,
+                   const std::vector<SeriesResult>& results);
+
+/// Geometric-mean ratio between two series (baseline / candidate per
+/// size), the paper's "factor of N on average over all message sizes".
+/// Returns 0 when either series is missing/unsupported.
+double average_ratio(const std::vector<SeriesResult>& results,
+                     const std::string& baseline_label,
+                     const std::string& candidate_label);
+
+/// Standard entry point for the bench/fig*_ binaries: parse common flags
+/// (--ranks, --ppn, --min, --max, --iters, --csv, --quick), apply them to
+/// the spec, run, print, optionally write CSV. Returns the process exit
+/// code.
+int figure_main(FigureSpec fig, int argc, char** argv);
+
+}  // namespace jhpc::ombj

@@ -1,0 +1,97 @@
+// OMB-J option and result types.
+//
+// OMB-J is this repository's port of the OSU Micro-Benchmarks to the Java
+// bindings (paper Section V): point-to-point latency / bandwidth /
+// bi-bandwidth, blocking collectives, vectored collectives, each runnable
+// over the ByteBuffer API or the Java-array API, with optional data
+// validation (the Figure 18 mode where populate+verify time is included).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace jhpc::ombj {
+
+/// Which user-facing API a benchmark exercises.
+enum class Api { kBuffer, kArrays };
+
+/// Which library stack runs the benchmark.
+enum class Library {
+  kMv2j,       ///< MVAPICH2-J bindings (mv2 native suite)
+  kOmpij,      ///< Open MPI-J baseline (basic native suite)
+  kNativeMv2,  ///< native minimpi, mv2 suite (no Java layer) — Figure 11
+  kNativeOmpi, ///< native minimpi, basic suite
+};
+
+const char* library_name(Library lib);
+const char* api_name(Api api);
+
+/// Benchmark kinds (the OMB binaries).
+enum class BenchKind {
+  kLatency,    // osu_latency
+  kBandwidth,  // osu_bw
+  kBiBandwidth,// osu_bibw
+  kMultiBw,    // osu_mbw_mr (multi-pair bandwidth / message rate)
+  kMultiLat,   // osu_multi_lat (multi-pair latency)
+  kBcast,      // osu_bcast
+  kReduce,     // osu_reduce
+  kAllreduce,  // osu_allreduce
+  kReduceScatter,  // osu_reduce_scatter (block variant)
+  kScan,       // prefix reduction (no OMB analogue; completeness)
+  kGather,     // osu_gather
+  kScatter,    // osu_scatter
+  kAllgather,  // osu_allgather
+  kAlltoall,   // osu_alltoall
+  kGatherv,    // osu_gatherv
+  kScatterv,   // osu_scatterv
+  kAllgatherv, // osu_allgatherv
+  kAlltoallv,  // osu_alltoallv
+  kBarrier,    // osu_barrier (single row)
+};
+
+const char* bench_name(BenchKind kind);
+BenchKind bench_from_name(const std::string& name);
+
+/// Sweep and iteration parameters (OMB flag equivalents, scaled to a
+/// single-core simulation box).
+struct BenchOptions {
+  std::size_t min_size = 1;
+  std::size_t max_size = 1 << 22;  // 4 MB, the OMB default
+  int warmup_small = 20;
+  int iters_small = 200;
+  int warmup_large = 5;
+  int iters_large = 30;
+  /// Sizes strictly above this use the *_large iteration counts.
+  std::size_t large_threshold = 8192;
+  /// Window size for the bandwidth benchmarks (osu_bw default 64).
+  int window = 64;
+  /// Include populate + verify inside the timed region (osu_latency -c;
+  /// the paper's Section VI-F experiment).
+  bool validate = false;
+  Api api = Api::kBuffer;
+
+  int iterations_for(std::size_t size) const {
+    return size > large_threshold ? iters_large : iters_small;
+  }
+  int warmup_for(std::size_t size) const {
+    return size > large_threshold ? warmup_large : warmup_small;
+  }
+};
+
+/// One table row: message size plus the metric (latency in us, or
+/// bandwidth in MB/s).
+struct ResultRow {
+  std::size_t size = 0;
+  double value = 0.0;
+};
+
+/// A complete series: what ran and its rows (rank 0's view).
+struct SeriesResult {
+  std::string label;
+  bool supported = true;   ///< false: the library rejected the combination
+  std::string error;       ///< why, when unsupported
+  std::vector<ResultRow> rows;
+};
+
+}  // namespace jhpc::ombj

@@ -1,0 +1,54 @@
+#include "jhpc/ombj/options.hpp"
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::ombj {
+
+const char* library_name(Library lib) {
+  switch (lib) {
+    case Library::kMv2j: return "MVAPICH2-J";
+    case Library::kOmpij: return "Open MPI-J";
+    case Library::kNativeMv2: return "MVAPICH2 (native)";
+    case Library::kNativeOmpi: return "Open MPI (native)";
+  }
+  return "?";
+}
+
+const char* api_name(Api api) {
+  return api == Api::kBuffer ? "buffer" : "arrays";
+}
+
+const char* bench_name(BenchKind kind) {
+  switch (kind) {
+    case BenchKind::kLatency: return "latency";
+    case BenchKind::kBandwidth: return "bw";
+    case BenchKind::kBiBandwidth: return "bibw";
+    case BenchKind::kMultiBw: return "mbw_mr";
+    case BenchKind::kMultiLat: return "multi_lat";
+    case BenchKind::kBcast: return "bcast";
+    case BenchKind::kReduce: return "reduce";
+    case BenchKind::kAllreduce: return "allreduce";
+    case BenchKind::kReduceScatter: return "reduce_scatter";
+    case BenchKind::kScan: return "scan";
+    case BenchKind::kGather: return "gather";
+    case BenchKind::kScatter: return "scatter";
+    case BenchKind::kAllgather: return "allgather";
+    case BenchKind::kAlltoall: return "alltoall";
+    case BenchKind::kGatherv: return "gatherv";
+    case BenchKind::kScatterv: return "scatterv";
+    case BenchKind::kAllgatherv: return "allgatherv";
+    case BenchKind::kAlltoallv: return "alltoallv";
+    case BenchKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+BenchKind bench_from_name(const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(BenchKind::kBarrier); ++k) {
+    const auto kind = static_cast<BenchKind>(k);
+    if (name == bench_name(kind)) return kind;
+  }
+  throw InvalidArgumentError("unknown benchmark name: '" + name + "'");
+}
+
+}  // namespace jhpc::ombj

@@ -1,0 +1,120 @@
+// ombj — the OMB-J command-line runner.
+//
+// The Java-bindings analogue of running an OSU micro-benchmark binary:
+//
+//   ombj --bench latency   --lib mv2j  --api buffer --ranks 2
+//   ombj --bench bw        --lib ompij --api arrays            # reports n/a
+//   ombj --bench allreduce --lib mv2j  --api arrays --ranks 16 --ppn 4
+//   ombj --bench latency   --lib native-mv2 --ranks 2 --ppn 1  # Figure 11
+//
+// Flags mirror OMB where sensible (-m min:max via --min/--max, window via
+// --window, validation via --validate).
+#include <iostream>
+#include <string>
+
+#include "jhpc/ombj/harness.hpp"
+#include "jhpc/support/error.hpp"
+#include "jhpc/support/sizes.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "ombj — OMB-J benchmark runner\n"
+      "  --bench NAME   latency|bw|bibw|mbw_mr|multi_lat|bcast|reduce|\n"
+      "                 allreduce|reduce_scatter|scan|gather|scatter|\n"
+      "                 allgather|alltoall|gatherv|scatterv|allgatherv|\n"
+      "                 alltoallv|barrier (default latency)\n"
+      "  --lib NAME     mv2j|ompij|native-mv2|native-ompi (default mv2j)\n"
+      "  --api NAME     buffer|arrays (default buffer)\n"
+      "  --ranks N      number of ranks (default 2)\n"
+      "  --ppn N        ranks per virtual node, 0 = single node (default 0)\n"
+      "  --min SZ       minimum message size (default 1)\n"
+      "  --max SZ       maximum message size (default 4M)\n"
+      "  --iters N      iterations per size (small-message count)\n"
+      "  --window N     window size for bw benchmarks (default 64)\n"
+      "  --validate     include populate+verify in the timed region\n"
+      "  --csv PATH     mirror the table to CSV\n";
+}
+
+jhpc::ombj::Library library_from(const std::string& s) {
+  using jhpc::ombj::Library;
+  if (s == "mv2j") return Library::kMv2j;
+  if (s == "ompij") return Library::kOmpij;
+  if (s == "native-mv2") return Library::kNativeMv2;
+  if (s == "native-ompi") return Library::kNativeOmpi;
+  throw jhpc::InvalidArgumentError("unknown --lib: " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jhpc::ombj;
+  FigureSpec fig;
+  fig.id = "ombj";
+  SeriesSpec series{Library::kMv2j, Api::kBuffer, ""};
+  std::string csv_path;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        JHPC_REQUIRE(i + 1 < argc, "missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--bench") {
+        fig.kind = bench_from_name(next());
+      } else if (arg == "--lib") {
+        series.library = library_from(next());
+      } else if (arg == "--api") {
+        const std::string a = next();
+        JHPC_REQUIRE(a == "buffer" || a == "arrays",
+                     "--api must be buffer or arrays");
+        series.api = a == "buffer" ? Api::kBuffer : Api::kArrays;
+      } else if (arg == "--ranks") {
+        fig.ranks = std::stoi(next());
+      } else if (arg == "--ppn") {
+        fig.ppn = std::stoi(next());
+      } else if (arg == "--min") {
+        fig.options.min_size = jhpc::parse_size(next());
+      } else if (arg == "--max") {
+        fig.options.max_size = jhpc::parse_size(next());
+      } else if (arg == "--iters") {
+        fig.options.iters_small = std::stoi(next());
+        fig.options.iters_large = std::max(1, fig.options.iters_small / 10);
+      } else if (arg == "--window") {
+        fig.options.window = std::stoi(next());
+      } else if (arg == "--validate") {
+        fig.options.validate = true;
+      } else if (arg == "--csv") {
+        csv_path = next();
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        throw jhpc::InvalidArgumentError("unknown flag: " + arg);
+      }
+    }
+    fig.options.api = series.api;
+    fig.title = std::string("osu_") + bench_name(fig.kind) + " on " +
+                library_name(series.library) + " (" +
+                api_name(series.api) + ")";
+    fig.series = {series};
+
+    std::cout << "# OMB-J " << fig.title << "\n"
+              << "# ranks=" << fig.ranks << " ppn=" << fig.ppn << "\n";
+    const auto results = run_figure(fig);
+    std::cout << figure_table(fig, results).to_text();
+    for (const auto& r : results) {
+      if (!r.supported) {
+        std::cout << "unsupported: " << r.error << "\n";
+        return 2;
+      }
+    }
+    if (!csv_path.empty()) figure_table(fig, results).write_csv(csv_path);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ombj: " << e.what() << "\n";
+    usage();
+    return 1;
+  }
+}

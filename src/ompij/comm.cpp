@@ -1,0 +1,249 @@
+// ByteBuffer paths, collectives and management of the Open MPI-J baseline.
+#include "jhpc/ompij/ompij.hpp"
+
+#include "jhpc/minijvm/jni.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::ompij {
+
+namespace {
+std::size_t payload_bytes(int count, const Datatype& type) {
+  JHPC_REQUIRE(count >= 0, "negative element count");
+  if (!type.isBasic()) {
+    throw UnsupportedOperationError(
+        "Open MPI-J (reproduction) supports basic datatypes only");
+  }
+  return static_cast<std::size_t>(count) * type.size();
+}
+}  // namespace
+
+std::byte* Comm::buffer_address(const ByteBuffer& buf, std::size_t bytes,
+                                const char* what) const {
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  void* p = jni.get_direct_buffer_address(buf);
+  if (p == nullptr) {
+    throw UnsupportedOperationError(
+        std::string(what) + ": the bindings require a direct ByteBuffer");
+  }
+  JHPC_REQUIRE(bytes <= jni.get_direct_buffer_capacity(buf),
+               std::string(what) + ": count exceeds buffer capacity");
+  return static_cast<std::byte*>(p);
+}
+
+void Comm::send(const ByteBuffer& buf, int count, const Datatype& type,
+                int dest, int tag) const {
+  JHPC_REQUIRE(valid(), "send on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  // Open MPI-J marshals a Datatype/Comm object graph per call (a couple
+  // of extra JNI field accesses); MVAPICH2-J's thinner layer avoids it —
+  // the small but visible gap in the paper's Figure 11.
+  env_->jvm_->jni().handle_check();
+  native_.send(buffer_address(buf, bytes, "send"), bytes, dest, tag);
+}
+
+Status Comm::recv(ByteBuffer& buf, int count, const Datatype& type,
+                  int source, int tag) const {
+  JHPC_REQUIRE(valid(), "recv on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  // Per-call Status object construction + field marshalling (see send()).
+  env_->jvm_->jni().handle_check();
+  minimpi::Status st;
+  native_.recv(buffer_address(buf, bytes, "recv"), bytes, source, tag, &st);
+  return Status(st);
+}
+
+Request Comm::iSend(const ByteBuffer& buf, int count, const Datatype& type,
+                    int dest, int tag) const {
+  JHPC_REQUIRE(valid(), "iSend on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  return Request(
+      native_.isend(buffer_address(buf, bytes, "iSend"), bytes, dest, tag),
+      nullptr);
+}
+
+Request Comm::iRecv(ByteBuffer& buf, int count, const Datatype& type,
+                    int source, int tag) const {
+  JHPC_REQUIRE(valid(), "iRecv on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  return Request(
+      native_.irecv(buffer_address(buf, bytes, "iRecv"), bytes, source, tag),
+      nullptr);
+}
+
+Status Comm::probe(int source, int tag) const {
+  JHPC_REQUIRE(valid(), "probe on invalid communicator");
+  env_->jvm_->jni().crossing();
+  return Status(native_.probe(source, tag));
+}
+
+bool Comm::iProbe(int source, int tag, Status* status) const {
+  JHPC_REQUIRE(valid(), "iProbe on invalid communicator");
+  env_->jvm_->jni().crossing();
+  minimpi::Status st;
+  if (!native_.iprobe(source, tag, &st)) return false;
+  if (status != nullptr) *status = Status(st);
+  return true;
+}
+
+void Comm::barrier() const {
+  JHPC_REQUIRE(valid(), "barrier on invalid communicator");
+  env_->jvm_->jni().crossing();
+  native_.barrier();
+}
+
+void Comm::bcast(ByteBuffer& buf, int count, const Datatype& type,
+                 int root) const {
+  JHPC_REQUIRE(valid(), "bcast on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  native_.bcast(buffer_address(buf, bytes, "bcast"), bytes, root);
+}
+
+void Comm::reduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
+                  const Datatype& type, const Op& op, int root) const {
+  JHPC_REQUIRE(valid(), "reduce on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "reduce");
+  std::byte* rp = getRank() == root
+                      ? buffer_address(recvbuf, bytes, "reduce")
+                      : buffer_address(recvbuf, 0, "reduce");
+  native_.reduce(sp, rp, static_cast<std::size_t>(count), type.kind(),
+                 op.native(), root);
+}
+
+void Comm::allReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf,
+                     int count, const Datatype& type, const Op& op) const {
+  JHPC_REQUIRE(valid(), "allReduce on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "allReduce");
+  std::byte* rp = buffer_address(recvbuf, bytes, "allReduce");
+  native_.allreduce(sp, rp, static_cast<std::size_t>(count), type.kind(),
+                    op.native());
+}
+
+void Comm::reduceScatterBlock(const ByteBuffer& sendbuf,
+                              ByteBuffer& recvbuf, int recvcount,
+                              const Datatype& type, const Op& op) const {
+  JHPC_REQUIRE(valid(), "reduceScatterBlock on invalid communicator");
+  const std::size_t block = payload_bytes(recvcount, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(
+      sendbuf, block * static_cast<std::size_t>(getSize()),
+      "reduceScatterBlock");
+  std::byte* rp = buffer_address(recvbuf, block, "reduceScatterBlock");
+  native_.reduce_scatter_block(sp, rp,
+                               static_cast<std::size_t>(recvcount),
+                               type.kind(), op.native());
+}
+
+void Comm::scan(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
+                const Datatype& type, const Op& op) const {
+  JHPC_REQUIRE(valid(), "scan on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "scan");
+  std::byte* rp = buffer_address(recvbuf, bytes, "scan");
+  native_.scan(sp, rp, static_cast<std::size_t>(count), type.kind(),
+               op.native());
+}
+
+void Comm::gather(const ByteBuffer& sendbuf, int count, const Datatype& type,
+                  ByteBuffer& recvbuf, int root) const {
+  JHPC_REQUIRE(valid(), "gather on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "gather");
+  std::byte* rp =
+      getRank() == root
+          ? buffer_address(recvbuf,
+                           bytes * static_cast<std::size_t>(getSize()),
+                           "gather")
+          : nullptr;
+  native_.gather(sp, bytes, rp, root);
+}
+
+void Comm::scatter(const ByteBuffer& sendbuf, int count,
+                   const Datatype& type, ByteBuffer& recvbuf,
+                   int root) const {
+  JHPC_REQUIRE(valid(), "scatter on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp =
+      getRank() == root
+          ? buffer_address(sendbuf,
+                           bytes * static_cast<std::size_t>(getSize()),
+                           "scatter")
+          : nullptr;
+  std::byte* rp = buffer_address(recvbuf, bytes, "scatter");
+  native_.scatter(sp, bytes, rp, root);
+}
+
+void Comm::allGather(const ByteBuffer& sendbuf, int count,
+                     const Datatype& type, ByteBuffer& recvbuf) const {
+  JHPC_REQUIRE(valid(), "allGather on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "allGather");
+  std::byte* rp = buffer_address(
+      recvbuf, bytes * static_cast<std::size_t>(getSize()), "allGather");
+  native_.allgather(sp, bytes, rp);
+}
+
+void Comm::allToAll(const ByteBuffer& sendbuf, int count,
+                    const Datatype& type, ByteBuffer& recvbuf) const {
+  JHPC_REQUIRE(valid(), "allToAll on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  const auto total = bytes * static_cast<std::size_t>(getSize());
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, total, "allToAll");
+  std::byte* rp = buffer_address(recvbuf, total, "allToAll");
+  native_.alltoall(sp, bytes, rp);
+}
+
+Comm Comm::dup() const {
+  JHPC_REQUIRE(valid(), "dup on invalid communicator");
+  env_->jvm_->jni().crossing();
+  return Comm(env_, native_.dup());
+}
+
+Comm Comm::split(int color, int key) const {
+  JHPC_REQUIRE(valid(), "split on invalid communicator");
+  env_->jvm_->jni().crossing();
+  minimpi::Comm sub = native_.split(color, key);
+  if (!sub.valid()) return Comm{};
+  return Comm(env_, sub);
+}
+
+minimpi::UniverseConfig RunOptions::universe_config() const {
+  minimpi::UniverseConfig cfg;
+  cfg.world_size = ranks;
+  cfg.fabric = fabric;
+  cfg.eager_limit = eager_limit;
+  cfg.suite = minimpi::CollectiveSuite::kOmpiBasic;  // "Open MPI" underneath
+  cfg.apply_suite_profile();
+  return cfg;
+}
+
+Env::Env(minimpi::Comm& native_world, const RunOptions& options)
+    : jvm_(std::make_unique<minijvm::Jvm>(options.jvm)),
+      world_(this, native_world) {}
+
+Env::~Env() = default;
+
+void run(const RunOptions& options,
+         const std::function<void(Env&)>& rank_main) {
+  JHPC_REQUIRE(static_cast<bool>(rank_main), "rank_main must be callable");
+  minimpi::Universe::launch(options.universe_config(),
+                            [&options, &rank_main](minimpi::Comm& world) {
+                              Env env(world, options);
+                              rank_main(env);
+                            });
+}
+
+}  // namespace jhpc::ompij

@@ -1,0 +1,329 @@
+// Java-array paths of the Open MPI-J baseline: Get<Type>ArrayElements /
+// Release<Type>ArrayElements around every native call (a full-array copy
+// each way, no pooling), and NO support for arrays with non-blocking
+// point-to-point operations — both reproduced from the paper's
+// description of the Open MPI Java bindings.
+#include "jhpc/minijvm/jni.hpp"
+#include "jhpc/ompij/ompij.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::ompij {
+
+namespace {
+
+template <minijvm::JavaPrimitive T>
+void check_args(const JArray<T>& buf, int count, const Datatype& type,
+                const char* what) {
+  JHPC_REQUIRE(count >= 0, std::string(what) + ": negative count");
+  JHPC_REQUIRE(type.isBasic() && kind_of<T>() == type.kind(),
+               std::string(what) + ": datatype does not match array type");
+  JHPC_REQUIRE(static_cast<std::size_t>(count) <= buf.length(),
+               std::string(what) + ": count exceeds array length");
+}
+
+/// RAII native staging for `count` elements of an array, mirroring what
+/// the Open MPI Java bindings do per call: malloc a native buffer of the
+/// MESSAGE size, Get<Type>ArrayRegion in (unless write-only), and
+/// Set<Type>ArrayRegion back on destruction (unless read-only). No
+/// pooling — the allocation happens on every call, which is the overhead
+/// MVAPICH2-J's buffering layer avoids.
+template <minijvm::JavaPrimitive T>
+class ArrayRegion {
+ public:
+  ArrayRegion(minijvm::JniEnv& jni, const JArray<T>& array,
+              std::size_t count, minijvm::ReleaseMode mode)
+      : jni_(jni), array_(array), count_(count), mode_(mode),
+        elems_(count) {
+    // Open MPI-J copies in unconditionally (it cannot know whether the
+    // native routine reads the buffer).
+    jni_.get_array_region(array_, 0, count_, elems_.data());
+  }
+  ~ArrayRegion() {
+    if (mode_ != minijvm::ReleaseMode::kAbort) {
+      jni_.set_array_region(array_, 0, count_, elems_.data());
+    }
+  }
+  ArrayRegion(const ArrayRegion&) = delete;
+  ArrayRegion& operator=(const ArrayRegion&) = delete;
+
+  T* data() { return elems_.data(); }
+
+ private:
+  minijvm::JniEnv& jni_;
+  JArray<T> array_;
+  std::size_t count_;
+  minijvm::ReleaseMode mode_;
+  std::vector<T> elems_;
+};
+
+}  // namespace
+
+// --- Point-to-point --------------------------------------------------------
+
+template <JavaPrimitive T>
+void Comm::send(const JArray<T>& buf, int count, const Datatype& type,
+                int dest, int tag) const {
+  JHPC_REQUIRE(valid(), "send on invalid communicator");
+  check_args(buf, count, type, "send");
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  // Sender never writes back: discard on release.
+  ArrayRegion<T> elems(jni, buf, static_cast<std::size_t>(count),
+                       minijvm::ReleaseMode::kAbort);
+  native_.send(elems.data(), static_cast<std::size_t>(count) * sizeof(T),
+               dest, tag);
+}
+
+template <JavaPrimitive T>
+Status Comm::recv(JArray<T>& buf, int count, const Datatype& type,
+                  int source, int tag) const {
+  JHPC_REQUIRE(valid(), "recv on invalid communicator");
+  check_args(buf, count, type, "recv");
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  minimpi::Status st;
+  {
+    // Copy-in (wasted work for a pure receive — the JNI price), receive
+    // into the copy, copy-back on release.
+    ArrayRegion<T> elems(jni, buf, static_cast<std::size_t>(count),
+                         minijvm::ReleaseMode::kCommitAndFree);
+    native_.recv(elems.data(), static_cast<std::size_t>(count) * sizeof(T),
+                 source, tag, &st);
+  }
+  return Status(st);
+}
+
+template <JavaPrimitive T>
+Request Comm::iSend(const JArray<T>&, int, const Datatype&, int, int) const {
+  throw UnsupportedOperationError(
+      "Open MPI-J does not support Java arrays with non-blocking "
+      "point-to-point operations (use a direct ByteBuffer)");
+}
+
+template <JavaPrimitive T>
+Request Comm::iRecv(JArray<T>&, int, const Datatype&, int, int) const {
+  throw UnsupportedOperationError(
+      "Open MPI-J does not support Java arrays with non-blocking "
+      "point-to-point operations (use a direct ByteBuffer)");
+}
+
+// --- Blocking collectives ------------------------------------------------------
+
+template <JavaPrimitive T>
+void Comm::bcast(JArray<T>& buf, int count, const Datatype& type,
+                 int root) const {
+  JHPC_REQUIRE(valid(), "bcast on invalid communicator");
+  check_args(buf, count, type, "bcast");
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> elems(jni, buf, static_cast<std::size_t>(count),
+                       getRank() == root
+                           ? minijvm::ReleaseMode::kAbort
+                           : minijvm::ReleaseMode::kCommitAndFree);
+  native_.bcast(elems.data(), static_cast<std::size_t>(count) * sizeof(T),
+                root);
+}
+
+template <JavaPrimitive T>
+void Comm::reduce(const JArray<T>& sendbuf, JArray<T>& recvbuf, int count,
+                  const Datatype& type, const Op& op, int root) const {
+  JHPC_REQUIRE(valid(), "reduce on invalid communicator");
+  check_args(sendbuf, count, type, "reduce");
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> send(jni, sendbuf, static_cast<std::size_t>(count),
+                      minijvm::ReleaseMode::kAbort);
+  if (getRank() == root) {
+    check_args(recvbuf, count, type, "reduce(recv)");
+    ArrayRegion<T> recv(jni, recvbuf, static_cast<std::size_t>(count),
+                        minijvm::ReleaseMode::kCommitAndFree);
+    native_.reduce(send.data(), recv.data(),
+                   static_cast<std::size_t>(count), type.kind(), op.native(),
+                   root);
+  } else {
+    std::vector<T> scratch(static_cast<std::size_t>(count));
+    native_.reduce(send.data(), scratch.data(),
+                   static_cast<std::size_t>(count), type.kind(), op.native(),
+                   root);
+  }
+}
+
+template <JavaPrimitive T>
+void Comm::allReduce(const JArray<T>& sendbuf, JArray<T>& recvbuf, int count,
+                     const Datatype& type, const Op& op) const {
+  JHPC_REQUIRE(valid(), "allReduce on invalid communicator");
+  check_args(sendbuf, count, type, "allReduce");
+  check_args(recvbuf, count, type, "allReduce(recv)");
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> send(jni, sendbuf, static_cast<std::size_t>(count),
+                      minijvm::ReleaseMode::kAbort);
+  ArrayRegion<T> recv(jni, recvbuf, static_cast<std::size_t>(count),
+                      minijvm::ReleaseMode::kCommitAndFree);
+  native_.allreduce(send.data(), recv.data(),
+                    static_cast<std::size_t>(count), type.kind(),
+                    op.native());
+}
+
+template <JavaPrimitive T>
+void Comm::reduceScatterBlock(const JArray<T>& sendbuf, JArray<T>& recvbuf,
+                              int recvcount, const Datatype& type,
+                              const Op& op) const {
+  JHPC_REQUIRE(valid(), "reduceScatterBlock on invalid communicator");
+  check_args(recvbuf, recvcount, type, "reduceScatterBlock(recv)");
+  const auto total = static_cast<std::size_t>(recvcount) *
+                     static_cast<std::size_t>(getSize());
+  JHPC_REQUIRE(sendbuf.length() >= total,
+               "reduceScatterBlock: send array too small");
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> send(jni, sendbuf, total, minijvm::ReleaseMode::kAbort);
+  ArrayRegion<T> recv(jni, recvbuf, static_cast<std::size_t>(recvcount),
+                      minijvm::ReleaseMode::kCommitAndFree);
+  native_.reduce_scatter_block(send.data(), recv.data(),
+                               static_cast<std::size_t>(recvcount),
+                               type.kind(), op.native());
+}
+
+template <JavaPrimitive T>
+void Comm::scan(const JArray<T>& sendbuf, JArray<T>& recvbuf, int count,
+                const Datatype& type, const Op& op) const {
+  JHPC_REQUIRE(valid(), "scan on invalid communicator");
+  check_args(sendbuf, count, type, "scan");
+  check_args(recvbuf, count, type, "scan(recv)");
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> send(jni, sendbuf, static_cast<std::size_t>(count),
+                      minijvm::ReleaseMode::kAbort);
+  ArrayRegion<T> recv(jni, recvbuf, static_cast<std::size_t>(count),
+                      minijvm::ReleaseMode::kCommitAndFree);
+  native_.scan(send.data(), recv.data(), static_cast<std::size_t>(count),
+               type.kind(), op.native());
+}
+
+template <JavaPrimitive T>
+void Comm::gather(const JArray<T>& sendbuf, int count, const Datatype& type,
+                  JArray<T>& recvbuf, int root) const {
+  JHPC_REQUIRE(valid(), "gather on invalid communicator");
+  check_args(sendbuf, count, type, "gather");
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> send(jni, sendbuf, static_cast<std::size_t>(count),
+                      minijvm::ReleaseMode::kAbort);
+  if (getRank() == root) {
+    const auto total = static_cast<std::size_t>(count) *
+                       static_cast<std::size_t>(getSize());
+    JHPC_REQUIRE(recvbuf.length() >= total,
+                 "gather: receive array too small");
+    ArrayRegion<T> recv(jni, recvbuf, total,
+                        minijvm::ReleaseMode::kCommitAndFree);
+    native_.gather(send.data(), bytes, recv.data(), root);
+  } else {
+    native_.gather(send.data(), bytes, nullptr, root);
+  }
+}
+
+template <JavaPrimitive T>
+void Comm::scatter(const JArray<T>& sendbuf, int count, const Datatype& type,
+                   JArray<T>& recvbuf, int root) const {
+  JHPC_REQUIRE(valid(), "scatter on invalid communicator");
+  check_args(recvbuf, count, type, "scatter(recv)");
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> recv(jni, recvbuf, static_cast<std::size_t>(count),
+                      minijvm::ReleaseMode::kCommitAndFree);
+  if (getRank() == root) {
+    const auto total = static_cast<std::size_t>(count) *
+                       static_cast<std::size_t>(getSize());
+    JHPC_REQUIRE(sendbuf.length() >= total,
+                 "scatter: send array too small");
+    ArrayRegion<T> send(jni, sendbuf, total, minijvm::ReleaseMode::kAbort);
+    native_.scatter(send.data(), bytes, recv.data(), root);
+  } else {
+    native_.scatter(nullptr, bytes, recv.data(), root);
+  }
+}
+
+template <JavaPrimitive T>
+void Comm::allGather(const JArray<T>& sendbuf, int count,
+                     const Datatype& type, JArray<T>& recvbuf) const {
+  JHPC_REQUIRE(valid(), "allGather on invalid communicator");
+  check_args(sendbuf, count, type, "allGather");
+  JHPC_REQUIRE(recvbuf.length() >= static_cast<std::size_t>(count) *
+                                       static_cast<std::size_t>(getSize()),
+               "allGather: receive array too small");
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> send(jni, sendbuf, static_cast<std::size_t>(count),
+                      minijvm::ReleaseMode::kAbort);
+  ArrayRegion<T> recv(jni, recvbuf,
+                      static_cast<std::size_t>(count) *
+                          static_cast<std::size_t>(getSize()),
+                      minijvm::ReleaseMode::kCommitAndFree);
+  native_.allgather(send.data(), static_cast<std::size_t>(count) * sizeof(T),
+                    recv.data());
+}
+
+template <JavaPrimitive T>
+void Comm::allToAll(const JArray<T>& sendbuf, int count,
+                    const Datatype& type, JArray<T>& recvbuf) const {
+  JHPC_REQUIRE(valid(), "allToAll on invalid communicator");
+  JHPC_REQUIRE(type.isBasic() && kind_of<T>() == type.kind(),
+               "allToAll: datatype does not match array type");
+  const auto total = static_cast<std::size_t>(count) *
+                     static_cast<std::size_t>(getSize());
+  JHPC_REQUIRE(sendbuf.length() >= total, "allToAll: send array too small");
+  JHPC_REQUIRE(recvbuf.length() >= total,
+               "allToAll: receive array too small");
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> send(jni, sendbuf, total, minijvm::ReleaseMode::kAbort);
+  ArrayRegion<T> recv(jni, recvbuf, total,
+                      minijvm::ReleaseMode::kCommitAndFree);
+  native_.alltoall(send.data(), static_cast<std::size_t>(count) * sizeof(T),
+                   recv.data());
+}
+
+// --- Explicit instantiations ---------------------------------------------------
+
+#define JHPC_OMPIJ_INSTANTIATE(T)                                            \
+  template void Comm::send<T>(const JArray<T>&, int, const Datatype&, int,   \
+                              int) const;                                    \
+  template Status Comm::recv<T>(JArray<T>&, int, const Datatype&, int, int)  \
+      const;                                                                 \
+  template Request Comm::iSend<T>(const JArray<T>&, int, const Datatype&,    \
+                                  int, int) const;                           \
+  template Request Comm::iRecv<T>(JArray<T>&, int, const Datatype&, int,     \
+                                  int) const;                                \
+  template void Comm::bcast<T>(JArray<T>&, int, const Datatype&, int) const; \
+  template void Comm::reduce<T>(const JArray<T>&, JArray<T>&, int,           \
+                                const Datatype&, const Op&, int) const;      \
+  template void Comm::allReduce<T>(const JArray<T>&, JArray<T>&, int,        \
+                                   const Datatype&, const Op&) const;        \
+  template void Comm::reduceScatterBlock<T>(const JArray<T>&, JArray<T>&,    \
+                                            int, const Datatype&,            \
+                                            const Op&) const;                \
+  template void Comm::scan<T>(const JArray<T>&, JArray<T>&, int,             \
+                              const Datatype&, const Op&) const;             \
+  template void Comm::gather<T>(const JArray<T>&, int, const Datatype&,      \
+                                JArray<T>&, int) const;                      \
+  template void Comm::scatter<T>(const JArray<T>&, int, const Datatype&,     \
+                                 JArray<T>&, int) const;                     \
+  template void Comm::allGather<T>(const JArray<T>&, int, const Datatype&,   \
+                                   JArray<T>&) const;                        \
+  template void Comm::allToAll<T>(const JArray<T>&, int, const Datatype&,    \
+                                  JArray<T>&) const;
+
+JHPC_OMPIJ_INSTANTIATE(minijvm::jbyte)
+JHPC_OMPIJ_INSTANTIATE(minijvm::jboolean)
+JHPC_OMPIJ_INSTANTIATE(minijvm::jchar)
+JHPC_OMPIJ_INSTANTIATE(minijvm::jshort)
+JHPC_OMPIJ_INSTANTIATE(minijvm::jint)
+JHPC_OMPIJ_INSTANTIATE(minijvm::jlong)
+JHPC_OMPIJ_INSTANTIATE(minijvm::jfloat)
+JHPC_OMPIJ_INSTANTIATE(minijvm::jdouble)
+#undef JHPC_OMPIJ_INSTANTIATE
+
+}  // namespace jhpc::ompij

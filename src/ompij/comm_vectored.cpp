@@ -1,0 +1,273 @@
+// Vectored blocking collectives of the Open MPI-J baseline: ByteBuffer
+// paths are zero-copy; array paths use the same per-call Get/Release
+// copies as the other array collectives.
+#include "jhpc/minijvm/jni.hpp"
+#include "jhpc/ompij/ompij.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::ompij {
+namespace {
+
+void to_bytes(std::span<const int> in, std::size_t el,
+              std::vector<std::size_t>* out) {
+  out->clear();
+  out->reserve(in.size());
+  for (int v : in) {
+    JHPC_REQUIRE(v >= 0, "negative count/displacement");
+    out->push_back(static_cast<std::size_t>(v) * el);
+  }
+}
+
+std::size_t span_end(const std::vector<std::size_t>& counts,
+                     const std::vector<std::size_t>& offs) {
+  std::size_t end = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    end = std::max(end, offs[i] + counts[i]);
+  return end;
+}
+
+/// RAII native staging for `count` elements of an array, mirroring what
+/// the Open MPI Java bindings do per call: malloc a native buffer of the
+/// MESSAGE size, Get<Type>ArrayRegion in (unless write-only), and
+/// Set<Type>ArrayRegion back on destruction (unless read-only). No
+/// pooling — the allocation happens on every call, which is the overhead
+/// MVAPICH2-J's buffering layer avoids.
+template <minijvm::JavaPrimitive T>
+class ArrayRegion {
+ public:
+  ArrayRegion(minijvm::JniEnv& jni, const JArray<T>& array,
+              std::size_t count, minijvm::ReleaseMode mode)
+      : jni_(jni), array_(array), count_(count), mode_(mode),
+        elems_(count) {
+    // Open MPI-J copies in unconditionally (it cannot know whether the
+    // native routine reads the buffer).
+    jni_.get_array_region(array_, 0, count_, elems_.data());
+  }
+  ~ArrayRegion() {
+    if (mode_ != minijvm::ReleaseMode::kAbort) {
+      jni_.set_array_region(array_, 0, count_, elems_.data());
+    }
+  }
+  ArrayRegion(const ArrayRegion&) = delete;
+  ArrayRegion& operator=(const ArrayRegion&) = delete;
+
+  T* data() { return elems_.data(); }
+
+ private:
+  minijvm::JniEnv& jni_;
+  JArray<T> array_;
+  std::size_t count_;
+  minijvm::ReleaseMode mode_;
+  std::vector<T> elems_;
+};
+
+}  // namespace
+
+void Comm::gatherv(const ByteBuffer& sendbuf, int sendcount,
+                   const Datatype& type, ByteBuffer& recvbuf,
+                   std::span<const int> recvcounts,
+                   std::span<const int> displs, int root) const {
+  JHPC_REQUIRE(valid(), "gatherv on invalid communicator");
+  const std::size_t sbytes =
+      static_cast<std::size_t>(sendcount) * type.size();
+  std::vector<std::size_t> counts, offs;
+  to_bytes(recvcounts, type.size(), &counts);
+  to_bytes(displs, type.size(), &offs);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, sbytes, "gatherv");
+  std::byte* rp = getRank() == root
+                      ? buffer_address(recvbuf, span_end(counts, offs),
+                                       "gatherv")
+                      : nullptr;
+  native_.gatherv(sp, sbytes, rp, counts, offs, root);
+}
+
+void Comm::scatterv(const ByteBuffer& sendbuf,
+                    std::span<const int> sendcounts,
+                    std::span<const int> displs, const Datatype& type,
+                    ByteBuffer& recvbuf, int recvcount, int root) const {
+  JHPC_REQUIRE(valid(), "scatterv on invalid communicator");
+  const std::size_t rbytes =
+      static_cast<std::size_t>(recvcount) * type.size();
+  std::vector<std::size_t> counts, offs;
+  to_bytes(sendcounts, type.size(), &counts);
+  to_bytes(displs, type.size(), &offs);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = getRank() == root
+                            ? buffer_address(sendbuf, span_end(counts, offs),
+                                             "scatterv")
+                            : nullptr;
+  std::byte* rp = buffer_address(recvbuf, rbytes, "scatterv");
+  native_.scatterv(sp, counts, offs, rp, rbytes, root);
+}
+
+void Comm::allGatherv(const ByteBuffer& sendbuf, int sendcount,
+                      const Datatype& type, ByteBuffer& recvbuf,
+                      std::span<const int> recvcounts,
+                      std::span<const int> displs) const {
+  JHPC_REQUIRE(valid(), "allGatherv on invalid communicator");
+  const std::size_t sbytes =
+      static_cast<std::size_t>(sendcount) * type.size();
+  std::vector<std::size_t> counts, offs;
+  to_bytes(recvcounts, type.size(), &counts);
+  to_bytes(displs, type.size(), &offs);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, sbytes, "allGatherv");
+  std::byte* rp =
+      buffer_address(recvbuf, span_end(counts, offs), "allGatherv");
+  native_.allgatherv(sp, sbytes, rp, counts, offs);
+}
+
+void Comm::allToAllv(const ByteBuffer& sendbuf,
+                     std::span<const int> sendcounts,
+                     std::span<const int> sdispls, const Datatype& type,
+                     ByteBuffer& recvbuf, std::span<const int> recvcounts,
+                     std::span<const int> rdispls) const {
+  JHPC_REQUIRE(valid(), "allToAllv on invalid communicator");
+  std::vector<std::size_t> sc, so, rc, ro;
+  to_bytes(sendcounts, type.size(), &sc);
+  to_bytes(sdispls, type.size(), &so);
+  to_bytes(recvcounts, type.size(), &rc);
+  to_bytes(rdispls, type.size(), &ro);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, span_end(sc, so),
+                                       "allToAllv");
+  std::byte* rp = buffer_address(recvbuf, span_end(rc, ro), "allToAllv");
+  native_.alltoallv(sp, sc, so, rp, rc, ro);
+}
+
+template <JavaPrimitive T>
+void Comm::gatherv(const JArray<T>& sendbuf, int sendcount,
+                   const Datatype& type, JArray<T>& recvbuf,
+                   std::span<const int> recvcounts,
+                   std::span<const int> displs, int root) const {
+  JHPC_REQUIRE(valid(), "gatherv on invalid communicator");
+  JHPC_REQUIRE(type.isBasic() && kind_of<T>() == type.kind(),
+               "gatherv: datatype does not match array type");
+  std::vector<std::size_t> counts, offs;
+  to_bytes(recvcounts, sizeof(T), &counts);
+  to_bytes(displs, sizeof(T), &offs);
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> send(jni, sendbuf, static_cast<std::size_t>(sendcount),
+                      minijvm::ReleaseMode::kAbort);
+  if (getRank() == root) {
+    JHPC_REQUIRE(recvbuf.length() * sizeof(T) >= span_end(counts, offs),
+                 "gatherv: receive array too small");
+    ArrayRegion<T> recv(jni, recvbuf, span_end(counts, offs) / sizeof(T),
+                        minijvm::ReleaseMode::kCommitAndFree);
+    native_.gatherv(send.data(),
+                    static_cast<std::size_t>(sendcount) * sizeof(T),
+                    recv.data(), counts, offs, root);
+  } else {
+    native_.gatherv(send.data(),
+                    static_cast<std::size_t>(sendcount) * sizeof(T), nullptr,
+                    counts, offs, root);
+  }
+}
+
+template <JavaPrimitive T>
+void Comm::scatterv(const JArray<T>& sendbuf,
+                    std::span<const int> sendcounts,
+                    std::span<const int> displs, const Datatype& type,
+                    JArray<T>& recvbuf, int recvcount, int root) const {
+  JHPC_REQUIRE(valid(), "scatterv on invalid communicator");
+  JHPC_REQUIRE(type.isBasic() && kind_of<T>() == type.kind(),
+               "scatterv: datatype does not match array type");
+  std::vector<std::size_t> counts, offs;
+  to_bytes(sendcounts, sizeof(T), &counts);
+  to_bytes(displs, sizeof(T), &offs);
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> recv(jni, recvbuf, static_cast<std::size_t>(recvcount),
+                      minijvm::ReleaseMode::kCommitAndFree);
+  if (getRank() == root) {
+    JHPC_REQUIRE(sendbuf.length() * sizeof(T) >= span_end(counts, offs),
+                 "scatterv: send array too small");
+    ArrayRegion<T> send(jni, sendbuf, span_end(counts, offs) / sizeof(T),
+                        minijvm::ReleaseMode::kAbort);
+    native_.scatterv(send.data(), counts, offs, recv.data(),
+                     static_cast<std::size_t>(recvcount) * sizeof(T), root);
+  } else {
+    native_.scatterv(nullptr, counts, offs, recv.data(),
+                     static_cast<std::size_t>(recvcount) * sizeof(T), root);
+  }
+}
+
+template <JavaPrimitive T>
+void Comm::allGatherv(const JArray<T>& sendbuf, int sendcount,
+                      const Datatype& type, JArray<T>& recvbuf,
+                      std::span<const int> recvcounts,
+                      std::span<const int> displs) const {
+  JHPC_REQUIRE(valid(), "allGatherv on invalid communicator");
+  JHPC_REQUIRE(type.isBasic() && kind_of<T>() == type.kind(),
+               "allGatherv: datatype does not match array type");
+  std::vector<std::size_t> counts, offs;
+  to_bytes(recvcounts, sizeof(T), &counts);
+  to_bytes(displs, sizeof(T), &offs);
+  JHPC_REQUIRE(recvbuf.length() * sizeof(T) >= span_end(counts, offs),
+               "allGatherv: receive array too small");
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> send(jni, sendbuf, static_cast<std::size_t>(sendcount),
+                      minijvm::ReleaseMode::kAbort);
+  ArrayRegion<T> recv(jni, recvbuf, span_end(counts, offs) / sizeof(T),
+                      minijvm::ReleaseMode::kCommitAndFree);
+  native_.allgatherv(send.data(),
+                     static_cast<std::size_t>(sendcount) * sizeof(T),
+                     recv.data(), counts, offs);
+}
+
+template <JavaPrimitive T>
+void Comm::allToAllv(const JArray<T>& sendbuf,
+                     std::span<const int> sendcounts,
+                     std::span<const int> sdispls, const Datatype& type,
+                     JArray<T>& recvbuf, std::span<const int> recvcounts,
+                     std::span<const int> rdispls) const {
+  JHPC_REQUIRE(valid(), "allToAllv on invalid communicator");
+  JHPC_REQUIRE(type.isBasic() && kind_of<T>() == type.kind(),
+               "allToAllv: datatype does not match array type");
+  std::vector<std::size_t> sc, so, rc, ro;
+  to_bytes(sendcounts, sizeof(T), &sc);
+  to_bytes(sdispls, sizeof(T), &so);
+  to_bytes(recvcounts, sizeof(T), &rc);
+  to_bytes(rdispls, sizeof(T), &ro);
+  JHPC_REQUIRE(sendbuf.length() * sizeof(T) >= span_end(sc, so),
+               "allToAllv: send array too small");
+  JHPC_REQUIRE(recvbuf.length() * sizeof(T) >= span_end(rc, ro),
+               "allToAllv: receive array too small");
+  minijvm::JniEnv& jni = env_->jvm_->jni();
+  jni.crossing();
+  ArrayRegion<T> send(jni, sendbuf, span_end(sc, so) / sizeof(T),
+                      minijvm::ReleaseMode::kAbort);
+  ArrayRegion<T> recv(jni, recvbuf, span_end(rc, ro) / sizeof(T),
+                      minijvm::ReleaseMode::kCommitAndFree);
+  native_.alltoallv(send.data(), sc, so, recv.data(), rc, ro);
+}
+
+#define JHPC_OMPIJ_V_INSTANTIATE(T)                                          \
+  template void Comm::gatherv<T>(const JArray<T>&, int, const Datatype&,     \
+                                 JArray<T>&, std::span<const int>,           \
+                                 std::span<const int>, int) const;           \
+  template void Comm::scatterv<T>(const JArray<T>&, std::span<const int>,    \
+                                  std::span<const int>, const Datatype&,     \
+                                  JArray<T>&, int, int) const;               \
+  template void Comm::allGatherv<T>(const JArray<T>&, int, const Datatype&,  \
+                                    JArray<T>&, std::span<const int>,        \
+                                    std::span<const int>) const;             \
+  template void Comm::allToAllv<T>(const JArray<T>&, std::span<const int>,   \
+                                   std::span<const int>, const Datatype&,    \
+                                   JArray<T>&, std::span<const int>,         \
+                                   std::span<const int>) const;
+
+JHPC_OMPIJ_V_INSTANTIATE(minijvm::jbyte)
+JHPC_OMPIJ_V_INSTANTIATE(minijvm::jboolean)
+JHPC_OMPIJ_V_INSTANTIATE(minijvm::jchar)
+JHPC_OMPIJ_V_INSTANTIATE(minijvm::jshort)
+JHPC_OMPIJ_V_INSTANTIATE(minijvm::jint)
+JHPC_OMPIJ_V_INSTANTIATE(minijvm::jlong)
+JHPC_OMPIJ_V_INSTANTIATE(minijvm::jfloat)
+JHPC_OMPIJ_V_INSTANTIATE(minijvm::jdouble)
+#undef JHPC_OMPIJ_V_INSTANTIATE
+
+}  // namespace jhpc::ompij

@@ -1,0 +1,236 @@
+// The Open MPI Java bindings baseline ("Open MPI-J" in the paper).
+//
+// Same public API shape as MVAPICH2-J (which adopted this API), different
+// implementation choices — faithfully reproduced because the paper's
+// evaluation turns on them:
+//
+//   * Java arrays are staged through a freshly malloc'd native buffer on
+//     EVERY call (Get/Set<Type>ArrayRegion, sized by the message): a copy
+//     in, and a copy back for receive-like operations. No staging pool.
+//   * Java arrays with non-blocking point-to-point operations are NOT
+//     supported: iSend/iRecv with arrays throw UnsupportedOperationError.
+//     (This is why the paper's bandwidth figures have no "Open MPI-J
+//     arrays" series.)
+//   * The native library underneath is the `basic` collective suite —
+//     flat linear algorithms — which is where the paper's 6.2x/2.76x
+//     collective gaps come from.
+//
+// Datatype/Op/Status constants are shared with mv2j (both libraries
+// implement the same Java API).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "jhpc/minijvm/bytebuffer.hpp"
+#include "jhpc/minijvm/jarray.hpp"
+#include "jhpc/minijvm/jvm.hpp"
+#include "jhpc/minimpi/comm.hpp"
+#include "jhpc/minimpi/universe.hpp"
+#include "jhpc/mv2j/request.hpp"
+#include "jhpc/mv2j/types.hpp"
+
+namespace jhpc::ompij {
+
+using minijvm::ByteBuffer;
+using minijvm::JArray;
+using minijvm::JavaPrimitive;
+// The API constants are the same Java API; reuse the mv2j definitions.
+using mv2j::Datatype;
+using mv2j::kind_of;
+using mv2j::Op;
+using mv2j::Request;
+using mv2j::Status;
+using mv2j::ANY_SOURCE;
+using mv2j::ANY_TAG;
+
+class Env;
+
+/// mpi.Comm of the Open MPI-J baseline.
+class Comm {
+ public:
+  Comm() = default;
+
+  bool valid() const { return env_ != nullptr && native_.valid(); }
+  int getRank() const { return native_.rank(); }
+  int getSize() const { return native_.size(); }
+
+  // --- Point-to-point: direct ByteBuffer API (zero copy) --------------------
+  void send(const ByteBuffer& buf, int count, const Datatype& type, int dest,
+            int tag) const;
+  Status recv(ByteBuffer& buf, int count, const Datatype& type, int source,
+              int tag) const;
+  Request iSend(const ByteBuffer& buf, int count, const Datatype& type,
+                int dest, int tag) const;
+  Request iRecv(ByteBuffer& buf, int count, const Datatype& type, int source,
+                int tag) const;
+
+  // --- Point-to-point: Java array API (Get/Release copies) ------------------
+  template <JavaPrimitive T>
+  void send(const JArray<T>& buf, int count, const Datatype& type, int dest,
+            int tag) const;
+  template <JavaPrimitive T>
+  Status recv(JArray<T>& buf, int count, const Datatype& type, int source,
+              int tag) const;
+  /// NOT SUPPORTED (throws UnsupportedOperationError): the Open MPI Java
+  /// bindings cannot keep an array copy alive across a non-blocking call.
+  template <JavaPrimitive T>
+  Request iSend(const JArray<T>& buf, int count, const Datatype& type,
+                int dest, int tag) const;
+  /// NOT SUPPORTED (throws UnsupportedOperationError).
+  template <JavaPrimitive T>
+  Request iRecv(JArray<T>& buf, int count, const Datatype& type, int source,
+                int tag) const;
+
+  // --- Probing -------------------------------------------------------------
+  Status probe(int source, int tag) const;
+  bool iProbe(int source, int tag, Status* status) const;
+
+  // --- Blocking collectives: ByteBuffer API -----------------------------------
+  void barrier() const;
+  void bcast(ByteBuffer& buf, int count, const Datatype& type,
+             int root) const;
+  void reduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
+              const Datatype& type, const Op& op, int root) const;
+  void allReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
+                 const Datatype& type, const Op& op) const;
+  void reduceScatterBlock(const ByteBuffer& sendbuf, ByteBuffer& recvbuf,
+                          int recvcount, const Datatype& type,
+                          const Op& op) const;
+  void scan(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
+            const Datatype& type, const Op& op) const;
+  void gather(const ByteBuffer& sendbuf, int count, const Datatype& type,
+              ByteBuffer& recvbuf, int root) const;
+  void scatter(const ByteBuffer& sendbuf, int count, const Datatype& type,
+               ByteBuffer& recvbuf, int root) const;
+  void allGather(const ByteBuffer& sendbuf, int count, const Datatype& type,
+                 ByteBuffer& recvbuf) const;
+  void allToAll(const ByteBuffer& sendbuf, int count, const Datatype& type,
+                ByteBuffer& recvbuf) const;
+
+  // --- Blocking collectives: Java array API (Get/Release around native) ------
+  template <JavaPrimitive T>
+  void bcast(JArray<T>& buf, int count, const Datatype& type,
+             int root) const;
+  template <JavaPrimitive T>
+  void reduce(const JArray<T>& sendbuf, JArray<T>& recvbuf, int count,
+              const Datatype& type, const Op& op, int root) const;
+  template <JavaPrimitive T>
+  void allReduce(const JArray<T>& sendbuf, JArray<T>& recvbuf, int count,
+                 const Datatype& type, const Op& op) const;
+  template <JavaPrimitive T>
+  void reduceScatterBlock(const JArray<T>& sendbuf, JArray<T>& recvbuf,
+                          int recvcount, const Datatype& type,
+                          const Op& op) const;
+  template <JavaPrimitive T>
+  void scan(const JArray<T>& sendbuf, JArray<T>& recvbuf, int count,
+            const Datatype& type, const Op& op) const;
+  template <JavaPrimitive T>
+  void gather(const JArray<T>& sendbuf, int count, const Datatype& type,
+              JArray<T>& recvbuf, int root) const;
+  template <JavaPrimitive T>
+  void scatter(const JArray<T>& sendbuf, int count, const Datatype& type,
+               JArray<T>& recvbuf, int root) const;
+  template <JavaPrimitive T>
+  void allGather(const JArray<T>& sendbuf, int count, const Datatype& type,
+                 JArray<T>& recvbuf) const;
+  template <JavaPrimitive T>
+  void allToAll(const JArray<T>& sendbuf, int count, const Datatype& type,
+                JArray<T>& recvbuf) const;
+
+  // --- Vectored blocking collectives (counts/displs in elements) -----------
+  void gatherv(const ByteBuffer& sendbuf, int sendcount,
+               const Datatype& type, ByteBuffer& recvbuf,
+               std::span<const int> recvcounts, std::span<const int> displs,
+               int root) const;
+  void scatterv(const ByteBuffer& sendbuf, std::span<const int> sendcounts,
+                std::span<const int> displs, const Datatype& type,
+                ByteBuffer& recvbuf, int recvcount, int root) const;
+  void allGatherv(const ByteBuffer& sendbuf, int sendcount,
+                  const Datatype& type, ByteBuffer& recvbuf,
+                  std::span<const int> recvcounts,
+                  std::span<const int> displs) const;
+  void allToAllv(const ByteBuffer& sendbuf, std::span<const int> sendcounts,
+                 std::span<const int> sdispls, const Datatype& type,
+                 ByteBuffer& recvbuf, std::span<const int> recvcounts,
+                 std::span<const int> rdispls) const;
+
+  template <JavaPrimitive T>
+  void gatherv(const JArray<T>& sendbuf, int sendcount, const Datatype& type,
+               JArray<T>& recvbuf, std::span<const int> recvcounts,
+               std::span<const int> displs, int root) const;
+  template <JavaPrimitive T>
+  void scatterv(const JArray<T>& sendbuf, std::span<const int> sendcounts,
+                std::span<const int> displs, const Datatype& type,
+                JArray<T>& recvbuf, int recvcount, int root) const;
+  template <JavaPrimitive T>
+  void allGatherv(const JArray<T>& sendbuf, int sendcount,
+                  const Datatype& type, JArray<T>& recvbuf,
+                  std::span<const int> recvcounts,
+                  std::span<const int> displs) const;
+  template <JavaPrimitive T>
+  void allToAllv(const JArray<T>& sendbuf, std::span<const int> sendcounts,
+                 std::span<const int> sdispls, const Datatype& type,
+                 JArray<T>& recvbuf, std::span<const int> recvcounts,
+                 std::span<const int> rdispls) const;
+
+  // --- Communicator management --------------------------------------------------
+  Comm dup() const;
+  Comm split(int color, int key) const;
+
+  const minimpi::Comm& native() const { return native_; }
+
+ private:
+  friend class Env;
+  Comm(Env* env, minimpi::Comm native) : env_(env), native_(native) {}
+
+  std::byte* buffer_address(const ByteBuffer& buf, std::size_t bytes,
+                            const char* what) const;
+
+  Env* env_ = nullptr;
+  minimpi::Comm native_;
+};
+
+/// Job-level options.
+struct RunOptions {
+  int ranks = 2;
+  netsim::FabricConfig fabric{};
+  std::size_t eager_limit = 16 * 1024;
+  minijvm::JvmConfig jvm = minijvm::JvmConfig::from_env();
+
+  /// Native configuration: suite forced to kOmpiBasic ("Open MPI").
+  minimpi::UniverseConfig universe_config() const;
+};
+
+/// One rank's Open MPI-J environment: a JVM plus COMM_WORLD. No buffer
+/// pool — this baseline does not have one.
+class Env {
+ public:
+  Env(minimpi::Comm& native_world, const RunOptions& options);
+  ~Env();
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  Comm& COMM_WORLD() { return world_; }
+  minijvm::Jvm& jvm() { return *jvm_; }
+
+  ByteBuffer newDirectBuffer(std::size_t bytes) {
+    return ByteBuffer::allocate_direct(bytes);
+  }
+  template <JavaPrimitive T>
+  JArray<T> newArray(std::size_t n) {
+    return jvm_->new_array<T>(n);
+  }
+
+ private:
+  friend class Comm;
+  std::unique_ptr<minijvm::Jvm> jvm_;
+  Comm world_;
+};
+
+/// Launch an Open MPI-J job.
+void run(const RunOptions& options, const std::function<void(Env&)>& rank_main);
+
+}  // namespace jhpc::ompij

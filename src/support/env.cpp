@@ -1,0 +1,57 @@
+#include "jhpc/support/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t env_int64(const char* name, std::int64_t default_value) {
+  auto s = env_string(name);
+  if (!s) return default_value;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(*s, &pos);
+    JHPC_REQUIRE(pos == s->size(), std::string("trailing garbage in $") + name);
+    return v;
+  } catch (const std::logic_error&) {
+    throw InvalidArgumentError(std::string("cannot parse $") + name + "='" +
+                               *s + "' as integer");
+  }
+}
+
+double env_double(const char* name, double default_value) {
+  auto s = env_string(name);
+  if (!s) return default_value;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(*s, &pos);
+    JHPC_REQUIRE(pos == s->size(), std::string("trailing garbage in $") + name);
+    return v;
+  } catch (const std::logic_error&) {
+    throw InvalidArgumentError(std::string("cannot parse $") + name + "='" +
+                               *s + "' as double");
+  }
+}
+
+bool env_bool(const char* name, bool default_value) {
+  auto s = env_string(name);
+  if (!s) return default_value;
+  std::string v = *s;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw InvalidArgumentError(std::string("cannot parse $") + name + "='" + *s +
+                             "' as bool");
+}
+
+}  // namespace jhpc

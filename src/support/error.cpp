@@ -1,0 +1,16 @@
+#include "jhpc/support/error.hpp"
+
+#include <sstream>
+
+namespace jhpc::detail {
+
+void throw_check_failed(const char* kind, const char* expr, const char* file,
+                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [" << kind << " failed: " << expr << " at " << file << ":"
+     << line << "]";
+  if (std::string(kind) == "require") throw InvalidArgumentError(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace jhpc::detail

@@ -1,0 +1,78 @@
+// Byte-order utilities shared by the NIO ByteBuffer emulation and the
+// mpjbuf encoding support.
+//
+// Java's ByteBuffer defaults to BIG_ENDIAN regardless of host order; the
+// per-element byte (dis)assembly these helpers perform is exactly the
+// structural overhead that makes ByteBuffer element access slower than raw
+// array indexing — the mechanism behind the paper's Figure 18.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace jhpc {
+
+/// Mirrors java.nio.ByteOrder.
+enum class ByteOrder : std::uint8_t { kBigEndian, kLittleEndian };
+
+/// The host's native order (what java.nio.ByteOrder.nativeOrder() returns).
+constexpr ByteOrder native_order() {
+  return std::endian::native == std::endian::big ? ByteOrder::kBigEndian
+                                                 : ByteOrder::kLittleEndian;
+}
+
+namespace detail {
+
+template <typename T>
+constexpr T byteswap_value(T v) {
+  static_assert(std::is_integral_v<T>);
+  if constexpr (sizeof(T) == 1) {
+    return v;
+  } else if constexpr (sizeof(T) == 2) {
+    return static_cast<T>(__builtin_bswap16(static_cast<std::uint16_t>(v)));
+  } else if constexpr (sizeof(T) == 4) {
+    return static_cast<T>(__builtin_bswap32(static_cast<std::uint32_t>(v)));
+  } else {
+    static_assert(sizeof(T) == 8);
+    return static_cast<T>(__builtin_bswap64(static_cast<std::uint64_t>(v)));
+  }
+}
+
+}  // namespace detail
+
+/// Store `value` at `dst` in the requested order. T may be any primitive
+/// (integral or floating); floats are stored via their bit pattern.
+template <typename T>
+inline void store_ordered(void* dst, T value, ByteOrder order) {
+  static_assert(std::is_arithmetic_v<T>);
+  using Bits = std::conditional_t<
+      sizeof(T) == 1, std::uint8_t,
+      std::conditional_t<sizeof(T) == 2, std::uint16_t,
+                         std::conditional_t<sizeof(T) == 4, std::uint32_t,
+                                            std::uint64_t>>>;
+  Bits bits;
+  std::memcpy(&bits, &value, sizeof(T));
+  if (order != native_order()) bits = detail::byteswap_value(bits);
+  std::memcpy(dst, &bits, sizeof(T));
+}
+
+/// Load a T stored at `src` in the requested order.
+template <typename T>
+inline T load_ordered(const void* src, ByteOrder order) {
+  static_assert(std::is_arithmetic_v<T>);
+  using Bits = std::conditional_t<
+      sizeof(T) == 1, std::uint8_t,
+      std::conditional_t<sizeof(T) == 2, std::uint16_t,
+                         std::conditional_t<sizeof(T) == 4, std::uint32_t,
+                                            std::uint64_t>>>;
+  Bits bits;
+  std::memcpy(&bits, src, sizeof(T));
+  if (order != native_order()) bits = detail::byteswap_value(bits);
+  T value;
+  std::memcpy(&value, &bits, sizeof(T));
+  return value;
+}
+
+}  // namespace jhpc

@@ -1,0 +1,26 @@
+// Typed environment-variable configuration.
+//
+// All jhpc tunables (network model parameters, eager limit, JNI crossing
+// cost, heap size, pool caps) are read through these helpers so every
+// module documents and parses its knobs the same way.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace jhpc {
+
+/// Raw lookup; nullopt when unset or empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Integer lookup with default. Throws InvalidArgumentError on garbage.
+std::int64_t env_int64(const char* name, std::int64_t default_value);
+
+/// Double lookup with default. Throws InvalidArgumentError on garbage.
+double env_double(const char* name, double default_value);
+
+/// Boolean lookup ("1"/"true"/"yes"/"on" case-insensitive) with default.
+bool env_bool(const char* name, bool default_value);
+
+}  // namespace jhpc

@@ -1,0 +1,63 @@
+// Error handling primitives shared by every jhpc library.
+//
+// The substrates in this repository are layered the way the paper's stack
+// is layered (native MPI below, "JNI" in the middle, bindings on top), and
+// each layer has its own exception family rooted here so tests can assert
+// on the layer that failed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jhpc {
+
+/// Root of all jhpc exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Precondition/argument violation (bad count, negative offset, ...).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violation — always a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Feature intentionally unsupported by a layer (e.g. Open MPI-J baseline
+/// rejecting Java arrays with non-blocking point-to-point primitives).
+class UnsupportedOperationError : public Error {
+ public:
+  explicit UnsupportedOperationError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failed(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg);
+}  // namespace detail
+
+}  // namespace jhpc
+
+/// Argument/precondition check: throws jhpc::InvalidArgumentError.
+#define JHPC_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::jhpc::detail::throw_check_failed("require", #expr, __FILE__,         \
+                                         __LINE__, (msg));                   \
+    }                                                                        \
+  } while (0)
+
+/// Internal invariant check: throws jhpc::InternalError.
+#define JHPC_ASSERT(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::jhpc::detail::throw_check_failed("assert", #expr, __FILE__,          \
+                                         __LINE__, (msg));                   \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,22 @@
+// Message-size utilities for OMB-style sweeps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jhpc {
+
+/// Parse "4", "4K", "1M", "2G" (case-insensitive, powers of 1024) to bytes.
+std::size_t parse_size(const std::string& text);
+
+/// Render a byte count the way OMB prints size columns ("1", "1K", "4M").
+std::string format_size(std::size_t bytes);
+
+/// Power-of-two sweep [min_bytes, max_bytes], both inclusive, both must be
+/// powers of two (or min may be 0/1 to start the classic OMB sweep).
+std::vector<std::size_t> size_sweep(std::size_t min_bytes,
+                                    std::size_t max_bytes);
+
+}  // namespace jhpc

@@ -1,0 +1,64 @@
+// Streaming and batch statistics for benchmark reporting.
+//
+// OMB reports average latency in microseconds and bandwidth in MB/s; the
+// jhpc bench harness additionally records min/max and percentiles so the
+// EXPERIMENTS.md tables can show distribution tails.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jhpc {
+
+/// Welford-style running statistics over doubles.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator into this one.
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch sample set with percentile queries (keeps all samples).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0,100]. Throws when empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// OMB bandwidth formula: bytes transferred over elapsed ns, in MB/s
+/// (MB = 1e6 bytes, as OMB reports).
+double bandwidth_mbps(std::int64_t total_bytes, std::int64_t elapsed_ns);
+
+/// Geometric mean of a series of positive ratios (used for the paper's
+/// "average over all message sizes" speedup figures).
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace jhpc

@@ -1,0 +1,42 @@
+// Aligned console tables and CSV emission for the bench harness.
+//
+// Every fig*_ binary prints an OMB-style table (one row per message size,
+// one column per library/API series) and can mirror it to CSV for
+// EXPERIMENTS.md post-processing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jhpc {
+
+/// A simple column-aligned text table with an optional CSV mirror.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with right-aligned numeric-looking cells and padded columns.
+  std::string to_text() const;
+
+  /// Render as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Write CSV to `path`; throws jhpc::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 2), trimming to `prec`.
+std::string fmt_double(double v, int prec = 2);
+
+}  // namespace jhpc

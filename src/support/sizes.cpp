@@ -1,0 +1,59 @@
+#include "jhpc/support/sizes.hpp"
+
+#include <cctype>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc {
+
+std::size_t parse_size(const std::string& text) {
+  JHPC_REQUIRE(!text.empty(), "empty size string");
+  std::size_t pos = 0;
+  unsigned long long base = 0;
+  try {
+    base = std::stoull(text, &pos);
+  } catch (const std::logic_error&) {
+    throw InvalidArgumentError("cannot parse size: '" + text + "'");
+  }
+  std::size_t mult = 1;
+  if (pos < text.size()) {
+    JHPC_REQUIRE(pos + 1 == text.size(),
+                 "trailing garbage in size: '" + text + "'");
+    switch (std::toupper(static_cast<unsigned char>(text[pos]))) {
+      case 'K': mult = 1ull << 10; break;
+      case 'M': mult = 1ull << 20; break;
+      case 'G': mult = 1ull << 30; break;
+      default:
+        throw InvalidArgumentError("unknown size suffix in '" + text + "'");
+    }
+  }
+  return static_cast<std::size_t>(base) * mult;
+}
+
+std::string format_size(std::size_t bytes) {
+  if (bytes >= (1ull << 30) && bytes % (1ull << 30) == 0)
+    return std::to_string(bytes >> 30) + "G";
+  if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0)
+    return std::to_string(bytes >> 20) + "M";
+  if (bytes >= (1ull << 10) && bytes % (1ull << 10) == 0)
+    return std::to_string(bytes >> 10) + "K";
+  return std::to_string(bytes);
+}
+
+std::vector<std::size_t> size_sweep(std::size_t min_bytes,
+                                    std::size_t max_bytes) {
+  JHPC_REQUIRE(max_bytes >= min_bytes, "size sweep: max below min");
+  std::vector<std::size_t> out;
+  std::size_t s = min_bytes == 0 ? 1 : min_bytes;
+  JHPC_REQUIRE((s & (s - 1)) == 0, "size sweep bounds must be powers of two");
+  JHPC_REQUIRE((max_bytes & (max_bytes - 1)) == 0,
+               "size sweep bounds must be powers of two");
+  if (min_bytes == 0) out.push_back(0);
+  for (; s <= max_bytes; s <<= 1) {
+    out.push_back(s);
+    if (s > max_bytes / 2) break;  // avoid overflow on huge maxima
+  }
+  return out;
+}
+
+}  // namespace jhpc

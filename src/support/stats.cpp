@@ -1,0 +1,99 @@
+#include "jhpc/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  JHPC_REQUIRE(!samples_.empty(), "min() on empty SampleSet");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  JHPC_REQUIRE(!samples_.empty(), "max() on empty SampleSet");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::percentile(double p) const {
+  JHPC_REQUIRE(!samples_.empty(), "percentile() on empty SampleSet");
+  JHPC_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of [0,100]");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double bandwidth_mbps(std::int64_t total_bytes, std::int64_t elapsed_ns) {
+  if (elapsed_ns <= 0) return 0.0;
+  // bytes/ns == GB/s (1e9); MB/s = 1e3 * GB/s with MB = 1e6 bytes.
+  return static_cast<double>(total_bytes) / static_cast<double>(elapsed_ns) *
+         1e3;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  JHPC_REQUIRE(!values.empty(), "geometric_mean of empty vector");
+  double log_sum = 0.0;
+  for (double v : values) {
+    JHPC_REQUIRE(v > 0.0, "geometric_mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace jhpc

@@ -1,0 +1,173 @@
+// Type sweep: every Java primitive type through the full stack — mpjbuf
+// staging, MVAPICH2-J send/recv, Open MPI-J send/recv, reductions — via
+// gtest typed tests.
+#include <gtest/gtest.h>
+
+#include "jhpc/minijvm/jni.hpp"
+#include "jhpc/mpjbuf/buffer_factory.hpp"
+#include "jhpc/mv2j/env.hpp"
+#include "jhpc/ompij/ompij.hpp"
+
+namespace jhpc {
+namespace {
+
+using minijvm::JArray;
+using minijvm::Jvm;
+using minijvm::JvmConfig;
+
+// Deterministic non-trivial value of any primitive type.
+template <typename T>
+T sample_value(std::size_t i) {
+  if constexpr (std::is_same_v<T, minijvm::jboolean>) {
+    return static_cast<T>(i % 2);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return static_cast<T>(i) * static_cast<T>(0.25) - static_cast<T>(10);
+  } else {
+    return static_cast<T>(i * 7 + 3);
+  }
+}
+
+template <typename T>
+mv2j::Datatype datatype_of() {
+  return mv2j::Datatype(minimpi::Datatype::basic(mv2j::kind_of<T>()));
+}
+
+template <typename T>
+class TypedStackTest : public ::testing::Test {};
+
+using AllPrimitives =
+    ::testing::Types<minijvm::jbyte, minijvm::jboolean, minijvm::jchar,
+                     minijvm::jshort, minijvm::jint, minijvm::jlong,
+                     minijvm::jfloat, minijvm::jdouble>;
+TYPED_TEST_SUITE(TypedStackTest, AllPrimitives);
+
+TYPED_TEST(TypedStackTest, MpjbufRoundTripWithSection) {
+  Jvm jvm({.heap_bytes = 1 << 20, .jni_crossing_ns = 0});
+  mpjbuf::BufferFactory factory;
+  auto src = jvm.new_array<TypeParam>(32);
+  for (std::size_t i = 0; i < 32; ++i) src[i] = sample_value<TypeParam>(i);
+
+  mpjbuf::Buffer buf = factory.get(1024);
+  buf.put_section_header(mpjbuf::section_type_of<TypeParam>(), 32);
+  buf.write(src, 0, 32);
+  buf.commit();
+
+  std::size_t n = 0;
+  EXPECT_EQ(buf.get_section_header(&n),
+            mpjbuf::section_type_of<TypeParam>());
+  ASSERT_EQ(n, 32u);
+  auto dst = jvm.new_array<TypeParam>(32);
+  buf.read(dst, 0, 32);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(dst[i], src[i]);
+}
+
+TYPED_TEST(TypedStackTest, Mv2jSendRecvRoundTrip) {
+  mv2j::RunOptions o;
+  o.ranks = 2;
+  o.jvm.jni_crossing_ns = 0;
+  mv2j::run(o, [](mv2j::Env& env) {
+    auto& world = env.COMM_WORLD();
+    const auto type = datatype_of<TypeParam>();
+    if (world.getRank() == 0) {
+      auto arr = env.newArray<TypeParam>(50);
+      for (std::size_t i = 0; i < 50; ++i)
+        arr[i] = sample_value<TypeParam>(i);
+      world.send(arr, 50, type, 1, 0);
+    } else {
+      auto arr = env.newArray<TypeParam>(50);
+      mv2j::Status st = world.recv(arr, 50, type, 0, 0);
+      EXPECT_EQ(st.getCount(type), 50);
+      for (std::size_t i = 0; i < 50; ++i)
+        ASSERT_EQ(arr[i], sample_value<TypeParam>(i));
+    }
+  });
+}
+
+TYPED_TEST(TypedStackTest, Mv2jNonBlockingWithOffset) {
+  mv2j::RunOptions o;
+  o.ranks = 2;
+  o.jvm.jni_crossing_ns = 0;
+  mv2j::run(o, [](mv2j::Env& env) {
+    auto& world = env.COMM_WORLD();
+    const auto type = datatype_of<TypeParam>();
+    if (world.getRank() == 0) {
+      auto arr = env.newArray<TypeParam>(20);
+      for (std::size_t i = 0; i < 20; ++i)
+        arr[i] = sample_value<TypeParam>(i);
+      world.iSend(arr, 5, 10, type, 1, 0).waitFor();
+    } else {
+      auto arr = env.newArray<TypeParam>(20);
+      world.iRecv(arr, 2, 10, type, 0, 0).waitFor();
+      for (std::size_t i = 0; i < 10; ++i)
+        ASSERT_EQ(arr[i + 2], sample_value<TypeParam>(i + 5));
+    }
+  });
+}
+
+TYPED_TEST(TypedStackTest, OmpijSendRecvRoundTrip) {
+  ompij::RunOptions o;
+  o.ranks = 2;
+  o.jvm.jni_crossing_ns = 0;
+  ompij::run(o, [](ompij::Env& env) {
+    auto& world = env.COMM_WORLD();
+    const auto type = datatype_of<TypeParam>();
+    if (world.getRank() == 0) {
+      auto arr = env.newArray<TypeParam>(50);
+      for (std::size_t i = 0; i < 50; ++i)
+        arr[i] = sample_value<TypeParam>(i);
+      world.send(arr, 50, type, 1, 0);
+    } else {
+      auto arr = env.newArray<TypeParam>(50);
+      world.recv(arr, 50, type, 0, 0);
+      for (std::size_t i = 0; i < 50; ++i)
+        ASSERT_EQ(arr[i], sample_value<TypeParam>(i));
+    }
+    EXPECT_EQ(env.jvm().jni().outstanding_copies(), 0u);
+  });
+}
+
+TYPED_TEST(TypedStackTest, Mv2jBcastAllTypes) {
+  mv2j::RunOptions o;
+  o.ranks = 3;
+  o.jvm.jni_crossing_ns = 0;
+  mv2j::run(o, [](mv2j::Env& env) {
+    auto& world = env.COMM_WORLD();
+    const auto type = datatype_of<TypeParam>();
+    auto arr = env.newArray<TypeParam>(16);
+    if (world.getRank() == 1) {
+      for (std::size_t i = 0; i < 16; ++i)
+        arr[i] = sample_value<TypeParam>(i);
+    }
+    world.bcast(arr, 16, type, 1);
+    for (std::size_t i = 0; i < 16; ++i)
+      ASSERT_EQ(arr[i], sample_value<TypeParam>(i));
+  });
+}
+
+TYPED_TEST(TypedStackTest, AllReduceMaxAllTypes) {
+  // MAX is defined for every primitive kind (boolean: logical or).
+  mv2j::RunOptions o;
+  o.ranks = 4;
+  o.jvm.jni_crossing_ns = 0;
+  mv2j::run(o, [](mv2j::Env& env) {
+    auto& world = env.COMM_WORLD();
+    const auto type = datatype_of<TypeParam>();
+    auto mine = env.newArray<TypeParam>(4);
+    auto out = env.newArray<TypeParam>(4);
+    for (std::size_t i = 0; i < 4; ++i)
+      mine[i] = sample_value<TypeParam>(
+          static_cast<std::size_t>(world.getRank()) + i);
+    world.allReduce(mine, out, 4, type, mv2j::MAX);
+    for (std::size_t i = 0; i < 4; ++i) {
+      TypeParam want = sample_value<TypeParam>(i);
+      for (int r = 1; r < world.getSize(); ++r)
+        want = std::max(want,
+                        sample_value<TypeParam>(
+                            static_cast<std::size_t>(r) + i));
+      ASSERT_EQ(out[i], want);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace jhpc

@@ -1,0 +1,130 @@
+// Configuration plumbing: environment overrides, suite profiles, run
+// options of both binding libraries.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "jhpc/minijvm/jvm.hpp"
+#include "jhpc/minimpi/universe.hpp"
+#include "jhpc/mpjbuf/buffer_factory.hpp"
+#include "jhpc/mv2j/env.hpp"
+#include "jhpc/netsim/fabric.hpp"
+#include "jhpc/ompij/ompij.hpp"
+
+namespace jhpc {
+namespace {
+
+class EnvOverrideTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const char* v :
+         {"JHPC_PPN", "JHPC_INTER_LAT_NS", "JHPC_INTER_BW_MBPS",
+          "JHPC_INTRA_LAT_NS", "JHPC_EAGER_LIMIT", "JHPC_JNI_CROSS_NS",
+          "JHPC_HEAP_MB", "JHPC_PLACEMENT", "JHPC_POOL_MIN_CAPACITY",
+          "JHPC_POOL_MAX_BUFFERS"}) {
+      ::unsetenv(v);
+    }
+  }
+};
+
+TEST_F(EnvOverrideTest, FabricFromEnv) {
+  ::setenv("JHPC_PPN", "8", 1);
+  ::setenv("JHPC_INTER_LAT_NS", "2500", 1);
+  ::setenv("JHPC_INTER_BW_MBPS", "5000", 1);
+  ::setenv("JHPC_INTRA_LAT_NS", "50", 1);
+  const auto cfg = netsim::FabricConfig::from_env();
+  EXPECT_EQ(cfg.ranks_per_node, 8);
+  EXPECT_EQ(cfg.inter_latency_ns, 2500);
+  EXPECT_DOUBLE_EQ(cfg.inter_bandwidth_mbps, 5000.0);
+  EXPECT_EQ(cfg.intra_latency_ns, 50);
+}
+
+TEST_F(EnvOverrideTest, FabricDefaultsWhenUnset) {
+  const auto cfg = netsim::FabricConfig::from_env();
+  EXPECT_EQ(cfg.ranks_per_node, 0);
+  EXPECT_EQ(cfg.inter_latency_ns, 1800);
+  EXPECT_DOUBLE_EQ(cfg.inter_bandwidth_mbps, 12500.0);
+}
+
+TEST_F(EnvOverrideTest, PlacementFromEnv) {
+  ::setenv("JHPC_PLACEMENT", "rr", 1);
+  EXPECT_EQ(netsim::FabricConfig::from_env().placement,
+            netsim::Placement::kRoundRobin);
+  ::setenv("JHPC_PLACEMENT", "block", 1);
+  EXPECT_EQ(netsim::FabricConfig::from_env().placement,
+            netsim::Placement::kBlock);
+  ::setenv("JHPC_PLACEMENT", "diagonal", 1);
+  EXPECT_THROW(netsim::FabricConfig::from_env(), InvalidArgumentError);
+  ::unsetenv("JHPC_PLACEMENT");
+}
+
+TEST_F(EnvOverrideTest, UniverseEagerLimitFromEnv) {
+  ::setenv("JHPC_EAGER_LIMIT", "4096", 1);
+  minimpi::UniverseConfig cfg;
+  cfg.apply_env();
+  EXPECT_EQ(cfg.eager_limit, 4096u);
+}
+
+TEST_F(EnvOverrideTest, JvmConfigFromEnv) {
+  ::setenv("JHPC_HEAP_MB", "16", 1);
+  ::setenv("JHPC_JNI_CROSS_NS", "123", 1);
+  const auto cfg = minijvm::JvmConfig::from_env();
+  EXPECT_EQ(cfg.heap_bytes, 16u << 20);
+  EXPECT_EQ(cfg.jni_crossing_ns, 123);
+}
+
+TEST_F(EnvOverrideTest, PoolConfigFromEnv) {
+  ::setenv("JHPC_POOL_MIN_CAPACITY", "1024", 1);
+  ::setenv("JHPC_POOL_MAX_BUFFERS", "7", 1);
+  const auto cfg = mpjbuf::FactoryConfig::from_env();
+  EXPECT_EQ(cfg.min_capacity, 1024u);
+  EXPECT_EQ(cfg.max_pooled_buffers, 7u);
+}
+
+TEST(SuiteProfileTest, Mv2jRunsOnMv2WithCheapShmChannel) {
+  mv2j::RunOptions o;
+  const auto cfg = o.universe_config();
+  EXPECT_EQ(cfg.suite, minimpi::CollectiveSuite::kMv2);
+  EXPECT_EQ(cfg.intra_send_overhead_ns, 0);
+}
+
+TEST(SuiteProfileTest, OmpijRunsOnBasicWithCostlierShmChannel) {
+  ompij::RunOptions o;
+  const auto cfg = o.universe_config();
+  EXPECT_EQ(cfg.suite, minimpi::CollectiveSuite::kOmpiBasic);
+  EXPECT_GT(cfg.intra_send_overhead_ns, 0);
+}
+
+TEST(SuiteProfileTest, IntraOverheadChargedInVirtualTime) {
+  // Two universes differing only in the shm-channel profile: the costlier
+  // one must measure a visibly higher intra-node ping-pong in vtime.
+  auto measure = [](std::int64_t overhead_ns) {
+    minimpi::UniverseConfig cfg;
+    cfg.world_size = 2;
+    cfg.intra_send_overhead_ns = overhead_ns;
+    std::int64_t out = 0;
+    minimpi::Universe::launch(cfg, [&](minimpi::Comm& world) {
+      char b = 0;
+      world.barrier();
+      const auto t0 = world.vtime_ns();
+      for (int i = 0; i < 50; ++i) {
+        if (world.rank() == 0) {
+          world.send(&b, 1, 1, 0);
+          world.recv(&b, 1, 1, 0);
+        } else {
+          world.recv(&b, 1, 0, 0);
+          world.send(&b, 1, 0, 0);
+        }
+      }
+      if (world.rank() == 0) out = (world.vtime_ns() - t0) / 50;
+    });
+    return out;
+  };
+  const auto cheap = measure(0);
+  const auto costly = measure(10'000);
+  EXPECT_GT(costly, cheap + 15'000)
+      << "2 x 10 us per round trip must be visible";
+}
+
+}  // namespace
+}  // namespace jhpc

@@ -1,0 +1,246 @@
+// java.nio ByteBuffer emulation: state machine, typed accessors, byte
+// order, views, direct vs heap storage.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "jhpc/minijvm/bytebuffer.hpp"
+#include "jhpc/minijvm/direct_memory.hpp"
+#include "jhpc/minijvm/jvm.hpp"
+
+namespace jhpc::minijvm {
+namespace {
+
+JvmConfig fast_cfg() {
+  JvmConfig c;
+  c.heap_bytes = 1 << 20;
+  c.jni_crossing_ns = 0;
+  return c;
+}
+
+TEST(ByteBufferTest, FreshBufferState) {
+  auto b = ByteBuffer::allocate_direct(64);
+  EXPECT_TRUE(b.is_direct());
+  EXPECT_EQ(b.capacity(), 64u);
+  EXPECT_EQ(b.position(), 0u);
+  EXPECT_EQ(b.limit(), 64u);
+  EXPECT_EQ(b.remaining(), 64u);
+  EXPECT_EQ(b.order(), ByteOrder::kBigEndian) << "java.nio default";
+}
+
+TEST(ByteBufferTest, HeapBufferIsNotDirect) {
+  Jvm jvm(fast_cfg());
+  auto b = ByteBuffer::allocate(jvm, 64);
+  EXPECT_FALSE(b.is_direct());
+  EXPECT_EQ(b.capacity(), 64u);
+}
+
+TEST(ByteBufferTest, RelativePutGetRoundTrip) {
+  auto b = ByteBuffer::allocate_direct(64);
+  b.put(1).put_short(2).put_int(3).put_long(4).put_float(5.5f).put_double(
+      6.25);
+  b.put_char(u'Z');
+  b.flip();
+  EXPECT_EQ(b.limit(), 1u + 2 + 4 + 8 + 4 + 8 + 2);
+  EXPECT_EQ(b.get(), 1);
+  EXPECT_EQ(b.get_short(), 2);
+  EXPECT_EQ(b.get_int(), 3);
+  EXPECT_EQ(b.get_long(), 4);
+  EXPECT_FLOAT_EQ(b.get_float(), 5.5f);
+  EXPECT_DOUBLE_EQ(b.get_double(), 6.25);
+  EXPECT_EQ(b.get_char(), u'Z');
+  EXPECT_FALSE(b.has_remaining());
+}
+
+TEST(ByteBufferTest, DefaultOrderIsBigEndianOnTheWire) {
+  auto b = ByteBuffer::allocate_direct(8);
+  b.put_int(0x01020304);
+  const std::byte* raw = b.storage_address(0);
+  EXPECT_EQ(static_cast<unsigned>(raw[0]), 0x01u);
+  EXPECT_EQ(static_cast<unsigned>(raw[3]), 0x04u);
+}
+
+TEST(ByteBufferTest, LittleEndianOrderHonoured) {
+  auto b = ByteBuffer::allocate_direct(8);
+  b.order(ByteOrder::kLittleEndian).put_int(0x01020304);
+  const std::byte* raw = b.storage_address(0);
+  EXPECT_EQ(static_cast<unsigned>(raw[0]), 0x04u);
+  b.flip();
+  EXPECT_EQ(b.get_int(), 0x01020304);
+}
+
+TEST(ByteBufferTest, AbsoluteAccessDoesNotMovePosition) {
+  auto b = ByteBuffer::allocate_direct(32);
+  b.put_int(8, 1234);
+  EXPECT_EQ(b.position(), 0u);
+  EXPECT_EQ(b.get_int(8), 1234);
+  b.put(0, 7);
+  EXPECT_EQ(b.get(0), 7);
+  b.put_long(16, -5);
+  EXPECT_EQ(b.get_long(16), -5);
+  b.put_double(24, 2.5);
+  EXPECT_DOUBLE_EQ(b.get_double(24), 2.5);
+}
+
+TEST(ByteBufferTest, OverflowUnderflowThrow) {
+  auto b = ByteBuffer::allocate_direct(4);
+  b.put_int(1);
+  EXPECT_THROW(b.put(0), BufferError);           // full
+  b.flip();
+  b.get_int();
+  EXPECT_THROW(b.get(), BufferError);            // drained
+  EXPECT_THROW(b.get_int(1), BufferError);       // absolute past limit
+  EXPECT_THROW(b.position(99), BufferError);
+  EXPECT_THROW(b.limit(99), BufferError);
+}
+
+TEST(ByteBufferTest, MarkAndReset) {
+  auto b = ByteBuffer::allocate_direct(16);
+  b.put_int(1).mark().put_int(2);
+  b.reset();
+  EXPECT_EQ(b.position(), 4u);
+  auto c = ByteBuffer::allocate_direct(4);
+  EXPECT_THROW(c.reset(), BufferError);
+}
+
+TEST(ByteBufferTest, FlipClearRewind) {
+  auto b = ByteBuffer::allocate_direct(16);
+  b.put_int(1).put_int(2);
+  b.flip();
+  EXPECT_EQ(b.position(), 0u);
+  EXPECT_EQ(b.limit(), 8u);
+  b.get_int();
+  b.rewind();
+  EXPECT_EQ(b.position(), 0u);
+  EXPECT_EQ(b.limit(), 8u);
+  b.clear();
+  EXPECT_EQ(b.limit(), 16u);
+}
+
+TEST(ByteBufferTest, BulkTransfer) {
+  auto b = ByteBuffer::allocate_direct(64);
+  std::vector<std::uint8_t> src{1, 2, 3, 4, 5};
+  b.put_bytes(src.data(), src.size());
+  b.flip();
+  std::vector<std::uint8_t> dst(5, 0);
+  b.get_bytes(dst.data(), dst.size());
+  EXPECT_EQ(dst, src);
+}
+
+TEST(ByteBufferTest, SliceSharesStorage) {
+  auto b = ByteBuffer::allocate_direct(16);
+  b.put_int(0x11111111);
+  auto s = b.slice();  // starts at position 4
+  EXPECT_EQ(s.capacity(), 12u);
+  s.put_int(0x22222222);
+  b.clear();
+  EXPECT_EQ(b.get_int(0), 0x11111111);
+  EXPECT_EQ(b.get_int(4), 0x22222222) << "slice writes into the parent";
+}
+
+TEST(ByteBufferTest, DuplicateIndependentState) {
+  auto b = ByteBuffer::allocate_direct(8);
+  auto d = b.duplicate();
+  d.put_int(42);
+  EXPECT_EQ(b.position(), 0u) << "duplicate has its own position";
+  EXPECT_EQ(b.get_int(0), 42) << "but shares the content";
+}
+
+TEST(ByteBufferTest, HeapBufferSurvivesGcAndFollowsTheArray) {
+  Jvm jvm(fast_cfg());
+  auto b = ByteBuffer::allocate(jvm, 32);
+  b.put_int(0, 777);
+  const std::byte* before = b.storage_address(0);
+  ASSERT_TRUE(jvm.gc());
+  EXPECT_NE(b.storage_address(0), before)
+      << "heap buffer storage moves with the collector";
+  EXPECT_EQ(b.get_int(0), 777);
+}
+
+TEST(ByteBufferTest, WrapExistingArray) {
+  Jvm jvm(fast_cfg());
+  auto arr = jvm.new_array<jbyte>(8);
+  arr[0] = 9;
+  auto b = ByteBuffer::wrap(arr);
+  EXPECT_EQ(b.get(0), 9);
+  b.put(1, 10);
+  EXPECT_EQ(arr[1], 10);
+}
+
+TEST(ByteBufferTest, NullBufferRejectsAccess) {
+  ByteBuffer b;
+  EXPECT_TRUE(b.is_null());
+  EXPECT_THROW(b.get(), BufferError);
+  EXPECT_THROW(b.put(1), BufferError);
+}
+
+TEST(DirectMemoryTest, AccountingTracksLifecycle) {
+  auto& dm = DirectMemory::instance();
+  const auto live0 = dm.stats().live_bytes;
+  {
+    auto b = ByteBuffer::allocate_direct(4096);
+    EXPECT_EQ(dm.stats().live_bytes, live0 + 4096);
+    auto dup = b.duplicate();  // shared storage: no extra accounting
+    EXPECT_EQ(dm.stats().live_bytes, live0 + 4096);
+  }
+  EXPECT_EQ(dm.stats().live_bytes, live0);
+}
+
+TEST(DirectMemoryTest, LimitEnforcedLikeMaxDirectMemorySize) {
+  auto& dm = DirectMemory::instance();
+  const auto base = dm.stats().live_bytes;
+  dm.set_limit(base + (1u << 20));
+  std::vector<ByteBuffer> held;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i)
+          held.push_back(ByteBuffer::allocate_direct(64 * 1024));
+      },
+      OutOfMemoryError);
+  held.clear();
+  dm.set_limit(0);  // back to unlimited for other tests
+  EXPECT_NO_THROW(ByteBuffer::allocate_direct(4 << 20));
+}
+
+TEST(DirectMemoryTest, FailedAllocationReleasesReservation) {
+  auto& dm = DirectMemory::instance();
+  const auto live0 = dm.stats().live_bytes;
+  dm.set_limit(live0 + 1024);
+  EXPECT_THROW(ByteBuffer::allocate_direct(2048), OutOfMemoryError);
+  EXPECT_EQ(dm.stats().live_bytes, live0)
+      << "a rejected reservation must not leak accounting";
+  dm.set_limit(0);
+}
+
+class OrderRoundTrip : public ::testing::TestWithParam<ByteOrder> {};
+
+TEST_P(OrderRoundTrip, AllTypesAllOrders) {
+  auto b = ByteBuffer::allocate_direct(64).order(GetParam());
+  b.put(-7)
+      .put_char(u'€')
+      .put_short(-1234)
+      .put_int(0x7FEEDDCC)
+      .put_long(-0x123456789ALL)
+      .put_float(3.14f)
+      .put_double(-2.718281828);
+  b.flip();
+  EXPECT_EQ(b.get(), -7);
+  EXPECT_EQ(b.get_char(), u'€');
+  EXPECT_EQ(b.get_short(), -1234);
+  EXPECT_EQ(b.get_int(), 0x7FEEDDCC);
+  EXPECT_EQ(b.get_long(), -0x123456789ALL);
+  EXPECT_FLOAT_EQ(b.get_float(), 3.14f);
+  EXPECT_DOUBLE_EQ(b.get_double(), -2.718281828);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OrderRoundTrip,
+                         ::testing::Values(ByteOrder::kBigEndian,
+                                           ByteOrder::kLittleEndian),
+                         [](const auto& info) {
+                           return info.param == ByteOrder::kBigEndian
+                                      ? "big"
+                                      : "little";
+                         });
+
+}  // namespace
+}  // namespace jhpc::minijvm

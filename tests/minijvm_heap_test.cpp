@@ -1,0 +1,300 @@
+// The managed heap and its moving collector: the property everything else
+// in this reproduction rests on is that GC really relocates objects.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "jhpc/minijvm/jni.hpp"
+#include "jhpc/minijvm/jvm.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minijvm {
+namespace {
+
+JvmConfig small_cfg(std::size_t heap_bytes = 1 << 20) {
+  JvmConfig c;
+  c.heap_bytes = heap_bytes;
+  c.jni_crossing_ns = 0;  // keep unit tests fast
+  return c;
+}
+
+TEST(HeapTest, AllocateZeroInitialised) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(100);
+  EXPECT_EQ(a.length(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(a[i], 0);
+}
+
+TEST(HeapTest, ElementReadWrite) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jdouble>(8);
+  for (std::size_t i = 0; i < 8; ++i) a[i] = 1.5 * static_cast<double>(i);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(a[i], 1.5 * static_cast<double>(i));
+}
+
+TEST(HeapTest, BoundsChecked) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(4);
+  EXPECT_THROW(a[4], jhpc::InvalidArgumentError);
+  JArray<jint> null_arr;
+  EXPECT_THROW(null_arr[0], jhpc::InvalidArgumentError);
+}
+
+TEST(HeapTest, GcMovesObjectsAndPreservesContents) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(1000);
+  for (std::size_t i = 0; i < 1000; ++i) a[i] = static_cast<jint>(i * 3);
+  const std::byte* before = a.raw_address();
+  ASSERT_TRUE(jvm.gc());
+  const std::byte* after = a.raw_address();
+  EXPECT_NE(before, after) << "a copying GC must relocate the object";
+  for (std::size_t i = 0; i < 1000; ++i)
+    ASSERT_EQ(a[i], static_cast<jint>(i * 3));
+  EXPECT_EQ(jvm.stats().collections, 1u);
+  EXPECT_GE(jvm.stats().objects_moved, 1u);
+}
+
+TEST(HeapTest, StalePointerIsGenuinelyStale) {
+  // The hazard the paper describes: a raw pointer taken before a GC does
+  // not point at the array afterwards.
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(64);
+  a[0] = 42;
+  auto* stale = reinterpret_cast<jint*>(a.raw_address());
+  ASSERT_TRUE(jvm.gc());
+  // The live object moved; the old location is in the from-space.
+  EXPECT_NE(reinterpret_cast<jint*>(a.raw_address()), stale);
+  EXPECT_EQ(a[0], 42);
+}
+
+TEST(HeapTest, AllocationTriggersCollection) {
+  // Heap of 1 MB -> 512 KB semispaces. Allocate-and-drop until a GC must
+  // happen.
+  Jvm jvm(small_cfg(1 << 20));
+  for (int i = 0; i < 64; ++i) {
+    auto junk = jvm.new_array<jbyte>(64 * 1024);  // dropped each loop
+    (void)junk;
+  }
+  EXPECT_GE(jvm.stats().collections, 1u);
+}
+
+TEST(HeapTest, LiveDataSurvivesAllocationPressure) {
+  Jvm jvm(small_cfg(1 << 20));
+  auto keep = jvm.new_array<jint>(10000);
+  for (std::size_t i = 0; i < keep.length(); ++i)
+    keep[i] = static_cast<jint>(7 * i + 1);
+  for (int round = 0; round < 50; ++round) {
+    auto junk = jvm.new_array<jbyte>(100 * 1024);
+    (void)junk;
+  }
+  for (std::size_t i = 0; i < keep.length(); ++i)
+    ASSERT_EQ(keep[i], static_cast<jint>(7 * i + 1));
+}
+
+TEST(HeapTest, OutOfMemoryWhenLiveSetExceedsSemispace) {
+  Jvm jvm(small_cfg(1 << 20));  // 512 KB usable
+  std::vector<JArray<jbyte>> hold;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i)
+          hold.push_back(jvm.new_array<jbyte>(64 * 1024));
+      },
+      OutOfMemoryError);
+}
+
+TEST(HeapTest, ReleasedObjectsAreReclaimed) {
+  Jvm jvm(small_cfg(1 << 20));
+  const std::size_t live0 = jvm.stats().live_bytes;
+  {
+    auto a = jvm.new_array<jbyte>(100 * 1024);
+    EXPECT_EQ(jvm.stats().live_bytes, live0 + 100 * 1024);
+  }
+  EXPECT_EQ(jvm.stats().live_bytes, live0);
+  // After release + GC the space is reusable indefinitely.
+  for (int i = 0; i < 100; ++i) {
+    auto b = jvm.new_array<jbyte>(100 * 1024);
+    (void)b;
+  }
+  SUCCEED();
+}
+
+TEST(HeapTest, SharedHandleSemantics) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(4);
+  auto b = a;  // Java reference copy
+  b[2] = 99;
+  EXPECT_EQ(a[2], 99);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(HeapTest, PinBlocksCollection) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(100);
+  jvm.heap().pin(a.handle());
+  const std::byte* before = a.raw_address();
+  EXPECT_FALSE(jvm.gc()) << "GC must not run while pinned";
+  EXPECT_EQ(a.raw_address(), before) << "pinned object must not move";
+  EXPECT_EQ(jvm.stats().blocked_collections, 1u);
+  jvm.heap().unpin(a.handle());
+  EXPECT_TRUE(jvm.gc());
+  EXPECT_NE(a.raw_address(), before);
+}
+
+TEST(HeapTest, PinNests) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(10);
+  jvm.heap().pin(a.handle());
+  jvm.heap().pin(a.handle());
+  jvm.heap().unpin(a.handle());
+  EXPECT_FALSE(jvm.gc());
+  jvm.heap().unpin(a.handle());
+  EXPECT_TRUE(jvm.gc());
+  EXPECT_THROW(jvm.heap().unpin(a.handle()), jhpc::InvalidArgumentError);
+}
+
+TEST(HeapTest, AllocationUnderPinThrowsInsteadOfMoving) {
+  Jvm jvm(small_cfg(1 << 20));
+  auto pinned = jvm.new_array<jbyte>(1024);
+  jvm.heap().pin(pinned.handle());
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) {
+          auto junk = jvm.new_array<jbyte>(64 * 1024);
+          (void)junk;
+        }
+      },
+      OutOfMemoryError);
+  jvm.heap().unpin(pinned.handle());
+}
+
+TEST(HeapTest, ReleasePinnedObjectRejected) {
+  Jvm jvm(small_cfg());
+  ManagedHeap& heap = jvm.heap();
+  const int h = heap.allocate(128);
+  heap.pin(h);
+  EXPECT_THROW(heap.release(h), jhpc::InvalidArgumentError);
+  heap.unpin(h);
+  heap.release(h);
+  EXPECT_THROW(heap.address(h), jhpc::InvalidArgumentError);
+}
+
+// --- JNI emulation -----------------------------------------------------------
+
+TEST(JniTest, GetArrayElementsReturnsACopy) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(16);
+  for (std::size_t i = 0; i < 16; ++i) a[i] = static_cast<jint>(i);
+  bool is_copy = false;
+  jint* elems = jvm.jni().get_array_elements(a, &is_copy);
+  EXPECT_TRUE(is_copy) << "modern JVMs do not pin; always a copy";
+  EXPECT_NE(reinterpret_cast<std::byte*>(elems), a.raw_address());
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(elems[i], a[i]);
+  // Native writes are invisible until release...
+  elems[3] = 333;
+  EXPECT_EQ(a[3], 3);
+  jvm.jni().release_array_elements(a, elems);
+  // ...then copied back.
+  EXPECT_EQ(a[3], 333);
+  EXPECT_EQ(jvm.jni().outstanding_copies(), 0u);
+}
+
+TEST(JniTest, ReleaseAbortDiscardsNativeWrites) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(4);
+  a[0] = 1;
+  jint* elems = jvm.jni().get_array_elements(a);
+  elems[0] = 999;
+  jvm.jni().release_array_elements(a, elems, ReleaseMode::kAbort);
+  EXPECT_EQ(a[0], 1);
+}
+
+TEST(JniTest, ReleaseCommitKeepsCopyAlive) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(4);
+  jint* elems = jvm.jni().get_array_elements(a);
+  elems[1] = 7;
+  jvm.jni().release_array_elements(a, elems, ReleaseMode::kCommit);
+  EXPECT_EQ(a[1], 7);
+  EXPECT_EQ(jvm.jni().outstanding_copies(), 1u);
+  elems[1] = 8;
+  jvm.jni().release_array_elements(a, elems);
+  EXPECT_EQ(a[1], 8);
+  EXPECT_EQ(jvm.jni().outstanding_copies(), 0u);
+}
+
+TEST(JniTest, ReleaseSurvivesGcBetweenGetAndRelease) {
+  // The whole reason Get/Release works by handle: the array may move
+  // between the two calls.
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(64);
+  jint* elems = jvm.jni().get_array_elements(a);
+  elems[5] = 55;
+  ASSERT_TRUE(jvm.gc());  // the array moves; `elems` is a stable copy
+  jvm.jni().release_array_elements(a, elems);
+  EXPECT_EQ(a[5], 55);
+}
+
+TEST(JniTest, ReleasingForeignPointerRejected) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(4);
+  jint local[4];
+  EXPECT_THROW(jvm.jni().release_array_elements(a, local),
+               jhpc::InvalidArgumentError);
+}
+
+TEST(JniTest, CriticalPinNoCopyAndBlocksGc) {
+  Jvm jvm(small_cfg());
+  auto a = jvm.new_array<jint>(32);
+  a[0] = 11;
+  jint* p = jvm.jni().get_primitive_array_critical(a);
+  EXPECT_EQ(reinterpret_cast<std::byte*>(p), a.raw_address())
+      << "critical access is the live storage, not a copy";
+  p[0] = 22;
+  EXPECT_EQ(a[0], 22) << "writes are immediately visible";
+  EXPECT_FALSE(jvm.gc());
+  jvm.jni().release_primitive_array_critical(a, p);
+  EXPECT_TRUE(jvm.gc());
+}
+
+TEST(JniTest, DirectBufferAddressOnlyForDirect) {
+  Jvm jvm(small_cfg());
+  auto direct = ByteBuffer::allocate_direct(256);
+  auto heap = ByteBuffer::allocate(jvm, 256);
+  EXPECT_NE(jvm.jni().get_direct_buffer_address(direct), nullptr);
+  EXPECT_EQ(jvm.jni().get_direct_buffer_address(heap), nullptr)
+      << "JNI returns NULL for non-direct buffers";
+  EXPECT_EQ(jvm.jni().get_direct_buffer_capacity(direct), 256u);
+  EXPECT_EQ(jvm.jni().get_direct_buffer_capacity(heap), SIZE_MAX);
+}
+
+TEST(JniTest, DirectBufferAddressStableAcrossGc) {
+  Jvm jvm(small_cfg());
+  auto direct = ByteBuffer::allocate_direct(128);
+  void* before = jvm.jni().get_direct_buffer_address(direct);
+  ASSERT_TRUE(jvm.gc());
+  EXPECT_EQ(jvm.jni().get_direct_buffer_address(direct), before)
+      << "direct buffers live outside the managed heap";
+}
+
+TEST(JniTest, CrossingCostIsCharged) {
+  JvmConfig cfg = small_cfg();
+  cfg.jni_crossing_ns = 200'000;  // exaggerate so it is measurable
+  Jvm jvm(cfg);
+  // Measure consumed CPU (immune to scheduling noise); the burn is
+  // calibrated in CPU time, allow a generous tolerance either way.
+  const auto t0 = jhpc::thread_cpu_ns();
+  jvm.jni().crossing();
+  EXPECT_GE(jhpc::thread_cpu_ns() - t0, 60'000);
+  // Utility functions pay only a tenth (handle check).
+  auto buf = ByteBuffer::allocate_direct(8);
+  const auto t1 = jhpc::thread_cpu_ns();
+  (void)jvm.jni().get_direct_buffer_address(buf);
+  const auto dt = jhpc::thread_cpu_ns() - t1;
+  EXPECT_GE(dt, 6'000);
+  EXPECT_LT(dt, 150'000);
+}
+
+}  // namespace
+}  // namespace jhpc::minijvm

@@ -1,0 +1,95 @@
+// Typed buffer views (asIntBuffer() family).
+#include <gtest/gtest.h>
+
+#include "jhpc/minijvm/jvm.hpp"
+#include "jhpc/minijvm/typed_views.hpp"
+
+namespace jhpc::minijvm {
+namespace {
+
+TEST(TypedViewTest, IntViewBasics) {
+  auto bytes = ByteBuffer::allocate_direct(64);
+  auto ints = as_int_buffer(bytes);
+  EXPECT_EQ(ints.capacity(), 16u);
+  EXPECT_EQ(ints.remaining(), 16u);
+  ints.put(0, 0x01020304);
+  EXPECT_EQ(ints.get(0), 0x01020304);
+}
+
+TEST(TypedViewTest, ViewSharesStorageWithParent) {
+  auto bytes = ByteBuffer::allocate_direct(16);
+  auto ints = as_int_buffer(bytes);
+  ints.put(1, 0x11223344);
+  // Parent sees the same bytes (both default big-endian).
+  EXPECT_EQ(bytes.get_int(4), 0x11223344);
+  bytes.put_int(0, 77);
+  EXPECT_EQ(ints.get(0), 77);
+}
+
+TEST(TypedViewTest, ViewStartsAtParentPosition) {
+  auto bytes = ByteBuffer::allocate_direct(32);
+  bytes.put_int(1111);  // advances position to 4
+  auto longs = as_long_buffer(bytes);
+  EXPECT_EQ(longs.capacity(), 3u) << "28 remaining bytes -> 3 longs";
+  longs.put(0, 42);
+  EXPECT_EQ(bytes.get_long(4), 42);
+}
+
+TEST(TypedViewTest, RelativeCursorAndFlip) {
+  auto bytes = ByteBuffer::allocate_direct(24);
+  auto d = as_double_buffer(bytes);
+  d.put(1.5).put(2.5).put(3.5);
+  EXPECT_FALSE(d.has_remaining());
+  d.flip();
+  EXPECT_DOUBLE_EQ(d.get(), 1.5);
+  EXPECT_DOUBLE_EQ(d.get(), 2.5);
+  EXPECT_EQ(d.remaining(), 1u);
+  d.rewind();
+  EXPECT_DOUBLE_EQ(d.get(), 1.5);
+}
+
+TEST(TypedViewTest, BoundsChecked) {
+  auto bytes = ByteBuffer::allocate_direct(8);
+  auto s = as_short_buffer(bytes);
+  EXPECT_EQ(s.capacity(), 4u);
+  EXPECT_THROW(s.get(4), BufferError);
+  EXPECT_THROW(s.put(4, 1), BufferError);
+  s.position(4);
+  EXPECT_THROW(s.get(), BufferError);
+  EXPECT_THROW(s.position(5), BufferError);
+}
+
+TEST(TypedViewTest, OrderInheritedFromParent) {
+  auto bytes =
+      ByteBuffer::allocate_direct(8).order(ByteOrder::kLittleEndian);
+  auto ints = as_int_buffer(bytes);
+  EXPECT_EQ(ints.order(), ByteOrder::kLittleEndian);
+  ints.put(0, 0x01020304);
+  EXPECT_EQ(static_cast<unsigned>(bytes.storage_address(0)[0]), 0x04u);
+}
+
+TEST(TypedViewTest, HeapBackedViewFollowsGc) {
+  Jvm jvm({.heap_bytes = 1 << 20, .jni_crossing_ns = 0});
+  auto bytes = ByteBuffer::allocate(jvm, 32);
+  auto f = as_float_buffer(bytes);
+  f.put(2, 9.5f);
+  ASSERT_TRUE(jvm.gc());
+  EXPECT_FLOAT_EQ(f.get(2), 9.5f) << "view must follow the moved array";
+}
+
+TEST(TypedViewTest, CharView) {
+  auto bytes = ByteBuffer::allocate_direct(8);
+  auto c = as_char_buffer(bytes);
+  c.put(0, u'A').put(1, u'€');
+  EXPECT_EQ(c.get(0), u'A');
+  EXPECT_EQ(c.get(1), u'€');
+}
+
+TEST(TypedViewTest, TruncatedCapacityForOddRemainder) {
+  auto bytes = ByteBuffer::allocate_direct(10);
+  auto ints = as_int_buffer(bytes);
+  EXPECT_EQ(ints.capacity(), 2u) << "10 bytes -> 2 ints, 2 bytes unused";
+}
+
+}  // namespace
+}  // namespace jhpc::minijvm

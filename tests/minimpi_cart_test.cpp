@@ -1,0 +1,103 @@
+// Cartesian topologies: dims factorisation, coordinate maps, shifts,
+// periodicity, and a 2-D halo exchange built on them.
+#include <gtest/gtest.h>
+
+#include "jhpc/minimpi/cart.hpp"
+#include "jhpc/minimpi/minimpi.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+namespace {
+
+UniverseConfig cfg(int n) {
+  UniverseConfig c;
+  c.world_size = n;
+  return c;
+}
+
+TEST(CartTest, DimsCreateBalances) {
+  EXPECT_EQ(CartComm::dims_create(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(CartComm::dims_create(16, 2), (std::vector<int>{4, 4}));
+  EXPECT_EQ(CartComm::dims_create(8, 3), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(CartComm::dims_create(7, 2), (std::vector<int>{7, 1}));
+  EXPECT_EQ(CartComm::dims_create(1, 1), (std::vector<int>{1}));
+  EXPECT_THROW(CartComm::dims_create(0, 2), InvalidArgumentError);
+}
+
+TEST(CartTest, CoordsRoundTripRowMajor) {
+  Universe::launch(cfg(6), [](Comm& world) {
+    auto cart = CartComm::create(world, {2, 3}, {false, false});
+    ASSERT_TRUE(cart.valid());
+    // Row-major: rank = row*3 + col.
+    const auto c = cart.coords();
+    EXPECT_EQ(c[0], world.rank() / 3);
+    EXPECT_EQ(c[1], world.rank() % 3);
+    EXPECT_EQ(cart.rank_of(c), cart.comm().rank());
+    for (int r = 0; r < 6; ++r)
+      EXPECT_EQ(cart.rank_of(cart.coords_of(r)), r);
+  });
+}
+
+TEST(CartTest, SurplusRanksGetNullComm) {
+  Universe::launch(cfg(5), [](Comm& world) {
+    auto cart = CartComm::create(world, {2, 2}, {false, false});
+    EXPECT_EQ(cart.valid(), world.rank() < 4);
+    world.barrier();
+  });
+}
+
+TEST(CartTest, OpenEdgesYieldProcNull) {
+  Universe::launch(cfg(4), [](Comm& world) {
+    auto cart = CartComm::create(world, {2, 2}, {false, false});
+    ASSERT_TRUE(cart.valid());
+    const auto c = cart.coords();
+    const auto up = cart.shift(0, -1);
+    if (c[0] == 0) {
+      EXPECT_EQ(up.dest, -1) << "no neighbour above the top row";
+    } else {
+      EXPECT_EQ(cart.coords_of(up.dest)[0], c[0] - 1);
+    }
+  });
+}
+
+TEST(CartTest, PeriodicWrapsAround) {
+  Universe::launch(cfg(4), [](Comm& world) {
+    auto cart = CartComm::create(world, {4}, {true});
+    ASSERT_TRUE(cart.valid());
+    const auto s = cart.shift(0, 1);
+    EXPECT_EQ(s.dest, (cart.comm().rank() + 1) % 4);
+    EXPECT_EQ(s.source, (cart.comm().rank() + 3) % 4);
+    // Large displacements wrap too.
+    const auto s5 = cart.shift(0, 5);
+    EXPECT_EQ(s5.dest, (cart.comm().rank() + 5) % 4);
+  });
+}
+
+TEST(CartTest, TwoDimensionalHaloExchange) {
+  // Each rank sends its rank id to all four neighbours on a periodic
+  // 2x3 torus and checks what arrives.
+  Universe::launch(cfg(6), [](Comm& world) {
+    auto cart = CartComm::create(world, {2, 3}, {true, true});
+    ASSERT_TRUE(cart.valid());
+    const Comm& c = cart.comm();
+    const int me = c.rank();
+    for (int dim = 0; dim < 2; ++dim) {
+      const auto s = cart.shift(dim, 1);
+      int incoming = -1;
+      c.sendrecv(&me, sizeof(me), s.dest, dim, &incoming, sizeof(incoming),
+                 s.source, dim);
+      EXPECT_EQ(incoming, s.source);
+    }
+  });
+}
+
+TEST(CartTest, GridLargerThanCommRejected) {
+  Universe::launch(cfg(2), [](Comm& world) {
+    EXPECT_THROW(CartComm::create(world, {2, 2}, {false, false}),
+                 InvalidArgumentError);
+    world.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace jhpc::minimpi

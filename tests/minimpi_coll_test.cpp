@@ -1,0 +1,403 @@
+// Collective semantics, exercised over BOTH algorithm suites and a range
+// of communicator sizes (parameterized): every collective must produce
+// identical results regardless of suite or rank count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "jhpc/minimpi/minimpi.hpp"
+
+namespace jhpc::minimpi {
+namespace {
+
+using SuiteSize = std::tuple<CollectiveSuite, int>;
+
+class CollTest : public ::testing::TestWithParam<SuiteSize> {
+ protected:
+  UniverseConfig make_cfg() const {
+    UniverseConfig c;
+    c.suite = std::get<0>(GetParam());
+    c.world_size = std::get<1>(GetParam());
+    // Small thresholds so "large message" algorithm variants are hit by
+    // modest test payloads.
+    c.bcast_binomial_max = 512;
+    c.allreduce_rd_max = 512;
+    c.allgather_rd_max = 1024;
+    c.eager_limit = 2048;
+    return c;
+  }
+};
+
+TEST_P(CollTest, BarrierCompletes) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    for (int i = 0; i < 5; ++i) world.barrier();
+  });
+}
+
+TEST_P(CollTest, BcastSmallFromEveryRoot) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    for (int root = 0; root < world.size(); ++root) {
+      std::vector<int> buf(16, world.rank() == root ? root * 7 + 1 : -1);
+      world.bcast(buf.data(), buf.size() * sizeof(int), root);
+      for (int v : buf) EXPECT_EQ(v, root * 7 + 1);
+    }
+  });
+}
+
+TEST_P(CollTest, BcastLargeHitsScatterRingPath) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const std::size_t n = 64 * 1024;  // far above bcast_binomial_max
+    std::vector<std::uint8_t> buf(n);
+    if (world.rank() == 2 % world.size()) {
+      for (std::size_t i = 0; i < n; ++i)
+        buf[i] = static_cast<std::uint8_t>(i * 13 & 0xff);
+    }
+    world.bcast(buf.data(), n, 2 % world.size());
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(buf[i], static_cast<std::uint8_t>(i * 13 & 0xff));
+  });
+}
+
+TEST_P(CollTest, ReduceSumToEveryRoot) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const int size = world.size();
+    for (int root = 0; root < size; ++root) {
+      std::vector<std::int32_t> mine(10);
+      for (std::size_t i = 0; i < mine.size(); ++i)
+        mine[i] = world.rank() + static_cast<int>(i);
+      std::vector<std::int32_t> out(10, -1);
+      world.reduce(mine.data(), out.data(), mine.size(), BasicKind::kInt,
+                   ReduceOp::kSum, root);
+      if (world.rank() == root) {
+        const int ranksum = size * (size - 1) / 2;
+        for (std::size_t i = 0; i < out.size(); ++i)
+          EXPECT_EQ(out[i], ranksum + static_cast<int>(i) * size);
+      }
+    }
+  });
+}
+
+TEST_P(CollTest, ReduceMinMax) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const std::int64_t mine = 1000 - 7 * world.rank();
+    std::int64_t lo = 0, hi = 0;
+    world.reduce(&mine, &lo, 1, BasicKind::kLong, ReduceOp::kMin, 0);
+    world.reduce(&mine, &hi, 1, BasicKind::kLong, ReduceOp::kMax, 0);
+    if (world.rank() == 0) {
+      EXPECT_EQ(lo, 1000 - 7 * (world.size() - 1));
+      EXPECT_EQ(hi, 1000);
+    }
+  });
+}
+
+TEST_P(CollTest, AllreduceSmallRecursiveDoubling) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    std::int32_t v = world.rank() + 1;
+    std::int32_t sum = 0;
+    world.allreduce(&v, &sum, 1, BasicKind::kInt, ReduceOp::kSum);
+    EXPECT_EQ(sum, world.size() * (world.size() + 1) / 2);
+  });
+}
+
+TEST_P(CollTest, AllreduceLargeRingPath) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const std::size_t count = 8192;  // 32 KB of ints > allreduce_rd_max
+    std::vector<std::int32_t> mine(count);
+    for (std::size_t i = 0; i < count; ++i)
+      mine[i] = world.rank() + static_cast<std::int32_t>(i % 97);
+    std::vector<std::int32_t> out(count, 0);
+    world.allreduce(mine.data(), out.data(), count, BasicKind::kInt,
+                    ReduceOp::kSum);
+    const int size = world.size();
+    const int ranksum = size * (size - 1) / 2;
+    for (std::size_t i = 0; i < count; ++i)
+      ASSERT_EQ(out[i], ranksum + static_cast<std::int32_t>(i % 97) * size);
+  });
+}
+
+TEST_P(CollTest, AllreduceDoubleSum) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const double v = 0.5 * (world.rank() + 1);
+    double sum = 0;
+    world.allreduce(&v, &sum, 1, BasicKind::kDouble, ReduceOp::kSum);
+    EXPECT_NEAR(sum, 0.5 * world.size() * (world.size() + 1) / 2, 1e-9);
+  });
+}
+
+TEST_P(CollTest, GatherOrdersBlocksByRank) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const int size = world.size();
+    for (int root = 0; root < size; ++root) {
+      std::array<std::int32_t, 4> mine{};
+      mine.fill(world.rank() * 10 + root);
+      std::vector<std::int32_t> all(static_cast<std::size_t>(size) * 4, -1);
+      world.gather(mine.data(), sizeof(mine), all.data(), root);
+      if (world.rank() == root) {
+        for (int r = 0; r < size; ++r)
+          for (int j = 0; j < 4; ++j)
+            EXPECT_EQ(all[static_cast<std::size_t>(r * 4 + j)],
+                      r * 10 + root);
+      }
+    }
+  });
+}
+
+TEST_P(CollTest, ScatterDistributesBlocks) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const int size = world.size();
+    for (int root = 0; root < size; ++root) {
+      std::vector<std::int32_t> all;
+      if (world.rank() == root) {
+        all.resize(static_cast<std::size_t>(size) * 3);
+        for (int r = 0; r < size; ++r)
+          for (int j = 0; j < 3; ++j)
+            all[static_cast<std::size_t>(r * 3 + j)] = r * 100 + j;
+      }
+      std::array<std::int32_t, 3> mine{};
+      world.scatter(all.data(), sizeof(mine), mine.data(), root);
+      for (int j = 0; j < 3; ++j)
+        EXPECT_EQ(mine[static_cast<std::size_t>(j)],
+                  world.rank() * 100 + j);
+    }
+  });
+}
+
+TEST_P(CollTest, AllgatherSmallAndLarge) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const int size = world.size();
+    for (const std::size_t block : {8ul, 4096ul}) {
+      std::vector<std::uint8_t> mine(block,
+                                     static_cast<std::uint8_t>(world.rank()));
+      std::vector<std::uint8_t> all(block * static_cast<std::size_t>(size));
+      world.allgather(mine.data(), block, all.data());
+      for (int r = 0; r < size; ++r)
+        for (std::size_t j = 0; j < block; ++j)
+          ASSERT_EQ(all[static_cast<std::size_t>(r) * block + j],
+                    static_cast<std::uint8_t>(r));
+    }
+  });
+}
+
+TEST_P(CollTest, AlltoallTransposesBlocks) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const int size = world.size();
+    std::vector<std::int32_t> send(static_cast<std::size_t>(size) * 2);
+    for (int r = 0; r < size; ++r) {
+      send[static_cast<std::size_t>(2 * r)] = world.rank() * 1000 + r;
+      send[static_cast<std::size_t>(2 * r + 1)] = -(world.rank() + r);
+    }
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(size) * 2, 7777);
+    world.alltoall(send.data(), 2 * sizeof(std::int32_t), recv.data());
+    for (int r = 0; r < size; ++r) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(2 * r)],
+                r * 1000 + world.rank());
+      EXPECT_EQ(recv[static_cast<std::size_t>(2 * r + 1)],
+                -(r + world.rank()));
+    }
+  });
+}
+
+TEST_P(CollTest, GathervVariableBlocks) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const int size = world.size();
+    // Rank r contributes r+1 ints.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(size));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(size));
+    std::size_t total = 0;
+    for (int r = 0; r < size; ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(r + 1) * sizeof(std::int32_t);
+      displs[static_cast<std::size_t>(r)] = total;
+      total += counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(world.rank()) + 1,
+                                   world.rank() + 1);
+    std::vector<std::int32_t> all(total / sizeof(std::int32_t), -1);
+    world.gatherv(mine.data(), mine.size() * sizeof(std::int32_t),
+                  all.data(), counts, displs, 0);
+    if (world.rank() == 0) {
+      std::size_t idx = 0;
+      for (int r = 0; r < size; ++r)
+        for (int j = 0; j <= r; ++j) EXPECT_EQ(all[idx++], r + 1);
+    }
+  });
+}
+
+TEST_P(CollTest, ScattervVariableBlocks) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const int size = world.size();
+    std::vector<std::size_t> counts(static_cast<std::size_t>(size));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(size));
+    std::size_t total = 0;
+    for (int r = 0; r < size; ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(r + 1) * sizeof(std::int32_t);
+      displs[static_cast<std::size_t>(r)] = total;
+      total += counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::int32_t> all;
+    if (world.rank() == 0) {
+      all.resize(total / sizeof(std::int32_t));
+      std::size_t idx = 0;
+      for (int r = 0; r < size; ++r)
+        for (int j = 0; j <= r; ++j) all[idx++] = r * 7;
+    }
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(world.rank()) + 1,
+                                   -1);
+    world.scatterv(all.data(), counts, displs, mine.data(),
+                   mine.size() * sizeof(std::int32_t), 0);
+    for (const auto v : mine) EXPECT_EQ(v, world.rank() * 7);
+  });
+}
+
+TEST_P(CollTest, AllgathervRoundTrip) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const int size = world.size();
+    std::vector<std::size_t> counts(static_cast<std::size_t>(size));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(size));
+    std::size_t total = 0;
+    for (int r = 0; r < size; ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>((r % 3) + 1) * 8;
+      displs[static_cast<std::size_t>(r)] = total;
+      total += counts[static_cast<std::size_t>(r)];
+    }
+    const auto me = static_cast<std::size_t>(world.rank());
+    std::vector<std::uint8_t> mine(counts[me],
+                                   static_cast<std::uint8_t>(world.rank()));
+    std::vector<std::uint8_t> all(total, 0xEE);
+    world.allgatherv(mine.data(), mine.size(), all.data(), counts, displs);
+    for (int r = 0; r < size; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      for (std::size_t j = 0; j < counts[ri]; ++j)
+        ASSERT_EQ(all[displs[ri] + j], static_cast<std::uint8_t>(r));
+    }
+  });
+}
+
+TEST_P(CollTest, AlltoallvTransposesVariableBlocks) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const int size = world.size();
+    // Rank r sends (r + dst + 1) bytes to each dst.
+    auto count_for = [](int from, int to) {
+      return static_cast<std::size_t>(from + to + 1);
+    };
+    std::vector<std::size_t> scounts, sdispls, rcounts, rdispls;
+    std::size_t stotal = 0, rtotal = 0;
+    for (int r = 0; r < size; ++r) {
+      scounts.push_back(count_for(world.rank(), r));
+      sdispls.push_back(stotal);
+      stotal += scounts.back();
+      rcounts.push_back(count_for(r, world.rank()));
+      rdispls.push_back(rtotal);
+      rtotal += rcounts.back();
+    }
+    std::vector<std::uint8_t> send(stotal);
+    for (int r = 0; r < size; ++r)
+      for (std::size_t j = 0; j < scounts[static_cast<std::size_t>(r)]; ++j)
+        send[sdispls[static_cast<std::size_t>(r)] + j] =
+            static_cast<std::uint8_t>(world.rank() * 16 + r);
+    std::vector<std::uint8_t> recv(rtotal, 0);
+    world.alltoallv(send.data(), scounts, sdispls, recv.data(), rcounts,
+                    rdispls);
+    for (int r = 0; r < size; ++r)
+      for (std::size_t j = 0; j < rcounts[static_cast<std::size_t>(r)]; ++j)
+        ASSERT_EQ(recv[rdispls[static_cast<std::size_t>(r)] + j],
+                  static_cast<std::uint8_t>(r * 16 + world.rank()));
+  });
+}
+
+TEST_P(CollTest, ReduceScatterBlockDeliversOwnBlock) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const int size = world.size();
+    constexpr std::size_t kPerRank = 5;
+    // Rank r contributes value (r+1) to every element; block b of the
+    // reduction is (sum of ranks+1) * marker(b).
+    std::vector<std::int32_t> mine(kPerRank * static_cast<std::size_t>(size));
+    for (int b = 0; b < size; ++b)
+      for (std::size_t j = 0; j < kPerRank; ++j)
+        mine[static_cast<std::size_t>(b) * kPerRank + j] =
+            (world.rank() + 1) * (b + 1);
+    std::vector<std::int32_t> out(kPerRank, -1);
+    world.reduce_scatter_block(mine.data(), out.data(), kPerRank,
+                               BasicKind::kInt, ReduceOp::kSum);
+    const int ranksum = size * (size + 1) / 2;
+    for (std::size_t j = 0; j < kPerRank; ++j)
+      EXPECT_EQ(out[j], ranksum * (world.rank() + 1));
+  });
+}
+
+TEST_P(CollTest, ReduceScatterBlockLargeBlocks) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    const int size = world.size();
+    const std::size_t per_rank = 3000;  // rendezvous-sized traffic
+    std::vector<std::int64_t> mine(per_rank * static_cast<std::size_t>(size),
+                                   1);
+    std::vector<std::int64_t> out(per_rank, 0);
+    world.reduce_scatter_block(mine.data(), out.data(), per_rank,
+                               BasicKind::kLong, ReduceOp::kSum);
+    for (std::size_t j = 0; j < per_rank; ++j) ASSERT_EQ(out[j], size);
+  });
+}
+
+TEST_P(CollTest, ScanComputesInclusivePrefix) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    std::vector<std::int32_t> mine(4);
+    for (std::size_t j = 0; j < 4; ++j)
+      mine[j] = world.rank() + 1 + static_cast<int>(j);
+    std::vector<std::int32_t> out(4, -1);
+    world.scan(mine.data(), out.data(), 4, BasicKind::kInt, ReduceOp::kSum);
+    const int r = world.rank();
+    // sum over q=0..r of (q+1+j) = (r+1)(r+2)/2 + j*(r+1)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_EQ(out[j], (r + 1) * (r + 2) / 2 +
+                            static_cast<int>(j) * (r + 1));
+  });
+}
+
+TEST_P(CollTest, ScanWithMaxOperator) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    // Values zig-zag so the running max is non-trivial.
+    const std::int32_t v = (world.rank() % 3) * 10;
+    std::int32_t out = -1;
+    world.scan(&v, &out, 1, BasicKind::kInt, ReduceOp::kMax);
+    std::int32_t want = 0;
+    for (int q = 0; q <= world.rank(); ++q)
+      want = std::max(want, (q % 3) * 10);
+    EXPECT_EQ(out, want);
+  });
+}
+
+TEST_P(CollTest, ConsecutiveCollectivesDoNotCrossTalk) {
+  Universe::launch(make_cfg(), [](Comm& world) {
+    for (int round = 0; round < 10; ++round) {
+      std::int32_t v = world.rank() + round;
+      std::int32_t sum = 0;
+      world.allreduce(&v, &sum, 1, BasicKind::kInt, ReduceOp::kSum);
+      const int size = world.size();
+      ASSERT_EQ(sum, size * (size - 1) / 2 + round * size);
+      int token = round * 31;
+      world.bcast(&token, sizeof(token), round % size);
+      ASSERT_EQ(token, round * 31);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SuitesAndSizes, CollTest,
+    ::testing::Combine(::testing::Values(CollectiveSuite::kMv2,
+                                         CollectiveSuite::kOmpiBasic),
+                       ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16)),
+    [](const ::testing::TestParamInfo<SuiteSize>& info) {
+      const auto suite = std::get<0>(info.param) == CollectiveSuite::kMv2
+                             ? "mv2"
+                             : "basic";
+      return std::string(suite) + "_np" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace jhpc::minimpi

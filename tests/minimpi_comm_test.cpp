@@ -1,0 +1,166 @@
+// Communicator and group management: dup, split, create, group algebra,
+// context isolation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "jhpc/minimpi/minimpi.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+namespace {
+
+UniverseConfig cfg(int n) {
+  UniverseConfig c;
+  c.world_size = n;
+  return c;
+}
+
+TEST(GroupTest, ConstructionAndLookup) {
+  Group g({4, 2, 7});
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.world_rank(0), 4);
+  EXPECT_EQ(g.world_rank(2), 7);
+  EXPECT_EQ(g.rank_of(2), 1);
+  EXPECT_EQ(g.rank_of(99), -1);
+  EXPECT_THROW(g.world_rank(3), InvalidArgumentError);
+  EXPECT_THROW(Group({1, 1}), InvalidArgumentError);
+  EXPECT_THROW(Group({-1}), InvalidArgumentError);
+}
+
+TEST(GroupTest, InclExcl) {
+  Group g({10, 11, 12, 13});
+  const Group inc = g.incl({3, 0});
+  EXPECT_EQ(inc.ranks(), (std::vector<int>{13, 10}));
+  const Group exc = g.excl({1, 2});
+  EXPECT_EQ(exc.ranks(), (std::vector<int>{10, 13}));
+  EXPECT_THROW(g.excl({9}), InvalidArgumentError);
+}
+
+TEST(GroupTest, SetAlgebra) {
+  Group a({0, 1, 2, 3});
+  Group b({2, 3, 4, 5});
+  EXPECT_EQ(a.union_with(b).ranks(), (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(a.intersection(b).ranks(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(a.difference(b).ranks(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(b.difference(a).ranks(), (std::vector<int>{4, 5}));
+}
+
+TEST(GroupTest, TranslateRanks) {
+  Group a({5, 6, 7, 8});
+  Group b({8, 5});
+  const auto t = a.translate({0, 1, 3}, b);
+  EXPECT_EQ(t, (std::vector<int>{1, -1, 0}));
+}
+
+TEST(CommMgmtTest, DupIsolatesTraffic) {
+  Universe::launch(cfg(2), [](Comm& world) {
+    Comm dup = world.dup();
+    EXPECT_EQ(dup.rank(), world.rank());
+    EXPECT_EQ(dup.size(), world.size());
+    if (world.rank() == 0) {
+      int a = 1, b = 2;
+      world.send(&a, sizeof(a), 1, 0);
+      dup.send(&b, sizeof(b), 1, 0);
+    } else {
+      // Receive from the dup'd communicator FIRST: if contexts leaked,
+      // this would grab the world message instead.
+      int got = 0;
+      dup.recv(&got, sizeof(got), 0, 0);
+      EXPECT_EQ(got, 2);
+      world.recv(&got, sizeof(got), 0, 0);
+      EXPECT_EQ(got, 1);
+    }
+  });
+}
+
+TEST(CommMgmtTest, SplitEvenOdd) {
+  Universe::launch(cfg(6), [](Comm& world) {
+    Comm half = world.split(world.rank() % 2, world.rank());
+    ASSERT_TRUE(half.valid());
+    EXPECT_EQ(half.size(), 3);
+    EXPECT_EQ(half.rank(), world.rank() / 2);
+    // Sum ranks within each half to confirm membership.
+    std::int32_t v = world.rank();
+    std::int32_t sum = 0;
+    half.allreduce(&v, &sum, 1, BasicKind::kInt, ReduceOp::kSum);
+    EXPECT_EQ(sum, world.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+  });
+}
+
+TEST(CommMgmtTest, SplitHonoursKeyOrdering) {
+  Universe::launch(cfg(4), [](Comm& world) {
+    // All the same color; key reverses the order.
+    Comm rev = world.split(0, -world.rank());
+    ASSERT_TRUE(rev.valid());
+    EXPECT_EQ(rev.rank(), world.size() - 1 - world.rank());
+  });
+}
+
+TEST(CommMgmtTest, SplitUndefinedYieldsInvalidComm) {
+  Universe::launch(cfg(4), [](Comm& world) {
+    const int color = world.rank() == 3 ? -1 : 0;
+    Comm sub = world.split(color, 0);
+    if (world.rank() == 3) {
+      EXPECT_FALSE(sub.valid());
+      int v = 0;
+      EXPECT_THROW(sub.send(&v, sizeof(v), 0, 0), InvalidArgumentError);
+    } else {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+      sub.barrier();
+    }
+  });
+}
+
+TEST(CommMgmtTest, CreateSubgroupCommunicator) {
+  Universe::launch(cfg(5), [](Comm& world) {
+    const Group sub = world.group().incl({4, 0, 2});
+    Comm c = world.create(sub);
+    if (world.rank() == 4 || world.rank() == 0 || world.rank() == 2) {
+      ASSERT_TRUE(c.valid());
+      EXPECT_EQ(c.size(), 3);
+      // Group order defines rank order: 4 -> 0, 0 -> 1, 2 -> 2.
+      const int want = world.rank() == 4 ? 0 : (world.rank() == 0 ? 1 : 2);
+      EXPECT_EQ(c.rank(), want);
+      std::int32_t v = 1, sum = 0;
+      c.allreduce(&v, &sum, 1, BasicKind::kInt, ReduceOp::kSum);
+      EXPECT_EQ(sum, 3);
+    } else {
+      EXPECT_FALSE(c.valid());
+    }
+  });
+}
+
+TEST(CommMgmtTest, NestedSplitOfSplit) {
+  Universe::launch(cfg(8), [](Comm& world) {
+    Comm half = world.split(world.rank() / 4, world.rank());
+    ASSERT_TRUE(half.valid());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    ASSERT_TRUE(quarter.valid());
+    EXPECT_EQ(quarter.size(), 2);
+    std::int32_t v = world.rank(), sum = 0;
+    quarter.allreduce(&v, &sum, 1, BasicKind::kInt, ReduceOp::kSum);
+    // Pairs: (0,1) (2,3) (4,5) (6,7).
+    const int base = world.rank() / 2 * 2;
+    EXPECT_EQ(sum, base + base + 1);
+  });
+}
+
+TEST(CommMgmtTest, WtimeAdvances) {
+  const double a = Comm::wtime();
+  const double b = Comm::wtime();
+  EXPECT_GE(b, a);
+}
+
+TEST(CommMgmtTest, InvalidCommOperationsThrow) {
+  Comm c;  // default: invalid
+  EXPECT_FALSE(c.valid());
+  int v = 0;
+  EXPECT_THROW(c.send(&v, sizeof(v), 0, 0), InvalidArgumentError);
+  EXPECT_THROW(c.barrier(), InvalidArgumentError);
+  EXPECT_THROW(c.dup(), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace jhpc::minimpi

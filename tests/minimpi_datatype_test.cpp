@@ -1,0 +1,226 @@
+// Datatype descriptors (basic + derived) and reduction operators.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "jhpc/minimpi/datatype.hpp"
+#include "jhpc/minimpi/op.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+namespace {
+
+TEST(DatatypeTest, BasicSizes) {
+  EXPECT_EQ(Datatype::byte_type().size(), 1u);
+  EXPECT_EQ(Datatype::boolean_type().size(), 1u);
+  EXPECT_EQ(Datatype::char_type().size(), 2u);
+  EXPECT_EQ(Datatype::short_type().size(), 2u);
+  EXPECT_EQ(Datatype::int_type().size(), 4u);
+  EXPECT_EQ(Datatype::float_type().size(), 4u);
+  EXPECT_EQ(Datatype::long_type().size(), 8u);
+  EXPECT_EQ(Datatype::double_type().size(), 8u);
+  for (int i = 0; i < kBasicKindCount; ++i) {
+    const auto k = static_cast<BasicKind>(i);
+    EXPECT_EQ(Datatype::basic(k).extent(), basic_size(k));
+    EXPECT_TRUE(Datatype::basic(k).is_basic());
+    EXPECT_EQ(Datatype::basic(k).kind(), k);
+    EXPECT_EQ(Datatype::basic(k).leaf_kind(), k);
+  }
+}
+
+TEST(DatatypeTest, ContiguousSizeAndExtent) {
+  const auto t = Datatype::contiguous(5, Datatype::int_type());
+  EXPECT_EQ(t.size(), 20u);
+  EXPECT_EQ(t.extent(), 20u);
+  EXPECT_FALSE(t.is_basic());
+  EXPECT_EQ(t.leaf_kind(), BasicKind::kInt);
+  EXPECT_THROW(t.kind(), InvalidArgumentError);
+}
+
+TEST(DatatypeTest, VectorSizeAndExtent) {
+  // 3 blocks of 2 ints, stride 4 ints: size 24, extent (2*4+2)*4 = 40.
+  const auto t = Datatype::vector(3, 2, 4, Datatype::int_type());
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.extent(), 40u);
+  EXPECT_THROW(Datatype::vector(3, 4, 2, Datatype::int_type()),
+               InvalidArgumentError);
+}
+
+TEST(DatatypeTest, VectorPackGathersStridedColumns) {
+  // A 4x4 int matrix; vector(4,1,4) describes one column.
+  std::array<std::int32_t, 16> m{};
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      m[static_cast<std::size_t>(r * 4 + c)] = r * 10 + c;
+  const auto col = Datatype::vector(4, 1, 4, Datatype::int_type());
+  std::array<std::int32_t, 4> packed{};
+  col.pack(&m[1], packed.data(), 1);  // column 1
+  EXPECT_EQ(packed, (std::array<std::int32_t, 4>{1, 11, 21, 31}));
+}
+
+TEST(DatatypeTest, VectorUnpackScattersBack) {
+  const auto col = Datatype::vector(4, 1, 4, Datatype::int_type());
+  std::array<std::int32_t, 4> vals{100, 200, 300, 400};
+  std::array<std::int32_t, 16> m{};
+  col.unpack(vals.data(), &m[2], 1);  // write into column 2
+  for (int r = 0; r < 4; ++r)
+    EXPECT_EQ(m[static_cast<std::size_t>(r * 4 + 2)], (r + 1) * 100);
+  EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(m[1], 0);
+}
+
+TEST(DatatypeTest, PackUnpackRoundTripNested) {
+  // vector of contiguous pairs: 2 blocks of 1 pair, stride 2 pairs.
+  const auto pair = Datatype::contiguous(2, Datatype::short_type());
+  const auto t = Datatype::vector(2, 1, 2, pair);
+  EXPECT_EQ(t.size(), 8u);  // 2 pairs of shorts
+  std::array<std::int16_t, 8> src{1, 2, 3, 4, 5, 6, 7, 8};
+  std::array<std::int16_t, 4> packed{};
+  t.pack(src.data(), packed.data(), 1);
+  EXPECT_EQ(packed, (std::array<std::int16_t, 4>{1, 2, 5, 6}));
+  std::array<std::int16_t, 8> dst{};
+  t.unpack(packed.data(), dst.data(), 1);
+  EXPECT_EQ(dst, (std::array<std::int16_t, 8>{1, 2, 0, 0, 5, 6, 0, 0}));
+}
+
+TEST(DatatypeTest, MultiElementPackUsesExtent) {
+  const auto t = Datatype::vector(2, 1, 2, Datatype::int_type());
+  // Each element spans 3 ints (extent), carries 2 ints (size).
+  EXPECT_EQ(t.extent(), 12u);
+  std::array<std::int32_t, 6> src{1, 2, 3, 4, 5, 6};
+  std::array<std::int32_t, 4> packed{};
+  t.pack(src.data(), packed.data(), 2);
+  // Element 0 reads offsets {0,2}; element 1 starts at extent = 3 ints.
+  EXPECT_EQ(packed, (std::array<std::int32_t, 4>{1, 3, 4, 6}));
+}
+
+TEST(DatatypeTest, IndexedSizeAndExtent) {
+  const std::vector<int> lens{2, 1, 3};
+  const std::vector<int> offs{0, 4, 6};
+  const auto t = Datatype::indexed(lens, offs, Datatype::int_type());
+  EXPECT_EQ(t.size(), 6u * 4u);    // 6 elements
+  EXPECT_EQ(t.extent(), 9u * 4u);  // spans to element 9
+  EXPECT_EQ(t.leaf_kind(), BasicKind::kInt);
+  const std::vector<int> two{1, 2}, one{0}, neg{-1};
+  EXPECT_THROW(Datatype::indexed(two, one, Datatype::int_type()),
+               InvalidArgumentError);
+  EXPECT_THROW(Datatype::indexed(neg, one, Datatype::int_type()),
+               InvalidArgumentError);
+}
+
+TEST(DatatypeTest, IndexedPackUnpackRoundTrip) {
+  const std::vector<int> lens{2, 1, 2};
+  const std::vector<int> offs{1, 4, 6};
+  const auto t = Datatype::indexed(lens, offs, Datatype::short_type());
+  std::array<std::int16_t, 8> src{10, 11, 12, 13, 14, 15, 16, 17};
+  std::array<std::int16_t, 5> packed{};
+  t.pack(src.data(), packed.data(), 1);
+  EXPECT_EQ(packed, (std::array<std::int16_t, 5>{11, 12, 14, 16, 17}));
+  std::array<std::int16_t, 8> dst{};
+  t.unpack(packed.data(), dst.data(), 1);
+  EXPECT_EQ(dst, (std::array<std::int16_t, 8>{0, 11, 12, 0, 14, 0, 16, 17}));
+}
+
+TEST(DatatypeTest, IndexedEquality) {
+  const std::vector<int> lens{1, 2};
+  const std::vector<int> offs{0, 3};
+  const auto a = Datatype::indexed(lens, offs, Datatype::byte_type());
+  const auto b = Datatype::indexed(lens, offs, Datatype::byte_type());
+  const std::vector<int> offs2{0, 4};
+  const auto c = Datatype::indexed(lens, offs2, Datatype::byte_type());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DatatypeTest, StructuralEquality) {
+  EXPECT_EQ(Datatype::int_type(), Datatype::basic(BasicKind::kInt));
+  EXPECT_EQ(Datatype::contiguous(3, Datatype::int_type()),
+            Datatype::contiguous(3, Datatype::int_type()));
+  EXPECT_FALSE(Datatype::contiguous(3, Datatype::int_type()) ==
+               Datatype::contiguous(4, Datatype::int_type()));
+  EXPECT_FALSE(Datatype::int_type() == Datatype::float_type());
+}
+
+template <typename T>
+std::vector<T> reduce_vec(ReduceOp op, BasicKind kind, std::vector<T> a,
+                          const std::vector<T>& b) {
+  apply_reduce(op, kind, a.data(), b.data(), a.size());
+  return a;
+}
+
+TEST(ReduceOpTest, IntSumProdMinMax) {
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kSum, BasicKind::kInt,
+                                     {1, 2, 3}, {10, 20, 30}),
+            (std::vector<std::int32_t>{11, 22, 33}));
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kProd, BasicKind::kInt,
+                                     {2, 3, 4}, {5, 6, 7}),
+            (std::vector<std::int32_t>{10, 18, 28}));
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kMin, BasicKind::kInt,
+                                     {5, -2, 9}, {3, 0, 12}),
+            (std::vector<std::int32_t>{3, -2, 9}));
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kMax, BasicKind::kInt,
+                                     {5, -2, 9}, {3, 0, 12}),
+            (std::vector<std::int32_t>{5, 0, 12}));
+}
+
+TEST(ReduceOpTest, BitwiseOnIntegers) {
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kBand, BasicKind::kInt,
+                                     {0b1100}, {0b1010}),
+            (std::vector<std::int32_t>{0b1000}));
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kBor, BasicKind::kInt,
+                                     {0b1100}, {0b1010}),
+            (std::vector<std::int32_t>{0b1110}));
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kBxor, BasicKind::kInt,
+                                     {0b1100}, {0b1010}),
+            (std::vector<std::int32_t>{0b0110}));
+}
+
+TEST(ReduceOpTest, LogicalOnIntegers) {
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kLand, BasicKind::kInt,
+                                     {3, 0, 1, 0}, {1, 1, 0, 0}),
+            (std::vector<std::int32_t>{1, 0, 0, 0}));
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kLor, BasicKind::kInt,
+                                     {3, 0, 1, 0}, {1, 1, 0, 0}),
+            (std::vector<std::int32_t>{1, 1, 1, 0}));
+}
+
+TEST(ReduceOpTest, DoubleSumAndMin) {
+  EXPECT_EQ(reduce_vec<double>(ReduceOp::kSum, BasicKind::kDouble, {1.5},
+                               {2.25}),
+            (std::vector<double>{3.75}));
+  EXPECT_EQ(reduce_vec<double>(ReduceOp::kMin, BasicKind::kDouble, {1.5},
+                               {-2.25}),
+            (std::vector<double>{-2.25}));
+}
+
+TEST(ReduceOpTest, BitwiseOnFloatsRejected) {
+  std::vector<float> a{1.0f}, b{2.0f};
+  EXPECT_THROW(
+      apply_reduce(ReduceOp::kBand, BasicKind::kFloat, a.data(), b.data(), 1),
+      InvalidArgumentError);
+}
+
+TEST(ReduceOpTest, BooleanSemantics) {
+  std::vector<std::uint8_t> a{1, 0, 1, 0}, b{1, 1, 0, 0};
+  auto land = a;
+  apply_reduce(ReduceOp::kLand, BasicKind::kBoolean, land.data(), b.data(),
+               4);
+  EXPECT_EQ(land, (std::vector<std::uint8_t>{1, 0, 0, 0}));
+  auto lxor = a;
+  apply_reduce(ReduceOp::kBxor, BasicKind::kBoolean, lxor.data(), b.data(),
+               4);
+  EXPECT_EQ(lxor, (std::vector<std::uint8_t>{0, 1, 1, 0}));
+  EXPECT_THROW(apply_reduce(ReduceOp::kSum, BasicKind::kBoolean, a.data(),
+                            b.data(), 4),
+               InvalidArgumentError);
+}
+
+TEST(ReduceOpTest, OpNamesAreStable) {
+  EXPECT_STREQ(reduce_op_name(ReduceOp::kSum), "SUM");
+  EXPECT_STREQ(reduce_op_name(ReduceOp::kBxor), "BXOR");
+}
+
+}  // namespace
+}  // namespace jhpc::minimpi

@@ -1,0 +1,155 @@
+// Cross-cutting coverage: GC statistics, virtual-clock lifecycle across
+// jobs, error propagation through the bindings, request corner cases.
+#include <gtest/gtest.h>
+
+#include "jhpc/minijvm/jvm.hpp"
+#include "jhpc/minimpi/minimpi.hpp"
+#include "jhpc/mv2j/env.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc {
+namespace {
+
+TEST(GcStatsTest, CountersAccumulate) {
+  minijvm::Jvm jvm({.heap_bytes = 1 << 20, .jni_crossing_ns = 0});
+  auto keep = jvm.new_array<minijvm::jint>(1000);
+  const auto s0 = jvm.stats();
+  EXPECT_EQ(s0.allocations, 1u);
+  EXPECT_EQ(s0.allocated_bytes, 4000u);
+  EXPECT_EQ(s0.live_bytes, 4000u);
+
+  ASSERT_TRUE(jvm.gc());
+  ASSERT_TRUE(jvm.gc());
+  const auto s1 = jvm.stats();
+  EXPECT_EQ(s1.collections, 2u);
+  EXPECT_EQ(s1.objects_moved, 2u) << "one live object moved per GC";
+  EXPECT_EQ(s1.bytes_copied, 8000u);
+  EXPECT_EQ(s1.live_bytes, 4000u);
+
+  {
+    auto junk = jvm.new_array<minijvm::jbyte>(100);
+    EXPECT_EQ(jvm.stats().live_bytes, 4100u);
+  }
+  EXPECT_EQ(jvm.stats().live_bytes, 4000u);
+  EXPECT_EQ(jvm.stats().allocations, 2u);
+}
+
+TEST(VirtualClockTest, RestartsAtZeroPerRun) {
+  minimpi::UniverseConfig cfg;
+  cfg.world_size = 2;
+  minimpi::Universe u(cfg);
+  std::int64_t first_end = 0;
+  u.run([&](minimpi::Comm& world) {
+    for (int i = 0; i < 10; ++i) world.barrier();
+    if (world.rank() == 0) first_end = world.vtime_ns();
+  });
+  EXPECT_GT(first_end, 0);
+  u.run([&](minimpi::Comm& world) {
+    if (world.rank() == 0) {
+      // A fresh job starts near virtual zero, far below the last job's
+      // accumulated time.
+      EXPECT_LT(world.vtime_ns(), first_end / 2 + 1000);
+    }
+    world.barrier();
+  });
+}
+
+TEST(BindingsErrorTest, TruncationSurfacesAsError) {
+  mv2j::RunOptions o;
+  o.ranks = 2;
+  o.jvm.jni_crossing_ns = 0;
+  EXPECT_THROW(
+      mv2j::run(o,
+                [](mv2j::Env& env) {
+                  mv2j::Comm& world = env.COMM_WORLD();
+                  if (world.getRank() == 0) {
+                    auto big = env.newArray<minijvm::jint>(100);
+                    world.send(big, 100, mv2j::INT, 1, 0);
+                  } else {
+                    auto small = env.newArray<minijvm::jint>(10);
+                    world.recv(small, 10, mv2j::INT, 0, 0);  // truncates
+                  }
+                }),
+      jhpc::Error);
+}
+
+TEST(BindingsErrorTest, NegativeCountRejectedEverywhere) {
+  mv2j::RunOptions o;
+  o.ranks = 2;
+  o.jvm.jni_crossing_ns = 0;
+  mv2j::run(o, [](mv2j::Env& env) {
+    mv2j::Comm& world = env.COMM_WORLD();
+    auto buf = env.newDirectBuffer(64);
+    auto arr = env.newArray<minijvm::jint>(16);
+    const int peer = 1 - world.getRank();
+    EXPECT_THROW(world.send(buf, -1, mv2j::INT, peer, 0),
+                 InvalidArgumentError);
+    EXPECT_THROW(world.send(arr, -1, mv2j::INT, peer, 0),
+                 InvalidArgumentError);
+    world.barrier();
+  });
+}
+
+TEST(RequestCornerTest, WaitAllToleratesNullEntries) {
+  minimpi::UniverseConfig cfg;
+  cfg.world_size = 2;
+  minimpi::Universe::launch(cfg, [](minimpi::Comm& world) {
+    std::vector<minimpi::Request> reqs(3);  // all null
+    if (world.rank() == 0) {
+      int v = 1;
+      reqs[1] = world.isend(&v, sizeof(v), 1, 0);  // may be null (eager)
+      minimpi::Request::wait_all(reqs);
+    } else {
+      int got = 0;
+      reqs[1] = world.irecv(&got, sizeof(got), 0, 0);
+      minimpi::Request::wait_all(reqs);
+      EXPECT_EQ(got, 1);
+    }
+  });
+}
+
+TEST(RequestCornerTest, WaitAnyRejectsAllNull) {
+  std::vector<minimpi::Request> reqs(2);
+  EXPECT_THROW(minimpi::Request::wait_any(reqs), InvalidArgumentError);
+}
+
+TEST(UniverseConfigTest, AccessibleFromComm) {
+  minimpi::UniverseConfig cfg;
+  cfg.world_size = 1;
+  cfg.eager_limit = 777;
+  minimpi::Universe::launch(cfg, [](minimpi::Comm& world) {
+    EXPECT_EQ(world.universe_config().eager_limit, 777u);
+    EXPECT_EQ(world.suite(), minimpi::CollectiveSuite::kMv2);
+  });
+}
+
+TEST(PoolSharingTest, StagingSurvivesHeavyGcChurn) {
+  // Allocation churn between array sends must not disturb the pooled
+  // staging buffers (they live outside the managed heap).
+  mv2j::RunOptions o;
+  o.ranks = 2;
+  o.jvm.heap_bytes = 1 << 20;  // tiny heap: GCs constantly
+  o.jvm.jni_crossing_ns = 0;
+  mv2j::run(o, [](mv2j::Env& env) {
+    mv2j::Comm& world = env.COMM_WORLD();
+    for (int round = 0; round < 30; ++round) {
+      auto churn = env.newArray<minijvm::jbyte>(200 * 1024);  // forces GC
+      (void)churn;
+      if (world.getRank() == 0) {
+        auto msg = env.newArray<minijvm::jint>(64);
+        for (std::size_t i = 0; i < 64; ++i)
+          msg[i] = round * 100 + static_cast<int>(i);
+        world.send(msg, 64, mv2j::INT, 1, 0);
+      } else {
+        auto msg = env.newArray<minijvm::jint>(64);
+        world.recv(msg, 64, mv2j::INT, 0, 0);
+        ASSERT_EQ(msg[63], round * 100 + 63);
+      }
+    }
+    EXPECT_GE(env.jvm().stats().collections, 1u)
+        << "the churn must actually have triggered collections";
+  });
+}
+
+}  // namespace
+}  // namespace jhpc

@@ -1,0 +1,153 @@
+// The mpiJava 1.2 / MPJ compatibility adapter: legacy-style code (offsets
+// everywhere, Capitalised methods) running on the MVAPICH2-J bindings.
+#include <gtest/gtest.h>
+
+#include "jhpc/mpj/mpj.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::mpj {
+namespace {
+
+mv2j::RunOptions fast_opts(int ranks) {
+  mv2j::RunOptions o;
+  o.ranks = ranks;
+  o.jvm.heap_bytes = 8 << 20;
+  o.jvm.jni_crossing_ns = 0;
+  return o;
+}
+
+TEST(MpjTest, LegacySendRecvWithOffsets) {
+  mv2j::run(fast_opts(2), [](mv2j::Env& env) {
+    Comm world = COMM_WORLD(env);
+    if (world.Rank() == 0) {
+      auto arr = env.newArray<minijvm::jint>(12);
+      for (std::size_t i = 0; i < 12; ++i) arr[i] = static_cast<int>(i);
+      world.Send(arr, 4, 6, INT, 1, 9);
+    } else {
+      auto arr = env.newArray<minijvm::jint>(12);
+      Status st = world.Recv(arr, 2, 6, INT, 0, 9);
+      EXPECT_EQ(st.Get_count(INT), 6);
+      EXPECT_EQ(st.Source(), 0);
+      EXPECT_EQ(st.Tag(), 9);
+      EXPECT_EQ(arr[2], 4);
+      EXPECT_EQ(arr[7], 9);
+      EXPECT_EQ(arr[0], 0);
+      EXPECT_EQ(arr[8], 0);
+    }
+  });
+}
+
+TEST(MpjTest, LegacyNonBlocking) {
+  mv2j::run(fast_opts(2), [](mv2j::Env& env) {
+    Comm world = COMM_WORLD(env);
+    if (world.Rank() == 0) {
+      auto arr = env.newArray<minijvm::jdouble>(8);
+      for (std::size_t i = 0; i < 8; ++i) arr[i] = 0.5 * static_cast<double>(i);
+      Request r = world.Isend(arr, 0, 8, DOUBLE, 1, 0);
+      r.Wait();
+    } else {
+      auto arr = env.newArray<minijvm::jdouble>(8);
+      Request r = world.Irecv(arr, 0, 8, DOUBLE, 0, 0);
+      Status st = r.Wait();
+      EXPECT_EQ(st.Get_count(DOUBLE), 8);
+      EXPECT_DOUBLE_EQ(arr[7], 3.5);
+    }
+  });
+}
+
+TEST(MpjTest, LegacyBcastWithOffset) {
+  mv2j::run(fast_opts(4), [](mv2j::Env& env) {
+    Comm world = COMM_WORLD(env);
+    auto arr = env.newArray<minijvm::jint>(10);
+    if (world.Rank() == 2)
+      for (int i = 0; i < 5; ++i)
+        arr[static_cast<std::size_t>(3 + i)] = 100 + i;
+    world.Bcast(arr, 3, 5, INT, 2);
+    for (int i = 0; i < 5; ++i)
+      EXPECT_EQ(arr[static_cast<std::size_t>(3 + i)], 100 + i);
+    EXPECT_EQ(arr[0], 0);
+    EXPECT_EQ(arr[9], 0);
+  });
+}
+
+TEST(MpjTest, LegacyAllreduceWithOffsets) {
+  mv2j::run(fast_opts(3), [](mv2j::Env& env) {
+    Comm world = COMM_WORLD(env);
+    auto send = env.newArray<minijvm::jlong>(6);
+    auto recv = env.newArray<minijvm::jlong>(6);
+    send[2] = world.Rank() + 1;
+    send[3] = 10;
+    world.Allreduce(send, 2, recv, 4, 2, LONG, SUM);
+    EXPECT_EQ(recv[4], 1 + 2 + 3);
+    EXPECT_EQ(recv[5], 30);
+    EXPECT_EQ(recv[0], 0);
+  });
+}
+
+TEST(MpjTest, LegacyReduceAndGather) {
+  mv2j::run(fast_opts(3), [](mv2j::Env& env) {
+    Comm world = COMM_WORLD(env);
+    const int n = world.Size();
+
+    auto send = env.newArray<minijvm::jint>(3);
+    auto recv = env.newArray<minijvm::jint>(3);
+    send[1] = (world.Rank() + 1) * 2;
+    world.Reduce(send, 1, recv, 2, 1, INT, MAX, 0);
+    if (world.Rank() == 0) {
+      EXPECT_EQ(recv[2], n * 2);
+    }
+
+    auto mine = env.newArray<minijvm::jint>(4);
+    mine[1] = world.Rank() + 7;
+    auto all = env.newArray<minijvm::jint>(static_cast<std::size_t>(n + 2));
+    world.Gather(mine, 1, 1, all, 2, INT, 0);
+    if (world.Rank() == 0) {
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(2 + r)], r + 7);
+      }
+    }
+  });
+}
+
+TEST(MpjTest, LegacyAlltoall) {
+  mv2j::run(fast_opts(4), [](mv2j::Env& env) {
+    Comm world = COMM_WORLD(env);
+    const int n = world.Size();
+    auto send = env.newArray<minijvm::jint>(static_cast<std::size_t>(n));
+    auto recv = env.newArray<minijvm::jint>(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      send[static_cast<std::size_t>(r)] = world.Rank() * 10 + r;
+    world.Alltoall(send, 0, 1, recv, 0, INT);
+    for (int r = 0; r < n; ++r)
+      EXPECT_EQ(recv[static_cast<std::size_t>(r)], r * 10 + world.Rank());
+  });
+}
+
+TEST(MpjTest, OffsetBoundsRejected) {
+  mv2j::run(fast_opts(2), [](mv2j::Env& env) {
+    Comm world = COMM_WORLD(env);
+    auto arr = env.newArray<minijvm::jint>(4);
+    EXPECT_THROW(world.Send(arr, 3, 4, INT, 1 - world.Rank(), 0),
+                 InvalidArgumentError);
+    EXPECT_THROW(world.Bcast(arr, -1, 2, INT, 0), InvalidArgumentError);
+    world.Barrier();
+  });
+}
+
+TEST(MpjTest, ProbeWorksThroughAdapter) {
+  mv2j::run(fast_opts(2), [](mv2j::Env& env) {
+    Comm world = COMM_WORLD(env);
+    if (world.Rank() == 0) {
+      auto arr = env.newArray<minijvm::jshort>(5);
+      world.Send(arr, 0, 5, SHORT, 1, 3);
+    } else {
+      Status st = world.Probe(0, 3);
+      EXPECT_EQ(st.Get_count(SHORT), 5);
+      auto arr = env.newArray<minijvm::jshort>(5);
+      world.Recv(arr, 0, st.Get_count(SHORT), SHORT, 0, 3);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace jhpc::mpj

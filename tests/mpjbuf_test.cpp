@@ -1,0 +1,276 @@
+// The mpjbuf buffering layer: typed staging, sections, encodings, and the
+// pool that motivates its existence.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "jhpc/minijvm/jvm.hpp"
+#include "jhpc/mpjbuf/buffer.hpp"
+#include "jhpc/mpjbuf/buffer_factory.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::mpjbuf {
+namespace {
+
+using minijvm::jbyte;
+using minijvm::jdouble;
+using minijvm::jint;
+using minijvm::jshort;
+using minijvm::Jvm;
+using minijvm::JvmConfig;
+
+JvmConfig fast_cfg() {
+  JvmConfig c;
+  c.heap_bytes = 4 << 20;
+  c.jni_crossing_ns = 0;
+  return c;
+}
+
+FactoryConfig small_pool() {
+  FactoryConfig c;
+  c.min_capacity = 256;
+  c.max_pooled_buffers = 4;
+  return c;
+}
+
+TEST(BufferTest, WriteReadRoundTripFromArrays) {
+  Jvm jvm(fast_cfg());
+  BufferFactory factory(small_pool());
+  auto src = jvm.new_array<jint>(10);
+  for (std::size_t i = 0; i < 10; ++i) src[i] = static_cast<jint>(i * i);
+
+  Buffer buf = factory.get(64);
+  buf.write(src, 0, 10);
+  EXPECT_EQ(buf.size(), 40u);
+  buf.commit();
+
+  auto dst = jvm.new_array<jint>(10);
+  buf.read(dst, 0, 10);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(dst[i], src[i]);
+}
+
+TEST(BufferTest, SubRangeWriteHonoursOffsets) {
+  // The capability the paper highlights: staging a SUBSET of an array
+  // (lost in the Open MPI API when `offset` was removed).
+  Jvm jvm(fast_cfg());
+  BufferFactory factory(small_pool());
+  auto src = jvm.new_array<jint>(10);
+  for (std::size_t i = 0; i < 10; ++i) src[i] = static_cast<jint>(i);
+
+  Buffer buf = factory.get(64);
+  buf.write(src, 3, 4);  // elements 3..6
+  buf.commit();
+
+  auto dst = jvm.new_array<jint>(10);
+  buf.read(dst, 5, 4);  // into positions 5..8
+  EXPECT_EQ(dst[5], 3);
+  EXPECT_EQ(dst[8], 6);
+  EXPECT_EQ(dst[0], 0);
+}
+
+TEST(BufferTest, RangeValidation) {
+  Jvm jvm(fast_cfg());
+  BufferFactory factory(small_pool());
+  auto a = jvm.new_array<jint>(4);
+  Buffer buf = factory.get(64);
+  EXPECT_THROW(buf.write(a, 2, 3), jhpc::InvalidArgumentError);
+  buf.write(a, 0, 4);
+  buf.commit();
+  auto b = jvm.new_array<jint>(2);
+  EXPECT_THROW(buf.read(b, 0, 3), jhpc::InvalidArgumentError);
+}
+
+TEST(BufferTest, UnderflowOverflowChecked) {
+  Jvm jvm(fast_cfg());
+  BufferFactory factory(small_pool());
+  Buffer buf = factory.get(256);  // exact size-class capacity 256
+  std::vector<jbyte> big(300, 1);
+  EXPECT_THROW(buf.write(big.data(), big.size()),
+               jhpc::InvalidArgumentError);
+  buf.write(big.data(), 10);
+  buf.commit();
+  jbyte out[20];
+  EXPECT_THROW(buf.read(out, 20), jhpc::InvalidArgumentError);
+}
+
+TEST(BufferTest, MultipleTypedSections) {
+  Jvm jvm(fast_cfg());
+  BufferFactory factory(small_pool());
+  auto ints = jvm.new_array<jint>(3);
+  auto doubles = jvm.new_array<jdouble>(2);
+  ints[0] = 1; ints[1] = 2; ints[2] = 3;
+  doubles[0] = 1.5; doubles[1] = 2.5;
+
+  Buffer buf = factory.get(256);
+  buf.put_section_header(SectionType::kInt, 3);
+  buf.write(ints, 0, 3);
+  buf.put_section_header(SectionType::kDouble, 2);
+  buf.write(doubles, 0, 2);
+  buf.commit();
+
+  std::size_t n = 0;
+  EXPECT_EQ(buf.get_section_header(&n), SectionType::kInt);
+  EXPECT_EQ(n, 3u);
+  auto ri = jvm.new_array<jint>(3);
+  buf.read(ri, 0, n);
+  EXPECT_EQ(ri[2], 3);
+  EXPECT_EQ(buf.get_section_header(&n), SectionType::kDouble);
+  EXPECT_EQ(n, 2u);
+  auto rd = jvm.new_array<jdouble>(2);
+  buf.read(rd, 0, n);
+  EXPECT_DOUBLE_EQ(rd[1], 2.5);
+  EXPECT_EQ(buf.get_section_size(), 2u);
+}
+
+TEST(BufferTest, EncodingRoundTripNonNative) {
+  Jvm jvm(fast_cfg());
+  BufferFactory factory(small_pool());
+  const auto other = jhpc::native_order() == jhpc::ByteOrder::kBigEndian
+                         ? jhpc::ByteOrder::kLittleEndian
+                         : jhpc::ByteOrder::kBigEndian;
+  auto src = jvm.new_array<jshort>(4);
+  for (std::size_t i = 0; i < 4; ++i) src[i] = static_cast<jshort>(0x0102 + i);
+
+  Buffer buf = factory.get(64);
+  buf.set_encoding(other);
+  EXPECT_EQ(buf.get_encoding(), other);
+  buf.write(src, 0, 4);
+  // On the wire the bytes must be swapped relative to native.
+  const std::byte* raw = buf.native_address();
+  EXPECT_EQ(static_cast<unsigned>(raw[0]), 0x01u);
+  EXPECT_EQ(static_cast<unsigned>(raw[1]), 0x02u);
+  buf.commit();
+  auto dst = jvm.new_array<jshort>(4);
+  buf.read(dst, 0, 4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(dst[i], src[i]);
+}
+
+TEST(BufferTest, ReserveConsumeNativeCursors) {
+  // The native-side path used for derived-datatype pack/unpack.
+  BufferFactory factory(small_pool());
+  Buffer buf = factory.get(64);
+  std::byte* w = buf.reserve(8);
+  for (int i = 0; i < 8; ++i) w[i] = static_cast<std::byte>(i * 3);
+  EXPECT_EQ(buf.size(), 8u);
+  buf.commit();
+  const std::byte* r = buf.consume(8);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(r[i], static_cast<std::byte>(i * 3));
+  EXPECT_THROW(buf.consume(1), jhpc::InvalidArgumentError);
+  EXPECT_THROW(buf.reserve(10'000), jhpc::InvalidArgumentError);
+}
+
+TEST(BufferTest, ReserveInterleavesWithTypedWrites) {
+  Jvm jvm(fast_cfg());
+  BufferFactory factory(small_pool());
+  Buffer buf = factory.get(64);
+  jint v = 7;
+  buf.write(&v, 1);
+  std::byte* w = buf.reserve(4);
+  std::memset(w, 0x5A, 4);
+  buf.commit();
+  jint out = 0;
+  buf.read(&out, 1);
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(buf.consume(4)[3], static_cast<std::byte>(0x5A));
+}
+
+TEST(BufferTest, ClearResetsCursors) {
+  Jvm jvm(fast_cfg());
+  BufferFactory factory(small_pool());
+  Buffer buf = factory.get(64);
+  jint v = 5;
+  buf.write(&v, 1);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  buf.write(&v, 1);
+  buf.commit();
+  jint out = 0;
+  buf.read(&out, 1);
+  EXPECT_EQ(out, 5);
+}
+
+TEST(BufferTest, UseAfterFreeRejected) {
+  BufferFactory factory(small_pool());
+  Buffer buf = factory.get(64);
+  buf.free();
+  EXPECT_FALSE(buf.is_valid());
+  jint v = 1;
+  EXPECT_THROW(buf.write(&v, 1), jhpc::InvalidArgumentError);
+  EXPECT_THROW(buf.free(), jhpc::InvalidArgumentError);
+}
+
+TEST(FactoryTest, PoolReusesStorage) {
+  BufferFactory factory(small_pool());
+  std::byte* first_addr = nullptr;
+  {
+    Buffer a = factory.get(100);
+    first_addr = a.native_address();
+  }  // destructor returns it to the pool
+  Buffer b = factory.get(100);
+  EXPECT_EQ(b.native_address(), first_addr)
+      << "second request must reuse the pooled storage";
+  const auto st = factory.stats();
+  EXPECT_EQ(st.requests, 2u);
+  EXPECT_EQ(st.pool_hits, 1u);
+  EXPECT_EQ(st.pool_misses, 1u);
+}
+
+TEST(FactoryTest, SizeClassesArePowersOfTwoAboveMin) {
+  BufferFactory factory(small_pool());
+  EXPECT_EQ(factory.get(1).capacity(), 256u);
+  EXPECT_EQ(factory.get(256).capacity(), 256u);
+  EXPECT_EQ(factory.get(257).capacity(), 512u);
+  EXPECT_EQ(factory.get(100'000).capacity(), 131072u);
+}
+
+TEST(FactoryTest, SmallestFittingBufferIsPreferred) {
+  BufferFactory factory(small_pool());
+  {
+    Buffer big = factory.get(4096);
+    Buffer small = factory.get(256);
+  }  // both pooled now
+  Buffer b = factory.get(200);
+  EXPECT_EQ(b.capacity(), 256u) << "must not burn the 4K buffer on a 200B ask";
+}
+
+TEST(FactoryTest, RetentionCapDropsExcess) {
+  BufferFactory factory(small_pool());  // cap = 4
+  {
+    std::vector<Buffer> bufs;
+    for (int i = 0; i < 6; ++i) bufs.push_back(factory.get(256));
+  }
+  const auto st = factory.stats();
+  EXPECT_EQ(st.returned, 6u);
+  EXPECT_EQ(st.dropped, 2u);
+  EXPECT_EQ(st.pooled_now, 4u);
+}
+
+TEST(FactoryTest, MoveSemantics) {
+  BufferFactory factory(small_pool());
+  Buffer a = factory.get(64);
+  jint v = 3;
+  a.write(&v, 1);
+  Buffer b = std::move(a);
+  EXPECT_FALSE(a.is_valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.is_valid());
+  EXPECT_EQ(b.size(), sizeof(jint));
+  b = factory.get(64);  // assignment frees the old storage back to pool
+  EXPECT_EQ(factory.stats().returned, 1u);
+}
+
+TEST(FactoryTest, StressManyCyclesNoGrowth) {
+  BufferFactory factory(small_pool());
+  for (int i = 0; i < 1000; ++i) {
+    Buffer b = factory.get(static_cast<std::size_t>(64 + (i % 5) * 300));
+    jint v = i;
+    b.write(&v, 1);
+  }
+  EXPECT_LE(factory.stats().pooled_now, 4u);
+  EXPECT_GT(factory.stats().pool_hits, 900u)
+      << "steady state should be nearly all pool hits";
+}
+
+}  // namespace
+}  // namespace jhpc::mpjbuf

@@ -1,0 +1,442 @@
+// The MVAPICH2-J bindings: both API families (direct ByteBuffers and Java
+// arrays), non-blocking array support, pooled staging, collectives,
+// communicator management, and error semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "jhpc/mv2j/env.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::mv2j {
+namespace {
+
+RunOptions fast_opts(int ranks) {
+  RunOptions o;
+  o.ranks = ranks;
+  o.jvm.heap_bytes = 8 << 20;
+  o.jvm.jni_crossing_ns = 0;  // keep unit tests fast
+  return o;
+}
+
+TEST(Mv2jBufferTest, SendRecvRoundTrip) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    auto buf = env.newDirectBuffer(1024);
+    if (world.getRank() == 0) {
+      for (int i = 0; i < 256; ++i) buf.put_int(static_cast<size_t>(i) * 4, i * 3);
+      world.send(buf, 256, INT, 1, 0);
+    } else {
+      Status st = world.recv(buf, 256, INT, 0, 0);
+      EXPECT_EQ(st.getSource(), 0);
+      EXPECT_EQ(st.getCount(INT), 256);
+      for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(buf.get_int(static_cast<size_t>(i) * 4), i * 3);
+    }
+  });
+}
+
+TEST(Mv2jBufferTest, NonBlockingWindow) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    constexpr int kWin = 16;
+    auto buf = env.newDirectBuffer(4096);
+    std::vector<Request> reqs;
+    if (world.getRank() == 0) {
+      for (int i = 0; i < kWin; ++i)
+        reqs.push_back(world.iSend(buf, 1024, BYTE, 1, 1));
+      Request::waitAll(reqs);
+    } else {
+      std::vector<ByteBuffer> bufs;
+      for (int i = 0; i < kWin; ++i) bufs.push_back(env.newDirectBuffer(1024));
+      for (auto& b : bufs) reqs.push_back(world.iRecv(b, 1024, BYTE, 0, 1));
+      Request::waitAll(reqs);
+    }
+  });
+}
+
+TEST(Mv2jBufferTest, HeapBufferRejected) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    auto heap = ByteBuffer::allocate(env.jvm(), 64);
+    EXPECT_THROW(world.send(heap, 4, INT, 1 - world.getRank(), 0),
+                 UnsupportedOperationError);
+    world.barrier();
+  });
+}
+
+TEST(Mv2jBufferTest, CountBeyondCapacityRejected) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    auto buf = env.newDirectBuffer(16);
+    EXPECT_THROW(world.send(buf, 100, INT, 1 - world.getRank(), 0),
+                 InvalidArgumentError);
+    world.barrier();
+  });
+}
+
+TEST(Mv2jArrayTest, SendRecvRoundTrip) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    if (world.getRank() == 0) {
+      auto arr = env.newArray<minijvm::jdouble>(100);
+      for (std::size_t i = 0; i < 100; ++i)
+        arr[i] = 0.25 * static_cast<double>(i);
+      world.send(arr, 100, DOUBLE, 1, 5);
+    } else {
+      auto arr = env.newArray<minijvm::jdouble>(100);
+      Status st = world.recv(arr, 100, DOUBLE, 0, 5);
+      EXPECT_EQ(st.getCount(DOUBLE), 100);
+      for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(arr[i], 0.25 * static_cast<double>(i));
+    }
+  });
+}
+
+TEST(Mv2jArrayTest, NonBlockingArraysSupported) {
+  // The capability Open MPI-J lacks: iSend/iRecv with Java arrays.
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    if (world.getRank() == 0) {
+      auto arr = env.newArray<minijvm::jint>(512);
+      for (std::size_t i = 0; i < 512; ++i) arr[i] = static_cast<int>(i);
+      Request r = world.iSend(arr, 512, INT, 1, 0);
+      r.waitFor();
+    } else {
+      auto arr = env.newArray<minijvm::jint>(512);
+      Request r = world.iRecv(arr, 512, INT, 0, 0);
+      Status st = r.waitFor();
+      EXPECT_EQ(st.getCount(INT), 512);
+      for (std::size_t i = 0; i < 512; ++i)
+        ASSERT_EQ(arr[i], static_cast<int>(i));
+    }
+  });
+}
+
+TEST(Mv2jArrayTest, IRecvCopiesBackOnlyAfterWait) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    if (world.getRank() == 0) {
+      world.barrier();
+      auto arr = env.newArray<minijvm::jint>(4);
+      for (std::size_t i = 0; i < 4; ++i) arr[i] = 7;
+      world.send(arr, 4, INT, 1, 0);
+    } else {
+      auto arr = env.newArray<minijvm::jint>(4);
+      Request r = world.iRecv(arr, 4, INT, 0, 0);
+      EXPECT_EQ(arr[0], 0) << "no data can be visible before completion";
+      world.barrier();
+      r.waitFor();
+      EXPECT_EQ(arr[0], 7);
+    }
+  });
+}
+
+TEST(Mv2jArrayTest, GcBetweenPostAndCompletionIsSafe) {
+  // The whole point of staging through direct buffers: a GC while a
+  // non-blocking array operation is in flight must not corrupt anything.
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    if (world.getRank() == 0) {
+      auto arr = env.newArray<minijvm::jlong>(1000);
+      for (std::size_t i = 0; i < 1000; ++i)
+        arr[i] = static_cast<minijvm::jlong>(i * i);
+      Request r = world.iSend(arr, 1000, LONG, 1, 0);
+      ASSERT_TRUE(env.jvm().gc());  // the array moves; the staging doesn't
+      world.barrier();
+      r.waitFor();
+    } else {
+      auto arr = env.newArray<minijvm::jlong>(1000);
+      Request r = world.iRecv(arr, 1000, LONG, 0, 0);
+      ASSERT_TRUE(env.jvm().gc());
+      world.barrier();
+      r.waitFor();
+      for (std::size_t i = 0; i < 1000; ++i)
+        ASSERT_EQ(arr[i], static_cast<minijvm::jlong>(i * i));
+    }
+  });
+}
+
+TEST(Mv2jArrayTest, PoolIsReusedAcrossMessages) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    auto arr = env.newArray<minijvm::jint>(256);
+    const int peer = 1 - world.getRank();
+    for (int round = 0; round < 50; ++round) {
+      if (world.getRank() == 0) {
+        world.send(arr, 256, INT, peer, 0);
+      } else {
+        world.recv(arr, 256, INT, peer, 0);
+      }
+    }
+    const auto st = env.pool().stats();
+    EXPECT_EQ(st.requests, 50u);
+    EXPECT_EQ(st.pool_misses, 1u)
+        << "only the first message may allocate a direct buffer";
+    EXPECT_EQ(st.pool_hits, 49u);
+  });
+}
+
+TEST(Mv2jArrayTest, DatatypeMismatchRejected) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    auto arr = env.newArray<minijvm::jint>(4);
+    EXPECT_THROW(world.send(arr, 4, DOUBLE, 1 - world.getRank(), 0),
+                 InvalidArgumentError);
+    EXPECT_THROW(world.send(arr, 5, INT, 1 - world.getRank(), 0),
+                 InvalidArgumentError);
+    world.barrier();
+  });
+}
+
+TEST(Mv2jCollTest, BcastBothApis) {
+  run(fast_opts(4), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    auto buf = env.newDirectBuffer(64);
+    if (world.getRank() == 1) buf.put_long(0, 0xABCDEF);
+    world.bcast(buf, 8, BYTE, 1);
+    EXPECT_EQ(buf.get_long(0), 0xABCDEF);
+
+    auto arr = env.newArray<minijvm::jshort>(16);
+    if (world.getRank() == 1)
+      for (std::size_t i = 0; i < 16; ++i)
+        arr[i] = static_cast<minijvm::jshort>(i + 100);
+    world.bcast(arr, 16, SHORT, 1);
+    for (std::size_t i = 0; i < 16; ++i)
+      EXPECT_EQ(arr[i], static_cast<minijvm::jshort>(i + 100));
+  });
+}
+
+TEST(Mv2jCollTest, AllReduceBothApis) {
+  run(fast_opts(4), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    const int n = world.getSize();
+
+    auto sbuf = env.newDirectBuffer(8);
+    auto rbuf = env.newDirectBuffer(8);
+    sbuf.put_long(0, world.getRank() + 1);
+    world.allReduce(sbuf, rbuf, 1, LONG, SUM);
+    EXPECT_EQ(rbuf.get_long(0), n * (n + 1) / 2);
+
+    auto sarr = env.newArray<minijvm::jfloat>(5);
+    auto rarr = env.newArray<minijvm::jfloat>(5);
+    for (std::size_t i = 0; i < 5; ++i)
+      sarr[i] = 0.5f * static_cast<float>(world.getRank() + 1);
+    world.allReduce(sarr, rarr, 5, FLOAT, SUM);
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_FLOAT_EQ(rarr[i], 0.5f * static_cast<float>(n * (n + 1) / 2));
+
+    // MAX as a second operator.
+    auto marr = env.newArray<minijvm::jint>(1);
+    auto xarr = env.newArray<minijvm::jint>(1);
+    marr[0] = world.getRank() * 7;
+    world.allReduce(marr, xarr, 1, INT, MAX);
+    EXPECT_EQ(xarr[0], (n - 1) * 7);
+  });
+}
+
+TEST(Mv2jCollTest, ReduceGatherScatterArrays) {
+  run(fast_opts(4), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    const int n = world.getSize();
+
+    auto mine = env.newArray<minijvm::jint>(3);
+    for (std::size_t i = 0; i < 3; ++i)
+      mine[i] = world.getRank() * 10 + static_cast<int>(i);
+    auto sum = env.newArray<minijvm::jint>(3);
+    world.reduce(mine, sum, 3, INT, SUM, 0);
+    if (world.getRank() == 0) {
+      const int ranks10 = 10 * n * (n - 1) / 2;
+      for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(sum[i], ranks10 + static_cast<int>(i) * n);
+    }
+
+    auto all = env.newArray<minijvm::jint>(static_cast<std::size_t>(3 * n));
+    world.gather(mine, 3, INT, all, 2);
+    if (world.getRank() == 2) {
+      for (int r = 0; r < n; ++r)
+        for (int j = 0; j < 3; ++j)
+          EXPECT_EQ(all[static_cast<std::size_t>(3 * r + j)], r * 10 + j);
+    }
+
+    auto back = env.newArray<minijvm::jint>(3);
+    world.scatter(all, 3, INT, back, 2);
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_EQ(back[j], world.getRank() * 10 + static_cast<int>(j));
+  });
+}
+
+TEST(Mv2jCollTest, AllGatherAllToAllArrays) {
+  run(fast_opts(4), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    const int n = world.getSize();
+
+    auto mine = env.newArray<minijvm::jbyte>(2);
+    mine[0] = static_cast<minijvm::jbyte>(world.getRank());
+    mine[1] = static_cast<minijvm::jbyte>(world.getRank() + 50);
+    auto all = env.newArray<minijvm::jbyte>(static_cast<std::size_t>(2 * n));
+    world.allGather(mine, 2, BYTE, all);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r);
+      EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r + 50);
+    }
+
+    auto sendm = env.newArray<minijvm::jint>(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      sendm[static_cast<std::size_t>(r)] = world.getRank() * 100 + r;
+    auto recvm = env.newArray<minijvm::jint>(static_cast<std::size_t>(n));
+    world.allToAll(sendm, 1, INT, recvm);
+    for (int r = 0; r < n; ++r)
+      EXPECT_EQ(recvm[static_cast<std::size_t>(r)],
+                r * 100 + world.getRank());
+  });
+}
+
+TEST(Mv2jCollTest, VectoredGathervScattervArrays) {
+  run(fast_opts(3), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    const int n = world.getSize();
+    const int me = world.getRank();
+
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts.push_back(r + 1);
+      displs.push_back(total);
+      total += r + 1;
+    }
+    auto mine = env.newArray<minijvm::jint>(static_cast<std::size_t>(me + 1));
+    for (int i = 0; i <= me; ++i)
+      mine[static_cast<std::size_t>(i)] = me * 10 + i;
+    auto all = env.newArray<minijvm::jint>(static_cast<std::size_t>(total));
+    world.gatherv(mine, me + 1, INT, all, counts, displs, 0);
+    if (me == 0) {
+      int idx = 0;
+      for (int r = 0; r < n; ++r)
+        for (int i = 0; i <= r; ++i)
+          EXPECT_EQ(all[static_cast<std::size_t>(idx++)], r * 10 + i);
+    }
+
+    auto back = env.newArray<minijvm::jint>(static_cast<std::size_t>(me + 1));
+    world.scatterv(all, counts, displs, INT, back, me + 1, 0);
+    for (int i = 0; i <= me; ++i)
+      EXPECT_EQ(back[static_cast<std::size_t>(i)], me * 10 + i);
+  });
+}
+
+TEST(Mv2jCollTest, AllGathervBuffers) {
+  run(fast_opts(3), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    const int n = world.getSize();
+    const int me = world.getRank();
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts.push_back(2 * (r + 1));
+      displs.push_back(total);
+      total += counts.back();
+    }
+    auto mine = env.newDirectBuffer(static_cast<std::size_t>(counts[static_cast<std::size_t>(me)]));
+    for (int i = 0; i < counts[static_cast<std::size_t>(me)]; ++i)
+      mine.put(static_cast<std::size_t>(i), static_cast<minijvm::jbyte>(me));
+    auto all = env.newDirectBuffer(static_cast<std::size_t>(total));
+    world.allGatherv(mine, counts[static_cast<std::size_t>(me)], BYTE, all,
+                     counts, displs);
+    for (int r = 0; r < n; ++r)
+      for (int i = 0; i < counts[static_cast<std::size_t>(r)]; ++i)
+        EXPECT_EQ(all.get(static_cast<std::size_t>(displs[static_cast<std::size_t>(r)] + i)),
+                  static_cast<minijvm::jbyte>(r));
+  });
+}
+
+TEST(Mv2jCollTest, ReduceScatterBlockAndScan) {
+  run(fast_opts(4), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    const int n = world.getSize();
+    const int me = world.getRank();
+
+    // reduceScatterBlock over arrays: everyone contributes 1s; each rank
+    // gets its block summed across ranks.
+    auto send = env.newArray<minijvm::jint>(static_cast<std::size_t>(2 * n));
+    for (std::size_t i = 0; i < send.length(); ++i) send[i] = 1;
+    auto block = env.newArray<minijvm::jint>(2);
+    world.reduceScatterBlock(send, block, 2, INT, SUM);
+    EXPECT_EQ(block[0], n);
+    EXPECT_EQ(block[1], n);
+
+    // scan over buffers: inclusive prefix sums of rank+1.
+    auto sbuf = env.newDirectBuffer(8);
+    auto rbuf = env.newDirectBuffer(8);
+    sbuf.put_long(0, me + 1);
+    world.scan(sbuf, rbuf, 1, LONG, SUM);
+    EXPECT_EQ(rbuf.get_long(0), (me + 1) * (me + 2) / 2);
+
+    // scan over arrays too.
+    auto sa = env.newArray<minijvm::jdouble>(1);
+    auto ra = env.newArray<minijvm::jdouble>(1);
+    sa[0] = 0.5;
+    world.scan(sa, ra, 1, DOUBLE, SUM);
+    EXPECT_DOUBLE_EQ(ra[0], 0.5 * (me + 1));
+  });
+}
+
+TEST(Mv2jProbeTest, ProbeAndIProbe) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    if (world.getRank() == 0) {
+      auto buf = env.newDirectBuffer(32);
+      world.send(buf, 8, INT, 1, 77);
+    } else {
+      Status st = world.probe(0, 77);
+      EXPECT_EQ(st.getSource(), 0);
+      EXPECT_EQ(st.getTag(), 77);
+      EXPECT_EQ(st.getCount(INT), 8);
+      // The message is still there: receive it by the probed size.
+      auto buf = env.newDirectBuffer(32);
+      world.recv(buf, st.getCount(INT), INT, 0, 77);
+      Status none;
+      EXPECT_FALSE(world.iProbe(0, 77, &none));
+    }
+  });
+}
+
+TEST(Mv2jMgmtTest, DupAndSplit) {
+  run(fast_opts(4), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    Comm dup = world.dup();
+    EXPECT_EQ(dup.getSize(), 4);
+    dup.barrier();
+
+    Comm half = world.split(world.getRank() % 2, 0);
+    ASSERT_TRUE(half.valid());
+    EXPECT_EQ(half.getSize(), 2);
+    auto v = env.newArray<minijvm::jint>(1);
+    v[0] = world.getRank();
+    auto s = env.newArray<minijvm::jint>(1);
+    half.allReduce(v, s, 1, INT, SUM);
+    EXPECT_EQ(s[0], world.getRank() % 2 == 0 ? 0 + 2 : 1 + 3);
+
+    Comm undef = world.split(world.getRank() == 0 ? -1 : 0, 0);
+    EXPECT_EQ(undef.valid(), world.getRank() != 0);
+  });
+}
+
+TEST(Mv2jMgmtTest, StatusGetCountScalesByType) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    if (world.getRank() == 0) {
+      auto buf = env.newDirectBuffer(64);
+      world.send(buf, 16, INT, 1, 0);
+    } else {
+      auto buf = env.newDirectBuffer(64);
+      Status st = world.recv(buf, 16, INT, 0, 0);
+      EXPECT_EQ(st.getCount(INT), 16);
+      EXPECT_EQ(st.getCount(BYTE), 64);
+      EXPECT_EQ(st.getCount(DOUBLE), 8);
+      EXPECT_EQ(st.bytes(), 64u);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace jhpc::mv2j

@@ -1,0 +1,157 @@
+// Unit tests for the virtual fabric model (virtual-time domain: callers
+// pass the sender's virtual time and get the virtual delivery time).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "jhpc/netsim/fabric.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::netsim {
+namespace {
+
+FabricConfig two_node_cfg() {
+  FabricConfig cfg;
+  cfg.ranks_per_node = 2;
+  cfg.inter_latency_ns = 1000;
+  cfg.inter_bandwidth_mbps = 1000.0;  // 1 ns/byte
+  cfg.intra_latency_ns = 100;
+  return cfg;
+}
+
+TEST(FabricTest, NodePlacementIsBlockwise) {
+  Fabric f(8, two_node_cfg());
+  EXPECT_EQ(f.node_count(), 4);
+  EXPECT_EQ(f.node_of(0), 0);
+  EXPECT_EQ(f.node_of(1), 0);
+  EXPECT_EQ(f.node_of(2), 1);
+  EXPECT_EQ(f.node_of(7), 3);
+  EXPECT_TRUE(f.same_node(0, 1));
+  EXPECT_FALSE(f.same_node(1, 2));
+}
+
+TEST(FabricTest, SingleNodeWhenPpnUnset) {
+  FabricConfig cfg;  // ranks_per_node = 0 -> all on one node
+  Fabric f(16, cfg);
+  EXPECT_EQ(f.node_count(), 1);
+  EXPECT_TRUE(f.same_node(0, 15));
+}
+
+TEST(FabricTest, RoundRobinPlacement) {
+  auto cfg = two_node_cfg();
+  cfg.placement = Placement::kRoundRobin;
+  Fabric f(8, cfg);  // 4 nodes
+  EXPECT_EQ(f.node_of(0), 0);
+  EXPECT_EQ(f.node_of(1), 1);
+  EXPECT_EQ(f.node_of(4), 0);
+  EXPECT_EQ(f.node_of(7), 3);
+  EXPECT_TRUE(f.same_node(0, 4));
+  EXPECT_FALSE(f.same_node(0, 1)) << "cyclic mapping splits neighbours";
+}
+
+TEST(FabricTest, UnevenLastNode) {
+  auto cfg = two_node_cfg();
+  cfg.ranks_per_node = 3;
+  Fabric f(7, cfg);
+  EXPECT_EQ(f.node_count(), 3);
+  EXPECT_EQ(f.node_of(6), 2);
+}
+
+TEST(FabricTest, IntraNodeDeliveryPaysOnlyIntraLatency) {
+  Fabric f(4, two_node_cfg());
+  EXPECT_EQ(f.reserve_delivery(5000, 0, 1, 1 << 20), 5000 + 100);
+}
+
+TEST(FabricTest, InterNodeDeliveryPaysLatencyAndSerialization) {
+  Fabric f(4, two_node_cfg());
+  // 1000 bytes at 1 ns/byte + 1000 ns latency, starting at t=5000.
+  EXPECT_EQ(f.reserve_delivery(5000, 0, 2, 1000), 5000 + 1000 + 1000);
+}
+
+TEST(FabricTest, ZeroByteMessagePaysOnlyLatency) {
+  Fabric f(4, two_node_cfg());
+  EXPECT_EQ(f.reserve_delivery(0, 0, 2, 0), 1000);
+}
+
+TEST(FabricTest, SerializationMatchesBandwidth) {
+  Fabric f(4, two_node_cfg());
+  EXPECT_EQ(f.serialization_ns(1000), 1000);  // 1 ns/byte
+  EXPECT_EQ(f.serialization_ns(0), 0);
+}
+
+TEST(FabricTest, BackToBackTransfersQueueOnTheLink) {
+  Fabric f(4, two_node_cfg());
+  const auto d1 = f.reserve_delivery(0, 0, 2, 100'000);
+  EXPECT_EQ(d1, 100'000 + 1000);
+  // Second transfer entering at t=0 queues behind the first.
+  const auto d2 = f.reserve_delivery(0, 0, 2, 100'000);
+  EXPECT_EQ(d2, 200'000 + 1000);
+  // A transfer entering after the link is free does not queue.
+  const auto d3 = f.reserve_delivery(300'000, 0, 2, 1000);
+  EXPECT_EQ(d3, 300'000 + 1000 + 1000);
+}
+
+TEST(FabricTest, OppositeDirectionsDoNotQueue) {
+  Fabric f(4, two_node_cfg());
+  (void)f.reserve_delivery(0, 0, 2, 1'000'000);  // busy 0->1 direction
+  EXPECT_EQ(f.reserve_delivery(0, 2, 0, 100), 100 + 1000);
+}
+
+TEST(FabricTest, DistinctNodePairsAreDistinctLinks) {
+  auto cfg = two_node_cfg();
+  cfg.ranks_per_node = 1;
+  Fabric f(4, cfg);
+  (void)f.reserve_delivery(0, 0, 1, 1'000'000);  // node0 -> node1 busy
+  // node0 -> node2 is a separate directed link.
+  EXPECT_EQ(f.reserve_delivery(0, 0, 2, 100), 100 + 1000);
+}
+
+TEST(FabricTest, ResetClearsLinkClocks) {
+  Fabric f(4, two_node_cfg());
+  (void)f.reserve_delivery(0, 0, 2, 1'000'000);
+  f.reset();
+  EXPECT_EQ(f.reserve_delivery(0, 0, 2, 1000), 1000 + 1000);
+}
+
+TEST(FabricTest, ConcurrentReservationsNeverOverlap) {
+  Fabric f(4, two_node_cfg());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  constexpr std::size_t kBytes = 1000;  // 1000 ns occupancy each
+  std::vector<std::int64_t> ends(kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        ends[static_cast<std::size_t>(t * kPerThread + i)] =
+            f.reserve_delivery(0, 0, 2, kBytes);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // 800 serialized transfers of 1000 ns each: the last one cannot
+  // complete before 800'000 + latency, and all end times are distinct.
+  std::sort(ends.begin(), ends.end());
+  EXPECT_EQ(ends.back(), 800'000 + 1000);
+  for (std::size_t i = 1; i < ends.size(); ++i)
+    EXPECT_GE(ends[i] - ends[i - 1], 1000);
+}
+
+TEST(FabricTest, RejectsBadConfig) {
+  FabricConfig cfg;
+  cfg.inter_bandwidth_mbps = 0.0;
+  EXPECT_THROW(Fabric(2, cfg), InvalidArgumentError);
+  FabricConfig cfg2;
+  cfg2.inter_latency_ns = -5;
+  EXPECT_THROW(Fabric(2, cfg2), InvalidArgumentError);
+  EXPECT_THROW(Fabric(0, FabricConfig{}), InvalidArgumentError);
+}
+
+TEST(FabricTest, RankOutOfRangeThrows) {
+  Fabric f(4, two_node_cfg());
+  EXPECT_THROW(f.node_of(4), InvalidArgumentError);
+  EXPECT_THROW(f.node_of(-1), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace jhpc::netsim

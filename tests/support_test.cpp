@@ -1,0 +1,238 @@
+// Unit tests for the jhpc support library.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "jhpc/support/byte_order.hpp"
+#include "jhpc/support/clock.hpp"
+#include "jhpc/support/env.hpp"
+#include "jhpc/support/error.hpp"
+#include "jhpc/support/sizes.hpp"
+#include "jhpc/support/stats.hpp"
+#include "jhpc/support/table.hpp"
+
+namespace jhpc {
+namespace {
+
+TEST(ErrorTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(JHPC_REQUIRE(false, "nope"), InvalidArgumentError);
+  EXPECT_NO_THROW(JHPC_REQUIRE(true, "fine"));
+}
+
+TEST(ErrorTest, AssertThrowsInternal) {
+  EXPECT_THROW(JHPC_ASSERT(false, "bug"), InternalError);
+}
+
+TEST(ErrorTest, MessageContainsContext) {
+  try {
+    JHPC_REQUIRE(1 == 2, "my context message");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("my context message"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(ClockTest, Monotonic) {
+  const auto a = now_ns();
+  const auto b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, WaitUntilReachesDeadline) {
+  const auto deadline = now_ns() + 200'000;  // 200 us
+  const auto observed = wait_until_ns(deadline);
+  EXPECT_GE(observed, deadline);
+  // And not wildly past it (sanity on an oversubscribed box).
+  EXPECT_LT(observed, deadline + 50'000'000);
+}
+
+TEST(ClockTest, WaitUntilPastDeadlineReturnsImmediately) {
+  const auto t0 = now_ns();
+  wait_until_ns(t0 - 1'000'000);
+  EXPECT_LT(now_ns() - t0, 10'000'000);
+}
+
+TEST(ClockTest, BurnTakesRoughlyRequestedTime) {
+  burn_ns(1000);  // warm the calibration
+  const auto t0 = now_ns();
+  burn_ns(2'000'000);  // 2 ms
+  const auto dt = now_ns() - t0;
+  EXPECT_GT(dt, 500'000);  // at least 0.5 ms even with noise
+}
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+}
+
+TEST(StatsTest, RunningStatsMergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatsTest, SampleSetPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.1);
+}
+
+TEST(StatsTest, SampleSetEmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.min(), InvalidArgumentError);
+  EXPECT_THROW(s.percentile(50), InvalidArgumentError);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(StatsTest, BandwidthFormula) {
+  // 1e6 bytes in 1e6 ns = 1 byte/ns = 1000 MB/s.
+  EXPECT_DOUBLE_EQ(bandwidth_mbps(1'000'000, 1'000'000), 1000.0);
+  EXPECT_DOUBLE_EQ(bandwidth_mbps(0, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(bandwidth_mbps(1000, 0), 0.0);
+}
+
+TEST(StatsTest, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-9);
+  EXPECT_NEAR(geometric_mean({5.0}), 5.0, 1e-9);
+  EXPECT_THROW(geometric_mean({}), InvalidArgumentError);
+  EXPECT_THROW(geometric_mean({1.0, -1.0}), InvalidArgumentError);
+}
+
+TEST(SizesTest, ParseSize) {
+  EXPECT_EQ(parse_size("17"), 17u);
+  EXPECT_EQ(parse_size("4K"), 4096u);
+  EXPECT_EQ(parse_size("4k"), 4096u);
+  EXPECT_EQ(parse_size("1M"), 1u << 20);
+  EXPECT_EQ(parse_size("2G"), 2ull << 30);
+  EXPECT_THROW(parse_size("abc"), InvalidArgumentError);
+  EXPECT_THROW(parse_size("4X"), InvalidArgumentError);
+  EXPECT_THROW(parse_size(""), InvalidArgumentError);
+}
+
+TEST(SizesTest, FormatSize) {
+  EXPECT_EQ(format_size(17), "17");
+  EXPECT_EQ(format_size(4096), "4K");
+  EXPECT_EQ(format_size(1u << 20), "1M");
+  EXPECT_EQ(format_size(3u << 20), "3M");
+  EXPECT_EQ(format_size((1u << 20) + 1), std::to_string((1u << 20) + 1));
+}
+
+TEST(SizesTest, SweepIsPowersOfTwoInclusive) {
+  const auto s = size_sweep(1, 16);
+  const std::vector<std::size_t> want{1, 2, 4, 8, 16};
+  EXPECT_EQ(s, want);
+}
+
+TEST(SizesTest, SweepFromZeroIncludesZero) {
+  const auto s = size_sweep(0, 4);
+  const std::vector<std::size_t> want{0, 1, 2, 4};
+  EXPECT_EQ(s, want);
+}
+
+TEST(SizesTest, SweepRejectsNonPow2) {
+  EXPECT_THROW(size_sweep(3, 16), InvalidArgumentError);
+  EXPECT_THROW(size_sweep(1, 24), InvalidArgumentError);
+  EXPECT_THROW(size_sweep(16, 4), InvalidArgumentError);
+}
+
+TEST(TableTest, TextAndCsv) {
+  Table t({"Size", "Latency(us)"});
+  t.add_row({"1", "0.50"});
+  t.add_row({"2", "0.55"});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string txt = t.to_text();
+  EXPECT_NE(txt.find("Size"), std::string::npos);
+  EXPECT_NE(txt.find("0.55"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("Size,Latency(us)\n"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"a"});
+  t.add_row({"x,y"});
+  t.add_row({"he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgumentError);
+}
+
+TEST(TableTest, WriteCsvReportsIoErrors) {
+  Table t({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/out.csv"), Error);
+}
+
+TEST(EnvTest, Int64ParseAndDefault) {
+  ::unsetenv("JHPC_TEST_ENV_I");
+  EXPECT_EQ(env_int64("JHPC_TEST_ENV_I", 42), 42);
+  ::setenv("JHPC_TEST_ENV_I", "17", 1);
+  EXPECT_EQ(env_int64("JHPC_TEST_ENV_I", 42), 17);
+  ::setenv("JHPC_TEST_ENV_I", "junk", 1);
+  EXPECT_THROW(env_int64("JHPC_TEST_ENV_I", 42), InvalidArgumentError);
+  ::unsetenv("JHPC_TEST_ENV_I");
+}
+
+TEST(EnvTest, BoolForms) {
+  ::setenv("JHPC_TEST_ENV_B", "TRUE", 1);
+  EXPECT_TRUE(env_bool("JHPC_TEST_ENV_B", false));
+  ::setenv("JHPC_TEST_ENV_B", "0", 1);
+  EXPECT_FALSE(env_bool("JHPC_TEST_ENV_B", true));
+  ::setenv("JHPC_TEST_ENV_B", "maybe", 1);
+  EXPECT_THROW(env_bool("JHPC_TEST_ENV_B", true), InvalidArgumentError);
+  ::unsetenv("JHPC_TEST_ENV_B");
+}
+
+TEST(ByteOrderTest, RoundTripBothOrders) {
+  alignas(8) unsigned char buf[8];
+  store_ordered<std::int32_t>(buf, 0x12345678, ByteOrder::kBigEndian);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[3], 0x78);
+  EXPECT_EQ(load_ordered<std::int32_t>(buf, ByteOrder::kBigEndian),
+            0x12345678);
+  store_ordered<std::int32_t>(buf, 0x12345678, ByteOrder::kLittleEndian);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(load_ordered<std::int32_t>(buf, ByteOrder::kLittleEndian),
+            0x12345678);
+}
+
+TEST(ByteOrderTest, DoubleSurvivesSwap) {
+  alignas(8) unsigned char buf[8];
+  const double v = -12345.6789e-3;
+  store_ordered(buf, v, ByteOrder::kBigEndian);
+  EXPECT_DOUBLE_EQ(load_ordered<double>(buf, ByteOrder::kBigEndian), v);
+  store_ordered(buf, v, ByteOrder::kLittleEndian);
+  EXPECT_DOUBLE_EQ(load_ordered<double>(buf, ByteOrder::kLittleEndian), v);
+}
+
+}  // namespace
+}  // namespace jhpc
