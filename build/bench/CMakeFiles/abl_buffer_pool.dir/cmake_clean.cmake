@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_buffer_pool.dir/abl_buffer_pool.cpp.o"
+  "CMakeFiles/abl_buffer_pool.dir/abl_buffer_pool.cpp.o.d"
+  "abl_buffer_pool"
+  "abl_buffer_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_buffer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bytebuffer_access.dir/abl_bytebuffer_access.cpp.o"
+  "CMakeFiles/abl_bytebuffer_access.dir/abl_bytebuffer_access.cpp.o.d"
+  "abl_bytebuffer_access"
+  "abl_bytebuffer_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bytebuffer_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_collective_algorithms.dir/abl_collective_algorithms.cpp.o"
+  "CMakeFiles/abl_collective_algorithms.dir/abl_collective_algorithms.cpp.o.d"
+  "abl_collective_algorithms"
+  "abl_collective_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_collective_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eager_rendezvous.dir/abl_eager_rendezvous.cpp.o"
+  "CMakeFiles/abl_eager_rendezvous.dir/abl_eager_rendezvous.cpp.o.d"
+  "abl_eager_rendezvous"
+  "abl_eager_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eager_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

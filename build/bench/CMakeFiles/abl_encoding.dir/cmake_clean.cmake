@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_encoding.dir/abl_encoding.cpp.o"
+  "CMakeFiles/abl_encoding.dir/abl_encoding.cpp.o.d"
+  "abl_encoding"
+  "abl_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

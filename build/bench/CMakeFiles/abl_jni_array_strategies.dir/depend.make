@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_jni_array_strategies.
+# This may be replaced when dependencies are built.

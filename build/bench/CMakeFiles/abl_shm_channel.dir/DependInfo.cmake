@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_shm_channel.cpp" "bench/CMakeFiles/abl_shm_channel.dir/abl_shm_channel.cpp.o" "gcc" "bench/CMakeFiles/abl_shm_channel.dir/abl_shm_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ombj/CMakeFiles/jhpc_ombj.dir/DependInfo.cmake"
+  "/root/repo/build/src/ompij/CMakeFiles/jhpc_ompij.dir/DependInfo.cmake"
+  "/root/repo/build/src/mv2j/CMakeFiles/jhpc_mv2j.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpjbuf/CMakeFiles/jhpc_mpjbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/minijvm/CMakeFiles/jhpc_minijvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/jhpc_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/jhpc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jhpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

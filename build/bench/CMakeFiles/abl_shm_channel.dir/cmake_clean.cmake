@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_shm_channel.dir/abl_shm_channel.cpp.o"
+  "CMakeFiles/abl_shm_channel.dir/abl_shm_channel.cpp.o.d"
+  "abl_shm_channel"
+  "abl_shm_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_shm_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

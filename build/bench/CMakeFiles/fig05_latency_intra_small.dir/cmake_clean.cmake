@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_latency_intra_small.dir/fig05_latency_intra_small.cpp.o"
+  "CMakeFiles/fig05_latency_intra_small.dir/fig05_latency_intra_small.cpp.o.d"
+  "fig05_latency_intra_small"
+  "fig05_latency_intra_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_latency_intra_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bw_intra_small.dir/fig07_bw_intra_small.cpp.o"
+  "CMakeFiles/fig07_bw_intra_small.dir/fig07_bw_intra_small.cpp.o.d"
+  "fig07_bw_intra_small"
+  "fig07_bw_intra_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bw_intra_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_bw_intra_large.dir/fig08_bw_intra_large.cpp.o"
+  "CMakeFiles/fig08_bw_intra_large.dir/fig08_bw_intra_large.cpp.o.d"
+  "fig08_bw_intra_large"
+  "fig08_bw_intra_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_bw_intra_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

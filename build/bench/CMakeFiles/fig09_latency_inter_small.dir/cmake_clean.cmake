@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_latency_inter_small.dir/fig09_latency_inter_small.cpp.o"
+  "CMakeFiles/fig09_latency_inter_small.dir/fig09_latency_inter_small.cpp.o.d"
+  "fig09_latency_inter_small"
+  "fig09_latency_inter_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_latency_inter_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_latency_inter_large.dir/fig10_latency_inter_large.cpp.o"
+  "CMakeFiles/fig10_latency_inter_large.dir/fig10_latency_inter_large.cpp.o.d"
+  "fig10_latency_inter_large"
+  "fig10_latency_inter_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_latency_inter_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_overhead_native_vs_java.dir/fig11_overhead_native_vs_java.cpp.o"
+  "CMakeFiles/fig11_overhead_native_vs_java.dir/fig11_overhead_native_vs_java.cpp.o.d"
+  "fig11_overhead_native_vs_java"
+  "fig11_overhead_native_vs_java.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_overhead_native_vs_java.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

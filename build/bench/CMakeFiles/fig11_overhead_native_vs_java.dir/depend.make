@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_overhead_native_vs_java.
+# This may be replaced when dependencies are built.

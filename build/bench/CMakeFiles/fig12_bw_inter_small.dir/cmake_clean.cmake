@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bw_inter_small.dir/fig12_bw_inter_small.cpp.o"
+  "CMakeFiles/fig12_bw_inter_small.dir/fig12_bw_inter_small.cpp.o.d"
+  "fig12_bw_inter_small"
+  "fig12_bw_inter_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bw_inter_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

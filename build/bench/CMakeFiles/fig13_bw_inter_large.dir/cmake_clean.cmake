@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bw_inter_large.dir/fig13_bw_inter_large.cpp.o"
+  "CMakeFiles/fig13_bw_inter_large.dir/fig13_bw_inter_large.cpp.o.d"
+  "fig13_bw_inter_large"
+  "fig13_bw_inter_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bw_inter_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_bcast_large.dir/fig15_bcast_large.cpp.o"
+  "CMakeFiles/fig15_bcast_large.dir/fig15_bcast_large.cpp.o.d"
+  "fig15_bcast_large"
+  "fig15_bcast_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_bcast_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_allreduce_small.dir/fig16_allreduce_small.cpp.o"
+  "CMakeFiles/fig16_allreduce_small.dir/fig16_allreduce_small.cpp.o.d"
+  "fig16_allreduce_small"
+  "fig16_allreduce_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_allreduce_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

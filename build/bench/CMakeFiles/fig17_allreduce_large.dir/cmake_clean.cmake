@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_allreduce_large.dir/fig17_allreduce_large.cpp.o"
+  "CMakeFiles/fig17_allreduce_large.dir/fig17_allreduce_large.cpp.o.d"
+  "fig17_allreduce_large"
+  "fig17_allreduce_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_allreduce_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_validation_arrays_vs_buffers.dir/fig18_validation_arrays_vs_buffers.cpp.o"
+  "CMakeFiles/fig18_validation_arrays_vs_buffers.dir/fig18_validation_arrays_vs_buffers.cpp.o.d"
+  "fig18_validation_arrays_vs_buffers"
+  "fig18_validation_arrays_vs_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_validation_arrays_vs_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

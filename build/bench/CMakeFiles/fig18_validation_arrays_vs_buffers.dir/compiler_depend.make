@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_validation_arrays_vs_buffers.
+# This may be replaced when dependencies are built.

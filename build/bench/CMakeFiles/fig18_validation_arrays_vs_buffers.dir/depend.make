@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_validation_arrays_vs_buffers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_poisson.dir/cg_poisson.cpp.o"
+  "CMakeFiles/cg_poisson.dir/cg_poisson.cpp.o.d"
+  "cg_poisson"
+  "cg_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

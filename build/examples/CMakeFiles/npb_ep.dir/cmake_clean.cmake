@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_ep.dir/npb_ep.cpp.o"
+  "CMakeFiles/npb_ep.dir/npb_ep.cpp.o.d"
+  "npb_ep"
+  "npb_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

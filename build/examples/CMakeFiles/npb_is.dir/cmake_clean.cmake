@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_is.dir/npb_is.cpp.o"
+  "CMakeFiles/npb_is.dir/npb_is.cpp.o.d"
+  "npb_is"
+  "npb_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

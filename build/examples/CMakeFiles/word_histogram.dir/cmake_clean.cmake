@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_histogram.dir/word_histogram.cpp.o"
+  "CMakeFiles/word_histogram.dir/word_histogram.cpp.o.d"
+  "word_histogram"
+  "word_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

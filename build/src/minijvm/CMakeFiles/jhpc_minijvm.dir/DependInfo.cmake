@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minijvm/bytebuffer.cpp" "src/minijvm/CMakeFiles/jhpc_minijvm.dir/bytebuffer.cpp.o" "gcc" "src/minijvm/CMakeFiles/jhpc_minijvm.dir/bytebuffer.cpp.o.d"
+  "/root/repo/src/minijvm/direct_memory.cpp" "src/minijvm/CMakeFiles/jhpc_minijvm.dir/direct_memory.cpp.o" "gcc" "src/minijvm/CMakeFiles/jhpc_minijvm.dir/direct_memory.cpp.o.d"
+  "/root/repo/src/minijvm/heap.cpp" "src/minijvm/CMakeFiles/jhpc_minijvm.dir/heap.cpp.o" "gcc" "src/minijvm/CMakeFiles/jhpc_minijvm.dir/heap.cpp.o.d"
+  "/root/repo/src/minijvm/jvm.cpp" "src/minijvm/CMakeFiles/jhpc_minijvm.dir/jvm.cpp.o" "gcc" "src/minijvm/CMakeFiles/jhpc_minijvm.dir/jvm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jhpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhpc_minijvm.dir/bytebuffer.cpp.o"
+  "CMakeFiles/jhpc_minijvm.dir/bytebuffer.cpp.o.d"
+  "CMakeFiles/jhpc_minijvm.dir/direct_memory.cpp.o"
+  "CMakeFiles/jhpc_minijvm.dir/direct_memory.cpp.o.d"
+  "CMakeFiles/jhpc_minijvm.dir/heap.cpp.o"
+  "CMakeFiles/jhpc_minijvm.dir/heap.cpp.o.d"
+  "CMakeFiles/jhpc_minijvm.dir/jvm.cpp.o"
+  "CMakeFiles/jhpc_minijvm.dir/jvm.cpp.o.d"
+  "libjhpc_minijvm.a"
+  "libjhpc_minijvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhpc_minijvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjhpc_minijvm.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/cart.cpp" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/cart.cpp.o" "gcc" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/cart.cpp.o.d"
+  "/root/repo/src/minimpi/coll_basic.cpp" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/coll_basic.cpp.o" "gcc" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/coll_basic.cpp.o.d"
+  "/root/repo/src/minimpi/coll_common.cpp" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/coll_common.cpp.o" "gcc" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/coll_common.cpp.o.d"
+  "/root/repo/src/minimpi/coll_mv2.cpp" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/coll_mv2.cpp.o" "gcc" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/coll_mv2.cpp.o.d"
+  "/root/repo/src/minimpi/comm.cpp" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/comm.cpp.o" "gcc" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/comm.cpp.o.d"
+  "/root/repo/src/minimpi/datatype.cpp" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/datatype.cpp.o" "gcc" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/datatype.cpp.o.d"
+  "/root/repo/src/minimpi/group.cpp" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/group.cpp.o" "gcc" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/group.cpp.o.d"
+  "/root/repo/src/minimpi/op.cpp" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/op.cpp.o" "gcc" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/op.cpp.o.d"
+  "/root/repo/src/minimpi/request.cpp" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/request.cpp.o" "gcc" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/request.cpp.o.d"
+  "/root/repo/src/minimpi/transport.cpp" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/transport.cpp.o" "gcc" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/transport.cpp.o.d"
+  "/root/repo/src/minimpi/universe.cpp" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/universe.cpp.o" "gcc" "src/minimpi/CMakeFiles/jhpc_minimpi.dir/universe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jhpc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/jhpc_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhpc_minimpi.dir/cart.cpp.o"
+  "CMakeFiles/jhpc_minimpi.dir/cart.cpp.o.d"
+  "CMakeFiles/jhpc_minimpi.dir/coll_basic.cpp.o"
+  "CMakeFiles/jhpc_minimpi.dir/coll_basic.cpp.o.d"
+  "CMakeFiles/jhpc_minimpi.dir/coll_common.cpp.o"
+  "CMakeFiles/jhpc_minimpi.dir/coll_common.cpp.o.d"
+  "CMakeFiles/jhpc_minimpi.dir/coll_mv2.cpp.o"
+  "CMakeFiles/jhpc_minimpi.dir/coll_mv2.cpp.o.d"
+  "CMakeFiles/jhpc_minimpi.dir/comm.cpp.o"
+  "CMakeFiles/jhpc_minimpi.dir/comm.cpp.o.d"
+  "CMakeFiles/jhpc_minimpi.dir/datatype.cpp.o"
+  "CMakeFiles/jhpc_minimpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/jhpc_minimpi.dir/group.cpp.o"
+  "CMakeFiles/jhpc_minimpi.dir/group.cpp.o.d"
+  "CMakeFiles/jhpc_minimpi.dir/op.cpp.o"
+  "CMakeFiles/jhpc_minimpi.dir/op.cpp.o.d"
+  "CMakeFiles/jhpc_minimpi.dir/request.cpp.o"
+  "CMakeFiles/jhpc_minimpi.dir/request.cpp.o.d"
+  "CMakeFiles/jhpc_minimpi.dir/transport.cpp.o"
+  "CMakeFiles/jhpc_minimpi.dir/transport.cpp.o.d"
+  "CMakeFiles/jhpc_minimpi.dir/universe.cpp.o"
+  "CMakeFiles/jhpc_minimpi.dir/universe.cpp.o.d"
+  "libjhpc_minimpi.a"
+  "libjhpc_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhpc_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

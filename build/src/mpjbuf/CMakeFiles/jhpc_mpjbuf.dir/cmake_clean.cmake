@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhpc_mpjbuf.dir/buffer.cpp.o"
+  "CMakeFiles/jhpc_mpjbuf.dir/buffer.cpp.o.d"
+  "CMakeFiles/jhpc_mpjbuf.dir/buffer_factory.cpp.o"
+  "CMakeFiles/jhpc_mpjbuf.dir/buffer_factory.cpp.o.d"
+  "libjhpc_mpjbuf.a"
+  "libjhpc_mpjbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhpc_mpjbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhpc_mv2j.dir/comm.cpp.o"
+  "CMakeFiles/jhpc_mv2j.dir/comm.cpp.o.d"
+  "CMakeFiles/jhpc_mv2j.dir/comm_array.cpp.o"
+  "CMakeFiles/jhpc_mv2j.dir/comm_array.cpp.o.d"
+  "CMakeFiles/jhpc_mv2j.dir/env.cpp.o"
+  "CMakeFiles/jhpc_mv2j.dir/env.cpp.o.d"
+  "CMakeFiles/jhpc_mv2j.dir/request.cpp.o"
+  "CMakeFiles/jhpc_mv2j.dir/request.cpp.o.d"
+  "libjhpc_mv2j.a"
+  "libjhpc_mv2j.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhpc_mv2j.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jhpc_mv2j.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhpc_netsim.dir/fabric.cpp.o"
+  "CMakeFiles/jhpc_netsim.dir/fabric.cpp.o.d"
+  "libjhpc_netsim.a"
+  "libjhpc_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhpc_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhpc_ombj.dir/benchmarks.cpp.o"
+  "CMakeFiles/jhpc_ombj.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/jhpc_ombj.dir/benchmarks_native.cpp.o"
+  "CMakeFiles/jhpc_ombj.dir/benchmarks_native.cpp.o.d"
+  "CMakeFiles/jhpc_ombj.dir/harness.cpp.o"
+  "CMakeFiles/jhpc_ombj.dir/harness.cpp.o.d"
+  "CMakeFiles/jhpc_ombj.dir/options.cpp.o"
+  "CMakeFiles/jhpc_ombj.dir/options.cpp.o.d"
+  "libjhpc_ombj.a"
+  "libjhpc_ombj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhpc_ombj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ombj.dir/runner_main.cpp.o"
+  "CMakeFiles/ombj.dir/runner_main.cpp.o.d"
+  "ombj"
+  "ombj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ombj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

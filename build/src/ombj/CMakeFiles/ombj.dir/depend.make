@@ -1,0 +1,2 @@
+# Empty dependencies file for ombj.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhpc_ompij.dir/comm.cpp.o"
+  "CMakeFiles/jhpc_ompij.dir/comm.cpp.o.d"
+  "CMakeFiles/jhpc_ompij.dir/comm_array.cpp.o"
+  "CMakeFiles/jhpc_ompij.dir/comm_array.cpp.o.d"
+  "CMakeFiles/jhpc_ompij.dir/comm_vectored.cpp.o"
+  "CMakeFiles/jhpc_ompij.dir/comm_vectored.cpp.o.d"
+  "libjhpc_ompij.a"
+  "libjhpc_ompij.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhpc_ompij.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

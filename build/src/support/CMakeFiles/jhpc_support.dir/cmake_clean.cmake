@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jhpc_support.dir/clock.cpp.o"
+  "CMakeFiles/jhpc_support.dir/clock.cpp.o.d"
+  "CMakeFiles/jhpc_support.dir/env.cpp.o"
+  "CMakeFiles/jhpc_support.dir/env.cpp.o.d"
+  "CMakeFiles/jhpc_support.dir/error.cpp.o"
+  "CMakeFiles/jhpc_support.dir/error.cpp.o.d"
+  "CMakeFiles/jhpc_support.dir/sizes.cpp.o"
+  "CMakeFiles/jhpc_support.dir/sizes.cpp.o.d"
+  "CMakeFiles/jhpc_support.dir/stats.cpp.o"
+  "CMakeFiles/jhpc_support.dir/stats.cpp.o.d"
+  "CMakeFiles/jhpc_support.dir/table.cpp.o"
+  "CMakeFiles/jhpc_support.dir/table.cpp.o.d"
+  "libjhpc_support.a"
+  "libjhpc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jhpc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minijvm_buffer_test.dir/minijvm_buffer_test.cpp.o"
+  "CMakeFiles/minijvm_buffer_test.dir/minijvm_buffer_test.cpp.o.d"
+  "minijvm_buffer_test"
+  "minijvm_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minijvm_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minijvm_heap_test.dir/minijvm_heap_test.cpp.o"
+  "CMakeFiles/minijvm_heap_test.dir/minijvm_heap_test.cpp.o.d"
+  "minijvm_heap_test"
+  "minijvm_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minijvm_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minijvm_region_test.dir/minijvm_region_test.cpp.o"
+  "CMakeFiles/minijvm_region_test.dir/minijvm_region_test.cpp.o.d"
+  "minijvm_region_test"
+  "minijvm_region_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minijvm_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

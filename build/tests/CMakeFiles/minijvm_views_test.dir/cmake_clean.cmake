@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minijvm_views_test.dir/minijvm_views_test.cpp.o"
+  "CMakeFiles/minijvm_views_test.dir/minijvm_views_test.cpp.o.d"
+  "minijvm_views_test"
+  "minijvm_views_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minijvm_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_cart_test.dir/minimpi_cart_test.cpp.o"
+  "CMakeFiles/minimpi_cart_test.dir/minimpi_cart_test.cpp.o.d"
+  "minimpi_cart_test"
+  "minimpi_cart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_cart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_coll_test.dir/minimpi_coll_test.cpp.o"
+  "CMakeFiles/minimpi_coll_test.dir/minimpi_coll_test.cpp.o.d"
+  "minimpi_coll_test"
+  "minimpi_coll_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_coll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minimpi_comm_test.cpp" "tests/CMakeFiles/minimpi_comm_test.dir/minimpi_comm_test.cpp.o" "gcc" "tests/CMakeFiles/minimpi_comm_test.dir/minimpi_comm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/jhpc_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/jhpc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jhpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_comm_test.dir/minimpi_comm_test.cpp.o"
+  "CMakeFiles/minimpi_comm_test.dir/minimpi_comm_test.cpp.o.d"
+  "minimpi_comm_test"
+  "minimpi_comm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_datatype_test.dir/minimpi_datatype_test.cpp.o"
+  "CMakeFiles/minimpi_datatype_test.dir/minimpi_datatype_test.cpp.o.d"
+  "minimpi_datatype_test"
+  "minimpi_datatype_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_datatype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_fuzz_test.dir/minimpi_fuzz_test.cpp.o"
+  "CMakeFiles/minimpi_fuzz_test.dir/minimpi_fuzz_test.cpp.o.d"
+  "minimpi_fuzz_test"
+  "minimpi_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

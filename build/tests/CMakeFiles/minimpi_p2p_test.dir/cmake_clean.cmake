@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_p2p_test.dir/minimpi_p2p_test.cpp.o"
+  "CMakeFiles/minimpi_p2p_test.dir/minimpi_p2p_test.cpp.o.d"
+  "minimpi_p2p_test"
+  "minimpi_p2p_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_p2p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_stress_test.dir/minimpi_stress_test.cpp.o"
+  "CMakeFiles/minimpi_stress_test.dir/minimpi_stress_test.cpp.o.d"
+  "minimpi_stress_test"
+  "minimpi_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpj_test.dir/mpj_test.cpp.o"
+  "CMakeFiles/mpj_test.dir/mpj_test.cpp.o.d"
+  "mpj_test"
+  "mpj_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

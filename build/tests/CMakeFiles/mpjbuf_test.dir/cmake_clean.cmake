@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpjbuf_test.dir/mpjbuf_test.cpp.o"
+  "CMakeFiles/mpjbuf_test.dir/mpjbuf_test.cpp.o.d"
+  "mpjbuf_test"
+  "mpjbuf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpjbuf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

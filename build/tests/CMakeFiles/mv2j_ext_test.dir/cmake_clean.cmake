@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv2j_ext_test.dir/mv2j_ext_test.cpp.o"
+  "CMakeFiles/mv2j_ext_test.dir/mv2j_ext_test.cpp.o.d"
+  "mv2j_ext_test"
+  "mv2j_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv2j_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

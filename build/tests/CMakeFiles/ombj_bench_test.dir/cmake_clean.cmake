@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ombj_bench_test.dir/ombj_bench_test.cpp.o"
+  "CMakeFiles/ombj_bench_test.dir/ombj_bench_test.cpp.o.d"
+  "ombj_bench_test"
+  "ombj_bench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ombj_bench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

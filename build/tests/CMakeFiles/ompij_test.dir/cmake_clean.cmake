@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompij_test.dir/ompij_test.cpp.o"
+  "CMakeFiles/ompij_test.dir/ompij_test.cpp.o.d"
+  "ompij_test"
+  "ompij_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompij_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
