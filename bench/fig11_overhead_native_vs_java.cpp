@@ -8,6 +8,7 @@
 #include <string>
 
 #include "fig_common.hpp"
+#include "jhpc/support/paths.hpp"
 #include "jhpc/support/sizes.hpp"
 
 int main(int argc, char** argv) {
@@ -65,7 +66,8 @@ int main(int argc, char** argv) {
               << diff.to_text();
     if (!csv_path.empty()) {
       figure_table(fig, results).write_csv(csv_path);
-      diff.write_csv(csv_path + ".overhead.csv");
+      // "figX.csv" -> "figX.overhead.csv" (not "figX.csv.overhead.csv").
+      diff.write_csv(jhpc::path_with_tag(csv_path, "overhead"));
     }
     return 0;
   } catch (const std::exception& e) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "detail/coll.hpp"
+#include "detail/transport.hpp"
 #include "jhpc/support/error.hpp"
 
 namespace jhpc::minimpi::detail::basic {
@@ -44,6 +45,7 @@ void release_from_root(const Comm& c, int root, int tag) {
 }  // namespace
 
 void barrier(const Comm& c) {
+  CollSpan span(c, CollAlg::kBarrierLinear);
   sync_to_root(c, 0, kTagBarrier);
   release_from_root(c, 0, kTagBarrier);
 }
@@ -52,6 +54,7 @@ void bcast(const Comm& c, void* buf, std::size_t bytes, int root) {
   const int size = c.size();
   const int rank = c.rank();
   if (size == 1) return;
+  CollSpan span(c, CollAlg::kBcastLinear);
   if (rank == root) {
     for (int r = 0; r < size; ++r) {
       if (r == root) continue;
@@ -67,6 +70,7 @@ void reduce(const Comm& c, const void* sbuf, void* rbuf, std::size_t count,
   const int size = c.size();
   const int rank = c.rank();
   const std::size_t bytes = count * basic_size(kind);
+  CollSpan span(c, CollAlg::kReduceLinear);
   if (rank == root) {
     if (rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
     std::vector<std::byte> incoming(bytes);
@@ -82,6 +86,7 @@ void reduce(const Comm& c, const void* sbuf, void* rbuf, std::size_t count,
 
 void allreduce(const Comm& c, const void* sbuf, void* rbuf,
                std::size_t count, BasicKind kind, ReduceOp op) {
+  CollSpan span(c, CollAlg::kAllreduceLinear);
   reduce(c, sbuf, rbuf, count, kind, op, 0);
   bcast(c, rbuf, count * basic_size(kind), 0);
 }
@@ -90,6 +95,7 @@ void reduce_scatter_block(const Comm& c, const void* sbuf, void* rbuf,
                           std::size_t count_per_rank, BasicKind kind,
                           ReduceOp op) {
   // Flat: reduce everything to rank 0, scatter the blocks back out.
+  CollSpan span(c, CollAlg::kReduceScatterLinear);
   const int size = c.size();
   const std::size_t block = count_per_rank * basic_size(kind);
   std::vector<std::byte> full(static_cast<std::size_t>(size) * block);
@@ -101,6 +107,7 @@ void reduce_scatter_block(const Comm& c, const void* sbuf, void* rbuf,
 void scan(const Comm& c, const void* sbuf, void* rbuf, std::size_t count,
           BasicKind kind, ReduceOp op) {
   // Linear chain: fold the predecessor's prefix, pass mine downstream.
+  CollSpan span(c, CollAlg::kScanLinear);
   const int size = c.size();
   const int rank = c.rank();
   const std::size_t bytes = count * basic_size(kind);
@@ -117,6 +124,7 @@ void gather(const Comm& c, const void* sbuf, std::size_t bpr, void* rbuf,
             int root) {
   const int size = c.size();
   const int rank = c.rank();
+  CollSpan span(c, CollAlg::kGatherLinear);
   if (rank == root) {
     auto* out = static_cast<std::byte*>(rbuf);
     std::memcpy(out + static_cast<std::size_t>(root) * bpr, sbuf, bpr);
@@ -138,6 +146,7 @@ void scatter(const Comm& c, const void* sbuf, std::size_t bpr, void* rbuf,
              int root) {
   const int size = c.size();
   const int rank = c.rank();
+  CollSpan span(c, CollAlg::kScatterLinear);
   if (rank == root) {
     const auto* in = static_cast<const std::byte*>(sbuf);
     std::memcpy(rbuf, in + static_cast<std::size_t>(root) * bpr, bpr);
@@ -152,11 +161,13 @@ void scatter(const Comm& c, const void* sbuf, std::size_t bpr, void* rbuf,
 
 void allgather(const Comm& c, const void* sbuf, std::size_t bpr,
                void* rbuf) {
+  CollSpan span(c, CollAlg::kAllgatherLinear);
   gather(c, sbuf, bpr, rbuf, 0);
   bcast(c, rbuf, bpr * static_cast<std::size_t>(c.size()), 0);
 }
 
 void alltoall(const Comm& c, const void* sbuf, std::size_t bpp, void* rbuf) {
+  CollSpan span(c, CollAlg::kAlltoallLinear);
   const int size = c.size();
   const int rank = c.rank();
   const auto* in = static_cast<const std::byte*>(sbuf);
@@ -188,6 +199,7 @@ void allgatherv(const Comm& c, const void* sbuf, std::size_t sbytes,
                "allgatherv counts/displs must have comm-size entries");
   JHPC_REQUIRE(sbytes == counts[static_cast<std::size_t>(rank)],
                "allgatherv send size must equal my count");
+  CollSpan span(c, CollAlg::kAllgathervLinear);
   auto* out = static_cast<std::byte*>(rbuf);
   std::memcpy(out + displs[static_cast<std::size_t>(rank)], sbuf, sbytes);
   std::vector<Request> reqs;
@@ -210,6 +222,7 @@ void alltoallv(const Comm& c, const void* sbuf,
                std::span<const std::size_t> sdispls, void* rbuf,
                std::span<const std::size_t> rcounts,
                std::span<const std::size_t> rdispls) {
+  CollSpan span(c, CollAlg::kAlltoallvLinear);
   const int size = c.size();
   const int rank = c.rank();
   const auto* in = static_cast<const std::byte*>(sbuf);

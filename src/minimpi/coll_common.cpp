@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "detail/coll.hpp"
+#include "detail/transport.hpp"
 #include "jhpc/support/error.hpp"
 
 namespace jhpc::minimpi::detail {
@@ -10,6 +11,7 @@ namespace jhpc::minimpi::detail {
 void gatherv_linear(const Comm& c, const void* sbuf, std::size_t sbytes,
                     void* rbuf, std::span<const std::size_t> counts,
                     std::span<const std::size_t> displs, int root) {
+  CollSpan span(c, CollAlg::kGathervLinear);
   const int size = c.size();
   const int rank = c.rank();
   if (rank == root) {
@@ -38,6 +40,7 @@ void scatterv_linear(const Comm& c, const void* sbuf,
                      std::span<const std::size_t> counts,
                      std::span<const std::size_t> displs, void* rbuf,
                      std::size_t rbytes, int root) {
+  CollSpan span(c, CollAlg::kScattervLinear);
   const int size = c.size();
   const int rank = c.rank();
   if (rank == root) {

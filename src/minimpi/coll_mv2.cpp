@@ -264,6 +264,7 @@ bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
 
 void barrier(const Comm& c) {
   // Dissemination barrier: ceil(log2(n)) rounds.
+  CollSpan span(c, CollAlg::kBarrierDissemination);
   const int size = c.size();
   const int rank = c.rank();
   char token = 0;
@@ -280,8 +281,10 @@ void bcast(const Comm& c, void* buf, std::size_t bytes, int root) {
   // Small payloads (or tiny comms) use the binomial tree; large payloads
   // switch to scatter + ring allgather.
   if (bytes <= c.universe_config().bcast_binomial_max || c.size() <= 2) {
+    CollSpan span(c, CollAlg::kBcastBinomial);
     bcast_binomial(c, buf, bytes, root);
   } else {
+    CollSpan span(c, CollAlg::kBcastScatterRing);
     bcast_scatter_ring(c, buf, bytes, root);
   }
 }
@@ -292,6 +295,7 @@ void reduce(const Comm& c, const void* sbuf, void* rbuf, std::size_t count,
     if (rbuf != sbuf) std::memcpy(rbuf, sbuf, count * basic_size(kind));
     return;
   }
+  CollSpan span(c, CollAlg::kReduceBinomial);
   reduce_binomial(c, sbuf, rbuf, count, kind, op, root);
 }
 
@@ -304,8 +308,10 @@ void allreduce(const Comm& c, const void* sbuf, void* rbuf,
   }
   if (bytes <= c.universe_config().allreduce_rd_max ||
       count < static_cast<std::size_t>(c.size())) {
+    CollSpan span(c, CollAlg::kAllreduceRecursiveDoubling);
     allreduce_recursive_doubling(c, sbuf, rbuf, count, kind, op);
   } else {
+    CollSpan span(c, CollAlg::kAllreduceRing);
     allreduce_ring(c, sbuf, rbuf, count, kind, op);
   }
 }
@@ -324,6 +330,7 @@ void reduce_scatter_block(const Comm& c, const void* sbuf, void* rbuf,
   // Ring reduce-scatter: each block travels the ring accumulating
   // partial reductions and comes to rest at its owner. Labels are chosen
   // so rank r ends owning block r.
+  CollSpan span(c, CollAlg::kReduceScatterRing);
   std::vector<std::byte> work(static_cast<std::size_t>(size) * block);
   std::memcpy(work.data(), sbuf, work.size());
   std::vector<std::byte> incoming(block);
@@ -354,6 +361,7 @@ void scan(const Comm& c, const void* sbuf, void* rbuf, std::size_t count,
   const std::size_t bytes = count * basic_size(kind);
   if (rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
   if (size == 1) return;
+  CollSpan span(c, CollAlg::kScanRecursiveDoubling);
   std::vector<std::byte> partial(bytes);
   std::memcpy(partial.data(), sbuf, bytes);
   std::vector<std::byte> incoming(bytes);
@@ -373,6 +381,7 @@ void gather(const Comm& c, const void* sbuf, std::size_t bpr, void* rbuf,
             int root) {
   // Binomial gather: each subtree root accumulates its subtree's blocks in
   // relative order, then the root rotates them into rank order.
+  CollSpan span(c, CollAlg::kGatherBinomial);
   const int size = c.size();
   const int rank = c.rank();
   const int relative = (rank - root + size) % size;
@@ -417,6 +426,7 @@ void scatter(const Comm& c, const void* sbuf, std::size_t bpr, void* rbuf,
              int root) {
   // Binomial scatter (mirror of the gather): the root seeds a relative-
   // order staging buffer, internal nodes forward their subtree's tail.
+  CollSpan span(c, CollAlg::kScatterBinomial);
   const int size = c.size();
   const int rank = c.rank();
   const int relative = (rank - root + size) % size;
@@ -467,14 +477,17 @@ void allgather(const Comm& c, const void* sbuf, std::size_t bpr,
   }
   if (is_pow2(c.size()) && bpr * static_cast<std::size_t>(c.size()) <=
                                c.universe_config().allgather_rd_max) {
+    CollSpan span(c, CollAlg::kAllgatherRecursiveDoubling);
     allgather_recursive_doubling(c, sbuf, bpr, rbuf);
   } else {
+    CollSpan span(c, CollAlg::kAllgatherRing);
     allgather_ring(c, sbuf, bpr, rbuf);
   }
 }
 
 void alltoall(const Comm& c, const void* sbuf, std::size_t bpp, void* rbuf) {
   // Pairwise exchange: size-1 balanced sendrecv rounds.
+  CollSpan span(c, CollAlg::kAlltoallPairwise);
   const int size = c.size();
   const int rank = c.rank();
   const auto* in = static_cast<const std::byte*>(sbuf);
@@ -504,6 +517,7 @@ void allgatherv(const Comm& c, const void* sbuf, std::size_t sbytes,
   auto* out = static_cast<std::byte*>(rbuf);
   std::memcpy(out + displs[static_cast<std::size_t>(rank)], sbuf, sbytes);
   if (size == 1) return;
+  CollSpan span(c, CollAlg::kAllgathervRing);
   const int right = (rank + 1) % size;
   const int left = (rank - 1 + size) % size;
   for (int s = 0; s < size - 1; ++s) {
@@ -522,6 +536,7 @@ void alltoallv(const Comm& c, const void* sbuf,
                std::span<const std::size_t> rcounts,
                std::span<const std::size_t> rdispls) {
   // Pairwise exchange with per-pair sizes.
+  CollSpan span(c, CollAlg::kAlltoallvPairwise);
   const int size = c.size();
   const int rank = c.rank();
   const auto* in = static_cast<const std::byte*>(sbuf);

@@ -34,6 +34,29 @@ void check_tag_recv(int tag) {
 
 }  // namespace
 
+namespace detail {
+
+ObsAccess obs_access(const Comm& c) {
+  check_valid(c.impl_);
+  const int me = c.my_world();
+  return ObsAccess{c.impl_->obs.get(), me,
+                   &c.impl_->clocks[static_cast<std::size_t>(me)]};
+}
+
+}  // namespace detail
+
+obs::PvarRegistry* Comm::pvars() const {
+  check_valid(impl_);
+  detail::UniverseObs* o = impl_->obs.get();
+  return o != nullptr ? &o->rec.pvars() : nullptr;
+}
+
+obs::Recorder* Comm::recorder() const {
+  check_valid(impl_);
+  detail::UniverseObs* o = impl_->obs.get();
+  return o != nullptr ? &o->rec : nullptr;
+}
+
 CollectiveSuite Comm::suite() const {
   check_valid(impl_);
   return impl_->config.suite;
@@ -50,8 +73,11 @@ void Comm::send(const void* buf, std::size_t bytes, int dst, int tag) const {
   check_valid(impl_);
   check_peer(dst, size(), "send");
   check_tag_send(tag);
-  auto pending = impl_->deliver(my_world(), world_of(dst), context_id_,
-                                my_rank_, tag, buf, bytes);
+  const int me = my_world();
+  detail::TransportSpan span(impl_->obs.get(), me, "send",
+                             impl_->clocks[static_cast<std::size_t>(me)]);
+  auto pending = impl_->deliver(me, world_of(dst), context_id_, my_rank_,
+                                tag, buf, bytes);
   if (pending) detail::wait_request(*pending);
 }
 
@@ -60,8 +86,10 @@ void Comm::recv(void* buf, std::size_t capacity, int src, int tag,
   check_valid(impl_);
   if (src != kAnySource) check_peer(src, size(), "recv");
   check_tag_recv(tag);
-  auto rs = impl_->post_recv(my_world(), context_id_, src, tag, buf,
-                             capacity);
+  const int me = my_world();
+  detail::TransportSpan span(impl_->obs.get(), me, "recv",
+                             impl_->clocks[static_cast<std::size_t>(me)]);
+  auto rs = impl_->post_recv(me, context_id_, src, tag, buf, capacity);
   const Status st = detail::wait_request(*rs);
   if (status != nullptr) *status = st;
 }
@@ -92,6 +120,10 @@ void Comm::sendrecv(const void* send_buf, std::size_t send_bytes, int dst,
   // Post the receive first, then run the (possibly blocking) send: the
   // mirror-image pattern cannot deadlock because every party's receive is
   // visible before anyone blocks in a rendezvous send.
+  check_valid(impl_);
+  const int me = my_world();
+  detail::TransportSpan span(impl_->obs.get(), me, "sendrecv",
+                             impl_->clocks[static_cast<std::size_t>(me)]);
   Request r = irecv(recv_buf, recv_capacity, src, recv_tag);
   send(send_buf, send_bytes, dst, send_tag);
   r.wait(status);

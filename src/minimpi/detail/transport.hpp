@@ -16,10 +16,72 @@
 #include "jhpc/minimpi/types.hpp"
 #include "jhpc/minimpi/universe.hpp"
 #include "jhpc/netsim/fabric.hpp"
+#include "jhpc/obs/obs.hpp"
 #include "jhpc/support/clock.hpp"
 #include "jhpc/support/error.hpp"
 
 namespace jhpc::minimpi::detail {
+
+/// Collective algorithms the two suites can run; each has one pvar so
+/// figures can cite exactly which algorithm served a message-size range.
+enum class CollAlg : int {
+  // mv2 suite
+  kBarrierDissemination,
+  kBcastBinomial,
+  kBcastScatterRing,
+  kReduceBinomial,
+  kAllreduceRecursiveDoubling,
+  kAllreduceRing,
+  kReduceScatterRing,
+  kScanRecursiveDoubling,
+  kGatherBinomial,
+  kScatterBinomial,
+  kAllgatherRecursiveDoubling,
+  kAllgatherRing,
+  kAlltoallPairwise,
+  kAllgathervRing,
+  kAlltoallvPairwise,
+  // basic suite (flat linear algorithms)
+  kBarrierLinear,
+  kBcastLinear,
+  kReduceLinear,
+  kAllreduceLinear,
+  kReduceScatterLinear,
+  kScanLinear,
+  kGatherLinear,
+  kScatterLinear,
+  kAllgatherLinear,
+  kAlltoallLinear,
+  kAllgathervLinear,
+  kAlltoallvLinear,
+  // suite-shared vectored fallbacks
+  kGathervLinear,
+  kScattervLinear,
+  kCount,
+};
+
+/// Pvar name ("coll.bcast.binomial") and trace label ("bcast[binomial]").
+const char* coll_alg_pvar_name(CollAlg alg);
+const char* coll_alg_trace_name(CollAlg alg);
+
+/// The observability state of one Universe: the recorder plus every
+/// pre-registered transport/collective pvar handle. UniverseImpl holds a
+/// null pointer when observability is disabled, so instrumentation sites
+/// cost exactly one inline pointer test.
+struct UniverseObs {
+  UniverseObs(const obs::ObsConfig& config, int ranks);
+
+  obs::Recorder rec;
+
+  // Transport counters (per world rank).
+  obs::PvarId msgs_sent, bytes_sent, msgs_recvd, bytes_recvd;
+  obs::PvarId eager_sent, rndv_sent;
+  obs::PvarId unexpected_hwm;  ///< unexpected-queue depth high-water mark
+  obs::PvarId wait_count, wait_ns;
+
+  /// Per-algorithm collective invocation counts, indexed by CollAlg.
+  std::vector<obs::PvarId> coll;
+};
 
 /// Thrown inside rank threads when another rank failed and the Universe
 /// aborted the job; Universe::run treats it as a secondary failure.
@@ -107,6 +169,62 @@ struct RequestState {
 
   /// Abort flag of the owning universe (polled while waiting).
   const std::atomic<bool>* abort = nullptr;
+
+  /// Observability of the owning universe (null when disabled) and the
+  /// owner's world rank, so wait_request can account wait time.
+  UniverseObs* obs = nullptr;
+  int owner_world = -1;
+};
+
+/// RAII trace span over a transport call, stamped with the owning rank's
+/// virtual clock. Must be constructed and destroyed on the clock's owner
+/// thread; a null `o` makes it a no-op.
+class TransportSpan {
+ public:
+  TransportSpan(UniverseObs* o, int world_rank, const char* name,
+                const RankClock& clock)
+      : o_(o), clock_(&clock), name_(name), world_(world_rank) {
+    if (o_ != nullptr) o_->rec.begin(world_, name_, clock_->vclock);
+  }
+  ~TransportSpan() {
+    if (o_ != nullptr) o_->rec.end(world_, name_, clock_->vclock);
+  }
+  TransportSpan(const TransportSpan&) = delete;
+  TransportSpan& operator=(const TransportSpan&) = delete;
+
+ private:
+  UniverseObs* o_;
+  const RankClock* clock_;
+  const char* name_;
+  int world_;
+};
+
+/// RAII over one collective invocation: bumps the algorithm's invocation
+/// pvar and wraps the call in a trace span named after it
+/// ("bcast[binomial]"). No-op when observability is disabled.
+class CollSpan {
+ public:
+  CollSpan(const Comm& c, CollAlg alg) {
+    const ObsAccess a = obs_access(c);
+    if (a.obs == nullptr) return;
+    o_ = a.obs;
+    world_ = a.world_rank;
+    clock_ = a.clock;
+    name_ = coll_alg_trace_name(alg);
+    o_->rec.pvars().add(o_->coll[static_cast<std::size_t>(alg)], world_, 1);
+    o_->rec.begin(world_, name_, clock_->vclock);
+  }
+  ~CollSpan() {
+    if (o_ != nullptr) o_->rec.end(world_, name_, clock_->vclock);
+  }
+  CollSpan(const CollSpan&) = delete;
+  CollSpan& operator=(const CollSpan&) = delete;
+
+ private:
+  UniverseObs* o_ = nullptr;
+  const RankClock* clock_ = nullptr;
+  const char* name_ = nullptr;
+  int world_ = -1;
 };
 
 /// Mark `rs` complete. Callers may hold the endpoint lock; waiters only
@@ -168,6 +286,10 @@ struct UniverseImpl {
   /// Context ids: 0 is COMM_WORLD; dup/split/create allocate upward.
   std::atomic<int> next_context_id{1};
   std::atomic<bool> abort{false};
+
+  /// Null when observability is disabled (the default): every
+  /// instrumentation site in the transport guards on this one pointer.
+  std::unique_ptr<UniverseObs> obs;
 
   /// Set the abort flag and wake every parked thread.
   void abort_all();

@@ -11,14 +11,33 @@
 #include "jhpc/minimpi/request.hpp"
 #include "jhpc/minimpi/types.hpp"
 
+namespace jhpc::obs {
+class PvarRegistry;
+class Recorder;
+}  // namespace jhpc::obs
+
 namespace jhpc::minimpi {
 
+class Comm;
 class Universe;
 struct UniverseConfig;
 
 namespace detail {
 struct UniverseImpl;
-}
+struct UniverseObs;
+struct RankClock;
+
+/// Internal observability access for the collective suites (which are
+/// built strictly on the public Comm API): the job's pre-registered pvar
+/// handles, the caller's world rank and virtual clock. `obs` is null when
+/// disabled (clock is still valid).
+struct ObsAccess {
+  UniverseObs* obs = nullptr;
+  int world_rank = -1;
+  RankClock* clock = nullptr;
+};
+ObsAccess obs_access(const Comm& c);
+}  // namespace detail
 
 /// A communicator: an isolated communication context over an ordered group
 /// of ranks. Point-to-point traffic is matched on (communicator, source,
@@ -141,8 +160,16 @@ class Comm {
   /// oversubscribed the host is. Advances the CPU passthrough on call.
   std::int64_t vtime_ns() const;
 
+  // --- Observability (MPI_T-style tool access) ---------------------------
+  /// The owning Universe's performance-variable registry, or nullptr when
+  /// observability is disabled. Values are indexed by WORLD rank.
+  obs::PvarRegistry* pvars() const;
+  /// The owning Universe's event recorder, or nullptr when disabled.
+  obs::Recorder* recorder() const;
+
  private:
   friend class Universe;
+  friend detail::ObsAccess detail::obs_access(const Comm& c);
 
   Comm(detail::UniverseImpl* impl, Group group, int my_rank, int context_id)
       : impl_(impl),

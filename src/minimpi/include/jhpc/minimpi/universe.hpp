@@ -9,6 +9,7 @@
 #include "jhpc/minimpi/comm.hpp"
 #include "jhpc/minimpi/types.hpp"
 #include "jhpc/netsim/fabric.hpp"
+#include "jhpc/obs/obs.hpp"
 
 namespace jhpc::minimpi {
 
@@ -42,6 +43,12 @@ struct UniverseConfig {
         suite == CollectiveSuite::kOmpiBasic ? 3000 : 0;
     return *this;
   }
+
+  /// Observability (MPI_T-style pvars + virtual-clock event tracing).
+  /// Off by default and strictly zero-cost then: every instrumentation
+  /// site guards on one null pointer. Env: JHPC_PVARS / JHPC_TRACE /
+  /// JHPC_TRACE_CAPACITY.
+  obs::ObsConfig obs = obs::ObsConfig::from_env();
 
   // Tuning thresholds of the mv2 suite (bytes).
   std::size_t bcast_binomial_max = 16 * 1024;

@@ -13,6 +13,90 @@ using namespace std::chrono_literals;
 // Only failure paths ever pay this latency.
 constexpr auto kAbortPoll = 20ms;
 
+namespace {
+
+struct CollAlgNames {
+  const char* pvar;
+  const char* trace;
+};
+
+/// Indexed by CollAlg; order must match the enum.
+constexpr CollAlgNames kCollAlgNames[] = {
+    {"coll.barrier.dissemination", "barrier[dissemination]"},
+    {"coll.bcast.binomial", "bcast[binomial]"},
+    {"coll.bcast.scatter_ring", "bcast[scatter_ring]"},
+    {"coll.reduce.binomial", "reduce[binomial]"},
+    {"coll.allreduce.recursive_doubling", "allreduce[recursive_doubling]"},
+    {"coll.allreduce.ring", "allreduce[ring]"},
+    {"coll.reduce_scatter.ring", "reduce_scatter[ring]"},
+    {"coll.scan.recursive_doubling", "scan[recursive_doubling]"},
+    {"coll.gather.binomial", "gather[binomial]"},
+    {"coll.scatter.binomial", "scatter[binomial]"},
+    {"coll.allgather.recursive_doubling", "allgather[recursive_doubling]"},
+    {"coll.allgather.ring", "allgather[ring]"},
+    {"coll.alltoall.pairwise", "alltoall[pairwise]"},
+    {"coll.allgatherv.ring", "allgatherv[ring]"},
+    {"coll.alltoallv.pairwise", "alltoallv[pairwise]"},
+    {"coll.barrier.linear", "barrier[linear]"},
+    {"coll.bcast.linear", "bcast[linear]"},
+    {"coll.reduce.linear", "reduce[linear]"},
+    {"coll.allreduce.linear", "allreduce[linear]"},
+    {"coll.reduce_scatter.linear", "reduce_scatter[linear]"},
+    {"coll.scan.linear", "scan[linear]"},
+    {"coll.gather.linear", "gather[linear]"},
+    {"coll.scatter.linear", "scatter[linear]"},
+    {"coll.allgather.linear", "allgather[linear]"},
+    {"coll.alltoall.linear", "alltoall[linear]"},
+    {"coll.allgatherv.linear", "allgatherv[linear]"},
+    {"coll.alltoallv.linear", "alltoallv[linear]"},
+    {"coll.gatherv.linear", "gatherv[linear]"},
+    {"coll.scatterv.linear", "scatterv[linear]"},
+};
+static_assert(sizeof(kCollAlgNames) / sizeof(kCollAlgNames[0]) ==
+                  static_cast<std::size_t>(CollAlg::kCount),
+              "kCollAlgNames must cover every CollAlg");
+
+}  // namespace
+
+const char* coll_alg_pvar_name(CollAlg alg) {
+  return kCollAlgNames[static_cast<std::size_t>(alg)].pvar;
+}
+
+const char* coll_alg_trace_name(CollAlg alg) {
+  return kCollAlgNames[static_cast<std::size_t>(alg)].trace;
+}
+
+UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks)
+    : rec(config, ranks) {
+  obs::PvarRegistry& reg = rec.pvars();
+  using obs::PvarClass;
+  msgs_sent = reg.register_pvar("mpi.msgs_sent", PvarClass::kCounter,
+                                "point-to-point messages sent");
+  bytes_sent = reg.register_pvar("mpi.bytes_sent", PvarClass::kCounter,
+                                 "payload bytes sent");
+  msgs_recvd = reg.register_pvar("mpi.msgs_recvd", PvarClass::kCounter,
+                                 "point-to-point messages received");
+  bytes_recvd = reg.register_pvar("mpi.bytes_recvd", PvarClass::kCounter,
+                                  "payload bytes received");
+  eager_sent = reg.register_pvar("mpi.eager_sent", PvarClass::kCounter,
+                                 "messages sent via the eager protocol");
+  rndv_sent = reg.register_pvar("mpi.rndv_sent", PvarClass::kCounter,
+                                "messages sent via rendezvous");
+  unexpected_hwm =
+      reg.register_pvar("mpi.unexpected_hwm", PvarClass::kLevel,
+                        "unexpected-queue depth high-water mark");
+  wait_count = reg.register_pvar("mpi.wait_count", PvarClass::kCounter,
+                                 "blocking request completions");
+  wait_ns = reg.register_pvar("mpi.wait_ns", PvarClass::kTimer,
+                              "virtual time spent waiting on requests");
+  coll.resize(static_cast<std::size_t>(CollAlg::kCount));
+  for (int a = 0; a < static_cast<int>(CollAlg::kCount); ++a) {
+    coll[static_cast<std::size_t>(a)] = reg.register_pvar(
+        coll_alg_pvar_name(static_cast<CollAlg>(a)), PvarClass::kCounter,
+        "collective algorithm invocations");
+  }
+}
+
 void complete_request(RequestState& rs, const Status& st,
                       std::int64_t ready_at_ns) {
   std::lock_guard<std::mutex> lk(rs.mu);
@@ -34,6 +118,10 @@ Status wait_request(RequestState& rs) {
   // Fold in the CPU the owner spent since its last transport call so the
   // virtual clock is current before we observe the completion time.
   if (rs.owner_clock != nullptr) rs.owner_clock->advance_cpu();
+  const std::int64_t wait_from =
+      rs.owner_clock != nullptr ? rs.owner_clock->vclock : 0;
+  if (rs.obs != nullptr && rs.owner_clock != nullptr)
+    rs.obs->rec.begin(rs.owner_world, "wait", wait_from);
   std::unique_lock<std::mutex> lk(rs.mu);
   while (!rs.complete) {
     rs.cv.wait_for(lk, kAbortPoll);
@@ -55,6 +143,12 @@ Status wait_request(RequestState& rs) {
     // Blocking machinery (futex wakeups, lock contention) is a host
     // artifact, not simulated work: drop it from the CPU passthrough.
     rs.owner_clock->resync_cpu();
+    if (rs.obs != nullptr) {
+      rs.obs->rec.pvars().add(rs.obs->wait_count, rs.owner_world, 1);
+      rs.obs->rec.pvars().add(rs.obs->wait_ns, rs.owner_world,
+                              rs.owner_clock->vclock - wait_from);
+      rs.obs->rec.end(rs.owner_world, "wait", rs.owner_clock->vclock);
+    }
   }
   return st;
 }
@@ -94,6 +188,8 @@ UniverseImpl::UniverseImpl(UniverseConfig cfg)
   endpoints.resize(static_cast<std::size_t>(cfg.world_size));
   for (auto& ep : endpoints) ep = std::make_unique<Endpoint>();
   clocks.resize(static_cast<std::size_t>(cfg.world_size));
+  if (cfg.obs.enabled())
+    obs = std::make_unique<UniverseObs>(cfg.obs, cfg.world_size);
 }
 
 void UniverseImpl::abort_all() {
@@ -116,6 +212,15 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
   const bool eager = bytes <= config.eager_limit;
 
   sclock.advance_cpu();
+  UniverseObs* const o = obs.get();
+  TransportSpan span(o, src_world, "deliver", sclock);
+  if (o != nullptr) {
+    obs::PvarRegistry& reg = o->rec.pvars();
+    reg.add(o->msgs_sent, src_world, 1);
+    reg.add(o->bytes_sent, src_world,
+            static_cast<std::int64_t>(bytes));
+    reg.add(eager ? o->eager_sent : o->rndv_sent, src_world, 1);
+  }
   // Vendor shared-memory channel cost (see UniverseConfig).
   if (config.intra_send_overhead_ns > 0 &&
       fabric.same_node(src_world, dst_world)) {
@@ -163,6 +268,11 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
       // The sender is locally complete when its data has left the node.
       sclock.observe(start + fabric.serialization_ns(bytes));
     }
+    if (o != nullptr) {
+      o->rec.pvars().add(o->msgs_recvd, dst_world, 1);
+      o->rec.pvars().add(o->bytes_recvd, dst_world,
+                         static_cast<std::int64_t>(bytes));
+    }
     complete_request(*matched, Status{src_comm_rank, tag, bytes}, arrival);
     sclock.resync_cpu();
     return nullptr;
@@ -185,6 +295,11 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
     msg.deliver_at_ns = fabric.reserve_delivery(msg.send_vtime, src_world,
                                                 dst_world, bytes);
     ep.unexpected.push_back(std::move(msg));
+    if (o != nullptr) {
+      o->rec.pvars().raise(
+          o->unexpected_hwm, dst_world,
+          static_cast<std::int64_t>(ep.unexpected.size()));
+    }
     ep.cv.notify_all();
     sclock.resync_cpu();
     return nullptr;  // sender completes locally (buffered)
@@ -196,11 +311,18 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
   auto sender = std::make_shared<RequestState>();
   sender->abort = &abort;
   sender->owner_clock = &sclock;
+  sender->obs = o;
+  sender->owner_world = src_world;
   msg.deliver_at_ns = fabric.reserve_delivery(msg.send_vtime, src_world,
                                               dst_world, /*bytes=*/0);
   msg.rndv_src = buf;
   msg.rndv_sender = sender;
   ep.unexpected.push_back(std::move(msg));
+  if (o != nullptr) {
+    o->rec.pvars().raise(
+        o->unexpected_hwm, dst_world,
+        static_cast<std::int64_t>(ep.unexpected.size()));
+  }
   ep.cv.notify_all();
   sclock.resync_cpu();
   return sender;
@@ -212,10 +334,14 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
                                                       std::size_t capacity) {
   RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
   rclock.advance_cpu();
+  UniverseObs* const o = obs.get();
+  TransportSpan span(o, my_world, "post", rclock);
 
   auto rs = std::make_shared<RequestState>();
   rs->abort = &abort;
   rs->owner_clock = &rclock;
+  rs->obs = o;
+  rs->owner_world = my_world;
   rs->post_vtime = rclock.vclock;
   rs->is_recv = true;
   rs->recv_buf = buf;
@@ -268,6 +394,11 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
         std::memcpy(buf, msg.eager.data(), msg.bytes);
       }
       arrival = msg.deliver_at_ns;
+    }
+    if (o != nullptr) {
+      o->rec.pvars().add(o->msgs_recvd, my_world, 1);
+      o->rec.pvars().add(o->bytes_recvd, my_world,
+                         static_cast<std::int64_t>(msg.bytes));
     }
     complete_request(*rs, Status{msg.src, msg.tag, msg.bytes}, arrival);
     rclock.resync_cpu();

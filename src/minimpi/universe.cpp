@@ -1,5 +1,6 @@
 #include "jhpc/minimpi/universe.hpp"
 
+#include <cstdio>
 #include <exception>
 #include <thread>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "detail/transport.hpp"
 #include "jhpc/support/env.hpp"
 #include "jhpc/support/error.hpp"
+#include "jhpc/support/table.hpp"
 
 namespace jhpc::minimpi {
 
@@ -31,9 +33,11 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
   const int n = impl_->config.world_size;
 
   // Reset the abort flag and the fabric's virtual link clocks so a
-  // Universe can run several jobs in sequence.
+  // Universe can run several jobs in sequence. The recorder resets too:
+  // each job reports its own workload.
   impl_->abort.store(false, std::memory_order_relaxed);
   impl_->fabric.reset();
+  if (impl_->obs != nullptr) impl_->obs->rec.reset();
 
   Group world_group = [n] {
     std::vector<int> ranks(static_cast<std::size_t>(n));
@@ -63,6 +67,18 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
     });
   }
   for (auto& t : threads) t.join();
+
+  // Finalize-time flush, after the join so the single-writer rings are
+  // quiescent. Runs even for failed jobs: a trace of an aborted run is
+  // exactly what one debugs with.
+  if (impl_->obs != nullptr) {
+    obs::Recorder& rec = impl_->obs->rec;
+    if (rec.tracing()) rec.write_trace();
+    if (rec.config().pvars) {
+      std::fputs("\n[jhpc-obs] performance variables\n", stderr);
+      std::fputs(rec.summary_table().to_text().c_str(), stderr);
+    }
+  }
 
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);

@@ -34,6 +34,8 @@ Buffer BufferFactory::get(std::size_t min_bytes) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.requests;
+    if (pvar_registry_ != nullptr)
+      pvar_registry_->add(pv_requests_, pvar_rank_, 1);
     // Smallest pooled buffer that fits.
     auto best = pool_.end();
     for (auto it = pool_.begin(); it != pool_.end(); ++it) {
@@ -44,12 +46,16 @@ Buffer BufferFactory::get(std::size_t min_bytes) {
     }
     if (best != pool_.end()) {
       ++stats_.pool_hits;
+      if (pvar_registry_ != nullptr)
+        pvar_registry_->add(pv_hits_, pvar_rank_, 1);
       minijvm::ByteBuffer storage = std::move(*best);
       pool_.erase(best);
       stats_.pooled_now = pool_.size();
       return Buffer(this, std::move(storage));
     }
     ++stats_.pool_misses;
+    if (pvar_registry_ != nullptr)
+      pvar_registry_->add(pv_misses_, pvar_rank_, 1);
   }
   // Miss: create a fresh direct buffer (outside the lock — creation is
   // the expensive part the pool exists to avoid).
@@ -59,12 +65,58 @@ Buffer BufferFactory::get(std::size_t min_bytes) {
 void BufferFactory::give_back(minijvm::ByteBuffer storage) {
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.returned;
+  if (pvar_registry_ != nullptr)
+    pvar_registry_->add(pv_returned_, pvar_rank_, 1);
   if (pool_.size() >= config_.max_pooled_buffers) {
     ++stats_.dropped;
+    if (pvar_registry_ != nullptr)
+      pvar_registry_->add(pv_dropped_, pvar_rank_, 1);
     return;  // storage destroyed here (direct memory released)
   }
   pool_.push_back(std::move(storage));
   stats_.pooled_now = pool_.size();
+  if (pvar_registry_ != nullptr) {
+    pvar_registry_->raise(pv_pooled_, pvar_rank_,
+                          static_cast<std::int64_t>(stats_.pooled_now));
+  }
+}
+
+void BufferFactory::bind_pvars(obs::PvarRegistry& registry, int rank) {
+  using obs::PvarClass;
+  std::lock_guard<std::mutex> lk(mu_);
+  const bool rebind = pvar_registry_ == &registry && pvar_rank_ == rank;
+  pvar_registry_ = &registry;
+  pvar_rank_ = rank;
+  pv_requests_ = registry.register_pvar("mpjbuf.pool.requests",
+                                        PvarClass::kCounter,
+                                        "staging-buffer requests");
+  pv_hits_ = registry.register_pvar("mpjbuf.pool.hits", PvarClass::kCounter,
+                                    "requests served from the pool");
+  pv_misses_ = registry.register_pvar("mpjbuf.pool.misses",
+                                      PvarClass::kCounter,
+                                      "fresh direct-buffer allocations");
+  pv_returned_ = registry.register_pvar("mpjbuf.pool.returned",
+                                        PvarClass::kCounter,
+                                        "buffers returned to the pool");
+  pv_dropped_ = registry.register_pvar("mpjbuf.pool.dropped",
+                                       PvarClass::kCounter,
+                                       "buffers freed past the retention cap");
+  pv_pooled_ = registry.register_pvar("mpjbuf.pool.pooled", PvarClass::kLevel,
+                                      "pooled-buffer count high-water mark");
+  // Seed with whatever this pool already counted so registry readbacks
+  // match stats() regardless of when the binding happened. A re-bind to
+  // the same (registry, rank) must not seed again: the live counts are
+  // already there.
+  if (rebind) return;
+  registry.add(pv_requests_, rank, static_cast<std::int64_t>(stats_.requests));
+  registry.add(pv_hits_, rank, static_cast<std::int64_t>(stats_.pool_hits));
+  registry.add(pv_misses_, rank,
+               static_cast<std::int64_t>(stats_.pool_misses));
+  registry.add(pv_returned_, rank,
+               static_cast<std::int64_t>(stats_.returned));
+  registry.add(pv_dropped_, rank, static_cast<std::int64_t>(stats_.dropped));
+  registry.raise(pv_pooled_, rank,
+                 static_cast<std::int64_t>(stats_.pooled_now));
 }
 
 BufferFactory::Stats BufferFactory::stats() const {

@@ -16,6 +16,7 @@
 
 #include "jhpc/minijvm/bytebuffer.hpp"
 #include "jhpc/mpjbuf/buffer.hpp"
+#include "jhpc/obs/pvar.hpp"
 
 namespace jhpc::mpjbuf {
 
@@ -53,6 +54,12 @@ class BufferFactory {
   };
   Stats stats() const;
 
+  /// Mirror this pool's stats into the MPI_T-style pvar registry under
+  /// mpjbuf.pool.* with values accounted to `rank`. Counts accumulated
+  /// before binding are seeded so registry and stats() always agree.
+  /// Find-or-create registration makes per-rank binding idempotent.
+  void bind_pvars(obs::PvarRegistry& registry, int rank);
+
   const FactoryConfig& config() const { return config_; }
 
  private:
@@ -66,6 +73,12 @@ class BufferFactory {
   mutable std::mutex mu_;
   std::vector<minijvm::ByteBuffer> pool_;
   Stats stats_;
+
+  // Pvar mirroring (null until bind_pvars; mutated under mu_).
+  obs::PvarRegistry* pvar_registry_ = nullptr;
+  int pvar_rank_ = -1;
+  obs::PvarId pv_requests_, pv_hits_, pv_misses_;
+  obs::PvarId pv_returned_, pv_dropped_, pv_pooled_;
 };
 
 }  // namespace jhpc::mpjbuf

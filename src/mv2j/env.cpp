@@ -11,15 +11,27 @@ minimpi::UniverseConfig RunOptions::universe_config() const {
   cfg.eager_limit = eager_limit;
   cfg.suite = minimpi::CollectiveSuite::kMv2;  // "MVAPICH2" underneath
   cfg.apply_suite_profile();
+  cfg.obs = obs;
   return cfg;
 }
 
 Env::Env(minimpi::Comm& native_world, const RunOptions& options)
     : jvm_(std::make_unique<minijvm::Jvm>(options.jvm)),
       pool_(std::make_unique<mpjbuf::BufferFactory>(options.pool)),
-      world_(this, native_world) {}
+      world_(this, native_world) {
+  // Surface this rank's pool stats through the job-wide pvar registry
+  // (COMM_WORLD rank == world rank).
+  if (obs::PvarRegistry* reg = native_world.pvars())
+    pool_->bind_pvars(*reg, native_world.rank());
+}
 
 Env::~Env() = default;
+
+std::int64_t Env::readPvar(const std::string& name) const {
+  obs::PvarRegistry* reg = pvars();
+  if (reg == nullptr) return 0;
+  return reg->read(reg->find(name), world_.native().rank());
+}
 
 void run(const RunOptions& options,
          const std::function<void(Env&)>& rank_main) {

@@ -8,13 +8,16 @@
 // collective suite — "MVAPICH2" in this reproduction.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "jhpc/minijvm/jvm.hpp"
 #include "jhpc/minimpi/universe.hpp"
 #include "jhpc/mpjbuf/buffer_factory.hpp"
 #include "jhpc/mv2j/comm.hpp"
+#include "jhpc/obs/obs.hpp"
 
 namespace jhpc::mv2j {
 
@@ -25,6 +28,8 @@ struct RunOptions {
   std::size_t eager_limit = 16 * 1024;
   minijvm::JvmConfig jvm = minijvm::JvmConfig::from_env();
   mpjbuf::FactoryConfig pool = mpjbuf::FactoryConfig::from_env();
+  /// Observability switches (JHPC_PVARS / JHPC_TRACE by default).
+  obs::ObsConfig obs = obs::ObsConfig::from_env();
 
   /// The native universe configuration this implies (suite forced to
   /// kMv2 — these bindings run on "MVAPICH2").
@@ -43,6 +48,13 @@ class Env {
   Comm& COMM_WORLD() { return world_; }
   minijvm::Jvm& jvm() { return *jvm_; }
   mpjbuf::BufferFactory& pool() { return *pool_; }
+
+  // --- MPI_T-style tool access (the Java side's MPI.T) -------------------
+  /// The job's performance-variable registry (values indexed by world
+  /// rank), or nullptr when observability is disabled.
+  obs::PvarRegistry* pvars() const { return world_.native().pvars(); }
+  /// This rank's value of pvar `name`; 0 when unknown or disabled.
+  std::int64_t readPvar(const std::string& name) const;
 
   /// Convenience allocators mirroring a Java program's
   /// `ByteBuffer.allocateDirect(...)` / `new T[n]`.

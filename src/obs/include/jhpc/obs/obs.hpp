@@ -1,0 +1,81 @@
+// The per-job observability recorder: one pvar registry plus one trace
+// ring per rank, behind a single enabled/disabled switch.
+//
+// Cost discipline: a Universe holds a null Recorder pointer when
+// observability is off, so every instrumentation site reduces to one
+// inline pointer test — no atomics, no branches into this library. With
+// the recorder on, pvar updates are relaxed atomic adds and trace pushes
+// are single-writer ring stores.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jhpc/obs/pvar.hpp"
+#include "jhpc/obs/trace.hpp"
+#include "jhpc/support/table.hpp"
+
+namespace jhpc::obs {
+
+/// Observability switches. Off by default; enabled per job via config or
+/// the environment (the knobs every binary inherits through
+/// support/env): JHPC_PVARS=1, JHPC_TRACE=path, JHPC_TRACE_CAPACITY=n.
+struct ObsConfig {
+  /// Collect performance variables and print the finalize summary table.
+  bool pvars = false;
+  /// When non-empty, record trace events and flush Chrome trace-event
+  /// JSON to this path at finalize.
+  std::string trace_path;
+  /// Per-rank trace ring capacity (events); oldest dropped on overflow.
+  std::size_t trace_capacity = 64 * 1024;
+
+  bool enabled() const { return pvars || !trace_path.empty(); }
+
+  /// Defaults overlaid with JHPC_PVARS / JHPC_TRACE /
+  /// JHPC_TRACE_CAPACITY.
+  static ObsConfig from_env();
+};
+
+/// Everything one job records. Thread-safety contract: pvar updates may
+/// come from any rank thread (atomics); begin()/end() for rank r must
+/// come from rank r's thread only; flush/summary run after the rank
+/// threads joined.
+class Recorder {
+ public:
+  Recorder(const ObsConfig& config, int ranks);
+
+  const ObsConfig& config() const { return config_; }
+  bool tracing() const { return !config_.trace_path.empty(); }
+
+  PvarRegistry& pvars() { return pvars_; }
+  const PvarRegistry& pvars() const { return pvars_; }
+
+  /// Record a span boundary on rank `rank` at virtual time `vtime_ns`.
+  /// No-ops when tracing is off, so callers only guard on the Recorder
+  /// pointer itself.
+  void begin(int rank, const char* name, std::int64_t vtime_ns);
+  void end(int rank, const char* name, std::int64_t vtime_ns);
+
+  const std::vector<TraceRing>& rings() const { return rings_; }
+  /// Trace events evicted across all ranks.
+  std::uint64_t dropped_events() const;
+
+  /// Zero pvar values and clear rings (a Universe reuses its Recorder
+  /// across run() calls; each job reports its own workload).
+  void reset();
+
+  /// Finalize-time summary: every pvar plus the tracer's own counters.
+  Table summary_table() const;
+
+  /// Write the Chrome trace JSON to config().trace_path.
+  void write_trace() const;
+
+ private:
+  ObsConfig config_;
+  PvarRegistry pvars_;
+  std::vector<TraceRing> rings_;  // one per rank; empty when not tracing
+};
+
+}  // namespace jhpc::obs

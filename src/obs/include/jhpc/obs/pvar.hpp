@@ -1,0 +1,115 @@
+// MPI_T-style performance variables ("pvars").
+//
+// Real MPI stacks expose internal counters through the MPI_T tool
+// information interface (MVAPICH2 ships exactly such counters for OSU
+// INAM). This registry is that idea scaled to the simulation: modules
+// register named per-rank variables once (cold path, mutexed) and then
+// update them from rank threads with relaxed atomics (hot path,
+// lock-free). Tools — the bindings' query API, the finalize summary, the
+// tests — snapshot the registry by name at any time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "jhpc/support/table.hpp"
+
+namespace jhpc::obs {
+
+/// MPI_T-like variable classes. The class does not change the storage
+/// (a per-rank int64), only the semantics and the summary formatting.
+enum class PvarClass : std::uint8_t {
+  kCounter,  ///< monotonically increasing count (messages, pool hits)
+  kLevel,    ///< instantaneous level tracked as a high-water mark
+  kTimer,    ///< accumulated duration in virtual nanoseconds
+};
+
+const char* pvar_class_name(PvarClass cls);
+
+/// Opaque handle returned by registration; indexes the registry's slot
+/// table. The default-constructed handle is invalid and every update
+/// through it is ignored — instrumentation sites may hold handles
+/// unconditionally and stay inert when observability is off.
+struct PvarId {
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t index = kInvalid;
+  bool valid() const { return index != kInvalid; }
+};
+
+/// Lock-free per-rank performance-variable registry.
+///
+/// Registration is find-or-create by name and may run concurrently from
+/// rank threads (each rank's Env binds its own pool, for instance); the
+/// hot-path update functions never take the mutex. The slot table is
+/// sized at construction so handles stay stable and updates race only on
+/// their own atomic cell.
+class PvarRegistry {
+ public:
+  /// `ranks`: one value slot per world rank. `capacity`: maximum number
+  /// of distinct pvars (fixed so registration never relocates slots).
+  explicit PvarRegistry(int ranks, std::size_t capacity = 256);
+
+  int ranks() const { return ranks_; }
+  /// Number of registered pvars.
+  std::size_t size() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// Find-or-create `name`. Re-registering an existing name returns the
+  /// existing handle (the class/description of the first wins). Throws
+  /// jhpc::Error when the fixed capacity is exhausted.
+  PvarId register_pvar(const std::string& name, PvarClass cls,
+                       const std::string& description);
+
+  /// Handle lookup by name; invalid handle when unknown.
+  PvarId find(const std::string& name) const;
+
+  // --- Hot path (relaxed atomics; invalid handles are ignored) -----------
+  /// Add `delta` to (pvar, rank). Counters and timers.
+  void add(PvarId id, int rank, std::int64_t delta);
+  /// Raise (pvar, rank) to `value` if larger. Levels (high-water marks).
+  void raise(PvarId id, int rank, std::int64_t value);
+
+  /// Current value of (pvar, rank); 0 for invalid handles.
+  std::int64_t read(PvarId id, int rank) const;
+  /// Sum over all ranks.
+  std::int64_t total(PvarId id) const;
+
+  /// One registered variable with its per-rank values at snapshot time.
+  struct Reading {
+    std::string name;
+    PvarClass cls = PvarClass::kCounter;
+    std::string description;
+    std::vector<std::int64_t> values;  ///< indexed by rank
+    std::int64_t total = 0;
+  };
+  /// Snapshot every registered pvar (registration order).
+  std::vector<Reading> snapshot() const;
+
+  /// Zero every value (registrations survive). Used when a Universe
+  /// starts a new job so each run reports its own workload.
+  void reset_values();
+
+  /// Render a summary: one row per pvar, one column per rank plus a
+  /// total. Timers are shown in microseconds.
+  Table to_table() const;
+
+ private:
+  struct Slot {
+    std::string name;
+    PvarClass cls = PvarClass::kCounter;
+    std::string description;
+    std::unique_ptr<std::atomic<std::int64_t>[]> values;  // [ranks_]
+  };
+
+  int ranks_;
+  std::vector<Slot> slots_;             // fixed size; filled up to count_
+  std::atomic<std::uint32_t> count_{0};
+  mutable std::mutex register_mu_;      // guards registration/find only
+};
+
+}  // namespace jhpc::obs

@@ -1,0 +1,64 @@
+// Virtual-clock event tracing.
+//
+// Each rank records begin/end events into its own bounded ring buffer,
+// stamped with the netsim VIRTUAL clock — traces show simulated cluster
+// time (what the paper's figures measure), not host wall time on an
+// oversubscribed box. At finalize the rings are merged into Chrome
+// trace-event JSON (one track per rank, loadable in chrome://tracing or
+// Perfetto). Rings are single-writer: only the owning rank thread pushes;
+// flushing happens after the rank threads have joined.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jhpc::obs {
+
+/// One begin or end mark. `name` must point at a string literal (or
+/// storage outliving the flush); events are 24 bytes and never allocate.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t vtime_ns = 0;  ///< virtual timestamp
+  bool is_begin = true;
+};
+
+/// Bounded single-writer event ring with oldest-dropped overflow: when
+/// full, pushing evicts the oldest event and counts it as dropped, so a
+/// trace always holds the most recent window of activity.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return size_; }
+  /// Events evicted by overflow since construction/clear().
+  std::uint64_t dropped() const { return dropped_; }
+
+  void push(TraceEvent ev);
+  void clear();
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> events() const;
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::size_t head_ = 0;  ///< index of the oldest retained event
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Serialize per-rank rings as Chrome trace-event JSON. Timestamps are
+/// virtual microseconds; pid is 0 ("the job"), tid is the rank. Overflow
+/// can leave unmatched end events at the front of a ring and an abort can
+/// leave unclosed begin events at the back; both are repaired here so the
+/// emitted "B"/"E" pairs strictly nest per track.
+std::string chrome_trace_json(const std::vector<TraceRing>& rings);
+
+/// chrome_trace_json() written to `path`; throws jhpc::Error on I/O
+/// failure.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceRing>& rings);
+
+}  // namespace jhpc::obs

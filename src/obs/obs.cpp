@@ -1,0 +1,77 @@
+#include "jhpc/obs/obs.hpp"
+
+#include "jhpc/support/env.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::obs {
+
+ObsConfig ObsConfig::from_env() {
+  ObsConfig cfg;
+  cfg.pvars = env_bool("JHPC_PVARS", cfg.pvars);
+  cfg.trace_path = env_string("JHPC_TRACE").value_or(cfg.trace_path);
+  cfg.trace_capacity = static_cast<std::size_t>(
+      env_int64("JHPC_TRACE_CAPACITY",
+                static_cast<std::int64_t>(cfg.trace_capacity)));
+  return cfg;
+}
+
+Recorder::Recorder(const ObsConfig& config, int ranks)
+    : config_(config), pvars_(ranks) {
+  if (tracing()) {
+    rings_.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r)
+      rings_.emplace_back(config_.trace_capacity);
+  }
+}
+
+void Recorder::begin(int rank, const char* name, std::int64_t vtime_ns) {
+  if (rings_.empty()) return;
+  rings_[static_cast<std::size_t>(rank)].push(
+      TraceEvent{name, vtime_ns, /*is_begin=*/true});
+}
+
+void Recorder::end(int rank, const char* name, std::int64_t vtime_ns) {
+  if (rings_.empty()) return;
+  rings_[static_cast<std::size_t>(rank)].push(
+      TraceEvent{name, vtime_ns, /*is_begin=*/false});
+}
+
+std::uint64_t Recorder::dropped_events() const {
+  std::uint64_t total = 0;
+  for (const TraceRing& ring : rings_) total += ring.dropped();
+  return total;
+}
+
+void Recorder::reset() {
+  pvars_.reset_values();
+  for (TraceRing& ring : rings_) ring.clear();
+}
+
+Table Recorder::summary_table() const {
+  Table table = pvars_.to_table();
+  if (tracing()) {
+    // The tracer reports on itself so overflow is never silent.
+    std::vector<std::string> retained{"obs.trace.events", "counter"};
+    std::vector<std::string> dropped{"obs.trace.dropped", "counter"};
+    std::uint64_t retained_total = 0;
+    std::uint64_t dropped_total = 0;
+    for (const TraceRing& ring : rings_) {
+      retained.push_back(std::to_string(ring.size()));
+      dropped.push_back(std::to_string(ring.dropped()));
+      retained_total += ring.size();
+      dropped_total += ring.dropped();
+    }
+    retained.push_back(std::to_string(retained_total));
+    dropped.push_back(std::to_string(dropped_total));
+    table.add_row(std::move(retained));
+    table.add_row(std::move(dropped));
+  }
+  return table;
+}
+
+void Recorder::write_trace() const {
+  JHPC_REQUIRE(tracing(), "write_trace() with tracing disabled");
+  write_chrome_trace(config_.trace_path, rings_);
+}
+
+}  // namespace jhpc::obs

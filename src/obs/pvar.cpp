@@ -1,0 +1,146 @@
+#include "jhpc/obs/pvar.hpp"
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::obs {
+
+const char* pvar_class_name(PvarClass cls) {
+  switch (cls) {
+    case PvarClass::kCounter: return "counter";
+    case PvarClass::kLevel: return "level";
+    case PvarClass::kTimer: return "timer";
+  }
+  return "?";
+}
+
+PvarRegistry::PvarRegistry(int ranks, std::size_t capacity)
+    : ranks_(ranks), slots_(capacity) {
+  JHPC_REQUIRE(ranks >= 1, "PvarRegistry needs at least one rank");
+  JHPC_REQUIRE(capacity >= 1, "PvarRegistry capacity must be positive");
+}
+
+PvarId PvarRegistry::register_pvar(const std::string& name, PvarClass cls,
+                                   const std::string& description) {
+  std::lock_guard<std::mutex> lk(register_mu_);
+  const std::uint32_t n = count_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (slots_[i].name == name) return PvarId{i};
+  }
+  JHPC_REQUIRE(n < slots_.size(), "pvar registry capacity exhausted");
+  Slot& slot = slots_[n];
+  slot.name = name;
+  slot.cls = cls;
+  slot.description = description;
+  slot.values =
+      std::make_unique<std::atomic<std::int64_t>[]>(
+          static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) {
+    slot.values[static_cast<std::size_t>(r)].store(
+        0, std::memory_order_relaxed);
+  }
+  // Publish: readers load count_ with acquire before touching slots_[n].
+  count_.store(n + 1, std::memory_order_release);
+  return PvarId{n};
+}
+
+PvarId PvarRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(register_mu_);
+  const std::uint32_t n = count_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (slots_[i].name == name) return PvarId{i};
+  }
+  return PvarId{};
+}
+
+void PvarRegistry::add(PvarId id, int rank, std::int64_t delta) {
+  if (!id.valid()) return;
+  slots_[id.index].values[static_cast<std::size_t>(rank)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void PvarRegistry::raise(PvarId id, int rank, std::int64_t value) {
+  if (!id.valid()) return;
+  auto& cell = slots_[id.index].values[static_cast<std::size_t>(rank)];
+  std::int64_t cur = cell.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !cell.compare_exchange_weak(cur, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t PvarRegistry::read(PvarId id, int rank) const {
+  if (!id.valid()) return 0;
+  return slots_[id.index].values[static_cast<std::size_t>(rank)].load(
+      std::memory_order_relaxed);
+}
+
+std::int64_t PvarRegistry::total(PvarId id) const {
+  if (!id.valid()) return 0;
+  std::int64_t sum = 0;
+  for (int r = 0; r < ranks_; ++r) sum += read(id, r);
+  return sum;
+}
+
+std::vector<PvarRegistry::Reading> PvarRegistry::snapshot() const {
+  const std::uint32_t n = count_.load(std::memory_order_acquire);
+  std::vector<Reading> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Slot& slot = slots_[i];
+    Reading r;
+    r.name = slot.name;
+    r.cls = slot.cls;
+    r.description = slot.description;
+    r.values.resize(static_cast<std::size_t>(ranks_));
+    for (int rank = 0; rank < ranks_; ++rank) {
+      const std::int64_t v = read(PvarId{i}, rank);
+      r.values[static_cast<std::size_t>(rank)] = v;
+      r.total += v;
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void PvarRegistry::reset_values() {
+  const std::uint32_t n = count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (int r = 0; r < ranks_; ++r) {
+      slots_[i].values[static_cast<std::size_t>(r)].store(
+          0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Table PvarRegistry::to_table() const {
+  std::vector<std::string> headers{"pvar", "class"};
+  for (int r = 0; r < ranks_; ++r)
+    headers.push_back("rank" + std::to_string(r));
+  headers.push_back("total");
+  Table table(std::move(headers));
+
+  for (const Reading& reading : snapshot()) {
+    std::vector<std::string> row{reading.name,
+                                 pvar_class_name(reading.cls)};
+    auto fmt = [&](std::int64_t v) {
+      // Timers accumulate virtual ns; report them in microseconds.
+      return reading.cls == PvarClass::kTimer
+                 ? fmt_double(static_cast<double>(v) / 1e3, 2)
+                 : std::to_string(v);
+    };
+    for (const std::int64_t v : reading.values) row.push_back(fmt(v));
+    // A high-water mark sums poorly; show the max across ranks instead.
+    if (reading.cls == PvarClass::kLevel) {
+      std::int64_t max = 0;
+      for (const std::int64_t v : reading.values)
+        if (v > max) max = v;
+      row.push_back("max " + std::to_string(max));
+    } else {
+      row.push_back(fmt(reading.total));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace jhpc::obs

@@ -1,0 +1,129 @@
+#include "jhpc/obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::obs {
+
+TraceRing::TraceRing(std::size_t capacity) : buf_(capacity) {
+  JHPC_REQUIRE(capacity >= 1, "trace ring capacity must be positive");
+}
+
+void TraceRing::push(TraceEvent ev) {
+  if (size_ == buf_.size()) {
+    // Full: evict the oldest so the ring keeps the most recent window.
+    buf_[head_] = ev;
+    head_ = (head_ + 1) % buf_.size();
+    ++dropped_;
+    return;
+  }
+  buf_[(head_ + size_) % buf_.size()] = ev;
+  ++size_;
+}
+
+void TraceRing::clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(buf_[(head_ + i) % buf_.size()]);
+  return out;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+      out += hex;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_event(std::string& out, bool& first, const char* name,
+                  char phase, std::int64_t vtime_ns, int rank) {
+  if (!first) out += ",\n";
+  first = false;
+  char buf[64];
+  // Chrome's ts unit is microseconds; keep ns resolution as fractions.
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(vtime_ns) / 1e3);
+  out += R"({"name":")";
+  append_escaped(out, name);
+  out += R"(","ph":")";
+  out.push_back(phase);
+  out += R"(","ts":)";
+  out += buf;
+  out += R"(,"pid":0,"tid":)";
+  out += std::to_string(rank);
+  out += "}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceRing>& rings) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t rank = 0; rank < rings.size(); ++rank) {
+    const int tid = static_cast<int>(rank);
+    // Track naming metadata so viewers label tracks "rank N".
+    if (!first) out += ",\n";
+    first = false;
+    out += R"({"name":"thread_name","ph":"M","pid":0,"tid":)";
+    out += std::to_string(tid);
+    out += R"(,"args":{"name":"rank )";
+    out += std::to_string(tid);
+    out += "\"}}";
+
+    // Repair the stream so B/E strictly nest: overflow eviction can strand
+    // end events at the front (begin dropped) and aborts can strand begin
+    // events at the back (end never recorded).
+    std::vector<TraceEvent> open;
+    std::int64_t last_ts = 0;
+    for (const TraceEvent& ev : rings[rank].events()) {
+      if (ev.vtime_ns > last_ts) last_ts = ev.vtime_ns;
+      if (ev.is_begin) {
+        open.push_back(ev);
+        append_event(out, first, ev.name, 'B', ev.vtime_ns, tid);
+      } else {
+        if (open.empty()) continue;  // begin was evicted; drop the end
+        open.pop_back();
+        append_event(out, first, ev.name, 'E', ev.vtime_ns, tid);
+      }
+    }
+    while (!open.empty()) {
+      append_event(out, first, open.back().name, 'E', last_ts, tid);
+      open.pop_back();
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ns\",";
+  out += R"x("otherData":{"clock":"virtual (netsim)","source":"jhpc::obs"}})x";
+  out += "\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceRing>& rings) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  JHPC_REQUIRE(f.good(), "cannot open trace file for writing: " + path);
+  const std::string json = chrome_trace_json(rings);
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  JHPC_REQUIRE(f.good(), "failed to write trace file: " + path);
+}
+
+}  // namespace jhpc::obs

@@ -1,5 +1,6 @@
 #include "jhpc/ombj/harness.hpp"
 
+#include <cctype>
 #include <iostream>
 #include <map>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include "jhpc/ombj/benchmarks.hpp"
 #include "jhpc/ompij/ompij.hpp"
 #include "jhpc/support/error.hpp"
+#include "jhpc/support/paths.hpp"
 #include "jhpc/support/sizes.hpp"
 #include "jhpc/support/stats.hpp"
 
@@ -27,6 +29,27 @@ netsim::FabricConfig fabric_for(const FigureSpec& fig) {
   return f;
 }
 
+/// Filename-safe tag derived from a series label ("mv2j buffer" ->
+/// "mv2j_buffer").
+std::string label_slug(const std::string& label) {
+  std::string out;
+  for (const char ch : label) {
+    out.push_back(
+        std::isalnum(static_cast<unsigned char>(ch)) != 0 ? ch : '_');
+  }
+  return out;
+}
+
+/// The figure's obs config specialised for one series: multi-series
+/// figures get one trace file per series so jobs do not overwrite each
+/// other.
+obs::ObsConfig obs_for(const FigureSpec& fig, const std::string& label) {
+  obs::ObsConfig o = fig.obs;
+  if (!o.trace_path.empty() && fig.series.size() > 1)
+    o.trace_path = path_with_tag(o.trace_path, label_slug(label));
+  return o;
+}
+
 }  // namespace
 
 SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series) {
@@ -36,6 +59,7 @@ SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series) {
   // The series decides which user-facing API the benchmark exercises.
   BenchOptions options = fig.options;
   options.api = series.api;
+  const obs::ObsConfig obs = obs_for(fig, result.label);
 
   // Rows produced by rank 0 inside the job.
   std::vector<ResultRow> rows;
@@ -45,6 +69,7 @@ SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series) {
         mv2j::RunOptions opts;
         opts.ranks = fig.ranks;
         opts.fabric = fabric_for(fig);
+        opts.obs = obs;
         // Size the managed heap for the benchmark's arrays (live payload
         // plus copying-GC headroom).
         opts.jvm.heap_bytes = std::max<std::size_t>(
@@ -59,6 +84,7 @@ SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series) {
         ompij::RunOptions opts;
         opts.ranks = fig.ranks;
         opts.fabric = fabric_for(fig);
+        opts.obs = obs;
         opts.jvm.heap_bytes = std::max<std::size_t>(
             32ull << 20, 8 * fig.options.max_size);
         ompij::run(opts, [&](ompij::Env& env) {
@@ -76,6 +102,7 @@ SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series) {
                         ? minimpi::CollectiveSuite::kMv2
                         : minimpi::CollectiveSuite::kOmpiBasic;
         cfg.apply_suite_profile();
+        cfg.obs = obs;
         minimpi::Universe::launch(cfg, [&](minimpi::Comm& world) {
           auto r = run_benchmark_native(fig.kind, world, options);
           if (world.rank() == 0) rows = std::move(r);
@@ -187,10 +214,16 @@ int figure_main(FigureSpec fig, int argc, char** argv) {
         csv_path = next();
       } else if (arg == "--quick") {
         quick = true;
+      } else if (arg == "--pvars") {
+        fig.obs.pvars = true;
+      } else if (arg == "--trace") {
+        fig.obs.trace_path = next();
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        fig.obs.trace_path = arg.substr(std::string("--trace=").size());
       } else if (arg == "--help" || arg == "-h") {
         std::cout << fig.id << ": " << fig.title << "\n"
                   << "flags: --ranks N --ppn N --min SZ --max SZ --iters N "
-                     "--window N --csv PATH --quick\n";
+                     "--window N --csv PATH --quick --pvars --trace FILE\n";
         return 0;
       } else {
         throw InvalidArgumentError("unknown flag: " + arg);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "jhpc/netsim/fabric.hpp"
+#include "jhpc/obs/obs.hpp"
 #include "jhpc/ombj/options.hpp"
 #include "jhpc/support/table.hpp"
 
@@ -36,6 +37,10 @@ struct FigureSpec {
   /// geometric-mean baseline/candidate ratio for each — the paper's
   /// "factor of N on average over all message sizes".
   std::vector<std::pair<std::string, std::string>> ratios;
+  /// Observability for every series' job (--pvars / --trace flags, or the
+  /// JHPC_PVARS / JHPC_TRACE env). Multi-series figures tag the trace
+  /// path per series ("out.json" -> "out.mv2j_buffer.json").
+  obs::ObsConfig obs = obs::ObsConfig::from_env();
 };
 
 /// Run one series in a fresh job; never throws for unsupported

@@ -34,7 +34,9 @@ void usage() {
       "  --iters N      iterations per size (small-message count)\n"
       "  --window N     window size for bw benchmarks (default 64)\n"
       "  --validate     include populate+verify in the timed region\n"
-      "  --csv PATH     mirror the table to CSV\n";
+      "  --csv PATH     mirror the table to CSV\n"
+      "  --pvars        print MPI_T-style performance variables at finalize\n"
+      "  --trace FILE   write a Chrome trace (virtual clock) to FILE\n";
 }
 
 jhpc::ombj::Library library_from(const std::string& s) {
@@ -87,6 +89,12 @@ int main(int argc, char** argv) {
         fig.options.validate = true;
       } else if (arg == "--csv") {
         csv_path = next();
+      } else if (arg == "--pvars") {
+        fig.obs.pvars = true;
+      } else if (arg == "--trace") {
+        fig.obs.trace_path = next();
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        fig.obs.trace_path = arg.substr(std::string("--trace=").size());
       } else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;

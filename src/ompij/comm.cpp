@@ -227,6 +227,7 @@ minimpi::UniverseConfig RunOptions::universe_config() const {
   cfg.eager_limit = eager_limit;
   cfg.suite = minimpi::CollectiveSuite::kOmpiBasic;  // "Open MPI" underneath
   cfg.apply_suite_profile();
+  cfg.obs = obs;
   return cfg;
 }
 
@@ -235,6 +236,12 @@ Env::Env(minimpi::Comm& native_world, const RunOptions& options)
       world_(this, native_world) {}
 
 Env::~Env() = default;
+
+std::int64_t Env::readPvar(const std::string& name) const {
+  obs::PvarRegistry* reg = pvars();
+  if (reg == nullptr) return 0;
+  return reg->read(reg->find(name), world_.native().rank());
+}
 
 void run(const RunOptions& options,
          const std::function<void(Env&)>& rank_main) {

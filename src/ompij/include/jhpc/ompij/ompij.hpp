@@ -19,9 +19,11 @@
 // implement the same Java API).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "jhpc/minijvm/bytebuffer.hpp"
@@ -31,6 +33,7 @@
 #include "jhpc/minimpi/universe.hpp"
 #include "jhpc/mv2j/request.hpp"
 #include "jhpc/mv2j/types.hpp"
+#include "jhpc/obs/obs.hpp"
 
 namespace jhpc::ompij {
 
@@ -199,6 +202,8 @@ struct RunOptions {
   netsim::FabricConfig fabric{};
   std::size_t eager_limit = 16 * 1024;
   minijvm::JvmConfig jvm = minijvm::JvmConfig::from_env();
+  /// Observability switches (JHPC_PVARS / JHPC_TRACE by default).
+  obs::ObsConfig obs = obs::ObsConfig::from_env();
 
   /// Native configuration: suite forced to kOmpiBasic ("Open MPI").
   minimpi::UniverseConfig universe_config() const;
@@ -215,6 +220,12 @@ class Env {
 
   Comm& COMM_WORLD() { return world_; }
   minijvm::Jvm& jvm() { return *jvm_; }
+
+  // --- MPI_T-style tool access (mirrors the mv2j Env API) ----------------
+  /// The job's performance-variable registry, or nullptr when disabled.
+  obs::PvarRegistry* pvars() const { return world_.native().pvars(); }
+  /// This rank's value of pvar `name`; 0 when unknown or disabled.
+  std::int64_t readPvar(const std::string& name) const;
 
   ByteBuffer newDirectBuffer(std::size_t bytes) {
     return ByteBuffer::allocate_direct(bytes);

@@ -1,0 +1,21 @@
+// Small output-path helpers shared by the bench and obs layers.
+#pragma once
+
+#include <string>
+
+namespace jhpc {
+
+/// Derive a companion output path by inserting `tag` before the final
+/// extension of `path`:
+///
+///   path_with_tag("results/fig11.csv", "overhead") ->
+///       "results/fig11.overhead.csv"
+///   path_with_tag("out.json", "series2") -> "out.series2.json"
+///   path_with_tag("trace", "rank0")      -> "trace.rank0"
+///
+/// Used wherever one base name fans out into several files (the fig11
+/// overhead CSV, per-series trace files) so "name.csv" never degenerates
+/// into "name.csv.overhead.csv".
+std::string path_with_tag(const std::string& path, const std::string& tag);
+
+}  // namespace jhpc

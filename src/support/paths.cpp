@@ -1,0 +1,15 @@
+#include "jhpc/support/paths.hpp"
+
+namespace jhpc {
+
+std::string path_with_tag(const std::string& path, const std::string& tag) {
+  const std::size_t slash = path.find_last_of("/\\");
+  const std::size_t base = slash == std::string::npos ? 0 : slash + 1;
+  const std::size_t dot = path.find_last_of('.');
+  // A dot inside the directory part, or a leading dot in the file name
+  // (".hidden"), is not an extension separator.
+  if (dot == std::string::npos || dot <= base) return path + "." + tag;
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+}  // namespace jhpc

@@ -8,6 +8,7 @@
 #include "jhpc/minijvm/jvm.hpp"
 #include "jhpc/mpjbuf/buffer.hpp"
 #include "jhpc/mpjbuf/buffer_factory.hpp"
+#include "jhpc/obs/pvar.hpp"
 #include "jhpc/support/error.hpp"
 
 namespace jhpc::mpjbuf {
@@ -258,6 +259,46 @@ TEST(FactoryTest, MoveSemantics) {
   EXPECT_EQ(b.size(), sizeof(jint));
   b = factory.get(64);  // assignment frees the old storage back to pool
   EXPECT_EQ(factory.stats().returned, 1u);
+}
+
+TEST(FactoryTest, BindPvarsMirrorsStats) {
+  obs::PvarRegistry reg(1);
+  BufferFactory factory(small_pool());
+  { Buffer a = factory.get(64); }  // miss + return BEFORE binding
+  factory.bind_pvars(reg, /*rank=*/0);
+
+  // Pre-binding activity is seeded, so registry == stats() from the start.
+  EXPECT_EQ(reg.read(reg.find("mpjbuf.pool.requests"), 0), 1);
+  EXPECT_EQ(reg.read(reg.find("mpjbuf.pool.misses"), 0), 1);
+  EXPECT_EQ(reg.read(reg.find("mpjbuf.pool.returned"), 0), 1);
+
+  { Buffer b = factory.get(64); }  // hit + return, live-tracked
+  {
+    std::vector<Buffer> bufs;  // overflow the cap of 4 so one drops
+    for (int i = 0; i < 5; ++i) bufs.push_back(factory.get(256));
+  }
+
+  const auto st = factory.stats();
+  auto pvar = [&](const char* name) { return reg.read(reg.find(name), 0); };
+  EXPECT_EQ(pvar("mpjbuf.pool.requests"),
+            static_cast<std::int64_t>(st.requests));
+  EXPECT_EQ(pvar("mpjbuf.pool.hits"),
+            static_cast<std::int64_t>(st.pool_hits));
+  EXPECT_EQ(pvar("mpjbuf.pool.misses"),
+            static_cast<std::int64_t>(st.pool_misses));
+  EXPECT_EQ(pvar("mpjbuf.pool.returned"),
+            static_cast<std::int64_t>(st.returned));
+  EXPECT_EQ(pvar("mpjbuf.pool.dropped"),
+            static_cast<std::int64_t>(st.dropped));
+  EXPECT_EQ(st.dropped, 1u);
+  // The level pvar is a high-water mark, so it may exceed pooled_now.
+  EXPECT_GE(pvar("mpjbuf.pool.pooled"),
+            static_cast<std::int64_t>(st.pooled_now));
+
+  // Rebinding the same registry is idempotent: no double-seeding.
+  factory.bind_pvars(reg, 0);
+  EXPECT_EQ(pvar("mpjbuf.pool.requests"),
+            static_cast<std::int64_t>(st.requests));
 }
 
 TEST(FactoryTest, StressManyCyclesNoGrowth) {

@@ -1,0 +1,608 @@
+// The observability subsystem: pvar registry semantics, trace-ring
+// overflow, transport/collective instrumentation counts, and the Chrome
+// trace JSON round-tripped through a real parser.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "jhpc/minimpi/universe.hpp"
+#include "jhpc/mv2j/env.hpp"
+#include "jhpc/obs/obs.hpp"
+#include "jhpc/support/paths.hpp"
+
+namespace jhpc::obs {
+namespace {
+
+// --- PvarRegistry ----------------------------------------------------------
+
+TEST(PvarRegistryTest, RegisterAddReadTotal) {
+  PvarRegistry reg(3);
+  const PvarId msgs = reg.register_pvar("t.msgs", PvarClass::kCounter, "x");
+  reg.add(msgs, 0, 2);
+  reg.add(msgs, 1, 5);
+  reg.add(msgs, 2, 1);
+  EXPECT_EQ(reg.read(msgs, 0), 2);
+  EXPECT_EQ(reg.read(msgs, 1), 5);
+  EXPECT_EQ(reg.read(msgs, 2), 1);
+  EXPECT_EQ(reg.total(msgs), 8);
+}
+
+TEST(PvarRegistryTest, RegistrationIsIdempotent) {
+  PvarRegistry reg(2);
+  const PvarId a = reg.register_pvar("t.same", PvarClass::kCounter, "first");
+  const PvarId b = reg.register_pvar("t.same", PvarClass::kLevel, "second");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(reg.size(), 1u);
+  reg.add(a, 0, 1);
+  reg.add(b, 0, 1);
+  EXPECT_EQ(reg.read(a, 0), 2);
+}
+
+TEST(PvarRegistryTest, RaiseKeepsHighWaterMark) {
+  PvarRegistry reg(1);
+  const PvarId depth = reg.register_pvar("t.hwm", PvarClass::kLevel, "x");
+  reg.raise(depth, 0, 4);
+  reg.raise(depth, 0, 2);  // lower: ignored
+  EXPECT_EQ(reg.read(depth, 0), 4);
+  reg.raise(depth, 0, 9);
+  EXPECT_EQ(reg.read(depth, 0), 9);
+}
+
+TEST(PvarRegistryTest, InvalidHandleIsInert) {
+  PvarRegistry reg(1);
+  PvarId none;  // default-constructed: invalid
+  EXPECT_FALSE(none.valid());
+  reg.add(none, 0, 5);
+  reg.raise(none, 0, 5);
+  EXPECT_EQ(reg.read(none, 0), 0);
+  EXPECT_EQ(reg.total(none), 0);
+  EXPECT_FALSE(reg.find("t.never_registered").valid());
+}
+
+TEST(PvarRegistryTest, SnapshotAndReset) {
+  PvarRegistry reg(2);
+  const PvarId a = reg.register_pvar("t.a", PvarClass::kCounter, "da");
+  const PvarId t = reg.register_pvar("t.t", PvarClass::kTimer, "dt");
+  reg.add(a, 0, 3);
+  reg.add(t, 1, 1500);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "t.a");
+  EXPECT_EQ(snap[0].values, (std::vector<std::int64_t>{3, 0}));
+  EXPECT_EQ(snap[0].total, 3);
+  EXPECT_EQ(snap[1].cls, PvarClass::kTimer);
+  EXPECT_EQ(snap[1].values, (std::vector<std::int64_t>{0, 1500}));
+  reg.reset_values();
+  EXPECT_EQ(reg.read(a, 0), 0);
+  EXPECT_EQ(reg.read(t, 1), 0);
+  EXPECT_EQ(reg.size(), 2u);  // registrations survive
+}
+
+TEST(PvarRegistryTest, ConcurrentRegisterAndUpdate) {
+  // The contract the transport relies on: registration is find-or-create
+  // from any thread, updates are lock-free. Run under
+  // -DJHPC_SANITIZE=thread (ctest -L obs) to race-check it.
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  PvarRegistry reg(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      const PvarId id =
+          reg.register_pvar("t.shared", PvarClass::kCounter, "x");
+      const PvarId mine = reg.register_pvar("t.rank" + std::to_string(t),
+                                            PvarClass::kCounter, "x");
+      for (int i = 0; i < kAdds; ++i) {
+        reg.add(id, t, 1);
+        reg.add(mine, t, 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.total(reg.find("t.shared")),
+            static_cast<std::int64_t>(kThreads) * kAdds);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.read(reg.find("t.rank" + std::to_string(t)), t), kAdds);
+  }
+}
+
+// --- TraceRing -------------------------------------------------------------
+
+TEST(TraceRingTest, KeepsEventsInOrderBelowCapacity) {
+  TraceRing ring(8);
+  ring.push({"a", 10, true});
+  ring.push({"a", 20, false});
+  const auto evs = ring.events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_STREQ(evs[0].name, "a");
+  EXPECT_TRUE(evs[0].is_begin);
+  EXPECT_EQ(evs[1].vtime_ns, 20);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRingTest, OverflowDropsOldestAndCounts) {
+  TraceRing ring(4);
+  for (std::int64_t i = 0; i < 7; ++i)
+    ring.push({"e", i, i % 2 == 0});
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 3u);  // events 0,1,2 evicted
+  const auto evs = ring.events();
+  ASSERT_EQ(evs.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(evs[i].vtime_ns, static_cast<std::int64_t>(i) + 3);
+}
+
+TEST(TraceRingTest, ClearResetsEverything) {
+  TraceRing ring(2);
+  ring.push({"a", 1, true});
+  ring.push({"a", 2, false});
+  ring.push({"a", 3, true});
+  EXPECT_EQ(ring.dropped(), 1u);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.events().empty());
+}
+
+// --- A minimal JSON parser for the round-trip test -------------------------
+
+struct Json {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    auto it = obj.find(key);
+    EXPECT_TRUE(it != obj.end()) << "missing key: " << key;
+    static const Json kEmpty;
+    return it != obj.end() ? it->second : kEmpty;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing bytes after JSON value";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r' || s_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void expect(char c) {
+    ASSERT_OK(peek() == c);
+    ++pos_;
+  }
+  static void ASSERT_OK(bool ok) { ASSERT_TRUE(ok) << "malformed JSON"; }
+
+  Json value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': case 'f': return boolean();
+      case 'n': literal("null"); return Json{};
+      default: return number();
+    }
+  }
+  Json object() {
+    Json v; v.kind = Json::kObj;
+    expect('{');
+    if (peek() == '}') { ++pos_; return v; }
+    for (;;) {
+      Json key = string_value();
+      expect(':');
+      v.obj[key.str] = value();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+  Json array() {
+    Json v; v.kind = Json::kArr;
+    expect('[');
+    if (peek() == ']') { ++pos_; return v; }
+    for (;;) {
+      v.arr.push_back(value());
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+  Json string_value() {
+    Json v; v.kind = Json::kStr;
+    expect('"');
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            ASSERT_OK(pos_ + 4 <= s_.size());
+            c = static_cast<char>(
+                std::stoi(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          default: c = esc; break;
+        }
+      }
+      v.str.push_back(c);
+    }
+    expect('"');
+    return v;
+  }
+  Json boolean() {
+    Json v; v.kind = Json::kBool;
+    if (s_[pos_] == 't') { literal("true"); v.boolean = true; }
+    else { literal("false"); }
+    return v;
+  }
+  Json number() {
+    Json v; v.kind = Json::kNum;
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) != 0 ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    ASSERT_OK(end > pos_);
+    v.number = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+  void literal(const char* lit) {
+    const std::string want(lit);
+    ASSERT_OK(s_.compare(pos_, want.size(), want) == 0);
+    pos_ += want.size();
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// --- Transport instrumentation --------------------------------------------
+
+using minimpi::Comm;
+using minimpi::Status;
+using minimpi::Universe;
+using minimpi::UniverseConfig;
+
+UniverseConfig traced_config(int ranks, const std::string& trace_path) {
+  UniverseConfig cfg;
+  cfg.world_size = ranks;
+  cfg.obs = ObsConfig{};  // discard env so the test is hermetic
+  cfg.obs.trace_path = trace_path;
+  return cfg;
+}
+
+TEST(TransportPvarsTest, CountsMessagesBytesAndProtocols) {
+  UniverseConfig cfg = traced_config(2, testing::TempDir() + "p2p.json");
+  cfg.eager_limit = 64;  // 16-byte sends go eager, 256-byte go rendezvous
+  std::int64_t sent = -1, eager = -1, rndv = -1, sent_bytes = -1;
+  std::int64_t recvd = -1, recvd_bytes = -1, wait_count = -1;
+  Universe::launch(cfg, [&](Comm& world) {
+    std::vector<char> small(16, 'x'), large(256, 'y');
+    if (world.rank() == 0) {
+      for (int i = 0; i < 3; ++i)
+        world.send(small.data(), small.size(), 1, 7);
+      for (int i = 0; i < 2; ++i)
+        world.send(large.data(), large.size(), 1, 7);
+      char ack = 0;
+      world.recv(&ack, sizeof(ack), 1, 8);
+      PvarRegistry& reg = *world.pvars();
+      sent = reg.read(reg.find("mpi.msgs_sent"), 0);
+      eager = reg.read(reg.find("mpi.eager_sent"), 0);
+      rndv = reg.read(reg.find("mpi.rndv_sent"), 0);
+      sent_bytes = reg.read(reg.find("mpi.bytes_sent"), 0);
+      recvd = reg.read(reg.find("mpi.msgs_recvd"), 1);
+      recvd_bytes = reg.read(reg.find("mpi.bytes_recvd"), 1);
+      wait_count = reg.total(reg.find("mpi.wait_count"));
+    } else {
+      std::vector<char> buf(256);
+      for (int i = 0; i < 5; ++i)
+        world.recv(buf.data(), buf.size(), 0, 7);
+      const char ack = 1;
+      world.send(&ack, sizeof(ack), 0, 8);
+    }
+  });
+  EXPECT_EQ(sent, 5);
+  EXPECT_EQ(eager, 3);
+  EXPECT_EQ(rndv, 2);
+  EXPECT_EQ(sent_bytes, 3 * 16 + 2 * 256);
+  EXPECT_EQ(recvd, 5);
+  EXPECT_EQ(recvd_bytes, 3 * 16 + 2 * 256);
+  EXPECT_GT(wait_count, 0);
+}
+
+TEST(TransportPvarsTest, UnexpectedQueueHighWaterMark) {
+  UniverseConfig cfg = traced_config(2, testing::TempDir() + "uq.json");
+  std::int64_t hwm = -1;
+  Universe::launch(cfg, [&](Comm& world) {
+    char token = 0;
+    if (world.rank() == 0) {
+      // Rank 1 only ever posts a recv for the "go" tag until it arrives,
+      // and same-pair messages are non-overtaking, so the three payload
+      // sends are parked in its unexpected queue first. The go message
+      // itself may or may not land unexpected too, depending on thread
+      // timing.
+      for (int i = 0; i < 3; ++i)
+        world.send(&token, sizeof(token), 1, i);
+      world.send(&token, sizeof(token), 1, 9);  // go
+      world.recv(&token, sizeof(token), 1, 10);  // ack: rank 1 drained
+      PvarRegistry& reg = *world.pvars();
+      hwm = reg.read(reg.find("mpi.unexpected_hwm"), 1);
+    } else {
+      world.recv(&token, sizeof(token), 0, 9);  // go
+      for (int i = 0; i < 3; ++i)
+        world.recv(&token, sizeof(token), 0, i);
+      world.send(&token, sizeof(token), 0, 10);  // ack
+    }
+  });
+  EXPECT_GE(hwm, 3);
+  EXPECT_LE(hwm, 4);
+}
+
+TEST(TransportPvarsTest, DisabledByDefaultAndZeroObservableState) {
+  UniverseConfig cfg;
+  cfg.world_size = 2;
+  cfg.obs = ObsConfig{};  // no pvars, no trace: fully disabled
+  Universe::launch(cfg, [&](Comm& world) {
+    EXPECT_EQ(world.pvars(), nullptr);
+    EXPECT_EQ(world.recorder(), nullptr);
+    world.barrier();
+  });
+}
+
+TEST(CollectivePvarsTest, BcastThresholdSelectsAlgorithm) {
+  UniverseConfig cfg = traced_config(4, testing::TempDir() + "coll.json");
+  cfg.suite = minimpi::CollectiveSuite::kMv2;
+  std::int64_t binomial = -1, scatter_ring = -1, barrier_cnt = -1;
+  std::vector<char> small(64), large(64 * 1024);
+  Universe::launch(cfg, [&](Comm& world) {
+    for (int i = 0; i < 3; ++i) world.bcast(small.data(), small.size(), 0);
+    for (int i = 0; i < 2; ++i) world.bcast(large.data(), large.size(), 0);
+    world.barrier();
+    if (world.rank() == 0) {
+      PvarRegistry& reg = *world.pvars();
+      binomial = reg.total(reg.find("coll.bcast.binomial"));
+      scatter_ring = reg.total(reg.find("coll.bcast.scatter_ring"));
+      barrier_cnt = reg.read(reg.find("coll.barrier.dissemination"), 0);
+    }
+  });
+  // Every rank counts each invocation once.
+  EXPECT_EQ(binomial, 3 * 4);
+  EXPECT_EQ(scatter_ring, 2 * 4);
+  EXPECT_EQ(barrier_cnt, 1);
+}
+
+TEST(CollectivePvarsTest, BasicSuiteCountsLinearAlgorithms) {
+  UniverseConfig cfg = traced_config(3, testing::TempDir() + "basic.json");
+  cfg.suite = minimpi::CollectiveSuite::kOmpiBasic;
+  std::int64_t linear = -1, binomial = -1;
+  Universe::launch(cfg, [&](Comm& world) {
+    int v = world.rank();
+    world.bcast(&v, sizeof(v), 0);
+    world.barrier();
+    if (world.rank() == 0) {
+      PvarRegistry& reg = *world.pvars();
+      linear = reg.total(reg.find("coll.bcast.linear"));
+      binomial = reg.total(reg.find("coll.bcast.binomial"));
+    }
+  });
+  EXPECT_EQ(linear, 3);
+  EXPECT_EQ(binomial, 0);
+}
+
+// --- Chrome trace round-trip -----------------------------------------------
+
+TEST(ChromeTraceTest, RoundTripsThroughParserWithStrictNesting) {
+  const std::string path = testing::TempDir() + "roundtrip.json";
+  UniverseConfig cfg = traced_config(2, path);
+  Universe::launch(cfg, [](Comm& world) {
+    std::vector<char> buf(512);
+    if (world.rank() == 0) {
+      world.send(buf.data(), buf.size(), 1, 1);
+      world.recv(buf.data(), buf.size(), 1, 2);
+    } else {
+      world.recv(buf.data(), buf.size(), 0, 1);
+      world.send(buf.data(), buf.size(), 0, 2);
+    }
+    world.barrier();
+  });
+
+  const Json root = JsonParser(slurp(path)).parse();
+  ASSERT_EQ(root.kind, Json::kObj);
+  const Json& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, Json::kArr);
+  ASSERT_FALSE(events.arr.empty());
+
+  std::map<int, std::vector<std::string>> open_stacks;
+  std::map<int, double> last_ts;
+  int metadata = 0, durations = 0;
+  for (const Json& ev : events.arr) {
+    ASSERT_EQ(ev.kind, Json::kObj);
+    const std::string ph = ev.at("ph").str;
+    const int tid = static_cast<int>(ev.at("tid").number);
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(ev.at("name").str, "thread_name");
+      continue;
+    }
+    ++durations;
+    const double ts = ev.at("ts").number;
+    EXPECT_GE(ts, last_ts[tid]) << "timestamps must be non-decreasing";
+    last_ts[tid] = ts;
+    if (ph == "B") {
+      open_stacks[tid].push_back(ev.at("name").str);
+    } else {
+      ASSERT_EQ(ph, "E");
+      ASSERT_FALSE(open_stacks[tid].empty())
+          << "E without matching B on tid " << tid;
+      EXPECT_EQ(open_stacks[tid].back(), ev.at("name").str)
+          << "B/E must nest strictly";
+      open_stacks[tid].pop_back();
+    }
+  }
+  EXPECT_EQ(metadata, 2);  // one thread_name record per rank
+  EXPECT_GT(durations, 0);
+  for (const auto& [tid, stack] : open_stacks)
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+}
+
+TEST(ChromeTraceTest, OverflowedRingStillProducesBalancedJson) {
+  // A tiny ring forces eviction mid-span; the writer must repair the
+  // stream into strictly-nested B/E pairs anyway.
+  const std::string path = testing::TempDir() + "overflow.json";
+  UniverseConfig cfg = traced_config(2, path);
+  cfg.obs.trace_capacity = 8;
+  Universe::launch(cfg, [](Comm& world) {
+    char token = 0;
+    for (int i = 0; i < 50; ++i) {
+      if (world.rank() == 0) {
+        world.send(&token, sizeof(token), 1, 1);
+        world.recv(&token, sizeof(token), 1, 2);
+      } else {
+        world.recv(&token, sizeof(token), 0, 1);
+        world.send(&token, sizeof(token), 0, 2);
+      }
+    }
+  });
+
+  const Json root = JsonParser(slurp(path)).parse();
+  std::map<int, int> depth;
+  for (const Json& ev : root.at("traceEvents").arr) {
+    const std::string ph = ev.at("ph").str;
+    const int tid = static_cast<int>(ev.at("tid").number);
+    if (ph == "B") ++depth[tid];
+    if (ph == "E") {
+      --depth[tid];
+      EXPECT_GE(depth[tid], 0);
+    }
+  }
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0);
+}
+
+// --- Recorder + finalize summary -------------------------------------------
+
+TEST(RecorderTest, SummaryTableReportsTracerCounters) {
+  ObsConfig cfg;
+  cfg.pvars = true;
+  cfg.trace_path = testing::TempDir() + "summary.json";
+  cfg.trace_capacity = 4;
+  Recorder rec(cfg, 2);
+  const PvarId id =
+      rec.pvars().register_pvar("t.c", PvarClass::kCounter, "x");
+  rec.pvars().add(id, 1, 3);
+  for (int i = 0; i < 6; ++i) rec.begin(0, "s", i);
+  const Table table = rec.summary_table();
+  ASSERT_GE(table.rows(), 3u);
+  const auto& rows = table.data();
+  EXPECT_EQ(rows[rows.size() - 2][0], "obs.trace.events");
+  EXPECT_EQ(rows[rows.size() - 2][1 + 1], "4");  // rank 0 retained
+  EXPECT_EQ(rows[rows.size() - 1][0], "obs.trace.dropped");
+  EXPECT_EQ(rows[rows.size() - 1][1 + 1], "2");
+  rec.reset();
+  EXPECT_EQ(rec.pvars().read(id, 1), 0);
+  EXPECT_EQ(rec.dropped_events(), 0u);
+}
+
+// --- Bindings query API -----------------------------------------------------
+
+TEST(BindingsPvarsTest, Mv2jEnvExposesPoolAndTransportPvars) {
+  mv2j::RunOptions opts;
+  opts.ranks = 2;
+  opts.obs = ObsConfig{};
+  opts.obs.trace_path = testing::TempDir() + "mv2j.json";
+  opts.pool.min_capacity = 256;
+  std::int64_t requests = -1, hits = -1, misses = -1, msgs = -1;
+  mv2j::run(opts, [&](mv2j::Env& env) {
+    auto& world = env.COMM_WORLD();
+    // Arrays stage through the mpjbuf pool: first use misses (fresh
+    // direct buffer), repeats hit.
+    auto arr = env.newArray<minijvm::jint>(64);
+    for (int iter = 0; iter < 4; ++iter) {
+      if (world.getRank() == 0) {
+        world.send(arr, 64, mv2j::INT, 1, 5);
+      } else {
+        world.recv(arr, 64, mv2j::INT, 0, 5);
+      }
+    }
+    world.barrier();
+    if (world.getRank() == 0) {
+      ASSERT_NE(env.pvars(), nullptr);
+      requests = env.readPvar("mpjbuf.pool.requests");
+      hits = env.readPvar("mpjbuf.pool.hits");
+      misses = env.readPvar("mpjbuf.pool.misses");
+      msgs = env.readPvar("mpi.msgs_sent");
+      // Registry and the pool's own stats must agree.
+      const auto st = env.pool().stats();
+      EXPECT_EQ(static_cast<std::uint64_t>(requests), st.requests);
+      EXPECT_EQ(static_cast<std::uint64_t>(hits), st.pool_hits);
+      EXPECT_EQ(static_cast<std::uint64_t>(misses), st.pool_misses);
+    }
+  });
+  EXPECT_GE(requests, 4);  // one staging buffer per arrays send
+  EXPECT_GE(misses, 1);    // the first request allocates fresh
+  EXPECT_GE(hits, 1);      // later requests reuse the returned buffer
+  EXPECT_EQ(requests, hits + misses);
+  EXPECT_GE(msgs, 4);
+}
+
+TEST(BindingsPvarsTest, ReadPvarIsZeroWhenDisabled) {
+  mv2j::RunOptions opts;
+  opts.ranks = 1;
+  opts.obs = ObsConfig{};  // disabled
+  mv2j::run(opts, [&](mv2j::Env& env) {
+    EXPECT_EQ(env.pvars(), nullptr);
+    EXPECT_EQ(env.readPvar("mpi.msgs_sent"), 0);
+  });
+}
+
+// --- path_with_tag (used by fig11 and per-series trace naming) --------------
+
+TEST(PathWithTagTest, InsertsBeforeExtension) {
+  EXPECT_EQ(path_with_tag("results/fig11.csv", "overhead"),
+            "results/fig11.overhead.csv");
+  EXPECT_EQ(path_with_tag("trace.json", "mv2j_buffer"),
+            "trace.mv2j_buffer.json");
+  EXPECT_EQ(path_with_tag("noext", "t"), "noext.t");
+  EXPECT_EQ(path_with_tag("dir.v2/noext", "t"), "dir.v2/noext.t");
+  EXPECT_EQ(path_with_tag(".hidden", "t"), ".hidden.t");
+}
+
+}  // namespace
+}  // namespace jhpc::obs
