@@ -267,12 +267,16 @@ void barrier(const Comm& c) {
   CollSpan span(c, CollAlg::kBarrierDissemination);
   const int size = c.size();
   const int rank = c.rank();
-  char token = 0;
+  // Distinct send/recv tokens: sendrecv posts the receive before the
+  // send completes, so aliasing one byte for both directions lets the
+  // peer's delivery write it while our own send is still reading it.
+  const char token_out = 0;
+  char token_in = 0;
   for (int mask = 1; mask < size; mask <<= 1) {
     const int dst = (rank + mask) % size;
     const int src = (rank - mask + size) % size;
-    c.sendrecv(&token, sizeof(token), dst, kTagBarrier, &token,
-               sizeof(token), src, kTagBarrier);
+    c.sendrecv(&token_out, sizeof(token_out), dst, kTagBarrier, &token_in,
+               sizeof(token_in), src, kTagBarrier);
   }
 }
 

@@ -69,7 +69,7 @@ const char* coll_alg_trace_name(CollAlg alg);
 /// null pointer when observability is disabled, so instrumentation sites
 /// cost exactly one inline pointer test.
 struct UniverseObs {
-  UniverseObs(const obs::ObsConfig& config, int ranks);
+  UniverseObs(const obs::ObsConfig& config, int ranks, bool faults);
 
   obs::Recorder rec;
 
@@ -78,6 +78,14 @@ struct UniverseObs {
   obs::PvarId eager_sent, rndv_sent;
   obs::PvarId unexpected_hwm;  ///< unexpected-queue depth high-water mark
   obs::PvarId wait_count, wait_ns;
+
+  /// Reliable-transport fault counters. Registered only when the job's
+  /// fault plan is enabled, so a fault-free job's pvar table is identical
+  /// to a build without this layer (zero-cost-off). Drops/retransmits/
+  /// timeouts are charged to the sender's rank slot; ack drops and
+  /// suppressed duplicates to the receiver's.
+  obs::PvarId fault_data_drops, fault_ack_drops, fault_retransmits;
+  obs::PvarId fault_dups, fault_rndv_retries, fault_timeouts;
 
   /// Per-algorithm collective invocation counts, indexed by CollAlg.
   std::vector<obs::PvarId> coll;
@@ -104,12 +112,17 @@ class AbortError : public jhpc::Error {
 struct RankClock {
   std::int64_t vclock = 0;
   std::int64_t last_cpu = 0;
+  /// False in deterministic-clock mode (UniverseConfig::
+  /// deterministic_clock): real CPU time is not folded in, so the clock
+  /// advances only by modelled costs and runs are bit-reproducible.
+  bool cpu_passthrough = true;
 
   /// Fold the CPU consumed since the last sync point into virtual time.
   /// Called at transport-call ENTRY: it charges the user-region work
   /// (application compute, bindings copies, JNI emulation) done since the
   /// previous transport call returned. Must run on the owning thread.
   void advance_cpu() {
+    if (!cpu_passthrough) return;
     const std::int64_t cpu = jhpc::thread_cpu_ns();
     vclock += cpu - last_cpu;
     last_cpu = cpu;
@@ -119,7 +132,9 @@ struct RankClock {
   /// and scheduler artifacts of running many rank threads on few cores do
   /// not pollute the virtual clock; the real work a call performs
   /// (payload copies) is charged explicitly via charge()/ChargedSection.
-  void resync_cpu() { last_cpu = jhpc::thread_cpu_ns(); }
+  void resync_cpu() {
+    if (cpu_passthrough) last_cpu = jhpc::thread_cpu_ns();
+  }
   /// Explicitly add `ns` of modelled or measured work.
   void charge(std::int64_t ns) { vclock += ns; }
   /// Jump forward to `t` if it is in this rank's virtual future.
@@ -133,8 +148,11 @@ struct RankClock {
 class ChargedSection {
  public:
   explicit ChargedSection(RankClock& clock)
-      : clock_(clock), t0_(jhpc::thread_cpu_ns()) {}
-  ~ChargedSection() { clock_.charge(jhpc::thread_cpu_ns() - t0_); }
+      : clock_(clock),
+        t0_(clock.cpu_passthrough ? jhpc::thread_cpu_ns() : 0) {}
+  ~ChargedSection() {
+    if (clock_.cpu_passthrough) clock_.charge(jhpc::thread_cpu_ns() - t0_);
+  }
   ChargedSection(const ChargedSection&) = delete;
   ChargedSection& operator=(const ChargedSection&) = delete;
 
@@ -149,6 +167,9 @@ struct RequestState {
   std::condition_variable cv;
   bool complete = false;
   bool failed = false;
+  /// Failed because the reliable transport's delivery timeout expired;
+  /// wait/test rethrow this as TransportTimeoutError.
+  bool timed_out = false;
   std::string error;
   /// VIRTUAL time at which the result exists at its destination (fabric
   /// delivery time); the owner's clock jumps to it on wait/test success.
@@ -232,6 +253,8 @@ class CollSpan {
 void complete_request(RequestState& rs, const Status& st,
                       std::int64_t ready_at_ns);
 void fail_request(RequestState& rs, std::string error);
+/// fail_request + the timed_out mark: waiters get TransportTimeoutError.
+void fail_request_timeout(RequestState& rs, std::string error);
 
 /// Block until `rs` completes; jumps the owner's virtual clock to the
 /// delivery time; throws the delivered error or AbortError. Must run on
@@ -251,6 +274,9 @@ struct InMsg {
   int context_id = 0;
   int src_world = 0;  // sender's world rank (fabric cost at copy time)
   std::size_t bytes = 0;
+  /// Per-(src,dst) message sequence number; keys every fault decision
+  /// this message's packets make. Only meaningful when faults are on.
+  std::uint64_t seq = 0;
   /// Eager payload (owned copy); empty for rendezvous.
   std::vector<std::byte> eager;
   /// Virtual delivery time: eager payload arrival, or the rendezvous
@@ -290,6 +316,59 @@ struct UniverseImpl {
   /// Null when observability is disabled (the default): every
   /// instrumentation site in the transport guards on this one pointer.
   std::unique_ptr<UniverseObs> obs;
+
+  /// Cached fabric.faults_enabled(): the transport's zero-cost-off guard.
+  /// When false, every fault/reliability code path below is skipped and
+  /// message handling is byte-identical to a fault-free build.
+  bool faults_on = false;
+
+  /// Per directed (src,dst) world-rank pair: latest data delivery time
+  /// handed out so far. The reliable transport floors every delivery to
+  /// it, so retransmitted messages cannot be overtaken in virtual time by
+  /// later sends from the same source (per-(src,comm) FIFO holds under
+  /// faults). Allocated only when faults_on; CAS-max updated (eager
+  /// deliveries raise it from the sender's thread, late-matched
+  /// rendezvous from the receiver's).
+  std::unique_ptr<std::atomic<std::int64_t>[]> fifo_floor;
+
+  /// Floor `t` to the pair's FIFO floor and raise the floor to the
+  /// result. Returns the delivery time to use.
+  std::int64_t fifo_raise(int src_world, int dst_world, std::int64_t t);
+
+  /// Zero the FIFO floors (new job on a reused Universe).
+  void reset_fault_state();
+
+  /// Result of one reliable (ack'd, retransmitting) payload transfer.
+  struct ReliableTx {
+    /// Receiver-side arrival of the first successful data attempt.
+    std::int64_t deliver_at_ns = 0;
+    /// When the sender's reliability engine received the ack (rendezvous
+    /// sender completion time).
+    std::int64_t acked_at_ns = 0;
+  };
+
+  /// Drive one sequence-numbered payload through the fault plan:
+  /// data attempt -> ack attempt, retransmitting with exponential backoff
+  /// (FaultPlan::rto_ns, doubling up to rto_max_ns) on either loss, and
+  /// counting drops/retransmits/duplicates as pvars. Duplicate data
+  /// arrivals (lost ack) are suppressed: the payload is delivered exactly
+  /// once, at the FIRST successful attempt's arrival time. All timestamps
+  /// are virtual; nothing blocks. Throws TransportTimeoutError once the
+  /// next retry would exceed start_ns + FaultPlan::delivery_timeout_ns.
+  /// `trace_rank` is the rank whose thread runs this call (its trace ring
+  /// records the retransmit spans). Requires faults_on.
+  ReliableTx reliable_transmit(int src_world, int dst_world,
+                               std::size_t bytes, std::uint64_t seq,
+                               std::int64_t start_ns, int trace_rank,
+                               const char* what);
+
+  /// Same retry discipline for one control message (RTS/CTS): returns its
+  /// arrival time; counts fault.rndv_retries; throws TransportTimeoutError
+  /// on budget exhaustion. Requires faults_on.
+  std::int64_t reliable_control(int src_world, int dst_world,
+                                std::uint64_t seq, netsim::FaultSalt salt,
+                                std::int64_t start_ns, int trace_rank,
+                                const char* what);
 
   /// Set the abort flag and wake every parked thread.
   void abort_all();

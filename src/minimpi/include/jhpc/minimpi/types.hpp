@@ -10,7 +10,20 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "jhpc/support/error.hpp"
+
 namespace jhpc::minimpi {
+
+/// Raised when the reliable transport exhausts its delivery-timeout
+/// budget: under an injected fault plan (jhpc/netsim/fault.hpp) a message
+/// could not be delivered and acknowledged within
+/// FaultPlan::delivery_timeout_ns of virtual time. Surfaces from
+/// send/isend and from wait/test on the affected requests — graceful
+/// degradation instead of a hang. Never thrown when faults are disabled.
+class TransportTimeoutError : public jhpc::Error {
+ public:
+  explicit TransportTimeoutError(const std::string& what) : Error(what) {}
+};
 
 /// Wildcard source for receives (MPI_ANY_SOURCE).
 inline constexpr int kAnySource = -1;

@@ -50,6 +50,15 @@ struct UniverseConfig {
   /// JHPC_TRACE_CAPACITY.
   obs::ObsConfig obs = obs::ObsConfig::from_env();
 
+  /// Deterministic virtual clock: disable the per-thread CPU-time
+  /// passthrough so rank clocks advance ONLY by modelled costs (fabric
+  /// delays, configured overheads). With one rank per node this makes
+  /// final virtual times bit-reproducible across runs — the basis of the
+  /// fault-injection determinism contract (docs/FAULTS.md). Benchmarks
+  /// should keep this off: the CPU passthrough is what makes latencies
+  /// real. Env: JHPC_DET_CLOCK.
+  bool deterministic_clock = false;
+
   // Tuning thresholds of the mv2 suite (bytes).
   std::size_t bcast_binomial_max = 16 * 1024;
   std::size_t allreduce_rd_max = 16 * 1024;

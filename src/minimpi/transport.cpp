@@ -66,7 +66,7 @@ const char* coll_alg_trace_name(CollAlg alg) {
   return kCollAlgNames[static_cast<std::size_t>(alg)].trace;
 }
 
-UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks)
+UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks, bool faults)
     : rec(config, ranks) {
   obs::PvarRegistry& reg = rec.pvars();
   using obs::PvarClass;
@@ -89,6 +89,28 @@ UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks)
                                  "blocking request completions");
   wait_ns = reg.register_pvar("mpi.wait_ns", PvarClass::kTimer,
                               "virtual time spent waiting on requests");
+  if (faults) {
+    // Registered only for faulty jobs so a fault-free job's pvar table
+    // stays identical to the pre-fault-layer output (zero-cost-off).
+    fault_data_drops =
+        reg.register_pvar("fault.data_drops", PvarClass::kCounter,
+                          "data packets lost by fault injection");
+    fault_ack_drops =
+        reg.register_pvar("fault.ack_drops", PvarClass::kCounter,
+                          "acknowledgements lost by fault injection");
+    fault_retransmits =
+        reg.register_pvar("fault.retransmits", PvarClass::kCounter,
+                          "data retransmissions by the reliable transport");
+    fault_dups =
+        reg.register_pvar("fault.dups", PvarClass::kCounter,
+                          "duplicate deliveries suppressed at the receiver");
+    fault_rndv_retries =
+        reg.register_pvar("fault.rndv_retries", PvarClass::kCounter,
+                          "rendezvous control-message retries");
+    fault_timeouts =
+        reg.register_pvar("fault.timeouts", PvarClass::kCounter,
+                          "messages abandoned after the delivery timeout");
+  }
   coll.resize(static_cast<std::size_t>(CollAlg::kCount));
   for (int a = 0; a < static_cast<int>(CollAlg::kCount); ++a) {
     coll[static_cast<std::size_t>(a)] = reg.register_pvar(
@@ -114,6 +136,15 @@ void fail_request(RequestState& rs, std::string error) {
   rs.cv.notify_all();
 }
 
+void fail_request_timeout(RequestState& rs, std::string error) {
+  std::lock_guard<std::mutex> lk(rs.mu);
+  rs.failed = true;
+  rs.timed_out = true;
+  rs.error = std::move(error);
+  rs.complete = true;
+  rs.cv.notify_all();
+}
+
 Status wait_request(RequestState& rs) {
   // Fold in the CPU the owner spent since its last transport call so the
   // virtual clock is current before we observe the completion time.
@@ -132,7 +163,9 @@ Status wait_request(RequestState& rs) {
   }
   if (rs.failed) {
     const std::string err = rs.error;
+    const bool timed_out = rs.timed_out;
     lk.unlock();
+    if (timed_out) throw TransportTimeoutError(err);
     throw jhpc::Error(err);
   }
   const Status st = rs.status;
@@ -159,7 +192,9 @@ bool test_request(RequestState& rs, Status* out) {
   if (!rs.complete) return false;
   if (rs.failed) {
     const std::string err = rs.error;
+    const bool timed_out = rs.timed_out;
     lk.unlock();
+    if (timed_out) throw TransportTimeoutError(err);
     throw jhpc::Error(err);
   }
   // Completed, but only observable once the owner's virtual time reaches
@@ -188,8 +223,121 @@ UniverseImpl::UniverseImpl(UniverseConfig cfg)
   endpoints.resize(static_cast<std::size_t>(cfg.world_size));
   for (auto& ep : endpoints) ep = std::make_unique<Endpoint>();
   clocks.resize(static_cast<std::size_t>(cfg.world_size));
+  faults_on = fabric.faults_enabled();
+  if (faults_on) {
+    const auto pairs = static_cast<std::size_t>(cfg.world_size) *
+                       static_cast<std::size_t>(cfg.world_size);
+    fifo_floor = std::make_unique<std::atomic<std::int64_t>[]>(pairs);
+    reset_fault_state();
+  }
   if (cfg.obs.enabled())
-    obs = std::make_unique<UniverseObs>(cfg.obs, cfg.world_size);
+    obs = std::make_unique<UniverseObs>(cfg.obs, cfg.world_size, faults_on);
+}
+
+void UniverseImpl::reset_fault_state() {
+  if (fifo_floor == nullptr) return;
+  const auto pairs = static_cast<std::size_t>(config.world_size) *
+                     static_cast<std::size_t>(config.world_size);
+  for (std::size_t i = 0; i < pairs; ++i)
+    fifo_floor[i].store(0, std::memory_order_relaxed);
+}
+
+std::int64_t UniverseImpl::fifo_raise(int src_world, int dst_world,
+                                      std::int64_t t) {
+  auto& cell = fifo_floor[static_cast<std::size_t>(src_world) *
+                              static_cast<std::size_t>(config.world_size) +
+                          static_cast<std::size_t>(dst_world)];
+  std::int64_t prev = cell.load(std::memory_order_relaxed);
+  while (prev < t) {
+    if (cell.compare_exchange_weak(prev, t, std::memory_order_relaxed))
+      return t;
+  }
+  // An earlier message from this source already delivered later: the
+  // reliable transport holds this one back to preserve FIFO order.
+  return prev;
+}
+
+UniverseImpl::ReliableTx UniverseImpl::reliable_transmit(
+    int src_world, int dst_world, std::size_t bytes, std::uint64_t seq,
+    std::int64_t start_ns, int trace_rank, const char* what) {
+  const netsim::FaultPlan& plan = fabric.faults();
+  const std::int64_t budget_end = start_ns + plan.delivery_timeout_ns;
+  std::int64_t rto = plan.rto_ns;
+  std::int64_t t = start_ns;
+  std::int64_t first_arrival = -1;
+  UniverseObs* const o = obs.get();
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const auto data = fabric.try_data(t, src_world, dst_world, bytes, seq,
+                                      attempt);
+    if (!data.dropped) {
+      if (first_arrival < 0) {
+        first_arrival = data.deliver_at_ns;
+      } else if (o != nullptr) {
+        // Lost ack: the receiver got this payload again and suppressed it
+        // by sequence number — delivered exactly once, at first_arrival.
+        o->rec.pvars().add(o->fault_dups, dst_world, 1);
+      }
+      const auto ack = fabric.try_control(data.deliver_at_ns, dst_world,
+                                          src_world, seq, attempt,
+                                          netsim::FaultSalt::kAck);
+      if (!ack.dropped) return {first_arrival, ack.deliver_at_ns};
+      if (o != nullptr) o->rec.pvars().add(o->fault_ack_drops, dst_world, 1);
+    } else if (o != nullptr) {
+      o->rec.pvars().add(o->fault_data_drops, src_world, 1);
+    }
+    // Failed round (data or ack lost): the retransmit timer fires `rto`
+    // after the attempt went out, then backs off exponentially.
+    const std::int64_t retry_at = t + rto;
+    if (retry_at > budget_end) {
+      if (o != nullptr) o->rec.pvars().add(o->fault_timeouts, src_world, 1);
+      throw TransportTimeoutError(
+          std::string(what) + ": no acknowledgement from rank " +
+          std::to_string(dst_world) + " within " +
+          std::to_string(plan.delivery_timeout_ns) + " virtual ns (" +
+          std::to_string(attempt + 1) + " attempts)");
+    }
+    if (o != nullptr) {
+      o->rec.pvars().add(o->fault_retransmits, src_world, 1);
+      o->rec.begin(trace_rank, "retransmit", t);
+      o->rec.end(trace_rank, "retransmit", retry_at);
+    }
+    t = retry_at;
+    rto = std::min(rto * 2, plan.rto_max_ns);
+  }
+}
+
+std::int64_t UniverseImpl::reliable_control(int src_world, int dst_world,
+                                            std::uint64_t seq,
+                                            netsim::FaultSalt salt,
+                                            std::int64_t start_ns,
+                                            int trace_rank,
+                                            const char* what) {
+  const netsim::FaultPlan& plan = fabric.faults();
+  const std::int64_t budget_end = start_ns + plan.delivery_timeout_ns;
+  std::int64_t rto = plan.rto_ns;
+  std::int64_t t = start_ns;
+  UniverseObs* const o = obs.get();
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const auto ctrl =
+        fabric.try_control(t, src_world, dst_world, seq, attempt, salt);
+    if (!ctrl.dropped) return ctrl.deliver_at_ns;
+    const std::int64_t retry_at = t + rto;
+    if (retry_at > budget_end) {
+      if (o != nullptr) o->rec.pvars().add(o->fault_timeouts, src_world, 1);
+      throw TransportTimeoutError(
+          std::string(what) + ": control message to rank " +
+          std::to_string(dst_world) + " lost for " +
+          std::to_string(plan.delivery_timeout_ns) + " virtual ns (" +
+          std::to_string(attempt + 1) + " attempts)");
+    }
+    if (o != nullptr) {
+      o->rec.pvars().add(o->fault_rndv_retries, src_world, 1);
+      o->rec.begin(trace_rank, "retransmit", t);
+      o->rec.end(trace_rank, "retransmit", retry_at);
+    }
+    t = retry_at;
+    rto = std::min(rto * 2, plan.rto_max_ns);
+  }
 }
 
 void UniverseImpl::abort_all() {
@@ -256,7 +404,43 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
     const std::int64_t send_v = sclock.vclock;
     std::int64_t arrival;
     if (eager) {
-      arrival = fabric.reserve_delivery(send_v, src_world, dst_world, bytes);
+      if (faults_on) {
+        const std::uint64_t seq = fabric.next_msg_seq(src_world, dst_world);
+        try {
+          const ReliableTx tx = reliable_transmit(
+              src_world, dst_world, bytes, seq, send_v, src_world,
+              "eager send");
+          arrival = fifo_raise(src_world, dst_world, tx.deliver_at_ns);
+        } catch (const TransportTimeoutError& e) {
+          fail_request_timeout(*matched, e.what());
+          throw;
+        }
+      } else {
+        arrival = fabric.reserve_delivery(send_v, src_world, dst_world,
+                                          bytes);
+      }
+    } else if (faults_on) {
+      // Rendezvous under faults: RTS and CTS each retry independently
+      // until they get through, then the payload moves via the reliable
+      // transport. The sender completes once the payload is acked.
+      const std::uint64_t seq = fabric.next_msg_seq(src_world, dst_world);
+      try {
+        const std::int64_t rts_at = reliable_control(
+            src_world, dst_world, seq, netsim::FaultSalt::kRts, send_v,
+            src_world, "rendezvous RTS");
+        const std::int64_t cts_at = reliable_control(
+            dst_world, src_world, seq, netsim::FaultSalt::kCts,
+            std::max(rts_at, matched->post_vtime), src_world,
+            "rendezvous CTS");
+        const ReliableTx tx = reliable_transmit(
+            src_world, dst_world, bytes, seq, cts_at, src_world,
+            "rendezvous payload");
+        arrival = fifo_raise(src_world, dst_world, tx.deliver_at_ns);
+        sclock.observe(tx.acked_at_ns);
+      } catch (const TransportTimeoutError& e) {
+        fail_request_timeout(*matched, e.what());
+        throw;
+      }
     } else {
       // Rendezvous with the receive already posted: RTS travels one hop,
       // the CTS answer another, then the payload moves (the handshake the
@@ -292,8 +476,18 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
       msg.eager.assign(p, p + bytes);
     }
     msg.send_vtime = sclock.vclock;
-    msg.deliver_at_ns = fabric.reserve_delivery(msg.send_vtime, src_world,
-                                                dst_world, bytes);
+    if (faults_on) {
+      msg.seq = fabric.next_msg_seq(src_world, dst_world);
+      // Throws on timeout before the enqueue: the receiver never sees a
+      // payload the transport gave up on.
+      const ReliableTx tx = reliable_transmit(src_world, dst_world, bytes,
+                                              msg.seq, msg.send_vtime,
+                                              src_world, "eager send");
+      msg.deliver_at_ns = fifo_raise(src_world, dst_world, tx.deliver_at_ns);
+    } else {
+      msg.deliver_at_ns = fabric.reserve_delivery(msg.send_vtime, src_world,
+                                                  dst_world, bytes);
+    }
     ep.unexpected.push_back(std::move(msg));
     if (o != nullptr) {
       o->rec.pvars().raise(
@@ -313,8 +507,16 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
   sender->owner_clock = &sclock;
   sender->obs = o;
   sender->owner_world = src_world;
-  msg.deliver_at_ns = fabric.reserve_delivery(msg.send_vtime, src_world,
-                                              dst_world, /*bytes=*/0);
+  if (faults_on) {
+    msg.seq = fabric.next_msg_seq(src_world, dst_world);
+    msg.deliver_at_ns = reliable_control(src_world, dst_world, msg.seq,
+                                         netsim::FaultSalt::kRts,
+                                         msg.send_vtime, src_world,
+                                         "rendezvous RTS");
+  } else {
+    msg.deliver_at_ns = fabric.reserve_delivery(msg.send_vtime, src_world,
+                                                dst_world, /*bytes=*/0);
+  }
   msg.rndv_src = buf;
   msg.rndv_sender = sender;
   ep.unexpected.push_back(std::move(msg));
@@ -374,7 +576,32 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
       return rs;
     }
     std::int64_t arrival = 0;
-    if (msg.is_rndv()) {
+    if (msg.is_rndv() && faults_on) {
+      {
+        ChargedSection copy_cost(rclock);
+        std::memcpy(buf, msg.rndv_src, msg.bytes);
+      }
+      // The RTS header already arrived (msg.deliver_at_ns, retried until
+      // it got through); answer with a CTS and pull the payload reliably.
+      // Both run on this receiver's thread, so their trace spans belong
+      // to this rank's ring.
+      const std::int64_t cts_start =
+          std::max(msg.deliver_at_ns, rclock.vclock);
+      try {
+        const std::int64_t cts_at = reliable_control(
+            my_world, msg.src_world, msg.seq, netsim::FaultSalt::kCts,
+            cts_start, my_world, "rendezvous CTS");
+        const ReliableTx tx = reliable_transmit(
+            msg.src_world, my_world, msg.bytes, msg.seq, cts_at, my_world,
+            "rendezvous payload");
+        arrival = fifo_raise(msg.src_world, my_world, tx.deliver_at_ns);
+        complete_request(*msg.rndv_sender, Status{}, tx.acked_at_ns);
+      } catch (const TransportTimeoutError& e) {
+        fail_request_timeout(*msg.rndv_sender, e.what());
+        fail_request_timeout(*rs, e.what());
+        return rs;
+      }
+    } else if (msg.is_rndv()) {
       {
         ChargedSection copy_cost(rclock);
         std::memcpy(buf, msg.rndv_src, msg.bytes);

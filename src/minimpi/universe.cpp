@@ -16,6 +16,7 @@ UniverseConfig& UniverseConfig::apply_env() {
   fabric = netsim::FabricConfig::from_env();
   eager_limit = static_cast<std::size_t>(
       env_int64("JHPC_EAGER_LIMIT", static_cast<std::int64_t>(eager_limit)));
+  deterministic_clock = env_bool("JHPC_DET_CLOCK", deterministic_clock);
   return *this;
 }
 
@@ -37,6 +38,7 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
   // each job reports its own workload.
   impl_->abort.store(false, std::memory_order_relaxed);
   impl_->fabric.reset();
+  impl_->reset_fault_state();
   if (impl_->obs != nullptr) impl_->obs->rec.reset();
 
   Group world_group = [n] {
@@ -53,6 +55,7 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
     threads.emplace_back([this, r, &world_group, &rank_main, &errors] {
       // Fresh virtual clock for this run, anchored to this thread's CPU.
       detail::RankClock& clock = impl_->clocks[static_cast<std::size_t>(r)];
+      clock.cpu_passthrough = !impl_->config.deterministic_clock;
       clock.vclock = 0;
       clock.last_cpu = thread_cpu_ns();
       Comm world(impl_.get(), world_group, r, /*context_id=*/0);

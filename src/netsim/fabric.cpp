@@ -10,10 +10,19 @@ FabricConfig FabricConfig::from_env() {
   FabricConfig cfg;
   cfg.ranks_per_node = static_cast<int>(
       env_int64("JHPC_PPN", cfg.ranks_per_node));
+  JHPC_REQUIRE(cfg.ranks_per_node >= 0,
+               "$JHPC_PPN must be non-negative (0 = all ranks on one node)");
   cfg.inter_latency_ns = env_int64("JHPC_INTER_LAT_NS", cfg.inter_latency_ns);
+  JHPC_REQUIRE(cfg.inter_latency_ns >= 0,
+               "$JHPC_INTER_LAT_NS must be non-negative");
   cfg.inter_bandwidth_mbps =
       env_double("JHPC_INTER_BW_MBPS", cfg.inter_bandwidth_mbps);
+  JHPC_REQUIRE(cfg.inter_bandwidth_mbps > 0.0,
+               "$JHPC_INTER_BW_MBPS must be positive");
   cfg.intra_latency_ns = env_int64("JHPC_INTRA_LAT_NS", cfg.intra_latency_ns);
+  JHPC_REQUIRE(cfg.intra_latency_ns >= 0,
+               "$JHPC_INTRA_LAT_NS must be non-negative");
+  cfg.faults = FaultPlan::from_env();
   if (auto p = env_string("JHPC_PLACEMENT")) {
     if (*p == "block") {
       cfg.placement = Placement::kBlock;
@@ -39,6 +48,14 @@ Fabric::Fabric(int world_size, FabricConfig config)
   links_.resize(static_cast<std::size_t>(node_count_) *
                 static_cast<std::size_t>(node_count_));
   for (auto& l : links_) l = std::make_unique<Link>();
+  faults_enabled_ = config_.faults.enabled();
+  if (faults_enabled_) {
+    const auto pairs = static_cast<std::size_t>(world_size_) *
+                       static_cast<std::size_t>(world_size_);
+    msg_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(pairs);
+    for (std::size_t i = 0; i < pairs; ++i)
+      msg_seq_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 int Fabric::node_of(int rank) const {
@@ -59,6 +76,94 @@ std::int64_t Fabric::serialization_ns(std::size_t bytes) const {
 
 void Fabric::reset() {
   for (auto& l : links_) l->next_free_ns.store(0, std::memory_order_relaxed);
+  if (msg_seq_ != nullptr) {
+    const auto pairs = static_cast<std::size_t>(world_size_) *
+                       static_cast<std::size_t>(world_size_);
+    for (std::size_t i = 0; i < pairs; ++i)
+      msg_seq_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Fabric::next_msg_seq(int src_rank, int dst_rank) {
+  JHPC_ASSERT(msg_seq_ != nullptr, "next_msg_seq without a fault plan");
+  auto& cell = msg_seq_[static_cast<std::size_t>(src_rank) *
+                            static_cast<std::size_t>(world_size_) +
+                        static_cast<std::size_t>(dst_rank)];
+  return cell.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Fabric::attempt_faults(const LinkFaults& lf, std::int64_t start_ns,
+                            int src_rank, int dst_rank, std::uint64_t seq,
+                            std::uint32_t attempt, std::uint32_t salt,
+                            std::int64_t* jitter_ns) const {
+  if (lf.has_down_window() && start_ns >= lf.down_from_ns &&
+      start_ns < lf.down_until_ns) {
+    return true;
+  }
+  const auto src = static_cast<std::uint64_t>(src_rank);
+  const auto dst = static_cast<std::uint64_t>(dst_rank);
+  if (lf.drop_prob > 0.0 &&
+      fault_uniform(config_.faults.seed, src, dst, seq, attempt, salt) <
+          lf.drop_prob) {
+    return true;
+  }
+  if (lf.jitter_ns > 0) {
+    // Separate draw stream: the same attempt must keep its jitter whether
+    // or not a drop probability is configured.
+    *jitter_ns = static_cast<std::int64_t>(
+        fault_hash(config_.faults.seed, src, dst, seq, attempt,
+                   salt + kJitterSaltOffset) %
+        static_cast<std::uint64_t>(lf.jitter_ns + 1));
+  }
+  return false;
+}
+
+Fabric::TxAttempt Fabric::try_data(std::int64_t start_ns, int src_rank,
+                                   int dst_rank, std::size_t bytes,
+                                   std::uint64_t seq, std::uint32_t attempt) {
+  const int sn = node_of(src_rank);
+  const int dn = node_of(dst_rank);
+  // Intra-node messages move through shared memory: the fault plan models
+  // the fabric, so they never drop and pay only the hand-off latency.
+  if (sn == dn) return {false, start_ns + config_.intra_latency_ns};
+
+  const LinkFaults& lf = config_.faults.link(sn, dn);
+  // Every attempt occupies the sender's serializer — retransmitted and
+  // lost frames burn real link time, which is how drops degrade effective
+  // bandwidth. Degradation stretches the occupancy.
+  const std::int64_t occupy = static_cast<std::int64_t>(
+      static_cast<double>(serialization_ns(bytes)) / lf.bandwidth_factor);
+  Link& l = link(sn, dn);
+  std::int64_t free_at = l.next_free_ns.load(std::memory_order_relaxed);
+  std::int64_t begin, end;
+  do {
+    begin = free_at > start_ns ? free_at : start_ns;
+    end = begin + occupy;
+  } while (!l.next_free_ns.compare_exchange_weak(free_at, end,
+                                                 std::memory_order_acq_rel));
+
+  std::int64_t jitter = 0;
+  if (attempt_faults(lf, start_ns, src_rank, dst_rank, seq, attempt,
+                     static_cast<std::uint32_t>(FaultSalt::kData), &jitter)) {
+    return {true, 0};
+  }
+  return {false, end + config_.inter_latency_ns + jitter};
+}
+
+Fabric::TxAttempt Fabric::try_control(std::int64_t start_ns, int src_rank,
+                                      int dst_rank, std::uint64_t seq,
+                                      std::uint32_t attempt, FaultSalt salt) {
+  const int sn = node_of(src_rank);
+  const int dn = node_of(dst_rank);
+  if (sn == dn) return {false, start_ns + config_.intra_latency_ns};
+
+  const LinkFaults& lf = config_.faults.link(sn, dn);
+  std::int64_t jitter = 0;
+  if (attempt_faults(lf, start_ns, src_rank, dst_rank, seq, attempt,
+                     static_cast<std::uint32_t>(salt), &jitter)) {
+    return {true, 0};
+  }
+  return {false, start_ns + config_.inter_latency_ns + jitter};
 }
 
 Fabric::Link& Fabric::link(int src_node, int dst_node) {

@@ -30,6 +30,8 @@
 #include <memory>
 #include <vector>
 
+#include "jhpc/netsim/fault.hpp"
+
 namespace jhpc::netsim {
 
 /// How ranks map onto virtual nodes (mpirun's block vs cyclic mapping;
@@ -56,8 +58,16 @@ struct FabricConfig {
   /// hand-off; the copies themselves are real CPU work).
   std::int64_t intra_latency_ns = 100;
 
+  /// Seeded fault-injection plan (drops, jitter, down windows, bandwidth
+  /// degradation). Disabled by default; see jhpc/netsim/fault.hpp. Env:
+  /// JHPC_FAULT_*.
+  FaultPlan faults{};
+
   /// Read JHPC_PPN / JHPC_INTER_LAT_NS / JHPC_INTER_BW_MBPS /
-  /// JHPC_INTRA_LAT_NS, falling back to the defaults above.
+  /// JHPC_INTRA_LAT_NS / JHPC_FAULT_*, falling back to the defaults
+  /// above. Values are validated: JHPC_PPN and the latencies must be
+  /// non-negative, the bandwidth positive; garbage throws
+  /// InvalidArgumentError.
   static FabricConfig from_env();
 };
 
@@ -97,8 +107,44 @@ class Fabric {
                                          : config_.inter_latency_ns;
   }
 
-  /// Clear all link clocks (virtual time restarts at 0 for a new job).
+  /// Clear all link clocks and per-pair message sequence counters
+  /// (virtual time restarts at 0 for a new job).
   void reset();
+
+  // --- Fault injection (see jhpc/netsim/fault.hpp) -----------------------
+
+  /// True when the configured FaultPlan injects anything. Cached so the
+  /// transport's zero-cost-off guard is one bool load.
+  bool faults_enabled() const { return faults_enabled_; }
+  const FaultPlan& faults() const { return config_.faults; }
+
+  /// Next message sequence number for the directed rank pair src->dst.
+  /// Must be called on the SENDING rank's thread, once per message (not
+  /// per attempt): per-pair program order is what keys the deterministic
+  /// fault decisions. Only valid when faults_enabled().
+  std::uint64_t next_msg_seq(int src_rank, int dst_rank);
+
+  /// Outcome of one transmission attempt under the fault plan.
+  struct TxAttempt {
+    bool dropped = false;
+    /// Virtual delivery time (jitter included); meaningless when dropped.
+    std::int64_t deliver_at_ns = 0;
+  };
+
+  /// One DATA-packet attempt: reserves link occupancy (lost frames still
+  /// occupy the sender's serializer; bandwidth degradation applies), then
+  /// decides drop (down window or seeded draw) and jitter. Intra-node
+  /// attempts never fault and pay only intra_latency_ns.
+  TxAttempt try_data(std::int64_t start_ns, int src_rank, int dst_rank,
+                     std::size_t bytes, std::uint64_t seq,
+                     std::uint32_t attempt);
+
+  /// One CONTROL-message attempt (ACK/RTS/CTS): latency-only, reserves no
+  /// link time. `salt` separates the decision streams of the protocol's
+  /// different control messages for the same (seq, attempt).
+  TxAttempt try_control(std::int64_t start_ns, int src_rank, int dst_rank,
+                        std::uint64_t seq, std::uint32_t attempt,
+                        FaultSalt salt);
 
  private:
   struct Link {
@@ -108,11 +154,24 @@ class Fabric {
 
   Link& link(int src_node, int dst_node);
 
+  /// Drop/jitter decision shared by try_data/try_control. Returns true
+  /// when the attempt is lost; otherwise *jitter_ns gets the extra
+  /// latency draw.
+  bool attempt_faults(const LinkFaults& lf, std::int64_t start_ns,
+                      int src_rank, int dst_rank, std::uint64_t seq,
+                      std::uint32_t attempt, std::uint32_t salt,
+                      std::int64_t* jitter_ns) const;
+
   FabricConfig config_;
   int world_size_;
   int node_count_;
   int ranks_per_node_;
+  bool faults_enabled_ = false;
   std::vector<std::unique_ptr<Link>> links_;  // node_count^2 directed links
+  /// Per directed rank pair message counters (world_size^2; allocated only
+  /// when faults are enabled). Each cell is written only by its source
+  /// rank's thread; atomics keep the accounting race-checker clean.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> msg_seq_;
 };
 
 }  // namespace jhpc::netsim

@@ -220,10 +220,19 @@ int figure_main(FigureSpec fig, int argc, char** argv) {
         fig.obs.trace_path = next();
       } else if (arg.rfind("--trace=", 0) == 0) {
         fig.obs.trace_path = arg.substr(std::string("--trace=").size());
+      } else if (arg == "--fault-seed") {
+        fig.fabric.faults.seed =
+            static_cast<std::uint64_t>(std::stoull(next()));
+      } else if (arg == "--drop") {
+        fig.fabric.faults.link_defaults.drop_prob = std::stod(next());
+      } else if (arg == "--fault-jitter") {
+        fig.fabric.faults.link_defaults.jitter_ns = std::stoll(next());
       } else if (arg == "--help" || arg == "-h") {
         std::cout << fig.id << ": " << fig.title << "\n"
                   << "flags: --ranks N --ppn N --min SZ --max SZ --iters N "
-                     "--window N --csv PATH --quick --pvars --trace FILE\n";
+                     "--window N --csv PATH --quick --pvars --trace FILE\n"
+                     "       --fault-seed N --drop P --fault-jitter NS "
+                     "(seeded fault injection, docs/FAULTS.md)\n";
         return 0;
       } else {
         throw InvalidArgumentError("unknown flag: " + arg);

@@ -36,7 +36,11 @@ void usage() {
       "  --validate     include populate+verify in the timed region\n"
       "  --csv PATH     mirror the table to CSV\n"
       "  --pvars        print MPI_T-style performance variables at finalize\n"
-      "  --trace FILE   write a Chrome trace (virtual clock) to FILE\n";
+      "  --trace FILE   write a Chrome trace (virtual clock) to FILE\n"
+      "  --fault-seed N seed the deterministic fault injector (default 1)\n"
+      "  --drop P       per-attempt drop probability on inter-node links\n"
+      "  --fault-jitter NS  max deterministic latency jitter, ns\n"
+      "                 (see docs/FAULTS.md; JHPC_FAULT_* env equivalents)\n";
 }
 
 jhpc::ombj::Library library_from(const std::string& s) {
@@ -95,6 +99,13 @@ int main(int argc, char** argv) {
         fig.obs.trace_path = next();
       } else if (arg.rfind("--trace=", 0) == 0) {
         fig.obs.trace_path = arg.substr(std::string("--trace=").size());
+      } else if (arg == "--fault-seed") {
+        fig.fabric.faults.seed =
+            static_cast<std::uint64_t>(std::stoull(next()));
+      } else if (arg == "--drop") {
+        fig.fabric.faults.link_defaults.drop_prob = std::stod(next());
+      } else if (arg == "--fault-jitter") {
+        fig.fabric.faults.link_defaults.jitter_ns = std::stoll(next());
       } else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;

@@ -153,5 +153,244 @@ TEST(FabricTest, RankOutOfRangeThrows) {
   EXPECT_THROW(f.node_of(-1), InvalidArgumentError);
 }
 
+// --- Fault plans -------------------------------------------------------------
+
+TEST(FaultPlanTest, DefaultPlanIsDisabled) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.seed = 424242;  // a seed alone injects nothing
+  EXPECT_FALSE(plan.enabled());
+  plan.link_defaults.drop_prob = 0.01;
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlanTest, OverrideAloneEnablesAndResolves) {
+  FaultPlan plan;
+  plan.parse_links("0>1:drop=0.5,jitter=200;2>0:down=1000-2000,bw=0.25");
+  EXPECT_TRUE(plan.enabled());
+  ASSERT_EQ(plan.overrides.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.link(0, 1).drop_prob, 0.5);
+  EXPECT_EQ(plan.link(0, 1).jitter_ns, 200);
+  EXPECT_FALSE(plan.link(0, 1).has_down_window());
+  EXPECT_EQ(plan.link(2, 0).down_from_ns, 1000);
+  EXPECT_EQ(plan.link(2, 0).down_until_ns, 2000);
+  EXPECT_DOUBLE_EQ(plan.link(2, 0).bandwidth_factor, 0.25);
+  // Links without an override fall back to the (perfect) defaults.
+  EXPECT_FALSE(plan.link(1, 0).active());
+}
+
+TEST(FaultPlanTest, OverridesInheritLinkDefaults) {
+  FaultPlan plan;
+  plan.link_defaults.jitter_ns = 300;
+  plan.parse_links("0>1:drop=0.1");
+  EXPECT_EQ(plan.link(0, 1).jitter_ns, 300) << "unspecified keys inherit";
+  EXPECT_DOUBLE_EQ(plan.link(0, 1).drop_prob, 0.1);
+}
+
+TEST(FaultPlanTest, ParseLinksRejectsMalformedSpecs) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.parse_links("0>1:drop=2.0"), InvalidArgumentError);
+  EXPECT_THROW(plan.parse_links("0>1:drop=-0.1"), InvalidArgumentError);
+  EXPECT_THROW(plan.parse_links("x>1:drop=0.1"), InvalidArgumentError);
+  EXPECT_THROW(plan.parse_links("-1>1:drop=0.1"), InvalidArgumentError);
+  EXPECT_THROW(plan.parse_links("0>1:teleport=1"), InvalidArgumentError);
+  EXPECT_THROW(plan.parse_links("0:drop=0.1"), InvalidArgumentError);
+  EXPECT_THROW(plan.parse_links("0>1:down=5000"), InvalidArgumentError);
+  EXPECT_THROW(plan.parse_links("0>1:bw=0"), InvalidArgumentError);
+}
+
+TEST(FaultHashTest, PureFunctionOfItsInputs) {
+  const auto h = fault_hash(7, 0, 1, 42, 3, 1);
+  EXPECT_EQ(h, fault_hash(7, 0, 1, 42, 3, 1));
+  EXPECT_NE(h, fault_hash(8, 0, 1, 42, 3, 1));  // seed
+  EXPECT_NE(h, fault_hash(7, 1, 0, 42, 3, 1));  // direction
+  EXPECT_NE(h, fault_hash(7, 0, 1, 43, 3, 1));  // message
+  EXPECT_NE(h, fault_hash(7, 0, 1, 42, 4, 1));  // attempt
+  EXPECT_NE(h, fault_hash(7, 0, 1, 42, 3, 2));  // salt
+}
+
+TEST(FaultHashTest, UniformIsInUnitInterval) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = fault_uniform(1, 0, 1, i, 0, 1);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+FabricConfig faulty_cfg(double drop) {
+  FabricConfig cfg = two_node_cfg();
+  cfg.ranks_per_node = 1;  // rank == node: every pair crosses the fabric
+  cfg.faults.link_defaults.drop_prob = drop;
+  return cfg;
+}
+
+TEST(FaultFabricTest, CleanPlanMatchesReserveDelivery) {
+  FabricConfig cfg = faulty_cfg(0.0);
+  cfg.faults.link_defaults.jitter_ns = 0;
+  cfg.faults.link_defaults.bandwidth_factor = 0.5;  // active, but no drops
+  Fabric f(4, cfg);
+  EXPECT_TRUE(f.faults_enabled());
+  // 1000 bytes at 1 ns/byte, stretched 2x by the degradation, + latency.
+  const auto a = f.try_data(0, 0, 1, 1000, /*seq=*/0, /*attempt=*/0);
+  EXPECT_FALSE(a.dropped);
+  EXPECT_EQ(a.deliver_at_ns, 2000 + 1000);
+}
+
+TEST(FaultFabricTest, IntraNodeTrafficNeverFaults) {
+  FabricConfig cfg = two_node_cfg();  // 2 ranks per node
+  cfg.faults.link_defaults.drop_prob = 1.0;
+  Fabric f(4, cfg);
+  for (std::uint64_t seq = 0; seq < 50; ++seq) {
+    const auto a = f.try_data(0, 0, 1, 64, seq, 0);
+    EXPECT_FALSE(a.dropped);
+    EXPECT_EQ(a.deliver_at_ns, 100);  // intra latency only
+  }
+}
+
+TEST(FaultFabricTest, FullDropAlwaysDropsInterNode) {
+  Fabric f(4, faulty_cfg(1.0));
+  for (std::uint64_t seq = 0; seq < 50; ++seq)
+    EXPECT_TRUE(f.try_data(0, 0, 1, 64, seq, 0).dropped);
+}
+
+TEST(FaultFabricTest, DroppedAttemptsStillBurnLinkTime) {
+  Fabric f(4, faulty_cfg(1.0));
+  (void)f.try_data(0, 0, 1, 100'000, 0, 0);  // dropped, but serialized
+  // A later clean fabric reservation queues behind the wasted occupancy.
+  EXPECT_EQ(f.reserve_delivery(0, 0, 1, 0), 100'000 + 1000);
+}
+
+TEST(FaultFabricTest, ControlMessagesAreLatencyOnly) {
+  Fabric f(4, faulty_cfg(0.0));
+  const auto a = f.try_control(500, 0, 1, 0, 0, FaultSalt::kAck);
+  EXPECT_FALSE(a.dropped);
+  EXPECT_EQ(a.deliver_at_ns, 500 + 1000);
+  // Controls must not touch the link serializer: the data path still sees
+  // a free link.
+  EXPECT_EQ(f.reserve_delivery(0, 0, 1, 1000), 1000 + 1000);
+}
+
+TEST(FaultFabricTest, DownWindowDropsByAttemptStartTime) {
+  FabricConfig cfg = faulty_cfg(0.0);
+  cfg.faults.link_defaults.down_from_ns = 1000;
+  cfg.faults.link_defaults.down_until_ns = 2000;
+  Fabric f(4, cfg);
+  EXPECT_FALSE(f.try_control(999, 0, 1, 0, 0, FaultSalt::kRts).dropped);
+  EXPECT_TRUE(f.try_control(1000, 0, 1, 0, 1, FaultSalt::kRts).dropped);
+  EXPECT_TRUE(f.try_control(1999, 0, 1, 0, 2, FaultSalt::kRts).dropped);
+  EXPECT_FALSE(f.try_control(2000, 0, 1, 0, 3, FaultSalt::kRts).dropped);
+}
+
+TEST(FaultFabricTest, JitterIsBoundedAndSeedStable) {
+  FabricConfig cfg = faulty_cfg(0.0);
+  cfg.faults.link_defaults.jitter_ns = 500;
+  cfg.faults.seed = 99;
+  Fabric f1(4, cfg), f2(4, cfg);
+  bool saw_nonzero = false;
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    const auto a = f1.try_control(0, 0, 1, seq, 0, FaultSalt::kRts);
+    const auto b = f2.try_control(0, 0, 1, seq, 0, FaultSalt::kRts);
+    EXPECT_EQ(a.deliver_at_ns, b.deliver_at_ns) << "same seed, same jitter";
+    EXPECT_GE(a.deliver_at_ns, 1000);
+    EXPECT_LE(a.deliver_at_ns, 1000 + 500);
+    saw_nonzero |= a.deliver_at_ns > 1000;
+  }
+  EXPECT_TRUE(saw_nonzero);
+}
+
+TEST(FaultFabricTest, MessageSequencesArePerDirectedPairAndReset) {
+  Fabric f(4, faulty_cfg(0.5));
+  EXPECT_EQ(f.next_msg_seq(0, 1), 0u);
+  EXPECT_EQ(f.next_msg_seq(0, 1), 1u);
+  EXPECT_EQ(f.next_msg_seq(1, 0), 0u) << "reverse direction counts apart";
+  EXPECT_EQ(f.next_msg_seq(0, 2), 0u);
+  f.reset();
+  EXPECT_EQ(f.next_msg_seq(0, 1), 0u);
+}
+
+// --- Environment validation ---------------------------------------------------
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(EnvValidationTest, FabricRejectsNegativeKnobs) {
+  {
+    EnvGuard g("JHPC_PPN", "-1");
+    EXPECT_THROW(FabricConfig::from_env(), InvalidArgumentError);
+  }
+  {
+    EnvGuard g("JHPC_INTER_LAT_NS", "-10");
+    EXPECT_THROW(FabricConfig::from_env(), InvalidArgumentError);
+  }
+  {
+    EnvGuard g("JHPC_INTER_BW_MBPS", "0");
+    EXPECT_THROW(FabricConfig::from_env(), InvalidArgumentError);
+  }
+  {
+    EnvGuard g("JHPC_INTRA_LAT_NS", "-1");
+    EXPECT_THROW(FabricConfig::from_env(), InvalidArgumentError);
+  }
+}
+
+TEST(EnvValidationTest, FaultEnvRejectsBadValues) {
+  {
+    EnvGuard g("JHPC_FAULT_DROP", "1.5");
+    EXPECT_THROW(FaultPlan::from_env(), InvalidArgumentError);
+  }
+  {
+    EnvGuard g("JHPC_FAULT_DROP", "-0.1");
+    EXPECT_THROW(FaultPlan::from_env(), InvalidArgumentError);
+  }
+  {
+    EnvGuard g("JHPC_FAULT_JITTER_NS", "-5");
+    EXPECT_THROW(FaultPlan::from_env(), InvalidArgumentError);
+  }
+  {
+    EnvGuard g("JHPC_FAULT_BW_FACTOR", "0");
+    EXPECT_THROW(FaultPlan::from_env(), InvalidArgumentError);
+  }
+  {
+    EnvGuard g("JHPC_FAULT_RTO_NS", "0");
+    EXPECT_THROW(FaultPlan::from_env(), InvalidArgumentError);
+  }
+  {
+    EnvGuard g("JHPC_FAULT_RTO_MAX_NS", "10");  // below the default RTO
+    EXPECT_THROW(FaultPlan::from_env(), InvalidArgumentError);
+  }
+  {
+    EnvGuard g("JHPC_FAULT_TIMEOUT_NS", "-1");
+    EXPECT_THROW(FaultPlan::from_env(), InvalidArgumentError);
+  }
+  {
+    EnvGuard g("JHPC_FAULT_DOWN", "1000");  // missing FROM:UNTIL separator
+    EXPECT_THROW(FaultPlan::from_env(), InvalidArgumentError);
+  }
+}
+
+TEST(EnvValidationTest, FaultEnvRoundTrips) {
+  EnvGuard seed("JHPC_FAULT_SEED", "4242");
+  EnvGuard drop("JHPC_FAULT_DROP", "0.25");
+  EnvGuard jitter("JHPC_FAULT_JITTER_NS", "750");
+  EnvGuard down("JHPC_FAULT_DOWN", "1000:2000");
+  EnvGuard links("JHPC_FAULT_LINKS", "1>0:drop=1.0");
+  const FaultPlan plan = FaultPlan::from_env();
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.seed, 4242u);
+  EXPECT_DOUBLE_EQ(plan.link_defaults.drop_prob, 0.25);
+  EXPECT_EQ(plan.link_defaults.jitter_ns, 750);
+  EXPECT_EQ(plan.link_defaults.down_from_ns, 1000);
+  EXPECT_EQ(plan.link_defaults.down_until_ns, 2000);
+  EXPECT_DOUBLE_EQ(plan.link(1, 0).drop_prob, 1.0);
+  EXPECT_EQ(plan.link(1, 0).jitter_ns, 750) << "override inherits defaults";
+}
+
 }  // namespace
 }  // namespace jhpc::netsim

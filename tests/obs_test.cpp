@@ -391,8 +391,10 @@ TEST(CollectivePvarsTest, BcastThresholdSelectsAlgorithm) {
   UniverseConfig cfg = traced_config(4, testing::TempDir() + "coll.json");
   cfg.suite = minimpi::CollectiveSuite::kMv2;
   std::int64_t binomial = -1, scatter_ring = -1, barrier_cnt = -1;
-  std::vector<char> small(64), large(64 * 1024);
   Universe::launch(cfg, [&](Comm& world) {
+    // Per-rank buffers: sharing one vector across rank threads would make
+    // concurrent deliveries write the same bytes (a real data race).
+    std::vector<char> small(64), large(64 * 1024);
     for (int i = 0; i < 3; ++i) world.bcast(small.data(), small.size(), 0);
     for (int i = 0; i < 2; ++i) world.bcast(large.data(), large.size(), 0);
     world.barrier();
