@@ -1,0 +1,312 @@
+// Real wall-clock hot-path benchmark for the minimpi transport.
+//
+// Unlike the fig* binaries (which report *virtual* time on the simulated
+// cluster), this harness measures how many real messages per second the
+// transport moves on the host — the number the zero-allocation eager fast
+// path exists to raise, and the repo's perf-regression tripwire
+// (BENCH_hotpath.json). Two patterns, both well under the eager limit:
+//
+//   pingpong  — OSU-latency-style strict alternation (scheduler-bound on
+//               an oversubscribed host; reported for completeness)
+//   stream    — mbw_mr-style windowed streaming: the sender pushes a
+//               window of eager messages, the receiver drains it and
+//               acks. Sender-side per-message cost dominates, which is
+//               exactly where the slab recycler and the matched-receive
+//               fast path live.
+//
+// Each pattern runs in two universe configurations:
+//   real — default clock (per-thread CPU passthrough feeds the virtual
+//          clock, as the fig benches run)
+//   det  — deterministic_clock=true (no CPU sampling: the pure software
+//          path, the most repeatable view of transport overhead)
+//
+// allocations/op comes from a separate short instrumented pass that reads
+// the transport.slab.* pvars (absent on pre-slab builds: reported as -1).
+//
+// Usage: bench_hotpath [--quick] [--json PATH] [--baseline PATH]
+//                      [--min-msgs-per-sec N]
+// Exit status is non-zero when the best stream rate is below the floor
+// (CI catches order-of-magnitude regressions only, not noise).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "jhpc/minimpi/minimpi.hpp"
+#include "jhpc/obs/pvar.hpp"
+#include "jhpc/support/clock.hpp"
+
+namespace {
+
+using jhpc::minimpi::Comm;
+using jhpc::minimpi::Status;
+using jhpc::minimpi::Universe;
+using jhpc::minimpi::UniverseConfig;
+
+constexpr int kTag = 7;
+constexpr int kAckTag = 8;
+constexpr int kWindow = 64;
+
+struct Result {
+  std::string pattern;
+  std::string mode;  // "real" or "det"
+  std::size_t size = 0;
+  std::uint64_t messages = 0;
+  double seconds = 0.0;
+  double msgs_per_sec = 0.0;
+  double allocs_per_op = -1.0;  // -1: slab pvars unavailable
+};
+
+UniverseConfig base_config(bool det, bool pvars) {
+  UniverseConfig cfg;
+  cfg.world_size = 2;
+  cfg.deterministic_clock = det;
+  cfg.obs.pvars = pvars;
+  cfg.obs.trace_path.clear();
+  return cfg;
+}
+
+/// One ping-pong run: rank 0 sends and awaits the echo. Returns wall
+/// seconds spent on `iters` round trips (2*iters messages).
+double run_pingpong(Universe& u, std::size_t size, int warmup, int iters) {
+  std::int64_t wall_ns = 0;
+  u.run([&](Comm& world) {
+    std::vector<std::byte> buf(size == 0 ? 1 : size);
+    const int me = world.rank();
+    const int peer = 1 - me;
+    for (int i = 0; i < warmup; ++i) {
+      if (me == 0) {
+        world.send(buf.data(), size, peer, kTag);
+        world.recv(buf.data(), size, peer, kTag);
+      } else {
+        world.recv(buf.data(), size, peer, kTag);
+        world.send(buf.data(), size, peer, kTag);
+      }
+    }
+    world.barrier();
+    const std::int64_t t0 = jhpc::now_ns();
+    for (int i = 0; i < iters; ++i) {
+      if (me == 0) {
+        world.send(buf.data(), size, peer, kTag);
+        world.recv(buf.data(), size, peer, kTag);
+      } else {
+        world.recv(buf.data(), size, peer, kTag);
+        world.send(buf.data(), size, peer, kTag);
+      }
+    }
+    world.barrier();
+    if (me == 0) wall_ns = jhpc::now_ns() - t0;
+  });
+  return static_cast<double>(wall_ns) * 1e-9;
+}
+
+/// One streaming run: rank 0 fires kWindow eager sends per window, rank 1
+/// drains them with blocking receives and acks the window. Returns wall
+/// seconds for `windows` windows (kWindow*windows messages).
+double run_stream(Universe& u, std::size_t size, int warmup, int windows) {
+  std::int64_t wall_ns = 0;
+  u.run([&](Comm& world) {
+    std::vector<std::byte> buf(size == 0 ? 1 : size);
+    std::byte ack{};
+    const int me = world.rank();
+    const int peer = 1 - me;
+    auto window = [&] {
+      if (me == 0) {
+        for (int m = 0; m < kWindow; ++m)
+          world.send(buf.data(), size, peer, kTag);
+        world.recv(&ack, 1, peer, kAckTag);
+      } else {
+        for (int m = 0; m < kWindow; ++m)
+          world.recv(buf.data(), size, peer, kTag);
+        world.send(&ack, 1, peer, kAckTag);
+      }
+    };
+    for (int w = 0; w < warmup; ++w) window();
+    world.barrier();
+    const std::int64_t t0 = jhpc::now_ns();
+    for (int w = 0; w < windows; ++w) window();
+    world.barrier();
+    if (me == 0) wall_ns = jhpc::now_ns() - t0;
+  });
+  return static_cast<double>(wall_ns) * 1e-9;
+}
+
+/// Instrumented pass: steady-state slab misses per message, read from the
+/// transport.slab.misses pvar across a measured streaming phase. Returns
+/// -1 when the pvar does not exist (pre-slab transport).
+double measure_allocs_per_op(std::size_t size, int windows) {
+  double allocs = -1.0;
+  Universe u(base_config(/*det=*/true, /*pvars=*/true));
+  u.run([&](Comm& world) {
+    std::vector<std::byte> buf(size == 0 ? 1 : size);
+    std::byte ack{};
+    const int me = world.rank();
+    const int peer = 1 - me;
+    auto window = [&] {
+      if (me == 0) {
+        for (int m = 0; m < kWindow; ++m)
+          world.send(buf.data(), size, peer, kTag);
+        world.recv(&ack, 1, peer, kAckTag);
+      } else {
+        for (int m = 0; m < kWindow; ++m)
+          world.recv(buf.data(), size, peer, kTag);
+        world.send(&ack, 1, peer, kAckTag);
+      }
+    };
+    // Warm the slab free lists, then measure the steady state.
+    for (int w = 0; w < 4; ++w) window();
+    world.barrier();
+    jhpc::obs::PvarRegistry* reg = world.pvars();
+    const jhpc::obs::PvarId misses =
+        reg != nullptr ? reg->find("transport.slab.misses")
+                       : jhpc::obs::PvarId{};
+    const std::int64_t m1 = reg != nullptr ? reg->total(misses) : 0;
+    world.barrier();
+    for (int w = 0; w < windows; ++w) window();
+    world.barrier();
+    if (me == 0 && reg != nullptr && misses.valid()) {
+      const std::int64_t m2 = reg->total(misses);
+      allocs = static_cast<double>(m2 - m1) /
+               (static_cast<double>(windows) * kWindow);
+    }
+  });
+  return allocs;
+}
+
+std::string json_escape_free(double v) {
+  // JSON has no NaN/Inf; the harness never produces them, but be safe.
+  char out[64];
+  std::snprintf(out, sizeof(out), "%.3f", v);
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<Result>& results,
+                const std::string& baseline_blob) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"hotpath\",\n";
+  os << "  \"schema\": 1,\n";
+  os << "  \"window\": " << kWindow << ",\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    os << "    {\"pattern\": \"" << r.pattern << "\", \"mode\": \"" << r.mode
+       << "\", \"size\": " << r.size << ", \"messages\": " << r.messages
+       << ", \"seconds\": " << json_escape_free(r.seconds)
+       << ", \"msgs_per_sec\": " << json_escape_free(r.msgs_per_sec)
+       << ", \"allocs_per_op\": " << json_escape_free(r.allocs_per_op)
+       << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]";
+  if (!baseline_blob.empty()) {
+    os << ",\n  \"baseline\": " << baseline_blob;
+  }
+  os << "\n}\n";
+  std::ofstream f(path);
+  f << os.str();
+  std::fprintf(stderr, "[bench_hotpath] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_hotpath.json";
+  std::string baseline_path;
+  double floor = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (a == "--min-msgs-per-sec" && i + 1 < argc) {
+      floor = std::stod(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json PATH] [--baseline PATH] "
+                   "[--min-msgs-per-sec N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> sizes = {8, 128, 1024, 8192};
+  const int pp_iters = quick ? 2000 : 20000;
+  const int pp_warmup = quick ? 200 : 2000;
+  const int st_windows = quick ? 150 : 1500;
+  const int st_warmup = quick ? 15 : 100;
+
+  std::vector<Result> results;
+  double best_stream = 0.0;
+  for (const bool det : {false, true}) {
+    const char* mode = det ? "det" : "real";
+    Universe u(base_config(det, /*pvars=*/false));
+    for (const std::size_t size : sizes) {
+      {
+        Result r;
+        r.pattern = "pingpong";
+        r.mode = mode;
+        r.size = size;
+        r.messages = static_cast<std::uint64_t>(pp_iters) * 2;
+        r.seconds = run_pingpong(u, size, pp_warmup, pp_iters);
+        r.msgs_per_sec =
+            r.seconds > 0 ? static_cast<double>(r.messages) / r.seconds : 0;
+        results.push_back(r);
+        std::fprintf(stderr,
+                     "[bench_hotpath] pingpong %4s %5zu B  %10.0f msgs/s\n",
+                     mode, size, r.msgs_per_sec);
+      }
+      {
+        Result r;
+        r.pattern = "stream";
+        r.mode = mode;
+        r.size = size;
+        r.messages = static_cast<std::uint64_t>(st_windows) * kWindow;
+        r.seconds = run_stream(u, size, st_warmup, st_windows);
+        r.msgs_per_sec =
+            r.seconds > 0 ? static_cast<double>(r.messages) / r.seconds : 0;
+        r.allocs_per_op = measure_allocs_per_op(size, quick ? 20 : 100);
+        if (r.msgs_per_sec > best_stream) best_stream = r.msgs_per_sec;
+        results.push_back(r);
+        std::fprintf(
+            stderr,
+            "[bench_hotpath] stream   %4s %5zu B  %10.0f msgs/s  "
+            "%.3f allocs/op\n",
+            mode, size, r.msgs_per_sec, r.allocs_per_op);
+      }
+    }
+  }
+
+  std::string baseline_blob;
+  if (!baseline_path.empty()) {
+    std::ifstream f(baseline_path);
+    if (!f) {
+      std::fprintf(stderr, "[bench_hotpath] cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    baseline_blob = ss.str();
+    // Strip a trailing newline so the embedded object nests cleanly.
+    while (!baseline_blob.empty() &&
+           (baseline_blob.back() == '\n' || baseline_blob.back() == '\r')) {
+      baseline_blob.pop_back();
+    }
+  }
+  write_json(json_path, results, baseline_blob);
+
+  if (floor > 0 && best_stream < floor) {
+    std::fprintf(stderr,
+                 "[bench_hotpath] FAIL: best stream rate %.0f msgs/s is "
+                 "below the floor of %.0f msgs/s\n",
+                 best_stream, floor);
+    return 1;
+  }
+  return 0;
+}

@@ -89,8 +89,8 @@ void Comm::recv(void* buf, std::size_t capacity, int src, int tag,
   const int me = my_world();
   detail::TransportSpan span(impl_->obs.get(), me, "recv",
                              impl_->clocks[static_cast<std::size_t>(me)]);
-  auto rs = impl_->post_recv(me, context_id_, src, tag, buf, capacity);
-  const Status st = detail::wait_request(*rs);
+  const Status st =
+      impl_->blocking_recv(me, context_id_, src, tag, buf, capacity);
   if (status != nullptr) *status = st;
 }
 

@@ -1,0 +1,244 @@
+// The eager-path slab recycler: a per-Universe pool of transport buffers
+// in power-of-two size classes, with per-rank free lists (touched only by
+// the owning rank thread, no lock) and one bounded shared depot that
+// rebalances slabs between ranks in batches.
+//
+// Why it exists: every eager message that lands unexpected needs an owned
+// payload copy. The seed transport heap-allocated a fresh
+// std::vector<std::byte> per message — exactly the per-call
+// allocation+copy overhead the paper's buffering layer removes on the
+// Java side (and Ibdxnet removes for IB messaging). In steady state the
+// recycler serves every eager send from a free list: zero allocations per
+// message.
+//
+// Concurrency contract: acquire(rank)/release(rank) must be called from
+// rank `rank`'s thread (the sender acquires with its own rank, the
+// receiver releases with its own rank). Per-rank lists are therefore
+// single-threaded; only the depot takes a mutex, and only in batches of
+// kTransferBatch, so a one-way stream pays the lock ~1/16 messages.
+// Stats counters are relaxed atomics and may be read from any thread.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi::detail {
+
+/// Owning handle on one slab of transport-buffer storage. Destroying a
+/// Slab frees it outright (teardown with messages still parked); the
+/// normal fate is SlabPool::release() back onto a free list.
+class Slab {
+ public:
+  Slab() = default;
+  Slab(Slab&& o) noexcept : p_(o.p_), cls_(o.cls_) { o.p_ = nullptr; }
+  Slab& operator=(Slab&& o) noexcept {
+    if (this != &o) {
+      delete[] p_;
+      p_ = o.p_;
+      cls_ = o.cls_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~Slab() { delete[] p_; }
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  std::byte* data() const { return p_; }
+  bool empty() const { return p_ == nullptr; }
+
+ private:
+  friend class SlabPool;
+  Slab(std::byte* p, std::uint32_t cls) : p_(p), cls_(cls) {}
+
+  std::byte* p_ = nullptr;
+  std::uint32_t cls_ = 0;  // size-class index (capacity = kMinBytes << cls_)
+};
+
+/// Per-Universe recycler of eager payload slabs.
+class SlabPool {
+ public:
+  /// Smallest slab handed out; requests round up to kMinBytes << k.
+  static constexpr std::size_t kMinBytes = 64;
+  /// Distinct size classes (64 B .. 2 GiB); larger requests are served
+  /// unpooled (allocate on acquire, free on release).
+  static constexpr std::uint32_t kClasses = 26;
+  /// Per-rank retention: at most this many slabs per class, and at most
+  /// kPerRankCapBytes of storage per class (big classes keep fewer).
+  static constexpr std::size_t kPerRankCap = 32;
+  static constexpr std::size_t kPerRankCapBytes = 256 * 1024;
+  /// Shared-depot retention cap per class.
+  static constexpr std::size_t kDepotCap = 256;
+  /// Slabs moved per depot round trip (amortizes the depot lock).
+  static constexpr std::size_t kTransferBatch = 16;
+
+  struct Stats {
+    std::uint64_t hits = 0;        ///< acquires served without allocating
+    std::uint64_t misses = 0;      ///< acquires that heap-allocated
+    std::uint64_t recycled = 0;    ///< releases retained on a free list
+    std::uint64_t recycled_bytes = 0;  ///< capacity bytes of those slabs
+    std::uint64_t overflow_drops = 0;  ///< releases freed past every cap
+  };
+
+  explicit SlabPool(int ranks) : per_rank_(static_cast<std::size_t>(ranks)) {}
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  ~SlabPool() {
+    for (PerRank& pr : per_rank_)
+      for (auto& list : pr.free)
+        for (std::byte* p : list) delete[] p;
+    for (auto& list : depot_)
+      for (std::byte* p : list) delete[] p;
+  }
+
+  /// A slab with capacity >= bytes, recycled when possible. `hit` (may be
+  /// null) reports whether the free lists served it. Must run on rank
+  /// `rank`'s thread. bytes == 0 yields an empty slab (no storage).
+  Slab acquire(std::size_t bytes, int rank, bool* hit = nullptr) {
+    if (bytes == 0) {
+      if (hit != nullptr) *hit = true;
+      return Slab{};
+    }
+    const std::uint32_t cls = class_of(bytes);
+    if (cls >= kClasses) {  // beyond every pooled class: one-shot slab
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      if (hit != nullptr) *hit = false;
+      return Slab{new std::byte[bytes], cls};
+    }
+    auto& list = per_rank_[static_cast<std::size_t>(rank)].free[cls];
+    if (list.empty()) refill_from_depot(list, cls);
+    if (!list.empty()) {
+      std::byte* p = list.back();
+      list.pop_back();
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      if (hit != nullptr) *hit = true;
+      return Slab{p, cls};
+    }
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    if (hit != nullptr) *hit = false;
+    return Slab{new std::byte[capacity_of(cls)], cls};
+  }
+
+  enum class Released { kRecycled, kDropped };
+
+  /// Return a slab to the free lists (or free it past the caps). Must run
+  /// on rank `rank`'s thread. Empty slabs are a no-op (kRecycled).
+  Released release(Slab&& slab, int rank) {
+    std::byte* p = slab.p_;
+    if (p == nullptr) return Released::kRecycled;
+    const std::uint32_t cls = slab.cls_;
+    slab.p_ = nullptr;
+    if (cls >= kClasses) {  // unpooled one-shot slab
+      delete[] p;
+      stats_.overflow_drops.fetch_add(1, std::memory_order_relaxed);
+      return Released::kDropped;
+    }
+    auto& list = per_rank_[static_cast<std::size_t>(rank)].free[cls];
+    if (list.size() >= per_rank_cap(cls) && !spill_to_depot(list, cls)) {
+      delete[] p;
+      stats_.overflow_drops.fetch_add(1, std::memory_order_relaxed);
+      return Released::kDropped;
+    }
+    list.push_back(p);
+    stats_.recycled.fetch_add(1, std::memory_order_relaxed);
+    stats_.recycled_bytes.fetch_add(capacity_of(cls),
+                                    std::memory_order_relaxed);
+    return Released::kRecycled;
+  }
+
+  /// Relaxed snapshot; exact once the mutating threads are quiescent (or,
+  /// per counter, once its owning paths synchronized with the reader).
+  Stats stats() const {
+    Stats s;
+    s.hits = stats_.hits.load(std::memory_order_relaxed);
+    s.misses = stats_.misses.load(std::memory_order_relaxed);
+    s.recycled = stats_.recycled.load(std::memory_order_relaxed);
+    s.recycled_bytes =
+        stats_.recycled_bytes.load(std::memory_order_relaxed);
+    s.overflow_drops =
+        stats_.overflow_drops.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Zero the counters (new job on a reused Universe; free lists keep
+  /// their slabs, so a warm pool stays warm across runs).
+  void reset_stats() {
+    stats_.hits.store(0, std::memory_order_relaxed);
+    stats_.misses.store(0, std::memory_order_relaxed);
+    stats_.recycled.store(0, std::memory_order_relaxed);
+    stats_.recycled_bytes.store(0, std::memory_order_relaxed);
+    stats_.overflow_drops.store(0, std::memory_order_relaxed);
+  }
+
+  static std::size_t capacity_of(std::uint32_t cls) {
+    return kMinBytes << cls;
+  }
+
+  /// Size-class index for a payload of `bytes` (>= kClasses: unpooled).
+  static std::uint32_t class_of(std::size_t bytes) {
+    JHPC_REQUIRE(bytes <= (std::numeric_limits<std::size_t>::max() >> 1) + 1,
+                 "slab request too large");
+    const std::size_t cap = std::bit_ceil(std::max(bytes, kMinBytes));
+    return static_cast<std::uint32_t>(std::countr_zero(cap) -
+                                      std::countr_zero(kMinBytes));
+  }
+
+  /// Per-rank retention cap for one class (bytes-aware: big classes keep
+  /// fewer slabs so a 64-rank job cannot pin hundreds of MB).
+  static std::size_t per_rank_cap(std::uint32_t cls) {
+    const std::size_t by_bytes = kPerRankCapBytes / capacity_of(cls);
+    return std::max<std::size_t>(2, std::min(kPerRankCap, by_bytes));
+  }
+
+ private:
+  struct alignas(64) PerRank {  // padded: no false sharing between ranks
+    std::array<std::vector<std::byte*>, kClasses> free;
+  };
+
+  /// Pull up to kTransferBatch slabs of `cls` from the depot. One lock
+  /// per batch, not per message.
+  void refill_from_depot(std::vector<std::byte*>& list, std::uint32_t cls) {
+    std::lock_guard<std::mutex> lk(depot_mu_);
+    auto& d = depot_[cls];
+    const std::size_t take = std::min(kTransferBatch, d.size());
+    list.insert(list.end(), d.end() - static_cast<std::ptrdiff_t>(take),
+                d.end());
+    d.resize(d.size() - take);
+  }
+
+  /// Move half a full per-rank list into the depot; false when the depot
+  /// is full too (the caller drops its slab).
+  bool spill_to_depot(std::vector<std::byte*>& list, std::uint32_t cls) {
+    std::lock_guard<std::mutex> lk(depot_mu_);
+    auto& d = depot_[cls];
+    if (d.size() >= kDepotCap) return false;
+    const std::size_t move = std::min({kTransferBatch, list.size(),
+                                       kDepotCap - d.size()});
+    d.insert(d.end(), list.end() - static_cast<std::ptrdiff_t>(move),
+             list.end());
+    list.resize(list.size() - move);
+    return true;
+  }
+
+  std::vector<PerRank> per_rank_;
+  std::mutex depot_mu_;
+  std::array<std::vector<std::byte*>, kClasses> depot_;
+
+  struct {
+    std::atomic<std::uint64_t> hits{0}, misses{0}, recycled{0};
+    std::atomic<std::uint64_t> recycled_bytes{0}, overflow_drops{0};
+  } stats_;
+};
+
+}  // namespace jhpc::minimpi::detail

@@ -3,6 +3,7 @@
 // files and white-box tests only.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -13,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "detail/slab.hpp"
 #include "jhpc/minimpi/types.hpp"
 #include "jhpc/minimpi/universe.hpp"
 #include "jhpc/netsim/fabric.hpp"
@@ -86,6 +88,12 @@ struct UniverseObs {
   /// suppressed duplicates to the receiver's.
   obs::PvarId fault_data_drops, fault_ack_drops, fault_retransmits;
   obs::PvarId fault_dups, fault_rndv_retries, fault_timeouts;
+
+  /// Eager slab-recycler counters (see detail/slab.hpp). Hits/misses are
+  /// charged to the sender's rank slot, recycled bytes and overflow
+  /// drops to the releasing (receiver) rank's.
+  obs::PvarId slab_hits, slab_misses;
+  obs::PvarId slab_recycled_bytes, slab_overflow_drops;
 
   /// Per-algorithm collective invocation counts, indexed by CollAlg.
   std::vector<obs::PvarId> coll;
@@ -277,8 +285,11 @@ struct InMsg {
   /// Per-(src,dst) message sequence number; keys every fault decision
   /// this message's packets make. Only meaningful when faults are on.
   std::uint64_t seq = 0;
-  /// Eager payload (owned copy); empty for rendezvous.
-  std::vector<std::byte> eager;
+  /// Eager payload (owned copy) in a slab drawn from the Universe's
+  /// recycler; empty for rendezvous and zero-byte messages. Receive
+  /// completion returns it to the pool; teardown with the message still
+  /// parked simply frees it.
+  Slab eager;
   /// Virtual delivery time: eager payload arrival, or the rendezvous
   /// header's arrival (what probe sees).
   std::int64_t deliver_at_ns = 0;
@@ -291,13 +302,30 @@ struct InMsg {
   bool is_rndv() const { return rndv_sender != nullptr; }
 };
 
-/// Per-world-rank mailbox.
-struct Endpoint {
+/// One matching domain of an endpoint: the unexpected and posted queues
+/// of the context ids that hash to it, under their own lock. Matching is
+/// always within one context id (envelope_matches requires equality), so
+/// sharding the mailbox by context keeps MPI's per-communicator
+/// non-overtaking order while letting concurrent communicators stop
+/// contending on one endpoint-wide mutex.
+struct MatchBucket {
   std::mutex mu;
   /// Signaled when a message joins `unexpected` (probe wakes) or on abort.
   std::condition_variable cv;
+  /// Blocking probes currently parked on `cv` (guarded by `mu`): lets the
+  /// hot enqueue path skip the condvar broadcast when nobody listens.
+  int probe_waiters = 0;
   std::deque<InMsg> unexpected;
   std::deque<std::shared_ptr<RequestState>> posted;
+};
+
+/// Per-world-rank mailbox, sharded by context id.
+struct Endpoint {
+  static constexpr std::size_t kBuckets = 8;
+  std::array<MatchBucket, kBuckets> buckets;
+  MatchBucket& bucket(int context_id) {
+    return buckets[static_cast<std::size_t>(context_id) % kBuckets];
+  }
 };
 
 /// The state behind a Universe, shared with Comm/Request implementations.
@@ -307,6 +335,8 @@ struct UniverseImpl {
   UniverseConfig config;
   netsim::Fabric fabric;
   std::vector<std::unique_ptr<Endpoint>> endpoints;
+  /// Eager payload recycler: senders draw, receive completion returns.
+  SlabPool slab;
   /// One virtual clock per world rank (owner-thread mutation only).
   std::vector<RankClock> clocks;
   /// Context ids: 0 is COMM_WORLD; dup/split/create allocate upward.
@@ -387,6 +417,35 @@ struct UniverseImpl {
   std::shared_ptr<RequestState> post_recv(int my_world, int context_id,
                                           int src, int tag, void* buf,
                                           std::size_t capacity);
+
+  /// Blocking receive. With observability off this takes the
+  /// matched-receive fast path: when the message is already pending it is
+  /// consumed in place — same single copy, same virtual-time result —
+  /// without allocating a RequestState or round-tripping its lock and
+  /// condvar. Instrumented jobs (and unmatched receives) use
+  /// post_recv + wait_request unchanged, so the post/wait trace spans and
+  /// wait_count/wait_ns pvars stay part of the observable contract.
+  /// Throws like wait_request.
+  Status blocking_recv(int my_world, int context_id, int src, int tag,
+                       void* buf, std::size_t capacity);
+
+  /// Outcome of consuming one matched unexpected message in place.
+  struct Consumed {
+    std::int64_t arrival_ns = 0;  ///< receive completion (virtual time)
+    bool ok = true;
+    bool timed_out = false;  ///< failure was a transport timeout
+    std::string error;       ///< set when !ok
+  };
+
+  /// Copy a matched unexpected message into the receive buffer and settle
+  /// every side effect of the match: the single payload copy (charged),
+  /// rendezvous CTS/payload scheduling and sender completion, eager slab
+  /// release back to the recycler, truncation handling, and the
+  /// receive-side pvars. Caller holds the bucket lock and erased the
+  /// message from the queue; both post_recv and the blocking_recv fast
+  /// path delegate here so their semantics cannot drift.
+  Consumed consume_matched(InMsg msg, int my_world, void* buf,
+                           std::size_t capacity, RankClock& rclock);
 
   /// Probe my endpoint for a matching pending message. Blocking variant
   /// waits; both fill `out` and return true on a match.

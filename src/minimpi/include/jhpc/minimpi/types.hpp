@@ -53,4 +53,15 @@ struct Status {
   std::size_t count_bytes = 0;   ///< Bytes actually received.
 };
 
+/// Counters of the transport's eager-payload slab recycler (see
+/// Universe::slab_stats). In steady state every eager message is a hit
+/// and misses stay flat: zero heap allocations per message.
+struct SlabStats {
+  std::uint64_t hits = 0;        ///< acquires served from a free list
+  std::uint64_t misses = 0;      ///< acquires that heap-allocated
+  std::uint64_t recycled = 0;    ///< releases retained for reuse
+  std::uint64_t recycled_bytes = 0;  ///< capacity bytes of those releases
+  std::uint64_t overflow_drops = 0;  ///< releases freed past the caps
+};
+
 }  // namespace jhpc::minimpi

@@ -89,6 +89,12 @@ class Universe {
   const UniverseConfig& config() const;
   netsim::Fabric& fabric();
 
+  /// Slab-recycler counters for the current job. Counters reset at each
+  /// run() start (the free lists stay warm, so a reused Universe's first
+  /// acquires are hits). Mirrored as transport.slab.* pvars when
+  /// observability is on.
+  SlabStats slab_stats() const;
+
  private:
   std::unique_ptr<detail::UniverseImpl> impl_;
 };

@@ -89,6 +89,17 @@ UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks, bool faults)
                                  "blocking request completions");
   wait_ns = reg.register_pvar("mpi.wait_ns", PvarClass::kTimer,
                               "virtual time spent waiting on requests");
+  slab_hits = reg.register_pvar("transport.slab.hits", PvarClass::kCounter,
+                                "eager slabs served from the recycler");
+  slab_misses =
+      reg.register_pvar("transport.slab.misses", PvarClass::kCounter,
+                        "eager slab heap allocations");
+  slab_recycled_bytes = reg.register_pvar(
+      "transport.slab.recycled_bytes", PvarClass::kCounter,
+      "slab capacity bytes returned to the recycler on receive");
+  slab_overflow_drops = reg.register_pvar(
+      "transport.slab.overflow_drops", PvarClass::kCounter,
+      "slabs freed past the recycler's retention caps");
   if (faults) {
     // Registered only for faulty jobs so a fault-free job's pvar table
     // stays identical to the pre-fault-layer output (zero-cost-off).
@@ -218,7 +229,9 @@ bool envelope_matches(int msg_cid, int msg_src, int msg_tag, int want_cid,
 }
 
 UniverseImpl::UniverseImpl(UniverseConfig cfg)
-    : config(cfg), fabric(cfg.world_size, cfg.fabric) {
+    : config(cfg),
+      fabric(cfg.world_size, cfg.fabric),
+      slab(cfg.world_size) {
   JHPC_REQUIRE(cfg.world_size >= 1, "world_size must be >= 1");
   endpoints.resize(static_cast<std::size_t>(cfg.world_size));
   for (auto& ep : endpoints) ep = std::make_unique<Endpoint>();
@@ -343,8 +356,10 @@ std::int64_t UniverseImpl::reliable_control(int src_world, int dst_world,
 void UniverseImpl::abort_all() {
   abort.store(true, std::memory_order_relaxed);
   for (auto& ep : endpoints) {
-    std::lock_guard<std::mutex> lk(ep->mu);
-    ep->cv.notify_all();
+    for (MatchBucket& bk : ep->buckets) {
+      std::lock_guard<std::mutex> lk(bk.mu);
+      bk.cv.notify_all();
+    }
   }
 }
 
@@ -355,7 +370,8 @@ void UniverseImpl::throw_if_aborted() const {
 std::shared_ptr<RequestState> UniverseImpl::deliver(
     int src_world, int dst_world, int context_id, int src_comm_rank, int tag,
     const void* buf, std::size_t bytes) {
-  Endpoint& ep = *endpoints[static_cast<std::size_t>(dst_world)];
+  MatchBucket& bk =
+      endpoints[static_cast<std::size_t>(dst_world)]->bucket(context_id);
   RankClock& sclock = clocks[static_cast<std::size_t>(src_world)];
   const bool eager = bytes <= config.eager_limit;
 
@@ -375,19 +391,19 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
     sclock.charge(config.intra_send_overhead_ns);
   }
 
-  std::lock_guard<std::mutex> lk(ep.mu);
+  std::lock_guard<std::mutex> lk(bk.mu);
   throw_if_aborted();
 
   // Try to match an already-posted receive (in post order: MPI's
   // non-overtaking rule for the receive side).
-  for (auto it = ep.posted.begin(); it != ep.posted.end(); ++it) {
+  for (auto it = bk.posted.begin(); it != bk.posted.end(); ++it) {
     RequestState& rs = **it;
     if (!envelope_matches(context_id, src_comm_rank, tag, rs.context_id,
                           rs.match_src, rs.match_tag)) {
       continue;
     }
     std::shared_ptr<RequestState> matched = *it;
-    ep.posted.erase(it);
+    bk.posted.erase(it);
     if (bytes > matched->recv_capacity) {
       fail_request(*matched,
                    "message truncated: " + std::to_string(bytes) +
@@ -470,10 +486,24 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
   msg.src_world = src_world;
   msg.bytes = bytes;
   if (eager) {
-    {
+    if (bytes > 0) {
+      // Draw an owned payload slab from the recycler (steady state: a
+      // pointer pop, no allocation). Only the copy is simulated work; the
+      // pool bookkeeping is host overhead and stays uncharged.
+      bool hit = false;
+      msg.eager = slab.acquire(bytes, src_world, &hit);
+      if (o != nullptr) {
+        o->rec.pvars().add(hit ? o->slab_hits : o->slab_misses, src_world,
+                           1);
+        if (!hit) {
+          // Cold-path heap allocation: leave a zero-width mark in the
+          // trace so allocation storms are visible next to the sends.
+          o->rec.begin(src_world, "slab_alloc", sclock.vclock);
+          o->rec.end(src_world, "slab_alloc", sclock.vclock);
+        }
+      }
       ChargedSection copy_cost(sclock);
-      const auto* p = static_cast<const std::byte*>(buf);
-      msg.eager.assign(p, p + bytes);
+      std::memcpy(msg.eager.data(), buf, bytes);
     }
     msg.send_vtime = sclock.vclock;
     if (faults_on) {
@@ -488,13 +518,13 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
       msg.deliver_at_ns = fabric.reserve_delivery(msg.send_vtime, src_world,
                                                   dst_world, bytes);
     }
-    ep.unexpected.push_back(std::move(msg));
+    bk.unexpected.push_back(std::move(msg));
     if (o != nullptr) {
       o->rec.pvars().raise(
           o->unexpected_hwm, dst_world,
-          static_cast<std::int64_t>(ep.unexpected.size()));
+          static_cast<std::int64_t>(bk.unexpected.size()));
     }
-    ep.cv.notify_all();
+    if (bk.probe_waiters > 0) bk.cv.notify_all();
     sclock.resync_cpu();
     return nullptr;  // sender completes locally (buffered)
   }
@@ -519,13 +549,13 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
   }
   msg.rndv_src = buf;
   msg.rndv_sender = sender;
-  ep.unexpected.push_back(std::move(msg));
+  bk.unexpected.push_back(std::move(msg));
   if (o != nullptr) {
     o->rec.pvars().raise(
         o->unexpected_hwm, dst_world,
-        static_cast<std::int64_t>(ep.unexpected.size()));
+        static_cast<std::int64_t>(bk.unexpected.size()));
   }
-  ep.cv.notify_all();
+  if (bk.probe_waiters > 0) bk.cv.notify_all();
   sclock.resync_cpu();
   return sender;
 }
@@ -552,100 +582,197 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
   rs->match_tag = tag;
   rs->context_id = context_id;
 
-  Endpoint& ep = *endpoints[static_cast<std::size_t>(my_world)];
-  std::lock_guard<std::mutex> lk(ep.mu);
+  MatchBucket& bk =
+      endpoints[static_cast<std::size_t>(my_world)]->bucket(context_id);
+  std::lock_guard<std::mutex> lk(bk.mu);
   throw_if_aborted();
 
   // Scan the unexpected queue in arrival order (non-overtaking rule for
   // the send side).
-  for (auto it = ep.unexpected.begin(); it != ep.unexpected.end(); ++it) {
+  for (auto it = bk.unexpected.begin(); it != bk.unexpected.end(); ++it) {
     if (!envelope_matches(it->context_id, it->src, it->tag, context_id, src,
                           tag)) {
       continue;
     }
     InMsg msg = std::move(*it);
-    ep.unexpected.erase(it);
-    if (msg.bytes > capacity) {
-      if (msg.is_rndv()) {
-        // Release the sender; its data was never transferred.
-        complete_request(*msg.rndv_sender, Status{}, 0);
+    bk.unexpected.erase(it);
+    const Status st{msg.src, msg.tag, msg.bytes};
+    Consumed c =
+        consume_matched(std::move(msg), my_world, buf, capacity, rclock);
+    if (!c.ok) {
+      if (c.timed_out) {
+        fail_request_timeout(*rs, std::move(c.error));
+      } else {
+        fail_request(*rs, std::move(c.error));
       }
-      fail_request(*rs, "message truncated: " + std::to_string(msg.bytes) +
-                            " bytes into a " + std::to_string(capacity) +
-                            "-byte receive buffer");
       return rs;
     }
-    std::int64_t arrival = 0;
-    if (msg.is_rndv() && faults_on) {
-      {
-        ChargedSection copy_cost(rclock);
-        std::memcpy(buf, msg.rndv_src, msg.bytes);
-      }
-      // The RTS header already arrived (msg.deliver_at_ns, retried until
-      // it got through); answer with a CTS and pull the payload reliably.
-      // Both run on this receiver's thread, so their trace spans belong
-      // to this rank's ring.
-      const std::int64_t cts_start =
-          std::max(msg.deliver_at_ns, rclock.vclock);
-      try {
-        const std::int64_t cts_at = reliable_control(
-            my_world, msg.src_world, msg.seq, netsim::FaultSalt::kCts,
-            cts_start, my_world, "rendezvous CTS");
-        const ReliableTx tx = reliable_transmit(
-            msg.src_world, my_world, msg.bytes, msg.seq, cts_at, my_world,
-            "rendezvous payload");
-        arrival = fifo_raise(msg.src_world, my_world, tx.deliver_at_ns);
-        complete_request(*msg.rndv_sender, Status{}, tx.acked_at_ns);
-      } catch (const TransportTimeoutError& e) {
-        fail_request_timeout(*msg.rndv_sender, e.what());
-        fail_request_timeout(*rs, e.what());
-        return rs;
-      }
-    } else if (msg.is_rndv()) {
-      {
-        ChargedSection copy_cost(rclock);
-        std::memcpy(buf, msg.rndv_src, msg.bytes);
-      }
-      // RTS arrived at send_vtime + hop; we answer with CTS now, and the
-      // payload starts moving when the CTS reaches the sender.
-      const std::int64_t hop = fabric.hop_latency_ns(msg.src_world, my_world);
-      const std::int64_t start =
-          std::max(msg.send_vtime + hop, rclock.vclock) + hop;
-      arrival =
-          fabric.reserve_delivery(start, msg.src_world, my_world, msg.bytes);
-      complete_request(*msg.rndv_sender, Status{},
-                       start + fabric.serialization_ns(msg.bytes));
-    } else {
-      {
-        ChargedSection copy_cost(rclock);
-        std::memcpy(buf, msg.eager.data(), msg.bytes);
-      }
-      arrival = msg.deliver_at_ns;
-    }
-    if (o != nullptr) {
-      o->rec.pvars().add(o->msgs_recvd, my_world, 1);
-      o->rec.pvars().add(o->bytes_recvd, my_world,
-                         static_cast<std::int64_t>(msg.bytes));
-    }
-    complete_request(*rs, Status{msg.src, msg.tag, msg.bytes}, arrival);
+    complete_request(*rs, st, c.arrival_ns);
     rclock.resync_cpu();
     return rs;
   }
 
-  ep.posted.push_back(rs);
+  bk.posted.push_back(rs);
   rclock.resync_cpu();
   return rs;
+}
+
+UniverseImpl::Consumed UniverseImpl::consume_matched(InMsg msg, int my_world,
+                                                     void* buf,
+                                                     std::size_t capacity,
+                                                     RankClock& rclock) {
+  UniverseObs* const o = obs.get();
+  Consumed c;
+  if (msg.bytes > capacity) {
+    if (msg.is_rndv()) {
+      // Release the sender; its data was never transferred.
+      complete_request(*msg.rndv_sender, Status{}, 0);
+    } else {
+      // The eager payload is discarded; its slab goes back to the pool.
+      slab.release(std::move(msg.eager), my_world);
+    }
+    c.ok = false;
+    c.error = "message truncated: " + std::to_string(msg.bytes) +
+              " bytes into a " + std::to_string(capacity) +
+              "-byte receive buffer";
+    return c;
+  }
+  if (msg.is_rndv() && faults_on) {
+    {
+      ChargedSection copy_cost(rclock);
+      std::memcpy(buf, msg.rndv_src, msg.bytes);
+    }
+    // The RTS header already arrived (msg.deliver_at_ns, retried until
+    // it got through); answer with a CTS and pull the payload reliably.
+    // Both run on this receiver's thread, so their trace spans belong
+    // to this rank's ring.
+    const std::int64_t cts_start = std::max(msg.deliver_at_ns, rclock.vclock);
+    try {
+      const std::int64_t cts_at = reliable_control(
+          my_world, msg.src_world, msg.seq, netsim::FaultSalt::kCts,
+          cts_start, my_world, "rendezvous CTS");
+      const ReliableTx tx = reliable_transmit(
+          msg.src_world, my_world, msg.bytes, msg.seq, cts_at, my_world,
+          "rendezvous payload");
+      c.arrival_ns = fifo_raise(msg.src_world, my_world, tx.deliver_at_ns);
+      complete_request(*msg.rndv_sender, Status{}, tx.acked_at_ns);
+    } catch (const TransportTimeoutError& e) {
+      fail_request_timeout(*msg.rndv_sender, e.what());
+      c.ok = false;
+      c.timed_out = true;
+      c.error = e.what();
+      return c;
+    }
+  } else if (msg.is_rndv()) {
+    {
+      ChargedSection copy_cost(rclock);
+      std::memcpy(buf, msg.rndv_src, msg.bytes);
+    }
+    // RTS arrived at send_vtime + hop; we answer with CTS now, and the
+    // payload starts moving when the CTS reaches the sender.
+    const std::int64_t hop = fabric.hop_latency_ns(msg.src_world, my_world);
+    const std::int64_t start =
+        std::max(msg.send_vtime + hop, rclock.vclock) + hop;
+    c.arrival_ns =
+        fabric.reserve_delivery(start, msg.src_world, my_world, msg.bytes);
+    complete_request(*msg.rndv_sender, Status{},
+                     start + fabric.serialization_ns(msg.bytes));
+  } else {
+    if (msg.bytes > 0) {
+      {
+        ChargedSection copy_cost(rclock);
+        std::memcpy(buf, msg.eager.data(), msg.bytes);
+      }
+      const SlabPool::Released rel =
+          slab.release(std::move(msg.eager), my_world);
+      if (o != nullptr) {
+        if (rel == SlabPool::Released::kRecycled) {
+          o->rec.pvars().add(
+              o->slab_recycled_bytes, my_world,
+              static_cast<std::int64_t>(
+                  SlabPool::capacity_of(SlabPool::class_of(msg.bytes))));
+        } else {
+          o->rec.pvars().add(o->slab_overflow_drops, my_world, 1);
+        }
+      }
+    }
+    c.arrival_ns = msg.deliver_at_ns;
+  }
+  if (o != nullptr) {
+    o->rec.pvars().add(o->msgs_recvd, my_world, 1);
+    o->rec.pvars().add(o->bytes_recvd, my_world,
+                       static_cast<std::int64_t>(msg.bytes));
+  }
+  return c;
+}
+
+Status UniverseImpl::blocking_recv(int my_world, int context_id, int src,
+                                   int tag, void* buf, std::size_t capacity) {
+  if (obs != nullptr) {
+    // Instrumented jobs keep the two-step path: the post/wait trace spans
+    // and wait_count/wait_ns pvars are part of the observable contract.
+    auto rs = post_recv(my_world, context_id, src, tag, buf, capacity);
+    return wait_request(*rs);
+  }
+  RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
+  rclock.advance_cpu();
+  MatchBucket& bk =
+      endpoints[static_cast<std::size_t>(my_world)]->bucket(context_id);
+  std::shared_ptr<RequestState> rs;
+  {
+    std::lock_guard<std::mutex> lk(bk.mu);
+    throw_if_aborted();
+    for (auto it = bk.unexpected.begin(); it != bk.unexpected.end(); ++it) {
+      if (!envelope_matches(it->context_id, it->src, it->tag, context_id,
+                            src, tag)) {
+        continue;
+      }
+      // Matched-receive fast path: consume in place, no RequestState, no
+      // request lock/condvar round trip.
+      InMsg msg = std::move(*it);
+      bk.unexpected.erase(it);
+      const Status st{msg.src, msg.tag, msg.bytes};
+      Consumed c =
+          consume_matched(std::move(msg), my_world, buf, capacity, rclock);
+      if (!c.ok) {
+        if (c.timed_out) throw TransportTimeoutError(c.error);
+        throw jhpc::Error(c.error);
+      }
+      rclock.observe(c.arrival_ns);
+      rclock.resync_cpu();
+      return st;
+    }
+    // Nothing pending: park a posted receive. Scan-then-park must happen
+    // under one bucket lock acquisition or deliver() could slot a message
+    // into the queue between the two.
+    rs = std::make_shared<RequestState>();
+    rs->abort = &abort;
+    rs->owner_clock = &rclock;
+    rs->obs = nullptr;
+    rs->owner_world = my_world;
+    rs->post_vtime = rclock.vclock;
+    rs->is_recv = true;
+    rs->recv_buf = buf;
+    rs->recv_capacity = capacity;
+    rs->match_src = src;
+    rs->match_tag = tag;
+    rs->context_id = context_id;
+    bk.posted.push_back(rs);
+  }
+  rclock.resync_cpu();
+  return wait_request(*rs);
 }
 
 bool UniverseImpl::probe_match(int my_world, int context_id, int src, int tag,
                                bool blocking, Status* out) {
   RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
-  Endpoint& ep = *endpoints[static_cast<std::size_t>(my_world)];
-  std::unique_lock<std::mutex> lk(ep.mu);
+  MatchBucket& bk =
+      endpoints[static_cast<std::size_t>(my_world)]->bucket(context_id);
+  std::unique_lock<std::mutex> lk(bk.mu);
   for (;;) {
     throw_if_aborted();
     rclock.advance_cpu();
-    for (const auto& msg : ep.unexpected) {
+    for (const auto& msg : bk.unexpected) {
       if (envelope_matches(msg.context_id, msg.src, msg.tag, context_id, src,
                            tag)) {
         // Respect the fabric: the envelope is visible only once it has
@@ -662,7 +789,9 @@ bool UniverseImpl::probe_match(int my_world, int context_id, int src, int tag,
       }
     }
     if (!blocking) return false;
-    ep.cv.wait_for(lk, kAbortPoll);
+    ++bk.probe_waiters;
+    bk.cv.wait_for(lk, kAbortPoll);
+    --bk.probe_waiters;
   }
 }
 

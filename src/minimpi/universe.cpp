@@ -29,6 +29,17 @@ const UniverseConfig& Universe::config() const { return impl_->config; }
 
 netsim::Fabric& Universe::fabric() { return impl_->fabric; }
 
+SlabStats Universe::slab_stats() const {
+  const detail::SlabPool::Stats s = impl_->slab.stats();
+  SlabStats out;
+  out.hits = s.hits;
+  out.misses = s.misses;
+  out.recycled = s.recycled;
+  out.recycled_bytes = s.recycled_bytes;
+  out.overflow_drops = s.overflow_drops;
+  return out;
+}
+
 void Universe::run(const std::function<void(Comm&)>& rank_main) {
   JHPC_REQUIRE(static_cast<bool>(rank_main), "rank_main must be callable");
   const int n = impl_->config.world_size;
@@ -39,6 +50,7 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
   impl_->abort.store(false, std::memory_order_relaxed);
   impl_->fabric.reset();
   impl_->reset_fault_state();
+  impl_->slab.reset_stats();
   if (impl_->obs != nullptr) impl_->obs->rec.reset();
 
   Group world_group = [n] {

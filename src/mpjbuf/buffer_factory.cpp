@@ -1,6 +1,8 @@
 #include "jhpc/mpjbuf/buffer_factory.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 
 #include "jhpc/support/env.hpp"
 #include "jhpc/support/error.hpp"
@@ -22,35 +24,43 @@ BufferFactory::BufferFactory(FactoryConfig config) : config_(config) {
   JHPC_REQUIRE(config_.min_capacity >= 64, "pool min_capacity too small");
 }
 
+std::size_t BufferFactory::class_index(std::size_t bytes,
+                                       std::size_t min_capacity) {
+  if (bytes <= min_capacity) return 0;
+  // Doublings of min_capacity needed to reach bytes: ceil(log2(q)) for
+  // q = ceil(bytes / min_capacity). min_capacity need not be a power of
+  // two, so work on the quotient rather than bit_ceil(bytes).
+  const std::size_t q = (bytes - 1) / min_capacity + 1;
+  const auto k = static_cast<std::size_t>(std::bit_width(q - 1));
+  // min_capacity << k must be representable (the seed's doubling loop
+  // simply never terminated here).
+  JHPC_REQUIRE(
+      k < std::numeric_limits<std::size_t>::digits &&
+          min_capacity <= (std::numeric_limits<std::size_t>::max() >> k),
+      "buffer request too large for any size class");
+  return k;
+}
+
 std::size_t BufferFactory::size_class(std::size_t bytes,
                                       std::size_t min_capacity) {
-  std::size_t cls = min_capacity;
-  while (cls < bytes) cls <<= 1;
-  return cls;
+  return min_capacity << class_index(bytes, min_capacity);
 }
 
 Buffer BufferFactory::get(std::size_t min_bytes) {
-  const std::size_t want = size_class(min_bytes, config_.min_capacity);
+  const std::size_t cls = class_index(min_bytes, config_.min_capacity);
+  const std::size_t want = config_.min_capacity << cls;
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.requests;
     if (pvar_registry_ != nullptr)
       pvar_registry_->add(pv_requests_, pvar_rank_, 1);
-    // Smallest pooled buffer that fits.
-    auto best = pool_.end();
-    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
-      if (it->capacity() >= want &&
-          (best == pool_.end() || it->capacity() < best->capacity())) {
-        best = it;
-      }
-    }
-    if (best != pool_.end()) {
+    if (cls < classes_.size() && !classes_[cls].empty()) {
       ++stats_.pool_hits;
       if (pvar_registry_ != nullptr)
         pvar_registry_->add(pv_hits_, pvar_rank_, 1);
-      minijvm::ByteBuffer storage = std::move(*best);
-      pool_.erase(best);
-      stats_.pooled_now = pool_.size();
+      minijvm::ByteBuffer storage = std::move(classes_[cls].back());
+      classes_[cls].pop_back();
+      --stats_.pooled_now;
       return Buffer(this, std::move(storage));
     }
     ++stats_.pool_misses;
@@ -67,14 +77,19 @@ void BufferFactory::give_back(minijvm::ByteBuffer storage) {
   ++stats_.returned;
   if (pvar_registry_ != nullptr)
     pvar_registry_->add(pv_returned_, pvar_rank_, 1);
-  if (pool_.size() >= config_.max_pooled_buffers) {
+  if (stats_.pooled_now >= config_.max_pooled_buffers) {
     ++stats_.dropped;
     if (pvar_registry_ != nullptr)
       pvar_registry_->add(pv_dropped_, pvar_rank_, 1);
     return;  // storage destroyed here (direct memory released)
   }
-  pool_.push_back(std::move(storage));
-  stats_.pooled_now = pool_.size();
+  // Every pooled buffer came out of get(), so its capacity is exactly
+  // min_capacity << k for some k and maps back to its own free list.
+  const std::size_t cls =
+      class_index(storage.capacity(), config_.min_capacity);
+  if (cls >= classes_.size()) classes_.resize(cls + 1);
+  classes_[cls].push_back(std::move(storage));
+  ++stats_.pooled_now;
   if (pvar_registry_ != nullptr) {
     pvar_registry_->raise(pv_pooled_, pvar_rank_,
                           static_cast<std::int64_t>(stats_.pooled_now));

@@ -5,8 +5,10 @@
 //  ByteBuffer every time a message comprising of Java arrays is
 //  communicated." (paper, Section IV-A)
 //
-// Buffers are size-classed to powers of two; get() returns the smallest
-// pooled buffer that fits or allocates a fresh direct buffer on a miss.
+// Buffers are size-classed to powers of two and pooled in one free list
+// per class: get() pops the request's class in O(1) (or allocates a fresh
+// direct buffer on a miss) and give_back() pushes in O(1), instead of the
+// previous linear scan of one mixed pool under the lock.
 #pragma once
 
 #include <cstddef>
@@ -40,8 +42,10 @@ class BufferFactory {
  public:
   explicit BufferFactory(FactoryConfig config = FactoryConfig::from_env());
 
-  /// Obtain a staging buffer with capacity >= min_bytes. Pool hit: reuse;
-  /// miss: allocate a fresh direct ByteBuffer (costly, by design).
+  /// Obtain a staging buffer with capacity >= min_bytes. Pool hit: reuse
+  /// (O(1) pop from the request's size class); miss: allocate a fresh
+  /// direct ByteBuffer (costly, by design). Throws jhpc::Error when the
+  /// rounded-up capacity would overflow std::size_t.
   Buffer get(std::size_t min_bytes);
 
   struct Stats {
@@ -67,11 +71,17 @@ class BufferFactory {
   /// Called by Buffer::free()/~Buffer to return storage to the pool.
   void give_back(minijvm::ByteBuffer storage);
 
+  /// Capacity of the size class serving `bytes`: min_capacity doubled
+  /// until it fits, computed in O(1). Throws on std::size_t overflow.
   static std::size_t size_class(std::size_t bytes, std::size_t min_capacity);
+
+  /// Free-list index of that class (its number of doublings).
+  static std::size_t class_index(std::size_t bytes, std::size_t min_capacity);
 
   FactoryConfig config_;
   mutable std::mutex mu_;
-  std::vector<minijvm::ByteBuffer> pool_;
+  /// classes_[k] holds idle buffers of capacity min_capacity << k.
+  std::vector<std::vector<minijvm::ByteBuffer>> classes_;
   Stats stats_;
 
   // Pvar mirroring (null until bind_pvars; mutated under mu_).

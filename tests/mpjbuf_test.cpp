@@ -2,7 +2,10 @@
 // pool that motivates its existence.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <limits>
+#include <thread>
 #include <vector>
 
 #include "jhpc/minijvm/jvm.hpp"
@@ -246,6 +249,55 @@ TEST(FactoryTest, RetentionCapDropsExcess) {
   EXPECT_EQ(st.returned, 6u);
   EXPECT_EQ(st.dropped, 2u);
   EXPECT_EQ(st.pooled_now, 4u);
+}
+
+TEST(FactoryTest, HugeRequestThrowsInsteadOfLooping) {
+  // Rounding SIZE_MAX up to a power-of-two class cannot be represented;
+  // the seed's doubling loop (cls <<= 1) wrapped to zero and spun
+  // forever. The O(1) class math must refuse instead.
+  BufferFactory factory(small_pool());
+  EXPECT_THROW(factory.get(std::numeric_limits<std::size_t>::max()),
+               jhpc::Error);
+  EXPECT_THROW(
+      factory.get((std::numeric_limits<std::size_t>::max() >> 1) + 2),
+      jhpc::Error);
+  // A large-but-representable request still works (no allocation here:
+  // this only checks the class math doesn't overflow prematurely).
+  EXPECT_NO_THROW(factory.get(1 << 20));
+}
+
+TEST(FactoryTest, ThreadedStressKeepsCountersConsistent) {
+  // The factory is documented thread-safe; hammer one shared pool from
+  // several threads with mixed sizes and check the counter algebra.
+  // Run under -DJHPC_SANITIZE=thread (ctest -L obs) to race-check.
+  constexpr int kThreads = 4;
+  constexpr int kCycles = 2000;
+  FactoryConfig cfg;
+  cfg.min_capacity = 256;
+  cfg.max_pooled_buffers = 8;
+  BufferFactory factory(cfg);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&factory, t] {
+      const std::size_t sizes[] = {64, 300, 1000, 5000};
+      for (int i = 0; i < kCycles; ++i) {
+        Buffer a = factory.get(sizes[(t + i) % 4]);
+        Buffer b = factory.get(sizes[i % 4]);
+        // Both returned to the pool at scope exit.
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto st = factory.stats();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kCycles * 2;
+  EXPECT_EQ(st.requests, total);
+  EXPECT_EQ(st.pool_hits + st.pool_misses, total);
+  EXPECT_EQ(st.returned, total);
+  EXPECT_LE(st.pooled_now, cfg.max_pooled_buffers);
+  // Every retained return was either re-issued as a hit or still pools.
+  EXPECT_EQ(st.returned - st.dropped, st.pool_hits + st.pooled_now);
+  EXPECT_GT(st.pool_hits, 0u);
 }
 
 TEST(FactoryTest, MoveSemantics) {
