@@ -23,16 +23,36 @@ void check_peer(int peer, int size, const char* what) {
 }
 
 void check_tag_send(int tag) {
-  // User tags are restricted; internal collective tags live above.
+  // Tags at and above kTagBase (2^28) are reserved for the collective
+  // algorithms; letting user traffic in there could cross-match with an
+  // in-flight collective on the same communicator. Internal callers hold
+  // an InternalTagScope.
   JHPC_REQUIRE(tag >= 0, "send tag must be non-negative");
+  JHPC_REQUIRE(tag <= kMaxUserTag || detail::internal_tags_allowed(),
+               "send tag must be <= kMaxUserTag (2^28 - 1): tags above it "
+               "are reserved for collectives");
 }
 
 void check_tag_recv(int tag) {
   JHPC_REQUIRE(tag >= 0 || tag == kAnyTag,
                "recv tag must be non-negative or kAnyTag");
+  JHPC_REQUIRE(tag <= kMaxUserTag || detail::internal_tags_allowed(),
+               "recv tag must be <= kMaxUserTag (2^28 - 1): tags above it "
+               "are reserved for collectives");
 }
 
+thread_local int internal_tag_depth = 0;
+
 }  // namespace
+
+namespace detail {
+
+InternalTagScope::InternalTagScope() { ++internal_tag_depth; }
+InternalTagScope::~InternalTagScope() { --internal_tag_depth; }
+
+bool internal_tags_allowed() { return internal_tag_depth > 0; }
+
+}  // namespace detail
 
 namespace detail {
 
@@ -188,6 +208,7 @@ bool Comm::iprobe(int src, int tag, Status* status) const {
 
 void Comm::barrier() const {
   check_valid(impl_);
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2 ? detail::mv2::barrier(*this)
                                    : detail::basic::barrier(*this);
 }
@@ -195,6 +216,7 @@ void Comm::barrier() const {
 void Comm::bcast(void* buf, std::size_t bytes, int root) const {
   check_valid(impl_);
   check_peer(root, size(), "bcast");
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2
       ? detail::mv2::bcast(*this, buf, bytes, root)
       : detail::basic::bcast(*this, buf, bytes, root);
@@ -204,6 +226,7 @@ void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
                   BasicKind kind, ReduceOp op, int root) const {
   check_valid(impl_);
   check_peer(root, size(), "reduce");
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2
       ? detail::mv2::reduce(*this, send_buf, recv_buf, count, kind, op, root)
       : detail::basic::reduce(*this, send_buf, recv_buf, count, kind, op,
@@ -213,6 +236,7 @@ void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
 void Comm::allreduce(const void* send_buf, void* recv_buf, std::size_t count,
                      BasicKind kind, ReduceOp op) const {
   check_valid(impl_);
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2
       ? detail::mv2::allreduce(*this, send_buf, recv_buf, count, kind, op)
       : detail::basic::allreduce(*this, send_buf, recv_buf, count, kind, op);
@@ -222,6 +246,7 @@ void Comm::reduce_scatter_block(const void* send_buf, void* recv_buf,
                                 std::size_t count_per_rank, BasicKind kind,
                                 ReduceOp op) const {
   check_valid(impl_);
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2
       ? detail::mv2::reduce_scatter_block(*this, send_buf, recv_buf,
                                           count_per_rank, kind, op)
@@ -232,6 +257,7 @@ void Comm::reduce_scatter_block(const void* send_buf, void* recv_buf,
 void Comm::scan(const void* send_buf, void* recv_buf, std::size_t count,
                 BasicKind kind, ReduceOp op) const {
   check_valid(impl_);
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2
       ? detail::mv2::scan(*this, send_buf, recv_buf, count, kind, op)
       : detail::basic::scan(*this, send_buf, recv_buf, count, kind, op);
@@ -241,6 +267,7 @@ void Comm::gather(const void* send_buf, std::size_t bytes_per_rank,
                   void* recv_buf, int root) const {
   check_valid(impl_);
   check_peer(root, size(), "gather");
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2
       ? detail::mv2::gather(*this, send_buf, bytes_per_rank, recv_buf, root)
       : detail::basic::gather(*this, send_buf, bytes_per_rank, recv_buf,
@@ -251,6 +278,7 @@ void Comm::scatter(const void* send_buf, std::size_t bytes_per_rank,
                    void* recv_buf, int root) const {
   check_valid(impl_);
   check_peer(root, size(), "scatter");
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2
       ? detail::mv2::scatter(*this, send_buf, bytes_per_rank, recv_buf, root)
       : detail::basic::scatter(*this, send_buf, bytes_per_rank, recv_buf,
@@ -260,6 +288,7 @@ void Comm::scatter(const void* send_buf, std::size_t bytes_per_rank,
 void Comm::allgather(const void* send_buf, std::size_t bytes_per_rank,
                      void* recv_buf) const {
   check_valid(impl_);
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2
       ? detail::mv2::allgather(*this, send_buf, bytes_per_rank, recv_buf)
       : detail::basic::allgather(*this, send_buf, bytes_per_rank, recv_buf);
@@ -268,6 +297,7 @@ void Comm::allgather(const void* send_buf, std::size_t bytes_per_rank,
 void Comm::alltoall(const void* send_buf, std::size_t bytes_per_pair,
                     void* recv_buf) const {
   check_valid(impl_);
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2
       ? detail::mv2::alltoall(*this, send_buf, bytes_per_pair, recv_buf)
       : detail::basic::alltoall(*this, send_buf, bytes_per_pair, recv_buf);
@@ -278,6 +308,7 @@ void Comm::gatherv(const void* send_buf, std::size_t send_bytes,
                    std::span<const std::size_t> displs, int root) const {
   check_valid(impl_);
   check_peer(root, size(), "gatherv");
+  const detail::InternalTagScope tags;
   detail::gatherv_linear(*this, send_buf, send_bytes, recv_buf, counts,
                          displs, root);
 }
@@ -288,6 +319,7 @@ void Comm::scatterv(const void* send_buf,
                     std::size_t recv_bytes, int root) const {
   check_valid(impl_);
   check_peer(root, size(), "scatterv");
+  const detail::InternalTagScope tags;
   detail::scatterv_linear(*this, send_buf, counts, displs, recv_buf,
                           recv_bytes, root);
 }
@@ -296,6 +328,7 @@ void Comm::allgatherv(const void* send_buf, std::size_t send_bytes,
                       void* recv_buf, std::span<const std::size_t> counts,
                       std::span<const std::size_t> displs) const {
   check_valid(impl_);
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2
       ? detail::mv2::allgatherv(*this, send_buf, send_bytes, recv_buf,
                                 counts, displs)
@@ -310,6 +343,7 @@ void Comm::alltoallv(const void* send_buf,
                      std::span<const std::size_t> recv_counts,
                      std::span<const std::size_t> recv_displs) const {
   check_valid(impl_);
+  const detail::InternalTagScope tags;
   suite() == CollectiveSuite::kMv2
       ? detail::mv2::alltoallv(*this, send_buf, send_counts, send_displs,
                                recv_buf, recv_counts, recv_displs)
@@ -413,6 +447,7 @@ std::int64_t Comm::vtime_ns() const {
 // "basic" but the agreement must work before the new comm exists, and it
 // must not consume user-visible collective semantics).
 void Comm::bcast_cid(int* value) const {
+  const detail::InternalTagScope tags;
   const int size = this->size();
   const int rank = my_rank_;
   int mask = 1;

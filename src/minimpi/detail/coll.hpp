@@ -18,8 +18,26 @@
 
 namespace jhpc::minimpi::detail {
 
-// Reserved tag space for collectives (user tags are < 2^28).
+// Reserved tag space for collectives (user tags are < 2^28). The
+// reservation is enforced: Comm::send/recv & co. reject tags >= kTagBase
+// unless the calling thread is inside an InternalTagScope.
 inline constexpr int kTagBase = 1 << 28;
+
+/// RAII: marks the current thread as running inside collective (or other
+/// internal) code, so the reserved tag space passes the user-tag checks.
+/// Nestable; collectives run entirely on the calling rank's thread, so a
+/// thread-local depth is exactly the right scope.
+class InternalTagScope {
+ public:
+  InternalTagScope();
+  ~InternalTagScope();
+  InternalTagScope(const InternalTagScope&) = delete;
+  InternalTagScope& operator=(const InternalTagScope&) = delete;
+};
+
+/// True while the calling thread holds at least one InternalTagScope.
+bool internal_tags_allowed();
+
 enum CollTag : int {
   kTagBarrier = kTagBase,
   kTagBcast,

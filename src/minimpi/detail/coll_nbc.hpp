@@ -1,0 +1,125 @@
+// Schedule-based nonblocking collectives.
+//
+// Each i-collective compiles, at call time, into a per-rank DAG of
+// rounds: the communication steps of a round are posted together (recvs
+// first), completed together, and only then do the round's local steps
+// (reductions, staging copies) run and the next round post. The shapes
+// mirror the mv2 suite: dissemination ibarrier, binomial ibcast/ireduce,
+// recursive-doubling iallreduce (with the non-power-of-two fold),
+// ring iallgather, pairwise ialltoall; igather/iscatter use the flat
+// fan-in/fan-out schedule (one round, maximal post-time overlap).
+//
+// Progress model (MPI weak progress): the transport is push-based — a
+// posted receive is completed by the sender's deliver() and an eager
+// send completes locally — so a schedule needs no progress thread. It
+// advances whenever its rank enters wait()/test() on ANY nonblocking-
+// collective request (all of the rank's active schedules are driven
+// together, so out-of-order waits across ranks cannot starve each
+// other). Compute between the initiation and the wait genuinely
+// overlaps: round 0 is posted at initiation and peer deliveries land in
+// parallel virtual time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "detail/transport.hpp"
+#include "jhpc/minimpi/group.hpp"
+#include "jhpc/minimpi/op.hpp"
+
+namespace jhpc::minimpi::detail {
+
+// Tag block for the schedule engine: above the blocking CollTag block,
+// still inside the reserved (>= kTagBase) space. Each operation instance
+// takes one tag from a per-(rank, context) sequence counter — ranks agree
+// because collectives are initiated in the same order per communicator —
+// so concurrent operations on one communicator can never cross-match.
+// Within one operation, MPI's per-(src, comm) non-overtaking order keeps
+// the rounds apart (exactly what the blocking ring algorithms rely on).
+inline constexpr int kTagNbcBase = (1 << 28) + (1 << 12);
+inline constexpr int kNbcTagSpan = 1 << 20;
+
+enum class NbcStepKind : std::uint8_t { kSend, kRecv, kReduce, kCopy };
+
+/// Which buffer a step's offset addresses.
+enum class NbcBuf : std::uint8_t { kUserIn, kUserOut, kScratch };
+
+struct NbcStep {
+  NbcStepKind kind = NbcStepKind::kCopy;
+  int peer = -1;  ///< comm rank (send/recv only)
+  NbcBuf src = NbcBuf::kUserOut;
+  std::size_t src_off = 0;  ///< send payload / reduce input / copy source
+  NbcBuf dst = NbcBuf::kUserOut;
+  std::size_t dst_off = 0;  ///< recv target / reduce accumulator / copy dest
+  std::size_t bytes = 0;    ///< payload bytes (send/recv/copy)
+  std::size_t count = 0;    ///< elements (reduce)
+};
+
+/// One round: `comm` steps are posted together and must all complete
+/// before the `local` steps run, in order, and the next round posts.
+struct NbcRound {
+  std::vector<NbcStep> comm;
+  std::vector<NbcStep> local;
+};
+
+/// The whole in-flight operation; shared between the user's Request
+/// handle and the owning rank's active-schedule registry. Only the
+/// owning rank thread ever touches it.
+struct NbcState {
+  UniverseImpl* impl = nullptr;
+  Group group;
+  int my_rank = -1;
+  int context_id = 0;
+  int tag = 0;
+  CollAlg alg = CollAlg::kNbcBarrier;
+
+  const std::byte* user_in = nullptr;
+  std::byte* user_out = nullptr;
+  BasicKind kind = BasicKind::kByte;  ///< element kind of reduce steps
+  ReduceOp op = ReduceOp::kSum;
+  std::vector<std::byte> scratch;
+
+  std::vector<NbcRound> rounds;
+  std::size_t round = 0;  ///< index of the round being progressed
+  bool posted = false;    ///< current round's comm steps are in flight
+  std::vector<std::shared_ptr<RequestState>> pending;
+  bool done = false;
+};
+
+/// The operations the engine can compile.
+enum class NbcOp {
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kScatter,
+  kAllgather,
+  kAlltoall,
+};
+
+/// Compile the schedule, register it with the rank's progress set, post
+/// round 0 (and any rounds that complete immediately). `size` is bytes
+/// for the byte-oriented operations and the element count for
+/// reduce/allreduce; `kind`/`op`/`root` are ignored where meaningless.
+std::shared_ptr<NbcState> nbc_start(UniverseImpl* impl, const Group& group,
+                                    int my_rank, int context_id, NbcOp what,
+                                    const void* send_buf, void* recv_buf,
+                                    std::size_t size, BasicKind kind,
+                                    ReduceOp op, int root);
+
+/// Drive every active schedule of `world_rank` as far as it can go
+/// without blocking; prune the finished ones. Must run on the rank's
+/// own thread.
+void nbc_progress_rank(UniverseImpl& impl, int world_rank);
+
+/// Block until `st` completes, progressing all of the rank's schedules
+/// meanwhile. Returns the (empty) collective Status.
+Status nbc_wait(NbcState& st);
+
+/// Non-blocking completion check; progresses the rank's schedules.
+bool nbc_test(NbcState& st, Status* out);
+
+}  // namespace jhpc::minimpi::detail

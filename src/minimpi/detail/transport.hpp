@@ -12,6 +12,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "detail/slab.hpp"
@@ -59,6 +60,15 @@ enum class CollAlg : int {
   // suite-shared vectored fallbacks
   kGathervLinear,
   kScattervLinear,
+  // nonblocking schedule engine (coll_nbc.cpp): one pvar per operation
+  kNbcBarrier,
+  kNbcBcast,
+  kNbcReduce,
+  kNbcAllreduce,
+  kNbcGather,
+  kNbcScatter,
+  kNbcAllgather,
+  kNbcAlltoall,
   kCount,
 };
 
@@ -328,6 +338,22 @@ struct Endpoint {
   }
 };
 
+struct NbcState;
+
+/// Per-world-rank nonblocking-collective progress state (coll_nbc.cpp).
+/// Owner-thread-only: slot w is touched exclusively by rank w's thread,
+/// so no lock guards it.
+struct NbcRank {
+  /// Active schedules in initiation order; a wait or test on any one of
+  /// them progresses all of them (MPI's weak-progress contract: the
+  /// engine only runs inside MPI calls, but it never starves a sibling).
+  std::vector<std::shared_ptr<NbcState>> active;
+  /// Next operation sequence number per context id. Collectives must be
+  /// entered by every rank of a communicator in the same order, so equal
+  /// counters yield the same matching tag on every rank.
+  std::unordered_map<int, std::uint32_t> seq;
+};
+
 /// The state behind a Universe, shared with Comm/Request implementations.
 struct UniverseImpl {
   explicit UniverseImpl(UniverseConfig cfg);
@@ -346,6 +372,9 @@ struct UniverseImpl {
   /// Null when observability is disabled (the default): every
   /// instrumentation site in the transport guards on this one pointer.
   std::unique_ptr<UniverseObs> obs;
+
+  /// Nonblocking-collective schedules, one slot per world rank.
+  std::vector<NbcRank> nbc;
 
   /// Cached fabric.faults_enabled(): the transport's zero-cost-off guard.
   /// When false, every fault/reliability code path below is skipped and

@@ -124,6 +124,29 @@ class Comm {
   void alltoall(const void* send_buf, std::size_t bytes_per_pair,
                 void* recv_buf) const;
 
+  // --- Nonblocking collectives (schedule-based progress engine) ----------
+  // Each call compiles a per-rank schedule of rounds, posts its first
+  // round immediately and returns a Request handle; the schedule then
+  // advances inside Request::wait()/test() (weak progress — compute
+  // between the call and the wait overlaps the communication). Buffers
+  // must stay untouched until the request completes. Collectives —
+  // blocking or not — must be initiated in the same order on every rank
+  // of the communicator; waits may then complete in any order.
+  Request ibarrier() const;
+  Request ibcast(void* buf, std::size_t bytes, int root) const;
+  Request ireduce(const void* send_buf, void* recv_buf, std::size_t count,
+                  BasicKind kind, ReduceOp op, int root) const;
+  Request iallreduce(const void* send_buf, void* recv_buf, std::size_t count,
+                     BasicKind kind, ReduceOp op) const;
+  Request igather(const void* send_buf, std::size_t bytes_per_rank,
+                  void* recv_buf, int root) const;
+  Request iscatter(const void* send_buf, std::size_t bytes_per_rank,
+                   void* recv_buf, int root) const;
+  Request iallgather(const void* send_buf, std::size_t bytes_per_rank,
+                     void* recv_buf) const;
+  Request ialltoall(const void* send_buf, std::size_t bytes_per_pair,
+                    void* recv_buf) const;
+
   // --- Vectored blocking collectives ---------------------------------------
   /// counts/displs are per-rank byte counts/offsets into the root buffer.
   void gatherv(const void* send_buf, std::size_t send_bytes, void* recv_buf,

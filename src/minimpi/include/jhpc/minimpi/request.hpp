@@ -10,19 +10,26 @@ namespace jhpc::minimpi {
 
 namespace detail {
 struct RequestState;
+struct NbcState;
 }
 
-/// Handle to an in-flight non-blocking send or receive.
+/// Handle to an in-flight non-blocking operation: a point-to-point send
+/// or receive, or a nonblocking collective's schedule (ibcast & co.).
 ///
 /// Copyable (shared handle semantics, like MPI_Request values passed
 /// around by value). A default-constructed Request is the null request:
 /// wait() returns immediately with an empty Status.
+///
+/// Progress semantics for collective requests: the schedule advances
+/// inside wait()/test() (and therefore wait_all()/wait_any()) — every
+/// active collective of the calling rank is driven together, so mixed
+/// p2p + collective request sets and out-of-order waits complete.
 class Request {
  public:
   Request() = default;
 
   /// True when this handle refers to an actual operation.
-  bool valid() const { return state_ != nullptr; }
+  bool valid() const { return state_ != nullptr || nbc_ != nullptr; }
 
   /// Block until the operation completes; fills `status` if non-null.
   /// Waiting on the null request is a no-op (MPI_REQUEST_NULL semantics).
@@ -43,7 +50,10 @@ class Request {
   friend class Comm;
   explicit Request(std::shared_ptr<detail::RequestState> state)
       : state_(std::move(state)) {}
+  explicit Request(std::shared_ptr<detail::NbcState> nbc)
+      : nbc_(std::move(nbc)) {}
   std::shared_ptr<detail::RequestState> state_;
+  std::shared_ptr<detail::NbcState> nbc_;
 };
 
 }  // namespace jhpc::minimpi

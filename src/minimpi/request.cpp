@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "detail/coll_nbc.hpp"
 #include "detail/transport.hpp"
 #include "jhpc/support/clock.hpp"
 #include "jhpc/support/error.hpp"
@@ -10,6 +11,17 @@
 namespace jhpc::minimpi {
 
 void Request::wait(Status* status) {
+  if (nbc_) {
+    try {
+      const Status st = detail::nbc_wait(*nbc_);
+      if (status != nullptr) *status = st;
+    } catch (...) {
+      nbc_.reset();
+      throw;
+    }
+    nbc_.reset();
+    return;
+  }
   if (!state_) {
     if (status != nullptr) *status = Status{};
     return;
@@ -20,6 +32,16 @@ void Request::wait(Status* status) {
 }
 
 bool Request::test(Status* status) {
+  if (nbc_) {
+    try {
+      if (!detail::nbc_test(*nbc_, status)) return false;
+    } catch (...) {
+      nbc_.reset();
+      throw;
+    }
+    nbc_.reset();
+    return true;
+  }
   if (!state_) {
     if (status != nullptr) *status = Status{};
     return true;

@@ -51,6 +51,14 @@ constexpr CollAlgNames kCollAlgNames[] = {
     {"coll.alltoallv.linear", "alltoallv[linear]"},
     {"coll.gatherv.linear", "gatherv[linear]"},
     {"coll.scatterv.linear", "scatterv[linear]"},
+    {"coll.nbc.barrier", "ibarrier[dissemination]"},
+    {"coll.nbc.bcast", "ibcast[binomial]"},
+    {"coll.nbc.reduce", "ireduce[binomial]"},
+    {"coll.nbc.allreduce", "iallreduce[recursive_doubling]"},
+    {"coll.nbc.gather", "igather[fanin]"},
+    {"coll.nbc.scatter", "iscatter[fanout]"},
+    {"coll.nbc.allgather", "iallgather[ring]"},
+    {"coll.nbc.alltoall", "ialltoall[pairwise]"},
 };
 static_assert(sizeof(kCollAlgNames) / sizeof(kCollAlgNames[0]) ==
                   static_cast<std::size_t>(CollAlg::kCount),
@@ -236,6 +244,7 @@ UniverseImpl::UniverseImpl(UniverseConfig cfg)
   endpoints.resize(static_cast<std::size_t>(cfg.world_size));
   for (auto& ep : endpoints) ep = std::make_unique<Endpoint>();
   clocks.resize(static_cast<std::size_t>(cfg.world_size));
+  nbc.resize(static_cast<std::size_t>(cfg.world_size));
   faults_on = fabric.faults_enabled();
   if (faults_on) {
     const auto pairs = static_cast<std::size_t>(cfg.world_size) *

@@ -52,6 +52,13 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
   impl_->reset_fault_state();
   impl_->slab.reset_stats();
   if (impl_->obs != nullptr) impl_->obs->rec.reset();
+  // Drop nonblocking-collective schedules and tag counters from the
+  // previous job: an aborted run may leave schedules active, and the tag
+  // sequence must restart identically on every rank.
+  for (auto& nr : impl_->nbc) {
+    nr.active.clear();
+    nr.seq.clear();
+  }
 
   Group world_group = [n] {
     std::vector<int> ranks(static_cast<std::size_t>(n));

@@ -231,6 +231,106 @@ void Comm::allToAll(const ByteBuffer& sendbuf, int count,
   native_.alltoall(sp, bytes, rp);
 }
 
+// --- Nonblocking collectives: ByteBuffer ----------------------------------------
+
+Request Comm::iBarrier() const {
+  JHPC_REQUIRE(valid(), "iBarrier on invalid communicator");
+  env_->jvm_->jni().crossing();
+  return Request(native_.ibarrier(), nullptr);
+}
+
+Request Comm::iBcast(ByteBuffer& buf, int count, const Datatype& type,
+                     int root) const {
+  JHPC_REQUIRE(valid(), "iBcast on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  std::byte* p = buffer_address(buf, bytes, "iBcast");
+  return Request(native_.ibcast(p, bytes, root), nullptr);
+}
+
+Request Comm::iReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf,
+                      int count, const Datatype& type, const Op& op,
+                      int root) const {
+  JHPC_REQUIRE(valid(), "iReduce on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "iReduce");
+  // Non-root ranks may pass any recv buffer; only the root's is written.
+  std::byte* rp = getRank() == root
+                      ? buffer_address(recvbuf, bytes, "iReduce")
+                      : buffer_address(recvbuf, 0, "iReduce");
+  return Request(native_.ireduce(sp, rp, static_cast<std::size_t>(count),
+                                 type.kind(), op.native(), root),
+                 nullptr);
+}
+
+Request Comm::iAllReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf,
+                         int count, const Datatype& type,
+                         const Op& op) const {
+  JHPC_REQUIRE(valid(), "iAllReduce on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "iAllReduce");
+  std::byte* rp = buffer_address(recvbuf, bytes, "iAllReduce");
+  return Request(native_.iallreduce(sp, rp, static_cast<std::size_t>(count),
+                                    type.kind(), op.native()),
+                 nullptr);
+}
+
+Request Comm::iGather(const ByteBuffer& sendbuf, int count,
+                      const Datatype& type, ByteBuffer& recvbuf,
+                      int root) const {
+  JHPC_REQUIRE(valid(), "iGather on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "iGather");
+  std::byte* rp =
+      getRank() == root
+          ? buffer_address(recvbuf,
+                           bytes * static_cast<std::size_t>(getSize()),
+                           "iGather")
+          : buffer_address(recvbuf, 0, "iGather");
+  return Request(native_.igather(sp, bytes, rp, root), nullptr);
+}
+
+Request Comm::iScatter(const ByteBuffer& sendbuf, int count,
+                       const Datatype& type, ByteBuffer& recvbuf,
+                       int root) const {
+  JHPC_REQUIRE(valid(), "iScatter on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp =
+      getRank() == root
+          ? buffer_address(sendbuf,
+                           bytes * static_cast<std::size_t>(getSize()),
+                           "iScatter")
+          : buffer_address(sendbuf, 0, "iScatter");
+  std::byte* rp = buffer_address(recvbuf, bytes, "iScatter");
+  return Request(native_.iscatter(sp, bytes, rp, root), nullptr);
+}
+
+Request Comm::iAllGather(const ByteBuffer& sendbuf, int count,
+                         const Datatype& type, ByteBuffer& recvbuf) const {
+  JHPC_REQUIRE(valid(), "iAllGather on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, bytes, "iAllGather");
+  std::byte* rp = buffer_address(
+      recvbuf, bytes * static_cast<std::size_t>(getSize()), "iAllGather");
+  return Request(native_.iallgather(sp, bytes, rp), nullptr);
+}
+
+Request Comm::iAllToAll(const ByteBuffer& sendbuf, int count,
+                        const Datatype& type, ByteBuffer& recvbuf) const {
+  JHPC_REQUIRE(valid(), "iAllToAll on invalid communicator");
+  const std::size_t bytes = payload_bytes(count, type);
+  const auto total = bytes * static_cast<std::size_t>(getSize());
+  env_->jvm_->jni().crossing();
+  const std::byte* sp = buffer_address(sendbuf, total, "iAllToAll");
+  std::byte* rp = buffer_address(recvbuf, total, "iAllToAll");
+  return Request(native_.ialltoall(sp, bytes, rp), nullptr);
+}
+
 // --- Vectored collectives: ByteBuffer -------------------------------------------
 
 namespace {

@@ -131,6 +131,28 @@ class Comm {
   void allToAll(const ByteBuffer& sendbuf, int count, const Datatype& type,
                 ByteBuffer& recvbuf) const;
 
+  // --- Nonblocking collectives: ByteBuffer API -----------------------------
+  // Backed by the minimpi schedule engine: the operation is posted here
+  // and progresses inside the returned Request's test()/waitFor(). The
+  // buffers must stay alive and untouched until the request completes.
+  // Direct-buffer only: array payloads would need request-held staging,
+  // and the zero-copy path is what a nonblocking collective is for.
+  Request iBarrier() const;
+  Request iBcast(ByteBuffer& buf, int count, const Datatype& type,
+                 int root) const;
+  Request iReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
+                  const Datatype& type, const Op& op, int root) const;
+  Request iAllReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf,
+                     int count, const Datatype& type, const Op& op) const;
+  Request iGather(const ByteBuffer& sendbuf, int count, const Datatype& type,
+                  ByteBuffer& recvbuf, int root) const;
+  Request iScatter(const ByteBuffer& sendbuf, int count,
+                   const Datatype& type, ByteBuffer& recvbuf, int root) const;
+  Request iAllGather(const ByteBuffer& sendbuf, int count,
+                     const Datatype& type, ByteBuffer& recvbuf) const;
+  Request iAllToAll(const ByteBuffer& sendbuf, int count,
+                    const Datatype& type, ByteBuffer& recvbuf) const;
+
   // --- Blocking collectives: Java array API ----------------------------------
   template <JavaPrimitive T>
   void bcast(JArray<T>& buf, int count, const Datatype& type,

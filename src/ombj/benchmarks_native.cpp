@@ -3,6 +3,7 @@
 // bindings. This is the "native library" baseline of the paper's
 // Figure 11 (Java-vs-native latency overhead) and of the collective
 // algorithm ablation.
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -205,6 +206,96 @@ std::vector<ResultRow> run_alltoall_native(const minimpi::Comm& world,
                                 });
 }
 
+namespace {
+
+/// Native overlap loop (osu_ibcast / osu_iallreduce without the Java
+/// layer); same virtual-time methodology as the bindings variant.
+template <typename InitFn>
+std::vector<ResultRow> native_overlap_loop(
+    const minimpi::Comm& world, const BenchOptions& opt,
+    const std::vector<std::size_t>& sizes, InitFn&& init) {
+  std::vector<ResultRow> rows;
+  volatile double sink = 0.0;
+  const auto compute = [&sink](std::int64_t n) {
+    for (std::int64_t k = 0; k < n; ++k) sink = sink + 1e-9 * k;
+  };
+  for (const std::size_t size : sizes) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+
+    double pure_ns = 0.0;
+    for (int i = 0; i < warmup + iters; ++i) {
+      world.barrier();
+      const auto t0 = world.vtime_ns();
+      minimpi::Request req = init(size);
+      req.wait();
+      if (i >= warmup) pure_ns += static_cast<double>(world.vtime_ns() - t0);
+    }
+    const double t_pure = pure_ns / iters;
+
+    std::int64_t spins = 1000;
+    {
+      const auto t0 = world.vtime_ns();
+      compute(spins);
+      const auto dt = std::max<std::int64_t>(world.vtime_ns() - t0, 1);
+      spins = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(static_cast<double>(spins) * t_pure /
+                                       static_cast<double>(dt)));
+    }
+
+    double compute_ns = 0.0;
+    double total_ns = 0.0;
+    for (int i = 0; i < warmup + iters; ++i) {
+      world.barrier();
+      const auto c0 = world.vtime_ns();
+      compute(spins);
+      const auto c1 = world.vtime_ns();
+      world.barrier();
+      const auto t0 = world.vtime_ns();
+      minimpi::Request req = init(size);
+      compute(spins);
+      req.wait();
+      const auto dt = world.vtime_ns() - t0;
+      if (i >= warmup) {
+        compute_ns += static_cast<double>(c1 - c0);
+        total_ns += static_cast<double>(dt);
+      }
+    }
+    const double t_compute = compute_ns / iters;
+    const double t_total = total_ns / iters;
+
+    double local_overlap =
+        t_pure > 0.0 ? 100.0 * (1.0 - (t_total - t_compute) / t_pure) : 0.0;
+    local_overlap = std::min(std::max(local_overlap, 0.0), 100.0);
+    const double avg_us = rank_average(world, t_pure / 1000.0);
+    const double avg_overlap = rank_average(world, local_overlap);
+    if (world.rank() == 0) rows.push_back({size, avg_us, avg_overlap});
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<ResultRow> run_ibcast_native(const minimpi::Comm& world,
+                                         const BenchOptions& opt) {
+  std::vector<std::byte> buf(opt.max_size);
+  return native_overlap_loop(world, opt, byte_sizes(opt),
+                             [&](std::size_t s) {
+                               return world.ibcast(buf.data(), s, 0);
+                             });
+}
+
+std::vector<ResultRow> run_iallreduce_native(const minimpi::Comm& world,
+                                             const BenchOptions& opt) {
+  std::vector<float> sbuf(opt.max_size / 4), rbuf(opt.max_size / 4);
+  return native_overlap_loop(
+      world, opt, float_sizes(opt), [&](std::size_t s) {
+        return world.iallreduce(sbuf.data(), rbuf.data(), s / 4,
+                                minimpi::BasicKind::kFloat,
+                                minimpi::ReduceOp::kSum);
+      });
+}
+
 std::vector<ResultRow> run_benchmark_native(BenchKind kind,
                                             const minimpi::Comm& world,
                                             const BenchOptions& opt) {
@@ -218,6 +309,8 @@ std::vector<ResultRow> run_benchmark_native(BenchKind kind,
     case BenchKind::kScatter: return run_scatter_native(world, opt);
     case BenchKind::kAllgather: return run_allgather_native(world, opt);
     case BenchKind::kAlltoall: return run_alltoall_native(world, opt);
+    case BenchKind::kIbcast: return run_ibcast_native(world, opt);
+    case BenchKind::kIallreduce: return run_iallreduce_native(world, opt);
     default:
       throw UnsupportedOperationError(
           std::string("native benchmark not implemented for ") +

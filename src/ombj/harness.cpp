@@ -135,25 +135,38 @@ Table figure_table(const FigureSpec& fig,
                    const std::vector<SeriesResult>& results) {
   const bool is_bw = fig.kind == BenchKind::kBandwidth ||
                      fig.kind == BenchKind::kBiBandwidth;
+  // The nonblocking benchmarks carry a second metric per series: the
+  // communication/computation overlap percentage.
+  const bool is_overlap = fig.kind == BenchKind::kIbcast ||
+                          fig.kind == BenchKind::kIallreduce;
+  const std::size_t per_series = is_overlap ? 2 : 1;
   std::vector<std::string> headers{"Size"};
-  for (const auto& r : results)
+  for (const auto& r : results) {
     headers.push_back(r.label + (is_bw ? " MB/s" : " us"));
+    if (is_overlap) headers.push_back(r.label + " ovl%");
+  }
   Table table(std::move(headers));
 
   // Union of sizes, ordered.
+  const std::size_t width = results.size() * per_series;
   std::map<std::size_t, std::vector<std::string>> by_size;
   for (std::size_t c = 0; c < results.size(); ++c) {
     for (const auto& row : results[c].rows) {
       auto& cells = by_size[row.size];
-      cells.resize(results.size(), "-");
-      cells[c] = fmt_double(row.value, 2);
+      cells.resize(width, "-");
+      cells[c * per_series] = fmt_double(row.value, 2);
+      if (is_overlap) cells[c * per_series + 1] = fmt_double(row.overlap, 1);
     }
   }
   // Unsupported series: mark every row.
   for (auto& [size, cells] : by_size) {
-    cells.resize(results.size(), "-");
-    for (std::size_t c = 0; c < results.size(); ++c)
-      if (!results[c].supported) cells[c] = "n/a";
+    cells.resize(width, "-");
+    for (std::size_t c = 0; c < results.size(); ++c) {
+      if (!results[c].supported) {
+        for (std::size_t k = 0; k < per_series; ++k)
+          cells[c * per_series + k] = "n/a";
+      }
+    }
     std::vector<std::string> row{format_size(size)};
     row.insert(row.end(), cells.begin(), cells.end());
     table.add_row(std::move(row));

@@ -66,6 +66,17 @@ std::vector<ResultRow> run_alltoallv(EnvT& env, const BenchOptions& opt);
 template <typename EnvT>
 std::vector<ResultRow> run_barrier(EnvT& env, const BenchOptions& opt);
 
+// --- Nonblocking collectives (osu_ibcast / osu_iallreduce) ------------------
+// Rows carry both the pure (no-compute) latency in us and the measured
+// communication/computation overlap percentage: per size, the pure
+// init+wait latency t_pure is measured first, a dummy compute loop is
+// calibrated to t_pure, and the overlapped pass times init;compute;wait
+// as t_total, giving overlap = 100 * (1 - (t_total - t_compute)/t_pure).
+template <typename EnvT>
+std::vector<ResultRow> run_ibcast(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_iallreduce(EnvT& env, const BenchOptions& opt);
+
 /// Dispatch by kind.
 template <typename EnvT>
 std::vector<ResultRow> run_benchmark(BenchKind kind, EnvT& env,
@@ -90,6 +101,10 @@ std::vector<ResultRow> run_allgather_native(const minimpi::Comm& world,
                                             const BenchOptions& opt);
 std::vector<ResultRow> run_alltoall_native(const minimpi::Comm& world,
                                            const BenchOptions& opt);
+std::vector<ResultRow> run_ibcast_native(const minimpi::Comm& world,
+                                         const BenchOptions& opt);
+std::vector<ResultRow> run_iallreduce_native(const minimpi::Comm& world,
+                                             const BenchOptions& opt);
 std::vector<ResultRow> run_benchmark_native(BenchKind kind,
                                             const minimpi::Comm& world,
                                             const BenchOptions& opt);

@@ -48,6 +48,8 @@ enum class BenchKind {
   kAllgatherv, // osu_allgatherv
   kAlltoallv,  // osu_alltoallv
   kBarrier,    // osu_barrier (single row)
+  kIbcast,     // osu_ibcast (nonblocking; latency + overlap %)
+  kIallreduce, // osu_iallreduce (nonblocking; latency + overlap %)
 };
 
 const char* bench_name(BenchKind kind);
@@ -80,10 +82,13 @@ struct BenchOptions {
 };
 
 /// One table row: message size plus the metric (latency in us, or
-/// bandwidth in MB/s).
+/// bandwidth in MB/s). The nonblocking benchmarks additionally report
+/// the communication/computation overlap percentage (OSU methodology);
+/// -1 means "not an overlap benchmark".
 struct ResultRow {
   std::size_t size = 0;
   double value = 0.0;
+  double overlap = -1.0;
 };
 
 /// A complete series: what ran and its rows (rank 0's view).

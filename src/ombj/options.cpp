@@ -39,12 +39,14 @@ const char* bench_name(BenchKind kind) {
     case BenchKind::kAllgatherv: return "allgatherv";
     case BenchKind::kAlltoallv: return "alltoallv";
     case BenchKind::kBarrier: return "barrier";
+    case BenchKind::kIbcast: return "ibcast";
+    case BenchKind::kIallreduce: return "iallreduce";
   }
   return "?";
 }
 
 BenchKind bench_from_name(const std::string& name) {
-  for (int k = 0; k <= static_cast<int>(BenchKind::kBarrier); ++k) {
+  for (int k = 0; k <= static_cast<int>(BenchKind::kIallreduce); ++k) {
     const auto kind = static_cast<BenchKind>(k);
     if (name == bench_name(kind)) return kind;
   }

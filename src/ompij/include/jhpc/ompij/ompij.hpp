@@ -113,6 +113,25 @@ class Comm {
   void allToAll(const ByteBuffer& sendbuf, int count, const Datatype& type,
                 ByteBuffer& recvbuf) const;
 
+  // --- Nonblocking collectives: ByteBuffer API (zero copy) ----------------
+  // Same schedule engine as MVAPICH2-J underneath; direct buffers only
+  // (arrays cannot outlive the call in this binding style — see iSend).
+  Request iBarrier() const;
+  Request iBcast(ByteBuffer& buf, int count, const Datatype& type,
+                 int root) const;
+  Request iReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
+                  const Datatype& type, const Op& op, int root) const;
+  Request iAllReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf,
+                     int count, const Datatype& type, const Op& op) const;
+  Request iGather(const ByteBuffer& sendbuf, int count, const Datatype& type,
+                  ByteBuffer& recvbuf, int root) const;
+  Request iScatter(const ByteBuffer& sendbuf, int count,
+                   const Datatype& type, ByteBuffer& recvbuf, int root) const;
+  Request iAllGather(const ByteBuffer& sendbuf, int count,
+                     const Datatype& type, ByteBuffer& recvbuf) const;
+  Request iAllToAll(const ByteBuffer& sendbuf, int count,
+                    const Datatype& type, ByteBuffer& recvbuf) const;
+
   // --- Blocking collectives: Java array API (Get/Release around native) ------
   template <JavaPrimitive T>
   void bcast(JArray<T>& buf, int count, const Datatype& type,

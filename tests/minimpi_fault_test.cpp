@@ -405,6 +405,87 @@ TEST(FaultCollectivesTest, BasicSuiteCorrectUnderDrops) {
   });
 }
 
+TEST(FaultCollectivesTest, NbcScheduleEngineCorrectUnderDrops) {
+  // The nonblocking schedule engine rides the same reliable transport as
+  // the blocking suites: a seeded drop+jitter plan must cost retransmits,
+  // never correctness — and never a hang (the ctest TIMEOUT is part of
+  // this contract).
+  UniverseConfig c = chaos_cfg(4, 2, 0.05, 300, 424243, "coll_nbc");
+  c.suite = CollectiveSuite::kMv2;
+  Universe::launch(c, [&](Comm& world) {
+    const int r = world.rank();
+    const int n = world.size();
+    const auto nn = static_cast<std::size_t>(n);
+
+    for (int iter = 0; iter < 3; ++iter) {
+      world.ibarrier().wait();
+
+      std::vector<std::uint8_t> bc =
+          r == 1 ? pattern(3000, 7u + static_cast<unsigned>(iter))
+                 : std::vector<std::uint8_t>(3000, 0);
+      world.ibcast(bc.data(), bc.size(), 1).wait();
+      ASSERT_EQ(bc, pattern(3000, 7u + static_cast<unsigned>(iter)));
+
+      std::vector<std::int32_t> in(64, r + 1);
+      std::vector<std::int32_t> out(64, 0);
+      world
+          .iallreduce(in.data(), out.data(), in.size(), BasicKind::kInt,
+                      ReduceOp::kSum)
+          .wait();
+      for (const std::int32_t v : out) ASSERT_EQ(v, n * (n + 1) / 2);
+
+      std::vector<std::int32_t> red(64, 0);
+      world
+          .ireduce(in.data(), red.data(), in.size(), BasicKind::kInt,
+                   ReduceOp::kMax, 2)
+          .wait();
+      if (r == 2) {
+        for (const std::int32_t v : red) ASSERT_EQ(v, n);
+      }
+
+      const auto mine = pattern(257, static_cast<unsigned>(r));
+      std::vector<std::uint8_t> all(257 * nn, 0);
+      world.iallgather(mine.data(), mine.size(), all.data()).wait();
+      for (int s = 0; s < n; ++s) {
+        const auto want = pattern(257, static_cast<unsigned>(s));
+        ASSERT_TRUE(std::equal(want.begin(), want.end(),
+                               all.begin() + static_cast<std::ptrdiff_t>(
+                                                 s * 257)));
+      }
+
+      // Two schedules in flight at once, completed in opposite orders on
+      // odd/even ranks: the timed-park progress loop must drive both.
+      std::int64_t a_in = r, a_out = -1;
+      std::vector<std::uint8_t> b2 =
+          r == 0 ? pattern(513, 99u) : std::vector<std::uint8_t>(513, 0);
+      Request ra = world.iallreduce(&a_in, &a_out, 1, BasicKind::kLong,
+                                    ReduceOp::kSum);
+      Request rb = world.ibcast(b2.data(), b2.size(), 0);
+      if (r % 2 == 0) {
+        ra.wait();
+        rb.wait();
+      } else {
+        rb.wait();
+        ra.wait();
+      }
+      ASSERT_EQ(a_out, n * (n - 1) / 2);
+      ASSERT_EQ(b2, pattern(513, 99u));
+    }
+
+    drain_to_rank0(world);
+    if (r == 0) {
+      obs::PvarRegistry& reg = *world.pvars();
+      expect_fault_accounting(reg);
+      EXPECT_EQ(total(reg, "fault.timeouts"), 0);
+      EXPECT_EQ(total(reg, "coll.nbc.barrier"), 3 * n);
+      EXPECT_EQ(total(reg, "coll.nbc.bcast"), 2 * 3 * n);
+      EXPECT_EQ(total(reg, "coll.nbc.allreduce"), 2 * 3 * n);
+      EXPECT_EQ(total(reg, "coll.nbc.reduce"), 3 * n);
+      EXPECT_EQ(total(reg, "coll.nbc.allgather"), 3 * n);
+    }
+  });
+}
+
 // --- Determinism regression --------------------------------------------------
 
 struct ChaosFingerprint {
@@ -470,6 +551,74 @@ TEST(FaultDeterminismTest, DifferentSeedsDiverge) {
   // 100 round trips x several attempts x a 500 ns jitter draw each: two
   // seeds agreeing on every draw is astronomically unlikely.
   EXPECT_FALSE(a == b) << "different seeds produced identical runs";
+}
+
+/// Nonblocking collectives under the same regime: one schedule
+/// outstanding at a time (overlapped with local compute), so every post
+/// and wait happens at a fixed program point in a fixed order and the
+/// whole run — final clocks included — is a pure function of the seed.
+ChaosFingerprint run_seeded_nbc_chaos(std::uint64_t seed,
+                                      const std::string& tag) {
+  UniverseConfig c = chaos_cfg(3, 1, 0.08, 400, seed, tag);
+  c.deterministic_clock = true;
+  c.suite = CollectiveSuite::kMv2;
+  ChaosFingerprint fp;
+  fp.final_vtimes.resize(3);
+  Universe::launch(c, [&](Comm& world) {
+    const int r = world.rank();
+    const int n = world.size();
+    for (int i = 0; i < 25; ++i) {
+      std::vector<std::int64_t> in(32, r + i);
+      std::vector<std::int64_t> out(32, 0);
+      Request req = world.iallreduce(in.data(), out.data(), in.size(),
+                                     BasicKind::kLong, ReduceOp::kSum);
+      // Overlapped compute; under the deterministic clock it costs zero
+      // virtual time, so it cannot perturb the fingerprint.
+      volatile std::int64_t sink = 0;
+      for (int k = 0; k < 1000; ++k) sink = sink + k;
+      req.wait();
+      for (const std::int64_t v : out) {
+        ASSERT_EQ(v, static_cast<std::int64_t>(n) * i + n * (n - 1) / 2);
+      }
+
+      std::vector<std::uint8_t> bc =
+          r == i % n ? pattern(777, static_cast<unsigned>(i))
+                     : std::vector<std::uint8_t>(777, 0);
+      world.ibcast(bc.data(), bc.size(), i % n).wait();
+      ASSERT_EQ(bc, pattern(777, static_cast<unsigned>(i)));
+    }
+    fp.final_vtimes[static_cast<std::size_t>(r)] = world.vtime_ns();
+    drain_to_rank0(world);
+    if (r == 0) {
+      obs::PvarRegistry& reg = *world.pvars();
+      for (const char* name :
+           {"fault.data_drops", "fault.ack_drops", "fault.retransmits",
+            "fault.dups", "fault.timeouts"}) {
+        const obs::PvarId id = reg.find(name);
+        fp.fault_pvars[name] = {reg.read(id, 0), reg.read(id, 1),
+                                reg.read(id, 2)};
+      }
+    }
+  });
+  return fp;
+}
+
+TEST(FaultDeterminismTest, NbcSameSeedBitReproducible) {
+  const ChaosFingerprint a = run_seeded_nbc_chaos(20260807, "nbc_det_a");
+  const ChaosFingerprint b = run_seeded_nbc_chaos(20260807, "nbc_det_b");
+  EXPECT_GT(a.fault_pvars.at("fault.retransmits")[0] +
+                a.fault_pvars.at("fault.retransmits")[1] +
+                a.fault_pvars.at("fault.retransmits")[2],
+            0)
+      << "the plan must actually inject faults for this test to mean much";
+  EXPECT_EQ(a.final_vtimes, b.final_vtimes);
+  EXPECT_EQ(a.fault_pvars, b.fault_pvars);
+}
+
+TEST(FaultDeterminismTest, NbcDifferentSeedsDiverge) {
+  const ChaosFingerprint a = run_seeded_nbc_chaos(11, "nbc_seed11");
+  const ChaosFingerprint b = run_seeded_nbc_chaos(12, "nbc_seed12");
+  EXPECT_FALSE(a == b) << "different seeds produced identical NBC runs";
 }
 
 // --- Timeout paths (graceful degradation, not hangs) ------------------------

@@ -36,7 +36,7 @@ FigureSpec tiny_fig(BenchKind kind, std::vector<SeriesSpec> series,
 }
 
 TEST(OptionsTest, BenchNamesRoundTrip) {
-  for (int k = 0; k <= static_cast<int>(BenchKind::kBarrier); ++k) {
+  for (int k = 0; k <= static_cast<int>(BenchKind::kIallreduce); ++k) {
     const auto kind = static_cast<BenchKind>(k);
     EXPECT_EQ(bench_from_name(bench_name(kind)), kind);
   }
@@ -201,6 +201,68 @@ TEST(BenchTest, BarrierGivesOneRow) {
   EXPECT_GT(results[0].rows[0].value, 0.0);
 }
 
+TEST(BenchTest, OverlapBenchmarksReportLatencyAndOverlap) {
+  // osu_ibcast / osu_iallreduce over the nonblocking schedule engine:
+  // every row must carry a positive pure latency and an overlap
+  // percentage in [0, 100], and the engine must hide at least *some*
+  // communication behind the calibrated compute across the sweep.
+  for (const BenchKind kind : {BenchKind::kIbcast, BenchKind::kIallreduce}) {
+    for (const Library lib : {Library::kMv2j, Library::kNativeMv2}) {
+      auto fig = tiny_fig(kind, {{lib, Api::kBuffer, ""}}, 4, 2);
+      fig.options.max_size = 4096;
+      const auto results = run_figure(fig);
+      ASSERT_TRUE(results[0].supported)
+          << bench_name(kind) << ": " << results[0].error;
+      ASSERT_FALSE(results[0].rows.empty()) << bench_name(kind);
+      double overlap_sum = 0.0;
+      for (const auto& row : results[0].rows) {
+        EXPECT_GT(row.value, 0.0) << bench_name(kind);
+        EXPECT_GE(row.overlap, 0.0) << bench_name(kind);
+        EXPECT_LE(row.overlap, 100.0) << bench_name(kind);
+        overlap_sum += row.overlap;
+      }
+      EXPECT_GT(overlap_sum, 0.0)
+          << bench_name(kind) << " on " << library_name(lib)
+          << ": no size showed any communication/computation overlap";
+    }
+  }
+}
+
+TEST(BenchTest, OverlapBenchmarksAreBufferOnly) {
+  const auto results = run_figure(tiny_fig(
+      BenchKind::kIbcast, {{Library::kMv2j, Api::kArrays, ""}}, 3, 0));
+  ASSERT_FALSE(results[0].supported);
+  EXPECT_NE(results[0].error.find("ByteBuffer"), std::string::npos);
+}
+
+TEST(BenchTest, OverlapBenchmarksChargeNbcPvars) {
+  // The schedule engine must show up in the MPI_T-style counters: after
+  // an ibcast sweep every rank charged coll.nbc.bcast once per
+  // operation, and the per-round spans rode the same recorder.
+  minimpi::UniverseConfig cfg;
+  cfg.world_size = 3;
+  cfg.obs = obs::ObsConfig{};
+  cfg.obs.trace_path = testing::TempDir() + "ombj_nbc_pvars.json";
+  minimpi::Universe::launch(cfg, [](minimpi::Comm& world) {
+    std::vector<std::byte> buf(512);
+    for (int i = 0; i < 4; ++i) world.ibcast(buf.data(), buf.size(), 0).wait();
+    float in = 1.0F;
+    float out = 0.0F;
+    world
+        .iallreduce(&in, &out, 1, minimpi::BasicKind::kFloat,
+                    minimpi::ReduceOp::kSum)
+        .wait();
+    world.barrier();
+    obs::PvarRegistry& reg = *world.pvars();
+    const auto total = [&reg](const char* name) {
+      return reg.total(reg.find(name));
+    };
+    EXPECT_EQ(total("coll.nbc.bcast"), 4 * world.size());
+    EXPECT_EQ(total("coll.nbc.allreduce"), world.size());
+    EXPECT_EQ(total("coll.nbc.barrier"), 0);
+  });
+}
+
 TEST(BenchTest, NativeSeriesRun) {
   for (const Library lib : {Library::kNativeMv2, Library::kNativeOmpi}) {
     const auto results = run_figure(
@@ -219,6 +281,19 @@ TEST(HarnessTest, FigureTableMergesBySize) {
   EXPECT_EQ(t.headers().size(), 3u);
   EXPECT_EQ(t.rows(), 9u);
   EXPECT_EQ(t.headers()[1], "A us");
+}
+
+TEST(HarnessTest, OverlapTableAddsColumnPerSeries) {
+  auto fig = tiny_fig(BenchKind::kIallreduce,
+                      {{Library::kNativeMv2, Api::kBuffer, "N"}}, 3, 0);
+  fig.options.max_size = 1024;
+  const auto results = run_figure(fig);
+  const Table t = figure_table(fig, results);
+  ASSERT_EQ(t.headers().size(), 3u);
+  EXPECT_EQ(t.headers()[1], "N us");
+  EXPECT_EQ(t.headers()[2], "N ovl%");
+  ASSERT_GT(t.rows(), 0u);
+  EXPECT_NE(t.data()[0][2], "-");
 }
 
 TEST(HarnessTest, UnsupportedSeriesShowsNa) {
