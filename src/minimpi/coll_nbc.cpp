@@ -395,6 +395,46 @@ bool round_requests_complete(NbcState& st) {
   return true;
 }
 
+/// Poison a schedule whose round failed (rank death, revocation,
+/// timeout): cancel its still-parked receives, record the exception for
+/// every subsequent wait/test, and mark it done so the progress set
+/// prunes it. A rank failure also revokes the communicator — the other
+/// ranks of the operation are parked in rounds that now have no
+/// counterpart, and only a revocation sweep turns those hangs into
+/// CommRevokedError.
+void fail_schedule(NbcState& st, int world, RankClock& clock, UniverseObs* o,
+                   std::exception_ptr ep) {
+  // Cancel parked receives FIRST: their targets point into this
+  // schedule's scratch, and a late match would write through a dangling
+  // buffer once the state is pruned.
+  MatchBucket& bk =
+      st.impl->endpoints[static_cast<std::size_t>(world)]->bucket(
+          st.context_id);
+  {
+    std::lock_guard<std::mutex> lk(bk.mu);
+    for (const auto& rs : st.pending) {
+      if (rs->is_recv) std::erase(bk.posted, rs);
+    }
+  }
+  st.pending.clear();
+  st.failed = true;
+  st.failure = ep;
+  st.done = true;
+  try {
+    std::rethrow_exception(ep);
+  } catch (const RankFailedError&) {
+    st.impl->revoke_comm(st.context_id, world);
+  } catch (...) {
+    // Timeouts and other transport failures poison only this schedule.
+  }
+  if (o != nullptr) {
+    clock.advance_cpu();
+    if (st.posted) o->rec.end(world, "nbc.round", clock.vclock);
+    o->rec.end(world, coll_alg_trace_name(st.alg), clock.vclock);
+  }
+  st.posted = false;
+}
+
 /// Drive one schedule as far as it can go without blocking; returns true
 /// once it is done.
 bool try_advance(NbcState& st) {
@@ -402,29 +442,38 @@ bool try_advance(NbcState& st) {
   const int world = st.group.world_rank(st.my_rank);
   RankClock& clock = st.impl->clocks[static_cast<std::size_t>(world)];
   UniverseObs* o = st.impl->obs.get();
-  for (;;) {
-    if (!st.posted) {
-      if (st.round >= st.rounds.size()) {
-        st.done = true;
-        if (o != nullptr) {
-          clock.advance_cpu();
-          o->rec.end(world, coll_alg_trace_name(st.alg), clock.vclock);
+  try {
+    for (;;) {
+      if (!st.posted) {
+        if (st.round >= st.rounds.size()) {
+          st.done = true;
+          if (o != nullptr) {
+            clock.advance_cpu();
+            o->rec.end(world, coll_alg_trace_name(st.alg), clock.vclock);
+          }
+          return true;
         }
-        return true;
+        post_round(st, world, clock, o);
       }
-      post_round(st, world, clock, o);
+      if (!round_requests_complete(st)) return false;
+      // Finalize in posting order: wait_request returns immediately on a
+      // completed request but still observes its delivery time (the rank's
+      // clock jumps to the round's critical path) and charges the wait
+      // pvars — identical accounting to the blocking suites.
+      for (const auto& rs : st.pending) wait_request(*rs);
+      st.pending.clear();
+      run_local_steps(st, st.rounds[st.round], clock);
+      if (o != nullptr) o->rec.end(world, "nbc.round", clock.vclock);
+      ++st.round;
+      st.posted = false;
     }
-    if (!round_requests_complete(st)) return false;
-    // Finalize in posting order: wait_request returns immediately on a
-    // completed request but still observes its delivery time (the rank's
-    // clock jumps to the round's critical path) and charges the wait
-    // pvars — identical accounting to the blocking suites.
-    for (const auto& rs : st.pending) wait_request(*rs);
-    st.pending.clear();
-    run_local_steps(st, st.rounds[st.round], clock);
-    if (o != nullptr) o->rec.end(world, "nbc.round", clock.vclock);
-    ++st.round;
-    st.posted = false;
+  } catch (const AbortError&) {
+    throw;  // job is aborting: unwind the rank thread, don't poison
+  } catch (const RankKilledError&) {
+    throw;  // this rank's own planned death: unwind
+  } catch (...) {
+    fail_schedule(st, world, clock, o, std::current_exception());
+    return true;
   }
 }
 
@@ -459,7 +508,10 @@ Status nbc_wait(NbcState& st) {
   UniverseImpl& impl = *st.impl;
   for (;;) {
     nbc_progress_rank(impl, world);
-    if (st.done) return Status{};
+    if (st.done) {
+      if (st.failed) std::rethrow_exception(st.failure);
+      return Status{};
+    }
     // Blocked on this round: park on its first incomplete request. With
     // a single active schedule the park can be long (completion notifies
     // the condvar); with siblings outstanding it stays short so their
@@ -482,6 +534,7 @@ Status nbc_wait(NbcState& st) {
 bool nbc_test(NbcState& st, Status* out) {
   nbc_progress_rank(*st.impl, st.group.world_rank(st.my_rank));
   if (!st.done) return false;
+  if (st.failed) std::rethrow_exception(st.failure);
   if (out != nullptr) *out = Status{};
   return true;
 }

@@ -43,6 +43,24 @@ void check_tag_recv(int tag) {
 
 thread_local int internal_tag_depth = 0;
 
+// A blocking collective that loses a rank mid-algorithm leaves peers
+// parked in later rounds of the pattern with nobody left to wake them.
+// Auto-revoking the communicator on the first RankFailedError (as ULFM
+// implementations do for collectives) sweeps those parked operations, so
+// every rank gets a prompt RankFailedError or CommRevokedError instead of
+// a hang. Point-to-point deliberately does not auto-revoke: a dead peer
+// there concerns only the caller.
+template <typename Fn>
+void revoke_on_failure(detail::UniverseImpl* impl, int cid, int my_world,
+                       Fn&& fn) {
+  try {
+    fn();
+  } catch (const RankFailedError&) {
+    impl->revoke_comm(cid, my_world);
+    throw;
+  }
+}
+
 }  // namespace
 
 namespace detail {
@@ -85,6 +103,34 @@ CollectiveSuite Comm::suite() const {
 const UniverseConfig& Comm::universe_config() const {
   check_valid(impl_);
   return impl_->config;
+}
+
+Comm::Comm(detail::UniverseImpl* impl, Group group, int my_rank,
+           int context_id)
+    : impl_(impl),
+      group_(std::move(group)),
+      my_rank_(my_rank),
+      context_id_(context_id) {
+  // Every rank registers the same mapping; the registry keeps the first.
+  impl_->register_comm(context_id_, group_.ranks());
+}
+
+// --- Fault tolerance (ULFM) -------------------------------------------------
+// revoke/shrink/agree live in resilience.cpp with the agreement protocol.
+
+void Comm::set_errhandler(Errhandler eh) const {
+  check_valid(impl_);
+  impl_->set_errhandler(context_id_, eh);
+}
+
+Errhandler Comm::errhandler() const {
+  check_valid(impl_);
+  return impl_->errhandler(context_id_);
+}
+
+std::vector<int> Comm::failed_ranks() const {
+  check_valid(impl_);
+  return impl_->dead_in_comm(context_id_);
 }
 
 // --- Point-to-point ---------------------------------------------------------
@@ -145,8 +191,16 @@ void Comm::sendrecv(const void* send_buf, std::size_t send_bytes, int dst,
   detail::TransportSpan span(impl_->obs.get(), me, "sendrecv",
                              impl_->clocks[static_cast<std::size_t>(me)]);
   Request r = irecv(recv_buf, recv_capacity, src, recv_tag);
-  send(send_buf, send_bytes, dst, send_tag);
-  r.wait(status);
+  try {
+    send(send_buf, send_bytes, dst, send_tag);
+    r.wait(status);
+  } catch (...) {
+    // The send half surfaced a failure (dead peer, revoked comm) with the
+    // receive still posted: recv_buf unwinds with the caller, so the
+    // request must stop being matchable first (see cancel_recv).
+    if (r.state_ != nullptr) impl_->cancel_recv(*r.state_);
+    throw;
+  }
 }
 
 Prequest Comm::send_init(const void* buf, std::size_t bytes, int dst,
@@ -209,17 +263,21 @@ bool Comm::iprobe(int src, int tag, Status* status) const {
 void Comm::barrier() const {
   check_valid(impl_);
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2 ? detail::mv2::barrier(*this)
-                                   : detail::basic::barrier(*this);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2 ? detail::mv2::barrier(*this)
+                                     : detail::basic::barrier(*this);
+  });
 }
 
 void Comm::bcast(void* buf, std::size_t bytes, int root) const {
   check_valid(impl_);
   check_peer(root, size(), "bcast");
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2
-      ? detail::mv2::bcast(*this, buf, bytes, root)
-      : detail::basic::bcast(*this, buf, bytes, root);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2
+        ? detail::mv2::bcast(*this, buf, bytes, root)
+        : detail::basic::bcast(*this, buf, bytes, root);
+  });
 }
 
 void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
@@ -227,19 +285,25 @@ void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
   check_valid(impl_);
   check_peer(root, size(), "reduce");
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2
-      ? detail::mv2::reduce(*this, send_buf, recv_buf, count, kind, op, root)
-      : detail::basic::reduce(*this, send_buf, recv_buf, count, kind, op,
-                              root);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2
+        ? detail::mv2::reduce(*this, send_buf, recv_buf, count, kind, op,
+                              root)
+        : detail::basic::reduce(*this, send_buf, recv_buf, count, kind, op,
+                                root);
+  });
 }
 
 void Comm::allreduce(const void* send_buf, void* recv_buf, std::size_t count,
                      BasicKind kind, ReduceOp op) const {
   check_valid(impl_);
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2
-      ? detail::mv2::allreduce(*this, send_buf, recv_buf, count, kind, op)
-      : detail::basic::allreduce(*this, send_buf, recv_buf, count, kind, op);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2
+        ? detail::mv2::allreduce(*this, send_buf, recv_buf, count, kind, op)
+        : detail::basic::allreduce(*this, send_buf, recv_buf, count, kind,
+                                   op);
+  });
 }
 
 void Comm::reduce_scatter_block(const void* send_buf, void* recv_buf,
@@ -247,20 +311,24 @@ void Comm::reduce_scatter_block(const void* send_buf, void* recv_buf,
                                 ReduceOp op) const {
   check_valid(impl_);
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2
-      ? detail::mv2::reduce_scatter_block(*this, send_buf, recv_buf,
-                                          count_per_rank, kind, op)
-      : detail::basic::reduce_scatter_block(*this, send_buf, recv_buf,
-                                            count_per_rank, kind, op);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2
+        ? detail::mv2::reduce_scatter_block(*this, send_buf, recv_buf,
+                                            count_per_rank, kind, op)
+        : detail::basic::reduce_scatter_block(*this, send_buf, recv_buf,
+                                              count_per_rank, kind, op);
+  });
 }
 
 void Comm::scan(const void* send_buf, void* recv_buf, std::size_t count,
                 BasicKind kind, ReduceOp op) const {
   check_valid(impl_);
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2
-      ? detail::mv2::scan(*this, send_buf, recv_buf, count, kind, op)
-      : detail::basic::scan(*this, send_buf, recv_buf, count, kind, op);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2
+        ? detail::mv2::scan(*this, send_buf, recv_buf, count, kind, op)
+        : detail::basic::scan(*this, send_buf, recv_buf, count, kind, op);
+  });
 }
 
 void Comm::gather(const void* send_buf, std::size_t bytes_per_rank,
@@ -268,10 +336,13 @@ void Comm::gather(const void* send_buf, std::size_t bytes_per_rank,
   check_valid(impl_);
   check_peer(root, size(), "gather");
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2
-      ? detail::mv2::gather(*this, send_buf, bytes_per_rank, recv_buf, root)
-      : detail::basic::gather(*this, send_buf, bytes_per_rank, recv_buf,
-                              root);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2
+        ? detail::mv2::gather(*this, send_buf, bytes_per_rank, recv_buf,
+                              root)
+        : detail::basic::gather(*this, send_buf, bytes_per_rank, recv_buf,
+                                root);
+  });
 }
 
 void Comm::scatter(const void* send_buf, std::size_t bytes_per_rank,
@@ -279,28 +350,36 @@ void Comm::scatter(const void* send_buf, std::size_t bytes_per_rank,
   check_valid(impl_);
   check_peer(root, size(), "scatter");
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2
-      ? detail::mv2::scatter(*this, send_buf, bytes_per_rank, recv_buf, root)
-      : detail::basic::scatter(*this, send_buf, bytes_per_rank, recv_buf,
-                               root);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2
+        ? detail::mv2::scatter(*this, send_buf, bytes_per_rank, recv_buf,
+                               root)
+        : detail::basic::scatter(*this, send_buf, bytes_per_rank, recv_buf,
+                                 root);
+  });
 }
 
 void Comm::allgather(const void* send_buf, std::size_t bytes_per_rank,
                      void* recv_buf) const {
   check_valid(impl_);
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2
-      ? detail::mv2::allgather(*this, send_buf, bytes_per_rank, recv_buf)
-      : detail::basic::allgather(*this, send_buf, bytes_per_rank, recv_buf);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2
+        ? detail::mv2::allgather(*this, send_buf, bytes_per_rank, recv_buf)
+        : detail::basic::allgather(*this, send_buf, bytes_per_rank,
+                                   recv_buf);
+  });
 }
 
 void Comm::alltoall(const void* send_buf, std::size_t bytes_per_pair,
                     void* recv_buf) const {
   check_valid(impl_);
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2
-      ? detail::mv2::alltoall(*this, send_buf, bytes_per_pair, recv_buf)
-      : detail::basic::alltoall(*this, send_buf, bytes_per_pair, recv_buf);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2
+        ? detail::mv2::alltoall(*this, send_buf, bytes_per_pair, recv_buf)
+        : detail::basic::alltoall(*this, send_buf, bytes_per_pair, recv_buf);
+  });
 }
 
 void Comm::gatherv(const void* send_buf, std::size_t send_bytes,
@@ -309,8 +388,10 @@ void Comm::gatherv(const void* send_buf, std::size_t send_bytes,
   check_valid(impl_);
   check_peer(root, size(), "gatherv");
   const detail::InternalTagScope tags;
-  detail::gatherv_linear(*this, send_buf, send_bytes, recv_buf, counts,
-                         displs, root);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    detail::gatherv_linear(*this, send_buf, send_bytes, recv_buf, counts,
+                           displs, root);
+  });
 }
 
 void Comm::scatterv(const void* send_buf,
@@ -320,8 +401,10 @@ void Comm::scatterv(const void* send_buf,
   check_valid(impl_);
   check_peer(root, size(), "scatterv");
   const detail::InternalTagScope tags;
-  detail::scatterv_linear(*this, send_buf, counts, displs, recv_buf,
-                          recv_bytes, root);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    detail::scatterv_linear(*this, send_buf, counts, displs, recv_buf,
+                            recv_bytes, root);
+  });
 }
 
 void Comm::allgatherv(const void* send_buf, std::size_t send_bytes,
@@ -329,11 +412,13 @@ void Comm::allgatherv(const void* send_buf, std::size_t send_bytes,
                       std::span<const std::size_t> displs) const {
   check_valid(impl_);
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2
-      ? detail::mv2::allgatherv(*this, send_buf, send_bytes, recv_buf,
-                                counts, displs)
-      : detail::basic::allgatherv(*this, send_buf, send_bytes, recv_buf,
-                                  counts, displs);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2
+        ? detail::mv2::allgatherv(*this, send_buf, send_bytes, recv_buf,
+                                  counts, displs)
+        : detail::basic::allgatherv(*this, send_buf, send_bytes, recv_buf,
+                                    counts, displs);
+  });
 }
 
 void Comm::alltoallv(const void* send_buf,
@@ -344,11 +429,13 @@ void Comm::alltoallv(const void* send_buf,
                      std::span<const std::size_t> recv_displs) const {
   check_valid(impl_);
   const detail::InternalTagScope tags;
-  suite() == CollectiveSuite::kMv2
-      ? detail::mv2::alltoallv(*this, send_buf, send_counts, send_displs,
-                               recv_buf, recv_counts, recv_displs)
-      : detail::basic::alltoallv(*this, send_buf, send_counts, send_displs,
-                                 recv_buf, recv_counts, recv_displs);
+  revoke_on_failure(impl_, context_id_, my_world(), [&] {
+    suite() == CollectiveSuite::kMv2
+        ? detail::mv2::alltoallv(*this, send_buf, send_counts, send_displs,
+                                 recv_buf, recv_counts, recv_displs)
+        : detail::basic::alltoallv(*this, send_buf, send_counts, send_displs,
+                                   recv_buf, recv_counts, recv_displs);
+  });
 }
 
 // --- Communicator management ---------------------------------------------------
@@ -361,6 +448,8 @@ Comm Comm::dup() const {
   if (my_rank_ == 0)
     new_cid = impl_->next_context_id.fetch_add(1, std::memory_order_relaxed);
   bcast_cid(&new_cid);
+  // New communicators inherit the parent's error handler (MPI semantics).
+  impl_->set_errhandler(new_cid, impl_->errhandler(context_id_));
   return Comm(impl_, group_, my_rank_, new_cid);
 }
 
@@ -414,6 +503,7 @@ Comm Comm::split(int color, int key) const {
   const auto color_it = std::find(colors.begin(), colors.end(), color);
   const int cid =
       base_cid + static_cast<int>(color_it - colors.begin());
+  impl_->set_errhandler(cid, impl_->errhandler(context_id_));
   return Comm(impl_, Group(std::move(world_ranks)), my_new_rank, cid);
 }
 
@@ -427,6 +517,7 @@ Comm Comm::create(const Group& subgroup) const {
 
   const int my_pos = subgroup.rank_of(my_world());
   if (my_pos < 0) return Comm{};
+  impl_->set_errhandler(new_cid, impl_->errhandler(context_id_));
   return Comm(impl_, subgroup, my_pos, new_cid);
 }
 

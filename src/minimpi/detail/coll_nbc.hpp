@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <vector>
 
@@ -86,6 +87,11 @@ struct NbcState {
   bool posted = false;    ///< current round's comm steps are in flight
   std::vector<std::shared_ptr<RequestState>> pending;
   bool done = false;
+  /// A round failed (rank death, revocation, timeout): the schedule is
+  /// poisoned — no further round posts — and every wait/test on it
+  /// rethrows `failure`. Set with done so the progress set prunes it.
+  bool failed = false;
+  std::exception_ptr failure;
 };
 
 /// The operations the engine can compile.

@@ -9,10 +9,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "detail/slab.hpp"
@@ -81,7 +84,8 @@ const char* coll_alg_trace_name(CollAlg alg);
 /// null pointer when observability is disabled, so instrumentation sites
 /// cost exactly one inline pointer test.
 struct UniverseObs {
-  UniverseObs(const obs::ObsConfig& config, int ranks, bool faults);
+  UniverseObs(const obs::ObsConfig& config, int ranks, bool faults,
+              bool kills);
 
   obs::Recorder rec;
 
@@ -99,6 +103,17 @@ struct UniverseObs {
   obs::PvarId fault_data_drops, fault_ack_drops, fault_retransmits;
   obs::PvarId fault_dups, fault_rndv_retries, fault_timeouts;
 
+  /// Rank-failure counters (ULFM layer). Registered only when the job's
+  /// fault plan schedules rank kills; `has_rank_pvars` guards every add so
+  /// a programmatic Universe::kill_rank on an unconfigured job cannot
+  /// touch unregistered ids.
+  bool has_rank_pvars = false;
+  obs::PvarId fault_rank_kills;     ///< fail-stops executed (dead rank slot)
+  obs::PvarId fault_rank_detected;  ///< RankFailedError raises (observer)
+  obs::PvarId fault_rank_revokes;   ///< first revoke per comm (initiator)
+  obs::PvarId fault_rank_shrinks;   ///< shrink completions (per rank)
+  obs::PvarId fault_rank_agrees;    ///< agree completions (per rank)
+
   /// Eager slab-recycler counters (see detail/slab.hpp). Hits/misses are
   /// charged to the sender's rank slot, recycled bytes and overflow
   /// drops to the releasing (receiver) rank's.
@@ -113,7 +128,32 @@ struct UniverseObs {
 /// aborted the job; Universe::run treats it as a secondary failure.
 class AbortError : public jhpc::Error {
  public:
-  AbortError() : Error("minimpi job aborted (another rank failed)") {}
+  AbortError() : Error(jhpc::ErrorCode::kAborted,
+                       "minimpi job aborted (another rank failed)") {}
+};
+
+/// Thrown inside the thread of a rank that fail-stops (scheduled
+/// JHPC_FAULT_KILL death or Universe::kill_rank): unwinds the rank's
+/// launch callback. Universe::run swallows it — a planned death is part
+/// of the fault scenario, not an error of the job.
+class RankKilledError : public jhpc::Error {
+ public:
+  RankKilledError()
+      : Error(jhpc::ErrorCode::kRankFailed,
+              "rank fail-stopped by the fault plan") {}
+};
+
+/// RAII: marks the current thread as running ULFM recovery internals
+/// (shrink/agree). Inside the scope the transport's revoked-communicator
+/// checks and the ErrorsAreFatal escalation are suppressed, so recovery
+/// can run on exactly the communicators it exists to repair.
+class ResilienceScope {
+ public:
+  ResilienceScope();
+  ~ResilienceScope();
+  ResilienceScope(const ResilienceScope&) = delete;
+  ResilienceScope& operator=(const ResilienceScope&) = delete;
+  static bool active();
 };
 
 /// Per-rank virtual clock.
@@ -188,6 +228,11 @@ struct RequestState {
   /// Failed because the reliable transport's delivery timeout expired;
   /// wait/test rethrow this as TransportTimeoutError.
   bool timed_out = false;
+  /// Typed classification of the failure (the satellite error taxonomy):
+  /// wait/test map it back to the matching exception type.
+  jhpc::ErrorCode err_code = jhpc::ErrorCode::kUnknown;
+  /// For kRankFailed: the world ranks known dead when the request failed.
+  std::vector<int> failed_ranks;
   std::string error;
   /// VIRTUAL time at which the result exists at its destination (fabric
   /// delivery time); the owner's clock jumps to it on wait/test success.
@@ -208,6 +253,11 @@ struct RequestState {
 
   /// Abort flag of the owning universe (polled while waiting).
   const std::atomic<bool>* abort = nullptr;
+
+  /// Owning universe: lets wait/test apply the per-communicator error
+  /// handler and notice the owner's own scheduled death. Null only in
+  /// white-box unit tests that build a bare RequestState.
+  UniverseImpl* uni = nullptr;
 
   /// Observability of the owning universe (null when disabled) and the
   /// owner's world rank, so wait_request can account wait time.
@@ -270,9 +320,21 @@ class CollSpan {
 /// ever take the request lock, so endpoint->request is a safe lock order.
 void complete_request(RequestState& rs, const Status& st,
                       std::int64_t ready_at_ns);
-void fail_request(RequestState& rs, std::string error);
+void fail_request(RequestState& rs, jhpc::ErrorCode code, std::string error);
 /// fail_request + the timed_out mark: waiters get TransportTimeoutError.
 void fail_request_timeout(RequestState& rs, std::string error);
+/// Fail with kRankFailed: `detect_at_ns` is the virtual time at which the
+/// owner's heartbeat detector observes the death (waiters jump to it).
+void fail_request_rank(RequestState& rs, std::string error,
+                       std::vector<int> failed, std::int64_t detect_at_ns);
+/// Fail with kCommRevoked; same detection-latency contract.
+void fail_request_revoked(RequestState& rs, std::string error,
+                          std::int64_t detect_at_ns);
+
+/// Rethrow a recorded failure as its typed exception (the taxonomy's
+/// single decode point: timeout/truncation/rank-failure/revocation).
+[[noreturn]] void throw_failure(jhpc::ErrorCode code, const std::string& err,
+                                std::vector<int> failed);
 
 /// Block until `rs` completes; jumps the owner's virtual clock to the
 /// delivery time; throws the delivered error or AbortError. Must run on
@@ -381,6 +443,144 @@ struct UniverseImpl {
   /// message handling is byte-identical to a fault-free build.
   bool faults_on = false;
 
+  // --- ULFM rank-failure layer ------------------------------------------
+  /// One fault-tolerant agreement instance (Comm::agree / Comm::shrink).
+  /// Ranks are threads of one process, so agreement runs on a shared
+  /// board under FailureState::mu: every participant contributes, the
+  /// round completes once each group member has contributed or died, and
+  /// the first rank to see completion commits one consistent snapshot.
+  /// The modelled network cost (2*ceil(log2 n) hops, the depth of a
+  /// reduce+bcast tree) is charged to each caller's virtual clock.
+  struct AgreeSlot {
+    int flag_and = ~0;           ///< AND over contributed flags
+    int new_cid = 0;             ///< shrink: context id, allocated once
+    std::set<int> contributed;   ///< world ranks that contributed
+    bool committed = false;
+    int result_flag = 0;
+    std::vector<int> result_dead;  ///< agreed failed set (world, sorted)
+  };
+
+  /// Epitaph timestamp for an externally-killed rank whose clock the
+  /// detector could not read (clocks are thread-local to their owner);
+  /// refined to the real death time if the victim runs again.
+  static constexpr std::int64_t kDeathTimeUnknown = -1;
+
+  /// All mutable rank-failure state. The fast guards (`kills_on`,
+  /// `dead_count`, `revoked_count`) are the zero-cost-off story: with no
+  /// kill plan and no revocation, every transport entry pays exactly one
+  /// relaxed atomic load.
+  struct FailureState {
+    std::atomic<bool> kills_on{false};
+    std::atomic<int> dead_count{0};
+    std::atomic<int> revoked_count{0};
+    /// Per world rank: fail-stopped; its death time; its scheduled death
+    /// time (INT64_MAX = never). Arrays sized world_size.
+    std::unique_ptr<std::atomic<bool>[]> dead;
+    std::unique_ptr<std::atomic<std::int64_t>[]> dead_at;
+    std::unique_ptr<std::atomic<std::int64_t>[]> kill_at;
+
+    std::mutex mu;
+    /// Agreement-board wakeups (contributions and deaths both re-evaluate
+    /// the completion condition).
+    std::condition_variable cv;
+    std::set<int> revoked;  ///< revoked context ids
+    /// Context id -> the communicator's world ranks in comm-rank order;
+    /// maps a posted receive's match_src to a world identity when the
+    /// reaper decides which requests a death breaks.
+    std::unordered_map<int, std::vector<int>> comm_groups;
+    /// Context id -> error handler (absent = kErrorsAreFatal).
+    std::unordered_map<int, Errhandler> errhandlers;
+    /// (context id, per-comm agreement round) -> slot.
+    std::map<std::pair<int, std::uint64_t>, AgreeSlot> agree;
+    /// (context id, world rank) -> next agreement round for that rank.
+    std::map<std::pair<int, int>, std::uint64_t> agree_seq;
+  };
+  FailureState fail;
+
+  /// Result of one agreement round (Comm::agree / Comm::shrink).
+  struct AgreeResult {
+    int flag = 0;
+    int new_cid = 0;
+    std::vector<int> agreed_dead;
+  };
+
+  bool kills_on() const {
+    return fail.kills_on.load(std::memory_order_relaxed);
+  }
+  bool rank_dead(int world_rank) const {
+    return kills_on() &&
+           fail.dead[static_cast<std::size_t>(world_rank)].load(
+               std::memory_order_acquire);
+  }
+  /// True when this rank has fail-stopped (no reaping; safe under locks).
+  bool self_dead(int my_world) const { return rank_dead(my_world); }
+
+  /// Transport-entry check on the calling rank's own thread: executes a
+  /// scheduled death (kill_at reached in virtual time) or an already
+  /// marked one by reaping and throwing RankKilledError. Must be called
+  /// with no transport locks held.
+  void check_self_alive(int my_world);
+
+  /// Universe::kill_rank: fail-stop `world_rank` now, from any thread.
+  void external_kill(int world_rank);
+
+  /// The reaper: mark `world_rank` dead as of `at_vns` and break every
+  /// operation the death strands — posted receives matching the dead rank
+  /// (or any-source over a group containing it), the dead rank's own
+  /// parked requests, rendezvous senders parked toward its endpoint, and
+  /// its unmatched rendezvous envelopes (their source buffer unwinds with
+  /// the dead thread). Survivors observe the failure no earlier than
+  /// at_vns + heartbeat_ns. Idempotent.
+  void mark_dead(int world_rank, std::int64_t at_vns);
+
+  void register_comm(int context_id, std::vector<int> world_ranks);
+  void set_errhandler(int context_id, Errhandler eh);
+  Errhandler errhandler(int context_id);
+
+  /// Comm::revoke: mark the communicator revoked and sweep-fail every
+  /// pending operation on it (posted receives, parked rendezvous
+  /// senders); in-flight eager payloads on it are dropped. Idempotent;
+  /// `my_world` is the initiating rank (pvar + propagation timestamp).
+  void revoke_comm(int context_id, int my_world);
+  bool comm_revoked(int context_id);
+
+  /// World ranks of `context_id`'s group currently known dead (sorted).
+  std::vector<int> dead_in_comm(int context_id);
+
+  /// First dead world rank a receive matching (src, any) could involve,
+  /// or -1. `match_src` is a comm rank or kAnySource.
+  int dead_peer_for_recv(int context_id, int my_world, int match_src);
+
+  /// Raise a rank-failure/revocation condition on the calling rank:
+  /// counts fault.rank.detected, applies the communicator's error handler
+  /// (ErrorsAreFatal aborts the job first unless inside ResilienceScope),
+  /// then throws the typed exception.
+  [[noreturn]] void raise_failure(int my_world, int context_id,
+                                  jhpc::ErrorCode code,
+                                  const std::string& what,
+                                  std::vector<int> failed);
+
+  /// Combined cheap entry check (self-death, revocation, dead peer).
+  /// `peer_world` < 0 means "no specific peer".
+  void entry_checks(int my_world, int context_id, int peer_world);
+
+  /// One fault-tolerant agreement round on `context_id` (resilience.cpp).
+  /// Completes once every group member contributed or died; all
+  /// participants read the same committed snapshot. With `alloc_cid` the
+  /// slot also allocates one fresh context id (Comm::shrink).
+  AgreeResult agree_on(int context_id, int my_world, int flag,
+                       bool alloc_cid);
+
+  /// Reset the rank-failure layer for a (re)starting job: arm the
+  /// config's kill schedule, clear death/revocation/agreement state.
+  void reset_failure_state();
+
+  /// Drop every parked request and unexpected message, returning eager
+  /// slabs to the recycler. Run at job start and after join so a run that
+  /// ended in failures (timeouts, kills, aborts) cannot leak stale
+  /// matches — or dangling buffers — into the next run on this Universe.
+  void quiesce();
+
   /// Per directed (src,dst) world-rank pair: latest data delivery time
   /// handed out so far. The reliable transport floors every delivery to
   /// it, so retransmitted messages cannot be overtaken in virtual time by
@@ -458,12 +658,24 @@ struct UniverseImpl {
   Status blocking_recv(int my_world, int context_id, int src, int tag,
                        void* buf, std::size_t capacity);
 
+  /// Withdraw a posted receive whose owner is unwinding without it having
+  /// completed (a rank failure surfaced from a sibling operation, e.g. the
+  /// send half of a sendrecv). The receive buffer is about to go out of
+  /// scope, so the request must stop being matchable: a sender that found
+  /// it in the posted queue would memcpy into freed memory. Taking the
+  /// bucket lock here also fences a concurrent deliver() that matched it
+  /// first — its copy runs under the same lock, so once cancel returns
+  /// the buffer is quiescent and safe to destroy.
+  void cancel_recv(const RequestState& rs);
+
   /// Outcome of consuming one matched unexpected message in place.
   struct Consumed {
     std::int64_t arrival_ns = 0;  ///< receive completion (virtual time)
     bool ok = true;
     bool timed_out = false;  ///< failure was a transport timeout
-    std::string error;       ///< set when !ok
+    /// Typed failure classification (kTruncated, kTransportTimeout).
+    jhpc::ErrorCode code = jhpc::ErrorCode::kUnknown;
+    std::string error;  ///< set when !ok
   };
 
   /// Copy a matched unexpected message into the receive buffer and settle

@@ -164,6 +164,35 @@ class Comm {
                  std::span<const std::size_t> recv_counts,
                  std::span<const std::size_t> recv_displs) const;
 
+  // --- Fault tolerance (ULFM) -----------------------------------------------
+  /// Error-handling policy for rank-failure conditions on this
+  /// communicator (default kErrorsAreFatal, as in MPI). The handler is a
+  /// property of the communicator, shared by all its ranks; new
+  /// communicators inherit the parent's handler.
+  void set_errhandler(Errhandler eh) const;
+  Errhandler errhandler() const;
+
+  /// Revoke this communicator (MPIX_Comm_revoke): every pending and
+  /// future operation on it — on every rank — raises CommRevokedError.
+  /// Irreversible; survivors rebuild with shrink(). Idempotent.
+  void revoke() const;
+
+  /// Agree on the failed set and build a survivors-only communicator with
+  /// dense re-ranking (MPIX_Comm_shrink). Collective over the survivors;
+  /// works on revoked and failure-stricken communicators. The result
+  /// inherits this communicator's error handler.
+  Comm shrink() const;
+
+  /// Fault-tolerant agreement (MPIX_Comm_agree): returns the bitwise AND
+  /// of `flag` over all participating ranks, identically on every
+  /// survivor, even when ranks fail mid-agreement (a rank that dies after
+  /// contributing still counts; one that dies before does not).
+  int agree(int flag) const;
+
+  /// World ranks of this communicator's group currently known to have
+  /// failed (sorted ascending). Purely local snapshot.
+  std::vector<int> failed_ranks() const;
+
   // --- Communicator management ----------------------------------------------
   /// New communicator, same group, fresh context (collective).
   Comm dup() const;
@@ -194,11 +223,10 @@ class Comm {
   friend class Universe;
   friend detail::ObsAccess detail::obs_access(const Comm& c);
 
-  Comm(detail::UniverseImpl* impl, Group group, int my_rank, int context_id)
-      : impl_(impl),
-        group_(std::move(group)),
-        my_rank_(my_rank),
-        context_id_(context_id) {}
+  /// Registers the (context id -> group) mapping with the Universe so the
+  /// rank-failure reaper can map posted receives back to world identities
+  /// (comm.cpp).
+  Comm(detail::UniverseImpl* impl, Group group, int my_rank, int context_id);
 
   /// Binomial broadcast of one int from rank 0 on the internal management
   /// tag (context-id agreement during dup/split/create).

@@ -9,6 +9,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "jhpc/support/error.hpp"
 
@@ -22,8 +25,57 @@ namespace jhpc::minimpi {
 /// degradation instead of a hang. Never thrown when faults are disabled.
 class TransportTimeoutError : public jhpc::Error {
  public:
-  explicit TransportTimeoutError(const std::string& what) : Error(what) {}
+  explicit TransportTimeoutError(const std::string& what)
+      : Error(ErrorCode::kTransportTimeout, what) {}
 };
+
+/// Raised on the receiver when a matched message is larger than the
+/// posted receive buffer (MPI_ERR_TRUNCATE).
+class TruncationError : public jhpc::Error {
+ public:
+  explicit TruncationError(const std::string& what)
+      : Error(ErrorCode::kTruncated, what) {}
+};
+
+/// Raised when an operation involves a rank that has fail-stopped
+/// (MPIX_ERR_PROC_FAILED in ULFM terms). `failed_ranks()` lists the dead
+/// ranks known to be involved, as WORLD ranks, sorted ascending. Only
+/// raised when a rank-failure plan is configured (netsim
+/// FaultPlan::kills) or Universe::kill_rank was called.
+class RankFailedError : public jhpc::Error {
+ public:
+  RankFailedError(const std::string& what, std::vector<int> failed)
+      : Error(ErrorCode::kRankFailed, what), failed_ranks_(std::move(failed)) {}
+
+  const std::vector<int>& failed_ranks() const { return failed_ranks_; }
+
+ private:
+  std::vector<int> failed_ranks_;
+};
+
+/// Raised when an operation runs on (or is interrupted by) a revoked
+/// communicator (MPIX_ERR_REVOKED). After Comm::revoke(), every pending
+/// and future operation on that communicator raises this until survivors
+/// rebuild via Comm::shrink().
+class CommRevokedError : public jhpc::Error {
+ public:
+  explicit CommRevokedError(const std::string& what)
+      : Error(ErrorCode::kCommRevoked, what) {}
+};
+
+/// Per-communicator error-handling policy for *rank-failure* conditions
+/// (RankFailedError / CommRevokedError), set via Comm::set_errhandler.
+///
+///   kErrorsAreFatal — MPI default: the first failure observed on the
+///                     communicator aborts the whole job (every rank's
+///                     launch callback unwinds, Universe::run rethrows).
+///   kErrorsReturn   — ULFM mode: the typed exception propagates to the
+///                     caller only, who may revoke/shrink/agree and
+///                     continue on the survivors.
+///
+/// TransportTimeoutError is not mediated by the handler: link-level
+/// delivery failure keeps its PR-2 semantics either way.
+enum class Errhandler : std::uint8_t { kErrorsAreFatal, kErrorsReturn };
 
 /// Wildcard source for receives (MPI_ANY_SOURCE).
 inline constexpr int kAnySource = -1;

@@ -82,6 +82,14 @@ class Universe {
   /// Execute `rank_main` on every rank; blocks until all ranks return.
   void run(const std::function<void(Comm&)>& rank_main);
 
+  /// Test hook: fail-stop `world_rank` immediately, from any thread
+  /// (including another rank's), while a run is in progress. The target's
+  /// thread unwinds at its next MPI call; survivors observe the death
+  /// exactly as with a JHPC_FAULT_KILL schedule (RankFailedError under
+  /// ErrorsReturn, job abort under the default ErrorsAreFatal). See
+  /// docs/FAULTS.md.
+  void kill_rank(int world_rank);
+
   /// Convenience: construct a Universe and run one function.
   static void launch(const UniverseConfig& config,
                      const std::function<void(Comm&)>& rank_main);

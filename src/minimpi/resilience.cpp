@@ -1,0 +1,185 @@
+// ULFM recovery operations: the fault-tolerant agreement board behind
+// Comm::agree and Comm::shrink, plus the Comm bodies of the
+// revoke/shrink/agree triad. Kept apart from transport.cpp because
+// nothing here is on a message hot path — these run only during
+// recovery, after a failure has already surfaced.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "detail/transport.hpp"
+#include "jhpc/minimpi/comm.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+namespace detail {
+
+namespace {
+
+using namespace std::chrono_literals;
+
+// Abort/death polling period while parked on the agreement board; only
+// recovery paths pay this latency.
+constexpr auto kAgreePoll = 20ms;
+
+int ceil_log2(int n) {
+  int bits = 0;
+  for (int v = n - 1; v > 0; v >>= 1) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+UniverseImpl::AgreeResult UniverseImpl::agree_on(int context_id,
+                                                 int my_world, int flag,
+                                                 bool alloc_cid) {
+  // A scheduled death fires here as at any transport entry (no locks yet).
+  check_self_alive(my_world);
+  RankClock& clock = clocks[static_cast<std::size_t>(my_world)];
+  clock.advance_cpu();
+
+  AgreeResult out;
+  std::vector<int> group;
+  {
+    std::unique_lock<std::mutex> lk(fail.mu);
+    auto git = fail.comm_groups.find(context_id);
+    JHPC_REQUIRE(git != fail.comm_groups.end(),
+                 "agree on an unregistered communicator");
+    group = git->second;
+
+    // Agreement rounds pair up by per-rank initiation count: agree/shrink
+    // are collective and therefore entered in the same order on every
+    // rank, so the r-th call on each rank joins the same slot (the same
+    // scheme that matches collective tags).
+    const std::uint64_t round = fail.agree_seq[{context_id, my_world}]++;
+    AgreeSlot& slot = fail.agree[{context_id, round}];
+    if (alloc_cid && slot.new_cid == 0)
+      slot.new_cid = next_context_id.fetch_add(1, std::memory_order_relaxed);
+    slot.flag_and &= flag;
+    slot.contributed.insert(my_world);
+    fail.cv.notify_all();
+
+    for (;;) {
+      if (slot.committed) break;
+      // The round completes once every group member has contributed or
+      // died. The first rank to see completion commits one snapshot; a
+      // rank that dies after contributing still counts (its flag is in),
+      // one that dies before does not — every survivor reads the same
+      // committed result either way.
+      bool complete = true;
+      for (int w : group) {
+        if (slot.contributed.count(w) == 0 && !rank_dead(w)) {
+          complete = false;
+          break;
+        }
+      }
+      if (complete) {
+        slot.result_flag = slot.flag_and;
+        slot.result_dead.clear();
+        for (int w : group)
+          if (rank_dead(w)) slot.result_dead.push_back(w);
+        std::sort(slot.result_dead.begin(), slot.result_dead.end());
+        slot.committed = true;
+        fail.cv.notify_all();
+        break;
+      }
+      if (abort.load(std::memory_order_relaxed)) {
+        lk.unlock();
+        throw AbortError();
+      }
+      if (self_dead(my_world)) {
+        lk.unlock();
+        throw RankKilledError();
+      }
+      fail.cv.wait_for(lk, kAgreePoll);
+    }
+    out.flag = slot.result_flag;
+    out.new_cid = slot.new_cid;
+    out.agreed_dead = slot.result_dead;
+  }
+
+  // Model the agreement's network cost: the depth of a reduce+bcast tree,
+  // 2*ceil(log2 n) hops over the slowest link this rank talks across.
+  std::int64_t hop = 0;
+  for (int w : group)
+    if (w != my_world) hop = std::max(hop, fabric.hop_latency_ns(my_world, w));
+  clock.charge(2 * ceil_log2(static_cast<int>(group.size())) * hop);
+  // Detection-latency floor: an agreed death cannot have been observed
+  // before the dead rank's heartbeat deadline.
+  const std::int64_t hb = fabric.faults().heartbeat_ns;
+  for (int w : out.agreed_dead)
+    clock.observe(fail.dead_at[static_cast<std::size_t>(w)].load(
+                      std::memory_order_acquire) +
+                  hb);
+  clock.resync_cpu();
+  return out;
+}
+
+}  // namespace detail
+
+namespace {
+
+void check_valid(const detail::UniverseImpl* impl) {
+  JHPC_REQUIRE(impl != nullptr, "operation on an invalid communicator");
+}
+
+}  // namespace
+
+// --- Comm: the ULFM triad ---------------------------------------------------
+
+void Comm::revoke() const {
+  check_valid(impl_);
+  impl_->revoke_comm(context_id_, my_world());
+}
+
+Comm Comm::shrink() const {
+  check_valid(impl_);
+  const int me = my_world();
+  detail::RankClock& clock = impl_->clocks[static_cast<std::size_t>(me)];
+  detail::TransportSpan span(impl_->obs.get(), me, "shrink", clock);
+  // Recovery must run on exactly the (possibly revoked, possibly
+  // failure-stricken) communicator it repairs.
+  const detail::ResilienceScope scope;
+  const detail::UniverseImpl::AgreeResult res =
+      impl_->agree_on(context_id_, me, /*flag=*/1, /*alloc_cid=*/true);
+
+  // Survivors in parent-comm order: dense re-ranking preserves the
+  // relative order of the live ranks.
+  std::vector<int> survivors;
+  survivors.reserve(group_.ranks().size());
+  int my_new_rank = -1;
+  for (int w : group_.ranks()) {
+    if (std::binary_search(res.agreed_dead.begin(), res.agreed_dead.end(),
+                           w))
+      continue;
+    if (w == me) my_new_rank = static_cast<int>(survivors.size());
+    survivors.push_back(w);
+  }
+  // Killed between committing the agreement and reading it back.
+  if (my_new_rank < 0) throw detail::RankKilledError();
+
+  impl_->set_errhandler(res.new_cid, impl_->errhandler(context_id_));
+  detail::UniverseObs* o = impl_->obs.get();
+  if (o != nullptr && o->has_rank_pvars)
+    o->rec.pvars().add(o->fault_rank_shrinks, me, 1);
+  return Comm(impl_, Group(std::move(survivors)), my_new_rank, res.new_cid);
+}
+
+int Comm::agree(int flag) const {
+  check_valid(impl_);
+  const int me = my_world();
+  detail::RankClock& clock = impl_->clocks[static_cast<std::size_t>(me)];
+  detail::TransportSpan span(impl_->obs.get(), me, "agree", clock);
+  const detail::ResilienceScope scope;
+  const detail::UniverseImpl::AgreeResult res =
+      impl_->agree_on(context_id_, me, flag, /*alloc_cid=*/false);
+  detail::UniverseObs* o = impl_->obs.get();
+  if (o != nullptr && o->has_rank_pvars)
+    o->rec.pvars().add(o->fault_rank_agrees, me, 1);
+  return res.flag;
+}
+
+}  // namespace jhpc::minimpi

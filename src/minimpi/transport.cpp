@@ -74,7 +74,8 @@ const char* coll_alg_trace_name(CollAlg alg) {
   return kCollAlgNames[static_cast<std::size_t>(alg)].trace;
 }
 
-UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks, bool faults)
+UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks, bool faults,
+                         bool kills)
     : rec(config, ranks) {
   obs::PvarRegistry& reg = rec.pvars();
   using obs::PvarClass;
@@ -130,6 +131,26 @@ UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks, bool faults)
         reg.register_pvar("fault.timeouts", PvarClass::kCounter,
                           "messages abandoned after the delivery timeout");
   }
+  if (kills) {
+    // Like the fault.* family: only a job with scheduled rank deaths
+    // carries the ULFM counters, so a kill-free pvar table is unchanged.
+    has_rank_pvars = true;
+    fault_rank_kills =
+        reg.register_pvar("fault.rank.kills", PvarClass::kCounter,
+                          "rank fail-stops executed");
+    fault_rank_detected =
+        reg.register_pvar("fault.rank.detected", PvarClass::kCounter,
+                          "rank-failure errors raised at this rank");
+    fault_rank_revokes =
+        reg.register_pvar("fault.rank.revokes", PvarClass::kCounter,
+                          "communicator revocations initiated");
+    fault_rank_shrinks =
+        reg.register_pvar("fault.rank.shrinks", PvarClass::kCounter,
+                          "shrink operations completed");
+    fault_rank_agrees =
+        reg.register_pvar("fault.rank.agrees", PvarClass::kCounter,
+                          "fault-tolerant agreements completed");
+  }
   coll.resize(static_cast<std::size_t>(CollAlg::kCount));
   for (int a = 0; a < static_cast<int>(CollAlg::kCount); ++a) {
     coll[static_cast<std::size_t>(a)] = reg.register_pvar(
@@ -147,9 +168,10 @@ void complete_request(RequestState& rs, const Status& st,
   rs.cv.notify_all();
 }
 
-void fail_request(RequestState& rs, std::string error) {
+void fail_request(RequestState& rs, jhpc::ErrorCode code, std::string error) {
   std::lock_guard<std::mutex> lk(rs.mu);
   rs.failed = true;
+  rs.err_code = code;
   rs.error = std::move(error);
   rs.complete = true;
   rs.cv.notify_all();
@@ -159,10 +181,67 @@ void fail_request_timeout(RequestState& rs, std::string error) {
   std::lock_guard<std::mutex> lk(rs.mu);
   rs.failed = true;
   rs.timed_out = true;
+  rs.err_code = jhpc::ErrorCode::kTransportTimeout;
   rs.error = std::move(error);
   rs.complete = true;
   rs.cv.notify_all();
 }
+
+void fail_request_rank(RequestState& rs, std::string error,
+                       std::vector<int> failed, std::int64_t detect_at_ns) {
+  std::lock_guard<std::mutex> lk(rs.mu);
+  if (rs.complete) return;  // the reaper never overwrites a settled result
+  rs.failed = true;
+  rs.err_code = jhpc::ErrorCode::kRankFailed;
+  rs.failed_ranks = std::move(failed);
+  rs.error = std::move(error);
+  rs.ready_at_ns = detect_at_ns;
+  rs.complete = true;
+  rs.cv.notify_all();
+}
+
+void fail_request_revoked(RequestState& rs, std::string error,
+                          std::int64_t detect_at_ns) {
+  std::lock_guard<std::mutex> lk(rs.mu);
+  if (rs.complete) return;
+  rs.failed = true;
+  rs.err_code = jhpc::ErrorCode::kCommRevoked;
+  rs.error = std::move(error);
+  rs.ready_at_ns = detect_at_ns;
+  rs.complete = true;
+  rs.cv.notify_all();
+}
+
+void throw_failure(jhpc::ErrorCode code, const std::string& err,
+                   std::vector<int> failed) {
+  switch (code) {
+    case jhpc::ErrorCode::kTransportTimeout:
+      throw TransportTimeoutError(err);
+    case jhpc::ErrorCode::kTruncated:
+      throw TruncationError(err);
+    case jhpc::ErrorCode::kRankFailed:
+      throw RankFailedError(err, std::move(failed));
+    case jhpc::ErrorCode::kCommRevoked:
+      throw CommRevokedError(err);
+    case jhpc::ErrorCode::kAborted:
+      throw AbortError();
+    default:
+      throw jhpc::Error(code, err);
+  }
+}
+
+namespace {
+
+/// Depth of ResilienceScope nesting on this thread (shrink/agree run
+/// inside one; the transport's revoked checks and fatal escalation stand
+/// down there).
+thread_local int resilience_depth = 0;
+
+}  // namespace
+
+ResilienceScope::ResilienceScope() { ++resilience_depth; }
+ResilienceScope::~ResilienceScope() { --resilience_depth; }
+bool ResilienceScope::active() { return resilience_depth > 0; }
 
 Status wait_request(RequestState& rs) {
   // Fold in the CPU the owner spent since its last transport call so the
@@ -175,17 +254,35 @@ Status wait_request(RequestState& rs) {
   std::unique_lock<std::mutex> lk(rs.mu);
   while (!rs.complete) {
     rs.cv.wait_for(lk, kAbortPoll);
-    if (!rs.complete && rs.abort != nullptr &&
-        rs.abort->load(std::memory_order_relaxed)) {
+    if (rs.complete) break;
+    if (rs.abort != nullptr && rs.abort->load(std::memory_order_relaxed)) {
       throw AbortError();
+    }
+    // The waiter itself may have been fail-stopped (Universe::kill_rank
+    // from another thread): unwind instead of waiting forever.
+    if (rs.uni != nullptr && rs.uni->self_dead(rs.owner_world)) {
+      throw RankKilledError();
     }
   }
   if (rs.failed) {
     const std::string err = rs.error;
-    const bool timed_out = rs.timed_out;
+    const jhpc::ErrorCode code =
+        rs.timed_out ? jhpc::ErrorCode::kTransportTimeout : rs.err_code;
+    std::vector<int> failed = rs.failed_ranks;
+    const std::int64_t detect_at = rs.ready_at_ns;
     lk.unlock();
-    if (timed_out) throw TransportTimeoutError(err);
-    throw jhpc::Error(err);
+    if (rs.uni != nullptr && rs.uni->self_dead(rs.owner_world)) {
+      throw RankKilledError();
+    }
+    // Failure detection has virtual-time latency too: a reaped request
+    // carries the heartbeat-floored detection time.
+    if (rs.owner_clock != nullptr) rs.owner_clock->observe(detect_at);
+    if (rs.uni != nullptr && (code == jhpc::ErrorCode::kRankFailed ||
+                              code == jhpc::ErrorCode::kCommRevoked)) {
+      rs.uni->raise_failure(rs.owner_world, rs.context_id, code, err,
+                            std::move(failed));
+    }
+    throw_failure(code, err, std::move(failed));
   }
   const Status st = rs.status;
   const std::int64_t ready_at = rs.ready_at_ns;
@@ -207,14 +304,25 @@ Status wait_request(RequestState& rs) {
 
 bool test_request(RequestState& rs, Status* out) {
   if (rs.owner_clock != nullptr) rs.owner_clock->advance_cpu();
+  if (rs.uni != nullptr && rs.uni->self_dead(rs.owner_world)) {
+    throw RankKilledError();
+  }
   std::unique_lock<std::mutex> lk(rs.mu);
   if (!rs.complete) return false;
   if (rs.failed) {
     const std::string err = rs.error;
-    const bool timed_out = rs.timed_out;
+    const jhpc::ErrorCode code =
+        rs.timed_out ? jhpc::ErrorCode::kTransportTimeout : rs.err_code;
+    std::vector<int> failed = rs.failed_ranks;
+    const std::int64_t detect_at = rs.ready_at_ns;
     lk.unlock();
-    if (timed_out) throw TransportTimeoutError(err);
-    throw jhpc::Error(err);
+    if (rs.owner_clock != nullptr) rs.owner_clock->observe(detect_at);
+    if (rs.uni != nullptr && (code == jhpc::ErrorCode::kRankFailed ||
+                              code == jhpc::ErrorCode::kCommRevoked)) {
+      rs.uni->raise_failure(rs.owner_world, rs.context_id, code, err,
+                            std::move(failed));
+    }
+    throw_failure(code, err, std::move(failed));
   }
   // Completed, but only observable once the owner's virtual time reaches
   // the delivery time; polling burns CPU and therefore advances it.
@@ -252,8 +360,314 @@ UniverseImpl::UniverseImpl(UniverseConfig cfg)
     fifo_floor = std::make_unique<std::atomic<std::int64_t>[]>(pairs);
     reset_fault_state();
   }
-  if (cfg.obs.enabled())
-    obs = std::make_unique<UniverseObs>(cfg.obs, cfg.world_size, faults_on);
+  const auto n = static_cast<std::size_t>(cfg.world_size);
+  fail.dead = std::make_unique<std::atomic<bool>[]>(n);
+  fail.dead_at = std::make_unique<std::atomic<std::int64_t>[]>(n);
+  fail.kill_at = std::make_unique<std::atomic<std::int64_t>[]>(n);
+  reset_failure_state();
+  if (cfg.obs.enabled()) {
+    obs = std::make_unique<UniverseObs>(cfg.obs, cfg.world_size, faults_on,
+                                        fabric.faults().kills_enabled());
+  }
+}
+
+void UniverseImpl::reset_failure_state() {
+  const netsim::FaultPlan& plan = fabric.faults();
+  const auto n = static_cast<std::size_t>(config.world_size);
+  for (std::size_t w = 0; w < n; ++w) {
+    fail.dead[w].store(false, std::memory_order_relaxed);
+    fail.dead_at[w].store(0, std::memory_order_relaxed);
+    fail.kill_at[w].store(INT64_MAX, std::memory_order_relaxed);
+  }
+  fail.dead_count.store(0, std::memory_order_relaxed);
+  fail.revoked_count.store(0, std::memory_order_relaxed);
+  for (const netsim::FaultPlan::RankKill& k : plan.kills) {
+    JHPC_REQUIRE(k.rank < config.world_size,
+                 "fault plan kills rank " + std::to_string(k.rank) +
+                     " outside a " + std::to_string(config.world_size) +
+                     "-rank world");
+    fail.kill_at[static_cast<std::size_t>(k.rank)].store(
+        k.at_vns, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lk(fail.mu);
+    fail.revoked.clear();
+    fail.comm_groups.clear();
+    fail.errhandlers.clear();
+    fail.agree.clear();
+    fail.agree_seq.clear();
+  }
+  fail.kills_on.store(plan.kills_enabled(), std::memory_order_release);
+}
+
+void UniverseImpl::check_self_alive(int my_world) {
+  if (!kills_on()) return;
+  const auto me = static_cast<std::size_t>(my_world);
+  if (fail.dead[me].load(std::memory_order_acquire)) {
+    // An external kill stamps the epitaph with kDeathTimeUnknown; refine
+    // it here, on the owning thread, where reading the clock is safe.
+    std::int64_t unknown = kDeathTimeUnknown;
+    fail.dead_at[me].compare_exchange_strong(unknown, clocks[me].vclock,
+                                             std::memory_order_relaxed);
+    throw RankKilledError();
+  }
+  const std::int64_t at = fail.kill_at[me].load(std::memory_order_relaxed);
+  if (clocks[me].vclock >= at) {
+    mark_dead(my_world, std::max(at, clocks[me].vclock));
+    throw RankKilledError();
+  }
+}
+
+void UniverseImpl::external_kill(int world_rank) {
+  // Arm the layer first so every subsequent transport entry sees it.
+  fail.kills_on.store(true, std::memory_order_release);
+  // The victim's clock is thread-local to the victim; an external
+  // detector cannot read it. Stamp the epitaph "time unknown" — the
+  // victim refines it in check_self_alive if it ever runs again.
+  mark_dead(world_rank, kDeathTimeUnknown);
+}
+
+void UniverseImpl::mark_dead(int world_rank, std::int64_t at_vns) {
+  const auto r = static_cast<std::size_t>(world_rank);
+  bool expected = false;
+  if (!fail.dead[r].compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+    return;  // already dead
+  }
+  fail.dead_at[r].store(at_vns, std::memory_order_relaxed);
+  fail.dead_count.fetch_add(1, std::memory_order_relaxed);
+  UniverseObs* const o = obs.get();
+  if (o != nullptr && o->has_rank_pvars) {
+    o->rec.pvars().add(o->fault_rank_kills, world_rank, 1);
+  }
+  // Snapshot the comm registry; the bucket sweeps below must not nest
+  // fail.mu inside bucket locks.
+  std::unordered_map<int, std::vector<int>> groups;
+  {
+    std::lock_guard<std::mutex> lk(fail.mu);
+    groups = fail.comm_groups;
+  }
+  const std::int64_t detect_at = at_vns + fabric.faults().heartbeat_ns;
+  const std::string what =
+      "rank " + std::to_string(world_rank) + " failed (fail-stop at " +
+      std::to_string(at_vns) + " virtual ns)";
+  for (std::size_t w = 0; w < endpoints.size(); ++w) {
+    for (MatchBucket& bk : endpoints[w]->buckets) {
+      std::lock_guard<std::mutex> lk(bk.mu);
+      for (auto it = bk.posted.begin(); it != bk.posted.end();) {
+        RequestState& rs = **it;
+        bool stranded = rs.owner_world == world_rank;
+        if (!stranded) {
+          const auto g = groups.find(rs.context_id);
+          if (g != groups.end()) {
+            if (rs.match_src == kAnySource) {
+              for (const int member : g->second) {
+                if (member == world_rank) {
+                  stranded = true;
+                  break;
+                }
+              }
+            } else if (rs.match_src >= 0 &&
+                       rs.match_src < static_cast<int>(g->second.size())) {
+              stranded =
+                  g->second[static_cast<std::size_t>(rs.match_src)] ==
+                  world_rank;
+            }
+          }
+        }
+        if (stranded) {
+          const std::shared_ptr<RequestState> rq = *it;
+          it = bk.posted.erase(it);
+          fail_request_rank(*rq, what, {world_rank}, detect_at);
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = bk.unexpected.begin(); it != bk.unexpected.end();) {
+        if (it->is_rndv() && it->src_world == world_rank) {
+          // The dead sender's rendezvous source buffer unwinds with its
+          // thread: the envelope must never match a receive again.
+          it = bk.unexpected.erase(it);
+        } else if (static_cast<int>(w) == world_rank && it->is_rndv()) {
+          // A survivor's rendezvous send parked toward the dead endpoint
+          // would wait forever for a CTS.
+          fail_request_rank(*it->rndv_sender, what, {world_rank}, detect_at);
+          it = bk.unexpected.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      bk.cv.notify_all();
+    }
+  }
+  // Agreement rounds complete on contributed-or-dead: re-evaluate.
+  {
+    std::lock_guard<std::mutex> lk(fail.mu);
+    fail.cv.notify_all();
+  }
+}
+
+void UniverseImpl::register_comm(int context_id,
+                                 std::vector<int> world_ranks) {
+  std::lock_guard<std::mutex> lk(fail.mu);
+  fail.comm_groups.emplace(context_id, std::move(world_ranks));
+}
+
+void UniverseImpl::set_errhandler(int context_id, Errhandler eh) {
+  std::lock_guard<std::mutex> lk(fail.mu);
+  fail.errhandlers[context_id] = eh;
+}
+
+Errhandler UniverseImpl::errhandler(int context_id) {
+  std::lock_guard<std::mutex> lk(fail.mu);
+  const auto it = fail.errhandlers.find(context_id);
+  return it == fail.errhandlers.end() ? Errhandler::kErrorsAreFatal
+                                      : it->second;
+}
+
+void UniverseImpl::revoke_comm(int context_id, int my_world) {
+  {
+    std::lock_guard<std::mutex> lk(fail.mu);
+    if (!fail.revoked.insert(context_id).second) return;  // idempotent
+  }
+  fail.revoked_count.fetch_add(1, std::memory_order_release);
+  UniverseObs* const o = obs.get();
+  RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
+  if (o != nullptr && o->has_rank_pvars) {
+    o->rec.pvars().add(o->fault_rank_revokes, my_world, 1);
+    o->rec.begin(my_world, "revoke", rclock.vclock);
+  }
+  const std::int64_t detect_at =
+      rclock.vclock + fabric.faults().heartbeat_ns;
+  const std::string what = "communicator (context id " +
+                           std::to_string(context_id) + ") revoked";
+  for (std::size_t w = 0; w < endpoints.size(); ++w) {
+    MatchBucket& bk = endpoints[w]->bucket(context_id);
+    std::lock_guard<std::mutex> lk(bk.mu);
+    for (auto it = bk.posted.begin(); it != bk.posted.end();) {
+      if ((*it)->context_id == context_id) {
+        const std::shared_ptr<RequestState> rq = *it;
+        it = bk.posted.erase(it);
+        fail_request_revoked(*rq, what, detect_at);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = bk.unexpected.begin(); it != bk.unexpected.end();) {
+      if (it->context_id != context_id) {
+        ++it;
+        continue;
+      }
+      if (it->is_rndv()) {
+        fail_request_revoked(*it->rndv_sender, what, detect_at);
+      } else if (it->bytes > 0) {
+        slab.release(std::move(it->eager), static_cast<int>(w));
+      }
+      // ULFM drops in-flight messages on a revoked communicator.
+      it = bk.unexpected.erase(it);
+    }
+    bk.cv.notify_all();
+  }
+  if (o != nullptr && o->has_rank_pvars) {
+    o->rec.end(my_world, "revoke", rclock.vclock);
+  }
+  std::lock_guard<std::mutex> lk(fail.mu);
+  fail.cv.notify_all();
+}
+
+bool UniverseImpl::comm_revoked(int context_id) {
+  if (fail.revoked_count.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<std::mutex> lk(fail.mu);
+  return fail.revoked.count(context_id) > 0;
+}
+
+std::vector<int> UniverseImpl::dead_in_comm(int context_id) {
+  std::vector<int> group;
+  {
+    std::lock_guard<std::mutex> lk(fail.mu);
+    const auto it = fail.comm_groups.find(context_id);
+    if (it != fail.comm_groups.end()) group = it->second;
+  }
+  std::vector<int> out;
+  for (const int w : group) {
+    if (rank_dead(w)) out.push_back(w);
+  }
+  return out;
+}
+
+int UniverseImpl::dead_peer_for_recv(int context_id, int my_world,
+                                     int match_src) {
+  if (fail.dead_count.load(std::memory_order_acquire) == 0) return -1;
+  std::vector<int> group;
+  {
+    std::lock_guard<std::mutex> lk(fail.mu);
+    const auto it = fail.comm_groups.find(context_id);
+    if (it != fail.comm_groups.end()) group = it->second;
+  }
+  if (match_src == kAnySource) {
+    // ULFM: a wildcard receive raises once any group member is dead —
+    // the awaited sender may be the dead one.
+    for (const int w : group) {
+      if (w != my_world && rank_dead(w)) return w;
+    }
+    return -1;
+  }
+  if (match_src >= 0 && match_src < static_cast<int>(group.size())) {
+    const int w = group[static_cast<std::size_t>(match_src)];
+    if (rank_dead(w)) return w;
+  }
+  return -1;
+}
+
+void UniverseImpl::raise_failure(int my_world, int context_id,
+                                 jhpc::ErrorCode code,
+                                 const std::string& what,
+                                 std::vector<int> failed) {
+  UniverseObs* const o = obs.get();
+  if (o != nullptr && o->has_rank_pvars &&
+      code == jhpc::ErrorCode::kRankFailed) {
+    o->rec.pvars().add(o->fault_rank_detected, my_world, 1);
+  }
+  if (!ResilienceScope::active() &&
+      errhandler(context_id) == Errhandler::kErrorsAreFatal) {
+    // MPI_ERRORS_ARE_FATAL: the whole job comes down; this rank's typed
+    // exception is the one Universe::run rethrows.
+    abort_all();
+  }
+  throw_failure(code, what, std::move(failed));
+}
+
+void UniverseImpl::entry_checks(int my_world, int context_id,
+                                int peer_world) {
+  check_self_alive(my_world);
+  if (fail.revoked_count.load(std::memory_order_acquire) > 0 &&
+      !ResilienceScope::active() && comm_revoked(context_id)) {
+    raise_failure(my_world, context_id, jhpc::ErrorCode::kCommRevoked,
+                  "communicator (context id " + std::to_string(context_id) +
+                      ") revoked",
+                  {});
+  }
+  if (peer_world >= 0 && rank_dead(peer_world)) {
+    raise_failure(
+        my_world, context_id, jhpc::ErrorCode::kRankFailed,
+        "rank " + std::to_string(peer_world) + " failed (fail-stop)",
+        {peer_world});
+  }
+}
+
+void UniverseImpl::quiesce() {
+  for (std::size_t w = 0; w < endpoints.size(); ++w) {
+    for (MatchBucket& bk : endpoints[w]->buckets) {
+      std::lock_guard<std::mutex> lk(bk.mu);
+      for (InMsg& m : bk.unexpected) {
+        if (!m.is_rndv() && m.bytes > 0) {
+          slab.release(std::move(m.eager), static_cast<int>(w));
+        }
+      }
+      bk.unexpected.clear();
+      bk.posted.clear();
+    }
+  }
 }
 
 void UniverseImpl::reset_fault_state() {
@@ -385,6 +799,7 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
   const bool eager = bytes <= config.eager_limit;
 
   sclock.advance_cpu();
+  entry_checks(src_world, context_id, dst_world);
   UniverseObs* const o = obs.get();
   TransportSpan span(o, src_world, "deliver", sclock);
   if (o != nullptr) {
@@ -414,7 +829,7 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
     std::shared_ptr<RequestState> matched = *it;
     bk.posted.erase(it);
     if (bytes > matched->recv_capacity) {
-      fail_request(*matched,
+      fail_request(*matched, jhpc::ErrorCode::kTruncated,
                    "message truncated: " + std::to_string(bytes) +
                        " bytes into a " +
                        std::to_string(matched->recv_capacity) +
@@ -546,6 +961,8 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
   sender->owner_clock = &sclock;
   sender->obs = o;
   sender->owner_world = src_world;
+  sender->context_id = context_id;
+  sender->uni = this;
   if (faults_on) {
     msg.seq = fabric.next_msg_seq(src_world, dst_world);
     msg.deliver_at_ns = reliable_control(src_world, dst_world, msg.seq,
@@ -575,6 +992,9 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
                                                       std::size_t capacity) {
   RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
   rclock.advance_cpu();
+  entry_checks(my_world, context_id,
+               kills_on() ? dead_peer_for_recv(context_id, my_world, src)
+                          : -1);
   UniverseObs* const o = obs.get();
   TransportSpan span(o, my_world, "post", rclock);
 
@@ -583,6 +1003,7 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
   rs->owner_clock = &rclock;
   rs->obs = o;
   rs->owner_world = my_world;
+  rs->uni = this;
   rs->post_vtime = rclock.vclock;
   rs->is_recv = true;
   rs->recv_buf = buf;
@@ -612,7 +1033,7 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
       if (c.timed_out) {
         fail_request_timeout(*rs, std::move(c.error));
       } else {
-        fail_request(*rs, std::move(c.error));
+        fail_request(*rs, c.code, std::move(c.error));
       }
       return rs;
     }
@@ -641,6 +1062,7 @@ UniverseImpl::Consumed UniverseImpl::consume_matched(InMsg msg, int my_world,
       slab.release(std::move(msg.eager), my_world);
     }
     c.ok = false;
+    c.code = jhpc::ErrorCode::kTruncated;
     c.error = "message truncated: " + std::to_string(msg.bytes) +
               " bytes into a " + std::to_string(capacity) +
               "-byte receive buffer";
@@ -669,6 +1091,7 @@ UniverseImpl::Consumed UniverseImpl::consume_matched(InMsg msg, int my_world,
       fail_request_timeout(*msg.rndv_sender, e.what());
       c.ok = false;
       c.timed_out = true;
+      c.code = jhpc::ErrorCode::kTransportTimeout;
       c.error = e.what();
       return c;
     }
@@ -725,6 +1148,9 @@ Status UniverseImpl::blocking_recv(int my_world, int context_id, int src,
   }
   RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
   rclock.advance_cpu();
+  entry_checks(my_world, context_id,
+               kills_on() ? dead_peer_for_recv(context_id, my_world, src)
+                          : -1);
   MatchBucket& bk =
       endpoints[static_cast<std::size_t>(my_world)]->bucket(context_id);
   std::shared_ptr<RequestState> rs;
@@ -745,7 +1171,7 @@ Status UniverseImpl::blocking_recv(int my_world, int context_id, int src,
           consume_matched(std::move(msg), my_world, buf, capacity, rclock);
       if (!c.ok) {
         if (c.timed_out) throw TransportTimeoutError(c.error);
-        throw jhpc::Error(c.error);
+        throw_failure(c.code, c.error, {});
       }
       rclock.observe(c.arrival_ns);
       rclock.resync_cpu();
@@ -759,6 +1185,7 @@ Status UniverseImpl::blocking_recv(int my_world, int context_id, int src,
     rs->owner_clock = &rclock;
     rs->obs = nullptr;
     rs->owner_world = my_world;
+    rs->uni = this;
     rs->post_vtime = rclock.vclock;
     rs->is_recv = true;
     rs->recv_buf = buf;
@@ -769,7 +1196,30 @@ Status UniverseImpl::blocking_recv(int my_world, int context_id, int src,
     bk.posted.push_back(rs);
   }
   rclock.resync_cpu();
-  return wait_request(*rs);
+  try {
+    return wait_request(*rs);
+  } catch (...) {
+    // Unwinding with the receive still posted (self fail-stop, abort):
+    // the caller's buffer dies with this frame, so withdraw the request
+    // before anyone can match it.
+    cancel_recv(*rs);
+    throw;
+  }
+}
+
+void UniverseImpl::cancel_recv(const RequestState& rs) {
+  MatchBucket& bk = endpoints[static_cast<std::size_t>(rs.owner_world)]
+                        ->bucket(rs.context_id);
+  std::lock_guard<std::mutex> lk(bk.mu);
+  for (auto it = bk.posted.begin(); it != bk.posted.end(); ++it) {
+    if (it->get() == &rs) {
+      bk.posted.erase(it);
+      return;
+    }
+  }
+  // Not posted: either it completed, or a deliver() matched it and is
+  // copying under bk.mu — which we just waited out, so the buffer is
+  // quiescent either way.
 }
 
 bool UniverseImpl::probe_match(int my_world, int context_id, int src, int tag,
@@ -781,6 +1231,27 @@ bool UniverseImpl::probe_match(int my_world, int context_id, int src, int tag,
   for (;;) {
     throw_if_aborted();
     rclock.advance_cpu();
+    if (kills_on()) {
+      // Under the bucket lock only the no-reap checks are safe; a
+      // scheduled self-death fires at the next lock-free entry point.
+      if (self_dead(my_world)) throw RankKilledError();
+      const int dead = dead_peer_for_recv(context_id, my_world, src);
+      if (dead >= 0) {
+        lk.unlock();
+        raise_failure(my_world, context_id, jhpc::ErrorCode::kRankFailed,
+                      "rank " + std::to_string(dead) +
+                          " failed (fail-stop)",
+                      {dead});
+      }
+    }
+    if (fail.revoked_count.load(std::memory_order_acquire) > 0 &&
+        !ResilienceScope::active() && comm_revoked(context_id)) {
+      lk.unlock();
+      raise_failure(my_world, context_id, jhpc::ErrorCode::kCommRevoked,
+                    "communicator (context id " +
+                        std::to_string(context_id) + ") revoked",
+                    {});
+    }
     for (const auto& msg : bk.unexpected) {
       if (envelope_matches(msg.context_id, msg.src, msg.tag, context_id, src,
                            tag)) {

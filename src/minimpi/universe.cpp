@@ -50,6 +50,11 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
   impl_->abort.store(false, std::memory_order_relaxed);
   impl_->fabric.reset();
   impl_->reset_fault_state();
+  impl_->reset_failure_state();
+  // A previous run that ended in failures (timeouts, kills, aborts) may
+  // have left receives parked and payloads buffered; they must not match
+  // this job's traffic (their buffers are long gone).
+  impl_->quiesce();
   impl_->slab.reset_stats();
   if (impl_->obs != nullptr) impl_->obs->rec.reset();
   // Drop nonblocking-collective schedules and tag counters from the
@@ -82,6 +87,8 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
         rank_main(world);
       } catch (const detail::AbortError&) {
         // Secondary failure: another rank already recorded the cause.
+      } catch (const detail::RankKilledError&) {
+        // Planned fail-stop: part of the fault scenario, not an error.
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         impl_->abort_all();
@@ -89,6 +96,11 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
     });
   }
   for (auto& t : threads) t.join();
+
+  // Quiesce after the join too: drain parked requests and return buffered
+  // eager slabs to the recycler so teardown after a failed job is clean
+  // without relying on the abort flag.
+  impl_->quiesce();
 
   // Finalize-time flush, after the join so the single-writer rings are
   // quiescent. Runs even for failed jobs: a trace of an aborted run is
@@ -105,6 +117,12 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+void Universe::kill_rank(int world_rank) {
+  JHPC_REQUIRE(world_rank >= 0 && world_rank < impl_->config.world_size,
+               "kill_rank: rank out of range");
+  impl_->external_kill(world_rank);
 }
 
 void Universe::launch(const UniverseConfig& config,

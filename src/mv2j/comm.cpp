@@ -444,4 +444,40 @@ Comm Comm::split(int color, int key) const {
   return Comm(env_, sub);
 }
 
+// --- Fault tolerance (ULFM) --------------------------------------------------
+
+void Comm::setErrhandler(Errhandler eh) const {
+  JHPC_REQUIRE(valid(), "setErrhandler on invalid communicator");
+  env_->jvm_->jni().crossing();
+  native_.set_errhandler(eh);
+}
+
+Errhandler Comm::getErrhandler() const {
+  JHPC_REQUIRE(valid(), "getErrhandler on invalid communicator");
+  return native_.errhandler();
+}
+
+void Comm::revoke() const {
+  JHPC_REQUIRE(valid(), "revoke on invalid communicator");
+  env_->jvm_->jni().crossing();
+  native_.revoke();
+}
+
+Comm Comm::shrink() const {
+  JHPC_REQUIRE(valid(), "shrink on invalid communicator");
+  env_->jvm_->jni().crossing();
+  return Comm(env_, native_.shrink());
+}
+
+int Comm::agree(int flag) const {
+  JHPC_REQUIRE(valid(), "agree on invalid communicator");
+  env_->jvm_->jni().crossing();
+  return native_.agree(flag);
+}
+
+std::vector<int> Comm::getFailedRanks() const {
+  JHPC_REQUIRE(valid(), "getFailedRanks on invalid communicator");
+  return native_.failed_ranks();
+}
+
 }  // namespace jhpc::mv2j

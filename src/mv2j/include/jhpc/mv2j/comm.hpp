@@ -223,6 +223,23 @@ class Comm {
   Comm dup() const;
   Comm split(int color, int key) const;
 
+  // --- Fault tolerance (the MPIX/ULFM extension surface) --------------------
+  /// Error-handling policy for rank failures on this communicator
+  /// (default ERRORS_ARE_FATAL); inherited by dup/split/shrink results.
+  void setErrhandler(Errhandler eh) const;
+  Errhandler getErrhandler() const;
+  /// MPIX_Comm_revoke: interrupt every pending and future operation on
+  /// this communicator, on every rank, with CommRevokedError.
+  void revoke() const;
+  /// MPIX_Comm_shrink: agree on the failed set and return a survivors-only
+  /// communicator with dense re-ranking.
+  Comm shrink() const;
+  /// MPIX_Comm_agree: fault-tolerant agreement — the bitwise AND of `flag`
+  /// across survivors, identical on every rank even under failures.
+  int agree(int flag) const;
+  /// World ranks of this communicator known to have failed (sorted).
+  std::vector<int> getFailedRanks() const;
+
   /// The underlying native communicator (library-internal + benches).
   const minimpi::Comm& native() const { return native_; }
 

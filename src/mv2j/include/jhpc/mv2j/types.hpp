@@ -122,6 +122,17 @@ inline constexpr Op BXOR{minimpi::ReduceOp::kBxor};
 inline constexpr int ANY_SOURCE = minimpi::kAnySource;
 inline constexpr int ANY_TAG = minimpi::kAnyTag;
 
+/// Error handlers (MPI.ERRORS_ARE_FATAL / MPI.ERRORS_RETURN), re-exported
+/// from the substrate. Under ERRORS_ARE_FATAL (the default) a rank
+/// failure aborts the whole job; under ERRORS_RETURN it raises
+/// minimpi::RankFailedError / CommRevokedError from the affected calls,
+/// which the ULFM methods below (revoke/shrink/agree) recover from.
+using Errhandler = minimpi::Errhandler;
+inline constexpr Errhandler ERRORS_ARE_FATAL =
+    minimpi::Errhandler::kErrorsAreFatal;
+inline constexpr Errhandler ERRORS_RETURN =
+    minimpi::Errhandler::kErrorsReturn;
+
 /// Receive completion info (mpi.Status).
 class Status {
  public:

@@ -90,7 +90,50 @@ FaultPlan FaultPlan::from_env() {
                "$JHPC_FAULT_TIMEOUT_NS must be positive");
 
   if (auto links = env_string("JHPC_FAULT_LINKS")) plan.parse_links(*links);
+
+  plan.heartbeat_ns = env_int64("JHPC_FAULT_HB_NS", plan.heartbeat_ns);
+  JHPC_REQUIRE(plan.heartbeat_ns >= 0,
+               "$JHPC_FAULT_HB_NS must be non-negative");
+  if (auto kills = env_string("JHPC_FAULT_KILL")) plan.parse_kills(*kills);
   return plan;
+}
+
+void FaultPlan::parse_kills(const std::string& spec) {
+  const std::string where = "$JHPC_FAULT_KILL";
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+
+    const std::size_t at = clause.find('@');
+    JHPC_REQUIRE(at != std::string::npos,
+                 where + ": clause must be RANK@VNS, got '" + clause + "'");
+    RankKill kill;
+    try {
+      std::size_t parsed = 0;
+      kill.rank = std::stoi(clause.substr(0, at), &parsed);
+      JHPC_REQUIRE(parsed == at, where + ": trailing garbage in rank");
+      const std::string when = clause.substr(at + 1);
+      kill.at_vns = std::stoll(when, &parsed);
+      JHPC_REQUIRE(parsed == when.size(),
+                   where + ": trailing garbage in kill time");
+    } catch (const std::logic_error&) {
+      throw InvalidArgumentError(where + ": cannot parse clause '" + clause +
+                                 "'");
+    }
+    JHPC_REQUIRE(kill.rank >= 0, where + ": rank must be non-negative");
+    JHPC_REQUIRE(kill.at_vns >= 0,
+                 where + ": kill time must be non-negative");
+    for (const RankKill& k : kills) {
+      JHPC_REQUIRE(k.rank != kill.rank,
+                   where + ": rank " + std::to_string(kill.rank) +
+                       " listed twice");
+    }
+    kills.push_back(kill);
+  }
 }
 
 void FaultPlan::parse_links(const std::string& spec) {

@@ -69,6 +69,23 @@ struct FaultPlan {
   };
   std::vector<LinkOverride> overrides;
 
+  // --- Rank-failure model (fail-stop) -----------------------------------
+  /// One scheduled rank death: the rank fail-stops the first time its own
+  /// thread enters the transport at virtual time >= at_vns. A dead rank
+  /// never communicates again; survivors detect the death through the
+  /// epitaph the failing rank publishes (see docs/FAULTS.md).
+  struct RankKill {
+    int rank = 0;
+    std::int64_t at_vns = 0;
+  };
+  std::vector<RankKill> kills;
+
+  /// Failure-detection latency: survivors observe a death no earlier than
+  /// `dead_at + heartbeat_ns` of virtual time (models heartbeat rounds on
+  /// a real fabric). Purely a virtual-time floor; detection itself is
+  /// epitaph-based and therefore deterministic.
+  std::int64_t heartbeat_ns = 1'000'000;
+
   // --- Reliable-delivery pacing (used by the minimpi transport) ---------
   /// Initial ack/CTS retransmit timeout, virtual ns.
   std::int64_t rto_ns = 50'000;
@@ -79,8 +96,14 @@ struct FaultPlan {
   std::int64_t delivery_timeout_ns = 500'000'000;
 
   /// True when any link (default or override) injects faults. Gates every
-  /// fault code path; false for a default-constructed plan.
+  /// fault code path; false for a default-constructed plan. Deliberately
+  /// does NOT cover `kills`: rank death must not switch the transport to
+  /// the retransmit protocol (see kills_enabled()).
   bool enabled() const;
+
+  /// True when any rank death is scheduled. Gates the rank-failure checks
+  /// in the transport independently of the link-fault machinery.
+  bool kills_enabled() const { return !kills.empty(); }
 
   /// Fault behaviour of the directed link src_node -> dst_node.
   const LinkFaults& link(int src_node, int dst_node) const;
@@ -88,10 +111,20 @@ struct FaultPlan {
   /// Read JHPC_FAULT_SEED / JHPC_FAULT_DROP / JHPC_FAULT_JITTER_NS /
   /// JHPC_FAULT_DOWN ("FROM:UNTIL" in virtual ns) / JHPC_FAULT_BW_FACTOR /
   /// JHPC_FAULT_LINKS / JHPC_FAULT_RTO_NS / JHPC_FAULT_RTO_MAX_NS /
-  /// JHPC_FAULT_TIMEOUT_NS. Values are validated (probabilities in [0,1],
-  /// durations non-negative, factors positive); bad values throw
-  /// InvalidArgumentError.
+  /// JHPC_FAULT_TIMEOUT_NS, plus the rank-failure model: JHPC_FAULT_KILL
+  /// ("RANK@VNS[;RANK@VNS...]") and JHPC_FAULT_HB_NS. Values are
+  /// validated (probabilities in [0,1], durations non-negative, factors
+  /// positive); bad values throw InvalidArgumentError.
   static FaultPlan from_env();
+
+  /// Parse a kill spec into `kills`:
+  ///
+  ///   "1@500000;3@2000000"
+  ///
+  /// Each clause is RANK@VNS (rank dies at virtual ns). Throws
+  /// InvalidArgumentError on malformed input, negative values, or a rank
+  /// listed twice.
+  void parse_kills(const std::string& spec);
 
   /// Parse a per-link override spec into `overrides`:
   ///

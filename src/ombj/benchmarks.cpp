@@ -833,6 +833,17 @@ std::vector<ResultRow> run_iallreduce(EnvT& env, const BenchOptions& opt) {
 template <typename EnvT>
 std::vector<ResultRow> run_benchmark(BenchKind kind, EnvT& env,
                                      const BenchOptions& opt) {
+  if (opt.resilient) {
+    switch (kind) {
+      case BenchKind::kBcast: return run_bcast_resilient(env, opt);
+      case BenchKind::kAllreduce: return run_allreduce_resilient(env, opt);
+      default:
+        throw UnsupportedOperationError(
+            std::string("resilience mode (--kill-rank) supports bcast and "
+                        "allreduce, not ") +
+            bench_name(kind));
+    }
+  }
   switch (kind) {
     case BenchKind::kLatency: return run_latency(env, opt);
     case BenchKind::kBandwidth: return run_bandwidth(env, opt);

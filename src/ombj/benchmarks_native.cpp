@@ -299,6 +299,18 @@ std::vector<ResultRow> run_iallreduce_native(const minimpi::Comm& world,
 std::vector<ResultRow> run_benchmark_native(BenchKind kind,
                                             const minimpi::Comm& world,
                                             const BenchOptions& opt) {
+  if (opt.resilient) {
+    switch (kind) {
+      case BenchKind::kBcast: return run_bcast_resilient_native(world, opt);
+      case BenchKind::kAllreduce:
+        return run_allreduce_resilient_native(world, opt);
+      default:
+        throw UnsupportedOperationError(
+            std::string("resilience mode (--kill-rank) supports bcast and "
+                        "allreduce, not ") +
+            bench_name(kind));
+    }
+  }
   switch (kind) {
     case BenchKind::kLatency: return run_latency_native(world, opt);
     case BenchKind::kBandwidth: return run_bandwidth_native(world, opt);

@@ -240,12 +240,20 @@ int figure_main(FigureSpec fig, int argc, char** argv) {
         fig.fabric.faults.link_defaults.drop_prob = std::stod(next());
       } else if (arg == "--fault-jitter") {
         fig.fabric.faults.link_defaults.jitter_ns = std::stoll(next());
+      } else if (arg == "--kill-rank") {
+        fig.fabric.faults.parse_kills(next());
+        for (const auto& k : fig.fabric.faults.kills)
+          JHPC_REQUIRE(k.rank != 0,
+                       "--kill-rank: rank 0 reports the results and must "
+                       "survive; kill a nonzero rank");
+        fig.options.resilient = true;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << fig.id << ": " << fig.title << "\n"
                   << "flags: --ranks N --ppn N --min SZ --max SZ --iters N "
                      "--window N --csv PATH --quick --pvars --trace FILE\n"
                      "       --fault-seed N --drop P --fault-jitter NS "
-                     "(seeded fault injection, docs/FAULTS.md)\n";
+                     "--kill-rank R@N (seeded fault injection and ULFM "
+                     "recovery, docs/FAULTS.md)\n";
         return 0;
       } else {
         throw InvalidArgumentError("unknown flag: " + arg);

@@ -77,6 +77,18 @@ std::vector<ResultRow> run_ibcast(EnvT& env, const BenchOptions& opt);
 template <typename EnvT>
 std::vector<ResultRow> run_iallreduce(EnvT& env, const BenchOptions& opt);
 
+// --- ULFM resilience mode (--kill-rank) -------------------------------------
+// The sweep runs with ERRORS_RETURN on the world communicator while the
+// fault plan kills ranks mid-run. Survivors catch RankFailedError /
+// CommRevokedError, revoke + shrink, re-agree on the iteration index and
+// continue on the shrunk communicator; rank 0 (which must not be killed)
+// reports the per-size averages over the iterations that completed.
+template <typename EnvT>
+std::vector<ResultRow> run_bcast_resilient(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_allreduce_resilient(EnvT& env,
+                                               const BenchOptions& opt);
+
 /// Dispatch by kind.
 template <typename EnvT>
 std::vector<ResultRow> run_benchmark(BenchKind kind, EnvT& env,
@@ -101,6 +113,10 @@ std::vector<ResultRow> run_allgather_native(const minimpi::Comm& world,
                                             const BenchOptions& opt);
 std::vector<ResultRow> run_alltoall_native(const minimpi::Comm& world,
                                            const BenchOptions& opt);
+std::vector<ResultRow> run_bcast_resilient_native(const minimpi::Comm& world,
+                                                  const BenchOptions& opt);
+std::vector<ResultRow> run_allreduce_resilient_native(
+    const minimpi::Comm& world, const BenchOptions& opt);
 std::vector<ResultRow> run_ibcast_native(const minimpi::Comm& world,
                                          const BenchOptions& opt);
 std::vector<ResultRow> run_iallreduce_native(const minimpi::Comm& world,

@@ -71,6 +71,11 @@ struct BenchOptions {
   /// Include populate + verify inside the timed region (osu_latency -c;
   /// the paper's Section VI-F experiment).
   bool validate = false;
+  /// ULFM recovery mode (--kill-rank): run under ERRORS_RETURN and, when
+  /// a scheduled rank death surfaces as RankFailedError/CommRevokedError,
+  /// revoke + shrink and continue the sweep on the shrunk communicator.
+  /// Only the size-independent collectives (bcast, allreduce) support it.
+  bool resilient = false;
   Api api = Api::kBuffer;
 
   int iterations_for(std::size_t size) const {

@@ -1,0 +1,255 @@
+// OMB-J resilience mode (--kill-rank): ULFM recovery demonstrated on the
+// collective latency sweeps.
+//
+// The fault plan kills one or more ranks mid-run. The sweep runs with
+// ERRORS_RETURN on the world communicator, so a death surfaces as
+// RankFailedError (first observer; the collective auto-revokes) or
+// CommRevokedError (everyone else) instead of aborting the job. The
+// survivors shrink to a dense survivors-only communicator, re-agree on
+// the loop position — the failure can surface one collective apart on
+// different ranks — and continue the sweep. Rank 0 must be a survivor:
+// it reports the per-size averages over the iterations that completed.
+//
+// Only the size-independent collectives (bcast, allreduce) run in this
+// mode: their buffers do not scale with the communicator size, so the
+// same payloads stay valid after a shrink.
+#include <cstddef>
+#include <vector>
+
+#include "jhpc/ombj/benchmarks.hpp"
+#include "jhpc/support/error.hpp"
+#include "jhpc/support/sizes.hpp"
+
+namespace jhpc::ombj {
+
+using minijvm::jbyte;
+using minijvm::jfloat;
+using mv2j::BYTE;
+using mv2j::FLOAT;
+using mv2j::SUM;
+
+namespace {
+
+std::vector<std::size_t> byte_sizes(const BenchOptions& opt) {
+  return size_sweep(opt.min_size == 0 ? 1 : opt.min_size, opt.max_size);
+}
+
+std::vector<std::size_t> float_sizes(const BenchOptions& opt) {
+  return size_sweep(opt.min_size < 4 ? 4 : opt.min_size, opt.max_size);
+}
+
+/// Shrink to the survivors, then agree on the furthest loop position so
+/// every survivor resumes at the same iteration (ranks can be one
+/// collective apart when the failure surfaced). Loops in case another
+/// rank dies during the recovery itself.
+template <typename ShrinkFn, typename MaxFn>
+void recover_loop(ShrinkFn&& shrink, MaxFn&& max_iter, int& i) {
+  while (true) {
+    try {
+      shrink();
+      i = max_iter(i);
+      return;
+    } catch (const minimpi::RankFailedError&) {
+    } catch (const minimpi::CommRevokedError&) {
+    }
+  }
+}
+
+/// The resilient collective latency loop over the native substrate.
+/// `op(comm, size)` runs the collective once on the current (possibly
+/// shrunk) communicator.
+template <typename OpFn>
+std::vector<ResultRow> native_resilient_loop(
+    const minimpi::Comm& world, const BenchOptions& opt,
+    const std::vector<std::size_t>& sizes, OpFn&& op) {
+  minimpi::Comm comm = world;
+  comm.set_errhandler(minimpi::Errhandler::kErrorsReturn);
+  const auto recover = [&comm](int& i) {
+    recover_loop([&comm] { comm = comm.shrink(); },
+                 [&comm](int i) {
+                   int agreed = i;
+                   comm.allreduce(&i, &agreed, 1, minimpi::BasicKind::kInt,
+                                  minimpi::ReduceOp::kMax);
+                   return agreed;
+                 },
+                 i);
+  };
+
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : sizes) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    double local_ns = 0.0;
+    int timed = 0;
+    for (int i = 0; i < warmup + iters; ++i) {
+      try {
+        comm.barrier();
+        const auto t0 = comm.vtime_ns();
+        op(comm, size);
+        if (i >= warmup) {
+          local_ns += static_cast<double>(comm.vtime_ns() - t0);
+          ++timed;
+        }
+      } catch (const minimpi::RankFailedError&) {
+        recover(i);
+      } catch (const minimpi::CommRevokedError&) {
+        recover(i);
+      }
+    }
+    double avg_us = timed > 0 ? local_ns / timed / 1000.0 : 0.0;
+    try {
+      double sum_us = 0.0;
+      comm.allreduce(&avg_us, &sum_us, 1, minimpi::BasicKind::kDouble,
+                     minimpi::ReduceOp::kSum);
+      avg_us = sum_us / comm.size();
+    } catch (const minimpi::RankFailedError&) {
+      int scratch = 0;
+      recover(scratch);
+    } catch (const minimpi::CommRevokedError&) {
+      int scratch = 0;
+      recover(scratch);
+    }
+    if (world.rank() == 0) rows.push_back({size, avg_us});
+  }
+  return rows;
+}
+
+/// The same loop through a bindings environment (mv2j / ompij); the
+/// recovery allreduces run on the native communicator underneath, like
+/// the benchmarks' untimed rank averages.
+template <typename EnvT, typename OpFn>
+std::vector<ResultRow> bindings_resilient_loop(
+    EnvT& env, const BenchOptions& opt,
+    const std::vector<std::size_t>& sizes, OpFn&& op) {
+  auto comm = env.COMM_WORLD();
+  comm.setErrhandler(minimpi::Errhandler::kErrorsReturn);
+  const auto recover = [&comm](int& i) {
+    recover_loop([&comm] { comm = comm.shrink(); },
+                 [&comm](int i) {
+                   int agreed = i;
+                   comm.native().allreduce(&i, &agreed, 1,
+                                           minimpi::BasicKind::kInt,
+                                           minimpi::ReduceOp::kMax);
+                   return agreed;
+                 },
+                 i);
+  };
+
+  const int world_rank = env.COMM_WORLD().getRank();
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : sizes) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    double local_ns = 0.0;
+    int timed = 0;
+    for (int i = 0; i < warmup + iters; ++i) {
+      try {
+        comm.barrier();
+        const auto t0 = comm.native().vtime_ns();
+        op(comm, size);
+        if (i >= warmup) {
+          local_ns += static_cast<double>(comm.native().vtime_ns() - t0);
+          ++timed;
+        }
+      } catch (const minimpi::RankFailedError&) {
+        recover(i);
+      } catch (const minimpi::CommRevokedError&) {
+        recover(i);
+      }
+    }
+    double avg_us = timed > 0 ? local_ns / timed / 1000.0 : 0.0;
+    try {
+      double sum_us = 0.0;
+      comm.native().allreduce(&avg_us, &sum_us, 1,
+                              minimpi::BasicKind::kDouble,
+                              minimpi::ReduceOp::kSum);
+      avg_us = sum_us / comm.getSize();
+    } catch (const minimpi::RankFailedError&) {
+      int scratch = 0;
+      recover(scratch);
+    } catch (const minimpi::CommRevokedError&) {
+      int scratch = 0;
+      recover(scratch);
+    }
+    if (world_rank == 0) rows.push_back({size, avg_us});
+  }
+  return rows;
+}
+
+}  // namespace
+
+// --- Native variants --------------------------------------------------------
+
+std::vector<ResultRow> run_bcast_resilient_native(const minimpi::Comm& world,
+                                                  const BenchOptions& opt) {
+  std::vector<std::byte> buf(opt.max_size);
+  return native_resilient_loop(world, opt, byte_sizes(opt),
+                               [&](const minimpi::Comm& comm, std::size_t s) {
+                                 comm.bcast(buf.data(), s, 0);
+                               });
+}
+
+std::vector<ResultRow> run_allreduce_resilient_native(
+    const minimpi::Comm& world, const BenchOptions& opt) {
+  std::vector<float> sbuf(opt.max_size / 4, 1.0f), rbuf(opt.max_size / 4);
+  return native_resilient_loop(
+      world, opt, float_sizes(opt),
+      [&](const minimpi::Comm& comm, std::size_t s) {
+        comm.allreduce(sbuf.data(), rbuf.data(), s / 4,
+                       minimpi::BasicKind::kFloat, minimpi::ReduceOp::kSum);
+      });
+}
+
+// --- Bindings variants ------------------------------------------------------
+
+template <typename EnvT>
+std::vector<ResultRow> run_bcast_resilient(EnvT& env,
+                                           const BenchOptions& opt) {
+  if (opt.api == Api::kBuffer) {
+    auto buf = env.newDirectBuffer(opt.max_size);
+    return bindings_resilient_loop(env, opt, byte_sizes(opt),
+                                   [&](auto& comm, std::size_t s) {
+                                     comm.bcast(buf, static_cast<int>(s),
+                                                BYTE, 0);
+                                   });
+  }
+  auto arr = env.template newArray<jbyte>(opt.max_size);
+  return bindings_resilient_loop(env, opt, byte_sizes(opt),
+                                 [&](auto& comm, std::size_t s) {
+                                   comm.bcast(arr, static_cast<int>(s), BYTE,
+                                              0);
+                                 });
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_allreduce_resilient(EnvT& env,
+                                               const BenchOptions& opt) {
+  const std::size_t max_count = opt.max_size / sizeof(jfloat);
+  if (opt.api == Api::kBuffer) {
+    auto sbuf = env.newDirectBuffer(opt.max_size);
+    auto rbuf = env.newDirectBuffer(opt.max_size);
+    return bindings_resilient_loop(
+        env, opt, float_sizes(opt), [&](auto& comm, std::size_t s) {
+          comm.allReduce(sbuf, rbuf, static_cast<int>(s / sizeof(jfloat)),
+                         FLOAT, SUM);
+        });
+  }
+  auto sarr = env.template newArray<jfloat>(max_count);
+  auto rarr = env.template newArray<jfloat>(max_count);
+  return bindings_resilient_loop(
+      env, opt, float_sizes(opt), [&](auto& comm, std::size_t s) {
+        comm.allReduce(sarr, rarr, static_cast<int>(s / sizeof(jfloat)),
+                       FLOAT, SUM);
+      });
+}
+
+template std::vector<ResultRow> run_bcast_resilient<mv2j::Env>(
+    mv2j::Env&, const BenchOptions&);
+template std::vector<ResultRow> run_bcast_resilient<ompij::Env>(
+    ompij::Env&, const BenchOptions&);
+template std::vector<ResultRow> run_allreduce_resilient<mv2j::Env>(
+    mv2j::Env&, const BenchOptions&);
+template std::vector<ResultRow> run_allreduce_resilient<ompij::Env>(
+    ompij::Env&, const BenchOptions&);
+
+}  // namespace jhpc::ombj

@@ -41,6 +41,9 @@ void usage() {
       "  --fault-seed N seed the deterministic fault injector (default 1)\n"
       "  --drop P       per-attempt drop probability on inter-node links\n"
       "  --fault-jitter NS  max deterministic latency jitter, ns\n"
+      "  --kill-rank R@N    kill rank R at virtual time N ns and recover by\n"
+      "                 revoke+shrink (repeatable; bcast/allreduce only;\n"
+      "                 rank 0 reports results and must survive)\n"
       "                 (see docs/FAULTS.md; JHPC_FAULT_* env equivalents)\n";
 }
 
@@ -107,6 +110,13 @@ int main(int argc, char** argv) {
         fig.fabric.faults.link_defaults.drop_prob = std::stod(next());
       } else if (arg == "--fault-jitter") {
         fig.fabric.faults.link_defaults.jitter_ns = std::stoll(next());
+      } else if (arg == "--kill-rank") {
+        fig.fabric.faults.parse_kills(next());
+        for (const auto& k : fig.fabric.faults.kills)
+          JHPC_REQUIRE(k.rank != 0,
+                       "--kill-rank: rank 0 reports the results and must "
+                       "survive; kill a nonzero rank");
+        fig.options.resilient = true;
       } else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;

@@ -48,6 +48,9 @@ using mv2j::Request;
 using mv2j::Status;
 using mv2j::ANY_SOURCE;
 using mv2j::ANY_TAG;
+using mv2j::Errhandler;
+using mv2j::ERRORS_ARE_FATAL;
+using mv2j::ERRORS_RETURN;
 
 class Env;
 
@@ -201,6 +204,17 @@ class Comm {
   // --- Communicator management --------------------------------------------------
   Comm dup() const;
   Comm split(int color, int key) const;
+
+  // --- Fault tolerance (the MPIX/ULFM extension surface) --------------------
+  /// Same contract as the mv2j bindings: rank-failure policy (default
+  /// ERRORS_ARE_FATAL, inherited by derived communicators), revocation,
+  /// survivors-only shrink, and fault-tolerant agreement.
+  void setErrhandler(Errhandler eh) const;
+  Errhandler getErrhandler() const;
+  void revoke() const;
+  Comm shrink() const;
+  int agree(int flag) const;
+  std::vector<int> getFailedRanks() const;
 
   const minimpi::Comm& native() const { return native_; }
 

@@ -6,34 +6,62 @@
 // on the layer that failed.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace jhpc {
 
-/// Root of all jhpc exceptions.
+/// Stable machine-readable classification of every jhpc exception,
+/// mirroring MPI error classes. Bindings and tests switch on this instead
+/// of string-matching what() or enumerating concrete exception types; the
+/// numeric values are part of the API surface and must not be reordered.
+enum class ErrorCode : std::uint8_t {
+  kUnknown = 0,           ///< untyped legacy throw
+  kInvalidArgument = 1,   ///< precondition/argument violation
+  kInternal = 2,          ///< invariant violation (library bug)
+  kUnsupported = 3,       ///< feature intentionally absent in this layer
+  kTransportTimeout = 4,  ///< reliable-delivery budget exhausted
+  kTruncated = 5,         ///< receive buffer smaller than the message
+  kRankFailed = 6,        ///< a peer rank fail-stopped (ULFM)
+  kCommRevoked = 7,       ///< communicator revoked (ULFM)
+  kAborted = 8,           ///< job-wide abort tore the operation down
+};
+
+/// Root of all jhpc exceptions. Carries an ErrorCode so every layer can
+/// classify a failure without downcasting; subclasses pass their code up.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kUnknown;
 };
 
 /// Precondition/argument violation (bad count, negative offset, ...).
 class InvalidArgumentError : public Error {
  public:
-  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+  explicit InvalidArgumentError(const std::string& what)
+      : Error(ErrorCode::kInvalidArgument, what) {}
 };
 
 /// Internal invariant violation — always a bug in this library.
 class InternalError : public Error {
  public:
-  explicit InternalError(const std::string& what) : Error(what) {}
+  explicit InternalError(const std::string& what)
+      : Error(ErrorCode::kInternal, what) {}
 };
 
 /// Feature intentionally unsupported by a layer (e.g. Open MPI-J baseline
 /// rejecting Java arrays with non-blocking point-to-point primitives).
 class UnsupportedOperationError : public Error {
  public:
-  explicit UnsupportedOperationError(const std::string& what) : Error(what) {}
+  explicit UnsupportedOperationError(const std::string& what)
+      : Error(ErrorCode::kUnsupported, what) {}
 };
 
 namespace detail {

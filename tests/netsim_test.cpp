@@ -375,6 +375,54 @@ TEST(EnvValidationTest, FaultEnvRejectsBadValues) {
   }
 }
 
+TEST(FaultPlanTest, ParseKillsAcceptsASchedule) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.kills_enabled());
+  plan.parse_kills("1@500000;3@2000000");
+  ASSERT_EQ(plan.kills.size(), 2u);
+  EXPECT_EQ(plan.kills[0].rank, 1);
+  EXPECT_EQ(plan.kills[0].at_vns, 500000);
+  EXPECT_EQ(plan.kills[1].rank, 3);
+  EXPECT_EQ(plan.kills[1].at_vns, 2000000);
+  EXPECT_TRUE(plan.kills_enabled());
+  EXPECT_FALSE(plan.enabled())
+      << "kills must not switch links to the retransmit protocol";
+}
+
+TEST(FaultPlanTest, ParseKillsRejectsMalformedSpecs) {
+  for (const char* bad :
+       {"1", "@5", "1@", "1@x", "-1@5", "1@-5", "1@5;1@9"}) {
+    FaultPlan plan;
+    EXPECT_THROW(plan.parse_kills(bad), jhpc::InvalidArgumentError)
+        << "accepted: \"" << bad << '"';
+  }
+  // Empty clauses are tolerated (trailing/doubled separators).
+  FaultPlan plan;
+  plan.parse_kills("1@5;;2@7;");
+  EXPECT_EQ(plan.kills.size(), 2u);
+}
+
+TEST(EnvValidationTest, KillEnvRoundTrips) {
+  EnvGuard kill("JHPC_FAULT_KILL", "2@750000");
+  EnvGuard hb("JHPC_FAULT_HB_NS", "250000");
+  const FaultPlan plan = FaultPlan::from_env();
+  ASSERT_EQ(plan.kills.size(), 1u);
+  EXPECT_EQ(plan.kills[0].rank, 2);
+  EXPECT_EQ(plan.kills[0].at_vns, 750000);
+  EXPECT_EQ(plan.heartbeat_ns, 250000);
+}
+
+TEST(EnvValidationTest, KillEnvRejectsBadValues) {
+  {
+    EnvGuard g("JHPC_FAULT_KILL", "banana");
+    EXPECT_THROW(FaultPlan::from_env(), jhpc::InvalidArgumentError);
+  }
+  {
+    EnvGuard g("JHPC_FAULT_HB_NS", "-1");
+    EXPECT_THROW(FaultPlan::from_env(), jhpc::InvalidArgumentError);
+  }
+}
+
 TEST(EnvValidationTest, FaultEnvRoundTrips) {
   EnvGuard seed("JHPC_FAULT_SEED", "4242");
   EnvGuard drop("JHPC_FAULT_DROP", "0.25");
