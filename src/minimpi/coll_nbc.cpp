@@ -367,6 +367,7 @@ void run_local_steps(NbcState& st, const NbcRound& rd, RankClock& clock) {
 void post_round(NbcState& st, int world, RankClock& clock, UniverseObs* o) {
   const NbcRound& rd = st.rounds[st.round];
   clock.advance_cpu();
+  st.round_start_v = clock.vclock;
   if (o != nullptr) o->rec.begin(world, "nbc.round", clock.vclock);
   // Receives first, then sends: every peer's receive is visible before
   // any send might park as an unexpected rendezvous.
@@ -463,7 +464,11 @@ bool try_advance(NbcState& st) {
       for (const auto& rs : st.pending) wait_request(*rs);
       st.pending.clear();
       run_local_steps(st, st.rounds[st.round], clock);
-      if (o != nullptr) o->rec.end(world, "nbc.round", clock.vclock);
+      if (o != nullptr) {
+        o->rec.end(world, "nbc.round", clock.vclock);
+        o->rec.pvars().record(o->hist_nbc_round, world,
+                              clock.vclock - st.round_start_v);
+      }
       ++st.round;
       st.posted = false;
     }

@@ -78,7 +78,8 @@ ObsAccess obs_access(const Comm& c) {
   check_valid(c.impl_);
   const int me = c.my_world();
   return ObsAccess{c.impl_->obs.get(), me,
-                   &c.impl_->clocks[static_cast<std::size_t>(me)]};
+                   &c.impl_->clocks[static_cast<std::size_t>(me)],
+                   c.context_id_};
 }
 
 }  // namespace detail

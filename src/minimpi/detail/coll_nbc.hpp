@@ -85,6 +85,8 @@ struct NbcState {
   std::vector<NbcRound> rounds;
   std::size_t round = 0;  ///< index of the round being progressed
   bool posted = false;    ///< current round's comm steps are in flight
+  /// Virtual time the current round was posted (hist.nbc_round sample).
+  std::int64_t round_start_v = 0;
   std::vector<std::shared_ptr<RequestState>> pending;
   bool done = false;
   /// A round failed (rank death, revocation, timeout): the schedule is

@@ -23,6 +23,8 @@
 #include "jhpc/minimpi/universe.hpp"
 #include "jhpc/netsim/fabric.hpp"
 #include "jhpc/obs/obs.hpp"
+#include "jhpc/obs/recorder.hpp"
+#include "jhpc/obs/waitstate.hpp"
 #include "jhpc/support/clock.hpp"
 #include "jhpc/support/error.hpp"
 
@@ -122,6 +124,23 @@ struct UniverseObs {
 
   /// Per-algorithm collective invocation counts, indexed by CollAlg.
   std::vector<obs::PvarId> coll;
+
+  /// Latency distributions (kHistogram pvars, virtual ns): blocking wait
+  /// time, eager vs rendezvous send-to-delivery latency, NBC schedule
+  /// round latency. hist_slab is measured thread-CPU ns (depot work is
+  /// real work, not modelled fabric time).
+  obs::PvarId hist_wait, hist_eager, hist_rndv, hist_nbc_round, hist_slab;
+
+  /// Scalasca-style wait-state classifier: late-sender / late-receiver
+  /// at the transport match points, wait-at-barrier skew per collective
+  /// entry. Registers the waitstate.* pvars.
+  obs::WaitState waitstate;
+
+  /// Black-box flight recorder: per-rank rings of recent protocol
+  /// events, dumped by Universe::run when a job dies with a transport
+  /// timeout or rank failure. Disabled when config.flight_recorder is
+  /// false (capacity 0).
+  obs::FlightRecorder flight;
 };
 
 /// Thrown inside rank threads when another rank failed and the Universe
@@ -302,6 +321,10 @@ class CollSpan {
     name_ = coll_alg_trace_name(alg);
     o_->rec.pvars().add(o_->coll[static_cast<std::size_t>(alg)], world_, 1);
     o_->rec.begin(world_, name_, clock_->vclock);
+    // Wait-at-barrier attribution: stamp this rank's entry; the last
+    // group member to arrive charges everyone else's skew.
+    o_->waitstate.coll_entry(a.context_id, c.group().ranks(), c.rank(),
+                             clock_->vclock);
   }
   ~CollSpan() {
     if (o_ != nullptr) o_->rec.end(world_, name_, clock_->vclock);

@@ -35,6 +35,9 @@ struct ObsAccess {
   UniverseObs* obs = nullptr;
   int world_rank = -1;
   RankClock* clock = nullptr;
+  /// Context id of the communicator (wait-at-barrier attribution keys
+  /// collective entries by it).
+  int context_id = 0;
 };
 ObsAccess obs_access(const Comm& c);
 }  // namespace detail

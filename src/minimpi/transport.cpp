@@ -76,7 +76,9 @@ const char* coll_alg_trace_name(CollAlg alg) {
 
 UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks, bool faults,
                          bool kills)
-    : rec(config, ranks) {
+    : rec(config, ranks),
+      waitstate(rec.pvars()),
+      flight(config.flight_recorder ? config.flight_capacity : 0, ranks) {
   obs::PvarRegistry& reg = rec.pvars();
   using obs::PvarClass;
   msgs_sent = reg.register_pvar("mpi.msgs_sent", PvarClass::kCounter,
@@ -98,6 +100,21 @@ UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks, bool faults,
                                  "blocking request completions");
   wait_ns = reg.register_pvar("mpi.wait_ns", PvarClass::kTimer,
                               "virtual time spent waiting on requests");
+  hist_wait =
+      reg.register_pvar("hist.wait", PvarClass::kHistogram,
+                        "distribution of blocking wait times");
+  hist_eager =
+      reg.register_pvar("hist.eager_send", PvarClass::kHistogram,
+                        "eager send-to-delivery latency distribution");
+  hist_rndv = reg.register_pvar(
+      "hist.rndv_send", PvarClass::kHistogram,
+      "rendezvous send-to-completion latency distribution");
+  hist_nbc_round =
+      reg.register_pvar("hist.nbc_round", PvarClass::kHistogram,
+                        "NBC schedule round latency distribution");
+  hist_slab = reg.register_pvar(
+      "hist.slab_acquire", PvarClass::kHistogram,
+      "slab-depot acquire time distribution (measured CPU ns)");
   slab_hits = reg.register_pvar("transport.slab.hits", PvarClass::kCounter,
                                 "eager slabs served from the recycler");
   slab_misses =
@@ -296,6 +313,8 @@ Status wait_request(RequestState& rs) {
       rs.obs->rec.pvars().add(rs.obs->wait_count, rs.owner_world, 1);
       rs.obs->rec.pvars().add(rs.obs->wait_ns, rs.owner_world,
                               rs.owner_clock->vclock - wait_from);
+      rs.obs->rec.pvars().record(rs.obs->hist_wait, rs.owner_world,
+                                 rs.owner_clock->vclock - wait_from);
       rs.obs->rec.end(rs.owner_world, "wait", rs.owner_clock->vclock);
     }
   }
@@ -437,8 +456,11 @@ void UniverseImpl::mark_dead(int world_rank, std::int64_t at_vns) {
   fail.dead_at[r].store(at_vns, std::memory_order_relaxed);
   fail.dead_count.fetch_add(1, std::memory_order_relaxed);
   UniverseObs* const o = obs.get();
-  if (o != nullptr && o->has_rank_pvars) {
-    o->rec.pvars().add(o->fault_rank_kills, world_rank, 1);
+  if (o != nullptr) {
+    if (o->has_rank_pvars)
+      o->rec.pvars().add(o->fault_rank_kills, world_rank, 1);
+    o->flight.record(world_rank,
+                     {at_vns, 0, -1, -1, obs::FlightKind::kKill});
   }
   // Snapshot the comm registry; the bucket sweeps below must not nest
   // fail.mu inside bucket locks.
@@ -533,9 +555,13 @@ void UniverseImpl::revoke_comm(int context_id, int my_world) {
   fail.revoked_count.fetch_add(1, std::memory_order_release);
   UniverseObs* const o = obs.get();
   RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
-  if (o != nullptr && o->has_rank_pvars) {
-    o->rec.pvars().add(o->fault_rank_revokes, my_world, 1);
-    o->rec.begin(my_world, "revoke", rclock.vclock);
+  if (o != nullptr) {
+    if (o->has_rank_pvars) {
+      o->rec.pvars().add(o->fault_rank_revokes, my_world, 1);
+      o->rec.begin(my_world, "revoke", rclock.vclock);
+    }
+    o->flight.record(my_world, {rclock.vclock, context_id, -1, -1,
+                                obs::FlightKind::kRevoke});
   }
   const std::int64_t detect_at =
       rclock.vclock + fabric.faults().heartbeat_ns;
@@ -716,7 +742,16 @@ UniverseImpl::ReliableTx UniverseImpl::reliable_transmit(
       const auto ack = fabric.try_control(data.deliver_at_ns, dst_world,
                                           src_world, seq, attempt,
                                           netsim::FaultSalt::kAck);
-      if (!ack.dropped) return {first_arrival, ack.deliver_at_ns};
+      if (!ack.dropped) {
+        if (o != nullptr) {
+          o->flight.record(trace_rank,
+                           {ack.deliver_at_ns,
+                            static_cast<std::int64_t>(seq),
+                            trace_rank == src_world ? dst_world : src_world,
+                            -1, obs::FlightKind::kAck});
+        }
+        return {first_arrival, ack.deliver_at_ns};
+      }
       if (o != nullptr) o->rec.pvars().add(o->fault_ack_drops, dst_world, 1);
     } else if (o != nullptr) {
       o->rec.pvars().add(o->fault_data_drops, src_world, 1);
@@ -725,7 +760,13 @@ UniverseImpl::ReliableTx UniverseImpl::reliable_transmit(
     // after the attempt went out, then backs off exponentially.
     const std::int64_t retry_at = t + rto;
     if (retry_at > budget_end) {
-      if (o != nullptr) o->rec.pvars().add(o->fault_timeouts, src_world, 1);
+      if (o != nullptr) {
+        o->rec.pvars().add(o->fault_timeouts, src_world, 1);
+        o->flight.record(trace_rank,
+                         {t, static_cast<std::int64_t>(seq),
+                          trace_rank == src_world ? dst_world : src_world,
+                          -1, obs::FlightKind::kTimeout});
+      }
       throw TransportTimeoutError(
           std::string(what) + ": no acknowledgement from rank " +
           std::to_string(dst_world) + " within " +
@@ -736,6 +777,10 @@ UniverseImpl::ReliableTx UniverseImpl::reliable_transmit(
       o->rec.pvars().add(o->fault_retransmits, src_world, 1);
       o->rec.begin(trace_rank, "retransmit", t);
       o->rec.end(trace_rank, "retransmit", retry_at);
+      o->flight.record(trace_rank,
+                       {retry_at, static_cast<std::int64_t>(seq),
+                        trace_rank == src_world ? dst_world : src_world,
+                        -1, obs::FlightKind::kRetransmit});
     }
     t = retry_at;
     rto = std::min(rto * 2, plan.rto_max_ns);
@@ -759,7 +804,13 @@ std::int64_t UniverseImpl::reliable_control(int src_world, int dst_world,
     if (!ctrl.dropped) return ctrl.deliver_at_ns;
     const std::int64_t retry_at = t + rto;
     if (retry_at > budget_end) {
-      if (o != nullptr) o->rec.pvars().add(o->fault_timeouts, src_world, 1);
+      if (o != nullptr) {
+        o->rec.pvars().add(o->fault_timeouts, src_world, 1);
+        o->flight.record(trace_rank,
+                         {t, static_cast<std::int64_t>(seq),
+                          trace_rank == src_world ? dst_world : src_world,
+                          -1, obs::FlightKind::kTimeout});
+      }
       throw TransportTimeoutError(
           std::string(what) + ": control message to rank " +
           std::to_string(dst_world) + " lost for " +
@@ -770,6 +821,10 @@ std::int64_t UniverseImpl::reliable_control(int src_world, int dst_world,
       o->rec.pvars().add(o->fault_rndv_retries, src_world, 1);
       o->rec.begin(trace_rank, "retransmit", t);
       o->rec.end(trace_rank, "retransmit", retry_at);
+      o->flight.record(trace_rank,
+                       {retry_at, static_cast<std::int64_t>(seq),
+                        trace_rank == src_world ? dst_world : src_world,
+                        -1, obs::FlightKind::kRetransmit});
     }
     t = retry_at;
     rto = std::min(rto * 2, plan.rto_max_ns);
@@ -808,6 +863,14 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
     reg.add(o->bytes_sent, src_world,
             static_cast<std::int64_t>(bytes));
     reg.add(eager ? o->eager_sent : o->rndv_sent, src_world, 1);
+    if (obs::CommMatrix* m = o->rec.matrix()) {
+      m->record(src_world, dst_world, static_cast<std::int64_t>(bytes));
+    }
+    o->flight.record(src_world,
+                     {sclock.vclock, static_cast<std::int64_t>(bytes),
+                      dst_world, tag,
+                      eager ? obs::FlightKind::kEagerSend
+                            : obs::FlightKind::kRndvSend});
   }
   // Vendor shared-memory channel cost (see UniverseConfig).
   if (config.intra_send_overhead_ns > 0 &&
@@ -896,6 +959,25 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
       o->rec.pvars().add(o->msgs_recvd, dst_world, 1);
       o->rec.pvars().add(o->bytes_recvd, dst_world,
                          static_cast<std::int64_t>(bytes));
+      o->rec.pvars().record(eager ? o->hist_eager : o->hist_rndv, src_world,
+                            std::max<std::int64_t>(arrival - send_v, 0));
+      // Wait-state attribution: the receive was posted at post_vtime and
+      // the data lands at arrival. Whichever side is later in VIRTUAL
+      // time is the late one. Trace marks go on the sender's ring — this
+      // is the sender's thread and trace rings are single-writer.
+      const std::int64_t ws = arrival - matched->post_vtime;
+      if (ws > 0) {
+        o->waitstate.late_sender(dst_world, ws);
+        o->rec.begin(src_world, "ws.late_sender", sclock.vclock);
+        o->rec.end(src_world, "ws.late_sender", sclock.vclock);
+      } else if (ws < 0) {
+        o->waitstate.late_receiver(dst_world, -ws);
+        o->rec.begin(src_world, "ws.late_receiver", sclock.vclock);
+        o->rec.end(src_world, "ws.late_receiver", sclock.vclock);
+      }
+      o->flight.record(dst_world,
+                       {arrival, static_cast<std::int64_t>(bytes),
+                        src_world, tag, obs::FlightKind::kMatch});
     }
     complete_request(*matched, Status{src_comm_rank, tag, bytes}, arrival);
     sclock.resync_cpu();
@@ -915,8 +997,14 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
       // pointer pop, no allocation). Only the copy is simulated work; the
       // pool bookkeeping is host overhead and stays uncharged.
       bool hit = false;
+      const std::int64_t acq0 =
+          o != nullptr ? jhpc::thread_cpu_ns() : 0;
       msg.eager = slab.acquire(bytes, src_world, &hit);
       if (o != nullptr) {
+        // Depot work is real host work, not modelled fabric time: the
+        // acquire distribution is measured CPU ns.
+        o->rec.pvars().record(o->hist_slab, src_world,
+                              jhpc::thread_cpu_ns() - acq0);
         o->rec.pvars().add(hit ? o->slab_hits : o->slab_misses, src_world,
                            1);
         if (!hit) {
@@ -941,6 +1029,11 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
     } else {
       msg.deliver_at_ns = fabric.reserve_delivery(msg.send_vtime, src_world,
                                                   dst_world, bytes);
+    }
+    if (o != nullptr) {
+      o->rec.pvars().record(
+          o->hist_eager, src_world,
+          std::max<std::int64_t>(msg.deliver_at_ns - msg.send_vtime, 0));
     }
     bk.unexpected.push_back(std::move(msg));
     if (o != nullptr) {
@@ -997,6 +1090,13 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
                           : -1);
   UniverseObs* const o = obs.get();
   TransportSpan span(o, my_world, "post", rclock);
+  if (o != nullptr) {
+    // peer here is the match spec (comm rank or kAnySource), the only
+    // identity a post has before it matches.
+    o->flight.record(my_world,
+                     {rclock.vclock, static_cast<std::int64_t>(capacity),
+                      src, tag, obs::FlightKind::kPost});
+  }
 
   auto rs = std::make_shared<RequestState>();
   rs->abort = &abort;
@@ -1052,6 +1152,9 @@ UniverseImpl::Consumed UniverseImpl::consume_matched(InMsg msg, int my_world,
                                                      std::size_t capacity,
                                                      RankClock& rclock) {
   UniverseObs* const o = obs.get();
+  // The receive's virtual post time: the clock before the copy and
+  // rendezvous costs below advance it (wait-state classification).
+  const std::int64_t post_v = rclock.vclock;
   Consumed c;
   if (msg.bytes > capacity) {
     if (msg.is_rndv()) {
@@ -1134,6 +1237,27 @@ UniverseImpl::Consumed UniverseImpl::consume_matched(InMsg msg, int my_world,
     o->rec.pvars().add(o->msgs_recvd, my_world, 1);
     o->rec.pvars().add(o->bytes_recvd, my_world,
                        static_cast<std::int64_t>(msg.bytes));
+    if (msg.is_rndv()) {
+      o->rec.pvars().record(
+          o->hist_rndv, msg.src_world,
+          std::max<std::int64_t>(c.arrival_ns - msg.send_vtime, 0));
+    }
+    // Wait-state attribution: the message arrived (virtually) at
+    // deliver_at_ns and the receive was posted at post_v. This runs on
+    // the receiving rank's thread, so its trace ring takes the marks.
+    const std::int64_t ws = post_v - msg.deliver_at_ns;
+    if (ws > 0) {
+      o->waitstate.late_receiver(my_world, ws);
+      o->rec.begin(my_world, "ws.late_receiver", post_v);
+      o->rec.end(my_world, "ws.late_receiver", post_v);
+    } else if (ws < 0) {
+      o->waitstate.late_sender(my_world, -ws);
+      o->rec.begin(my_world, "ws.late_sender", post_v);
+      o->rec.end(my_world, "ws.late_sender", post_v);
+    }
+    o->flight.record(my_world,
+                     {c.arrival_ns, static_cast<std::int64_t>(msg.bytes),
+                      msg.src_world, msg.tag, obs::FlightKind::kMatch});
   }
   return c;
 }

@@ -1,7 +1,9 @@
 #include "jhpc/minimpi/universe.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -56,7 +58,11 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
   // this job's traffic (their buffers are long gone).
   impl_->quiesce();
   impl_->slab.reset_stats();
-  if (impl_->obs != nullptr) impl_->obs->rec.reset();
+  if (impl_->obs != nullptr) {
+    impl_->obs->rec.reset();
+    impl_->obs->waitstate.reset();
+    impl_->obs->flight.clear();
+  }
   // Drop nonblocking-collective schedules and tag counters from the
   // previous job: an aborted run may leave schedules active, and the tag
   // sequence must restart identically on every rank.
@@ -111,6 +117,64 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
     if (rec.config().pvars) {
       std::fputs("\n[jhpc-obs] performance variables\n", stderr);
       std::fputs(rec.summary_table().to_text().c_str(), stderr);
+      if (rec.pvars().has_histograms()) {
+        std::fputs("\n[jhpc-obs] latency distributions (p50/p90/p99/max, us)\n",
+                   stderr);
+        std::fputs(rec.pvars().hist_table().to_text().c_str(), stderr);
+      }
+    }
+    if (rec.config().comm_matrix && rec.matrix() != nullptr) {
+      std::fputs("\n[jhpc-obs] communication matrix (msgs/bytes)\n", stderr);
+      std::fputs(rec.matrix()->to_table().to_text().c_str(), stderr);
+    }
+    if (!rec.config().comm_matrix_csv.empty() && rec.matrix() != nullptr) {
+      rec.matrix()->write_csv(rec.config().comm_matrix_csv);
+    }
+    if (!rec.config().pvars_json_path.empty()) {
+      rec.write_json(rec.config().pvars_json_path);
+    }
+    if (const std::uint64_t dropped = rec.dropped_events(); dropped > 0) {
+      std::fprintf(stderr,
+                   "[jhpc-obs] warning: trace ring overflow dropped %llu "
+                   "events; raise JHPC_TRACE_CAPACITY\n",
+                   static_cast<unsigned long long>(dropped));
+    }
+    // Black-box dump: when a rank failed on a transport timeout or a
+    // peer death, the last protocol events are the evidence one debugs
+    // with. stderr always; appended to the configured file too so CI can
+    // collect it as an artifact.
+    bool fatal = false;
+    for (const auto& e : errors) {
+      if (!e) continue;
+      try {
+        std::rethrow_exception(e);
+      } catch (const TransportTimeoutError&) {
+        fatal = true;
+      } catch (const RankFailedError&) {
+        fatal = true;
+      } catch (...) {
+      }
+    }
+    if (fatal && !impl_->obs->flight.empty()) {
+      const std::string report = impl_->obs->flight.report();
+      std::fputs(report.c_str(), stderr);
+      std::string dump_path = rec.config().flight_dump_path;
+      if (dump_path.empty()) {
+        if (const char* env = std::getenv("JHPC_FLIGHT_RECORDER_DUMP");
+            env != nullptr && *env != '\0') {
+          dump_path = env;
+        }
+      }
+      if (!dump_path.empty()) {
+        if (std::FILE* f = std::fopen(dump_path.c_str(), "a")) {
+          std::fputs(report.c_str(), f);
+          std::fclose(f);
+        } else {
+          std::fprintf(stderr,
+                       "[jhpc-obs] warning: cannot append flight dump to %s\n",
+                       dump_path.c_str());
+        }
+      }
     }
   }
 

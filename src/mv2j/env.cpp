@@ -33,6 +33,17 @@ std::int64_t Env::readPvar(const std::string& name) const {
   return reg->read(reg->find(name), world_.native().rank());
 }
 
+obs::HistReading Env::readHistogram(const std::string& name) const {
+  obs::PvarRegistry* reg = pvars();
+  if (reg == nullptr) return {};
+  return reg->read_hist(reg->find(name), world_.native().rank());
+}
+
+std::int64_t Env::histogramPercentile(const std::string& name,
+                                      double p) const {
+  return readHistogram(name).percentile(p);
+}
+
 void run(const RunOptions& options,
          const std::function<void(Env&)>& rank_main) {
   JHPC_REQUIRE(static_cast<bool>(rank_main), "rank_main must be callable");

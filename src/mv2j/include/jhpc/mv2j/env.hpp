@@ -55,6 +55,13 @@ class Env {
   obs::PvarRegistry* pvars() const { return world_.native().pvars(); }
   /// This rank's value of pvar `name`; 0 when unknown or disabled.
   std::int64_t readPvar(const std::string& name) const;
+  /// This rank's decoded distribution of histogram pvar `name` (raw
+  /// registered units, virtual ns for latency histograms); an empty
+  /// reading when unknown, not a histogram, or disabled.
+  obs::HistReading readHistogram(const std::string& name) const;
+  /// Percentile `p` (0..100) of this rank's histogram `name`; 0 when
+  /// empty or unknown.
+  std::int64_t histogramPercentile(const std::string& name, double p) const;
 
   /// Convenience allocators mirroring a Java program's
   /// `ByteBuffer.allocateDirect(...)` / `new T[n]`.

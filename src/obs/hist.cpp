@@ -1,0 +1,52 @@
+#include "jhpc/obs/hist.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace jhpc::obs {
+
+std::size_t hist_bucket_index(std::int64_t v) {
+  if (v <= 0) return 0;
+  if (v == 1) return 1;
+  const auto u = static_cast<std::uint64_t>(v);
+  const std::size_t k =
+      static_cast<std::size_t>(std::bit_width(u)) - 1;  // floor(log2 v)
+  // Upper half-octave when the bit below the leading bit is set, i.e.
+  // v >= 1.5 * 2^k.
+  const std::size_t s = (u >> (k - 1)) & 1u;
+  return 2 * k + s;
+}
+
+std::int64_t hist_bucket_floor(std::size_t index) {
+  if (index == 0) return 0;
+  if (index == 1) return 1;
+  const std::size_t k = index / 2;
+  const std::size_t s = index % 2;
+  const std::int64_t base = std::int64_t{1} << k;
+  return s == 0 ? base : base + (base >> 1);
+}
+
+void HistReading::merge(const HistReading& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+  for (std::size_t i = 0; i < kHistBuckets; ++i)
+    buckets[i] += other.buckets[i];
+}
+
+std::int64_t HistReading::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p >= 100.0) return max;
+  if (p <= 0.0) p = 0.0;
+  auto target = static_cast<std::int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (target < 1) target = 1;
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    cum += buckets[i];
+    if (cum >= target) return hist_bucket_floor(i);
+  }
+  return max;
+}
+
+}  // namespace jhpc::obs

@@ -1,0 +1,59 @@
+// HDR-style log-bucketed histograms for pvar distributions.
+//
+// A single accumulated timer cannot distinguish a p99 outlier from a
+// uniform slowdown; the benchmarking literature around Java/IB stacks
+// (and MVAPICH2's own OSU INAM counters) reports percentiles for exactly
+// that reason. This header holds the pure bucket math: values (virtual
+// nanoseconds, or bytes) map into a fixed array of logarithmic buckets,
+// two per octave, so the storage is bounded, the hot path is a shift and
+// an add, and every bucket's lower bound is exact — which keeps the
+// percentile math deterministic and unit-testable under JHPC_DET_CLOCK.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace jhpc::obs {
+
+/// Fixed bucket count. Two buckets per octave over the full positive
+/// int64 range needs 2*62+2 = 126 slots; 128 leaves headroom and keeps
+/// the per-rank stride cache-line friendly.
+inline constexpr std::size_t kHistBuckets = 128;
+
+/// Bucket index for a recorded value.
+///   v <= 0      -> bucket 0
+///   v == 1      -> bucket 1
+///   otherwise   -> bucket 2k + s where k = floor(log2 v) and s selects
+///                  the upper half-octave [1.5 * 2^k, 2^(k+1)).
+std::size_t hist_bucket_index(std::int64_t v);
+
+/// Exact lower bound of a bucket (0 for bucket 0). Percentiles report
+/// this bound, so a histogram never over-states a quantile and the
+/// expected output of a test is a closed-form integer.
+std::int64_t hist_bucket_floor(std::size_t index);
+
+/// A decoded histogram: per-bucket counts plus exact count/sum/max.
+/// Readable per rank or merged across ranks.
+struct HistReading {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t max = 0;
+  std::array<std::int64_t, kHistBuckets> buckets{};
+
+  /// Accumulate another rank's reading into this one.
+  void merge(const HistReading& other);
+
+  /// The p-th percentile (0 < p <= 100) as the lower bound of the first
+  /// bucket whose cumulative count reaches ceil(p/100 * count). p >= 100
+  /// returns the exact tracked max; an empty histogram returns 0.
+  std::int64_t percentile(double p) const;
+
+  /// Mean of the recorded values (exact, from sum/count); 0 when empty.
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+}  // namespace jhpc::obs

@@ -7,6 +7,14 @@
 // update them from rank threads with relaxed atomics (hot path,
 // lock-free). Tools — the bindings' query API, the finalize summary, the
 // tests — snapshot the registry by name at any time.
+//
+// Unit contract: a pvar stores raw integers in its registered PvarUnit.
+// Timers and histograms default to VIRTUAL NANOSECONDS, and every raw
+// read path (read(), total(), snapshot(), the bindings' readPvar /
+// readHistogram) returns those raw units unchanged. Only the rendered
+// finalize tables (to_table(), hist_table()) convert nanoseconds to
+// microseconds for display. Tools should consult Reading::unit instead
+// of guessing.
 #pragma once
 
 #include <atomic>
@@ -16,19 +24,31 @@
 #include <string>
 #include <vector>
 
+#include "jhpc/obs/hist.hpp"
 #include "jhpc/support/table.hpp"
 
 namespace jhpc::obs {
 
-/// MPI_T-like variable classes. The class does not change the storage
-/// (a per-rank int64), only the semantics and the summary formatting.
+/// MPI_T-like variable classes. Counters, levels and timers share the
+/// storage (a per-rank int64) and differ only in semantics and summary
+/// formatting; histograms additionally carry per-rank bucket arrays.
 enum class PvarClass : std::uint8_t {
-  kCounter,  ///< monotonically increasing count (messages, pool hits)
-  kLevel,    ///< instantaneous level tracked as a high-water mark
-  kTimer,    ///< accumulated duration in virtual nanoseconds
+  kCounter,    ///< monotonically increasing count (messages, pool hits)
+  kLevel,      ///< instantaneous level tracked as a high-water mark
+  kTimer,      ///< accumulated duration in virtual nanoseconds
+  kHistogram,  ///< log-bucketed distribution of recorded values
 };
 
 const char* pvar_class_name(PvarClass cls);
+
+/// The unit of a pvar's raw values (see the unit contract above).
+enum class PvarUnit : std::uint8_t {
+  kNone,         ///< dimensionless (counts, levels)
+  kNanoseconds,  ///< virtual nanoseconds
+  kBytes,        ///< payload bytes
+};
+
+const char* pvar_unit_name(PvarUnit unit);
 
 /// Opaque handle returned by registration; indexes the registry's slot
 /// table. The default-constructed handle is invalid and every update
@@ -60,10 +80,12 @@ class PvarRegistry {
   }
 
   /// Find-or-create `name`. Re-registering an existing name returns the
-  /// existing handle (the class/description of the first wins). Throws
-  /// jhpc::Error when the fixed capacity is exhausted.
+  /// existing handle (the class/description/unit of the first wins).
+  /// Timers and histograms default to kNanoseconds when no unit is
+  /// given. Throws jhpc::Error when the fixed capacity is exhausted.
   PvarId register_pvar(const std::string& name, PvarClass cls,
-                       const std::string& description);
+                       const std::string& description,
+                       PvarUnit unit = PvarUnit::kNone);
 
   /// Handle lookup by name; invalid handle when unknown.
   PvarId find(const std::string& name) const;
@@ -73,16 +95,27 @@ class PvarRegistry {
   void add(PvarId id, int rank, std::int64_t delta);
   /// Raise (pvar, rank) to `value` if larger. Levels (high-water marks).
   void raise(PvarId id, int rank, std::int64_t value);
+  /// Record one sample into a histogram pvar: bumps the rank's count,
+  /// sum, max and the value's log bucket. Ignored for other classes.
+  void record(PvarId id, int rank, std::int64_t value);
 
-  /// Current value of (pvar, rank); 0 for invalid handles.
+  /// Current value of (pvar, rank); 0 for invalid handles. For
+  /// histograms this is the sample count.
   std::int64_t read(PvarId id, int rank) const;
   /// Sum over all ranks.
   std::int64_t total(PvarId id) const;
+
+  /// Decode one rank's histogram; empty reading for invalid handles or
+  /// non-histogram pvars.
+  HistReading read_hist(PvarId id, int rank) const;
+  /// All ranks merged.
+  HistReading hist_total(PvarId id) const;
 
   /// One registered variable with its per-rank values at snapshot time.
   struct Reading {
     std::string name;
     PvarClass cls = PvarClass::kCounter;
+    PvarUnit unit = PvarUnit::kNone;
     std::string description;
     std::vector<std::int64_t> values;  ///< indexed by rank
     std::int64_t total = 0;
@@ -95,16 +128,29 @@ class PvarRegistry {
   void reset_values();
 
   /// Render a summary: one row per pvar, one column per rank plus a
-  /// total. Timers are shown in microseconds.
+  /// total. Timers are shown in microseconds; histograms show their
+  /// per-rank sample counts (hist_table() has the distributions).
   Table to_table() const;
+
+  /// Render the registered histograms: one row per histogram pvar with
+  /// sample count and p50/p90/p99/max merged across ranks. Nanosecond
+  /// histograms are shown in microseconds; other units stay raw.
+  Table hist_table() const;
+  /// True when any histogram pvar is registered.
+  bool has_histograms() const;
 
  private:
   struct Slot {
     std::string name;
     PvarClass cls = PvarClass::kCounter;
+    PvarUnit unit = PvarUnit::kNone;
     std::string description;
     std::unique_ptr<std::atomic<std::int64_t>[]> values;  // [ranks_]
+    // Histogram slots only: per rank, kHistBuckets bucket cells followed
+    // by a sum cell and a max cell (count lives in `values`).
+    std::unique_ptr<std::atomic<std::int64_t>[]> hist;
   };
+  static constexpr std::size_t kHistStride = kHistBuckets + 2;
 
   int ranks_;
   std::vector<Slot> slots_;             // fixed size; filled up to count_

@@ -1,0 +1,86 @@
+// Black-box flight recorder for protocol post-mortems.
+//
+// A typed error says *what* failed; the flight recorder says what every
+// involved rank was doing just before. Each rank keeps a small bounded
+// ring of recent protocol events (posts, matches, sends, acks,
+// retransmits, timeouts, kills, revokes). Recording is a mutex-guarded
+// ring store — events are rare relative to data movement, contention is
+// nil, and unlike the trace rings any thread may record on any rank's
+// ring (a kill lands on the victim's ring from the reaper thread). When
+// a job dies with TransportTimeoutError / RankFailedError, the Universe
+// dumps every non-empty ring as a readable report.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jhpc::obs {
+
+/// Protocol event kinds, ordered roughly by message lifecycle.
+enum class FlightKind : std::uint8_t {
+  kPost,        ///< receive posted (arg = buffer capacity bytes)
+  kMatch,       ///< receive matched a message (arg = payload bytes)
+  kEagerSend,   ///< eager-protocol send issued (arg = payload bytes)
+  kRndvSend,    ///< rendezvous-protocol send issued (arg = payload bytes)
+  kAck,         ///< reliable-delivery ack received (arg = sequence)
+  kRetransmit,  ///< reliable-delivery retransmit fired (arg = sequence)
+  kTimeout,     ///< delivery timeout declared (arg = sequence)
+  kKill,        ///< this rank was fail-stopped
+  kRevoke,      ///< a communicator was revoked (arg = context id)
+};
+
+const char* flight_kind_name(FlightKind kind);
+
+/// One recorded protocol event. `arg` is bytes for post/match/send
+/// kinds, a sequence number for ack/retransmit/timeout, and a context id
+/// for revoke (see flight_kind_name for rendering).
+struct FlightEvent {
+  std::int64_t vtime_ns = 0;
+  std::int64_t arg = 0;
+  std::int32_t peer = -1;  ///< world rank of the other side; -1 = n/a
+  std::int32_t tag = -1;   ///< message tag; -1 = n/a
+  FlightKind kind = FlightKind::kPost;
+};
+
+/// Per-rank bounded event rings. Construct with capacity 0 to disable:
+/// every record() is then a single size check, so call sites need no
+/// extra guard beyond the observability pointer itself.
+class FlightRecorder {
+ public:
+  FlightRecorder(std::size_t capacity, int ranks);
+
+  bool on() const { return !rings_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Append to `rank`'s ring, evicting the oldest on overflow. Any
+  /// thread; no-op when disabled.
+  void record(int rank, FlightEvent ev);
+
+  /// Retained events for one rank, oldest first.
+  std::vector<FlightEvent> events(int rank) const;
+
+  /// True when no rank has recorded anything.
+  bool empty() const;
+
+  /// Drop all events (job reset).
+  void clear();
+
+  /// Human-readable dump: the involved ranks and each one's last events,
+  /// oldest first. Empty string when nothing was recorded.
+  std::string report() const;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<FlightEvent> buf;
+    std::size_t head = 0;
+    std::size_t size = 0;
+  };
+  std::size_t capacity_ = 0;
+  std::vector<std::unique_ptr<Ring>> rings_;  // empty when disabled
+};
+
+}  // namespace jhpc::obs

@@ -36,7 +36,9 @@ class TraceRing {
   /// Events evicted by overflow since construction/clear().
   std::uint64_t dropped() const { return dropped_; }
 
-  void push(TraceEvent ev);
+  /// Append; returns true when a retained event was evicted to make
+  /// room (callers count drops in the obs.trace.dropped pvar).
+  bool push(TraceEvent ev);
   void clear();
 
   /// Retained events, oldest first.

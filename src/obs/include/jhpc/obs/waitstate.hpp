@@ -1,0 +1,78 @@
+// Scalasca-style wait-state attribution.
+//
+// Knowing a rank waited is cheap (mpi.wait_ns); knowing *why* needs the
+// two sides of each communication compared on the virtual clock. At a
+// transport match point the send-arrival and recv-post timestamps are
+// both known, so every completed receive classifies as:
+//   late sender   — the receive was posted first; the receiver idled
+//                   until the data arrived (charged to the receiver),
+//   late receiver — the data arrived first and sat in the unexpected
+//                   queue until the receive was posted.
+// Collectives get the analogous treatment: each entry is compared
+// against the last-arriving member of the group, and the skew is charged
+// to every early rank as wait-at-barrier time.
+//
+// Results surface as `waitstate.*` pvars (counts plus accumulated
+// virtual ns, per rank) and zero-width trace marks at the match sites.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "jhpc/obs/pvar.hpp"
+
+namespace jhpc::obs {
+
+/// Wait-state classifier. Registers its pvars on construction; the p2p
+/// hooks are lock-free pvar updates, the collective hook keeps a small
+/// mutexed rendezvous board keyed by (context id, entry sequence) that
+/// resolves as soon as the last group member arrives.
+class WaitState {
+ public:
+  explicit WaitState(PvarRegistry& reg);
+
+  /// A receive completed `wait_ns` of virtual time after it was posted
+  /// because the sender's data had not arrived yet. Charged to the
+  /// receiving world rank. Any thread.
+  void late_sender(int recv_world, std::int64_t wait_ns);
+
+  /// A message sat `wait_ns` in the unexpected queue before the matching
+  /// receive was posted. Charged to the receiving world rank.
+  void late_receiver(int recv_world, std::int64_t wait_ns);
+
+  /// A rank entered a blocking collective on communicator `context_id`
+  /// at virtual time `entry_vns`. `group_world` maps comm rank to world
+  /// rank; `my_index` is the entering comm rank. When the whole group
+  /// has entered, every early rank is charged (last - own) as
+  /// wait-at-barrier skew. Any thread.
+  void coll_entry(int context_id, const std::vector<int>& group_world,
+                  int my_index, std::int64_t entry_vns);
+
+  /// Drop unresolved collective entries (a failed job can abandon a
+  /// board mid-collective; the next job starts clean).
+  void reset();
+
+ private:
+  PvarRegistry& reg_;
+  PvarId late_sender_;
+  PvarId late_sender_ns_;
+  PvarId late_receiver_;
+  PvarId late_receiver_ns_;
+  PvarId barrier_;
+  PvarId barrier_ns_;
+
+  std::mutex mu_;
+  /// Next collective sequence number per (context id, world rank).
+  std::map<std::pair<int, int>, std::uint64_t> seq_;
+  struct Pending {
+    std::vector<std::int64_t> entry;  ///< by comm rank; -1 = not yet in
+    std::size_t remaining = 0;
+  };
+  /// Open rendezvous boards per (context id, sequence).
+  std::map<std::pair<int, std::uint64_t>, Pending> pending_;
+};
+
+}  // namespace jhpc::obs

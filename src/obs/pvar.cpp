@@ -9,6 +9,16 @@ const char* pvar_class_name(PvarClass cls) {
     case PvarClass::kCounter: return "counter";
     case PvarClass::kLevel: return "level";
     case PvarClass::kTimer: return "timer";
+    case PvarClass::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const char* pvar_unit_name(PvarUnit unit) {
+  switch (unit) {
+    case PvarUnit::kNone: return "none";
+    case PvarUnit::kNanoseconds: return "ns";
+    case PvarUnit::kBytes: return "bytes";
   }
   return "?";
 }
@@ -20,16 +30,22 @@ PvarRegistry::PvarRegistry(int ranks, std::size_t capacity)
 }
 
 PvarId PvarRegistry::register_pvar(const std::string& name, PvarClass cls,
-                                   const std::string& description) {
+                                   const std::string& description,
+                                   PvarUnit unit) {
   std::lock_guard<std::mutex> lk(register_mu_);
   const std::uint32_t n = count_.load(std::memory_order_relaxed);
   for (std::uint32_t i = 0; i < n; ++i) {
     if (slots_[i].name == name) return PvarId{i};
   }
   JHPC_REQUIRE(n < slots_.size(), "pvar registry capacity exhausted");
+  if (unit == PvarUnit::kNone &&
+      (cls == PvarClass::kTimer || cls == PvarClass::kHistogram)) {
+    unit = PvarUnit::kNanoseconds;
+  }
   Slot& slot = slots_[n];
   slot.name = name;
   slot.cls = cls;
+  slot.unit = unit;
   slot.description = description;
   slot.values =
       std::make_unique<std::atomic<std::int64_t>[]>(
@@ -37,6 +53,12 @@ PvarId PvarRegistry::register_pvar(const std::string& name, PvarClass cls,
   for (int r = 0; r < ranks_; ++r) {
     slot.values[static_cast<std::size_t>(r)].store(
         0, std::memory_order_relaxed);
+  }
+  if (cls == PvarClass::kHistogram) {
+    const std::size_t cells = static_cast<std::size_t>(ranks_) * kHistStride;
+    slot.hist = std::make_unique<std::atomic<std::int64_t>[]>(cells);
+    for (std::size_t i = 0; i < cells; ++i)
+      slot.hist[i].store(0, std::memory_order_relaxed);
   }
   // Publish: readers load count_ with acquire before touching slots_[n].
   count_.store(n + 1, std::memory_order_release);
@@ -68,6 +90,24 @@ void PvarRegistry::raise(PvarId id, int rank, std::int64_t value) {
   }
 }
 
+void PvarRegistry::record(PvarId id, int rank, std::int64_t value) {
+  if (!id.valid()) return;
+  Slot& slot = slots_[id.index];
+  if (slot.hist == nullptr) return;
+  const std::size_t base = static_cast<std::size_t>(rank) * kHistStride;
+  slot.values[static_cast<std::size_t>(rank)].fetch_add(
+      1, std::memory_order_relaxed);
+  slot.hist[base + hist_bucket_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  slot.hist[base + kHistBuckets].fetch_add(value, std::memory_order_relaxed);
+  auto& max_cell = slot.hist[base + kHistBuckets + 1];
+  std::int64_t cur = max_cell.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_cell.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
 std::int64_t PvarRegistry::read(PvarId id, int rank) const {
   if (!id.valid()) return 0;
   return slots_[id.index].values[static_cast<std::size_t>(rank)].load(
@@ -81,6 +121,27 @@ std::int64_t PvarRegistry::total(PvarId id) const {
   return sum;
 }
 
+HistReading PvarRegistry::read_hist(PvarId id, int rank) const {
+  HistReading out;
+  if (!id.valid()) return out;
+  const Slot& slot = slots_[id.index];
+  if (slot.hist == nullptr) return out;
+  const std::size_t base = static_cast<std::size_t>(rank) * kHistStride;
+  out.count = read(id, rank);
+  out.sum = slot.hist[base + kHistBuckets].load(std::memory_order_relaxed);
+  out.max = slot.hist[base + kHistBuckets + 1].load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kHistBuckets; ++i)
+    out.buckets[i] = slot.hist[base + i].load(std::memory_order_relaxed);
+  return out;
+}
+
+HistReading PvarRegistry::hist_total(PvarId id) const {
+  HistReading out;
+  if (!id.valid()) return out;
+  for (int r = 0; r < ranks_; ++r) out.merge(read_hist(id, r));
+  return out;
+}
+
 std::vector<PvarRegistry::Reading> PvarRegistry::snapshot() const {
   const std::uint32_t n = count_.load(std::memory_order_acquire);
   std::vector<Reading> out;
@@ -90,6 +151,7 @@ std::vector<PvarRegistry::Reading> PvarRegistry::snapshot() const {
     Reading r;
     r.name = slot.name;
     r.cls = slot.cls;
+    r.unit = slot.unit;
     r.description = slot.description;
     r.values.resize(static_cast<std::size_t>(ranks_));
     for (int rank = 0; rank < ranks_; ++rank) {
@@ -108,6 +170,12 @@ void PvarRegistry::reset_values() {
     for (int r = 0; r < ranks_; ++r) {
       slots_[i].values[static_cast<std::size_t>(r)].store(
           0, std::memory_order_relaxed);
+    }
+    if (slots_[i].hist != nullptr) {
+      const std::size_t cells =
+          static_cast<std::size_t>(ranks_) * kHistStride;
+      for (std::size_t c = 0; c < cells; ++c)
+        slots_[i].hist[c].store(0, std::memory_order_relaxed);
     }
   }
 }
@@ -139,6 +207,35 @@ Table PvarRegistry::to_table() const {
       row.push_back(fmt(reading.total));
     }
     table.add_row(std::move(row));
+  }
+  return table;
+}
+
+bool PvarRegistry::has_histograms() const {
+  const std::uint32_t n = count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (slots_[i].cls == PvarClass::kHistogram) return true;
+  }
+  return false;
+}
+
+Table PvarRegistry::hist_table() const {
+  Table table({"histogram", "unit", "count", "p50", "p90", "p99", "max"});
+  const std::uint32_t n = count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Slot& slot = slots_[i];
+    if (slot.cls != PvarClass::kHistogram) continue;
+    const HistReading h = hist_total(PvarId{i});
+    const bool ns = slot.unit == PvarUnit::kNanoseconds;
+    auto fmt = [&](std::int64_t v) {
+      // Nanosecond distributions render in microseconds, like timers.
+      return ns ? fmt_double(static_cast<double>(v) / 1e3, 2)
+                : std::to_string(v);
+    };
+    table.add_row({slot.name, ns ? "us" : pvar_unit_name(slot.unit),
+                   std::to_string(h.count), fmt(h.percentile(50)),
+                   fmt(h.percentile(90)), fmt(h.percentile(99)),
+                   fmt(h.max)});
   }
   return table;
 }

@@ -1,0 +1,132 @@
+#include "jhpc/obs/recorder.hpp"
+
+#include <cstdio>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::obs {
+
+const char* flight_kind_name(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kPost: return "post";
+    case FlightKind::kMatch: return "match";
+    case FlightKind::kEagerSend: return "eager_send";
+    case FlightKind::kRndvSend: return "rndv_send";
+    case FlightKind::kAck: return "ack";
+    case FlightKind::kRetransmit: return "retransmit";
+    case FlightKind::kTimeout: return "timeout";
+    case FlightKind::kKill: return "kill";
+    case FlightKind::kRevoke: return "revoke";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity, int ranks)
+    : capacity_(capacity) {
+  if (capacity == 0) return;
+  JHPC_REQUIRE(ranks >= 1, "FlightRecorder needs at least one rank");
+  rings_.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    auto ring = std::make_unique<Ring>();
+    ring->buf.resize(capacity);
+    rings_.push_back(std::move(ring));
+  }
+}
+
+void FlightRecorder::record(int rank, FlightEvent ev) {
+  if (rings_.empty()) return;
+  Ring& ring = *rings_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lk(ring.mu);
+  if (ring.size == ring.buf.size()) {
+    ring.buf[ring.head] = ev;
+    ring.head = (ring.head + 1) % ring.buf.size();
+    return;
+  }
+  ring.buf[(ring.head + ring.size) % ring.buf.size()] = ev;
+  ++ring.size;
+}
+
+std::vector<FlightEvent> FlightRecorder::events(int rank) const {
+  std::vector<FlightEvent> out;
+  if (rings_.empty()) return out;
+  const Ring& ring = *rings_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lk(ring.mu);
+  out.reserve(ring.size);
+  for (std::size_t i = 0; i < ring.size; ++i)
+    out.push_back(ring.buf[(ring.head + i) % ring.buf.size()]);
+  return out;
+}
+
+bool FlightRecorder::empty() const {
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lk(ring->mu);
+    if (ring->size != 0) return false;
+  }
+  return true;
+}
+
+void FlightRecorder::clear() {
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lk(ring->mu);
+    ring->head = 0;
+    ring->size = 0;
+  }
+}
+
+std::string FlightRecorder::report() const {
+  std::vector<std::vector<FlightEvent>> per_rank;
+  per_rank.reserve(rings_.size());
+  std::vector<int> involved;
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    per_rank.push_back(events(static_cast<int>(r)));
+    if (!per_rank.back().empty()) involved.push_back(static_cast<int>(r));
+  }
+  if (involved.empty()) return {};
+
+  std::string out =
+      "[jhpc-obs] flight recorder: last protocol events per rank\n";
+  out += "involved ranks:";
+  for (const int r : involved) out += " " + std::to_string(r);
+  out += "\n";
+  for (const int r : involved) {
+    out += "rank " + std::to_string(r) + ":\n";
+    for (const FlightEvent& ev : per_rank[static_cast<std::size_t>(r)]) {
+      char line[160];
+      switch (ev.kind) {
+        case FlightKind::kPost:
+        case FlightKind::kMatch:
+        case FlightKind::kEagerSend:
+        case FlightKind::kRndvSend:
+          std::snprintf(line, sizeof(line),
+                        "  @%12lldns  %-10s peer=%d tag=%d bytes=%lld\n",
+                        static_cast<long long>(ev.vtime_ns),
+                        flight_kind_name(ev.kind), ev.peer, ev.tag,
+                        static_cast<long long>(ev.arg));
+          break;
+        case FlightKind::kAck:
+        case FlightKind::kRetransmit:
+        case FlightKind::kTimeout:
+          std::snprintf(line, sizeof(line),
+                        "  @%12lldns  %-10s peer=%d seq=%lld\n",
+                        static_cast<long long>(ev.vtime_ns),
+                        flight_kind_name(ev.kind), ev.peer,
+                        static_cast<long long>(ev.arg));
+          break;
+        case FlightKind::kKill:
+          std::snprintf(line, sizeof(line), "  @%12lldns  kill\n",
+                        static_cast<long long>(ev.vtime_ns));
+          break;
+        case FlightKind::kRevoke:
+          std::snprintf(line, sizeof(line),
+                        "  @%12lldns  revoke     context=%lld\n",
+                        static_cast<long long>(ev.vtime_ns),
+                        static_cast<long long>(ev.arg));
+          break;
+      }
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace jhpc::obs

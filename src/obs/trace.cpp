@@ -11,16 +11,17 @@ TraceRing::TraceRing(std::size_t capacity) : buf_(capacity) {
   JHPC_REQUIRE(capacity >= 1, "trace ring capacity must be positive");
 }
 
-void TraceRing::push(TraceEvent ev) {
+bool TraceRing::push(TraceEvent ev) {
   if (size_ == buf_.size()) {
     // Full: evict the oldest so the ring keeps the most recent window.
     buf_[head_] = ev;
     head_ = (head_ + 1) % buf_.size();
     ++dropped_;
-    return;
+    return true;
   }
   buf_[(head_ + size_) % buf_.size()] = ev;
   ++size_;
+  return false;
 }
 
 void TraceRing::clear() {

@@ -1,0 +1,72 @@
+#include "jhpc/obs/waitstate.hpp"
+
+namespace jhpc::obs {
+
+WaitState::WaitState(PvarRegistry& reg)
+    : reg_(reg),
+      late_sender_(reg.register_pvar(
+          "waitstate.late_sender", PvarClass::kCounter,
+          "receives that idled waiting for the sender's data")),
+      late_sender_ns_(reg.register_pvar(
+          "waitstate.late_sender_ns", PvarClass::kTimer,
+          "virtual ns receives idled waiting for late senders")),
+      late_receiver_(reg.register_pvar(
+          "waitstate.late_receiver", PvarClass::kCounter,
+          "messages that sat unexpected waiting for the receive post")),
+      late_receiver_ns_(reg.register_pvar(
+          "waitstate.late_receiver_ns", PvarClass::kTimer,
+          "virtual ns messages sat waiting for late receivers")),
+      barrier_(reg.register_pvar(
+          "waitstate.wait_at_barrier", PvarClass::kCounter,
+          "collective entries that waited on a later-arriving rank")),
+      barrier_ns_(reg.register_pvar(
+          "waitstate.wait_at_barrier_ns", PvarClass::kTimer,
+          "virtual ns of collective-entry skew vs the last rank")) {}
+
+void WaitState::late_sender(int recv_world, std::int64_t wait_ns) {
+  reg_.add(late_sender_, recv_world, 1);
+  reg_.add(late_sender_ns_, recv_world, wait_ns);
+}
+
+void WaitState::late_receiver(int recv_world, std::int64_t wait_ns) {
+  reg_.add(late_receiver_, recv_world, 1);
+  reg_.add(late_receiver_ns_, recv_world, wait_ns);
+}
+
+void WaitState::coll_entry(int context_id,
+                           const std::vector<int>& group_world,
+                           int my_index, std::int64_t entry_vns) {
+  if (group_world.size() < 2) return;
+  // Charges computed under the lock, applied to lock-free pvar cells, so
+  // the critical section is a couple of map operations per entry.
+  std::lock_guard<std::mutex> lk(mu_);
+  const int me = group_world[static_cast<std::size_t>(my_index)];
+  const std::uint64_t s = seq_[{context_id, me}]++;
+  auto it = pending_.try_emplace({context_id, s}).first;
+  Pending& p = it->second;
+  if (p.entry.empty()) {
+    p.entry.assign(group_world.size(), -1);
+    p.remaining = group_world.size();
+  }
+  p.entry[static_cast<std::size_t>(my_index)] = entry_vns;
+  if (--p.remaining > 0) return;
+
+  std::int64_t last = entry_vns;
+  for (const std::int64_t t : p.entry)
+    if (t > last) last = t;
+  for (std::size_t i = 0; i < p.entry.size(); ++i) {
+    const std::int64_t skew = last - p.entry[i];
+    if (skew <= 0) continue;
+    reg_.add(barrier_, group_world[i], 1);
+    reg_.add(barrier_ns_, group_world[i], skew);
+  }
+  pending_.erase(it);
+}
+
+void WaitState::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  seq_.clear();
+  pending_.clear();
+}
+
+}  // namespace jhpc::obs

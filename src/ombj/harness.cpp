@@ -229,6 +229,11 @@ int figure_main(FigureSpec fig, int argc, char** argv) {
         quick = true;
       } else if (arg == "--pvars") {
         fig.obs.pvars = true;
+      } else if (arg == "--pvars-json") {
+        fig.obs.pvars_json_path = next();
+      } else if (arg == "--comm-matrix") {
+        fig.obs.comm_matrix = true;
+        fig.obs.comm_matrix_csv = next();
       } else if (arg == "--trace") {
         fig.obs.trace_path = next();
       } else if (arg.rfind("--trace=", 0) == 0) {
@@ -250,7 +255,8 @@ int figure_main(FigureSpec fig, int argc, char** argv) {
       } else if (arg == "--help" || arg == "-h") {
         std::cout << fig.id << ": " << fig.title << "\n"
                   << "flags: --ranks N --ppn N --min SZ --max SZ --iters N "
-                     "--window N --csv PATH --quick --pvars --trace FILE\n"
+                     "--window N --csv PATH --quick --pvars "
+                     "--pvars-json FILE --comm-matrix FILE --trace FILE\n"
                      "       --fault-seed N --drop P --fault-jitter NS "
                      "--kill-rank R@N (seeded fault injection and ULFM "
                      "recovery, docs/FAULTS.md)\n";

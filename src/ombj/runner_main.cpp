@@ -37,6 +37,10 @@ void usage() {
       "  --validate     include populate+verify in the timed region\n"
       "  --csv PATH     mirror the table to CSV\n"
       "  --pvars        print MPI_T-style performance variables at finalize\n"
+      "                 (with latency-distribution p50/p90/p99 columns)\n"
+      "  --pvars-json FILE  write pvars + histograms + comm matrix as JSON\n"
+      "  --comm-matrix FILE write the per-(src,dst) message/byte matrix as\n"
+      "                 CSV and print the finalize heatmap\n"
       "  --trace FILE   write a Chrome trace (virtual clock) to FILE\n"
       "  --fault-seed N seed the deterministic fault injector (default 1)\n"
       "  --drop P       per-attempt drop probability on inter-node links\n"
@@ -99,6 +103,11 @@ int main(int argc, char** argv) {
         csv_path = next();
       } else if (arg == "--pvars") {
         fig.obs.pvars = true;
+      } else if (arg == "--pvars-json") {
+        fig.obs.pvars_json_path = next();
+      } else if (arg == "--comm-matrix") {
+        fig.obs.comm_matrix = true;
+        fig.obs.comm_matrix_csv = next();
       } else if (arg == "--trace") {
         fig.obs.trace_path = next();
       } else if (arg.rfind("--trace=", 0) == 0) {

@@ -259,6 +259,11 @@ class Env {
   obs::PvarRegistry* pvars() const { return world_.native().pvars(); }
   /// This rank's value of pvar `name`; 0 when unknown or disabled.
   std::int64_t readPvar(const std::string& name) const;
+  /// This rank's decoded distribution of histogram pvar `name` (raw
+  /// registered units); an empty reading when unknown or disabled.
+  obs::HistReading readHistogram(const std::string& name) const;
+  /// Percentile `p` (0..100) of this rank's histogram `name`.
+  std::int64_t histogramPercentile(const std::string& name, double p) const;
 
   ByteBuffer newDirectBuffer(std::size_t bytes) {
     return ByteBuffer::allocate_direct(bytes);

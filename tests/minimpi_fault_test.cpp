@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -637,6 +640,62 @@ TEST(FaultTimeoutTest, FullDropLinkRaisesTransportTimeout) {
                          }
                        }),
       TransportTimeoutError);
+}
+
+TEST(FaultTimeoutTest, TimeoutDumpsFlightRecorderReport) {
+  // A job dying on TransportTimeoutError must leave a black-box dump
+  // naming the involved ranks and their last protocol events.
+  UniverseConfig c = chaos_cfg(2, 1, 1.0, 0, 5, "flight_dump");
+  c.fabric.faults.delivery_timeout_ns = 2'000'000;
+  const std::string dump = testing::TempDir() + "flight_timeout.txt";
+  std::remove(dump.c_str());
+  c.obs.flight_dump_path = dump;
+  EXPECT_THROW(
+      Universe::launch(c,
+                       [](Comm& world) {
+                         char t = 7;
+                         if (world.rank() == 0) {
+                           world.send(&t, sizeof(t), 1, 0);
+                         } else {
+                           world.recv(&t, sizeof(t), 0, 0);
+                         }
+                       }),
+      TransportTimeoutError);
+  std::ifstream f(dump);
+  ASSERT_TRUE(f.good()) << "flight dump not written to " << dump;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string report = ss.str();
+  EXPECT_NE(report.find("flight recorder"), std::string::npos);
+  EXPECT_NE(report.find("involved ranks: 0 1"), std::string::npos);
+  EXPECT_NE(report.find("rank 0:"), std::string::npos);  // the sender...
+  EXPECT_NE(report.find("rank 1:"), std::string::npos);  // ...and receiver
+  EXPECT_NE(report.find("eager_send"), std::string::npos);
+  EXPECT_NE(report.find("retransmit"), std::string::npos);
+  EXPECT_NE(report.find("timeout"), std::string::npos);
+  EXPECT_NE(report.find("post"), std::string::npos);
+}
+
+TEST(FaultTimeoutTest, FlightRecorderCanBeOptedOut) {
+  UniverseConfig c = chaos_cfg(2, 1, 1.0, 0, 5, "flight_off");
+  c.fabric.faults.delivery_timeout_ns = 2'000'000;
+  const std::string dump = testing::TempDir() + "flight_off.txt";
+  std::remove(dump.c_str());
+  c.obs.flight_dump_path = dump;
+  c.obs.flight_recorder = false;
+  EXPECT_THROW(
+      Universe::launch(c,
+                       [](Comm& world) {
+                         char t = 7;
+                         if (world.rank() == 0) {
+                           world.send(&t, sizeof(t), 1, 0);
+                         } else {
+                           world.recv(&t, sizeof(t), 0, 0);
+                         }
+                       }),
+      TransportTimeoutError);
+  EXPECT_FALSE(std::ifstream(dump).good())
+      << "opted-out flight recorder must not dump";
 }
 
 TEST(FaultTimeoutTest, WaitSurfacesTimeoutOnBothSides) {

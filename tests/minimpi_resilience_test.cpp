@@ -12,7 +12,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -321,6 +324,32 @@ TEST(ResilienceFatalTest, DefaultHandlerAbortsTheJob) {
                                   world.recv(&b, 1, 1 - world.rank(), 7);
                                 }),
                RankFailedError);
+}
+
+TEST(ResilienceFatalTest, RankKillDumpsFlightRecorderReport) {
+  // A fatal rank failure must leave a black-box dump: the victim's ring
+  // carries the kill event, the survivor's its stranded receive.
+  UniverseConfig c = kill_cfg(2, {{1, 0}});
+  const std::string dump = testing::TempDir() + "flight_kill.txt";
+  std::remove(dump.c_str());
+  c.obs.flight_dump_path = dump;
+  EXPECT_THROW(Universe::launch(c,
+                                [](Comm& world) {
+                                  char b = 0;
+                                  world.recv(&b, 1, 1 - world.rank(), 7);
+                                }),
+               RankFailedError);
+  std::ifstream f(dump);
+  ASSERT_TRUE(f.good()) << "flight dump not written to " << dump;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string report = ss.str();
+  EXPECT_NE(report.find("flight recorder"), std::string::npos);
+  EXPECT_NE(report.find("involved ranks: 0 1"), std::string::npos);
+  EXPECT_NE(report.find("rank 1:"), std::string::npos);  // the victim...
+  EXPECT_NE(report.find("kill"), std::string::npos);
+  EXPECT_NE(report.find("rank 0:"), std::string::npos);  // ...the survivor
+  EXPECT_NE(report.find("post"), std::string::npos);
 }
 
 TEST(ResilienceFatalTest, ErrhandlerIsInheritedByDerivedComms) {
