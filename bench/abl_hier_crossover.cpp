@@ -1,0 +1,210 @@
+// Ablation: where does the topology-aware hierarchical engine overtake
+// the flat trees? Sweeps bcast and allreduce over ppn = {2, 8, 16, 32}
+// (two virtual nodes each) with all three native engines — mv2, basic,
+// hier — on identical fabrics, and reports the mv2/hier latency ratio
+// per geometry. Under the deterministic clock the crossover is a pure
+// model statement: a flat binomial pays log2(ppn) intra-node channel
+// hops (intra_latency_ns each) where hier pays two shared-flag hops
+// (hier_flag_ns each) plus one inter-node exchange among leaders.
+//
+// A per-geometry pvar probe also records coll.hier.single_copy /
+// coll.hier.single_copy_bytes so the zero-bounce intra-node path is
+// evidenced, not assumed (basic/mv2 runs must report 0).
+//
+// Output: figure tables per geometry, a combined CSV (--csv) and a
+// BENCH-style JSON (--json, default BENCH_hier_crossover.json) for the
+// perf-trajectory artifact. See docs/PERF.md.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fig_common.hpp"
+#include "jhpc/minimpi/minimpi.hpp"
+#include "jhpc/obs/pvar.hpp"
+
+namespace {
+
+using namespace jhpc;
+using namespace jhpc::ombj;
+
+struct GeoResult {
+  BenchKind kind{};
+  int ppn = 0;
+  int ranks = 0;
+  std::vector<SeriesResult> series;  // mv2, basic, hier (in that order)
+  double mv2_over_hier = 0.0;        // geometric-mean latency ratio
+  std::int64_t single_copies = 0;    // hier probe at this geometry
+  std::int64_t single_copy_bytes = 0;
+};
+
+FigureSpec crossover_fig(BenchKind kind, int ppn, bool quick) {
+  FigureSpec fig;
+  fig.id = std::string("hier_xover_") + bench_name(kind) + "_ppn" +
+           std::to_string(ppn);
+  fig.title = std::string("hier crossover: osu_") + bench_name(kind) +
+              ", 2 nodes x " + std::to_string(ppn) + " ppn";
+  fig.kind = kind;
+  fig.ranks = 2 * ppn;
+  fig.ppn = ppn;
+  fig.options.min_size = 8;
+  fig.options.max_size = 16 * 1024;
+  fig.options.iters_small = quick ? 10 : 40;
+  fig.options.warmup_small = quick ? 2 : 5;
+  fig.options.iters_large = quick ? 4 : 10;
+  fig.options.warmup_large = quick ? 1 : 2;
+  // Same library (and therefore the same transport profile) for all
+  // three series — only the collective engine differs.
+  fig.series = {{Library::kNativeMv2, Api::kBuffer, "mv2", "mv2"},
+                {Library::kNativeMv2, Api::kBuffer, "basic", "basic"},
+                {Library::kNativeMv2, Api::kBuffer, "hier", "hier"}};
+  fig.ratios = {{"mv2", "hier"}, {"basic", "hier"}};
+  return fig;
+}
+
+/// One small hier job at the sweep geometry, reading the single-copy
+/// pvars after a bcast + allreduce round: proof the intra-node fan-out
+/// moved payload with one copy per consumer instead of tree hops.
+void probe_single_copy(int ppn, GeoResult& geo,
+                       const std::string& pvar_dump) {
+  minimpi::UniverseConfig cfg;
+  cfg.world_size = 2 * ppn;
+  cfg.fabric.ranks_per_node = ppn;
+  cfg.suite = minimpi::CollectiveSuite::kHier;
+  cfg.apply_suite_profile();
+  // Arms the registry without the stderr table dump; the last
+  // geometry's dump survives as a machine-readable artifact.
+  cfg.obs = obs::ObsConfig{};
+  cfg.obs.pvars_json_path = pvar_dump;
+  minimpi::Universe::launch(cfg, [&](minimpi::Comm& world) {
+    std::vector<char> buf(8192, static_cast<char>(world.rank()));
+    std::vector<int> acc(256, world.rank()), out(256);
+    world.bcast(buf.data(), buf.size(), 0);
+    world.allreduce(acc.data(), out.data(), acc.size(),
+                    minimpi::BasicKind::kInt, minimpi::ReduceOp::kSum);
+    if (world.rank() == 0) {
+      obs::PvarRegistry& reg = *world.pvars();
+      geo.single_copies = reg.total(reg.find("coll.hier.single_copy"));
+      geo.single_copy_bytes =
+          reg.total(reg.find("coll.hier.single_copy_bytes"));
+    }
+  });
+}
+
+void write_csv(const std::string& path, const std::vector<GeoResult>& geos) {
+  std::ofstream f(path);
+  f << "bench,ppn,ranks,size,mv2_us,basic_us,hier_us\n";
+  for (const GeoResult& g : geos) {
+    // Merge the three series' rows by size (all ran the same sweep).
+    std::map<std::size_t, std::vector<double>> by_size;
+    for (std::size_t s = 0; s < g.series.size(); ++s) {
+      for (const ResultRow& row : g.series[s].rows) {
+        auto& cells = by_size[row.size];
+        cells.resize(g.series.size(), 0.0);
+        cells[s] = row.value;
+      }
+    }
+    for (const auto& [size, cells] : by_size) {
+      f << bench_name(g.kind) << "," << g.ppn << "," << g.ranks << ","
+        << size;
+      for (const double v : cells) {
+        char cell[32];
+        std::snprintf(cell, sizeof(cell), ",%.3f", v);
+        f << cell;
+      }
+      f << "\n";
+    }
+  }
+  std::cerr << "[hier_crossover] csv written to " << path << "\n";
+}
+
+void write_json(const std::string& path, const std::vector<GeoResult>& geos) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"hier_crossover\",\n  \"schema\": 1,\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < geos.size(); ++i) {
+    const GeoResult& g = geos[i];
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.3f", g.mv2_over_hier);
+    os << "    {\"kind\": \"" << bench_name(g.kind) << "\", \"ppn\": "
+       << g.ppn << ", \"ranks\": " << g.ranks
+       << ", \"mv2_over_hier\": " << ratio
+       << ", \"hier_single_copies\": " << g.single_copies
+       << ", \"hier_single_copy_bytes\": " << g.single_copy_bytes << "}"
+       << (i + 1 < geos.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::ofstream f(path);
+  f << os.str();
+  std::cerr << "[hier_crossover] wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string csv_path;
+  std::string json_path = "BENCH_hier_crossover.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+    } else if (a == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--csv PATH] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<GeoResult> geos;
+  for (const BenchKind kind : {BenchKind::kBcast, BenchKind::kAllreduce}) {
+    for (const int ppn : {2, 8, 16, 32}) {
+      FigureSpec fig = crossover_fig(kind, ppn, quick);
+      std::cout << "== " << fig.id << ": " << fig.title << " ==\n";
+      GeoResult geo;
+      geo.kind = kind;
+      geo.ppn = ppn;
+      geo.ranks = fig.ranks;
+      geo.series = run_figure(fig);
+      std::cout << figure_table(fig, geo.series).to_text();
+      geo.mv2_over_hier = average_ratio(geo.series, "mv2", "hier");
+      probe_single_copy(ppn, geo, json_path + ".pvars.json");
+      char line[128];
+      std::snprintf(line, sizeof(line),
+                    "mv2/hier avg ratio: %.2fx  (single_copies=%lld)\n\n",
+                    geo.mv2_over_hier,
+                    static_cast<long long>(geo.single_copies));
+      std::cout << line;
+      geos.push_back(std::move(geo));
+    }
+  }
+
+  if (!csv_path.empty()) write_csv(csv_path, geos);
+  write_json(json_path, geos);
+
+  // The model's headline: with enough ranks sharing a node, two
+  // shared-flag hops beat log2(ppn) channel hops. Fail loudly if the
+  // crossover disappears so perf regressions surface in CI.
+  int rc = 0;
+  for (const GeoResult& g : geos) {
+    if (g.ppn >= 16 && g.mv2_over_hier <= 1.0) {
+      std::cerr << "FAIL: hier did not beat mv2 at ppn=" << g.ppn << " for "
+                << bench_name(g.kind) << " (ratio "
+                << g.mv2_over_hier << ")\n";
+      rc = 1;
+    }
+    if (g.single_copies <= 0) {
+      std::cerr << "FAIL: hier probe recorded no single-copy deliveries at "
+                   "ppn=" << g.ppn << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}

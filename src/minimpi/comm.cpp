@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "detail/coll.hpp"
+#include "detail/coll_hier.hpp"
 #include "detail/transport.hpp"
 #include "jhpc/support/clock.hpp"
 #include "jhpc/support/error.hpp"
@@ -79,7 +80,7 @@ ObsAccess obs_access(const Comm& c) {
   const int me = c.my_world();
   return ObsAccess{c.impl_->obs.get(), me,
                    &c.impl_->clocks[static_cast<std::size_t>(me)],
-                   c.context_id_};
+                   c.context_id_, c.impl_};
 }
 
 }  // namespace detail
@@ -260,13 +261,20 @@ bool Comm::iprobe(int src, int tag, Status* status) const {
 }
 
 // --- Collectives: suite dispatch ----------------------------------------------
+// Three suites: mv2 (tuned trees), basic (flat linear), hier (topology-
+// aware two-level; coll_hier.cpp). hier specialises barrier/bcast/reduce/
+// allreduce/gather and falls back to the mv2 algorithms for every other
+// collective, so `suite() != kOmpiBasic` selects the mv2 path there.
 
 void Comm::barrier() const {
   check_valid(impl_);
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2 ? detail::mv2::barrier(*this)
-                                     : detail::basic::barrier(*this);
+    switch (suite()) {
+      case CollectiveSuite::kHier: detail::hier::barrier(*this); break;
+      case CollectiveSuite::kMv2: detail::mv2::barrier(*this); break;
+      case CollectiveSuite::kOmpiBasic: detail::basic::barrier(*this); break;
+    }
   });
 }
 
@@ -275,9 +283,17 @@ void Comm::bcast(void* buf, std::size_t bytes, int root) const {
   check_peer(root, size(), "bcast");
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2
-        ? detail::mv2::bcast(*this, buf, bytes, root)
-        : detail::basic::bcast(*this, buf, bytes, root);
+    switch (suite()) {
+      case CollectiveSuite::kHier:
+        detail::hier::bcast(*this, buf, bytes, root);
+        break;
+      case CollectiveSuite::kMv2:
+        detail::mv2::bcast(*this, buf, bytes, root);
+        break;
+      case CollectiveSuite::kOmpiBasic:
+        detail::basic::bcast(*this, buf, bytes, root);
+        break;
+    }
   });
 }
 
@@ -287,11 +303,20 @@ void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
   check_peer(root, size(), "reduce");
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2
-        ? detail::mv2::reduce(*this, send_buf, recv_buf, count, kind, op,
-                              root)
-        : detail::basic::reduce(*this, send_buf, recv_buf, count, kind, op,
-                                root);
+    switch (suite()) {
+      case CollectiveSuite::kHier:
+        detail::hier::reduce(*this, send_buf, recv_buf, count, kind, op,
+                             root);
+        break;
+      case CollectiveSuite::kMv2:
+        detail::mv2::reduce(*this, send_buf, recv_buf, count, kind, op,
+                            root);
+        break;
+      case CollectiveSuite::kOmpiBasic:
+        detail::basic::reduce(*this, send_buf, recv_buf, count, kind, op,
+                              root);
+        break;
+    }
   });
 }
 
@@ -300,10 +325,18 @@ void Comm::allreduce(const void* send_buf, void* recv_buf, std::size_t count,
   check_valid(impl_);
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2
-        ? detail::mv2::allreduce(*this, send_buf, recv_buf, count, kind, op)
-        : detail::basic::allreduce(*this, send_buf, recv_buf, count, kind,
-                                   op);
+    switch (suite()) {
+      case CollectiveSuite::kHier:
+        detail::hier::allreduce(*this, send_buf, recv_buf, count, kind, op);
+        break;
+      case CollectiveSuite::kMv2:
+        detail::mv2::allreduce(*this, send_buf, recv_buf, count, kind, op);
+        break;
+      case CollectiveSuite::kOmpiBasic:
+        detail::basic::allreduce(*this, send_buf, recv_buf, count, kind,
+                                 op);
+        break;
+    }
   });
 }
 
@@ -313,7 +346,7 @@ void Comm::reduce_scatter_block(const void* send_buf, void* recv_buf,
   check_valid(impl_);
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2
+    suite() != CollectiveSuite::kOmpiBasic
         ? detail::mv2::reduce_scatter_block(*this, send_buf, recv_buf,
                                             count_per_rank, kind, op)
         : detail::basic::reduce_scatter_block(*this, send_buf, recv_buf,
@@ -326,7 +359,7 @@ void Comm::scan(const void* send_buf, void* recv_buf, std::size_t count,
   check_valid(impl_);
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2
+    suite() != CollectiveSuite::kOmpiBasic
         ? detail::mv2::scan(*this, send_buf, recv_buf, count, kind, op)
         : detail::basic::scan(*this, send_buf, recv_buf, count, kind, op);
   });
@@ -338,11 +371,20 @@ void Comm::gather(const void* send_buf, std::size_t bytes_per_rank,
   check_peer(root, size(), "gather");
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2
-        ? detail::mv2::gather(*this, send_buf, bytes_per_rank, recv_buf,
-                              root)
-        : detail::basic::gather(*this, send_buf, bytes_per_rank, recv_buf,
-                                root);
+    switch (suite()) {
+      case CollectiveSuite::kHier:
+        detail::hier::gather(*this, send_buf, bytes_per_rank, recv_buf,
+                             root);
+        break;
+      case CollectiveSuite::kMv2:
+        detail::mv2::gather(*this, send_buf, bytes_per_rank, recv_buf,
+                            root);
+        break;
+      case CollectiveSuite::kOmpiBasic:
+        detail::basic::gather(*this, send_buf, bytes_per_rank, recv_buf,
+                              root);
+        break;
+    }
   });
 }
 
@@ -352,7 +394,7 @@ void Comm::scatter(const void* send_buf, std::size_t bytes_per_rank,
   check_peer(root, size(), "scatter");
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2
+    suite() != CollectiveSuite::kOmpiBasic
         ? detail::mv2::scatter(*this, send_buf, bytes_per_rank, recv_buf,
                                root)
         : detail::basic::scatter(*this, send_buf, bytes_per_rank, recv_buf,
@@ -365,7 +407,7 @@ void Comm::allgather(const void* send_buf, std::size_t bytes_per_rank,
   check_valid(impl_);
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2
+    suite() != CollectiveSuite::kOmpiBasic
         ? detail::mv2::allgather(*this, send_buf, bytes_per_rank, recv_buf)
         : detail::basic::allgather(*this, send_buf, bytes_per_rank,
                                    recv_buf);
@@ -377,7 +419,7 @@ void Comm::alltoall(const void* send_buf, std::size_t bytes_per_pair,
   check_valid(impl_);
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2
+    suite() != CollectiveSuite::kOmpiBasic
         ? detail::mv2::alltoall(*this, send_buf, bytes_per_pair, recv_buf)
         : detail::basic::alltoall(*this, send_buf, bytes_per_pair, recv_buf);
   });
@@ -414,7 +456,7 @@ void Comm::allgatherv(const void* send_buf, std::size_t send_bytes,
   check_valid(impl_);
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2
+    suite() != CollectiveSuite::kOmpiBasic
         ? detail::mv2::allgatherv(*this, send_buf, send_bytes, recv_buf,
                                   counts, displs)
         : detail::basic::allgatherv(*this, send_buf, send_bytes, recv_buf,
@@ -431,7 +473,7 @@ void Comm::alltoallv(const void* send_buf,
   check_valid(impl_);
   const detail::InternalTagScope tags;
   revoke_on_failure(impl_, context_id_, my_world(), [&] {
-    suite() == CollectiveSuite::kMv2
+    suite() != CollectiveSuite::kOmpiBasic
         ? detail::mv2::alltoallv(*this, send_buf, send_counts, send_displs,
                                  recv_buf, recv_counts, recv_displs)
         : detail::basic::alltoallv(*this, send_buf, send_counts, send_displs,

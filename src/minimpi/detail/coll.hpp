@@ -58,6 +58,13 @@ enum CollTag : int {
   kTagReduceScatter,
   kTagScan,
   kTagCommMgmt,
+  // hier suite: inter-node traffic among node leaders (coll_hier.cpp).
+  kTagHierBarrier,
+  kTagHierBcast,
+  kTagHierReduce,
+  kTagHierAllreduce,
+  kTagHierGather,
+  kTagHierRootXfer,
 };
 
 namespace mv2 {

@@ -74,6 +74,12 @@ enum class CollAlg : int {
   kNbcScatter,
   kNbcAllgather,
   kNbcAlltoall,
+  // hier suite (coll_hier.cpp): two-level topology-aware algorithms
+  kHierBarrier,
+  kHierBcast,
+  kHierReduce,
+  kHierAllreduce,
+  kHierGather,
   kCount,
 };
 
@@ -124,6 +130,15 @@ struct UniverseObs {
 
   /// Per-algorithm collective invocation counts, indexed by CollAlg.
   std::vector<obs::PvarId> coll;
+
+  /// Hier-suite single-copy accounting: payloads copied directly out of
+  /// the publishing rank's user buffer (no mailbox bounce), the bytes so
+  /// moved, and the virtual time ranks spent waiting on shared flags.
+  /// Always registered (like coll.*): a job that never selects the hier
+  /// suite simply reads zero.
+  obs::PvarId hier_single_copy;        ///< kCounter, unit kNone
+  obs::PvarId hier_single_copy_bytes;  ///< kCounter, unit kBytes
+  obs::PvarId hier_flag_wait_ns;       ///< kTimer, unit kNanoseconds
 
   /// Latency distributions (kHistogram pvars, virtual ns): blocking wait
   /// time, eager vs rendezvous send-to-delivery latency, NBC schedule
@@ -425,6 +440,60 @@ struct Endpoint {
 
 struct NbcState;
 
+/// One per-(context id, virtual node) shared segment of the hier
+/// collective suite: the flag tree node members synchronise on, plus the
+/// publication fields the single-copy path reads. Ranks are threads of
+/// one process, so "shared segment" is literal shared memory here — the
+/// repo's stand-in for an XPMEM/CMA mapping of the sender's buffer.
+///
+/// Single-writer discipline (what keeps TSan quiet without locks):
+///   - slot i's ptr/vtime/local_seq and its arrive/done flags are written
+///     only by node member i's thread;
+///   - release and pub_ptr/pub_vtime are written only by the node
+///     leader's thread.
+/// Non-atomic fields are published before a release-store of the paired
+/// flag and read after an acquire-load of it; cross-operation reuse is
+/// ordered by the end-of-op done handshake (the leader never starts
+/// operation seq+1 before every member acknowledged seq).
+struct HierSeg {
+  struct alignas(64) Slot {
+    /// Seq-stamped flags: "my input/publication for op seq is visible"
+    /// and "I am finished with op seq's shared state".
+    std::atomic<std::uint64_t> arrive{0};
+    std::atomic<std::uint64_t> done{0};
+    /// This member's published buffer and virtual time, guarded by
+    /// arrive. The done handshake carries its own timestamp field:
+    /// a reader blocked on `done` for op seq cannot be ordered against
+    /// this member's `arrive` re-stamp for seq+1 (the member races
+    /// ahead once it has seen release), so arrive and done must never
+    /// share a timestamp word.
+    const void* ptr = nullptr;
+    std::int64_t vtime = 0;
+    std::int64_t vtime_done = 0;  ///< guarded by done
+    /// Owner-thread-only operation counter; all node members advance in
+    /// lockstep because collectives are entered in the same order.
+    std::uint64_t local_seq = 0;
+  };
+  /// Leader -> members: op seq's publication (pub_ptr/pub_vtime) is
+  /// ready. pub_ptr points into the publishing rank's live user buffer —
+  /// the single-copy source.
+  std::atomic<std::uint64_t> release{0};
+  const void* pub_ptr = nullptr;
+  std::int64_t pub_vtime = 0;
+  /// Leader -> a non-leader publisher (e.g. a bcast root that is not
+  /// its node's leader): every member's done for op seq has been
+  /// collected, so the published buffer is free to reuse. Written only
+  /// by the leader; the publisher must not scan the done flags itself —
+  /// its reads could not be ordered against the members' next-op
+  /// writes. Safe to re-stamp because the leader re-enters this path
+  /// only after acquiring that publisher's arrive for the next op.
+  std::atomic<std::uint64_t> all_done{0};
+  std::int64_t all_done_vtime = 0;
+  std::vector<Slot> slots;  ///< sized once at creation; never reallocated
+
+  explicit HierSeg(std::size_t nmembers) : slots(nmembers) {}
+};
+
 /// Per-world-rank nonblocking-collective progress state (coll_nbc.cpp).
 /// Owner-thread-only: slot w is touched exclusively by rank w's thread,
 /// so no lock guards it.
@@ -460,6 +529,25 @@ struct UniverseImpl {
 
   /// Nonblocking-collective schedules, one slot per world rank.
   std::vector<NbcRank> nbc;
+
+  // --- Hier collective suite (coll_hier.cpp) ----------------------------
+  /// Per-(context id, node) shared segments, created lazily on first use
+  /// (the mutex guards only creation; the segments themselves are
+  /// lock-free flag trees). unique_ptr keeps segment addresses stable
+  /// across map rebalancing.
+  struct HierState {
+    std::mutex mu;
+    std::map<std::pair<int, int>, std::unique_ptr<HierSeg>> segs;
+  };
+  HierState hier;
+
+  /// Find-or-create the segment for (context_id, node) with `nmembers`
+  /// node-resident comm ranks. Every member resolves the same segment.
+  HierSeg& hier_segment(int context_id, int node, std::size_t nmembers);
+
+  /// Drop all segments (new job on a reused Universe: flag sequence
+  /// numbers restart with the members' local counters).
+  void hier_reset();
 
   /// Cached fabric.faults_enabled(): the transport's zero-cost-off guard.
   /// When false, every fault/reliability code path below is skipped and

@@ -38,6 +38,10 @@ struct ObsAccess {
   /// Context id of the communicator (wait-at-barrier attribution keys
   /// collective entries by it).
   int context_id = 0;
+  /// The owning universe. The hier suite needs more than pvar handles:
+  /// the fabric's rank→node map, the per-node shared segments, and the
+  /// failure state its flag waits poll. Never null for a valid Comm.
+  UniverseImpl* uni = nullptr;
 };
 ObsAccess obs_access(const Comm& c);
 }  // namespace detail

@@ -91,12 +91,18 @@ inline constexpr int kMaxUserTag = (1 << 28) - 1;
 ///
 /// The paper's collective results (Figures 14-17) are attributed to
 /// "performance differences in the native MPI libraries"; we reproduce the
-/// cause by shipping two suites over the same transport:
+/// cause by shipping three suites over the same transport:
 ///   kMv2       — tuned algorithms (binomial trees, scatter-allgather
 ///                broadcast, recursive doubling, ring reduce-scatter),
 ///                modelling MVAPICH2-X.
 ///   kOmpiBasic — flat linear algorithms, modelling an untuned baseline.
-enum class CollectiveSuite : std::uint8_t { kMv2, kOmpiBasic };
+///   kHier      — topology-aware two-level algorithms (XHC/SMHC style):
+///                per-node leaders run the mv2 trees inter-node; node
+///                members synchronise over shared flag trees and copy
+///                payloads single-copy out of the publisher's buffer.
+///                Falls back to mv2 for collectives it does not
+///                specialise. Env: JHPC_COLL=mv2|basic|hier.
+enum class CollectiveSuite : std::uint8_t { kMv2, kOmpiBasic, kHier };
 
 /// Completion information for a receive (subset of MPI_Status).
 struct Status {

@@ -38,11 +38,21 @@ struct UniverseConfig {
 
   /// Apply the per-suite point-to-point channel profile (see
   /// intra_send_overhead_ns); keeps all vendor calibration in one place.
+  /// hier shares mv2's kernel-assisted shared-memory channel (it IS the
+  /// MVAPICH2-style library, with smarter collectives on top).
   UniverseConfig& apply_suite_profile() {
     intra_send_overhead_ns =
         suite == CollectiveSuite::kOmpiBasic ? 3000 : 0;
     return *this;
   }
+
+  /// Modelled cost of observing a peer's shared-flag update in the hier
+  /// suite's intra-node release/gather trees, ns (one cache-line transfer
+  /// between cores, not a trip through the shared-memory channel). This
+  /// is what makes the hierarchy pay off: an intra-node hand-off costs
+  /// hier_flag_ns instead of intra_latency_ns per tree hop. Env:
+  /// JHPC_HIER_FLAG_NS.
+  std::int64_t hier_flag_ns = 40;
 
   /// Observability (MPI_T-style pvars + virtual-clock event tracing).
   /// Off by default and strictly zero-cost then: every instrumentation

@@ -59,6 +59,11 @@ constexpr CollAlgNames kCollAlgNames[] = {
     {"coll.nbc.scatter", "iscatter[fanout]"},
     {"coll.nbc.allgather", "iallgather[ring]"},
     {"coll.nbc.alltoall", "ialltoall[pairwise]"},
+    {"coll.hier.barrier", "barrier[hier]"},
+    {"coll.hier.bcast", "bcast[hier]"},
+    {"coll.hier.reduce", "reduce[hier]"},
+    {"coll.hier.allreduce", "allreduce[hier]"},
+    {"coll.hier.gather", "gather[hier]"},
 };
 static_assert(sizeof(kCollAlgNames) / sizeof(kCollAlgNames[0]) ==
                   static_cast<std::size_t>(CollAlg::kCount),
@@ -174,6 +179,16 @@ UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks, bool faults,
         coll_alg_pvar_name(static_cast<CollAlg>(a)), PvarClass::kCounter,
         "collective algorithm invocations");
   }
+  hier_single_copy = reg.register_pvar(
+      "coll.hier.single_copy", PvarClass::kCounter,
+      "payloads copied directly out of the publisher's buffer");
+  hier_single_copy_bytes = reg.register_pvar(
+      "coll.hier.single_copy_bytes", PvarClass::kCounter,
+      "bytes moved by the single-copy path", obs::PvarUnit::kBytes);
+  hier_flag_wait_ns = reg.register_pvar(
+      "coll.hier.flag_wait_ns", PvarClass::kTimer,
+      "virtual time spent waiting on hier shared flags",
+      obs::PvarUnit::kNanoseconds);
 }
 
 void complete_request(RequestState& rs, const Status& st,
@@ -388,6 +403,21 @@ UniverseImpl::UniverseImpl(UniverseConfig cfg)
     obs = std::make_unique<UniverseObs>(cfg.obs, cfg.world_size, faults_on,
                                         fabric.faults().kills_enabled());
   }
+}
+
+HierSeg& UniverseImpl::hier_segment(int context_id, int node,
+                                    std::size_t nmembers) {
+  std::lock_guard<std::mutex> lk(hier.mu);
+  auto& slot = hier.segs[{context_id, node}];
+  if (slot == nullptr) slot = std::make_unique<HierSeg>(nmembers);
+  JHPC_ASSERT(slot->slots.size() == nmembers,
+              "hier segment membership changed under one context id");
+  return *slot;
+}
+
+void UniverseImpl::hier_reset() {
+  std::lock_guard<std::mutex> lk(hier.mu);
+  hier.segs.clear();
 }
 
 void UniverseImpl::reset_failure_state() {

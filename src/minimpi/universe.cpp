@@ -19,6 +19,21 @@ UniverseConfig& UniverseConfig::apply_env() {
   eager_limit = static_cast<std::size_t>(
       env_int64("JHPC_EAGER_LIMIT", static_cast<std::int64_t>(eager_limit)));
   deterministic_clock = env_bool("JHPC_DET_CLOCK", deterministic_clock);
+  if (auto s = env_string("JHPC_COLL")) {
+    if (*s == "mv2") {
+      suite = CollectiveSuite::kMv2;
+    } else if (*s == "basic" || *s == "ompi") {
+      suite = CollectiveSuite::kOmpiBasic;
+    } else if (*s == "hier") {
+      suite = CollectiveSuite::kHier;
+    } else {
+      throw InvalidArgumentError("$JHPC_COLL must be 'mv2', 'basic' or "
+                                 "'hier'");
+    }
+    apply_suite_profile();
+  }
+  hier_flag_ns = env_int64("JHPC_HIER_FLAG_NS", hier_flag_ns);
+  JHPC_REQUIRE(hier_flag_ns >= 0, "$JHPC_HIER_FLAG_NS must be non-negative");
   return *this;
 }
 
@@ -70,6 +85,10 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
     nr.active.clear();
     nr.seq.clear();
   }
+  // Drop the hier suite's per-node shared segments: their flag sequence
+  // numbers must restart at zero together with every member's local
+  // counter, and an aborted run may have left flags mid-operation.
+  impl_->hier_reset();
 
   Group world_group = [n] {
     std::vector<int> ranks(static_cast<std::size_t>(n));

@@ -9,7 +9,9 @@ minimpi::UniverseConfig RunOptions::universe_config() const {
   cfg.world_size = ranks;
   cfg.fabric = fabric;
   cfg.eager_limit = eager_limit;
-  cfg.suite = minimpi::CollectiveSuite::kMv2;  // "MVAPICH2" underneath
+  cfg.suite = hier_collectives
+                  ? minimpi::CollectiveSuite::kHier
+                  : minimpi::CollectiveSuite::kMv2;  // "MVAPICH2" underneath
   cfg.apply_suite_profile();
   cfg.obs = obs;
   return cfg;

@@ -30,9 +30,13 @@ struct RunOptions {
   mpjbuf::FactoryConfig pool = mpjbuf::FactoryConfig::from_env();
   /// Observability switches (JHPC_PVARS / JHPC_TRACE by default).
   obs::ObsConfig obs = obs::ObsConfig::from_env();
+  /// Run collectives on the topology-aware hierarchical engine instead
+  /// of the mv2 trees (JHPC_COLL=hier equivalent; see docs/API.md).
+  bool hier_collectives = false;
 
   /// The native universe configuration this implies (suite forced to
-  /// kMv2 — these bindings run on "MVAPICH2").
+  /// kMv2 — these bindings run on "MVAPICH2" — unless
+  /// `hier_collectives` selects the hierarchical engine).
   minimpi::UniverseConfig universe_config() const;
 };
 

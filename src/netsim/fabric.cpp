@@ -1,5 +1,7 @@
 #include "jhpc/netsim/fabric.hpp"
 
+#include <algorithm>
+
 #include "jhpc/support/clock.hpp"
 #include "jhpc/support/env.hpp"
 #include "jhpc/support/error.hpp"
@@ -44,7 +46,26 @@ Fabric::Fabric(int world_size, FabricConfig config)
                "inter-node bandwidth must be positive");
   ranks_per_node_ =
       config_.ranks_per_node <= 0 ? world_size : config_.ranks_per_node;
-  node_count_ = (world_size + ranks_per_node_ - 1) / ranks_per_node_;
+  if (config_.node_map.empty()) {
+    node_count_ = (world_size + ranks_per_node_ - 1) / ranks_per_node_;
+  } else {
+    JHPC_REQUIRE(config_.node_map.size() ==
+                     static_cast<std::size_t>(world_size),
+                 "node_map must have one entry per rank");
+    int max_node = 0;
+    for (const int n : config_.node_map) {
+      JHPC_REQUIRE(n >= 0 && n < world_size, "node_map entry out of range");
+      max_node = std::max(max_node, n);
+    }
+    node_count_ = max_node + 1;
+  }
+  node_members_.resize(static_cast<std::size_t>(node_count_));
+  for (int r = 0; r < world_size; ++r)
+    node_members_[static_cast<std::size_t>(node_of(r))].push_back(r);
+  for (int n = 0; n < node_count_; ++n) {
+    JHPC_REQUIRE(!node_members_[static_cast<std::size_t>(n)].empty(),
+                 "node_map node ids must be contiguous (empty node)");
+  }
   links_.resize(static_cast<std::size_t>(node_count_) *
                 static_cast<std::size_t>(node_count_));
   for (auto& l : links_) l = std::make_unique<Link>();
@@ -60,12 +81,19 @@ Fabric::Fabric(int world_size, FabricConfig config)
 
 int Fabric::node_of(int rank) const {
   JHPC_REQUIRE(rank >= 0 && rank < world_size_, "rank out of range");
+  if (!config_.node_map.empty())
+    return config_.node_map[static_cast<std::size_t>(rank)];
   return config_.placement == Placement::kBlock ? rank / ranks_per_node_
                                                 : rank % node_count_;
 }
 
 bool Fabric::same_node(int rank_a, int rank_b) const {
   return node_of(rank_a) == node_of(rank_b);
+}
+
+const std::vector<int>& Fabric::ranks_on_node(int node) const {
+  JHPC_REQUIRE(node >= 0 && node < node_count_, "node out of range");
+  return node_members_[static_cast<std::size_t>(node)];
 }
 
 std::int64_t Fabric::serialization_ns(std::size_t bytes) const {

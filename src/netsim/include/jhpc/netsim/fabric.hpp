@@ -50,6 +50,12 @@ struct FabricConfig {
   int ranks_per_node = 0;
   /// Rank-to-node mapping policy. Env: JHPC_PLACEMENT=block|rr.
   Placement placement = Placement::kBlock;
+  /// Explicit rank→node map overriding ranks_per_node/placement when
+  /// non-empty (one entry per rank, node ids 0..max contiguous). This is
+  /// how tests exercise arbitrary shuffled placements that no
+  /// block/round-robin layout produces; topology-aware collectives must
+  /// be correct for any of them.
+  std::vector<int> node_map{};
   /// One-way latency added to every inter-node message, ns.
   std::int64_t inter_latency_ns = 1800;
   /// Per-direction inter-node link bandwidth, MB/s (MB = 1e6 bytes).
@@ -88,6 +94,10 @@ class Fabric {
 
   /// True when both ranks live on the same virtual node.
   bool same_node(int rank_a, int rank_b) const;
+
+  /// World ranks hosted on `node`, ascending. The topology query behind
+  /// hierarchical (node-aware) collectives; built once at construction.
+  const std::vector<int>& ranks_on_node(int node) const;
 
   /// Reserve link time for a `bytes`-sized message from `src_rank` to
   /// `dst_rank` entering the fabric at virtual time `start_ns`; returns
@@ -166,6 +176,8 @@ class Fabric {
   int world_size_;
   int node_count_;
   int ranks_per_node_;
+  /// node -> its world ranks, ascending (see ranks_on_node).
+  std::vector<std::vector<int>> node_members_;
   bool faults_enabled_ = false;
   std::vector<std::unique_ptr<Link>> links_;  // node_count^2 directed links
   /// Per directed rank pair message counters (world_size^2; allocated only

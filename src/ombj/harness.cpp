@@ -50,6 +50,26 @@ obs::ObsConfig obs_for(const FigureSpec& fig, const std::string& label) {
   return o;
 }
 
+/// The collective-engine override in effect for one series: the series'
+/// own `coll` wins, then the figure-wide `--coll`, else the library
+/// default (empty).
+std::string coll_for(const FigureSpec& fig, const SeriesSpec& series) {
+  const std::string& coll = !series.coll.empty() ? series.coll : fig.coll;
+  JHPC_REQUIRE(coll.empty() || coll == "mv2" || coll == "basic" ||
+                   coll == "hier",
+               "collective engine must be 'mv2', 'basic' or 'hier', got '" +
+                   coll + "'");
+  return coll;
+}
+
+minimpi::CollectiveSuite suite_for(const std::string& coll,
+                                   minimpi::CollectiveSuite fallback) {
+  if (coll == "mv2") return minimpi::CollectiveSuite::kMv2;
+  if (coll == "basic") return minimpi::CollectiveSuite::kOmpiBasic;
+  if (coll == "hier") return minimpi::CollectiveSuite::kHier;
+  return fallback;
+}
+
 }  // namespace
 
 SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series) {
@@ -60,6 +80,7 @@ SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series) {
   BenchOptions options = fig.options;
   options.api = series.api;
   const obs::ObsConfig obs = obs_for(fig, result.label);
+  const std::string coll = coll_for(fig, series);
 
   // Rows produced by rank 0 inside the job.
   std::vector<ResultRow> rows;
@@ -70,6 +91,9 @@ SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series) {
         opts.ranks = fig.ranks;
         opts.fabric = fabric_for(fig);
         opts.obs = obs;
+        // The bindings keep their identity ("mv2j runs on MVAPICH2");
+        // `--coll hier` swaps in the hierarchical engine underneath.
+        opts.hier_collectives = coll == "hier";
         // Size the managed heap for the benchmark's arrays (live payload
         // plus copying-GC headroom).
         opts.jvm.heap_bytes = std::max<std::size_t>(
@@ -85,6 +109,7 @@ SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series) {
         opts.ranks = fig.ranks;
         opts.fabric = fabric_for(fig);
         opts.obs = obs;
+        opts.hier_collectives = coll == "hier";
         opts.jvm.heap_bytes = std::max<std::size_t>(
             32ull << 20, 8 * fig.options.max_size);
         ompij::run(opts, [&](ompij::Env& env) {
@@ -98,9 +123,9 @@ SeriesResult run_series(const FigureSpec& fig, const SeriesSpec& series) {
         minimpi::UniverseConfig cfg;
         cfg.world_size = fig.ranks;
         cfg.fabric = fabric_for(fig);
-        cfg.suite = series.library == Library::kNativeMv2
-                        ? minimpi::CollectiveSuite::kMv2
-                        : minimpi::CollectiveSuite::kOmpiBasic;
+        cfg.suite = suite_for(coll, series.library == Library::kNativeMv2
+                                         ? minimpi::CollectiveSuite::kMv2
+                                         : minimpi::CollectiveSuite::kOmpiBasic);
         cfg.apply_suite_profile();
         cfg.obs = obs;
         minimpi::Universe::launch(cfg, [&](minimpi::Comm& world) {
@@ -223,6 +248,8 @@ int figure_main(FigureSpec fig, int argc, char** argv) {
         fig.options.iters_large = std::max(1, fig.options.iters_small / 10);
       } else if (arg == "--window") {
         fig.options.window = std::stoi(next());
+      } else if (arg == "--coll") {
+        fig.coll = next();
       } else if (arg == "--csv") {
         csv_path = next();
       } else if (arg == "--quick") {
@@ -255,7 +282,8 @@ int figure_main(FigureSpec fig, int argc, char** argv) {
       } else if (arg == "--help" || arg == "-h") {
         std::cout << fig.id << ": " << fig.title << "\n"
                   << "flags: --ranks N --ppn N --min SZ --max SZ --iters N "
-                     "--window N --csv PATH --quick --pvars "
+                     "--window N --coll mv2|basic|hier --csv PATH --quick "
+                     "--pvars "
                      "--pvars-json FILE --comm-matrix FILE --trace FILE\n"
                      "       --fault-seed N --drop P --fault-jitter NS "
                      "--kill-rank R@N (seeded fault injection and ULFM "

@@ -19,6 +19,11 @@ struct SeriesSpec {
   Library library;
   Api api;
   std::string label;  ///< column header; defaults to "<lib> <api>" if empty
+  /// Collective-engine override for this series: "mv2", "basic" or
+  /// "hier" (empty = the library's own default suite). Lets one figure
+  /// compare engines on the same library, e.g. the hier crossover
+  /// ablation.
+  std::string coll;
 };
 
 /// One paper figure (or ablation) to regenerate.
@@ -41,6 +46,9 @@ struct FigureSpec {
   /// JHPC_PVARS / JHPC_TRACE env). Multi-series figures tag the trace
   /// path per series ("out.json" -> "out.mv2j_buffer.json").
   obs::ObsConfig obs = obs::ObsConfig::from_env();
+  /// Figure-wide collective-engine override (`--coll mv2|basic|hier`);
+  /// a series' own `coll` wins over this.
+  std::string coll;
 };
 
 /// Run one series in a fresh job; never throws for unsupported

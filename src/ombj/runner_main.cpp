@@ -28,6 +28,8 @@ void usage() {
       "                 the i* benchmarks also report overlap %)\n"
       "  --lib NAME     mv2j|ompij|native-mv2|native-ompi (default mv2j)\n"
       "  --api NAME     buffer|arrays (default buffer)\n"
+      "  --coll NAME    collective engine: mv2|basic|hier (default: the\n"
+      "                 library's own suite; docs/API.md)\n"
       "  --ranks N      number of ranks (default 2)\n"
       "  --ppn N        ranks per virtual node, 0 = single node (default 0)\n"
       "  --min SZ       minimum message size (default 1)\n"
@@ -84,6 +86,8 @@ int main(int argc, char** argv) {
         JHPC_REQUIRE(a == "buffer" || a == "arrays",
                      "--api must be buffer or arrays");
         series.api = a == "buffer" ? Api::kBuffer : Api::kArrays;
+      } else if (arg == "--coll") {
+        fig.coll = next();  // validated against mv2|basic|hier in run_figure
       } else if (arg == "--ranks") {
         fig.ranks = std::stoi(next());
       } else if (arg == "--ppn") {
@@ -137,6 +141,7 @@ int main(int argc, char** argv) {
     fig.title = std::string("osu_") + bench_name(fig.kind) + " on " +
                 library_name(series.library) + " (" +
                 api_name(series.api) + ")";
+    if (!fig.coll.empty()) fig.title += " [coll=" + fig.coll + "]";
     fig.series = {series};
 
     std::cout << "# OMB-J " << fig.title << "\n"

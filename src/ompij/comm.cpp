@@ -360,7 +360,9 @@ minimpi::UniverseConfig RunOptions::universe_config() const {
   cfg.world_size = ranks;
   cfg.fabric = fabric;
   cfg.eager_limit = eager_limit;
-  cfg.suite = minimpi::CollectiveSuite::kOmpiBasic;  // "Open MPI" underneath
+  cfg.suite = hier_collectives
+                  ? minimpi::CollectiveSuite::kHier
+                  : minimpi::CollectiveSuite::kOmpiBasic;  // "Open MPI"
   cfg.apply_suite_profile();
   cfg.obs = obs;
   return cfg;

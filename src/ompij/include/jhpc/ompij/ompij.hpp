@@ -237,8 +237,12 @@ struct RunOptions {
   minijvm::JvmConfig jvm = minijvm::JvmConfig::from_env();
   /// Observability switches (JHPC_PVARS / JHPC_TRACE by default).
   obs::ObsConfig obs = obs::ObsConfig::from_env();
+  /// Run collectives on the topology-aware hierarchical engine instead
+  /// of the basic linear/binomial ones (JHPC_COLL=hier equivalent).
+  bool hier_collectives = false;
 
-  /// Native configuration: suite forced to kOmpiBasic ("Open MPI").
+  /// Native configuration: suite forced to kOmpiBasic ("Open MPI"),
+  /// unless `hier_collectives` selects the hierarchical engine.
   minimpi::UniverseConfig universe_config() const;
 };
 

@@ -95,6 +95,18 @@ TEST(SuiteProfileTest, OmpijRunsOnBasicWithCostlierShmChannel) {
   EXPECT_GT(cfg.intra_send_overhead_ns, 0);
 }
 
+// Both bindings can swap the hierarchical engine in underneath without
+// changing their library identity/profile (docs/API.md).
+TEST(SuiteProfileTest, HierCollectivesOverrideSelectsHierSuite) {
+  mv2j::RunOptions m;
+  m.hier_collectives = true;
+  EXPECT_EQ(m.universe_config().suite, minimpi::CollectiveSuite::kHier);
+  EXPECT_EQ(m.universe_config().intra_send_overhead_ns, 0);
+  ompij::RunOptions o;
+  o.hier_collectives = true;
+  EXPECT_EQ(o.universe_config().suite, minimpi::CollectiveSuite::kHier);
+}
+
 TEST(SuiteProfileTest, IntraOverheadChargedInVirtualTime) {
   // Two universes differing only in the shm-channel profile: the costlier
   // one must measure a visibly higher intra-node ping-pong in vtime.

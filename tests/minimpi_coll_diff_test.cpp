@@ -1,14 +1,17 @@
-// Differential collective-correctness suite: three engines, one oracle.
+// Differential collective-correctness suite: four engines, one oracle.
 //
 // Every sampled case (comm size, payload size, dtype, op, root) runs
-// through the basic suite, the mv2 suite, AND the nonblocking schedule
-// engine, and each rank's output must be bit-identical to a
-// single-threaded scalar oracle — including non-power-of-two comm sizes,
-// zero-size payloads, single-rank comms, and (for a sampled subset)
-// under seeded fault injection. Reduction inputs are drawn so every
-// (kind, op) combination is exact and order-independent (small integers
-// for float sums, bounded magnitudes for integer products), so an
-// algorithm is never excused by "floating point reassociates".
+// through the basic suite, the mv2 suite, the nonblocking schedule
+// engine, AND the topology-aware hier suite, and each rank's output must
+// be bit-identical to a single-threaded scalar oracle — including
+// non-power-of-two comm sizes, zero-size payloads, single-rank comms,
+// multi-node topologies (single-node, one-rank-per-node, and everything
+// between), and (for a sampled subset) under seeded fault injection.
+// Reduction inputs are drawn so every (kind, op) combination is exact
+// and order-independent (small integers for float sums, bounded
+// magnitudes for integer products), so an algorithm is never excused by
+// "floating point reassociates" — hier's node-local fold order must
+// yield the same bits as the oracle's rank-order fold.
 //
 // The file also carries the user-tag reservation regression (tags >=
 // 2^28 rejected; kMaxUserTag still fine) and the mixed p2p + collective
@@ -27,7 +30,7 @@
 namespace jhpc::minimpi {
 namespace {
 
-enum class Engine { kBasic, kMv2, kNbc };
+enum class Engine { kBasic, kMv2, kNbc, kHier };
 
 const char* engine_name(Engine e) {
   switch (e) {
@@ -37,11 +40,25 @@ const char* engine_name(Engine e) {
       return "mv2";
     case Engine::kNbc:
       return "nbc";
+    case Engine::kHier:
+      return "hier";
   }
   return "?";
 }
 
-constexpr Engine kEngines[] = {Engine::kBasic, Engine::kMv2, Engine::kNbc};
+constexpr Engine kEngines[] = {Engine::kBasic, Engine::kMv2, Engine::kNbc,
+                               Engine::kHier};
+
+CollectiveSuite suite_of(Engine e) {
+  switch (e) {
+    case Engine::kBasic:
+      return CollectiveSuite::kOmpiBasic;
+    case Engine::kHier:
+      return CollectiveSuite::kHier;
+    default:
+      return CollectiveSuite::kMv2;  // nbc schedules run on the mv2 suite
+  }
+}
 
 enum class CollOp {
   kBcast,
@@ -152,14 +169,9 @@ struct CaseResult {
 CaseResult run_case(Engine eng, CollOp what, int ranks, std::size_t size,
                     BasicKind kind, ReduceOp op, int root,
                     std::uint32_t case_seed, const UniverseConfig* base) {
-  UniverseConfig c =
-      base != nullptr
-          ? *base
-          : diff_cfg(ranks, eng == Engine::kBasic ? CollectiveSuite::kOmpiBasic
-                                                  : CollectiveSuite::kMv2);
+  UniverseConfig c = base != nullptr ? *base : diff_cfg(ranks, suite_of(eng));
   c.world_size = ranks;
-  c.suite = eng == Engine::kBasic ? CollectiveSuite::kOmpiBasic
-                                  : CollectiveSuite::kMv2;
+  c.suite = suite_of(eng);
 
   const auto n = static_cast<std::size_t>(ranks);
   const bool typed = what == CollOp::kReduce || what == CollOp::kAllreduce;
@@ -403,6 +415,75 @@ TEST(CollDiffTest, LargePayloadsCrossTheRendezvousThreshold) {
                              BasicKind::kInt, ReduceOp::kSum, 0, 98u);
   expect_case_matches_oracle(CollOp::kAlltoall, 3, 40 * 1024,
                              BasicKind::kByte, ReduceOp::kSum, 0, 97u);
+}
+
+TEST(CollDiffTest, TopologySweepAllEnginesMatchOracle) {
+  // Every engine, with the hier suite as the protagonist, across the node
+  // decompositions it specialises on: single node (ppn=0, pure intra),
+  // one rank per node (pure inter: the hierarchy degenerates to the
+  // leader team), and uneven multi-node splits (1..4 nodes, including a
+  // last node with fewer ranks). Ranks include non-powers-of-two.
+  std::mt19937 rng(60313u);
+  const struct {
+    int ranks;
+    int ppn;  // FabricConfig::ranks_per_node; 0 = everyone on one node
+  } topos[] = {
+      {1, 0}, {2, 0}, {5, 0},          // single node
+      {2, 1}, {5, 1},                  // one rank per node
+      {4, 2}, {6, 2}, {7, 2}, {8, 2},  // 2..4 nodes, last node uneven
+      {5, 3}, {8, 3},
+  };
+  const CollOp ops[] = {CollOp::kBcast, CollOp::kReduce, CollOp::kAllreduce,
+                        CollOp::kGather};
+  for (const auto& t : topos) {
+    UniverseConfig c;
+    c.world_size = t.ranks;
+    c.fabric.ranks_per_node = t.ppn;
+    c.obs = obs::ObsConfig{};
+    for (const CollOp what : ops) {
+      const int root =
+          static_cast<int>(rng() % static_cast<unsigned>(t.ranks));
+      const bool typed =
+          what == CollOp::kReduce || what == CollOp::kAllreduce;
+      expect_case_matches_oracle(what, t.ranks, typed ? 65 : 129,
+                                 BasicKind::kInt, ReduceOp::kSum, root,
+                                 rng(), &c);
+    }
+  }
+}
+
+TEST(CollDiffTest, NonLeaderRootsAcrossTopologies) {
+  // Rooted hier collectives special-case three root placements: root is
+  // a node leader, root is a non-leader member, root shares or does not
+  // share a node with other ranks. Pin each explicitly.
+  UniverseConfig c;
+  c.world_size = 6;
+  c.fabric.ranks_per_node = 3;  // nodes {0,1,2} {3,4,5}; leaders 0 and 3
+  c.obs = obs::ObsConfig{};
+  for (const int root : {0, 1, 3, 5}) {
+    expect_case_matches_oracle(CollOp::kBcast, 6, 257, BasicKind::kByte,
+                               ReduceOp::kSum, root, 808u + root, &c);
+    expect_case_matches_oracle(CollOp::kReduce, 6, 33, BasicKind::kLong,
+                               ReduceOp::kSum, root, 909u + root, &c);
+    expect_case_matches_oracle(CollOp::kGather, 6, 65, BasicKind::kByte,
+                               ReduceOp::kSum, root, 1010u + root, &c);
+  }
+}
+
+TEST(CollDiffTest, RendezvousPayloadsAcrossNodesOnEveryEngine) {
+  // 64 KiB blocks over a 2-node topology with the default 16 KiB eager
+  // limit: the hier inter-node leg and the single-copy intra leg must
+  // both survive rendezvous parking.
+  UniverseConfig c;
+  c.world_size = 6;
+  c.fabric.ranks_per_node = 3;
+  c.obs = obs::ObsConfig{};
+  expect_case_matches_oracle(CollOp::kBcast, 6, 64 * 1024, BasicKind::kByte,
+                             ReduceOp::kSum, 4, 303u, &c);
+  expect_case_matches_oracle(CollOp::kAllreduce, 6, 16 * 1024,
+                             BasicKind::kInt, ReduceOp::kSum, 0, 304u, &c);
+  expect_case_matches_oracle(CollOp::kGather, 6, 48 * 1024, BasicKind::kByte,
+                             ReduceOp::kSum, 1, 305u, &c);
 }
 
 TEST(CollDiffTest, RandomCasesUnderFaultInjectionMatchOracle) {

@@ -1,16 +1,35 @@
 // Randomized schedule fuzzing: long seeded sequences of mixed collectives
 // and point-to-point traffic, on random communicator splits, verified
-// against locally computed expectations — run on both algorithm suites.
+// against locally computed expectations — run on all three blocking
+// algorithm suites (mv2, basic, hier).
+//
+// Reproducibility: every assertion carries the case's replay recipe
+// (suite + seed), and `JHPC_FUZZ_SEED` replays one seed across all
+// suites (the FuzzReplay ctest shard pins one in CI).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <numeric>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "jhpc/minimpi/minimpi.hpp"
 
 namespace jhpc::minimpi {
 namespace {
+
+const char* suite_name(CollectiveSuite suite) {
+  switch (suite) {
+    case CollectiveSuite::kMv2:
+      return "mv2";
+    case CollectiveSuite::kOmpiBasic:
+      return "basic";
+    case CollectiveSuite::kHier:
+      return "hier";
+  }
+  return "?";
+}
 
 /// One fuzz round: all ranks derive the SAME schedule from the shared
 /// seed (so the collective call sequence matches), with per-op randomized
@@ -22,12 +41,19 @@ void fuzz_job(CollectiveSuite suite, unsigned seed, int world_size) {
   cfg.eager_limit = 1024;  // mix protocols
   cfg.fabric.ranks_per_node = 3;  // multi-node geometry
 
+  // Every assertion below inherits this trace, so a red run prints the
+  // exact replay recipe: JHPC_COLL=<suite> JHPC_FUZZ_SEED=<seed>.
+  SCOPED_TRACE(std::string("fuzz replay: JHPC_COLL=") + suite_name(suite) +
+               " JHPC_FUZZ_SEED=" + std::to_string(seed));
+
   Universe::launch(cfg, [seed](Comm& world) {
     std::mt19937 schedule_rng(seed);  // identical on every rank
     const int n = world.size();
     const int me = world.rank();
 
     for (int round = 0; round < 40; ++round) {
+      SCOPED_TRACE("round=" + std::to_string(round) +
+                   " rank=" + std::to_string(world.rank()));
       const int op = static_cast<int>(schedule_rng() % 6);
       const int root = static_cast<int>(schedule_rng() % n);
       const auto count =
@@ -114,14 +140,32 @@ TEST_P(FuzzTest, RandomScheduleStaysCorrect) {
 INSTANTIATE_TEST_SUITE_P(
     Seeds, FuzzTest,
     ::testing::Combine(::testing::Values(CollectiveSuite::kMv2,
-                                         CollectiveSuite::kOmpiBasic),
+                                         CollectiveSuite::kOmpiBasic,
+                                         CollectiveSuite::kHier),
                        ::testing::Values(1u, 7u, 42u, 1303u)),
     [](const auto& info) {
-      return std::string(std::get<0>(info.param) == CollectiveSuite::kMv2
-                             ? "mv2"
-                             : "basic") +
-             "_seed" + std::to_string(std::get<1>(info.param));
+      return std::string(suite_name(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
     });
+
+// --- Seed replay -------------------------------------------------------------
+// `JHPC_FUZZ_SEED=<n>` replays one schedule across all three suites —
+// the debugging entry point the SCOPED_TRACE recipe above points at.
+// CI pins a fixed seed through this test (the minimpi_fuzz_replay ctest
+// shard), so one deterministic schedule is always on the record.
+
+TEST(FuzzReplay, ReplaysSeedFromEnvironmentOnEverySuite) {
+  const char* env = std::getenv("JHPC_FUZZ_SEED");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set JHPC_FUZZ_SEED=<n> to replay a failing schedule";
+  }
+  const auto seed = static_cast<unsigned>(std::stoul(env));
+  for (const CollectiveSuite suite :
+       {CollectiveSuite::kMv2, CollectiveSuite::kOmpiBasic,
+        CollectiveSuite::kHier}) {
+    fuzz_job(suite, seed, 6);
+  }
+}
 
 }  // namespace
 }  // namespace jhpc::minimpi

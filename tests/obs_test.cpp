@@ -649,6 +649,39 @@ TEST(BindingsPvarsTest, Mv2jEnvExposesPoolAndTransportPvars) {
   EXPECT_GE(msgs, 4);
 }
 
+// The binding-level engine switch reaches the native dispatch: a bcast
+// under hier_collectives moves payload over the single-copy path, and
+// the same job without the switch must not touch it.
+TEST(BindingsPvarsTest, Mv2jHierCollectivesCountSingleCopies) {
+  for (const bool hier : {true, false}) {
+    mv2j::RunOptions opts;
+    opts.ranks = 4;
+    opts.fabric.ranks_per_node = 4;  // one node: pure intra-node fan-out
+    opts.hier_collectives = hier;
+    opts.obs = ObsConfig{};
+    opts.obs.trace_path = testing::TempDir() +
+                          (hier ? "mv2j_hier.json" : "mv2j_flat.json");
+    std::int64_t copies = -1;
+    mv2j::run(opts, [&](mv2j::Env& env) {
+      auto& world = env.COMM_WORLD();
+      auto arr = env.newArray<minijvm::jint>(64);
+      world.bcast(arr, 64, mv2j::INT, 0);
+      world.barrier();
+      if (world.getRank() == 0) {
+        // Copies are charged to the consuming members, so read the
+        // job-wide total, not rank 0's slot.
+        PvarRegistry& reg = *env.pvars();
+        copies = reg.total(reg.find("coll.hier.single_copy"));
+      }
+    });
+    if (hier) {
+      EXPECT_GT(copies, 0);
+    } else {
+      EXPECT_EQ(copies, 0);
+    }
+  }
+}
+
 TEST(BindingsPvarsTest, ReadPvarIsZeroWhenDisabled) {
   mv2j::RunOptions opts;
   opts.ranks = 1;
@@ -772,6 +805,36 @@ TEST(PvarRegistryTest, UnitsFollowTheContract) {
   (void)c;
   (void)h;
   (void)b;
+}
+
+// The coll.hier.* pvars are registered up front (engine selection is
+// per-config), so their unit contract must hold on every universe, even
+// one that never runs the hier engine: copy counts are unitless
+// counters, copied volume is a byte counter, and flag-wait time is a
+// virtual-nanosecond timer. Tools keying on unit metadata (the rendered
+// pvar table, trace consumers) rely on this.
+TEST(PvarRegistryTest, HierPvarsCarryContractUnits) {
+  UniverseConfig cfg =
+      traced_config(2, testing::TempDir() + "hier_units.json");
+  bool copies_ok = false, bytes_ok = false, wait_ok = false;
+  Universe::launch(cfg, [&](Comm& world) {
+    if (world.rank() != 0) return;
+    for (const auto& r : world.pvars()->snapshot()) {
+      if (r.name == "coll.hier.single_copy") {
+        copies_ok =
+            r.cls == PvarClass::kCounter && r.unit == PvarUnit::kNone;
+      } else if (r.name == "coll.hier.single_copy_bytes") {
+        bytes_ok =
+            r.cls == PvarClass::kCounter && r.unit == PvarUnit::kBytes;
+      } else if (r.name == "coll.hier.flag_wait_ns") {
+        wait_ok =
+            r.cls == PvarClass::kTimer && r.unit == PvarUnit::kNanoseconds;
+      }
+    }
+  });
+  EXPECT_TRUE(copies_ok) << "coll.hier.single_copy: counter, no unit";
+  EXPECT_TRUE(bytes_ok) << "coll.hier.single_copy_bytes: counter, bytes";
+  EXPECT_TRUE(wait_ok) << "coll.hier.flag_wait_ns: timer, nanoseconds";
 }
 
 // --- Wait-state classifier --------------------------------------------------
