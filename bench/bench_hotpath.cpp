@@ -38,6 +38,7 @@
 #include "jhpc/minimpi/minimpi.hpp"
 #include "jhpc/obs/pvar.hpp"
 #include "jhpc/support/clock.hpp"
+#include "jhpc/support/stats.hpp"
 
 namespace {
 
@@ -54,9 +55,12 @@ struct Result {
   std::string pattern;
   std::string mode;  // "real" or "det"
   std::size_t size = 0;
-  std::uint64_t messages = 0;
-  double seconds = 0.0;
-  double msgs_per_sec = 0.0;
+  std::uint64_t messages = 0;  // per sample
+  int samples = 0;
+  double seconds = 0.0;  // total across samples
+  double msgs_per_sec = 0.0;  // bootstrap mean over per-sample rates
+  double msgs_per_sec_lo = 0.0;  // 95% bootstrap CI
+  double msgs_per_sec_hi = 0.0;
   double allocs_per_op = -1.0;  // -1: slab pvars unavailable
 };
 
@@ -187,15 +191,18 @@ void write_json(const std::string& path, const std::vector<Result>& results,
                 const std::string& baseline_blob) {
   std::ostringstream os;
   os << "{\n  \"bench\": \"hotpath\",\n";
-  os << "  \"schema\": 1,\n";
+  os << "  \"schema\": 2,\n";
   os << "  \"window\": " << kWindow << ",\n";
   os << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     os << "    {\"pattern\": \"" << r.pattern << "\", \"mode\": \"" << r.mode
        << "\", \"size\": " << r.size << ", \"messages\": " << r.messages
+       << ", \"samples\": " << r.samples
        << ", \"seconds\": " << json_escape_free(r.seconds)
        << ", \"msgs_per_sec\": " << json_escape_free(r.msgs_per_sec)
+       << ", \"msgs_per_sec_lo\": " << json_escape_free(r.msgs_per_sec_lo)
+       << ", \"msgs_per_sec_hi\": " << json_escape_free(r.msgs_per_sec_hi)
        << ", \"allocs_per_op\": " << json_escape_free(r.allocs_per_op)
        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
@@ -236,10 +243,14 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<std::size_t> sizes = {8, 128, 1024, 8192};
-  const int pp_iters = quick ? 2000 : 20000;
-  const int pp_warmup = quick ? 200 : 2000;
-  const int st_windows = quick ? 150 : 1500;
-  const int st_warmup = quick ? 15 : 100;
+  // Each configuration is sampled repeatedly and summarised as a
+  // bootstrap mean with a 95% CI (see jhpc::bootstrap_ci), so the JSON
+  // carries an honest noise estimate instead of a single shot.
+  const int samples = quick ? 3 : 5;
+  const int pp_iters = quick ? 700 : 4000;
+  const int pp_warmup = quick ? 100 : 800;
+  const int st_windows = quick ? 50 : 300;
+  const int st_warmup = quick ? 10 : 50;
 
   std::vector<Result> results;
   double best_stream = 0.0;
@@ -253,13 +264,24 @@ int main(int argc, char** argv) {
         r.mode = mode;
         r.size = size;
         r.messages = static_cast<std::uint64_t>(pp_iters) * 2;
-        r.seconds = run_pingpong(u, size, pp_warmup, pp_iters);
-        r.msgs_per_sec =
-            r.seconds > 0 ? static_cast<double>(r.messages) / r.seconds : 0;
+        r.samples = samples;
+        std::vector<double> rates;
+        for (int s = 0; s < samples; ++s) {
+          const double secs =
+              run_pingpong(u, size, s == 0 ? pp_warmup : 0, pp_iters);
+          r.seconds += secs;
+          rates.push_back(
+              secs > 0 ? static_cast<double>(r.messages) / secs : 0);
+        }
+        const jhpc::BootstrapCI ci = jhpc::bootstrap_ci(rates);
+        r.msgs_per_sec = ci.mean;
+        r.msgs_per_sec_lo = ci.lo;
+        r.msgs_per_sec_hi = ci.hi;
         results.push_back(r);
         std::fprintf(stderr,
-                     "[bench_hotpath] pingpong %4s %5zu B  %10.0f msgs/s\n",
-                     mode, size, r.msgs_per_sec);
+                     "[bench_hotpath] pingpong %4s %5zu B  %10.0f msgs/s "
+                     "[%.0f, %.0f]\n",
+                     mode, size, r.msgs_per_sec, ci.lo, ci.hi);
       }
       {
         Result r;
@@ -267,17 +289,27 @@ int main(int argc, char** argv) {
         r.mode = mode;
         r.size = size;
         r.messages = static_cast<std::uint64_t>(st_windows) * kWindow;
-        r.seconds = run_stream(u, size, st_warmup, st_windows);
-        r.msgs_per_sec =
-            r.seconds > 0 ? static_cast<double>(r.messages) / r.seconds : 0;
+        r.samples = samples;
+        std::vector<double> rates;
+        for (int s = 0; s < samples; ++s) {
+          const double secs =
+              run_stream(u, size, s == 0 ? st_warmup : 0, st_windows);
+          r.seconds += secs;
+          rates.push_back(
+              secs > 0 ? static_cast<double>(r.messages) / secs : 0);
+        }
+        const jhpc::BootstrapCI ci = jhpc::bootstrap_ci(rates);
+        r.msgs_per_sec = ci.mean;
+        r.msgs_per_sec_lo = ci.lo;
+        r.msgs_per_sec_hi = ci.hi;
         r.allocs_per_op = measure_allocs_per_op(size, quick ? 20 : 100);
         if (r.msgs_per_sec > best_stream) best_stream = r.msgs_per_sec;
         results.push_back(r);
         std::fprintf(
             stderr,
-            "[bench_hotpath] stream   %4s %5zu B  %10.0f msgs/s  "
-            "%.3f allocs/op\n",
-            mode, size, r.msgs_per_sec, r.allocs_per_op);
+            "[bench_hotpath] stream   %4s %5zu B  %10.0f msgs/s "
+            "[%.0f, %.0f]  %.3f allocs/op\n",
+            mode, size, r.msgs_per_sec, ci.lo, ci.hi, r.allocs_per_op);
       }
     }
   }

@@ -436,6 +436,16 @@ void fail_schedule(NbcState& st, int world, RankClock& clock, UniverseObs* o,
   st.posted = false;
 }
 
+/// Completion hook for typed schedules: scatter the dense result into
+/// the user's strided buffer. Idempotent — nbc_start_typed also calls it
+/// when a schedule completes inside initiation, before the staging
+/// fields were set.
+void finish_typed(NbcState& st) {
+  if (!st.unpack_dt) return;
+  st.unpack_dt->unpack(st.typed_out.data(), st.unpack_dst, st.unpack_count);
+  st.unpack_dt.reset();
+}
+
 /// Drive one schedule as far as it can go without blocking; returns true
 /// once it is done.
 bool try_advance(NbcState& st) {
@@ -447,6 +457,7 @@ bool try_advance(NbcState& st) {
     for (;;) {
       if (!st.posted) {
         if (st.round >= st.rounds.size()) {
+          finish_typed(st);
           st.done = true;
           if (o != nullptr) {
             clock.advance_cpu();
@@ -615,6 +626,116 @@ std::shared_ptr<NbcState> nbc_start(UniverseImpl* impl, const Group& group,
   return st;
 }
 
+std::shared_ptr<NbcState> nbc_start_typed(
+    UniverseImpl* impl, const Group& group, int my_rank, int context_id,
+    NbcOp what, const void* send_buf, void* recv_buf, int count,
+    const Datatype& type, ReduceOp op, int root) {
+  JHPC_REQUIRE(count >= 0, "typed collective: negative element count");
+  const std::size_t bytes = type.size() * static_cast<std::size_t>(count);
+  const std::size_t n = static_cast<std::size_t>(group.size());
+  const int total = count * group.size();
+  const bool is_root = my_rank == root;
+
+  BasicKind kind = BasicKind::kByte;
+  std::size_t size_param = bytes;
+  if (what == NbcOp::kReduce || what == NbcOp::kAllreduce) {
+    if (!type.uniform_leaf()) {
+      throw UnsupportedOperationError(
+          "typed reduction requires a uniform leaf kind (mixed-leaf "
+          "structs are not element-wise reducible)");
+    }
+    kind = type.leaf_kind();
+    size_param = bytes / basic_size(kind);
+  }
+
+  // Pack the send-side payload into staging the schedule will own. The
+  // vectors are moved into the state after nbc_start — a move transfers
+  // the heap storage, so the user_in/user_out pointers captured by the
+  // already-posted round 0 stay valid.
+  std::vector<std::byte> tin;
+  std::vector<std::byte> tout;
+  switch (what) {
+    case NbcOp::kBarrier:
+      break;
+    case NbcOp::kBcast:
+      tout.resize(bytes);
+      if (is_root) type.pack(recv_buf, tout.data(), count);
+      break;
+    case NbcOp::kReduce:
+    case NbcOp::kAllreduce:
+      tin.resize(bytes);
+      tout.resize(bytes);
+      type.pack(send_buf, tin.data(), count);
+      break;
+    case NbcOp::kGather:
+      tin.resize(bytes);
+      type.pack(send_buf, tin.data(), count);
+      if (is_root) tout.resize(bytes * n);
+      break;
+    case NbcOp::kScatter:
+      if (is_root) {
+        tin.resize(bytes * n);
+        type.pack(send_buf, tin.data(), total);
+      }
+      tout.resize(bytes);
+      break;
+    case NbcOp::kAllgather:
+      tin.resize(bytes);
+      type.pack(send_buf, tin.data(), count);
+      tout.resize(bytes * n);
+      break;
+    case NbcOp::kAlltoall:
+      tin.resize(bytes * n);
+      type.pack(send_buf, tin.data(), total);
+      tout.resize(bytes * n);
+      break;
+  }
+
+  auto st = nbc_start(impl, group, my_rank, context_id, what,
+                      tin.empty() ? nullptr : tin.data(),
+                      tout.empty() ? nullptr : tout.data(), size_param, kind,
+                      op, root);
+  st->typed_in = std::move(tin);
+  st->typed_out = std::move(tout);
+
+  // Which ranks scatter the dense result back out, and how much of it.
+  bool unpack = false;
+  int elems = count;
+  switch (what) {
+    case NbcOp::kBarrier:
+      break;
+    case NbcOp::kBcast:
+      unpack = !is_root;
+      break;
+    case NbcOp::kReduce:
+      unpack = is_root;
+      break;
+    case NbcOp::kAllreduce:
+    case NbcOp::kScatter:
+      unpack = true;
+      break;
+    case NbcOp::kGather:
+      unpack = is_root;
+      elems = total;
+      break;
+    case NbcOp::kAllgather:
+    case NbcOp::kAlltoall:
+      unpack = true;
+      elems = total;
+      break;
+  }
+  if (unpack) {
+    st->unpack_dt = type;
+    st->unpack_count = elems;
+    st->unpack_dst = recv_buf;
+    // The schedule may have drained entirely inside nbc_start (all-eager
+    // round 0 on a small comm): the completion hook ran before the
+    // staging fields existed, so run it now.
+    if (st->done && !st->failed) finish_typed(*st);
+  }
+  return st;
+}
+
 }  // namespace jhpc::minimpi::detail
 
 namespace jhpc::minimpi {
@@ -701,6 +822,125 @@ Request Comm::ialltoall(const void* send_buf, std::size_t bytes_per_pair,
                                    detail::NbcOp::kAlltoall, send_buf,
                                    recv_buf, bytes_per_pair, BasicKind::kByte,
                                    ReduceOp::kSum, 0)};
+}
+
+// --- Typed (derived-datatype) nonblocking collectives -----------------------
+// Dense layouts route straight to the byte forms above; strided layouts
+// go through nbc_start_typed's schedule-owned staging.
+
+namespace {
+
+std::size_t inbc_bytes(int count, const Datatype& type, const char* what) {
+  JHPC_REQUIRE(count >= 0,
+               std::string(what) + ": negative element count");
+  return type.size() * static_cast<std::size_t>(count);
+}
+
+// Leaf kind for a typed reduction; even a dense (contiguous-layout)
+// struct can mix leaves, so both routes must check.
+BasicKind inbc_reduce_leaf(const Datatype& type) {
+  if (!type.uniform_leaf()) {
+    throw UnsupportedOperationError(
+        "typed reduction requires a uniform leaf kind (mixed-leaf "
+        "structs are not element-wise reducible)");
+  }
+  return type.leaf_kind();
+}
+
+}  // namespace
+
+Request Comm::ibcast(void* buf, int count, const Datatype& type,
+                     int root) const {
+  check_comm(*this, "ibcast");
+  check_root(*this, root, "ibcast");
+  const std::size_t bytes = inbc_bytes(count, type, "ibcast");
+  if (type.contiguous_layout()) return ibcast(buf, bytes, root);
+  return Request{detail::nbc_start_typed(impl_, group_, my_rank_,
+                                         context_id_, detail::NbcOp::kBcast,
+                                         buf, buf, count, type,
+                                         ReduceOp::kSum, root)};
+}
+
+Request Comm::ireduce(const void* send_buf, void* recv_buf, int count,
+                      const Datatype& type, ReduceOp op, int root) const {
+  check_comm(*this, "ireduce");
+  check_root(*this, root, "ireduce");
+  const std::size_t bytes = inbc_bytes(count, type, "ireduce");
+  const BasicKind leaf = inbc_reduce_leaf(type);
+  if (type.contiguous_layout()) {
+    return ireduce(send_buf, recv_buf, bytes / basic_size(leaf), leaf, op,
+                   root);
+  }
+  return Request{detail::nbc_start_typed(impl_, group_, my_rank_,
+                                         context_id_, detail::NbcOp::kReduce,
+                                         send_buf, recv_buf, count, type, op,
+                                         root)};
+}
+
+Request Comm::iallreduce(const void* send_buf, void* recv_buf, int count,
+                         const Datatype& type, ReduceOp op) const {
+  check_comm(*this, "iallreduce");
+  const std::size_t bytes = inbc_bytes(count, type, "iallreduce");
+  const BasicKind leaf = inbc_reduce_leaf(type);
+  if (type.contiguous_layout()) {
+    return iallreduce(send_buf, recv_buf, bytes / basic_size(leaf), leaf,
+                      op);
+  }
+  return Request{detail::nbc_start_typed(
+      impl_, group_, my_rank_, context_id_, detail::NbcOp::kAllreduce,
+      send_buf, recv_buf, count, type, op, 0)};
+}
+
+Request Comm::igather(const void* send_buf, int count, const Datatype& type,
+                      void* recv_buf, int root) const {
+  check_comm(*this, "igather");
+  check_root(*this, root, "igather");
+  const std::size_t bytes = inbc_bytes(count, type, "igather");
+  if (type.contiguous_layout()) {
+    return igather(send_buf, bytes, recv_buf, root);
+  }
+  return Request{detail::nbc_start_typed(impl_, group_, my_rank_,
+                                         context_id_, detail::NbcOp::kGather,
+                                         send_buf, recv_buf, count, type,
+                                         ReduceOp::kSum, root)};
+}
+
+Request Comm::iscatter(const void* send_buf, int count, const Datatype& type,
+                       void* recv_buf, int root) const {
+  check_comm(*this, "iscatter");
+  check_root(*this, root, "iscatter");
+  const std::size_t bytes = inbc_bytes(count, type, "iscatter");
+  if (type.contiguous_layout()) {
+    return iscatter(send_buf, bytes, recv_buf, root);
+  }
+  return Request{detail::nbc_start_typed(impl_, group_, my_rank_,
+                                         context_id_, detail::NbcOp::kScatter,
+                                         send_buf, recv_buf, count, type,
+                                         ReduceOp::kSum, root)};
+}
+
+Request Comm::iallgather(const void* send_buf, int count,
+                         const Datatype& type, void* recv_buf) const {
+  check_comm(*this, "iallgather");
+  const std::size_t bytes = inbc_bytes(count, type, "iallgather");
+  if (type.contiguous_layout()) {
+    return iallgather(send_buf, bytes, recv_buf);
+  }
+  return Request{detail::nbc_start_typed(
+      impl_, group_, my_rank_, context_id_, detail::NbcOp::kAllgather,
+      send_buf, recv_buf, count, type, ReduceOp::kSum, 0)};
+}
+
+Request Comm::ialltoall(const void* send_buf, int count, const Datatype& type,
+                        void* recv_buf) const {
+  check_comm(*this, "ialltoall");
+  const std::size_t bytes = inbc_bytes(count, type, "ialltoall");
+  if (type.contiguous_layout()) {
+    return ialltoall(send_buf, bytes, recv_buf);
+  }
+  return Request{detail::nbc_start_typed(
+      impl_, group_, my_rank_, context_id_, detail::NbcOp::kAlltoall,
+      send_buf, recv_buf, count, type, ReduceOp::kSum, 0)};
 }
 
 }  // namespace jhpc::minimpi

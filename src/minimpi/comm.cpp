@@ -44,6 +44,44 @@ void check_tag_recv(int tag) {
 
 thread_local int internal_tag_depth = 0;
 
+std::size_t typed_bytes(int count, const Datatype& type, const char* what) {
+  JHPC_REQUIRE(count >= 0,
+               std::string(what) + ": negative element count");
+  return type.size() * static_cast<std::size_t>(count);
+}
+
+// Leaf kind for a typed reduction; even a dense (contiguous-layout)
+// struct can mix leaves, so both routes must check.
+BasicKind reduce_leaf(const Datatype& type) {
+  if (!type.uniform_leaf()) {
+    throw UnsupportedOperationError(
+        "typed reduction requires a uniform leaf kind (mixed-leaf "
+        "structs are not element-wise reducible)");
+  }
+  return type.leaf_kind();
+}
+
+// RAII scratch drawn from the transport slab recycler for the typed
+// collective pack shim: steady state is a free-list pop, no allocation.
+// Acquire and release both run on the owning rank's thread (true for
+// every blocking collective, which runs start to finish on its rank).
+class SlabScratch {
+ public:
+  SlabScratch(detail::UniverseImpl* impl, int world, std::size_t bytes)
+      : impl_(impl), world_(world),
+        slab_(impl->slab.acquire(bytes, world)) {}
+  ~SlabScratch() { impl_->slab.release(std::move(slab_), world_); }
+  SlabScratch(const SlabScratch&) = delete;
+  SlabScratch& operator=(const SlabScratch&) = delete;
+
+  std::byte* data() { return slab_.data(); }
+
+ private:
+  detail::UniverseImpl* impl_;
+  int world_;
+  detail::Slab slab_;
+};
+
 // A blocking collective that loses a rank mid-algorithm leaves peers
 // parked in later rounds of the pattern with nobody left to wake them.
 // Auto-revoking the communicator on the first RankFailedError (as ULFM
@@ -200,6 +238,92 @@ void Comm::sendrecv(const void* send_buf, std::size_t send_bytes, int dst,
     // The send half surfaced a failure (dead peer, revoked comm) with the
     // receive still posted: recv_buf unwinds with the caller, so the
     // request must stop being matchable first (see cancel_recv).
+    if (r.state_ != nullptr) impl_->cancel_recv(*r.state_);
+    throw;
+  }
+}
+
+// --- Typed point-to-point ---------------------------------------------------
+// Dense layouts route to the byte path unchanged; strided layouts hand
+// the datatype to the transport, whose copy sites gather/scatter through
+// the flattened runs (one copy end to end, no staging buffer).
+
+void Comm::send(const void* buf, int count, const Datatype& type, int dst,
+                int tag) const {
+  const std::size_t bytes = typed_bytes(count, type, "send");
+  if (type.contiguous_layout()) {
+    send(buf, bytes, dst, tag);
+    return;
+  }
+  check_valid(impl_);
+  check_peer(dst, size(), "send");
+  check_tag_send(tag);
+  const int me = my_world();
+  detail::TransportSpan span(impl_->obs.get(), me, "send",
+                             impl_->clocks[static_cast<std::size_t>(me)]);
+  auto pending = impl_->deliver(me, world_of(dst), context_id_, my_rank_,
+                                tag, buf, bytes, &type, count);
+  if (pending) detail::wait_request(*pending);
+}
+
+void Comm::recv(void* buf, int count, const Datatype& type, int src, int tag,
+                Status* status) const {
+  const std::size_t bytes = typed_bytes(count, type, "recv");
+  if (type.contiguous_layout()) {
+    recv(buf, bytes, src, tag, status);
+    return;
+  }
+  check_valid(impl_);
+  if (src != kAnySource) check_peer(src, size(), "recv");
+  check_tag_recv(tag);
+  const int me = my_world();
+  detail::TransportSpan span(impl_->obs.get(), me, "recv",
+                             impl_->clocks[static_cast<std::size_t>(me)]);
+  const Status st = impl_->blocking_recv(me, context_id_, src, tag, buf,
+                                         bytes, &type, count);
+  if (status != nullptr) *status = st;
+}
+
+Request Comm::isend(const void* buf, int count, const Datatype& type,
+                    int dst, int tag) const {
+  const std::size_t bytes = typed_bytes(count, type, "isend");
+  if (type.contiguous_layout()) return isend(buf, bytes, dst, tag);
+  check_valid(impl_);
+  check_peer(dst, size(), "isend");
+  check_tag_send(tag);
+  auto pending = impl_->deliver(my_world(), world_of(dst), context_id_,
+                                my_rank_, tag, buf, bytes, &type, count);
+  if (!pending) return Request{};  // completed locally: null request
+  return Request{std::move(pending)};
+}
+
+Request Comm::irecv(void* buf, int count, const Datatype& type, int src,
+                    int tag) const {
+  const std::size_t bytes = typed_bytes(count, type, "irecv");
+  if (type.contiguous_layout()) return irecv(buf, bytes, src, tag);
+  check_valid(impl_);
+  if (src != kAnySource) check_peer(src, size(), "irecv");
+  check_tag_recv(tag);
+  return Request{impl_->post_recv(my_world(), context_id_, src, tag, buf,
+                                  bytes, &type, count)};
+}
+
+void Comm::sendrecv(const void* send_buf, int send_count,
+                    const Datatype& send_type, int dst, int send_tag,
+                    void* recv_buf, int recv_count,
+                    const Datatype& recv_type, int src, int recv_tag,
+                    Status* status) const {
+  // Same shape as the byte sendrecv: post the receive first so the
+  // mirror-image pattern cannot deadlock in a rendezvous send.
+  check_valid(impl_);
+  const int me = my_world();
+  detail::TransportSpan span(impl_->obs.get(), me, "sendrecv",
+                             impl_->clocks[static_cast<std::size_t>(me)]);
+  Request r = irecv(recv_buf, recv_count, recv_type, src, recv_tag);
+  try {
+    send(send_buf, send_count, send_type, dst, send_tag);
+    r.wait(status);
+  } catch (...) {
     if (r.state_ != nullptr) impl_->cancel_recv(*r.state_);
     throw;
   }
@@ -423,6 +547,146 @@ void Comm::alltoall(const void* send_buf, std::size_t bytes_per_pair,
         ? detail::mv2::alltoall(*this, send_buf, bytes_per_pair, recv_buf)
         : detail::basic::alltoall(*this, send_buf, bytes_per_pair, recv_buf);
   });
+}
+
+// --- Typed (derived-datatype) blocking collectives --------------------------
+// Strided layouts are packed through a slab-drawn scratch and run the
+// byte engines unchanged — every suite (basic/mv2/nbc/hier) executes the
+// identical wire algorithm for typed and untyped payloads, which is what
+// lets the differential oracle cross-check them. Dense layouts skip the
+// shim entirely. The engines' own tags are protected by their
+// InternalTagScope; the shim adds no communication of its own.
+
+void Comm::bcast(void* buf, int count, const Datatype& type,
+                 int root) const {
+  const std::size_t bytes = typed_bytes(count, type, "bcast");
+  if (type.contiguous_layout()) {
+    bcast(buf, bytes, root);
+    return;
+  }
+  check_valid(impl_);
+  check_peer(root, size(), "bcast");
+  SlabScratch scratch(impl_, my_world(), bytes);
+  if (my_rank_ == root) type.pack(buf, scratch.data(), count);
+  bcast(scratch.data(), bytes, root);
+  if (my_rank_ != root) type.unpack(scratch.data(), buf, count);
+}
+
+void Comm::reduce(const void* send_buf, void* recv_buf, int count,
+                  const Datatype& type, ReduceOp op, int root) const {
+  const std::size_t bytes = typed_bytes(count, type, "reduce");
+  const BasicKind leaf = reduce_leaf(type);
+  const std::size_t elems = bytes / basic_size(leaf);
+  if (type.contiguous_layout()) {
+    reduce(send_buf, recv_buf, elems, leaf, op, root);
+    return;
+  }
+  check_valid(impl_);
+  check_peer(root, size(), "reduce");
+  const int me = my_world();
+  SlabScratch send_s(impl_, me, bytes);
+  SlabScratch recv_s(impl_, me, bytes);
+  type.pack(send_buf, send_s.data(), count);
+  reduce(send_s.data(), recv_s.data(), elems, leaf, op, root);
+  if (my_rank_ == root) type.unpack(recv_s.data(), recv_buf, count);
+}
+
+void Comm::allreduce(const void* send_buf, void* recv_buf, int count,
+                     const Datatype& type, ReduceOp op) const {
+  const std::size_t bytes = typed_bytes(count, type, "allreduce");
+  const BasicKind leaf = reduce_leaf(type);
+  const std::size_t elems = bytes / basic_size(leaf);
+  if (type.contiguous_layout()) {
+    allreduce(send_buf, recv_buf, elems, leaf, op);
+    return;
+  }
+  check_valid(impl_);
+  const int me = my_world();
+  SlabScratch send_s(impl_, me, bytes);
+  SlabScratch recv_s(impl_, me, bytes);
+  type.pack(send_buf, send_s.data(), count);
+  allreduce(send_s.data(), recv_s.data(), elems, leaf, op);
+  type.unpack(recv_s.data(), recv_buf, count);
+}
+
+void Comm::gather(const void* send_buf, int count, const Datatype& type,
+                  void* recv_buf, int root) const {
+  const std::size_t bytes = typed_bytes(count, type, "gather");
+  if (type.contiguous_layout()) {
+    gather(send_buf, bytes, recv_buf, root);
+    return;
+  }
+  check_valid(impl_);
+  check_peer(root, size(), "gather");
+  const int me = my_world();
+  const std::size_t n = static_cast<std::size_t>(size());
+  SlabScratch send_s(impl_, me, bytes);
+  type.pack(send_buf, send_s.data(), count);
+  if (my_rank_ == root) {
+    SlabScratch recv_s(impl_, me, bytes * n);
+    gather(send_s.data(), bytes, recv_s.data(), root);
+    // Blocks are dense and rank-ordered in the scratch; one unpack lays
+    // block i down at byte offset i * count * extent.
+    type.unpack(recv_s.data(), recv_buf, count * size());
+  } else {
+    gather(send_s.data(), bytes, nullptr, root);
+  }
+}
+
+void Comm::scatter(const void* send_buf, int count, const Datatype& type,
+                   void* recv_buf, int root) const {
+  const std::size_t bytes = typed_bytes(count, type, "scatter");
+  if (type.contiguous_layout()) {
+    scatter(send_buf, bytes, recv_buf, root);
+    return;
+  }
+  check_valid(impl_);
+  check_peer(root, size(), "scatter");
+  const int me = my_world();
+  const std::size_t n = static_cast<std::size_t>(size());
+  SlabScratch recv_s(impl_, me, bytes);
+  if (my_rank_ == root) {
+    SlabScratch send_s(impl_, me, bytes * n);
+    type.pack(send_buf, send_s.data(), count * size());
+    scatter(send_s.data(), bytes, recv_s.data(), root);
+  } else {
+    scatter(nullptr, bytes, recv_s.data(), root);
+  }
+  type.unpack(recv_s.data(), recv_buf, count);
+}
+
+void Comm::allgather(const void* send_buf, int count, const Datatype& type,
+                     void* recv_buf) const {
+  const std::size_t bytes = typed_bytes(count, type, "allgather");
+  if (type.contiguous_layout()) {
+    allgather(send_buf, bytes, recv_buf);
+    return;
+  }
+  check_valid(impl_);
+  const int me = my_world();
+  const std::size_t n = static_cast<std::size_t>(size());
+  SlabScratch send_s(impl_, me, bytes);
+  SlabScratch recv_s(impl_, me, bytes * n);
+  type.pack(send_buf, send_s.data(), count);
+  allgather(send_s.data(), bytes, recv_s.data());
+  type.unpack(recv_s.data(), recv_buf, count * size());
+}
+
+void Comm::alltoall(const void* send_buf, int count, const Datatype& type,
+                    void* recv_buf) const {
+  const std::size_t bytes = typed_bytes(count, type, "alltoall");
+  if (type.contiguous_layout()) {
+    alltoall(send_buf, bytes, recv_buf);
+    return;
+  }
+  check_valid(impl_);
+  const int me = my_world();
+  const std::size_t n = static_cast<std::size_t>(size());
+  SlabScratch send_s(impl_, me, bytes * n);
+  SlabScratch recv_s(impl_, me, bytes * n);
+  type.pack(send_buf, send_s.data(), count * size());
+  alltoall(send_s.data(), bytes, recv_s.data());
+  type.unpack(recv_s.data(), recv_buf, count * size());
 }
 
 void Comm::gatherv(const void* send_buf, std::size_t send_bytes,

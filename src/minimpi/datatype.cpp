@@ -1,7 +1,9 @@
 #include "jhpc/minimpi/datatype.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
+#include <utility>
 
 #include "jhpc/support/error.hpp"
 
@@ -26,127 +28,150 @@ std::size_t basic_size(BasicKind kind) {
 }
 
 struct Datatype::Desc {
-  enum class Shape { kBasic, kContiguous, kVector, kIndexed };
+  enum class Shape {
+    kBasic,
+    kContiguous,
+    kVector,
+    kHvector,
+    kIndexed,
+    kStruct,
+  };
   Shape shape = Shape::kBasic;
+  /// Leaf kind (first leaf for mixed structs).
   BasicKind basic = BasicKind::kByte;
-  std::size_t size = 1;    // payload bytes per element
-  std::size_t extent = 1;  // memory span per element
-  // Derived parameters (counts are in base elements).
+  bool uniform_leaf = true;
+  int depth = 1;
+  std::size_t size = 1;          // payload bytes per element
+  std::size_t extent = 1;        // step between consecutive elements
+  std::ptrdiff_t true_lb = 0;    // lowest byte touched
+  std::ptrdiff_t true_ub = 1;    // one past the highest byte touched
+  // Constructor parameters, kept only for structural equality.
   int count = 0;
   int blocklen = 0;
-  int stride = 0;
-  // Indexed parameters (in base elements).
+  std::ptrdiff_t stride = 0;  // base elements (kVector) or bytes (kHvector)
   std::vector<int> blocklens;
   std::vector<int> displs;
+  std::vector<std::ptrdiff_t> byte_displs;
   std::shared_ptr<const Desc> base;
+  std::vector<std::shared_ptr<const Desc>> fields;
+  /// Normalized flattened layout of one element.
+  std::vector<FlatRun> flat;
+  bool contiguous = false;
 };
 
 namespace {
+
+using FlatLayout = std::vector<FlatRun>;
 
 std::shared_ptr<const Datatype::Desc> make_basic_desc(BasicKind kind) {
   auto d = std::make_shared<Datatype::Desc>();
   d->shape = Datatype::Desc::Shape::kBasic;
   d->basic = kind;
   d->size = d->extent = basic_size(kind);
+  d->true_lb = 0;
+  d->true_ub = static_cast<std::ptrdiff_t>(d->size);
+  d->flat = {FlatRun{0, d->size, 1, 0}};
+  d->contiguous = true;
   return d;
 }
 
-// Recursive pack of one element described by `d` from src to dst; returns
-// bytes written to dst.
-std::size_t pack_one(const Datatype::Desc& d, const std::byte* src,
-                     std::byte* dst) {
-  using Shape = Datatype::Desc::Shape;
-  switch (d.shape) {
-    case Shape::kBasic:
-      std::memcpy(dst, src, d.size);
-      return d.size;
-    case Shape::kContiguous: {
-      std::size_t written = 0;
-      for (int i = 0; i < d.count; ++i) {
-        written += pack_one(*d.base, src + static_cast<std::size_t>(i) *
-                                               d.base->extent,
-                            dst + written);
-      }
-      return written;
+/// Append one run, normalizing as we go: adjacent plain ranges merge
+/// into one longer range; equal-length blocks continuing an arithmetic
+/// progression fold into the previous run's repeat count.
+void append_run(FlatLayout& out, FlatRun r) {
+  if (r.length == 0 || r.count == 0) return;
+  if (r.count == 1) r.stride = 0;
+  if (!out.empty()) {
+    FlatRun& p = out.back();
+    if (p.count == 1 && r.count == 1 &&
+        r.offset == p.offset + static_cast<std::ptrdiff_t>(p.length)) {
+      p.length += r.length;
+      return;
     }
-    case Shape::kVector: {
-      std::size_t written = 0;
-      for (int b = 0; b < d.count; ++b) {
-        const std::byte* block_src =
-            src + static_cast<std::size_t>(b) *
-                      static_cast<std::size_t>(d.stride) * d.base->extent;
-        for (int e = 0; e < d.blocklen; ++e) {
-          written += pack_one(
-              *d.base, block_src + static_cast<std::size_t>(e) *
-                                       d.base->extent,
-              dst + written);
-        }
+    if (r.length == p.length) {
+      if (p.count == 1 && r.count == 1) {
+        p.stride = r.offset - p.offset;
+        p.count = 2;
+        return;
       }
-      return written;
-    }
-    case Shape::kIndexed: {
-      std::size_t written = 0;
-      for (std::size_t b = 0; b < d.blocklens.size(); ++b) {
-        const std::byte* block_src =
-            src + static_cast<std::size_t>(d.displs[b]) * d.base->extent;
-        for (int e = 0; e < d.blocklens[b]; ++e) {
-          written += pack_one(
-              *d.base,
-              block_src + static_cast<std::size_t>(e) * d.base->extent,
-              dst + written);
-        }
+      const std::ptrdiff_t next =
+          p.offset + p.stride * static_cast<std::ptrdiff_t>(p.count);
+      if (p.count > 1 && r.offset == next &&
+          (r.count == 1 || r.stride == p.stride)) {
+        p.count += r.count;
+        return;
       }
-      return written;
     }
   }
-  throw InternalError("unknown datatype shape");
+  JHPC_REQUIRE(out.size() < kMaxFlatRuns,
+               "datatype flattens to too many runs");
+  out.push_back(r);
 }
 
-std::size_t unpack_one(const Datatype::Desc& d, const std::byte* src,
-                       std::byte* dst) {
-  using Shape = Datatype::Desc::Shape;
-  switch (d.shape) {
-    case Shape::kBasic:
-      std::memcpy(dst, src, d.size);
-      return d.size;
-    case Shape::kContiguous: {
-      std::size_t consumed = 0;
-      for (int i = 0; i < d.count; ++i) {
-        consumed += unpack_one(*d.base, src + consumed,
-                               dst + static_cast<std::size_t>(i) *
-                                         d.base->extent);
-      }
-      return consumed;
+/// Lay `n` copies of `in` at successive multiples of `step`. Single-run
+/// layouts compress in O(1); everything else replicates through the
+/// normalizing appender.
+FlatLayout replicate(const FlatLayout& in, std::size_t n,
+                     std::ptrdiff_t step) {
+  if (n == 0 || in.empty()) return {};
+  if (n == 1) return in;
+  if (in.size() == 1) {
+    const FlatRun& r = in[0];
+    if (r.count == 1 && step == static_cast<std::ptrdiff_t>(r.length)) {
+      return {FlatRun{r.offset, r.length * n, 1, 0}};
     }
-    case Shape::kVector: {
-      std::size_t consumed = 0;
-      for (int b = 0; b < d.count; ++b) {
-        std::byte* block_dst =
-            dst + static_cast<std::size_t>(b) *
-                      static_cast<std::size_t>(d.stride) * d.base->extent;
-        for (int e = 0; e < d.blocklen; ++e) {
-          consumed += unpack_one(
-              *d.base, src + consumed,
-              block_dst + static_cast<std::size_t>(e) * d.base->extent);
-        }
-      }
-      return consumed;
+    if (r.count == 1) {
+      return {FlatRun{r.offset, r.length, n, step}};
     }
-    case Shape::kIndexed: {
-      std::size_t consumed = 0;
-      for (std::size_t b = 0; b < d.blocklens.size(); ++b) {
-        std::byte* block_dst =
-            dst + static_cast<std::size_t>(d.displs[b]) * d.base->extent;
-        for (int e = 0; e < d.blocklens[b]; ++e) {
-          consumed += unpack_one(
-              *d.base, src + consumed,
-              block_dst + static_cast<std::size_t>(e) * d.base->extent);
-        }
-      }
-      return consumed;
+    if (step == r.stride * static_cast<std::ptrdiff_t>(r.count)) {
+      return {FlatRun{r.offset, r.length, r.count * n, r.stride}};
     }
   }
-  throw InternalError("unknown datatype shape");
+  FlatLayout out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t shift = step * static_cast<std::ptrdiff_t>(i);
+    for (FlatRun r : in) {
+      r.offset += shift;
+      append_run(out, r);
+    }
+  }
+  return out;
+}
+
+/// Lowest / one-past-highest byte offsets the layout touches.
+void bounds_of(const FlatLayout& f, std::ptrdiff_t* lb, std::ptrdiff_t* ub) {
+  if (f.empty()) {
+    *lb = *ub = 0;
+    return;
+  }
+  std::ptrdiff_t lo = f[0].offset;
+  std::ptrdiff_t hi = f[0].offset;
+  for (const FlatRun& r : f) {
+    const std::ptrdiff_t span =
+        r.stride * static_cast<std::ptrdiff_t>(r.count - 1);
+    lo = std::min(lo, r.offset + std::min<std::ptrdiff_t>(span, 0));
+    hi = std::max(hi, r.offset + std::max<std::ptrdiff_t>(span, 0) +
+                          static_cast<std::ptrdiff_t>(r.length));
+  }
+  *lb = lo;
+  *ub = hi;
+}
+
+/// Fill the derived fields every constructor shares: bounds, the MPI
+/// extent rule (span from min(lb, 0) to max(ub, 0)), the dense-layout
+/// flag, and the depth cap.
+void finalize_desc(Datatype::Desc& d) {
+  JHPC_REQUIRE(d.depth <= kMaxTypeDepth,
+               "datatype nesting exceeds the depth cap");
+  bounds_of(d.flat, &d.true_lb, &d.true_ub);
+  const std::ptrdiff_t lb_eff = std::min<std::ptrdiff_t>(d.true_lb, 0);
+  const std::ptrdiff_t ub_eff = std::max<std::ptrdiff_t>(d.true_ub, 0);
+  d.extent = static_cast<std::size_t>(ub_eff - lb_eff);
+  d.contiguous = d.size == 0 ||
+                 (d.flat.size() == 1 && d.flat[0].count == 1 &&
+                  d.flat[0].offset == 0 && d.flat[0].length == d.size &&
+                  d.extent == d.size);
 }
 
 bool desc_equal(const Datatype::Desc& a, const Datatype::Desc& b) {
@@ -158,18 +183,24 @@ bool desc_equal(const Datatype::Desc& a, const Datatype::Desc& b) {
     case Shape::kContiguous:
       return a.count == b.count && desc_equal(*a.base, *b.base);
     case Shape::kVector:
+    case Shape::kHvector:
       return a.count == b.count && a.blocklen == b.blocklen &&
              a.stride == b.stride && desc_equal(*a.base, *b.base);
     case Shape::kIndexed:
       return a.blocklens == b.blocklens && a.displs == b.displs &&
              desc_equal(*a.base, *b.base);
+    case Shape::kStruct: {
+      if (a.blocklens != b.blocklens || a.byte_displs != b.byte_displs ||
+          a.fields.size() != b.fields.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < a.fields.size(); ++i) {
+        if (!desc_equal(*a.fields[i], *b.fields[i])) return false;
+      }
+      return true;
+    }
   }
   return false;
-}
-
-BasicKind leaf_of(const Datatype::Desc& d) {
-  if (d.shape == Datatype::Desc::Shape::kBasic) return d.basic;
-  return leaf_of(*d.base);
 }
 
 }  // namespace
@@ -205,33 +236,62 @@ Datatype Datatype::contiguous(int count, const Datatype& base) {
   d->shape = Desc::Shape::kContiguous;
   d->count = count;
   d->base = base.desc_;
+  d->basic = base.desc_->basic;
+  d->uniform_leaf = base.desc_->uniform_leaf;
+  d->depth = base.desc_->depth + 1;
   d->size = static_cast<std::size_t>(count) * base.size();
-  d->extent = static_cast<std::size_t>(count) * base.extent();
+  d->flat = replicate(base.desc_->flat, static_cast<std::size_t>(count),
+                      static_cast<std::ptrdiff_t>(base.extent()));
+  finalize_desc(*d);
   return Datatype(std::move(d));
 }
 
-Datatype Datatype::vector(int count, int blocklen, int stride,
-                          const Datatype& base) {
-  JHPC_REQUIRE(count >= 0 && blocklen >= 0, "vector datatype needs counts >= 0");
-  JHPC_REQUIRE(stride >= blocklen,
-               "vector datatype requires stride >= blocklen");
-  auto d = std::make_shared<Desc>();
-  d->shape = Desc::Shape::kVector;
+namespace {
+
+std::shared_ptr<Datatype::Desc> make_vector_desc(
+    Datatype::Desc::Shape shape, int count, int blocklen,
+    std::ptrdiff_t stride, std::ptrdiff_t stride_bytes,
+    const std::shared_ptr<const Datatype::Desc>& base) {
+  auto d = std::make_shared<Datatype::Desc>();
+  d->shape = shape;
   d->count = count;
   d->blocklen = blocklen;
   d->stride = stride;
-  d->base = base.desc_;
+  d->base = base;
+  d->basic = base->basic;
+  d->uniform_leaf = base->uniform_leaf;
+  d->depth = base->depth + 1;
   d->size = static_cast<std::size_t>(count) *
-            static_cast<std::size_t>(blocklen) * base.size();
-  // MPI_Type_vector extent: span from first to one-past-last element.
-  d->extent =
-      count == 0
-          ? 0
-          : (static_cast<std::size_t>(count - 1) *
-                 static_cast<std::size_t>(stride) +
-             static_cast<std::size_t>(blocklen)) *
-                base.extent();
-  return Datatype(std::move(d));
+            static_cast<std::size_t>(blocklen) * base->size;
+  const FlatLayout block =
+      replicate(base->flat, static_cast<std::size_t>(blocklen),
+                static_cast<std::ptrdiff_t>(base->extent));
+  d->flat = replicate(block, static_cast<std::size_t>(count), stride_bytes);
+  finalize_desc(*d);
+  return d;
+}
+
+}  // namespace
+
+Datatype Datatype::vector(int count, int blocklen, int stride,
+                          const Datatype& base) {
+  JHPC_REQUIRE(count >= 0 && blocklen >= 0,
+               "vector datatype needs counts >= 0");
+  // Negative and overlapping strides are legal, as in MPI_Type_vector;
+  // the extent rule (span from min(lb, 0) to max(ub, 0)) handles them.
+  return Datatype(make_vector_desc(
+      Desc::Shape::kVector, count, blocklen, stride,
+      static_cast<std::ptrdiff_t>(stride) *
+          static_cast<std::ptrdiff_t>(base.extent()),
+      base.desc_));
+}
+
+Datatype Datatype::hvector(int count, int blocklen,
+                           std::ptrdiff_t stride_bytes, const Datatype& base) {
+  JHPC_REQUIRE(count >= 0 && blocklen >= 0,
+               "hvector datatype needs counts >= 0");
+  return Datatype(make_vector_desc(Desc::Shape::kHvector, count, blocklen,
+                                   stride_bytes, stride_bytes, base.desc_));
 }
 
 Datatype Datatype::indexed(std::span<const int> blocklens,
@@ -242,24 +302,77 @@ Datatype Datatype::indexed(std::span<const int> blocklens,
   auto d = std::make_shared<Desc>();
   d->shape = Desc::Shape::kIndexed;
   d->base = base.desc_;
+  d->basic = base.desc_->basic;
+  d->uniform_leaf = base.desc_->uniform_leaf;
+  d->depth = base.desc_->depth + 1;
   std::size_t total_elems = 0;
-  std::size_t span_end = 0;
+  const auto bext = static_cast<std::ptrdiff_t>(base.extent());
   for (std::size_t b = 0; b < blocklens.size(); ++b) {
     JHPC_REQUIRE(blocklens[b] >= 0 && displs[b] >= 0,
                  "indexed datatype: negative blocklen/displacement");
     total_elems += static_cast<std::size_t>(blocklens[b]);
-    span_end = std::max(span_end, static_cast<std::size_t>(displs[b]) +
-                                      static_cast<std::size_t>(blocklens[b]));
+    FlatLayout block =
+        replicate(base.desc_->flat,
+                  static_cast<std::size_t>(blocklens[b]), bext);
+    const std::ptrdiff_t shift =
+        static_cast<std::ptrdiff_t>(displs[b]) * bext;
+    for (FlatRun r : block) {
+      r.offset += shift;
+      append_run(d->flat, r);
+    }
   }
   d->blocklens.assign(blocklens.begin(), blocklens.end());
   d->displs.assign(displs.begin(), displs.end());
   d->size = total_elems * base.size();
-  d->extent = span_end * base.extent();
+  finalize_desc(*d);
+  return Datatype(std::move(d));
+}
+
+Datatype Datatype::struct_type(std::span<const int> blocklens,
+                               std::span<const std::ptrdiff_t> displs,
+                               std::span<const Datatype> types) {
+  JHPC_REQUIRE(blocklens.size() == displs.size() &&
+                   blocklens.size() == types.size(),
+               "struct datatype: blocklens/displs/types size mismatch");
+  auto d = std::make_shared<Desc>();
+  d->shape = Desc::Shape::kStruct;
+  int depth = 0;
+  std::size_t size = 0;
+  for (std::size_t f = 0; f < types.size(); ++f) {
+    JHPC_REQUIRE(blocklens[f] >= 0, "struct datatype: negative blocklen");
+    const Desc& fd = *types[f].desc_;
+    if (f == 0) {
+      d->basic = fd.basic;
+    } else if (fd.basic != d->basic || !fd.uniform_leaf) {
+      d->uniform_leaf = false;
+    }
+    if (!fd.uniform_leaf) d->uniform_leaf = false;
+    depth = std::max(depth, fd.depth);
+    size += static_cast<std::size_t>(blocklens[f]) * fd.size;
+    FlatLayout field =
+        replicate(fd.flat, static_cast<std::size_t>(blocklens[f]),
+                  static_cast<std::ptrdiff_t>(fd.extent));
+    for (FlatRun r : field) {
+      r.offset += displs[f];
+      append_run(d->flat, r);
+    }
+    d->fields.push_back(types[f].desc_);
+  }
+  d->depth = depth + 1;
+  d->size = size;
+  d->blocklens.assign(blocklens.begin(), blocklens.end());
+  d->byte_displs.assign(displs.begin(), displs.end());
+  finalize_desc(*d);
   return Datatype(std::move(d));
 }
 
 std::size_t Datatype::size() const { return desc_->size; }
 std::size_t Datatype::extent() const { return desc_->extent; }
+std::ptrdiff_t Datatype::true_lb() const { return desc_->true_lb; }
+
+std::size_t Datatype::true_extent() const {
+  return static_cast<std::size_t>(desc_->true_ub - desc_->true_lb);
+}
 
 bool Datatype::is_basic() const {
   return desc_->shape == Desc::Shape::kBasic;
@@ -270,33 +383,271 @@ BasicKind Datatype::kind() const {
   return desc_->basic;
 }
 
-BasicKind Datatype::leaf_kind() const { return leaf_of(*desc_); }
+BasicKind Datatype::leaf_kind() const { return desc_->basic; }
+bool Datatype::uniform_leaf() const { return desc_->uniform_leaf; }
+
+std::span<const FlatRun> Datatype::flat_runs() const { return desc_->flat; }
+bool Datatype::contiguous_layout() const { return desc_->contiguous; }
 
 void Datatype::pack(const void* src, void* dst, int count) const {
   JHPC_REQUIRE(count >= 0, "pack with negative count");
-  const auto* s = static_cast<const std::byte*>(src);
-  auto* d = static_cast<std::byte*>(dst);
-  std::size_t written = 0;
-  for (int i = 0; i < count; ++i) {
-    written += pack_one(*desc_,
-                        s + static_cast<std::size_t>(i) * desc_->extent,
-                        d + written);
-  }
+  detail::dt_copy(this, count, src, nullptr, 0, dst,
+                  size() * static_cast<std::size_t>(count));
 }
 
 void Datatype::unpack(const void* src, void* dst, int count) const {
   JHPC_REQUIRE(count >= 0, "unpack with negative count");
-  const auto* s = static_cast<const std::byte*>(src);
-  auto* d = static_cast<std::byte*>(dst);
-  std::size_t consumed = 0;
-  for (int i = 0; i < count; ++i) {
-    consumed += unpack_one(*desc_, s + consumed,
-                           d + static_cast<std::size_t>(i) * desc_->extent);
-  }
+  detail::dt_copy(nullptr, 0, src, this, count, dst,
+                  size() * static_cast<std::size_t>(count));
 }
 
 bool Datatype::operator==(const Datatype& other) const {
   return desc_ == other.desc_ || desc_equal(*desc_, *other.desc_);
 }
+
+namespace detail {
+
+namespace {
+
+/// Pull-style walk over the contiguous segments of a (buffer, datatype,
+/// count) triple. A null or dense datatype yields the whole byte range
+/// as one segment.
+struct SegmentWalk {
+  std::byte* buf = nullptr;
+  std::span<const FlatRun> runs{};
+  std::ptrdiff_t extent = 0;
+  int elems = 0;
+  bool strided = false;
+  std::size_t total = 0;
+  // Cursor state.
+  int e = 0;
+  std::size_t r = 0;
+  std::size_t b = 0;
+  bool emitted_contig = false;
+  std::size_t visited = 0;
+
+  SegmentWalk(const Datatype* t, int n, void* p)
+      : buf(static_cast<std::byte*>(p)) {
+    if (t != nullptr && !t->contiguous_layout()) {
+      strided = true;
+      runs = t->flat_runs();
+      extent = static_cast<std::ptrdiff_t>(t->extent());
+      elems = n;
+    } else {
+      total = t != nullptr
+                  ? t->size() * static_cast<std::size_t>(n)
+                  : 0;  // 0 => caller-supplied byte range, see next()
+    }
+  }
+
+  std::pair<std::byte*, std::size_t> next(std::size_t fallback_total) {
+    if (!strided) {
+      if (emitted_contig) return {nullptr, 0};
+      emitted_contig = true;
+      return {buf, total != 0 ? total : fallback_total};
+    }
+    while (e < elems) {
+      if (r >= runs.size()) {
+        ++e;
+        r = 0;
+        b = 0;
+        continue;
+      }
+      const FlatRun& run = runs[r];
+      if (b == 0) ++visited;
+      std::byte* p = buf + extent * static_cast<std::ptrdiff_t>(e) +
+                     run.offset +
+                     run.stride * static_cast<std::ptrdiff_t>(b);
+      ++b;
+      if (b >= run.count) {
+        ++r;
+        b = 0;
+      }
+      return {p, run.length};
+    }
+    return {nullptr, 0};
+  }
+};
+
+/// Blocked copy of `blocks` fixed-length segments between a striding
+/// cursor and a dense cursor. The compile-time length lets the memcpy
+/// inline to word moves and the loop vectorize — this is what makes the
+/// zero-copy gather competitive with a hand-written pack loop on
+/// fine-grained (4..16 byte) runs.
+template <std::size_t L, bool ToDense>
+void copy_blocks_fixed(std::byte*& dense, std::byte*& p,
+                       std::ptrdiff_t stride, std::size_t blocks) {
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if constexpr (ToDense) {
+      std::memcpy(dense, p, L);
+    } else {
+      std::memcpy(p, dense, L);
+    }
+    dense += L;
+    p += stride;
+  }
+}
+
+template <bool ToDense>
+void copy_blocks(std::byte*& dense, std::byte*& p, std::size_t length,
+                 std::ptrdiff_t stride, std::size_t blocks) {
+  switch (length) {
+    case 1:
+      copy_blocks_fixed<1, ToDense>(dense, p, stride, blocks);
+      return;
+    case 2:
+      copy_blocks_fixed<2, ToDense>(dense, p, stride, blocks);
+      return;
+    case 4:
+      copy_blocks_fixed<4, ToDense>(dense, p, stride, blocks);
+      return;
+    case 8:
+      copy_blocks_fixed<8, ToDense>(dense, p, stride, blocks);
+      return;
+    case 16:
+      copy_blocks_fixed<16, ToDense>(dense, p, stride, blocks);
+      return;
+    case 32:
+      copy_blocks_fixed<32, ToDense>(dense, p, stride, blocks);
+      return;
+    case 64:
+      copy_blocks_fixed<64, ToDense>(dense, p, stride, blocks);
+      return;
+    default:
+      for (std::size_t b = 0; b < blocks; ++b) {
+        if constexpr (ToDense) {
+          std::memcpy(dense, p, length);
+        } else {
+          std::memcpy(p, dense, length);
+        }
+        dense += length;
+        p += stride;
+      }
+  }
+}
+
+/// Fast path: one side dense, the other a flattened run-list. The dense
+/// cursor just advances; each run is a tight blocked copy loop with no
+/// per-segment dispatch. `to_dense` selects gather (strided -> dense)
+/// versus scatter (dense -> strided). Returns runs visited.
+template <bool ToDense>
+std::size_t copy_dense_strided(const Datatype* t, int n, std::byte* strided,
+                               std::byte* dense, std::size_t bytes) {
+  const std::span<const FlatRun> runs = t->flat_runs();
+  const auto ext = static_cast<std::ptrdiff_t>(t->extent());
+  std::size_t visited = 0;
+  std::size_t left = bytes;
+  for (int e = 0; e < n && left > 0; ++e) {
+    std::byte* const base = strided + ext * static_cast<std::ptrdiff_t>(e);
+    for (const FlatRun& run : runs) {
+      ++visited;
+      std::byte* p = base + run.offset;
+      std::size_t full = left / run.length;
+      if (full > run.count) full = run.count;
+      left -= full * run.length;
+      copy_blocks<ToDense>(dense, p, run.length, run.stride, full);
+      if (full < run.count) {
+        // Truncated mid-run: move what remains and stop.
+        if (left > 0) {
+          if (ToDense) {
+            std::memcpy(dense, p, left);
+          } else {
+            std::memcpy(p, dense, left);
+          }
+        }
+        return visited;
+      }
+      if (left == 0) return visited;
+    }
+  }
+  return visited;
+}
+
+/// True when two strided triples touch byte-identical segments, so a
+/// lockstep per-run copy needs no dense intermediary cursor.
+bool same_layout(const Datatype* a, int an, const Datatype* b, int bn) {
+  if (an != bn || a->extent() != b->extent()) return false;
+  const std::span<const FlatRun> ra = a->flat_runs();
+  const std::span<const FlatRun> rb = b->flat_runs();
+  if (ra.size() != rb.size()) return false;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (!(ra[i] == rb[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t dt_copy(const Datatype* st, int sn, const void* src,
+                    const Datatype* rt, int rn, void* dst,
+                    std::size_t bytes) {
+  const bool s_strided = st != nullptr && !st->contiguous_layout();
+  const bool r_strided = rt != nullptr && !rt->contiguous_layout();
+  if (!s_strided && !r_strided) {
+    if (bytes != 0) std::memcpy(dst, src, bytes);
+    return 0;
+  }
+  if (bytes == 0) return 0;
+  if (!r_strided) {
+    return copy_dense_strided</*ToDense=*/true>(
+        st, sn, static_cast<std::byte*>(const_cast<void*>(src)),
+        static_cast<std::byte*>(dst), bytes);
+  }
+  if (!s_strided) {
+    // The dense side's span is exactly `bytes` (the payload), whether it
+    // is a contiguous datatype or a raw slab buffer.
+    return copy_dense_strided</*ToDense=*/false>(
+        rt, rn, static_cast<std::byte*>(dst),
+        static_cast<std::byte*>(const_cast<void*>(src)), bytes);
+  }
+  if (same_layout(st, sn, rt, rn)) {
+    // Layout-to-layout with identical shapes: one blocked copy per run,
+    // both cursors move in lockstep by construction.
+    const std::span<const FlatRun> runs = st->flat_runs();
+    const auto ext = static_cast<std::ptrdiff_t>(st->extent());
+    const auto* sb = static_cast<const std::byte*>(src);
+    auto* db = static_cast<std::byte*>(dst);
+    std::size_t visited = 0;
+    std::size_t left = bytes;
+    for (int e = 0; e < sn && left > 0; ++e) {
+      const std::ptrdiff_t eo = ext * static_cast<std::ptrdiff_t>(e);
+      for (const FlatRun& run : runs) {
+        visited += 2;  // one visit per side, as the generic walk counts
+        std::ptrdiff_t off = eo + run.offset;
+        for (std::size_t b = 0; b < run.count; ++b) {
+          const std::size_t len = run.length < left ? run.length : left;
+          std::memcpy(db + off, sb + off, len);
+          left -= len;
+          if (len < run.length) return visited;
+          off += run.stride;
+        }
+        if (left == 0) return visited;
+      }
+    }
+    return visited;
+  }
+  SegmentWalk sw(st, sn, const_cast<void*>(src));
+  SegmentWalk rw(rt, rn, dst);
+  std::byte* sp = nullptr;
+  std::byte* rp = nullptr;
+  std::size_t sl = 0;
+  std::size_t rl = 0;
+  std::size_t copied = 0;
+  while (copied < bytes) {
+    if (sl == 0) std::tie(sp, sl) = sw.next(bytes);
+    if (rl == 0) std::tie(rp, rl) = rw.next(bytes);
+    const std::size_t n = std::min({sl, rl, bytes - copied});
+    if (n == 0) break;  // a layout ran dry: bytes was an overestimate
+    std::memcpy(rp, sp, n);
+    sp += n;
+    rp += n;
+    sl -= n;
+    rl -= n;
+    copied += n;
+  }
+  return sw.visited + rw.visited;
+}
+
+}  // namespace detail
 
 }  // namespace jhpc::minimpi

@@ -24,9 +24,11 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "detail/transport.hpp"
+#include "jhpc/minimpi/datatype.hpp"
 #include "jhpc/minimpi/group.hpp"
 #include "jhpc/minimpi/op.hpp"
 
@@ -82,6 +84,16 @@ struct NbcState {
   ReduceOp op = ReduceOp::kSum;
   std::vector<std::byte> scratch;
 
+  // Typed (derived-datatype) staging: for a schedule started through
+  // nbc_start_typed, user_in/user_out point into these packed copies for
+  // the schedule's lifetime; on completion the dense result is scattered
+  // into `unpack_dst` through `unpack_dt` (see finish_typed).
+  std::vector<std::byte> typed_in;
+  std::vector<std::byte> typed_out;
+  std::optional<Datatype> unpack_dt;
+  int unpack_count = 0;
+  void* unpack_dst = nullptr;
+
   std::vector<NbcRound> rounds;
   std::size_t round = 0;  ///< index of the round being progressed
   bool posted = false;    ///< current round's comm steps are in flight
@@ -117,6 +129,21 @@ std::shared_ptr<NbcState> nbc_start(UniverseImpl* impl, const Group& group,
                                     const void* send_buf, void* recv_buf,
                                     std::size_t size, BasicKind kind,
                                     ReduceOp op, int root);
+
+/// Typed nbc_start: packs the (possibly strided) send-side payload into
+/// schedule-owned staging at initiation — so, unlike the byte forms, the
+/// send buffer may be reused as soon as the call returns — runs the byte
+/// schedule unchanged (all engines stay bit-identical), and scatters the
+/// dense result into the user's strided receive buffer when the schedule
+/// completes. `op` is meaningful for reduce/allreduce only, which also
+/// require type.uniform_leaf().
+std::shared_ptr<NbcState> nbc_start_typed(UniverseImpl* impl,
+                                          const Group& group, int my_rank,
+                                          int context_id, NbcOp what,
+                                          const void* send_buf,
+                                          void* recv_buf, int count,
+                                          const Datatype& type, ReduceOp op,
+                                          int root);
 
 /// Drive every active schedule of `world_rank` as far as it can go
 /// without blocking; prune the finished ones. Must run on the rank's

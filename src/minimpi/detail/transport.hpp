@@ -18,7 +18,10 @@
 #include <utility>
 #include <vector>
 
+#include <optional>
+
 #include "detail/slab.hpp"
+#include "jhpc/minimpi/datatype.hpp"
 #include "jhpc/minimpi/types.hpp"
 #include "jhpc/minimpi/universe.hpp"
 #include "jhpc/netsim/fabric.hpp"
@@ -127,6 +130,15 @@ struct UniverseObs {
   /// drops to the releasing (receiver) rank's.
   obs::PvarId slab_hits, slab_misses;
   obs::PvarId slab_recycled_bytes, slab_overflow_drops;
+
+  /// Derived-datatype engine counters. dt.pack_bytes counts payload bytes
+  /// gathered or scattered through flattened layouts (charged to the rank
+  /// whose thread ran the copy); dt.fastpath_hits counts typed transfers
+  /// that moved strided data with no intermediate staging buffer (eager
+  /// gather-into-slab, matched direct strided copy, rendezvous
+  /// pack-on-the-fly); dt.flatten_runs counts flattened runs walked on
+  /// the hot path.
+  obs::PvarId dt_pack_bytes, dt_fastpath_hits, dt_flatten_runs;
 
   /// Per-algorithm collective invocation counts, indexed by CollAlg.
   std::vector<obs::PvarId> coll;
@@ -281,6 +293,12 @@ struct RequestState {
   bool is_recv = false;
   void* recv_buf = nullptr;
   std::size_t recv_capacity = 0;
+  /// Layout of the receive buffer for typed receives (absent = dense
+  /// bytes). recv_capacity stays the PAYLOAD capacity (count * size());
+  /// a sender that matches this request scatters straight through the
+  /// flattened runs.
+  std::optional<Datatype> recv_dt;
+  int recv_dt_count = 0;
   int match_src = kAnySource;  // comm rank or wildcard
   int match_tag = kAnyTag;
   int context_id = 0;
@@ -408,6 +426,12 @@ struct InMsg {
   /// Rendezvous: the sender's live buffer and its completion request.
   const void* rndv_src = nullptr;
   std::shared_ptr<RequestState> rndv_sender;
+  /// Layout of the sender's live buffer for typed rendezvous sends: the
+  /// receiver packs on the fly, run by run, at consume time. Eager
+  /// payloads are gathered into the slab at send time, so they are
+  /// always dense and need no layout here.
+  std::optional<Datatype> rndv_dt;
+  int rndv_dt_count = 0;
 
   bool is_rndv() const { return rndv_sender != nullptr; }
 };
@@ -746,17 +770,27 @@ struct UniverseImpl {
 
   /// Sender-side delivery. Returns the sender's request when the message
   /// went rendezvous-unmatched (caller waits or wraps it in a Request);
-  /// nullptr when the send completed locally.
+  /// nullptr when the send completed locally. `sdt`/`sdt_count` describe
+  /// a noncontiguous source buffer (null = dense bytes): eager sends
+  /// gather the flattened runs directly into the transport slab (one
+  /// copy), matched sends scatter straight into the receiver's layout,
+  /// and rendezvous parks the layout alongside the live buffer.
+  /// `bytes` is always the PAYLOAD size (sdt_count * sdt->size()).
   std::shared_ptr<RequestState> deliver(int src_world, int dst_world,
                                         int context_id, int src_comm_rank,
                                         int tag, const void* buf,
-                                        std::size_t bytes);
+                                        std::size_t bytes,
+                                        const Datatype* sdt = nullptr,
+                                        int sdt_count = 0);
 
   /// Receiver-side post. Returns the receive request (matched-and-complete
-  /// or parked in the posted queue).
+  /// or parked in the posted queue). `rdt`/`rdt_count` describe a
+  /// noncontiguous receive buffer; `capacity` stays the payload capacity.
   std::shared_ptr<RequestState> post_recv(int my_world, int context_id,
                                           int src, int tag, void* buf,
-                                          std::size_t capacity);
+                                          std::size_t capacity,
+                                          const Datatype* rdt = nullptr,
+                                          int rdt_count = 0);
 
   /// Blocking receive. With observability off this takes the
   /// matched-receive fast path: when the message is already pending it is
@@ -767,7 +801,8 @@ struct UniverseImpl {
   /// wait_count/wait_ns pvars stay part of the observable contract.
   /// Throws like wait_request.
   Status blocking_recv(int my_world, int context_id, int src, int tag,
-                       void* buf, std::size_t capacity);
+                       void* buf, std::size_t capacity,
+                       const Datatype* rdt = nullptr, int rdt_count = 0);
 
   /// Withdraw a posted receive whose owner is unwinding without it having
   /// completed (a rank failure surfaced from a sibling operation, e.g. the
@@ -797,7 +832,9 @@ struct UniverseImpl {
   /// message from the queue; both post_recv and the blocking_recv fast
   /// path delegate here so their semantics cannot drift.
   Consumed consume_matched(InMsg msg, int my_world, void* buf,
-                           std::size_t capacity, RankClock& rclock);
+                           std::size_t capacity, RankClock& rclock,
+                           const Datatype* rdt = nullptr,
+                           int rdt_count = 0);
 
   /// Probe my endpoint for a matching pending message. Blocking variant
   /// waits; both fill `out` and return true on a match.

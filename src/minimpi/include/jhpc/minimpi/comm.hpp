@@ -86,6 +86,26 @@ class Comm {
   Request isend(const void* buf, std::size_t bytes, int dst, int tag) const;
   Request irecv(void* buf, std::size_t capacity, int src, int tag) const;
 
+  // --- Typed point-to-point (derived datatypes) --------------------------
+  // The payload is `count` elements of `type`; Status::bytes reports
+  // payload bytes (count * type.size()), as in the byte API. Strided
+  // layouts take the one-copy path: eager sends gather runs straight into
+  // the recycled transport slab and matched receives scatter straight
+  // from it (or, when both sides are live, copy layout-to-layout with no
+  // staging at all). Dense layouts are routed to the byte path unchanged.
+  void send(const void* buf, int count, const Datatype& type, int dst,
+            int tag) const;
+  void recv(void* buf, int count, const Datatype& type, int src, int tag,
+            Status* status = nullptr) const;
+  void sendrecv(const void* send_buf, int send_count,
+                const Datatype& send_type, int dst, int send_tag,
+                void* recv_buf, int recv_count, const Datatype& recv_type,
+                int src, int recv_tag, Status* status = nullptr) const;
+  Request isend(const void* buf, int count, const Datatype& type, int dst,
+                int tag) const;
+  Request irecv(void* buf, int count, const Datatype& type, int src,
+                int tag) const;
+
   // --- Persistent requests ---------------------------------------------------
   /// Create a persistent send (MPI_Send_init): the envelope and buffer are
   /// fixed once; start()/wait() cycles reuse them without re-validation.
@@ -131,6 +151,31 @@ class Comm {
   void alltoall(const void* send_buf, std::size_t bytes_per_pair,
                 void* recv_buf) const;
 
+  // --- Typed blocking collectives ----------------------------------------
+  // Derived-datatype forms of the collectives above, valid on every
+  // engine suite (basic/mv2/nbc/hier): strided payloads are packed
+  // through a slab-drawn scratch into the byte engines — so all suites
+  // stay bit-identical — and dense layouts skip the shim entirely.
+  // Multi-rank buffers (gather/scatter/allgather/alltoall) hold size()
+  // blocks of `count` elements each; block i starts at byte offset
+  // i * count * type.extent().
+  void bcast(void* buf, int count, const Datatype& type, int root) const;
+  /// Typed reduction: the leaves of `type` are reduced element-wise with
+  /// `op`. Requires type.uniform_leaf(); mixed-leaf structs throw
+  /// UnsupportedOperationError.
+  void reduce(const void* send_buf, void* recv_buf, int count,
+              const Datatype& type, ReduceOp op, int root) const;
+  void allreduce(const void* send_buf, void* recv_buf, int count,
+                 const Datatype& type, ReduceOp op) const;
+  void gather(const void* send_buf, int count, const Datatype& type,
+              void* recv_buf, int root) const;
+  void scatter(const void* send_buf, int count, const Datatype& type,
+               void* recv_buf, int root) const;
+  void allgather(const void* send_buf, int count, const Datatype& type,
+                 void* recv_buf) const;
+  void alltoall(const void* send_buf, int count, const Datatype& type,
+                void* recv_buf) const;
+
   // --- Nonblocking collectives (schedule-based progress engine) ----------
   // Each call compiles a per-rank schedule of rounds, posts its first
   // round immediately and returns a Request handle; the schedule then
@@ -152,6 +197,25 @@ class Comm {
   Request iallgather(const void* send_buf, std::size_t bytes_per_rank,
                      void* recv_buf) const;
   Request ialltoall(const void* send_buf, std::size_t bytes_per_pair,
+                    void* recv_buf) const;
+
+  // --- Typed nonblocking collectives --------------------------------------
+  // Derived-datatype forms: send-side data is packed at initiation (the
+  // buffer may be reused once the call returns, unlike the byte forms),
+  // receive-side data is scattered into the strided buffer when the
+  // schedule completes inside wait()/test().
+  Request ibcast(void* buf, int count, const Datatype& type, int root) const;
+  Request ireduce(const void* send_buf, void* recv_buf, int count,
+                  const Datatype& type, ReduceOp op, int root) const;
+  Request iallreduce(const void* send_buf, void* recv_buf, int count,
+                     const Datatype& type, ReduceOp op) const;
+  Request igather(const void* send_buf, int count, const Datatype& type,
+                  void* recv_buf, int root) const;
+  Request iscatter(const void* send_buf, int count, const Datatype& type,
+                   void* recv_buf, int root) const;
+  Request iallgather(const void* send_buf, int count, const Datatype& type,
+                     void* recv_buf) const;
+  Request ialltoall(const void* send_buf, int count, const Datatype& type,
                     void* recv_buf) const;
 
   // --- Vectored blocking collectives ---------------------------------------

@@ -1,6 +1,15 @@
 // Datatype descriptors: the eight Java-relevant basic types plus the
-// derived constructors (contiguous, vector, indexed) the bindings layer
-// needs for packing non-contiguous data through the buffering layer.
+// derived constructors (contiguous, vector, hvector, indexed, struct)
+// MPI programs build noncontiguous layouts from.
+//
+// Every derived type is flattened at construction ("commit time") into a
+// normalized iovec run-list (`FlatRun`): adjacent byte ranges are merged
+// and arithmetic progressions of equal-length blocks are compressed into
+// a single (offset, length, count, stride) run. Pack/unpack and the
+// transport's noncontiguous eager fast path walk that run-list
+// iteratively — O(runs) per element, no recursion, no per-element
+// dispatch — so a 2-D face of a halo exchange is one compressed run
+// regardless of how deep the constructor nesting was.
 #pragma once
 
 #include <cstddef>
@@ -29,15 +38,45 @@ inline constexpr int kBasicKindCount = 8;
 /// Size in bytes of one element of `kind`.
 std::size_t basic_size(BasicKind kind);
 
+/// Maximum constructor nesting depth. Deeper types throw
+/// InvalidArgumentError at construction instead of overflowing the stack
+/// during a traversal.
+inline constexpr int kMaxTypeDepth = 64;
+
+/// Maximum number of flattened runs one datatype may expand to; a cap on
+/// the memory an adversarial contiguous-of-irregular nesting can demand.
+inline constexpr std::size_t kMaxFlatRuns = std::size_t{1} << 20;
+
+/// One normalized run of the flattened layout: `count` blocks of
+/// `length` contiguous bytes, the first at byte `offset` from the
+/// element origin, successive block starts `stride` bytes apart.
+/// Offsets (and strides) may be negative — a vector with a negative
+/// stride reads *before* the pointer it is applied to, exactly as MPI
+/// defines it.
+struct FlatRun {
+  std::ptrdiff_t offset = 0;
+  std::size_t length = 0;
+  std::size_t count = 1;
+  std::ptrdiff_t stride = 0;
+
+  bool operator==(const FlatRun&) const = default;
+};
+
 /// An immutable, shareable datatype descriptor.
 ///
 /// `size()` is the number of payload bytes one element carries; `extent()`
-/// is the span it occupies in user memory (they differ for vector types
-/// with stride > blocklen). `pack` gathers `count` elements from a user
-/// buffer into a contiguous destination; `unpack` is the inverse. This is
-/// exactly the facility the paper says the buffering layer provides for
-/// "copying scattered elements in the array onto consecutive locations in
-/// the ByteBuffer".
+/// is the distance between consecutive elements in user memory. As in
+/// MPI, extent spans from min(lb, 0) to max(ub, 0) so that types whose
+/// data lies entirely at non-negative offsets keep extent == span, while
+/// negative-stride vectors get the symmetric rule. `true_lb()` /
+/// `true_extent()` bound the bytes actually touched.
+///
+/// `pack` gathers `count` elements from a user buffer into a contiguous
+/// destination; `unpack` is the inverse. Both are iterative walks over
+/// `flat_runs()`. This is exactly the facility the paper says the
+/// buffering layer provides for "copying scattered elements in the array
+/// onto consecutive locations in the ByteBuffer" — now shared with the
+/// transport, which gathers runs straight into its recycled slabs.
 class Datatype {
  public:
   // Factories for basic types.
@@ -54,10 +93,16 @@ class Datatype {
   /// `count` consecutive elements of `base` (MPI_Type_contiguous).
   static Datatype contiguous(int count, const Datatype& base);
 
-  /// `count` blocks of `blocklen` base elements, block starts separated by
-  /// `stride` base extents (MPI_Type_vector). Requires stride >= blocklen.
+  /// `count` blocks of `blocklen` base elements, block starts separated
+  /// by `stride` base extents (MPI_Type_vector). The stride may be
+  /// negative or smaller than blocklen (overlapping blocks), as MPI
+  /// allows; only negative counts/blocklens are malformed.
   static Datatype vector(int count, int blocklen, int stride,
                          const Datatype& base);
+
+  /// Like vector, but the stride is given in bytes (MPI_Type_create_hvector).
+  static Datatype hvector(int count, int blocklen, std::ptrdiff_t stride_bytes,
+                          const Datatype& base);
 
   /// Irregular blocks: block i has `blocklens[i]` base elements starting
   /// at base-element displacement `displs[i]` (MPI_Type_indexed).
@@ -65,17 +110,38 @@ class Datatype {
   static Datatype indexed(std::span<const int> blocklens,
                           std::span<const int> displs, const Datatype& base);
 
+  /// Heterogeneous records: field i is `blocklens[i]` elements of
+  /// `types[i]` at byte displacement `displs[i]` (MPI_Type_create_struct).
+  static Datatype struct_type(std::span<const int> blocklens,
+                              std::span<const std::ptrdiff_t> displs,
+                              std::span<const Datatype> types);
+
   /// Payload bytes per element.
   std::size_t size() const;
-  /// Memory span per element.
+  /// Distance between consecutive elements in user memory.
   std::size_t extent() const;
+  /// Lowest byte offset one element touches (<= 0 only for
+  /// negative-stride shapes).
+  std::ptrdiff_t true_lb() const;
+  /// Bytes from the first to one past the last byte an element touches.
+  std::size_t true_extent() const;
   /// True for the eight basic kinds.
   bool is_basic() const;
   /// Basic kind; throws for derived types.
   BasicKind kind() const;
-  /// The basic kind at the leaves of this type (derived types are built
-  /// from exactly one basic type in this subset).
+  /// The basic kind at the leaves of this type. For struct types mixing
+  /// leaf kinds this reports the first field's leaf; see uniform_leaf().
   BasicKind leaf_kind() const;
+  /// True when every leaf of the type is the same basic kind (always
+  /// true except for mixed structs). Reductions require a uniform leaf.
+  bool uniform_leaf() const;
+
+  /// The normalized flattened layout of ONE element.
+  std::span<const FlatRun> flat_runs() const;
+  /// True when one element is a single dense byte range at offset 0 of
+  /// exactly extent() == size() bytes — i.e. pack/unpack are memcpy and
+  /// the transport needs no gather/scatter.
+  bool contiguous_layout() const;
 
   /// Gather `count` elements from `src` (laid out with extent()) into the
   /// contiguous buffer `dst` (count * size() bytes).
@@ -94,5 +160,20 @@ class Datatype {
   explicit Datatype(std::shared_ptr<const Desc> desc);
   std::shared_ptr<const Desc> desc_;
 };
+
+namespace detail {
+
+/// Lockstep strided-to-strided copy: `bytes` payload bytes from `src`
+/// (laid out as `sn` elements of `st`, or contiguous when st == nullptr)
+/// into `dst` (laid out as `rn` elements of `rt`, or contiguous when
+/// rt == nullptr). This is the transport's one-copy path: when exactly
+/// one side is strided it degenerates to a gather or scatter; when both
+/// are, runs are copied chunk-by-chunk with no staging buffer.
+/// Returns the number of flattened runs visited (for the dt.* pvars).
+std::size_t dt_copy(const Datatype* st, int sn, const void* src,
+                    const Datatype* rt, int rn, void* dst,
+                    std::size_t bytes);
+
+}  // namespace detail
 
 }  // namespace jhpc::minimpi

@@ -29,6 +29,16 @@ enum class ReduceOp : std::uint8_t {
 void apply_reduce(ReduceOp op, BasicKind kind, void* inout, const void* in,
                   std::size_t count);
 
+/// Element-wise reduction over `count` elements of a (possibly strided)
+/// datatype, both buffers laid out with the type's extent: walks the
+/// flattened run-list of both sides in lockstep and folds `in` into
+/// `inout` leaf-by-leaf, without packing either buffer. Requires
+/// type.uniform_leaf() (throws UnsupportedOperationError otherwise);
+/// run boundaries always fall on leaf boundaries, because flattening
+/// merges whole leaves only.
+void apply_reduce_typed(ReduceOp op, const Datatype& type, void* inout,
+                        const void* in, int count);
+
 /// Human-readable operator name (for error messages and bench labels).
 const char* reduce_op_name(ReduceOp op);
 

@@ -124,6 +124,35 @@ void apply_reduce(ReduceOp op, BasicKind kind, void* inout, const void* in,
   throw InternalError("unknown BasicKind in apply_reduce");
 }
 
+void apply_reduce_typed(ReduceOp op, const Datatype& type, void* inout,
+                        const void* in, int count) {
+  JHPC_REQUIRE(count >= 0, "apply_reduce_typed: negative element count");
+  if (!type.uniform_leaf()) {
+    throw UnsupportedOperationError(
+        "typed reduction requires a uniform leaf kind (mixed-leaf "
+        "structs are not element-wise reducible)");
+  }
+  const BasicKind kind = type.leaf_kind();
+  const std::size_t leaf = basic_size(kind);
+  if (type.contiguous_layout()) {
+    apply_reduce(op, kind, inout, in,
+                 type.size() / leaf * static_cast<std::size_t>(count));
+    return;
+  }
+  auto* dst = static_cast<std::byte*>(inout);
+  const auto* src = static_cast<const std::byte*>(in);
+  const auto ext = static_cast<std::ptrdiff_t>(type.extent());
+  for (int e = 0; e < count; ++e) {
+    for (const FlatRun& r : type.flat_runs()) {
+      for (std::size_t b = 0; b < r.count; ++b) {
+        const std::ptrdiff_t off =
+            ext * e + r.offset + r.stride * static_cast<std::ptrdiff_t>(b);
+        apply_reduce(op, kind, dst + off, src + off, r.length / leaf);
+      }
+    }
+  }
+}
+
 const char* reduce_op_name(ReduceOp op) {
   switch (op) {
     case ReduceOp::kSum: return "SUM";

@@ -131,6 +131,16 @@ UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks, bool faults,
   slab_overflow_drops = reg.register_pvar(
       "transport.slab.overflow_drops", PvarClass::kCounter,
       "slabs freed past the recycler's retention caps");
+  dt_pack_bytes = reg.register_pvar(
+      "dt.pack_bytes", PvarClass::kCounter,
+      "payload bytes gathered/scattered through flattened datatype runs",
+      obs::PvarUnit::kBytes);
+  dt_fastpath_hits = reg.register_pvar(
+      "dt.fastpath_hits", PvarClass::kCounter,
+      "typed transfers moved with no intermediate staging buffer");
+  dt_flatten_runs =
+      reg.register_pvar("dt.flatten_runs", PvarClass::kCounter,
+                        "flattened datatype runs walked on the hot path");
   if (faults) {
     // Registered only for faulty jobs so a fault-free job's pvar table
     // stays identical to the pre-fault-layer output (zero-cost-off).
@@ -875,9 +885,25 @@ void UniverseImpl::throw_if_aborted() const {
   if (abort.load(std::memory_order_relaxed)) throw AbortError();
 }
 
+namespace {
+
+// dt.* pvar bookkeeping for one typed copy. `runs` is the number of
+// flattened runs dt_copy walked; zero means both sides were dense and
+// the copy degenerated to a plain memcpy (not a fast-path event).
+void record_dt_copy(UniverseObs* o, int world, std::size_t bytes,
+                    std::size_t runs) {
+  if (o == nullptr || runs == 0) return;
+  obs::PvarRegistry& reg = o->rec.pvars();
+  reg.add(o->dt_pack_bytes, world, static_cast<std::int64_t>(bytes));
+  reg.add(o->dt_fastpath_hits, world, 1);
+  reg.add(o->dt_flatten_runs, world, static_cast<std::int64_t>(runs));
+}
+
+}  // namespace
+
 std::shared_ptr<RequestState> UniverseImpl::deliver(
     int src_world, int dst_world, int context_id, int src_comm_rank, int tag,
-    const void* buf, std::size_t bytes) {
+    const void* buf, std::size_t bytes, const Datatype* sdt, int sdt_count) {
   MatchBucket& bk =
       endpoints[static_cast<std::size_t>(dst_world)]->bucket(context_id);
   RankClock& sclock = clocks[static_cast<std::size_t>(src_world)];
@@ -930,10 +956,17 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
       // The send itself still completes locally (the data is gone).
       return nullptr;
     }
+    std::size_t typed_runs = 0;
     {
+      // One copy, sender layout to receiver layout: when either side is
+      // strided this gathers/scatters directly between the two user
+      // buffers with no staging (the matched-receive fast path, typed).
       ChargedSection copy_cost(sclock);
-      std::memcpy(matched->recv_buf, buf, bytes);
+      typed_runs = dt_copy(sdt, sdt_count, buf,
+                           matched->recv_dt ? &*matched->recv_dt : nullptr,
+                           matched->recv_dt_count, matched->recv_buf, bytes);
     }
+    record_dt_copy(o, src_world, bytes, typed_runs);
     const std::int64_t send_v = sclock.vclock;
     std::int64_t arrival;
     if (eager) {
@@ -1044,8 +1077,15 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
           o->rec.end(src_world, "slab_alloc", sclock.vclock);
         }
       }
-      ChargedSection copy_cost(sclock);
-      std::memcpy(msg.eager.data(), buf, bytes);
+      std::size_t typed_runs = 0;
+      {
+        // Gather the (possibly strided) payload straight into the
+        // recycled slab: the one copy of the noncontiguous eager path.
+        ChargedSection copy_cost(sclock);
+        typed_runs = dt_copy(sdt, sdt_count, buf, nullptr, 0,
+                             msg.eager.data(), bytes);
+      }
+      record_dt_copy(o, src_world, bytes, typed_runs);
     }
     msg.send_vtime = sclock.vclock;
     if (faults_on) {
@@ -1098,6 +1138,10 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
   }
   msg.rndv_src = buf;
   msg.rndv_sender = sender;
+  if (sdt != nullptr) {
+    msg.rndv_dt = *sdt;
+    msg.rndv_dt_count = sdt_count;
+  }
   bk.unexpected.push_back(std::move(msg));
   if (o != nullptr) {
     o->rec.pvars().raise(
@@ -1109,10 +1153,9 @@ std::shared_ptr<RequestState> UniverseImpl::deliver(
   return sender;
 }
 
-std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
-                                                      int context_id, int src,
-                                                      int tag, void* buf,
-                                                      std::size_t capacity) {
+std::shared_ptr<RequestState> UniverseImpl::post_recv(
+    int my_world, int context_id, int src, int tag, void* buf,
+    std::size_t capacity, const Datatype* rdt, int rdt_count) {
   RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
   rclock.advance_cpu();
   entry_checks(my_world, context_id,
@@ -1138,6 +1181,10 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
   rs->is_recv = true;
   rs->recv_buf = buf;
   rs->recv_capacity = capacity;
+  if (rdt != nullptr) {
+    rs->recv_dt = *rdt;
+    rs->recv_dt_count = rdt_count;
+  }
   rs->match_src = src;
   rs->match_tag = tag;
   rs->context_id = context_id;
@@ -1157,8 +1204,8 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
     InMsg msg = std::move(*it);
     bk.unexpected.erase(it);
     const Status st{msg.src, msg.tag, msg.bytes};
-    Consumed c =
-        consume_matched(std::move(msg), my_world, buf, capacity, rclock);
+    Consumed c = consume_matched(std::move(msg), my_world, buf, capacity,
+                                 rclock, rdt, rdt_count);
     if (!c.ok) {
       if (c.timed_out) {
         fail_request_timeout(*rs, std::move(c.error));
@@ -1177,10 +1224,9 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(int my_world,
   return rs;
 }
 
-UniverseImpl::Consumed UniverseImpl::consume_matched(InMsg msg, int my_world,
-                                                     void* buf,
-                                                     std::size_t capacity,
-                                                     RankClock& rclock) {
+UniverseImpl::Consumed UniverseImpl::consume_matched(
+    InMsg msg, int my_world, void* buf, std::size_t capacity,
+    RankClock& rclock, const Datatype* rdt, int rdt_count) {
   UniverseObs* const o = obs.get();
   // The receive's virtual post time: the clock before the copy and
   // rendezvous costs below advance it (wait-state classification).
@@ -1201,11 +1247,17 @@ UniverseImpl::Consumed UniverseImpl::consume_matched(InMsg msg, int my_world,
               "-byte receive buffer";
     return c;
   }
+  // The sender's live rendezvous buffer may itself be strided; move it
+  // into the receiver's layout in one lockstep pass, no staging buffer.
+  const Datatype* const rndv_sdt = msg.rndv_dt ? &*msg.rndv_dt : nullptr;
   if (msg.is_rndv() && faults_on) {
+    std::size_t typed_runs = 0;
     {
       ChargedSection copy_cost(rclock);
-      std::memcpy(buf, msg.rndv_src, msg.bytes);
+      typed_runs = dt_copy(rndv_sdt, msg.rndv_dt_count, msg.rndv_src, rdt,
+                           rdt_count, buf, msg.bytes);
     }
+    record_dt_copy(o, my_world, msg.bytes, typed_runs);
     // The RTS header already arrived (msg.deliver_at_ns, retried until
     // it got through); answer with a CTS and pull the payload reliably.
     // Both run on this receiver's thread, so their trace spans belong
@@ -1229,10 +1281,13 @@ UniverseImpl::Consumed UniverseImpl::consume_matched(InMsg msg, int my_world,
       return c;
     }
   } else if (msg.is_rndv()) {
+    std::size_t typed_runs = 0;
     {
       ChargedSection copy_cost(rclock);
-      std::memcpy(buf, msg.rndv_src, msg.bytes);
+      typed_runs = dt_copy(rndv_sdt, msg.rndv_dt_count, msg.rndv_src, rdt,
+                           rdt_count, buf, msg.bytes);
     }
+    record_dt_copy(o, my_world, msg.bytes, typed_runs);
     // RTS arrived at send_vtime + hop; we answer with CTS now, and the
     // payload starts moving when the CTS reaches the sender.
     const std::int64_t hop = fabric.hop_latency_ns(msg.src_world, my_world);
@@ -1244,10 +1299,15 @@ UniverseImpl::Consumed UniverseImpl::consume_matched(InMsg msg, int my_world,
                      start + fabric.serialization_ns(msg.bytes));
   } else {
     if (msg.bytes > 0) {
+      std::size_t typed_runs = 0;
       {
+        // The slab payload was packed dense at send time; scatter it
+        // straight into the receiver's (possibly strided) buffer.
         ChargedSection copy_cost(rclock);
-        std::memcpy(buf, msg.eager.data(), msg.bytes);
+        typed_runs = dt_copy(nullptr, 0, msg.eager.data(), rdt, rdt_count,
+                             buf, msg.bytes);
       }
+      record_dt_copy(o, my_world, msg.bytes, typed_runs);
       const SlabPool::Released rel =
           slab.release(std::move(msg.eager), my_world);
       if (o != nullptr) {
@@ -1293,11 +1353,13 @@ UniverseImpl::Consumed UniverseImpl::consume_matched(InMsg msg, int my_world,
 }
 
 Status UniverseImpl::blocking_recv(int my_world, int context_id, int src,
-                                   int tag, void* buf, std::size_t capacity) {
+                                   int tag, void* buf, std::size_t capacity,
+                                   const Datatype* rdt, int rdt_count) {
   if (obs != nullptr) {
     // Instrumented jobs keep the two-step path: the post/wait trace spans
     // and wait_count/wait_ns pvars are part of the observable contract.
-    auto rs = post_recv(my_world, context_id, src, tag, buf, capacity);
+    auto rs = post_recv(my_world, context_id, src, tag, buf, capacity, rdt,
+                        rdt_count);
     return wait_request(*rs);
   }
   RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
@@ -1321,8 +1383,8 @@ Status UniverseImpl::blocking_recv(int my_world, int context_id, int src,
       InMsg msg = std::move(*it);
       bk.unexpected.erase(it);
       const Status st{msg.src, msg.tag, msg.bytes};
-      Consumed c =
-          consume_matched(std::move(msg), my_world, buf, capacity, rclock);
+      Consumed c = consume_matched(std::move(msg), my_world, buf, capacity,
+                                   rclock, rdt, rdt_count);
       if (!c.ok) {
         if (c.timed_out) throw TransportTimeoutError(c.error);
         throw_failure(c.code, c.error, {});
@@ -1344,6 +1406,10 @@ Status UniverseImpl::blocking_recv(int my_world, int context_id, int src,
     rs->is_recv = true;
     rs->recv_buf = buf;
     rs->recv_capacity = capacity;
+    if (rdt != nullptr) {
+      rs->recv_dt = *rdt;
+      rs->recv_dt_count = rdt_count;
+    }
     rs->match_src = src;
     rs->match_tag = tag;
     rs->context_id = context_id;

@@ -12,12 +12,32 @@ namespace jhpc::mv2j {
 namespace {
 std::size_t payload_bytes(int count, const Datatype& type) {
   JHPC_REQUIRE(count >= 0, "negative element count");
+  return static_cast<std::size_t>(count) * type.size();
+}
+
+// Memory span `count` elements of `type` occupy in a buffer: blocks laid
+// out extent() apart. The capacity check must cover this for derived
+// types — size() undercounts the stride gaps. Layouts reaching below the
+// buffer start (negative lower bound) cannot be addressed through a
+// ByteBuffer handed over by its base pointer.
+std::size_t span_bytes(int count, const Datatype& type, const char* what) {
+  JHPC_REQUIRE(count >= 0, "negative element count");
+  if (type.isBasic()) return payload_bytes(count, type);
+  JHPC_REQUIRE(type.native().true_lb() >= 0,
+               std::string(what) +
+                   ": datatypes with a negative lower bound are not "
+                   "addressable through a ByteBuffer");
+  return static_cast<std::size_t>(count) * type.extent();
+}
+
+// Collectives with no typed substrate form yet.
+std::size_t basic_only(int count, const Datatype& type, const char* what) {
+  JHPC_REQUIRE(count >= 0, "negative element count");
   if (!type.isBasic()) {
-    // Derived datatypes need the gather/scatter of the buffering layer;
-    // the direct-ByteBuffer path is a raw pointer hand-off.
     throw UnsupportedOperationError(
-        "derived datatypes are only supported with the Java-array API "
-        "(they are packed through the buffering layer)");
+        std::string(what) +
+        ": derived datatypes are not supported on this collective (typed "
+        "forms exist for point-to-point and the non-vectored collectives)");
   }
   return static_cast<std::size_t>(count) * type.size();
 }
@@ -43,39 +63,56 @@ std::byte* Comm::buffer_address(const ByteBuffer& buf, std::size_t bytes,
 void Comm::send(const ByteBuffer& buf, int count, const Datatype& type,
                 int dest, int tag) const {
   JHPC_REQUIRE(valid(), "send on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "send");
   env_->jvm_->jni().crossing();
-  const std::byte* p = buffer_address(buf, bytes, "send");
-  native_.send(p, bytes, dest, tag);
+  const std::byte* p = buffer_address(buf, span, "send");
+  if (type.isBasic()) {
+    native_.send(p, payload_bytes(count, type), dest, tag);
+  } else {
+    native_.send(p, count, type.native(), dest, tag);
+  }
 }
 
 Status Comm::recv(ByteBuffer& buf, int count, const Datatype& type,
                   int source, int tag) const {
   JHPC_REQUIRE(valid(), "recv on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "recv");
   env_->jvm_->jni().crossing();
-  std::byte* p = buffer_address(buf, bytes, "recv");
+  std::byte* p = buffer_address(buf, span, "recv");
   minimpi::Status st;
-  native_.recv(p, bytes, source, tag, &st);
+  if (type.isBasic()) {
+    native_.recv(p, payload_bytes(count, type), source, tag, &st);
+  } else {
+    native_.recv(p, count, type.native(), source, tag, &st);
+  }
   return Status(st);
 }
 
 Request Comm::iSend(const ByteBuffer& buf, int count, const Datatype& type,
                     int dest, int tag) const {
   JHPC_REQUIRE(valid(), "iSend on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "iSend");
   env_->jvm_->jni().crossing();
-  const std::byte* p = buffer_address(buf, bytes, "iSend");
-  return Request(native_.isend(p, bytes, dest, tag), nullptr);
+  const std::byte* p = buffer_address(buf, span, "iSend");
+  if (type.isBasic()) {
+    return Request(native_.isend(p, payload_bytes(count, type), dest, tag),
+                   nullptr);
+  }
+  return Request(native_.isend(p, count, type.native(), dest, tag), nullptr);
 }
 
 Request Comm::iRecv(ByteBuffer& buf, int count, const Datatype& type,
                     int source, int tag) const {
   JHPC_REQUIRE(valid(), "iRecv on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "iRecv");
   env_->jvm_->jni().crossing();
-  std::byte* p = buffer_address(buf, bytes, "iRecv");
-  return Request(native_.irecv(p, bytes, source, tag), nullptr);
+  std::byte* p = buffer_address(buf, span, "iRecv");
+  if (type.isBasic()) {
+    return Request(native_.irecv(p, payload_bytes(count, type), source, tag),
+                   nullptr);
+  }
+  return Request(native_.irecv(p, count, type.native(), source, tag),
+                 nullptr);
 }
 
 Status Comm::sendRecv(const ByteBuffer& sendbuf, int sendcount,
@@ -84,14 +121,20 @@ Status Comm::sendRecv(const ByteBuffer& sendbuf, int sendcount,
                       const Datatype& recvtype, int source,
                       int recvtag) const {
   JHPC_REQUIRE(valid(), "sendRecv on invalid communicator");
-  const std::size_t sbytes = payload_bytes(sendcount, sendtype);
-  const std::size_t rbytes = payload_bytes(recvcount, recvtype);
+  const std::size_t sspan = span_bytes(sendcount, sendtype, "sendRecv");
+  const std::size_t rspan = span_bytes(recvcount, recvtype, "sendRecv");
   env_->jvm_->jni().crossing();
-  const std::byte* sp = buffer_address(sendbuf, sbytes, "sendRecv");
-  std::byte* rp = buffer_address(recvbuf, rbytes, "sendRecv");
+  const std::byte* sp = buffer_address(sendbuf, sspan, "sendRecv");
+  std::byte* rp = buffer_address(recvbuf, rspan, "sendRecv");
   minimpi::Status st;
-  native_.sendrecv(sp, sbytes, dest, sendtag, rp, rbytes, source, recvtag,
-                   &st);
+  if (sendtype.isBasic() && recvtype.isBasic()) {
+    native_.sendrecv(sp, payload_bytes(sendcount, sendtype), dest, sendtag,
+                     rp, payload_bytes(recvcount, recvtype), source, recvtag,
+                     &st);
+  } else {
+    native_.sendrecv(sp, sendcount, sendtype.native(), dest, sendtag, rp,
+                     recvcount, recvtype.native(), source, recvtag, &st);
+  }
   return Status(st);
 }
 
@@ -121,42 +164,54 @@ void Comm::barrier() const {
 void Comm::bcast(ByteBuffer& buf, int count, const Datatype& type,
                  int root) const {
   JHPC_REQUIRE(valid(), "bcast on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "bcast");
   env_->jvm_->jni().crossing();
-  std::byte* p = buffer_address(buf, bytes, "bcast");
-  native_.bcast(p, bytes, root);
+  std::byte* p = buffer_address(buf, span, "bcast");
+  if (type.isBasic()) {
+    native_.bcast(p, payload_bytes(count, type), root);
+  } else {
+    native_.bcast(p, count, type.native(), root);
+  }
 }
 
 void Comm::reduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
                   const Datatype& type, const Op& op, int root) const {
   JHPC_REQUIRE(valid(), "reduce on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "reduce");
   env_->jvm_->jni().crossing();
-  const std::byte* sp = buffer_address(sendbuf, bytes, "reduce");
+  const std::byte* sp = buffer_address(sendbuf, span, "reduce");
   // Non-root ranks may pass any recv buffer; only the root's is written.
   std::byte* rp = getRank() == root
-                      ? buffer_address(recvbuf, bytes, "reduce")
+                      ? buffer_address(recvbuf, span, "reduce")
                       : buffer_address(recvbuf, 0, "reduce");
-  native_.reduce(sp, rp, static_cast<std::size_t>(count), type.kind(),
-                 op.native(), root);
+  if (type.isBasic()) {
+    native_.reduce(sp, rp, static_cast<std::size_t>(count), type.kind(),
+                   op.native(), root);
+  } else {
+    native_.reduce(sp, rp, count, type.native(), op.native(), root);
+  }
 }
 
 void Comm::allReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf,
                      int count, const Datatype& type, const Op& op) const {
   JHPC_REQUIRE(valid(), "allReduce on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "allReduce");
   env_->jvm_->jni().crossing();
-  const std::byte* sp = buffer_address(sendbuf, bytes, "allReduce");
-  std::byte* rp = buffer_address(recvbuf, bytes, "allReduce");
-  native_.allreduce(sp, rp, static_cast<std::size_t>(count), type.kind(),
-                    op.native());
+  const std::byte* sp = buffer_address(sendbuf, span, "allReduce");
+  std::byte* rp = buffer_address(recvbuf, span, "allReduce");
+  if (type.isBasic()) {
+    native_.allreduce(sp, rp, static_cast<std::size_t>(count), type.kind(),
+                      op.native());
+  } else {
+    native_.allreduce(sp, rp, count, type.native(), op.native());
+  }
 }
 
 void Comm::reduceScatterBlock(const ByteBuffer& sendbuf,
                               ByteBuffer& recvbuf, int recvcount,
                               const Datatype& type, const Op& op) const {
   JHPC_REQUIRE(valid(), "reduceScatterBlock on invalid communicator");
-  const std::size_t block = payload_bytes(recvcount, type);
+  const std::size_t block = basic_only(recvcount, type, "reduceScatterBlock");
   env_->jvm_->jni().crossing();
   const std::byte* sp = buffer_address(
       sendbuf, block * static_cast<std::size_t>(getSize()),
@@ -170,7 +225,7 @@ void Comm::reduceScatterBlock(const ByteBuffer& sendbuf,
 void Comm::scan(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
                 const Datatype& type, const Op& op) const {
   JHPC_REQUIRE(valid(), "scan on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t bytes = basic_only(count, type, "scan");
   env_->jvm_->jni().crossing();
   const std::byte* sp = buffer_address(sendbuf, bytes, "scan");
   std::byte* rp = buffer_address(recvbuf, bytes, "scan");
@@ -181,54 +236,70 @@ void Comm::scan(const ByteBuffer& sendbuf, ByteBuffer& recvbuf, int count,
 void Comm::gather(const ByteBuffer& sendbuf, int count, const Datatype& type,
                   ByteBuffer& recvbuf, int root) const {
   JHPC_REQUIRE(valid(), "gather on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "gather");
   env_->jvm_->jni().crossing();
-  const std::byte* sp = buffer_address(sendbuf, bytes, "gather");
+  const std::byte* sp = buffer_address(sendbuf, span, "gather");
   std::byte* rp =
       getRank() == root
           ? buffer_address(recvbuf,
-                           bytes * static_cast<std::size_t>(getSize()),
+                           span * static_cast<std::size_t>(getSize()),
                            "gather")
           : nullptr;
-  native_.gather(sp, bytes, rp, root);
+  if (type.isBasic()) {
+    native_.gather(sp, payload_bytes(count, type), rp, root);
+  } else {
+    native_.gather(sp, count, type.native(), rp, root);
+  }
 }
 
 void Comm::scatter(const ByteBuffer& sendbuf, int count,
                    const Datatype& type, ByteBuffer& recvbuf,
                    int root) const {
   JHPC_REQUIRE(valid(), "scatter on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "scatter");
   env_->jvm_->jni().crossing();
   const std::byte* sp =
       getRank() == root
           ? buffer_address(sendbuf,
-                           bytes * static_cast<std::size_t>(getSize()),
+                           span * static_cast<std::size_t>(getSize()),
                            "scatter")
           : nullptr;
-  std::byte* rp = buffer_address(recvbuf, bytes, "scatter");
-  native_.scatter(sp, bytes, rp, root);
+  std::byte* rp = buffer_address(recvbuf, span, "scatter");
+  if (type.isBasic()) {
+    native_.scatter(sp, payload_bytes(count, type), rp, root);
+  } else {
+    native_.scatter(sp, count, type.native(), rp, root);
+  }
 }
 
 void Comm::allGather(const ByteBuffer& sendbuf, int count,
                      const Datatype& type, ByteBuffer& recvbuf) const {
   JHPC_REQUIRE(valid(), "allGather on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "allGather");
   env_->jvm_->jni().crossing();
-  const std::byte* sp = buffer_address(sendbuf, bytes, "allGather");
+  const std::byte* sp = buffer_address(sendbuf, span, "allGather");
   std::byte* rp = buffer_address(
-      recvbuf, bytes * static_cast<std::size_t>(getSize()), "allGather");
-  native_.allgather(sp, bytes, rp);
+      recvbuf, span * static_cast<std::size_t>(getSize()), "allGather");
+  if (type.isBasic()) {
+    native_.allgather(sp, payload_bytes(count, type), rp);
+  } else {
+    native_.allgather(sp, count, type.native(), rp);
+  }
 }
 
 void Comm::allToAll(const ByteBuffer& sendbuf, int count,
                     const Datatype& type, ByteBuffer& recvbuf) const {
   JHPC_REQUIRE(valid(), "allToAll on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
-  const auto total = bytes * static_cast<std::size_t>(getSize());
+  const std::size_t span = span_bytes(count, type, "allToAll");
+  const auto total = span * static_cast<std::size_t>(getSize());
   env_->jvm_->jni().crossing();
   const std::byte* sp = buffer_address(sendbuf, total, "allToAll");
   std::byte* rp = buffer_address(recvbuf, total, "allToAll");
-  native_.alltoall(sp, bytes, rp);
+  if (type.isBasic()) {
+    native_.alltoall(sp, payload_bytes(count, type), rp);
+  } else {
+    native_.alltoall(sp, count, type.native(), rp);
+  }
 }
 
 // --- Nonblocking collectives: ByteBuffer ----------------------------------------
@@ -242,93 +313,124 @@ Request Comm::iBarrier() const {
 Request Comm::iBcast(ByteBuffer& buf, int count, const Datatype& type,
                      int root) const {
   JHPC_REQUIRE(valid(), "iBcast on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "iBcast");
   env_->jvm_->jni().crossing();
-  std::byte* p = buffer_address(buf, bytes, "iBcast");
-  return Request(native_.ibcast(p, bytes, root), nullptr);
+  std::byte* p = buffer_address(buf, span, "iBcast");
+  if (type.isBasic()) {
+    return Request(native_.ibcast(p, payload_bytes(count, type), root),
+                   nullptr);
+  }
+  return Request(native_.ibcast(p, count, type.native(), root), nullptr);
 }
 
 Request Comm::iReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf,
                       int count, const Datatype& type, const Op& op,
                       int root) const {
   JHPC_REQUIRE(valid(), "iReduce on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "iReduce");
   env_->jvm_->jni().crossing();
-  const std::byte* sp = buffer_address(sendbuf, bytes, "iReduce");
+  const std::byte* sp = buffer_address(sendbuf, span, "iReduce");
   // Non-root ranks may pass any recv buffer; only the root's is written.
   std::byte* rp = getRank() == root
-                      ? buffer_address(recvbuf, bytes, "iReduce")
+                      ? buffer_address(recvbuf, span, "iReduce")
                       : buffer_address(recvbuf, 0, "iReduce");
-  return Request(native_.ireduce(sp, rp, static_cast<std::size_t>(count),
-                                 type.kind(), op.native(), root),
-                 nullptr);
+  if (type.isBasic()) {
+    return Request(native_.ireduce(sp, rp, static_cast<std::size_t>(count),
+                                   type.kind(), op.native(), root),
+                   nullptr);
+  }
+  return Request(
+      native_.ireduce(sp, rp, count, type.native(), op.native(), root),
+      nullptr);
 }
 
 Request Comm::iAllReduce(const ByteBuffer& sendbuf, ByteBuffer& recvbuf,
                          int count, const Datatype& type,
                          const Op& op) const {
   JHPC_REQUIRE(valid(), "iAllReduce on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "iAllReduce");
   env_->jvm_->jni().crossing();
-  const std::byte* sp = buffer_address(sendbuf, bytes, "iAllReduce");
-  std::byte* rp = buffer_address(recvbuf, bytes, "iAllReduce");
-  return Request(native_.iallreduce(sp, rp, static_cast<std::size_t>(count),
-                                    type.kind(), op.native()),
-                 nullptr);
+  const std::byte* sp = buffer_address(sendbuf, span, "iAllReduce");
+  std::byte* rp = buffer_address(recvbuf, span, "iAllReduce");
+  if (type.isBasic()) {
+    return Request(native_.iallreduce(sp, rp, static_cast<std::size_t>(count),
+                                      type.kind(), op.native()),
+                   nullptr);
+  }
+  return Request(
+      native_.iallreduce(sp, rp, count, type.native(), op.native()), nullptr);
 }
 
 Request Comm::iGather(const ByteBuffer& sendbuf, int count,
                       const Datatype& type, ByteBuffer& recvbuf,
                       int root) const {
   JHPC_REQUIRE(valid(), "iGather on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "iGather");
   env_->jvm_->jni().crossing();
-  const std::byte* sp = buffer_address(sendbuf, bytes, "iGather");
+  const std::byte* sp = buffer_address(sendbuf, span, "iGather");
   std::byte* rp =
       getRank() == root
           ? buffer_address(recvbuf,
-                           bytes * static_cast<std::size_t>(getSize()),
+                           span * static_cast<std::size_t>(getSize()),
                            "iGather")
           : buffer_address(recvbuf, 0, "iGather");
-  return Request(native_.igather(sp, bytes, rp, root), nullptr);
+  if (type.isBasic()) {
+    return Request(native_.igather(sp, payload_bytes(count, type), rp, root),
+                   nullptr);
+  }
+  return Request(native_.igather(sp, count, type.native(), rp, root),
+                 nullptr);
 }
 
 Request Comm::iScatter(const ByteBuffer& sendbuf, int count,
                        const Datatype& type, ByteBuffer& recvbuf,
                        int root) const {
   JHPC_REQUIRE(valid(), "iScatter on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "iScatter");
   env_->jvm_->jni().crossing();
   const std::byte* sp =
       getRank() == root
           ? buffer_address(sendbuf,
-                           bytes * static_cast<std::size_t>(getSize()),
+                           span * static_cast<std::size_t>(getSize()),
                            "iScatter")
           : buffer_address(sendbuf, 0, "iScatter");
-  std::byte* rp = buffer_address(recvbuf, bytes, "iScatter");
-  return Request(native_.iscatter(sp, bytes, rp, root), nullptr);
+  std::byte* rp = buffer_address(recvbuf, span, "iScatter");
+  if (type.isBasic()) {
+    return Request(native_.iscatter(sp, payload_bytes(count, type), rp, root),
+                   nullptr);
+  }
+  return Request(native_.iscatter(sp, count, type.native(), rp, root),
+                 nullptr);
 }
 
 Request Comm::iAllGather(const ByteBuffer& sendbuf, int count,
                          const Datatype& type, ByteBuffer& recvbuf) const {
   JHPC_REQUIRE(valid(), "iAllGather on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
+  const std::size_t span = span_bytes(count, type, "iAllGather");
   env_->jvm_->jni().crossing();
-  const std::byte* sp = buffer_address(sendbuf, bytes, "iAllGather");
+  const std::byte* sp = buffer_address(sendbuf, span, "iAllGather");
   std::byte* rp = buffer_address(
-      recvbuf, bytes * static_cast<std::size_t>(getSize()), "iAllGather");
-  return Request(native_.iallgather(sp, bytes, rp), nullptr);
+      recvbuf, span * static_cast<std::size_t>(getSize()), "iAllGather");
+  if (type.isBasic()) {
+    return Request(native_.iallgather(sp, payload_bytes(count, type), rp),
+                   nullptr);
+  }
+  return Request(native_.iallgather(sp, count, type.native(), rp), nullptr);
 }
 
 Request Comm::iAllToAll(const ByteBuffer& sendbuf, int count,
                         const Datatype& type, ByteBuffer& recvbuf) const {
   JHPC_REQUIRE(valid(), "iAllToAll on invalid communicator");
-  const std::size_t bytes = payload_bytes(count, type);
-  const auto total = bytes * static_cast<std::size_t>(getSize());
+  const std::size_t span = span_bytes(count, type, "iAllToAll");
+  const auto total = span * static_cast<std::size_t>(getSize());
   env_->jvm_->jni().crossing();
   const std::byte* sp = buffer_address(sendbuf, total, "iAllToAll");
   std::byte* rp = buffer_address(recvbuf, total, "iAllToAll");
-  return Request(native_.ialltoall(sp, bytes, rp), nullptr);
+  if (type.isBasic()) {
+    return Request(native_.ialltoall(sp, payload_bytes(count, type), rp),
+                   nullptr);
+  }
+  return Request(native_.ialltoall(sp, count, type.native(), rp), nullptr);
 }
 
 // --- Vectored collectives: ByteBuffer -------------------------------------------
@@ -351,7 +453,7 @@ void Comm::gatherv(const ByteBuffer& sendbuf, int sendcount,
                    std::span<const int> recvcounts,
                    std::span<const int> displs, int root) const {
   JHPC_REQUIRE(valid(), "gatherv on invalid communicator");
-  const std::size_t sbytes = payload_bytes(sendcount, type);
+  const std::size_t sbytes = basic_only(sendcount, type, "gatherv");
   std::vector<std::size_t> counts, offs;
   to_bytes(recvcounts, type.size(), &counts);
   to_bytes(displs, type.size(), &offs);
@@ -372,7 +474,7 @@ void Comm::scatterv(const ByteBuffer& sendbuf,
                     std::span<const int> displs, const Datatype& type,
                     ByteBuffer& recvbuf, int recvcount, int root) const {
   JHPC_REQUIRE(valid(), "scatterv on invalid communicator");
-  const std::size_t rbytes = payload_bytes(recvcount, type);
+  const std::size_t rbytes = basic_only(recvcount, type, "scatterv");
   std::vector<std::size_t> counts, offs;
   to_bytes(sendcounts, type.size(), &counts);
   to_bytes(displs, type.size(), &offs);
@@ -393,7 +495,7 @@ void Comm::allGatherv(const ByteBuffer& sendbuf, int sendcount,
                       std::span<const int> recvcounts,
                       std::span<const int> displs) const {
   JHPC_REQUIRE(valid(), "allGatherv on invalid communicator");
-  const std::size_t sbytes = payload_bytes(sendcount, type);
+  const std::size_t sbytes = basic_only(sendcount, type, "allGatherv");
   std::vector<std::size_t> counts, offs;
   to_bytes(recvcounts, type.size(), &counts);
   to_bytes(displs, type.size(), &offs);
@@ -412,6 +514,7 @@ void Comm::allToAllv(const ByteBuffer& sendbuf,
                      ByteBuffer& recvbuf, std::span<const int> recvcounts,
                      std::span<const int> rdispls) const {
   JHPC_REQUIRE(valid(), "allToAllv on invalid communicator");
+  (void)basic_only(0, type, "allToAllv");
   std::vector<std::size_t> sc, so, rc, ro;
   to_bytes(sendcounts, type.size(), &sc);
   to_bytes(sdispls, type.size(), &so);

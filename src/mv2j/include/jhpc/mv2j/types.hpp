@@ -9,6 +9,8 @@
 
 #include <cstddef>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "jhpc/minijvm/jtypes.hpp"
 #include "jhpc/minimpi/datatype.hpp"
@@ -18,13 +20,15 @@
 namespace jhpc::mv2j {
 
 /// A datatype: one of the basic constants (MPI.BYTE ... MPI.DOUBLE) or a
-/// derived type built with contiguous()/vector().
+/// derived type built with contiguous()/vector()/hvector()/indexed()/
+/// structType().
 ///
-/// Derived datatypes are communicated through the buffering layer, which
-/// packs the scattered elements onto consecutive staging-buffer locations
-/// (paper Section IV-B: "the buffering layer is useful for communicating
-/// derived datatypes since it is possible to copy scattered elements in
-/// the array onto consecutive location in the ByteBuffer").
+/// Derived datatypes work on both binding paths. The Java-array path
+/// packs the scattered elements through the buffering layer onto
+/// consecutive staging-buffer locations (paper Section IV-B). The direct
+/// ByteBuffer path hands the raw pointer plus the committed flat layout
+/// to the substrate, which gathers the runs straight into the transport
+/// slab (docs/API.md "Derived datatypes") — no user-side staging copy.
 class Datatype {
  public:
   explicit Datatype(minimpi::Datatype native) : native_(std::move(native)) {}
@@ -40,6 +44,12 @@ class Datatype {
     return Datatype(
         minimpi::Datatype::vector(count, blocklen, stride, base.native_));
   }
+  /// MPI_Type_create_hvector: like vector(), but the stride is in bytes.
+  static Datatype hvector(int count, int blocklen, std::ptrdiff_t strideBytes,
+                          const Datatype& base) {
+    return Datatype(minimpi::Datatype::hvector(count, blocklen, strideBytes,
+                                               base.native_));
+  }
   /// MPI_Type_indexed: irregular blocks at explicit displacements.
   static Datatype indexed(std::span<const int> blocklens,
                           std::span<const int> displs,
@@ -47,12 +57,25 @@ class Datatype {
     return Datatype(
         minimpi::Datatype::indexed(blocklens, displs, base.native_));
   }
+  /// MPI_Type_create_struct: field i is `blocklens[i]` elements of
+  /// `fields[i]` at byte displacement `displsBytes[i]`.
+  static Datatype structType(std::span<const int> blocklens,
+                             std::span<const std::ptrdiff_t> displsBytes,
+                             std::span<const Datatype> fields) {
+    std::vector<minimpi::Datatype> natives;
+    natives.reserve(fields.size());
+    for (const Datatype& f : fields) natives.push_back(f.native_);
+    return Datatype(
+        minimpi::Datatype::struct_type(blocklens, displsBytes, natives));
+  }
 
   /// Payload bytes per element.
   std::size_t size() const { return native_.size(); }
   /// Memory span per element (differs from size() for strided types).
   std::size_t extent() const { return native_.extent(); }
   bool isBasic() const { return native_.is_basic(); }
+  /// True when every leaf is the same basic kind (reductions need this).
+  bool uniformLeaf() const { return native_.uniform_leaf(); }
   /// Basic kind for basic types (reductions require these).
   minimpi::BasicKind kind() const { return native_.kind(); }
   /// The primitive type at the leaves (what the backing array must be).

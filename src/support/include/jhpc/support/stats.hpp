@@ -53,6 +53,21 @@ class SampleSet {
   std::vector<double> samples_;
 };
 
+/// Percentile bootstrap confidence interval for the mean of a sample.
+struct BootstrapCI {
+  double mean = 0.0;  ///< Point estimate (plain sample mean).
+  double lo = 0.0;    ///< Lower bound of the interval.
+  double hi = 0.0;    ///< Upper bound of the interval.
+};
+
+/// Nonparametric bootstrap CI for the mean: `resamples` resamples with
+/// replacement, percentile method, deterministic (splitmix64-seeded) so
+/// benchmark JSON is reproducible run-to-run. `confidence` in (0,1).
+/// A single sample degenerates to [x, x]; throws on an empty sample.
+BootstrapCI bootstrap_ci(const std::vector<double>& samples,
+                         int resamples = 1000, double confidence = 0.95,
+                         std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
 /// OMB bandwidth formula: bytes transferred over elapsed ns, in MB/s
 /// (MB = 1e6 bytes, as OMB reports).
 double bandwidth_mbps(std::int64_t total_bytes, std::int64_t elapsed_ns);

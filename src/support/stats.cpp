@@ -79,6 +79,45 @@ double SampleSet::percentile(double p) const {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+BootstrapCI bootstrap_ci(const std::vector<double>& samples, int resamples,
+                         double confidence, std::uint64_t seed) {
+  JHPC_REQUIRE(!samples.empty(), "bootstrap_ci on empty sample");
+  JHPC_REQUIRE(resamples > 0, "bootstrap_ci needs resamples > 0");
+  JHPC_REQUIRE(confidence > 0.0 && confidence < 1.0,
+               "bootstrap_ci confidence must be in (0,1)");
+  BootstrapCI ci;
+  double s = 0.0;
+  for (double x : samples) s += x;
+  ci.mean = s / static_cast<double>(samples.size());
+  if (samples.size() == 1) {
+    ci.lo = ci.hi = samples[0];
+    return ci;
+  }
+  // splitmix64: tiny, deterministic, and plenty for resampling indices.
+  std::uint64_t state = seed;
+  auto next = [&state]() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  const std::size_t n = samples.size();
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += samples[next() % n];
+    means.push_back(acc / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto last = static_cast<double>(means.size() - 1);
+  ci.lo = means[static_cast<std::size_t>(alpha * last)];
+  ci.hi = means[static_cast<std::size_t>((1.0 - alpha) * last)];
+  return ci;
+}
+
 double bandwidth_mbps(std::int64_t total_bytes, std::int64_t elapsed_ns) {
   if (elapsed_ns <= 0) return 0.0;
   // bytes/ns == GB/s (1e9); MB/s = 1e3 * GB/s with MB = 1e6 bytes.

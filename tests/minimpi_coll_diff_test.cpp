@@ -364,6 +364,224 @@ void expect_case_matches_oracle(CollOp what, int ranks, std::size_t size,
   }
 }
 
+// --- Derived-datatype differential cases -----------------------------------
+//
+// The typed collective surface packs through the shared slab-scratch
+// shim, so all four engines must stay bit-identical on strided payloads
+// too — including the bytes the datatype does NOT own (gaps keep their
+// poison). The oracle is the byte/scalar oracle above applied to the
+// dense equivalent, unpacked into a poisoned buffer.
+
+enum class DtShape { kVector, kIndexed, kStruct };
+
+const char* shape_name(DtShape s) {
+  switch (s) {
+    case DtShape::kVector:
+      return "vector";
+    case DtShape::kIndexed:
+      return "indexed";
+    case DtShape::kStruct:
+      return "struct";
+  }
+  return "?";
+}
+
+/// One representative noncontiguous type per constructor family, all
+/// with int leaves so the reductions stay exact. Each has gaps (its
+/// size is strictly less than its extent).
+Datatype shape_type(DtShape s) {
+  switch (s) {
+    case DtShape::kVector:
+      // 4 ints at stride 3 ints: size 16, extent 40.
+      return Datatype::vector(4, 1, 3, Datatype::int_type());
+    case DtShape::kIndexed: {
+      const std::vector<int> lens{2, 1, 1};
+      const std::vector<int> displs{0, 3, 5};
+      return Datatype::indexed(lens, displs, Datatype::int_type());
+    }
+    case DtShape::kStruct: {
+      const std::vector<int> lens{1, 2};
+      const std::vector<std::ptrdiff_t> displs{0, 8};
+      const std::vector<Datatype> fields{Datatype::int_type(),
+                                         Datatype::int_type()};
+      return Datatype::struct_type(lens, displs, fields);
+    }
+  }
+  throw std::logic_error("bad shape");
+}
+
+/// A poisoned strided buffer with `elems` elements of dense payload
+/// scattered into place; gap bytes keep the 0xee poison.
+std::vector<std::uint8_t> raw_from_dense(
+    const Datatype& dt, std::size_t elems,
+    const std::vector<std::uint8_t>& dense) {
+  std::vector<std::uint8_t> raw(dt.extent() * elems, 0xee);
+  if (elems > 0) dt.unpack(dense.data(), raw.data(), static_cast<int>(elems));
+  return raw;
+}
+
+std::vector<std::uint8_t> poison_raw(const Datatype& dt, std::size_t elems) {
+  return std::vector<std::uint8_t>(dt.extent() * elems, 0xee);
+}
+
+/// Run one typed collective on one engine and collect each rank's raw
+/// (strided, poison-gapped) output buffer.
+CaseResult run_typed_case(Engine eng, CollOp what, int ranks, int count,
+                          DtShape shape, ReduceOp op, int root,
+                          std::uint32_t case_seed,
+                          const UniverseConfig* base = nullptr) {
+  UniverseConfig c = base != nullptr ? *base : diff_cfg(ranks, suite_of(eng));
+  c.world_size = ranks;
+  c.suite = suite_of(eng);
+
+  const auto n = static_cast<std::size_t>(ranks);
+  CaseResult res;
+  res.out.assign(n, {});
+  Universe::launch(c, [&](Comm& world) {
+    const Datatype dt = shape_type(shape);
+    const int r = world.rank();
+    const bool red = what == CollOp::kReduce || what == CollOp::kAllreduce;
+    const auto cnt = static_cast<std::size_t>(count);
+    // The dense equivalent of `elems` typed elements, from the same
+    // generators the byte oracle uses.
+    auto dense_in = [&](int rank_, std::size_t elems) {
+      return red ? typed_input(case_seed, rank_, dt.size() / 4 * elems,
+                               BasicKind::kInt)
+                 : byte_input(case_seed, rank_, dt.size() * elems);
+    };
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;
+    switch (what) {
+      case CollOp::kBcast: {
+        out = r == root ? raw_from_dense(dt, cnt, dense_in(root, cnt))
+                        : poison_raw(dt, cnt);
+        if (eng == Engine::kNbc) {
+          world.ibcast(out.data(), count, dt, root).wait();
+        } else {
+          world.bcast(out.data(), count, dt, root);
+        }
+        break;
+      }
+      case CollOp::kReduce:
+      case CollOp::kAllreduce: {
+        in = raw_from_dense(dt, cnt, dense_in(r, cnt));
+        out = poison_raw(dt, cnt);
+        if (what == CollOp::kReduce) {
+          if (eng == Engine::kNbc) {
+            world.ireduce(in.data(), out.data(), count, dt, op, root).wait();
+          } else {
+            world.reduce(in.data(), out.data(), count, dt, op, root);
+          }
+          // Only the root's buffer is defined after a reduce.
+          if (r != root) out = poison_raw(dt, cnt);
+        } else {
+          if (eng == Engine::kNbc) {
+            world.iallreduce(in.data(), out.data(), count, dt, op).wait();
+          } else {
+            world.allreduce(in.data(), out.data(), count, dt, op);
+          }
+        }
+        break;
+      }
+      case CollOp::kGather: {
+        in = raw_from_dense(dt, cnt, dense_in(r, cnt));
+        out = r == root ? poison_raw(dt, cnt * n) : std::vector<std::uint8_t>{};
+        if (eng == Engine::kNbc) {
+          world.igather(in.data(), count, dt, out.data(), root).wait();
+        } else {
+          world.gather(in.data(), count, dt, out.data(), root);
+        }
+        break;
+      }
+      case CollOp::kScatter: {
+        in = r == root ? raw_from_dense(dt, cnt * n, dense_in(root, cnt * n))
+                       : std::vector<std::uint8_t>{};
+        out = poison_raw(dt, cnt);
+        if (eng == Engine::kNbc) {
+          world.iscatter(in.data(), count, dt, out.data(), root).wait();
+        } else {
+          world.scatter(in.data(), count, dt, out.data(), root);
+        }
+        break;
+      }
+      case CollOp::kAllgather: {
+        in = raw_from_dense(dt, cnt, dense_in(r, cnt));
+        out = poison_raw(dt, cnt * n);
+        if (eng == Engine::kNbc) {
+          world.iallgather(in.data(), count, dt, out.data()).wait();
+        } else {
+          world.allgather(in.data(), count, dt, out.data());
+        }
+        break;
+      }
+      case CollOp::kAlltoall: {
+        in = raw_from_dense(dt, cnt * n, dense_in(r, cnt * n));
+        out = poison_raw(dt, cnt * n);
+        if (eng == Engine::kNbc) {
+          world.ialltoall(in.data(), count, dt, out.data()).wait();
+        } else {
+          world.alltoall(in.data(), count, dt, out.data());
+        }
+        break;
+      }
+    }
+    res.out[static_cast<std::size_t>(r)] = out;
+  });
+  return res;
+}
+
+/// Typed oracle: the dense oracle above, scattered into poisoned raw
+/// buffers exactly as the typed surface is contracted to do.
+CaseResult oracle_typed_case(CollOp what, int ranks, int count, DtShape shape,
+                             ReduceOp op, int root, std::uint32_t case_seed) {
+  const Datatype dt = shape_type(shape);
+  const auto n = static_cast<std::size_t>(ranks);
+  const auto cnt = static_cast<std::size_t>(count);
+  const bool red = what == CollOp::kReduce || what == CollOp::kAllreduce;
+  // Dense block size in the byte oracle's units: int elements for the
+  // reductions, bytes for the data movers.
+  const std::size_t size = red ? dt.size() / 4 * cnt : dt.size() * cnt;
+  const CaseResult dense =
+      oracle_case(what, ranks, size, BasicKind::kInt, op, root, case_seed);
+
+  CaseResult res;
+  res.out.assign(n, {});
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t elems = cnt;
+    if (what == CollOp::kGather) {
+      elems = static_cast<int>(r) == root ? cnt * n : 0;
+    } else if (what == CollOp::kAllgather || what == CollOp::kAlltoall) {
+      elems = cnt * n;
+    }
+    if (elems == 0 || dense.out[r].empty()) {
+      res.out[r] = elems == 0 ? std::vector<std::uint8_t>{}
+                              : poison_raw(dt, elems);
+      continue;
+    }
+    res.out[r] = raw_from_dense(dt, elems, dense.out[r]);
+  }
+  return res;
+}
+
+void expect_typed_case_matches_oracle(CollOp what, int ranks, int count,
+                                      DtShape shape, ReduceOp op, int root,
+                                      std::uint32_t case_seed,
+                                      const UniverseConfig* base = nullptr) {
+  const CaseResult want =
+      oracle_typed_case(what, ranks, count, shape, op, root, case_seed);
+  for (const Engine eng : kEngines) {
+    const CaseResult got = run_typed_case(eng, what, ranks, count, shape, op,
+                                          root, case_seed, base);
+    for (int r = 0; r < ranks; ++r) {
+      EXPECT_EQ(got.out[static_cast<std::size_t>(r)],
+                want.out[static_cast<std::size_t>(r)])
+          << case_label(what, eng, ranks, static_cast<std::size_t>(count),
+                        root)
+          << " shape=" << shape_name(shape) << " rank=" << r;
+    }
+  }
+}
+
 // --- Seeded random sweep ---------------------------------------------------
 
 TEST(CollDiffTest, RandomByteCollectivesMatchOracle) {
@@ -514,6 +732,80 @@ TEST(CollDiffTest, RandomCasesUnderFaultInjectionMatchOracle) {
   c.obs = obs::ObsConfig{};
   expect_case_matches_oracle(CollOp::kAllreduce, 4, 64, BasicKind::kInt,
                              ReduceOp::kSum, 0, 4242u, &c);
+}
+
+// --- Derived-datatype differential sweep -----------------------------------
+
+TEST(CollDiffTest, DerivedDatatypeCollectivesMatchOracle) {
+  // Every constructor family x every collective, non-power-of-two comm
+  // sizes included, multi-element counts so the i*count*extent block
+  // layout is exercised — across all four engines.
+  std::mt19937 rng(314159u);
+  const DtShape shapes[] = {DtShape::kVector, DtShape::kIndexed,
+                            DtShape::kStruct};
+  const int ranks_pool[] = {2, 3, 5};
+  const int counts[] = {1, 2, 5};
+  const CollOp ops[] = {CollOp::kBcast,     CollOp::kReduce,
+                        CollOp::kAllreduce, CollOp::kGather,
+                        CollOp::kScatter,   CollOp::kAllgather,
+                        CollOp::kAlltoall};
+  for (const DtShape shape : shapes) {
+    for (const CollOp what : ops) {
+      const int ranks = ranks_pool[rng() % std::size(ranks_pool)];
+      const int count = counts[rng() % std::size(counts)];
+      const int root = static_cast<int>(rng() % static_cast<unsigned>(ranks));
+      const ReduceOp op = (rng() & 1) != 0 ? ReduceOp::kSum : ReduceOp::kMax;
+      expect_typed_case_matches_oracle(what, ranks, count, shape, op, root,
+                                       rng());
+    }
+  }
+}
+
+TEST(CollDiffTest, DerivedDatatypeZeroCountCompletesOnEveryEngine) {
+  for (const CollOp what :
+       {CollOp::kBcast, CollOp::kReduce, CollOp::kAllreduce, CollOp::kGather,
+        CollOp::kScatter, CollOp::kAllgather, CollOp::kAlltoall}) {
+    expect_typed_case_matches_oracle(what, 3, 0, DtShape::kVector,
+                                     ReduceOp::kSum, 1, 271u);
+  }
+}
+
+TEST(CollDiffTest, DerivedDatatypeRendezvousSizedPayloads) {
+  // 1500 vector elements = 24000 payload bytes per block, past the
+  // 16 KiB eager limit: the typed pack shim must compose with the
+  // rendezvous protocol on every engine.
+  expect_typed_case_matches_oracle(CollOp::kBcast, 3, 1500, DtShape::kVector,
+                                   ReduceOp::kSum, 2, 611u);
+  expect_typed_case_matches_oracle(CollOp::kAllreduce, 4, 1500,
+                                   DtShape::kVector, ReduceOp::kSum, 0, 612u);
+  // And across a 2-node hier topology.
+  UniverseConfig c;
+  c.world_size = 6;
+  c.fabric.ranks_per_node = 3;
+  c.obs = obs::ObsConfig{};
+  expect_typed_case_matches_oracle(CollOp::kBcast, 6, 1500, DtShape::kVector,
+                                   ReduceOp::kSum, 4, 613u, &c);
+}
+
+TEST(CollDiffTest, DerivedDatatypeUnderFaultInjectionMatchesOracle) {
+  // The typed surface with a seeded drop/jitter plan: the reliable
+  // transport must keep the strided payloads exactly-once too.
+  for (int i = 0; i < 3; ++i) {
+    UniverseConfig c;
+    c.world_size = 4;
+    c.fabric.ranks_per_node = 1;
+    c.fabric.faults.seed = 2000u + static_cast<std::uint64_t>(i);
+    c.fabric.faults.link_defaults.drop_prob = 0.04;
+    c.fabric.faults.link_defaults.jitter_ns = 300;
+    c.obs = obs::ObsConfig{};
+    const CollOp what = i == 0   ? CollOp::kAllreduce
+                        : i == 1 ? CollOp::kAlltoall
+                                 : CollOp::kBcast;
+    expect_typed_case_matches_oracle(what, 4, 3, DtShape::kIndexed,
+                                     ReduceOp::kSum, 1,
+                                     7000u + static_cast<std::uint32_t>(i),
+                                     &c);
+  }
 }
 
 // --- Nonblocking-specific contracts ---------------------------------------

@@ -44,8 +44,154 @@ TEST(DatatypeTest, VectorSizeAndExtent) {
   const auto t = Datatype::vector(3, 2, 4, Datatype::int_type());
   EXPECT_EQ(t.size(), 24u);
   EXPECT_EQ(t.extent(), 40u);
-  EXPECT_THROW(Datatype::vector(3, 4, 2, Datatype::int_type()),
+  // Overlapping blocks (stride < blocklen) are legal, as in MPI: the
+  // last block ends at (2*2 + 4) ints.
+  const auto overlap = Datatype::vector(3, 4, 2, Datatype::int_type());
+  EXPECT_EQ(overlap.size(), 48u);
+  EXPECT_EQ(overlap.extent(), 32u);
+  // Only genuinely malformed shapes throw.
+  EXPECT_THROW(Datatype::vector(-1, 2, 4, Datatype::int_type()),
                InvalidArgumentError);
+  EXPECT_THROW(Datatype::vector(3, -2, 4, Datatype::int_type()),
+               InvalidArgumentError);
+}
+
+TEST(DatatypeTest, NegativeStrideExtentAndRoundTrip) {
+  // 3 blocks of 1 int, stride -2 ints: data at offsets {0, -2, -4} ints.
+  const auto t = Datatype::vector(3, 1, -2, Datatype::int_type());
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.true_lb(), -16);       // lowest byte touched
+  EXPECT_EQ(t.true_extent(), 20u);   // -16 .. +4
+  // MPI extent rule: lb clamps at 0, so extent = ub - lb = 0 - (-16) + 4.
+  EXPECT_EQ(t.extent(), 20u);
+
+  std::array<std::int32_t, 5> src{10, 11, 12, 13, 14};
+  std::array<std::int32_t, 3> packed{};
+  // Apply at the last element: reads offsets 4, 2, 0 (descending).
+  t.pack(&src[4], packed.data(), 1);
+  EXPECT_EQ(packed, (std::array<std::int32_t, 3>{14, 12, 10}));
+
+  std::array<std::int32_t, 5> dst{};
+  t.unpack(packed.data(), &dst[4], 1);
+  EXPECT_EQ(dst, (std::array<std::int32_t, 5>{10, 0, 12, 0, 14}));
+}
+
+TEST(DatatypeTest, HvectorByteStride) {
+  // 2 blocks of 1 short, block starts 6 bytes apart (not a multiple of
+  // the base extent — exactly what hvector exists for).
+  const auto t =
+      Datatype::hvector(2, 1, 6, Datatype::short_type());
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.extent(), 8u);
+  std::array<std::int16_t, 4> src{1, 2, 3, 4};
+  std::array<std::int16_t, 2> packed{};
+  t.pack(src.data(), packed.data(), 1);
+  EXPECT_EQ(packed, (std::array<std::int16_t, 2>{1, 4}));
+}
+
+TEST(DatatypeTest, StructTypePacksHeterogeneousFields) {
+  // struct { int32 a; double b; } with explicit displacements 0 and 8.
+  const std::array<int, 2> lens{1, 1};
+  const std::array<std::ptrdiff_t, 2> displs{0, 8};
+  const std::array<Datatype, 2> fields{Datatype::int_type(),
+                                       Datatype::double_type()};
+  const auto t = Datatype::struct_type(lens, displs, fields);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.extent(), 16u);
+  EXPECT_FALSE(t.uniform_leaf());
+  EXPECT_TRUE(Datatype::vector(2, 1, 3, Datatype::int_type()).uniform_leaf());
+
+  struct Rec {
+    std::int32_t a;
+    std::int32_t pad;
+    double b;
+  };
+  std::array<Rec, 2> recs{{{1, 0, 2.5}, {3, 0, 4.5}}};
+  std::array<std::byte, 24> packed{};
+  t.pack(recs.data(), packed.data(), 2);
+  std::int32_t a0 = 0, a1 = 0;
+  double b0 = 0, b1 = 0;
+  std::memcpy(&a0, packed.data(), 4);
+  std::memcpy(&b0, packed.data() + 4, 8);
+  std::memcpy(&a1, packed.data() + 12, 4);
+  std::memcpy(&b1, packed.data() + 16, 8);
+  EXPECT_EQ(a0, 1);
+  EXPECT_EQ(b0, 2.5);
+  EXPECT_EQ(a1, 3);
+  EXPECT_EQ(b1, 4.5);
+
+  std::array<Rec, 2> back{};
+  t.unpack(packed.data(), back.data(), 2);
+  EXPECT_EQ(back[0].a, 1);
+  EXPECT_EQ(back[0].b, 2.5);
+  EXPECT_EQ(back[1].a, 3);
+  EXPECT_EQ(back[1].b, 4.5);
+}
+
+TEST(DatatypeTest, FlatteningMergesAndCompressesRuns) {
+  // Adjacent-run merge: contiguous-of-contiguous flattens to ONE run.
+  const auto dense =
+      Datatype::contiguous(4, Datatype::contiguous(3, Datatype::int_type()));
+  ASSERT_EQ(dense.flat_runs().size(), 1u);
+  EXPECT_EQ(dense.flat_runs()[0], (FlatRun{0, 48, 1, 0}));
+  EXPECT_TRUE(dense.contiguous_layout());
+
+  // Repeat-count compression: a strided vector is one compressed run,
+  // however many blocks it has.
+  const auto col = Datatype::vector(1000, 1, 4, Datatype::int_type());
+  ASSERT_EQ(col.flat_runs().size(), 1u);
+  EXPECT_EQ(col.flat_runs()[0], (FlatRun{0, 4, 1000, 16}));
+  EXPECT_FALSE(col.contiguous_layout());
+
+  // Nesting a compressed run under another constructor keeps it
+  // compressed: an hvector whose byte stride equals the inner
+  // progression period (1000 * 16) chains the copies into ONE run
+  // instead of appending 8.
+  const auto face = Datatype::hvector(8, 1, 16000, col);
+  ASSERT_EQ(face.flat_runs().size(), 1u);
+  EXPECT_EQ(face.flat_runs()[0].count, 8000u);
+
+  // Indexed blocks that touch merge with their neighbours.
+  const std::vector<int> lens{2, 1, 3};
+  const std::vector<int> offs{0, 2, 3};
+  const auto ix = Datatype::indexed(lens, offs, Datatype::int_type());
+  ASSERT_EQ(ix.flat_runs().size(), 1u);
+  EXPECT_EQ(ix.flat_runs()[0], (FlatRun{0, 24, 1, 0}));
+  EXPECT_TRUE(ix.contiguous_layout());
+}
+
+TEST(DatatypeTest, NestingDepthCapThrowsTypedError) {
+  Datatype t = Datatype::byte_type();
+  // Up to the cap is fine...
+  for (int i = 1; i < kMaxTypeDepth; ++i) t = Datatype::contiguous(1, t);
+  // ...one constructor past it is a typed error, not a stack overflow.
+  EXPECT_THROW(Datatype::contiguous(1, t), InvalidArgumentError);
+  EXPECT_THROW(Datatype::vector(1, 1, 1, t), InvalidArgumentError);
+  const std::array<int, 1> lens{1};
+  const std::array<std::ptrdiff_t, 1> displs{0};
+  const std::array<Datatype, 1> fields{t};
+  EXPECT_THROW(Datatype::struct_type(lens, displs, fields),
+               InvalidArgumentError);
+}
+
+TEST(DatatypeTest, TypedReduceWalksFlatLayout) {
+  // Reduce 2 elements of vector(2,1,2,int) in place: only the strided
+  // payload ints are folded, the gap ints stay untouched.
+  const auto t = Datatype::vector(2, 1, 2, Datatype::int_type());
+  std::array<std::int32_t, 6> inout{1, 100, 2, 3, 100, 4};
+  const std::array<std::int32_t, 6> in{10, 999, 20, 30, 999, 40};
+  apply_reduce_typed(ReduceOp::kSum, t, inout.data(), in.data(), 2);
+  EXPECT_EQ(inout, (std::array<std::int32_t, 6>{11, 100, 22, 33, 100, 44}));
+
+  const std::array<int, 2> lens{1, 1};
+  const std::array<std::ptrdiff_t, 2> displs{0, 8};
+  const std::array<Datatype, 2> fields{Datatype::int_type(),
+                                       Datatype::double_type()};
+  const auto mixed = Datatype::struct_type(lens, displs, fields);
+  std::array<std::byte, 16> a{}, b{};
+  EXPECT_THROW(
+      apply_reduce_typed(ReduceOp::kSum, mixed, a.data(), b.data(), 1),
+      UnsupportedOperationError);
 }
 
 TEST(DatatypeTest, VectorPackGathersStridedColumns) {

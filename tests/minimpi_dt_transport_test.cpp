@@ -1,0 +1,470 @@
+// Derived-datatype transport paths through the public API: eager
+// strided round trips in every pairing (strided->dense, dense->strided,
+// strided->strided), rendezvous-sized typed transfers, truncation,
+// steady-state zero-allocation with dt.* pvar accounting, typed
+// sendrecv / nonblocking p2p, and the typed collective surface against
+// densely computed expectations.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "jhpc/minimpi/minimpi.hpp"
+#include "jhpc/obs/pvar.hpp"
+
+namespace jhpc::minimpi {
+namespace {
+
+constexpr int kTag = 11;
+constexpr int kAckTag = 12;
+constexpr int kGoTag = 13;
+
+UniverseConfig cfg(int n, bool pvars = false) {
+  UniverseConfig c;
+  c.world_size = n;
+  c.deterministic_clock = true;
+  c.obs.pvars = pvars;
+  c.obs.trace_path.clear();
+  return c;
+}
+
+/// Every-other-int column type: n ints at stride 2 ints.
+Datatype column(int n) {
+  return Datatype::vector(n, 1, 2, Datatype::int_type());
+}
+
+/// A strided buffer for `elems` ints at stride 2, gaps poisoned with -1.
+std::vector<std::int32_t> strided_buf(int elems) {
+  return std::vector<std::int32_t>(2 * elems, -1);
+}
+
+TEST(DtTransportTest, EagerStridedToDense) {
+  Universe::launch(cfg(2), [](Comm& world) {
+    const auto col = column(8);
+    if (world.rank() == 0) {
+      auto src = strided_buf(8);
+      for (int i = 0; i < 8; ++i) src[2 * i] = 100 + i;
+      world.send(src.data(), 1, col, 1, kTag);
+    } else {
+      std::vector<std::int32_t> dense(8, 0);
+      Status st;
+      world.recv(dense.data(), 8, Datatype::int_type(), 0, kTag, &st);
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(dense[i], 100 + i);
+      EXPECT_EQ(st.count_bytes, 32u);
+    }
+  });
+}
+
+TEST(DtTransportTest, EagerDenseToStrided) {
+  Universe::launch(cfg(2), [](Comm& world) {
+    const auto col = column(8);
+    if (world.rank() == 0) {
+      std::vector<std::int32_t> dense(8);
+      std::iota(dense.begin(), dense.end(), 200);
+      world.send(dense.data(), 8, Datatype::int_type(), 1, kTag);
+    } else {
+      auto dst = strided_buf(8);
+      world.recv(dst.data(), 1, col, 0, kTag);
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(dst[2 * i], 200 + i);
+        if (2 * i + 1 < 16) {
+          EXPECT_EQ(dst[2 * i + 1], -1) << "gap clobbered";
+        }
+      }
+    }
+  });
+}
+
+TEST(DtTransportTest, EagerStridedToStridedBothDirections) {
+  Universe::launch(cfg(2), [](Comm& world) {
+    const auto col = column(8);
+    auto mine = strided_buf(8);
+    for (int i = 0; i < 8; ++i) mine[2 * i] = world.rank() * 1000 + i;
+    auto got = strided_buf(8);
+    const int peer = 1 - world.rank();
+    world.sendrecv(mine.data(), 1, col, peer, kTag, got.data(), 1, col,
+                   peer, kTag);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(got[2 * i], peer * 1000 + i);
+      EXPECT_EQ(got[2 * i + 1], -1) << "gap clobbered";
+    }
+  });
+}
+
+TEST(DtTransportTest, MultiElementSendUsesExtent) {
+  // count > 1: element e of vector(4,1,2,int) starts at e * extent.
+  Universe::launch(cfg(2), [](Comm& world) {
+    const auto col = column(4);
+    const auto ext_ints = static_cast<int>(col.extent() / 4);  // 7 ints
+    if (world.rank() == 0) {
+      std::vector<std::int32_t> src(2 * ext_ints + 2, -1);
+      for (int e = 0; e < 2; ++e)
+        for (int i = 0; i < 4; ++i) src[e * ext_ints + 2 * i] = e * 10 + i;
+      world.send(src.data(), 2, col, 1, kTag);
+    } else {
+      std::vector<std::int32_t> dense(8, 0);
+      world.recv(dense.data(), 8, Datatype::int_type(), 0, kTag);
+      for (int e = 0; e < 2; ++e)
+        for (int i = 0; i < 4; ++i) EXPECT_EQ(dense[4 * e + i], e * 10 + i);
+    }
+  });
+}
+
+TEST(DtTransportTest, RendezvousStridedRoundTrip) {
+  // 32 KiB payload is past the 16 KiB eager limit: the rendezvous path
+  // must pack from the live strided sender buffer and scatter into the
+  // strided receiver buffer without corrupting the gaps.
+  constexpr int kElems = 8192;  // 32 KiB payload
+  Universe::launch(cfg(2), [](Comm& world) {
+    const auto col = column(kElems);
+    if (world.rank() == 0) {
+      auto src = strided_buf(kElems);
+      for (int i = 0; i < kElems; ++i) src[2 * i] = i ^ 0x5a5a;
+      world.send(src.data(), 1, col, 1, kTag);
+    } else {
+      auto dst = strided_buf(kElems);
+      Status st;
+      world.recv(dst.data(), 1, col, 0, kTag, &st);
+      EXPECT_EQ(st.count_bytes, static_cast<std::size_t>(kElems) * 4);
+      int bad = 0;
+      for (int i = 0; i < kElems; ++i) {
+        if (dst[2 * i] != (i ^ 0x5a5a)) ++bad;
+        if (dst[2 * i + 1] != -1) ++bad;
+      }
+      EXPECT_EQ(bad, 0);
+    }
+  });
+}
+
+TEST(DtTransportTest, RendezvousUnexpectedTypedSend) {
+  // The sender's strided layout must survive parking in the unexpected
+  // queue: the receiver posts only after the RTS has arrived.
+  constexpr int kElems = 8192;
+  Universe::launch(cfg(2), [](Comm& world) {
+    const auto col = column(kElems);
+    std::byte go{};
+    if (world.rank() == 0) {
+      auto src = strided_buf(kElems);
+      for (int i = 0; i < kElems; ++i) src[2 * i] = 7 * i + 1;
+      Request r = world.isend(src.data(), 1, col, 1, kTag);
+      world.send(&go, 1, 1, kGoTag);  // RTS is already enqueued
+      r.wait();
+    } else {
+      world.recv(&go, 1, 0, kGoTag);
+      auto dst = strided_buf(kElems);
+      world.recv(dst.data(), 1, col, 0, kTag);
+      int bad = 0;
+      for (int i = 0; i < kElems; ++i)
+        if (dst[2 * i] != 7 * i + 1 || dst[2 * i + 1] != -1) ++bad;
+      EXPECT_EQ(bad, 0);
+    }
+  });
+}
+
+TEST(DtTransportTest, TypedTruncationThrowsOnReceiver) {
+  Universe::launch(cfg(2), [](Comm& world) {
+    const auto col = column(8);
+    if (world.rank() == 0) {
+      auto src = strided_buf(8);
+      world.send(src.data(), 1, col, 1, kTag);
+    } else {
+      auto dst = strided_buf(4);
+      EXPECT_THROW(world.recv(dst.data(), 1, column(4), 0, kTag),
+                   TruncationError);
+    }
+  });
+}
+
+TEST(DtTransportTest, TypedNonblockingP2P) {
+  Universe::launch(cfg(2), [](Comm& world) {
+    const auto col = column(16);
+    if (world.rank() == 0) {
+      auto src = strided_buf(16);
+      for (int i = 0; i < 16; ++i) src[2 * i] = 3 * i;
+      Request r = world.isend(src.data(), 1, col, 1, kTag);
+      r.wait();
+    } else {
+      auto dst = strided_buf(16);
+      Request r = world.irecv(dst.data(), 1, col, 0, kTag);
+      r.wait();
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(dst[2 * i], 3 * i);
+        EXPECT_EQ(dst[2 * i + 1], -1);
+      }
+    }
+  });
+}
+
+TEST(DtTransportTest, SteadyStateTypedEagerIsZeroAllocation) {
+  // The zero-copy claim for noncontiguous eager sends: once the slab
+  // free lists are warm, a strided typed message gathers straight into
+  // a recycled slab (no allocation) and the dt.* pvars account for it.
+  UniverseConfig c = cfg(2, /*pvars=*/true);
+  constexpr int kWarmupRounds = 30;
+  constexpr int kMeasuredRounds = 50;
+  constexpr int kMsgs = 48;
+  constexpr int kElems = 32;  // 128-byte payload per message
+  std::int64_t misses_before = -1, misses_after = -1;
+  std::int64_t fastpath_delta = -1, pack_bytes_delta = -1, runs_delta = -1;
+  Universe u(c);
+  u.run([&](Comm& world) {
+    const auto col = column(kElems);
+    auto payload = strided_buf(kElems);
+    std::byte token{};
+    auto rounds = [&](int n) {
+      if (world.rank() == 0) {
+        for (int r = 0; r < n; ++r) {
+          for (int m = 0; m < kMsgs; ++m)
+            world.send(payload.data(), 1, col, 1, kTag);
+          world.send(&token, 1, 1, kGoTag);
+          world.recv(&token, 1, 1, kAckTag);
+        }
+      } else {
+        for (int r = 0; r < n; ++r) {
+          world.recv(&token, 1, 0, kGoTag);
+          for (int m = 0; m < kMsgs; ++m)
+            world.recv(payload.data(), 1, col, 0, kTag);
+          world.send(&token, 1, 0, kAckTag);
+        }
+      }
+    };
+    rounds(kWarmupRounds);
+    // Warm the rank1 -> rank0 direction of the smallest size class too:
+    // a preempted ack can park unexpected and would otherwise take a
+    // cold miss mid-measurement (same trick as the slab suite).
+    if (world.rank() == 1) {
+      for (int m = 0; m < 80; ++m) world.send(&token, 1, 0, kTag);
+      world.send(&token, 1, 0, kGoTag);
+      world.recv(&token, 1, 0, kAckTag);
+    } else {
+      world.recv(&token, 1, 1, kGoTag);
+      for (int m = 0; m < 80; ++m) world.recv(&token, 1, 1, kTag);
+      world.send(&token, 1, 1, kAckTag);
+    }
+    world.barrier();
+    obs::PvarRegistry& reg = *world.pvars();
+    const obs::PvarId misses = reg.find("transport.slab.misses");
+    const obs::PvarId fastpath = reg.find("dt.fastpath_hits");
+    const obs::PvarId pack_bytes = reg.find("dt.pack_bytes");
+    const obs::PvarId flat_runs = reg.find("dt.flatten_runs");
+    const std::int64_t m1 = reg.total(misses);
+    const std::int64_t f1 = reg.total(fastpath);
+    const std::int64_t p1 = reg.total(pack_bytes);
+    const std::int64_t r1 = reg.total(flat_runs);
+    world.barrier();
+    rounds(kMeasuredRounds);
+    world.barrier();
+    if (world.rank() == 0) {
+      misses_before = m1;
+      misses_after = reg.total(misses);
+      fastpath_delta = reg.total(fastpath) - f1;
+      pack_bytes_delta = reg.total(pack_bytes) - p1;
+      runs_delta = reg.total(flat_runs) - r1;
+    }
+  });
+  EXPECT_GT(misses_before, 0) << "cold start must have allocated";
+  EXPECT_EQ(misses_after, misses_before)
+      << "steady-state typed eager traffic must not allocate";
+  // Every measured message records at least the sender-side gather (the
+  // drain unpack records a second hit when it is strided too).
+  constexpr std::int64_t kMeasuredMsgs =
+      static_cast<std::int64_t>(kMeasuredRounds) * kMsgs;
+  EXPECT_GE(fastpath_delta, kMeasuredMsgs);
+  EXPECT_GE(pack_bytes_delta, kMeasuredMsgs * kElems * 4);
+  EXPECT_GE(runs_delta, fastpath_delta)
+      << "each strided copy visits at least one run";
+}
+
+TEST(DtTransportTest, TypedBlockingCollectives) {
+  // Non-power-of-two world; every rank's payload lives in a strided
+  // buffer; expectations computed densely by hand.
+  constexpr int kRanks = 3;
+  constexpr int kElems = 6;
+  Universe::launch(cfg(kRanks), [](Comm& world) {
+    const auto col = column(kElems);
+    const int rk = world.rank();
+
+    // bcast: root 1's column reaches everyone, gaps intact.
+    {
+      auto buf = strided_buf(kElems);
+      if (rk == 1)
+        for (int i = 0; i < kElems; ++i) buf[2 * i] = 40 + i;
+      world.bcast(buf.data(), 1, col, 1);
+      for (int i = 0; i < kElems; ++i) {
+        EXPECT_EQ(buf[2 * i], 40 + i);
+        EXPECT_EQ(buf[2 * i + 1], -1);
+      }
+    }
+
+    // reduce(SUM) to root 2: sum over ranks of (rank + 1) * (i + 1).
+    {
+      auto in = strided_buf(kElems);
+      auto out = strided_buf(kElems);
+      for (int i = 0; i < kElems; ++i) in[2 * i] = (rk + 1) * (i + 1);
+      world.reduce(in.data(), out.data(), 1, col, ReduceOp::kSum, 2);
+      if (rk == 2) {
+        for (int i = 0; i < kElems; ++i) {
+          EXPECT_EQ(out[2 * i], 6 * (i + 1));  // (1+2+3)*(i+1)
+          EXPECT_EQ(out[2 * i + 1], -1);
+        }
+      }
+    }
+
+    // allreduce(MAX): max over ranks of rank * 10 + i.
+    {
+      auto in = strided_buf(kElems);
+      auto out = strided_buf(kElems);
+      for (int i = 0; i < kElems; ++i) in[2 * i] = rk * 10 + i;
+      world.allreduce(in.data(), out.data(), 1, col, ReduceOp::kMax);
+      for (int i = 0; i < kElems; ++i) EXPECT_EQ(out[2 * i], 20 + i);
+    }
+
+    // gather to root 0: block r occupies ints [r*extent, ...).
+    {
+      auto in = strided_buf(kElems);
+      for (int i = 0; i < kElems; ++i) in[2 * i] = rk * 100 + i;
+      const auto ext_ints = static_cast<int>(col.extent() / 4);
+      std::vector<std::int32_t> out(
+          rk == 0 ? kRanks * ext_ints + 1 : 0, -1);
+      world.gather(in.data(), 1, col, rk == 0 ? out.data() : nullptr, 0);
+      if (rk == 0) {
+        for (int r = 0; r < kRanks; ++r)
+          for (int i = 0; i < kElems; ++i)
+            EXPECT_EQ(out[r * ext_ints + 2 * i], r * 100 + i);
+      }
+    }
+
+    // scatter from root 2, then allgather the results back.
+    {
+      const auto ext_ints = static_cast<int>(col.extent() / 4);
+      std::vector<std::int32_t> sendall(
+          rk == 2 ? kRanks * ext_ints + 1 : 0, -1);
+      if (rk == 2)
+        for (int r = 0; r < kRanks; ++r)
+          for (int i = 0; i < kElems; ++i)
+            sendall[r * ext_ints + 2 * i] = r * 7 + i;
+      auto mine = strided_buf(kElems);
+      world.scatter(rk == 2 ? sendall.data() : nullptr, 1, col,
+                    mine.data(), 2);
+      for (int i = 0; i < kElems; ++i) {
+        EXPECT_EQ(mine[2 * i], rk * 7 + i);
+        EXPECT_EQ(mine[2 * i + 1], -1);
+      }
+
+      std::vector<std::int32_t> all(kRanks * ext_ints + 1, -1);
+      world.allgather(mine.data(), 1, col, all.data());
+      for (int r = 0; r < kRanks; ++r)
+        for (int i = 0; i < kElems; ++i)
+          EXPECT_EQ(all[r * ext_ints + 2 * i], r * 7 + i);
+    }
+
+    // alltoall: rank r sends column (r, p) to rank p.
+    {
+      const auto ext_ints = static_cast<int>(col.extent() / 4);
+      std::vector<std::int32_t> in(kRanks * ext_ints + 1, -1);
+      std::vector<std::int32_t> out(kRanks * ext_ints + 1, -1);
+      for (int p = 0; p < kRanks; ++p)
+        for (int i = 0; i < kElems; ++i)
+          in[p * ext_ints + 2 * i] = rk * 1000 + p * 100 + i;
+      world.alltoall(in.data(), 1, col, out.data());
+      for (int p = 0; p < kRanks; ++p)
+        for (int i = 0; i < kElems; ++i)
+          EXPECT_EQ(out[p * ext_ints + 2 * i], p * 1000 + rk * 100 + i);
+    }
+  });
+}
+
+TEST(DtTransportTest, TypedNonblockingCollectives) {
+  constexpr int kRanks = 3;
+  constexpr int kElems = 5;
+  Universe::launch(cfg(kRanks), [](Comm& world) {
+    const auto col = column(kElems);
+    const int rk = world.rank();
+
+    // iallreduce(SUM): send buffer mutated after the call returns must
+    // not change the result (typed i-collectives stage at start).
+    {
+      auto in = strided_buf(kElems);
+      auto out = strided_buf(kElems);
+      for (int i = 0; i < kElems; ++i) in[2 * i] = rk + i;
+      Request r =
+          world.iallreduce(in.data(), out.data(), 1, col, ReduceOp::kSum);
+      for (int i = 0; i < kElems; ++i) in[2 * i] = -999;
+      r.wait();
+      for (int i = 0; i < kElems; ++i) {
+        EXPECT_EQ(out[2 * i], 3 + 3 * i);  // (0+1+2) + kRanks*i
+        EXPECT_EQ(out[2 * i + 1], -1);
+      }
+    }
+
+    // igather to root 1.
+    {
+      auto in = strided_buf(kElems);
+      for (int i = 0; i < kElems; ++i) in[2 * i] = rk * 50 + i;
+      const auto ext_ints = static_cast<int>(col.extent() / 4);
+      std::vector<std::int32_t> out(
+          rk == 1 ? kRanks * ext_ints + 1 : 0, -1);
+      Request r = world.igather(in.data(), 1, col,
+                                rk == 1 ? out.data() : nullptr, 1);
+      r.wait();
+      if (rk == 1) {
+        for (int q = 0; q < kRanks; ++q)
+          for (int i = 0; i < kElems; ++i)
+            EXPECT_EQ(out[q * ext_ints + 2 * i], q * 50 + i);
+      }
+    }
+
+    // ibcast from root 0.
+    {
+      auto buf = strided_buf(kElems);
+      if (rk == 0)
+        for (int i = 0; i < kElems; ++i) buf[2 * i] = 9 * i;
+      Request r = world.ibcast(buf.data(), 1, col, 0);
+      r.wait();
+      for (int i = 0; i < kElems; ++i) {
+        EXPECT_EQ(buf[2 * i], 9 * i);
+        EXPECT_EQ(buf[2 * i + 1], -1);
+      }
+    }
+  });
+}
+
+TEST(DtTransportTest, MixedLeafReductionRejected) {
+  Universe::launch(cfg(2), [](Comm& world) {
+    const std::vector<int> lens{1, 1};
+    const std::vector<std::ptrdiff_t> displs{0, 8};
+    const std::vector<Datatype> fields{Datatype::int_type(),
+                                       Datatype::double_type()};
+    const auto mixed = Datatype::struct_type(lens, displs, fields);
+    std::vector<std::byte> a(16), b(16);
+    EXPECT_THROW(
+        world.allreduce(a.data(), b.data(), 1, mixed, ReduceOp::kSum),
+        jhpc::UnsupportedOperationError);
+    EXPECT_THROW(
+        world.ireduce(a.data(), b.data(), 1, mixed, ReduceOp::kSum, 0),
+        jhpc::UnsupportedOperationError);
+    world.barrier();
+  });
+}
+
+TEST(DtTransportTest, ZeroCountTypedOpsAreNoops) {
+  Universe::launch(cfg(2), [](Comm& world) {
+    const auto col = column(4);
+    if (world.rank() == 0) {
+      world.send(nullptr, 0, col, 1, kTag);
+    } else {
+      Status st;
+      world.recv(nullptr, 0, col, 0, kTag, &st);
+      EXPECT_EQ(st.count_bytes, 0u);
+    }
+    auto buf = strided_buf(4);
+    world.bcast(buf.data(), 0, col, 0);
+    world.allreduce(nullptr, nullptr, 0, col, ReduceOp::kSum);
+    world.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace jhpc::minimpi

@@ -177,14 +177,101 @@ TEST(DerivedTypeTest, LeafKindMismatchRejected) {
   });
 }
 
-TEST(DerivedTypeTest, ByteBufferPathRejectsDerived) {
+TEST(DerivedTypeTest, ByteBufferPathRoutesDerivedToTypedSubstrate) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    const Datatype col = Datatype::vector(4, 1, 2, INT);
+    if (world.getRank() == 0) {
+      auto src = env.newDirectBuffer(32);
+      for (int i = 0; i < 8; ++i)
+        src.put_int(static_cast<std::size_t>(i) * 4, i);
+      world.send(src, 1, col, 1, 0);  // ints 0,2,4,6
+    } else {
+      auto dst = env.newDirectBuffer(32);
+      for (int i = 0; i < 8; ++i)
+        dst.put_int(static_cast<std::size_t>(i) * 4, -1);
+      Status st = world.recv(dst, 1, col, 0, 0);
+      EXPECT_EQ(st.getCount(col), 1);
+      EXPECT_EQ(dst.get_int(0), 0);
+      EXPECT_EQ(dst.get_int(8), 2);
+      EXPECT_EQ(dst.get_int(16), 4);
+      EXPECT_EQ(dst.get_int(24), 6);
+      EXPECT_EQ(dst.get_int(4), -1) << "gap bytes stay untouched";
+      EXPECT_EQ(dst.get_int(12), -1);
+    }
+  });
+}
+
+TEST(DerivedTypeTest, ByteBufferDerivedCollectives) {
+  run(fast_opts(3), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    const int rank = world.getRank();
+    const Datatype col = Datatype::vector(2, 1, 2, INT);  // extent 12 B
+    auto sbuf = env.newDirectBuffer(16);
+    auto rbuf = env.newDirectBuffer(16);
+    sbuf.put_int(0, rank + 1);
+    sbuf.put_int(8, 10 * (rank + 1));
+    rbuf.put_int(4, -7);  // gap sentinel
+    world.allReduce(sbuf, rbuf, 1, col, SUM);
+    EXPECT_EQ(rbuf.get_int(0), 6);
+    EXPECT_EQ(rbuf.get_int(8), 60);
+    EXPECT_EQ(rbuf.get_int(4), -7) << "reduction must not write the gap";
+
+    auto bbuf = env.newDirectBuffer(16);
+    if (rank == 1) {
+      bbuf.put_int(0, 41);
+      bbuf.put_int(8, 42);
+    }
+    world.bcast(bbuf, 1, col, /*root=*/1);
+    EXPECT_EQ(bbuf.get_int(0), 41);
+    EXPECT_EQ(bbuf.get_int(8), 42);
+  });
+}
+
+TEST(DerivedTypeTest, ByteBufferVectoredAndScanStayBasicOnly) {
   run(fast_opts(2), [](Env& env) {
     Comm& world = env.COMM_WORLD();
     const Datatype col = Datatype::vector(2, 1, 2, INT);
-    auto buf = env.newDirectBuffer(64);
-    EXPECT_THROW(world.send(buf, 1, col, 1 - world.getRank(), 0),
+    auto sbuf = env.newDirectBuffer(64);
+    auto rbuf = env.newDirectBuffer(64);
+    EXPECT_THROW(world.scan(sbuf, rbuf, 1, col, SUM),
                  UnsupportedOperationError);
     world.barrier();
+  });
+}
+
+TEST(DerivedTypeTest, NegativeLowerBoundRejectedOnByteBuffer) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    // Negative stride: element bytes reach below the buffer base pointer.
+    const Datatype back = Datatype::vector(3, 1, -2, INT);
+    auto buf = env.newDirectBuffer(64);
+    EXPECT_THROW(world.send(buf, 1, back, 1 - world.getRank(), 0),
+                 InvalidArgumentError);
+    world.barrier();
+  });
+}
+
+TEST(DerivedTypeTest, OmpijByteBufferRoutesDerived) {
+  ompij::RunOptions o;
+  o.ranks = 2;
+  o.jvm.jni_crossing_ns = 0;
+  ompij::run(o, [](ompij::Env& env) {
+    ompij::Comm& world = env.COMM_WORLD();
+    const Datatype col = Datatype::vector(3, 1, 2, INT);
+    if (world.getRank() == 0) {
+      auto src = env.newDirectBuffer(24);
+      for (int i = 0; i < 6; ++i)
+        src.put_int(static_cast<std::size_t>(i) * 4, 100 + i);
+      world.send(src, 1, col, 1, 0);
+    } else {
+      auto dst = env.newDirectBuffer(24);
+      ompij::Status st = world.recv(dst, 1, col, 0, 0);
+      EXPECT_EQ(st.getCount(col), 1);
+      EXPECT_EQ(dst.get_int(0), 100);
+      EXPECT_EQ(dst.get_int(8), 102);
+      EXPECT_EQ(dst.get_int(16), 104);
+    }
   });
 }
 

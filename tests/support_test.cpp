@@ -123,6 +123,33 @@ TEST(StatsTest, GeometricMean) {
   EXPECT_THROW(geometric_mean({1.0, -1.0}), InvalidArgumentError);
 }
 
+TEST(StatsTest, BootstrapCI) {
+  // Deterministic: same samples + seed give identical intervals.
+  const std::vector<double> s{10, 11, 9, 12, 10, 11, 10, 9, 10, 12};
+  const BootstrapCI a = bootstrap_ci(s);
+  const BootstrapCI b = bootstrap_ci(s);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+  EXPECT_NEAR(a.mean, 10.4, 1e-12);
+  // The interval brackets the point estimate and is narrower than the
+  // sample range.
+  EXPECT_LE(a.lo, a.mean);
+  EXPECT_GE(a.hi, a.mean);
+  EXPECT_GE(a.lo, 9.0);
+  EXPECT_LE(a.hi, 12.0);
+  // Wider confidence never shrinks the interval.
+  const BootstrapCI wide = bootstrap_ci(s, 1000, 0.99);
+  EXPECT_LE(wide.lo, a.lo);
+  EXPECT_GE(wide.hi, a.hi);
+  // Degenerate cases.
+  const BootstrapCI one = bootstrap_ci({42.0});
+  EXPECT_DOUBLE_EQ(one.lo, 42.0);
+  EXPECT_DOUBLE_EQ(one.hi, 42.0);
+  EXPECT_THROW(bootstrap_ci({}), InvalidArgumentError);
+  EXPECT_THROW(bootstrap_ci(s, 0), InvalidArgumentError);
+  EXPECT_THROW(bootstrap_ci(s, 100, 1.5), InvalidArgumentError);
+}
+
 TEST(SizesTest, ParseSize) {
   EXPECT_EQ(parse_size("17"), 17u);
   EXPECT_EQ(parse_size("4K"), 4096u);
