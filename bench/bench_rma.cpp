@@ -1,0 +1,254 @@
+// One-sided transfer benchmark: RDMA-emulating zero-copy puts versus a
+// send/recv emulation of the same one-sided traffic.
+//
+// Two modes move the SAME payloads (kWindow puts per epoch, fence-style
+// synchronization after every window):
+//
+//   rma      — win.put() on the zero-copy netsim path: payload lands
+//              directly in the exposed window memory, no mailbox bounce,
+//              no tag matching, fence closes the epoch.
+//   twosided — what applications did before windows existed: the origin
+//              send()s each payload, the target recv()s it into the
+//              "window" region by hand, and a barrier stands in for the
+//              fence. Every byte takes the full eager/rendezvous
+//              two-sided path (mailbox copy + matching).
+//
+// The sweep covers eager-sized and rendezvous-sized payloads; the
+// acceptance floor looks at the large (>= 256 KiB) puts where the copy
+// saved per byte dominates. Every configuration is sampled repeatedly
+// and summarised as a bootstrap mean with a 95% CI (jhpc::bootstrap_ci)
+// over REAL wall time (the simulator's virtual clock would hide the
+// mailbox copies this benchmark exists to expose).
+//
+// Usage: bench_rma [--quick] [--json PATH] [--min-speedup X]
+// Exit status is non-zero when the geometric-mean rma/twosided speedup
+// over the large payloads falls below the floor.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "jhpc/minimpi/minimpi.hpp"
+#include "jhpc/minimpi/win.hpp"
+#include "jhpc/support/clock.hpp"
+#include "jhpc/support/stats.hpp"
+
+namespace {
+
+using jhpc::minimpi::Comm;
+using jhpc::minimpi::Universe;
+using jhpc::minimpi::UniverseConfig;
+using jhpc::minimpi::Win;
+
+constexpr int kTag = 11;
+constexpr int kWindow = 32;
+constexpr std::size_t kLargeFloor = 256 * 1024;
+
+struct Result {
+  std::string mode;  // "rma" or "twosided"
+  std::size_t size = 0;
+  std::uint64_t messages = 0;  // per sample
+  int samples = 0;
+  double seconds = 0.0;  // mean wall seconds per sample
+  double mbps = 0.0;
+  double mbps_lo = 0.0;
+  double mbps_hi = 0.0;
+};
+
+UniverseConfig base_config() {
+  UniverseConfig cfg;
+  cfg.world_size = 2;
+  cfg.deterministic_clock = true;
+  cfg.obs.trace_path.clear();
+  return cfg;
+}
+
+/// One streaming run in rma mode: `windows` epochs of kWindow puts from
+/// rank 0 into rank 1's window, each closed by a fence. Returns wall
+/// seconds.
+double run_rma(Universe& u, std::size_t size, int warmup, int windows) {
+  std::int64_t wall_ns = 0;
+  u.run([&](Comm& world) {
+    std::vector<std::byte> origin(size, std::byte{0x5a});
+    Win win = world.win_allocate(size);
+    const int me = world.rank();
+    auto window = [&] {
+      if (me == 0)
+        for (int m = 0; m < kWindow; ++m)
+          win.put(origin.data(), size, 1, 0);
+      win.fence();
+    };
+    win.fence();
+    for (int w = 0; w < warmup; ++w) window();
+    world.barrier();
+    const std::int64_t t0 = jhpc::now_ns();
+    for (int w = 0; w < windows; ++w) window();
+    world.barrier();
+    if (me == 0) wall_ns = jhpc::now_ns() - t0;
+    win.free();
+  });
+  return static_cast<double>(wall_ns) * 1e-9;
+}
+
+/// The same traffic emulated with two-sided messaging: the target drains
+/// each "put" with a recv into its window region and a barrier plays the
+/// fence. This is the mailbox-bounce path RMA removes.
+double run_twosided(Universe& u, std::size_t size, int warmup, int windows) {
+  std::int64_t wall_ns = 0;
+  u.run([&](Comm& world) {
+    std::vector<std::byte> origin(size, std::byte{0x5a});
+    std::vector<std::byte> window_mem(size);
+    const int me = world.rank();
+    auto window = [&] {
+      if (me == 0) {
+        for (int m = 0; m < kWindow; ++m)
+          world.send(origin.data(), size, 1, kTag);
+      } else {
+        for (int m = 0; m < kWindow; ++m)
+          world.recv(window_mem.data(), size, 0, kTag);
+      }
+      world.barrier();
+    };
+    for (int w = 0; w < warmup; ++w) window();
+    world.barrier();
+    const std::int64_t t0 = jhpc::now_ns();
+    for (int w = 0; w < windows; ++w) window();
+    world.barrier();
+    if (me == 0) wall_ns = jhpc::now_ns() - t0;
+  });
+  return static_cast<double>(wall_ns) * 1e-9;
+}
+
+std::string fmt(double v) {
+  char out[64];
+  std::snprintf(out, sizeof(out), "%.3f", v);
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<Result>& results,
+                const std::vector<double>& speedups, double geo,
+                double large_geo) {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"rma\",\n";
+  os << "  \"schema\": 2,\n";
+  os << "  \"window\": " << kWindow << ",\n";
+  os << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    os << "    {\"mode\": \"" << r.mode << "\", \"size\": " << r.size
+       << ", \"messages\": " << r.messages << ", \"samples\": " << r.samples
+       << ", \"seconds\": " << fmt(r.seconds)
+       << ", \"mb_per_sec\": " << fmt(r.mbps)
+       << ", \"mb_per_sec_lo\": " << fmt(r.mbps_lo)
+       << ", \"mb_per_sec_hi\": " << fmt(r.mbps_hi) << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"speedups\": [";
+  for (std::size_t i = 0; i < speedups.size(); ++i)
+    os << fmt(speedups[i]) << (i + 1 < speedups.size() ? ", " : "");
+  os << "],\n";
+  os << "  \"geomean_speedup\": " << fmt(geo) << ",\n";
+  os << "  \"geomean_speedup_large\": " << fmt(large_geo) << "\n}\n";
+  std::ofstream f(path);
+  f << os.str();
+  std::fprintf(stderr, "[bench_rma] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_rma.json";
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--min-speedup" && i + 1 < argc) {
+      min_speedup = std::stod(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json PATH] [--min-speedup X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // 1 KiB and 8 KiB ride the eager path in twosided mode; 256 KiB and
+  // 1 MiB are deep in rendezvous territory where the saved copy per
+  // byte dominates.
+  const std::vector<std::size_t> sizes = {1024, 8192, 256 * 1024,
+                                          1024 * 1024};
+  const int samples = quick ? 3 : 5;
+  const int base_windows = quick ? 30 : 150;
+  const int warmup = quick ? 5 : 20;
+
+  std::vector<Result> results;
+  std::vector<double> speedups;
+  std::vector<double> large_speedups;
+  Universe u(base_config());
+  for (const std::size_t size : sizes) {
+    // Keep per-sample byte volume roughly constant across sizes.
+    const int windows =
+        size >= kLargeFloor ? (quick ? 5 : 20) : base_windows;
+    double rma_mean = 0.0;
+    for (const bool rma : {true, false}) {
+      Result r;
+      r.mode = rma ? "rma" : "twosided";
+      r.size = size;
+      r.messages = static_cast<std::uint64_t>(windows) * kWindow;
+      r.samples = samples;
+      std::vector<double> rates;
+      double total_secs = 0.0;
+      for (int k = 0; k < samples; ++k) {
+        const double secs =
+            rma ? run_rma(u, size, k == 0 ? warmup : 0, windows)
+                : run_twosided(u, size, k == 0 ? warmup : 0, windows);
+        total_secs += secs;
+        const double bytes =
+            static_cast<double>(r.messages) * static_cast<double>(size);
+        rates.push_back(secs > 0 ? bytes / secs / 1e6 : 0);
+      }
+      const jhpc::BootstrapCI ci = jhpc::bootstrap_ci(rates);
+      r.seconds = total_secs / samples;
+      r.mbps = ci.mean;
+      r.mbps_lo = ci.lo;
+      r.mbps_hi = ci.hi;
+      if (rma) {
+        rma_mean = ci.mean;
+      } else if (rma_mean > 0 && ci.mean > 0) {
+        const double sp = rma_mean / ci.mean;
+        speedups.push_back(sp);
+        if (size >= kLargeFloor) large_speedups.push_back(sp);
+        std::fprintf(stderr,
+                     "[bench_rma] size=%8zu B  speedup rma/twosided = "
+                     "%.2fx\n",
+                     size, sp);
+      }
+      results.push_back(r);
+      std::fprintf(stderr,
+                   "[bench_rma] %-8s size=%8zu B  %10.1f MB/s [%.1f, %.1f]\n",
+                   r.mode.c_str(), size, r.mbps, r.mbps_lo, r.mbps_hi);
+    }
+  }
+
+  const double geo = jhpc::geometric_mean(speedups);
+  const double large_geo = jhpc::geometric_mean(large_speedups);
+  std::fprintf(stderr,
+               "[bench_rma] geomean speedup %.2fx (large-only %.2fx)\n", geo,
+               large_geo);
+  write_json(json_path, results, speedups, geo, large_geo);
+
+  if (min_speedup > 0 && large_geo < min_speedup) {
+    std::fprintf(stderr,
+                 "[bench_rma] FAIL: large-put geomean speedup %.2fx is "
+                 "below the floor of %.2fx\n",
+                 large_geo, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -65,6 +65,11 @@ enum CollTag : int {
   kTagHierAllreduce,
   kTagHierGather,
   kTagHierRootXfer,
+  // One-sided sync tokens (win.cpp): window `w` uses kTagWinSync + 2*w
+  // for post->start tokens and kTagWinSync + 2*w + 1 for
+  // complete->wait tokens. MUST stay the last entry: the window id
+  // scales the offset open-endedly.
+  kTagWinSync,
 };
 
 namespace mv2 {

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -139,6 +140,17 @@ struct UniverseObs {
   /// pack-on-the-fly); dt.flatten_runs counts flattened runs walked on
   /// the hot path.
   obs::PvarId dt_pack_bytes, dt_fastpath_hits, dt_flatten_runs;
+
+  /// One-sided (RMA) counters. Always registered, like coll.*: a job
+  /// that never creates a window simply reads zero. put/get bytes are
+  /// charged to the ORIGIN rank's slot (the thread that drives the
+  /// RDMA-emulating transfer); acc_ops counts accumulate + fetch_op
+  /// applications at the origin; sync_epochs counts epoch-closing calls
+  /// (fence, complete, wait, unlock, unlock_all) per calling rank.
+  obs::PvarId rma_put_bytes, rma_get_bytes, rma_acc_ops, rma_sync_epochs;
+  /// Virtual time spent inside epoch-closing RMA calls (lock waits and
+  /// sync completion), kHistogram.
+  obs::PvarId hist_rma_wait;
 
   /// Per-algorithm collective invocation counts, indexed by CollAlg.
   std::vector<obs::PvarId> coll;
@@ -573,6 +585,25 @@ struct UniverseImpl {
   /// numbers restart with the members' local counters).
   void hier_reset();
 
+  // --- One-sided windows (win.cpp) --------------------------------------
+  /// Registry of live window states, keyed by (context id, per-comm
+  /// creation index). win_create is collective and communicators enter
+  /// collectives in one order, so every member of call k resolves the
+  /// same key. Values are type-erased (the concrete WinState lives in
+  /// detail/win.hpp); the deleter captured at creation keeps destruction
+  /// well-typed. `seq` is the per-world-rank, per-context creation
+  /// counter (owner-thread only, NbcRank-style).
+  struct WinBoard {
+    std::mutex mu;
+    std::map<std::pair<int, std::uint32_t>, std::shared_ptr<void>> wins;
+    std::vector<std::unordered_map<int, std::uint32_t>> seq;
+  };
+  WinBoard winboard;
+
+  /// Drop all window registrations and reset creation counters (new job
+  /// on a reused Universe).
+  void win_reset();
+
   /// Cached fabric.faults_enabled(): the transport's zero-cost-off guard.
   /// When false, every fault/reliability code path below is skipped and
   /// message handling is byte-identical to a fault-free build.
@@ -755,6 +786,20 @@ struct UniverseImpl {
                                std::size_t bytes, std::uint64_t seq,
                                std::int64_t start_ns, int trace_rank,
                                const char* what);
+
+  /// reliable_transmit with a receiver-side arrival hook: `on_arrival`
+  /// runs for EVERY data attempt that survives the fault plan — the
+  /// first delivery and every duplicate a lost ack provokes — with that
+  /// attempt's arrival time. This is the RDMA-emulating RMA path's entry
+  /// point: the hook applies the one-sided operation to the exposed
+  /// window, and its seq-dedup is what keeps retransmitted puts and
+  /// accumulates idempotent (the two-sided path gets the same effect
+  /// from the unexpected queue's sequence suppression). A null hook
+  /// reduces this to reliable_transmit.
+  ReliableTx reliable_transmit_each(
+      int src_world, int dst_world, std::size_t bytes, std::uint64_t seq,
+      std::int64_t start_ns, int trace_rank, const char* what,
+      const std::function<void(std::int64_t)>& on_arrival);
 
   /// Same retry discipline for one control message (RTS/CTS): returns its
   /// arrival time; counts fault.rndv_retries; throws TransportTimeoutError

@@ -1,0 +1,99 @@
+// Internal state of a one-sided window (public surface: minimpi/win.hpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "jhpc/minimpi/group.hpp"
+#include "jhpc/minimpi/win.hpp"
+
+namespace jhpc::minimpi::detail {
+
+struct UniverseImpl;
+
+/// Shared state of one window, owned by UniverseImpl::winboard (stored
+/// type-erased as shared_ptr<void>; the creating shared_ptr's deleter
+/// keeps destruction well-typed) and by every member rank's Win handle.
+///
+/// Concurrency contract: `epochs[r]` is touched only by rank r's thread.
+/// `ranks[t]` is shared — its `mu` guards the window MEMORY (one-sided
+/// application and in-window reads), the passive-target lock state and
+/// the sequence floors; `target_vtime` is a lock-free CAS-max frontier
+/// any origin may advance.
+struct WinState {
+  UniverseImpl* uni = nullptr;
+  int context_id = 0;
+  /// Per-context creation index; also selects this window's sync-token
+  /// tag pair in the reserved space (detail/coll.hpp).
+  std::uint32_t win_id = 0;
+  Group group;  ///< comm rank -> world rank
+  int nranks = 0;
+  int world_size = 0;
+
+  /// One member rank's exposed region plus its remote-access state.
+  struct RankWin {
+    std::byte* base = nullptr;
+    std::size_t bytes = 0;
+    /// Target-completion frontier: latest virtual time at which any
+    /// origin's operation touched this window. The owner observes it
+    /// when closing an exposure epoch (fence / wait / its own unlock).
+    std::atomic<std::int64_t> target_vtime{0};
+
+    std::mutex mu;
+    std::condition_variable cv;
+    // Passive-target lock state (under mu).
+    int shared_holders = 0;
+    bool exclusive_held = false;
+    int exclusive_owner = -1;  ///< comm rank, for holder-death detection
+    /// Virtual time the previous holder released at: the next holder's
+    /// clock jumps here, serializing lock epochs in virtual time.
+    std::int64_t lock_release_vtime = 0;
+    /// Per-origin (world rank) floor of applied transport sequence
+    /// numbers. Sequences per directed pair are strictly increasing and
+    /// operations apply in issue order on the origin thread, so each
+    /// floor holds the lowest not-yet-applied seq for that origin: a
+    /// retransmitted payload (provoked by a lost ack) re-arrives with
+    /// seq < floor and is NOT re-applied — puts stay exactly-once,
+    /// accumulates never double-fold. (Pair seqs start at 0, which is
+    /// why "highest applied" would be the wrong representation.)
+    std::vector<std::uint64_t> last_seq;
+  };
+  /// Indexed by comm rank; unique_ptr keeps the non-movable members
+  /// stable while the vector is built.
+  std::vector<std::unique_ptr<RankWin>> ranks;
+  /// win_allocate backing storage, indexed by comm rank.
+  std::vector<std::vector<std::byte>> owned;
+
+  /// Per-rank epoch bookkeeping (owner thread only).
+  struct Epoch {
+    enum Kind : std::uint8_t { kNone, kFence, kStart, kLock, kLockAll };
+    Kind kind = kNone;   ///< current ACCESS epoch
+    Kind prev = kNone;   ///< restored when a start/lock epoch closes
+    std::vector<int> access_group;  ///< comm ranks (kStart)
+    int lock_target = -1;           ///< comm rank (kLock)
+    LockType lock_type = LockType::kShared;
+
+    // Exposure is tracked separately from access: a rank can expose via
+    // post() while itself accessing other ranks via start().
+    bool exposed = false;
+    std::vector<int> post_group;  ///< comm ranks exposed to
+
+    /// Origin-completion frontier of this rank's issued operations
+    /// (buffers reusable) vs their remote-completion frontier (applied
+    /// at the target). Epoch closes reconcile: complete() observes only
+    /// max_origin_ns, fence()/unlock() observe both.
+    std::int64_t max_origin_ns = 0;
+    std::int64_t max_remote_ns = 0;
+    /// Operations issued in the current access epoch (flight-recorder
+    /// arg of the closing kRmaSync event).
+    std::int64_t ops = 0;
+  };
+  std::vector<Epoch> epochs;
+};
+
+}  // namespace jhpc::minimpi::detail

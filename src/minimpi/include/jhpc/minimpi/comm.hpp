@@ -235,6 +235,16 @@ class Comm {
                  std::span<const std::size_t> recv_counts,
                  std::span<const std::size_t> recv_displs) const;
 
+  // --- One-sided communication (RMA) ---------------------------------------
+  /// Collectively expose `bytes` bytes at `base` as this rank's slice of
+  /// a new window (MPI_Win_create). Sizes may differ per rank; 0 with a
+  /// null base is a valid (access-only) slice. The memory must outlive
+  /// the window.
+  class Win win_create(void* base, std::size_t bytes) const;
+  /// Collectively create a window over library-owned zeroed memory
+  /// (MPI_Win_allocate); freed when the last handle drops.
+  class Win win_allocate(std::size_t bytes) const;
+
   // --- Fault tolerance (ULFM) -----------------------------------------------
   /// Error-handling policy for rank-failure conditions on this
   /// communicator (default kErrorsAreFatal, as in MPI). The handler is a

@@ -8,3 +8,4 @@
 #include "jhpc/minimpi/request.hpp"
 #include "jhpc/minimpi/types.hpp"
 #include "jhpc/minimpi/universe.hpp"
+#include "jhpc/minimpi/win.hpp"

@@ -1,0 +1,155 @@
+// One-sided communication (RMA): memory windows with MPI-3-shaped
+// put/get/accumulate/fetch_op and all three synchronization flavors.
+//
+// A Win exposes one region of each member rank's memory to direct remote
+// access. Transfers ride an RDMA-emulating path: the origin rank charges
+// the netsim link cost model exactly as a message of that size would,
+// but the payload is written straight into the exposed window memory —
+// no mailbox bounce, no matching, no receiver CPU. Origin completion
+// (origin buffer reusable) and target completion (window memory updated)
+// are modeled as distinct virtual times, as on real RDMA hardware, and
+// reconciled by the epoch-closing synchronization calls.
+//
+// Epoch discipline (enforced; violations throw InvalidArgumentError):
+//   fence          — collective barrier-like epoch separator; after the
+//                    first fence every member may target every other.
+//   post/start/    — generalized active target: targets expose with
+//   complete/wait    post(origins), origins access with start(targets).
+//   lock/unlock    — passive target: exclusive or shared per-target
+//                    locks; lock_all/unlock_all over every member.
+// Every epoch-closing call routes typed RankFailedError /
+// CommRevokedError out instead of hanging when ranks die (ULFM).
+//
+// Under an injected fault plan one-sided traffic uses the reliable
+// transport: retransmitted puts are applied exactly once (a per-origin
+// sequence floor suppresses duplicate application), so accumulates never
+// double-fold.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "jhpc/minimpi/comm.hpp"
+#include "jhpc/minimpi/datatype.hpp"
+#include "jhpc/minimpi/op.hpp"
+
+namespace jhpc::minimpi {
+
+namespace detail {
+struct WinState;
+}  // namespace detail
+
+/// Passive-target lock flavor (MPI_LOCK_EXCLUSIVE / MPI_LOCK_SHARED).
+enum class LockType : std::uint8_t {
+  kExclusive,
+  kShared,
+};
+
+/// A one-sided communication window over the ranks of one communicator.
+/// Cheap value type; like Comm, a Win is only usable from the rank
+/// thread it was created on. All communication calls are nonblocking
+/// until the enclosing epoch closes (fetch_op additionally delivers its
+/// result before returning); buffers passed to put/accumulate must stay
+/// unchanged, and get targets unread, until then.
+class Win {
+ public:
+  Win() = default;
+
+  bool valid() const { return st_ != nullptr; }
+  /// This rank's number / the member count of the window's communicator.
+  int rank() const { return my_rank_; }
+  int size() const;
+  /// This rank's exposed region (base is null for a zero-byte slice).
+  void* base() const;
+  std::size_t bytes() const;
+  /// Size of `target`'s exposed region.
+  std::size_t bytes(int target) const;
+
+  // --- One-sided operations (byte-oriented) ------------------------------
+  /// Write `bytes` bytes of `buf` into `target`'s window at byte offset
+  /// `target_offset`. Requires an access epoch covering `target`.
+  void put(const void* buf, std::size_t bytes, int target,
+           std::size_t target_offset) const;
+  /// Read `bytes` bytes from `target`'s window at `target_offset`.
+  void get(void* buf, std::size_t bytes, int target,
+           std::size_t target_offset) const;
+
+  // --- Typed one-sided operations (derived datatypes) --------------------
+  /// Put `count` elements of `type` from `buf` into `target`'s window,
+  /// laid out there as elements of `target_type` starting at
+  /// `target_offset`. The payload travels packed (count * type.size()
+  /// bytes, which must be a whole number of target_type elements) and is
+  /// scattered straight into the window through the flattened run-lists.
+  void put(const void* buf, int count, const Datatype& type, int target,
+           std::size_t target_offset, const Datatype& target_type) const;
+  void get(void* buf, int count, const Datatype& type, int target,
+           std::size_t target_offset, const Datatype& target_type) const;
+
+  /// Element-wise `window = op(window, buf)` over `count` elements of
+  /// `type` at `target_offset` in `target`'s window. Same type on both
+  /// sides (requires type.uniform_leaf()); applied under the target's
+  /// window mutex, so concurrent accumulates from different origins are
+  /// atomic per element and any same-epoch overlap is well-defined for
+  /// commutative ops.
+  void accumulate(const void* buf, int count, const Datatype& type,
+                  ReduceOp op, int target, std::size_t target_offset) const;
+
+  /// Atomic read-modify-write of ONE element of `kind` at
+  /// `target_offset`: fetches the old value into `result`, then applies
+  /// `window = op(window, *value)`. Unlike the other operations the
+  /// fetched value is valid as soon as the call returns (the origin
+  /// clock observes the modeled round trip).
+  void fetch_op(const void* value, void* result, BasicKind kind, ReduceOp op,
+                int target, std::size_t target_offset) const;
+
+  // --- Active-target synchronization -------------------------------------
+  /// Collective epoch separator: closes the previous fence epoch (all
+  /// members' operations complete at origin and target) and opens a new
+  /// one in which every member may access every other.
+  void fence() const;
+
+  /// Expose this rank's window to the listed origin ranks (comm ranks;
+  /// no self, no duplicates). Nonblocking.
+  void post(const std::vector<int>& origins) const;
+  /// Open an access epoch on the listed target ranks; blocks until each
+  /// has posted a matching exposure epoch.
+  void start(const std::vector<int>& targets) const;
+  /// Close the start() epoch: operations are complete at the ORIGIN
+  /// (buffers reusable); target completion is observed by the targets'
+  /// wait().
+  void complete() const;
+  /// Close the post() epoch: blocks until every origin called
+  /// complete(); all their operations are then applied to this window.
+  void wait() const;
+
+  // --- Passive-target synchronization -------------------------------------
+  /// Acquire an exclusive or shared lock on `target`'s window and open
+  /// an access epoch on it. Blocks while a conflicting lock is held;
+  /// surfaces typed errors (never hangs) when ranks die.
+  void lock(LockType type, int target) const;
+  /// Close the lock epoch: all operations complete at origin AND target,
+  /// then the lock is released.
+  void unlock(int target) const;
+  /// Shared-lock every member window (ascending rank order, deadlock
+  /// free); any member may then be targeted until unlock_all().
+  void lock_all() const;
+  void unlock_all() const;
+
+  /// Collectively destroy the window (barrier, then unregister). The
+  /// handle becomes invalid; user memory passed to win_create is
+  /// untouched.
+  void free();
+
+ private:
+  friend class Comm;
+  Win(std::shared_ptr<detail::WinState> st, Comm comm, int my_rank)
+      : st_(std::move(st)), comm_(comm), my_rank_(my_rank) {}
+
+  std::shared_ptr<detail::WinState> st_;
+  Comm comm_;
+  int my_rank_ = -1;
+};
+
+}  // namespace jhpc::minimpi

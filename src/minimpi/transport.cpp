@@ -199,6 +199,26 @@ UniverseObs::UniverseObs(const obs::ObsConfig& config, int ranks, bool faults,
       "coll.hier.flag_wait_ns", PvarClass::kTimer,
       "virtual time spent waiting on hier shared flags",
       obs::PvarUnit::kNanoseconds);
+  // One-sided counters are always present, like coll.*: a window-free
+  // job simply reads zero, so the pvar table stays stable across jobs.
+  rma_put_bytes =
+      reg.register_pvar("rma.put_bytes", PvarClass::kCounter,
+                        "one-sided put payload bytes (origin rank)",
+                        obs::PvarUnit::kBytes);
+  rma_get_bytes =
+      reg.register_pvar("rma.get_bytes", PvarClass::kCounter,
+                        "one-sided get payload bytes (origin rank)",
+                        obs::PvarUnit::kBytes);
+  rma_acc_ops =
+      reg.register_pvar("rma.acc_ops", PvarClass::kCounter,
+                        "accumulate/fetch_op applications (origin rank)");
+  rma_sync_epochs =
+      reg.register_pvar("rma.sync_epochs", PvarClass::kCounter,
+                        "RMA epoch-closing calls completed");
+  hist_rma_wait = reg.register_pvar(
+      "hist.rma_wait", PvarClass::kHistogram,
+      "virtual ns spent completing RMA sync (lock waits, epoch close)",
+      obs::PvarUnit::kNanoseconds);
 }
 
 void complete_request(RequestState& rs, const Status& st,
@@ -734,6 +754,13 @@ void UniverseImpl::quiesce() {
       bk.posted.clear();
     }
   }
+  win_reset();
+}
+
+void UniverseImpl::win_reset() {
+  std::lock_guard<std::mutex> lk(winboard.mu);
+  winboard.wins.clear();
+  winboard.seq.clear();
 }
 
 void UniverseImpl::reset_fault_state() {
@@ -762,6 +789,14 @@ std::int64_t UniverseImpl::fifo_raise(int src_world, int dst_world,
 UniverseImpl::ReliableTx UniverseImpl::reliable_transmit(
     int src_world, int dst_world, std::size_t bytes, std::uint64_t seq,
     std::int64_t start_ns, int trace_rank, const char* what) {
+  return reliable_transmit_each(src_world, dst_world, bytes, seq, start_ns,
+                                trace_rank, what, nullptr);
+}
+
+UniverseImpl::ReliableTx UniverseImpl::reliable_transmit_each(
+    int src_world, int dst_world, std::size_t bytes, std::uint64_t seq,
+    std::int64_t start_ns, int trace_rank, const char* what,
+    const std::function<void(std::int64_t)>& on_arrival) {
   const netsim::FaultPlan& plan = fabric.faults();
   const std::int64_t budget_end = start_ns + plan.delivery_timeout_ns;
   std::int64_t rto = plan.rto_ns;
@@ -772,6 +807,10 @@ UniverseImpl::ReliableTx UniverseImpl::reliable_transmit(
     const auto data = fabric.try_data(t, src_world, dst_world, bytes, seq,
                                       attempt);
     if (!data.dropped) {
+      // The receiver side sees EVERY surviving attempt — the hook is how
+      // the RMA path applies (and seq-dedups) each arrival, duplicates
+      // included.
+      if (on_arrival) on_arrival(data.deliver_at_ns);
       if (first_arrival < 0) {
         first_arrival = data.deliver_at_ns;
       } else if (o != nullptr) {
@@ -1158,18 +1197,20 @@ std::shared_ptr<RequestState> UniverseImpl::post_recv(
     std::size_t capacity, const Datatype* rdt, int rdt_count) {
   RankClock& rclock = clocks[static_cast<std::size_t>(my_world)];
   rclock.advance_cpu();
-  entry_checks(my_world, context_id,
-               kills_on() ? dead_peer_for_recv(context_id, my_world, src)
-                          : -1);
   UniverseObs* const o = obs.get();
-  TransportSpan span(o, my_world, "post", rclock);
   if (o != nullptr) {
     // peer here is the match spec (comm rank or kAnySource), the only
-    // identity a post has before it matches.
+    // identity a post has before it matches. Recorded ahead of the
+    // entry checks: a receive stranded by an already-dead peer is
+    // exactly what the black-box dump exists to show.
     o->flight.record(my_world,
                      {rclock.vclock, static_cast<std::int64_t>(capacity),
                       src, tag, obs::FlightKind::kPost});
   }
+  entry_checks(my_world, context_id,
+               kills_on() ? dead_peer_for_recv(context_id, my_world, src)
+                          : -1);
+  TransportSpan span(o, my_world, "post", rclock);
 
   auto rs = std::make_shared<RequestState>();
   rs->abort = &abort;

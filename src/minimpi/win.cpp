@@ -1,0 +1,931 @@
+// One-sided windows over the RDMA-emulating transport path.
+//
+// Data movement model: the origin thread IS the emulated RDMA engine.
+// It charges the netsim link cost exactly as a message of that size
+// would pay it, then copies the payload straight between its buffer and
+// the exposed window memory under the target's window mutex — no
+// mailbox bounce, no matching, no target-CPU involvement. Origin
+// completion (ack / NIC drain) and target completion (payload landed in
+// window memory) are separate virtual times, reconciled by whichever
+// sync call closes the epoch.
+//
+// Under an injected fault plan, operations ride the reliable transport:
+// reliable_transmit_each() invokes our application hook on EVERY data
+// attempt that survives the plan — first delivery and ack-loss-provoked
+// duplicates alike — and the per-origin sequence floor in WinState
+// suppresses re-application, which is what keeps retransmitted puts
+// exactly-once and accumulates single-fold.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "detail/coll.hpp"
+#include "detail/transport.hpp"
+#include "detail/win.hpp"
+#include "jhpc/minimpi/minimpi.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+
+using detail::WinState;
+
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Per-call context: the pieces of the universe an RMA call needs.
+struct Rma {
+  detail::UniverseImpl* uni;
+  detail::UniverseObs* obs;
+  detail::RankClock* clock;
+  int me_w;  ///< calling rank's world rank
+  int cid;
+};
+
+Rma rma_ctx(const Comm& c) {
+  const detail::ObsAccess a = detail::obs_access(c);
+  return {a.uni, a.obs, a.clock, a.world_rank, a.context_id};
+}
+
+void check_win(const WinState* st, const char* what) {
+  if (st == nullptr)
+    throw jhpc::InvalidArgumentError(std::string(what) +
+                                     ": invalid (freed or default) window");
+}
+
+void check_target(const WinState& st, int target, const char* what) {
+  if (target < 0 || target >= st.nranks)
+    throw jhpc::InvalidArgumentError(
+        std::string(what) + ": target rank " + std::to_string(target) +
+        " out of range [0, " + std::to_string(st.nranks) + ")");
+}
+
+/// Epoch discipline: an operation on `target` needs an access epoch
+/// covering it. Violations are programming errors -> InvalidArgumentError.
+void check_access(const WinState::Epoch& ep, int target, const char* what) {
+  switch (ep.kind) {
+    case WinState::Epoch::kFence:
+    case WinState::Epoch::kLockAll:
+      return;
+    case WinState::Epoch::kStart:
+      if (std::find(ep.access_group.begin(), ep.access_group.end(), target) !=
+          ep.access_group.end())
+        return;
+      throw jhpc::InvalidArgumentError(
+          std::string(what) + ": target " + std::to_string(target) +
+          " is not in the start() access group");
+    case WinState::Epoch::kLock:
+      if (target == ep.lock_target) return;
+      throw jhpc::InvalidArgumentError(
+          std::string(what) + ": target " + std::to_string(target) +
+          " is not the locked rank (" + std::to_string(ep.lock_target) + ")");
+    case WinState::Epoch::kNone:
+      break;
+  }
+  throw jhpc::InvalidArgumentError(
+      std::string(what) +
+      ": no access epoch open (call fence, start or lock first)");
+}
+
+void check_bounds(const WinState::RankWin& rw, std::size_t offset,
+                  std::size_t span, int target, const char* what) {
+  if (span > rw.bytes || offset > rw.bytes - span)
+    throw jhpc::InvalidArgumentError(
+        std::string(what) + ": access [" + std::to_string(offset) + ", " +
+        std::to_string(offset + span) + ") outside rank " +
+        std::to_string(target) + "'s " + std::to_string(rw.bytes) +
+        "-byte window");
+}
+
+/// Bytes a strided target-side layout of `count` elements touches, for
+/// the bounds check (conservative for types whose extent undershoots
+/// their true extent).
+std::size_t layout_span(const Datatype& type, int count) {
+  if (count <= 0) return 0;
+  return static_cast<std::size_t>(count - 1) * type.extent() +
+         std::max(type.extent(), type.true_extent());
+}
+
+/// Origin->target transfer core shared by put/accumulate/fetch_op.
+/// Charges the link cost model, runs `apply` (which mutates the target
+/// window; caller does NOT hold rw.mu) exactly once, and returns
+/// {origin-completion, target-completion} virtual times.
+struct XferTimes {
+  std::int64_t origin_done;
+  std::int64_t remote_done;
+};
+
+XferTimes rma_write(const Rma& x, WinState::RankWin& rw, int tgt_w,
+                    std::size_t wire_bytes,
+                    const std::function<void()>& apply, const char* what) {
+  detail::UniverseImpl* uni = x.uni;
+  const std::int64_t t0 = x.clock->vclock;
+  if (!uni->faults_on) {
+    const std::int64_t deliver =
+        uni->fabric.reserve_delivery(t0, x.me_w, tgt_w, wire_bytes);
+    {
+      std::lock_guard<std::mutex> lk(rw.mu);
+      detail::ChargedSection cs(*x.clock);
+      apply();
+    }
+    // Origin completion = NIC drained the source buffer: the wire time
+    // minus the final propagation hop (an RDMA write needs no ack when
+    // the fabric is lossless).
+    const std::int64_t hop = uni->fabric.hop_latency_ns(x.me_w, tgt_w);
+    return {std::max(t0, deliver - hop), deliver};
+  }
+  // Faulty fabric: the reliable transport retries until acked; the hook
+  // applies every surviving arrival and the sequence floor dedups.
+  const std::uint64_t seq = uni->fabric.next_msg_seq(x.me_w, tgt_w);
+  const auto tx = uni->reliable_transmit_each(
+      x.me_w, tgt_w, wire_bytes, seq, t0, x.me_w, what,
+      [&](std::int64_t) {
+        std::lock_guard<std::mutex> lk(rw.mu);
+        // The floor holds the lowest not-yet-applied sequence number for
+        // this origin (pair seqs start at 0, so "highest applied" would
+        // eat the very first message on an otherwise-quiet pair).
+        std::uint64_t& floor = rw.last_seq[static_cast<std::size_t>(x.me_w)];
+        if (seq < floor) return;  // retransmit of an applied payload
+        floor = seq + 1;
+        detail::ChargedSection cs(*x.clock);
+        apply();
+      });
+  // Origin completion = the ack; target completion = first delivery.
+  return {tx.acked_at_ns, tx.deliver_at_ns};
+}
+
+/// Per-operation epoch + frontier bookkeeping shared by every op.
+void note_op(const Rma& x, WinState::Epoch& ep, WinState::RankWin& rw,
+             const XferTimes& t) {
+  ep.ops += 1;
+  ep.max_origin_ns = std::max(ep.max_origin_ns, t.origin_done);
+  ep.max_remote_ns = std::max(ep.max_remote_ns, t.remote_done);
+  // Advance the target-completion frontier (CAS-max: any origin thread).
+  std::int64_t prev = rw.target_vtime.load(std::memory_order_relaxed);
+  while (prev < t.remote_done &&
+         !rw.target_vtime.compare_exchange_weak(prev, t.remote_done,
+                                                std::memory_order_release)) {
+  }
+  (void)x;
+}
+
+void flight_op(const Rma& x, obs::FlightKind kind, std::int64_t arg,
+               int peer_w) {
+  if (x.obs != nullptr)
+    x.obs->flight.record(x.me_w,
+                         {x.clock->vclock, arg, peer_w, -1, kind});
+}
+
+/// Close-of-epoch accounting: sync_epochs pvar, wait histogram, flight.
+void note_sync(const Rma& x, std::int64_t wait_from, std::int64_t ops) {
+  if (x.obs == nullptr) return;
+  x.obs->rec.pvars().add(x.obs->rma_sync_epochs, x.me_w, 1);
+  x.obs->rec.pvars().record(x.obs->hist_rma_wait, x.me_w,
+                            x.clock->vclock - wait_from);
+  x.obs->flight.record(x.me_w, {x.clock->vclock, ops, -1, -1,
+                                obs::FlightKind::kRmaSync});
+}
+
+int win_post_tag(const WinState& st) {
+  return detail::kTagWinSync + 2 * static_cast<int>(st.win_id);
+}
+int win_complete_tag(const WinState& st) {
+  return detail::kTagWinSync + 2 * static_cast<int>(st.win_id) + 1;
+}
+
+void check_rank_list(const WinState& st, const std::vector<int>& ranks,
+                     int me, const char* what) {
+  std::set<int> seen;
+  for (const int r : ranks) {
+    if (r < 0 || r >= st.nranks)
+      throw jhpc::InvalidArgumentError(std::string(what) + ": rank " +
+                                       std::to_string(r) + " out of range");
+    if (r == me)
+      throw jhpc::InvalidArgumentError(
+          std::string(what) + ": own rank in the group");
+    if (!seen.insert(r).second)
+      throw jhpc::InvalidArgumentError(std::string(what) +
+                                       ": duplicate rank " +
+                                       std::to_string(r) + " in the group");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Window creation (Comm members: they need the private impl fields).
+
+namespace {
+
+std::shared_ptr<WinState> win_build(const Comm& c, detail::UniverseImpl* uni,
+                                    int my_rank, int my_world, int context_id,
+                                    std::byte* base, std::size_t bytes,
+                                    bool allocate) {
+  detail::RankClock& clock = uni->clocks[static_cast<std::size_t>(my_world)];
+  clock.advance_cpu();
+  uni->entry_checks(my_world, context_id, -1);
+
+  std::shared_ptr<WinState> st;
+  {
+    std::lock_guard<std::mutex> lk(uni->winboard.mu);
+    auto& seqs = uni->winboard.seq;
+    if (seqs.size() < static_cast<std::size_t>(uni->config.world_size))
+      seqs.resize(static_cast<std::size_t>(uni->config.world_size));
+    const std::uint32_t idx =
+        seqs[static_cast<std::size_t>(my_world)][context_id]++;
+    const auto key = std::make_pair(context_id, idx);
+    auto it = uni->winboard.wins.find(key);
+    if (it == uni->winboard.wins.end()) {
+      auto fresh = std::make_shared<WinState>();
+      fresh->uni = uni;
+      fresh->context_id = context_id;
+      fresh->win_id = idx;
+      fresh->group = c.group();
+      fresh->nranks = c.size();
+      fresh->world_size = uni->config.world_size;
+      fresh->ranks.reserve(static_cast<std::size_t>(fresh->nranks));
+      for (int r = 0; r < fresh->nranks; ++r) {
+        auto rw = std::make_unique<WinState::RankWin>();
+        rw->last_seq.assign(static_cast<std::size_t>(fresh->world_size), 0);
+        fresh->ranks.push_back(std::move(rw));
+      }
+      fresh->owned.resize(static_cast<std::size_t>(fresh->nranks));
+      fresh->epochs.resize(static_cast<std::size_t>(fresh->nranks));
+      // Stored as shared_ptr<void>: the deleter captured here keeps
+      // destruction well-typed.
+      it = uni->winboard.wins.emplace(key, fresh).first;
+    }
+    st = std::static_pointer_cast<WinState>(it->second);
+  }
+
+  WinState::RankWin& rw = *st->ranks[static_cast<std::size_t>(my_rank)];
+  if (allocate) {
+    auto& mem = st->owned[static_cast<std::size_t>(my_rank)];
+    mem.assign(bytes, std::byte{0});
+    rw.base = mem.data();
+  } else {
+    rw.base = base;
+  }
+  rw.bytes = bytes;
+  clock.resync_cpu();
+  // Registration barrier: no rank opens an epoch before every slice is
+  // exposed (also the happens-before edge for the base pointers).
+  c.barrier();
+  return st;
+}
+
+}  // namespace
+
+Win Comm::win_create(void* base, std::size_t bytes) const {
+  JHPC_REQUIRE(valid(), "win_create on an invalid communicator");
+  JHPC_REQUIRE(base != nullptr || bytes == 0,
+               "win_create: null base with a non-zero size");
+  return Win(win_build(*this, impl_, my_rank_, my_world(), context_id_,
+                       static_cast<std::byte*>(base), bytes,
+                       /*allocate=*/false),
+             *this, my_rank_);
+}
+
+Win Comm::win_allocate(std::size_t bytes) const {
+  JHPC_REQUIRE(valid(), "win_allocate on an invalid communicator");
+  return Win(win_build(*this, impl_, my_rank_, my_world(), context_id_,
+                       nullptr, bytes, /*allocate=*/true),
+             *this, my_rank_);
+}
+
+// ---------------------------------------------------------------------------
+// Accessors.
+
+int Win::size() const {
+  check_win(st_.get(), "Win::size");
+  return st_->nranks;
+}
+
+void* Win::base() const {
+  check_win(st_.get(), "Win::base");
+  return st_->ranks[static_cast<std::size_t>(my_rank_)]->base;
+}
+
+std::size_t Win::bytes() const { return bytes(my_rank_); }
+
+std::size_t Win::bytes(int target) const {
+  check_win(st_.get(), "Win::bytes");
+  check_target(*st_, target, "Win::bytes");
+  return st_->ranks[static_cast<std::size_t>(target)]->bytes;
+}
+
+// ---------------------------------------------------------------------------
+// One-sided operations.
+
+void Win::put(const void* buf, std::size_t bytes, int target,
+              std::size_t target_offset) const {
+  check_win(st_.get(), "put");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  check_target(st, target, "put");
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  check_access(ep, target, "put");
+  WinState::RankWin& rw = *st.ranks[static_cast<std::size_t>(target)];
+  check_bounds(rw, target_offset, bytes, target, "put");
+  JHPC_REQUIRE(buf != nullptr || bytes == 0, "put: null origin buffer");
+  const int tgt_w = st.group.world_rank(target);
+  x.uni->entry_checks(x.me_w, x.cid, tgt_w);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.put", *x.clock);
+  const XferTimes t = rma_write(
+      x, rw, tgt_w, bytes,
+      [&] { std::memcpy(rw.base + target_offset, buf, bytes); }, "rma.put");
+  note_op(x, ep, rw, t);
+  if (x.obs != nullptr)
+    x.obs->rec.pvars().add(x.obs->rma_put_bytes, x.me_w,
+                           static_cast<std::int64_t>(bytes));
+  flight_op(x, obs::FlightKind::kRmaPut, static_cast<std::int64_t>(bytes),
+            tgt_w);
+  x.clock->resync_cpu();
+}
+
+void Win::put(const void* buf, int count, const Datatype& type, int target,
+              std::size_t target_offset, const Datatype& target_type) const {
+  check_win(st_.get(), "put");
+  JHPC_REQUIRE(count >= 0, "put: negative count");
+  const std::size_t total = static_cast<std::size_t>(count) * type.size();
+  JHPC_REQUIRE(target_type.size() > 0 && total % target_type.size() == 0,
+               "put: origin payload is not a whole number of target "
+               "elements");
+  const int tcount = static_cast<int>(total / target_type.size());
+  if (type.contiguous_layout() && target_type.contiguous_layout()) {
+    put(buf, total, target, target_offset);
+    return;
+  }
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  check_target(st, target, "put");
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  check_access(ep, target, "put");
+  WinState::RankWin& rw = *st.ranks[static_cast<std::size_t>(target)];
+  check_bounds(rw, target_offset, layout_span(target_type, tcount), target,
+               "put");
+  JHPC_REQUIRE(buf != nullptr || total == 0, "put: null origin buffer");
+  const int tgt_w = st.group.world_rank(target);
+  x.uni->entry_checks(x.me_w, x.cid, tgt_w);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.put", *x.clock);
+  // The wire carries the packed payload; the strided scatter into the
+  // window walks both flattened run-lists directly (no staging copy).
+  const XferTimes t = rma_write(
+      x, rw, tgt_w, total,
+      [&] {
+        detail::dt_copy(&type, count, buf, &target_type, tcount,
+                        rw.base + target_offset, total);
+      },
+      "rma.put");
+  note_op(x, ep, rw, t);
+  if (x.obs != nullptr)
+    x.obs->rec.pvars().add(x.obs->rma_put_bytes, x.me_w,
+                           static_cast<std::int64_t>(total));
+  flight_op(x, obs::FlightKind::kRmaPut, static_cast<std::int64_t>(total),
+            tgt_w);
+  x.clock->resync_cpu();
+}
+
+namespace {
+
+/// Get transfer core: a control-sized request hop out, the payload back.
+/// `copy_out` reads the target window (caller does not hold rw.mu).
+XferTimes rma_read(const Rma& x, WinState::RankWin& rw, int tgt_w,
+                   std::size_t wire_bytes,
+                   const std::function<void()>& copy_out, const char* what) {
+  detail::UniverseImpl* uni = x.uni;
+  const std::int64_t t0 = x.clock->vclock;
+  std::int64_t req_at;    // read executed at the target
+  std::int64_t deliver;   // payload back at the origin
+  if (!uni->faults_on) {
+    req_at = t0 + uni->fabric.hop_latency_ns(x.me_w, tgt_w);
+    deliver = uni->fabric.reserve_delivery(req_at, tgt_w, x.me_w, wire_bytes);
+  } else {
+    const std::uint64_t rseq = uni->fabric.next_msg_seq(x.me_w, tgt_w);
+    req_at = uni->reliable_control(x.me_w, tgt_w, rseq,
+                                   netsim::FaultSalt::kRts, t0, x.me_w, what);
+    const std::uint64_t dseq = uni->fabric.next_msg_seq(tgt_w, x.me_w);
+    // Reads are idempotent: no application hook, no dedup needed.
+    const auto tx = uni->reliable_transmit(tgt_w, x.me_w, wire_bytes, dseq,
+                                           req_at, x.me_w, what);
+    deliver = tx.deliver_at_ns;
+  }
+  {
+    std::lock_guard<std::mutex> lk(rw.mu);
+    detail::ChargedSection cs(*x.clock);
+    copy_out();
+  }
+  // Origin completes when the payload lands; the target's exposed memory
+  // was (conceptually) read at req_at.
+  return {deliver, req_at};
+}
+
+}  // namespace
+
+void Win::get(void* buf, std::size_t bytes, int target,
+              std::size_t target_offset) const {
+  check_win(st_.get(), "get");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  check_target(st, target, "get");
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  check_access(ep, target, "get");
+  WinState::RankWin& rw = *st.ranks[static_cast<std::size_t>(target)];
+  check_bounds(rw, target_offset, bytes, target, "get");
+  JHPC_REQUIRE(buf != nullptr || bytes == 0, "get: null origin buffer");
+  const int tgt_w = st.group.world_rank(target);
+  x.uni->entry_checks(x.me_w, x.cid, tgt_w);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.get", *x.clock);
+  const XferTimes t = rma_read(
+      x, rw, tgt_w, bytes,
+      [&] { std::memcpy(buf, rw.base + target_offset, bytes); }, "rma.get");
+  note_op(x, ep, rw, t);
+  if (x.obs != nullptr)
+    x.obs->rec.pvars().add(x.obs->rma_get_bytes, x.me_w,
+                           static_cast<std::int64_t>(bytes));
+  flight_op(x, obs::FlightKind::kRmaGet, static_cast<std::int64_t>(bytes),
+            tgt_w);
+  x.clock->resync_cpu();
+}
+
+void Win::get(void* buf, int count, const Datatype& type, int target,
+              std::size_t target_offset, const Datatype& target_type) const {
+  check_win(st_.get(), "get");
+  JHPC_REQUIRE(count >= 0, "get: negative count");
+  const std::size_t total = static_cast<std::size_t>(count) * type.size();
+  JHPC_REQUIRE(target_type.size() > 0 && total % target_type.size() == 0,
+               "get: origin payload is not a whole number of target "
+               "elements");
+  const int tcount = static_cast<int>(total / target_type.size());
+  if (type.contiguous_layout() && target_type.contiguous_layout()) {
+    get(buf, total, target, target_offset);
+    return;
+  }
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  check_target(st, target, "get");
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  check_access(ep, target, "get");
+  WinState::RankWin& rw = *st.ranks[static_cast<std::size_t>(target)];
+  check_bounds(rw, target_offset, layout_span(target_type, tcount), target,
+               "get");
+  JHPC_REQUIRE(buf != nullptr || total == 0, "get: null origin buffer");
+  const int tgt_w = st.group.world_rank(target);
+  x.uni->entry_checks(x.me_w, x.cid, tgt_w);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.get", *x.clock);
+  const XferTimes t = rma_read(
+      x, rw, tgt_w, total,
+      [&] {
+        detail::dt_copy(&target_type, tcount, rw.base + target_offset, &type,
+                        count, buf, total);
+      },
+      "rma.get");
+  note_op(x, ep, rw, t);
+  if (x.obs != nullptr)
+    x.obs->rec.pvars().add(x.obs->rma_get_bytes, x.me_w,
+                           static_cast<std::int64_t>(total));
+  flight_op(x, obs::FlightKind::kRmaGet, static_cast<std::int64_t>(total),
+            tgt_w);
+  x.clock->resync_cpu();
+}
+
+void Win::accumulate(const void* buf, int count, const Datatype& type,
+                     ReduceOp op, int target,
+                     std::size_t target_offset) const {
+  check_win(st_.get(), "accumulate");
+  JHPC_REQUIRE(count >= 0, "accumulate: negative count");
+  if (!type.uniform_leaf())
+    throw jhpc::UnsupportedOperationError(
+        "accumulate: datatype mixes leaf kinds (reduction undefined)");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  check_target(st, target, "accumulate");
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  check_access(ep, target, "accumulate");
+  WinState::RankWin& rw = *st.ranks[static_cast<std::size_t>(target)];
+  check_bounds(rw, target_offset, layout_span(type, count), target,
+               "accumulate");
+  const std::size_t total = static_cast<std::size_t>(count) * type.size();
+  JHPC_REQUIRE(buf != nullptr || total == 0,
+               "accumulate: null origin buffer");
+  const int tgt_w = st.group.world_rank(target);
+  x.uni->entry_checks(x.me_w, x.cid, tgt_w);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.acc", *x.clock);
+  const XferTimes t = rma_write(
+      x, rw, tgt_w, total,
+      [&] {
+        // Element-wise fold straight into the window, walking the
+        // flattened run-list; the window mutex makes it atomic per
+        // element against concurrent origins.
+        apply_reduce_typed(op, type, rw.base + target_offset, buf, count);
+      },
+      "rma.acc");
+  note_op(x, ep, rw, t);
+  if (x.obs != nullptr)
+    x.obs->rec.pvars().add(x.obs->rma_acc_ops, x.me_w, 1);
+  flight_op(x, obs::FlightKind::kRmaAcc, static_cast<std::int64_t>(total),
+            tgt_w);
+  x.clock->resync_cpu();
+}
+
+void Win::fetch_op(const void* value, void* result, BasicKind kind,
+                   ReduceOp op, int target, std::size_t target_offset) const {
+  check_win(st_.get(), "fetch_op");
+  JHPC_REQUIRE(value != nullptr && result != nullptr,
+               "fetch_op: null value/result");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  check_target(st, target, "fetch_op");
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  check_access(ep, target, "fetch_op");
+  WinState::RankWin& rw = *st.ranks[static_cast<std::size_t>(target)];
+  const std::size_t esize = basic_size(kind);
+  check_bounds(rw, target_offset, esize, target, "fetch_op");
+  const int tgt_w = st.group.world_rank(target);
+  x.uni->entry_checks(x.me_w, x.cid, tgt_w);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.fetch_op", *x.clock);
+  XferTimes t = rma_write(
+      x, rw, tgt_w, esize,
+      [&] {
+        // Fetch the pre-op value, then fold. On a duplicate arrival the
+        // sequence floor skips this whole closure, so `result` keeps the
+        // true pre-op value of the single application.
+        std::memcpy(result, rw.base + target_offset, esize);
+        apply_reduce(op, kind, rw.base + target_offset, value, 1);
+      },
+      "rma.fetch_op");
+  if (!x.uni->faults_on) {
+    // The fetched value needs a reply trip; with faults on, the ack IS
+    // the reply (acked_at_ns already models it).
+    t.origin_done = x.uni->fabric.reserve_delivery(t.remote_done, tgt_w,
+                                                   x.me_w, esize);
+  }
+  note_op(x, ep, rw, t);
+  // Unlike put/get, the fetched value is usable on return: synchronize
+  // the origin clock with the modeled round trip now.
+  x.clock->observe(t.origin_done);
+  if (x.obs != nullptr)
+    x.obs->rec.pvars().add(x.obs->rma_acc_ops, x.me_w, 1);
+  flight_op(x, obs::FlightKind::kRmaAcc, static_cast<std::int64_t>(esize),
+            tgt_w);
+  x.clock->resync_cpu();
+}
+
+// ---------------------------------------------------------------------------
+// Active-target synchronization.
+
+void Win::fence() const {
+  check_win(st_.get(), "fence");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  if (ep.kind != WinState::Epoch::kNone &&
+      ep.kind != WinState::Epoch::kFence)
+    throw jhpc::InvalidArgumentError(
+        "fence: another access epoch (start/lock) is open");
+  x.uni->entry_checks(x.me_w, x.cid, -1);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.fence", *x.clock);
+  const std::int64_t t0 = x.clock->vclock;
+  // All my operations complete — at origin AND at their targets — before
+  // I enter the barrier, so the barrier's exit time bounds everyone's.
+  x.clock->observe(std::max(ep.max_origin_ns, ep.max_remote_ns));
+  // Comm::barrier already routes RankFailedError/CommRevokedError and
+  // auto-revokes on failure (ULFM collective semantics).
+  comm_.barrier();
+  // Operations targeting ME delivered during the closed epoch.
+  WinState::RankWin& mine = *st.ranks[static_cast<std::size_t>(my_rank_)];
+  x.clock->observe(mine.target_vtime.load(std::memory_order_acquire));
+  note_sync(x, t0, ep.ops);
+  const WinState::Epoch::Kind open = WinState::Epoch::kFence;
+  ep = WinState::Epoch{};
+  ep.kind = open;
+  x.clock->resync_cpu();
+}
+
+void Win::post(const std::vector<int>& origins) const {
+  check_win(st_.get(), "post");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  check_rank_list(st, origins, my_rank_, "post");
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  if (ep.exposed)
+    throw jhpc::InvalidArgumentError(
+        "post: an exposure epoch is already open (missing wait()?)");
+  x.uni->entry_checks(x.me_w, x.cid, -1);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.post", *x.clock);
+  {
+    const detail::InternalTagScope tags;
+    const char token = 0;
+    for (const int o : origins)
+      comm_.send(&token, 1, o, win_post_tag(st));
+  }
+  ep.exposed = true;
+  ep.post_group = origins;
+  x.clock->resync_cpu();
+}
+
+void Win::start(const std::vector<int>& targets) const {
+  check_win(st_.get(), "start");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  check_rank_list(st, targets, my_rank_, "start");
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  if (ep.kind != WinState::Epoch::kNone &&
+      ep.kind != WinState::Epoch::kFence)
+    throw jhpc::InvalidArgumentError(
+        "start: another access epoch is already open");
+  x.uni->entry_checks(x.me_w, x.cid, -1);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.start", *x.clock);
+  {
+    // Wait for each target's exposure token; a dead target surfaces a
+    // typed RankFailedError from the transport instead of a hang.
+    const detail::InternalTagScope tags;
+    char token;
+    for (const int t : targets)
+      comm_.recv(&token, 1, t, win_post_tag(st));
+  }
+  ep.prev = ep.kind;
+  ep.kind = WinState::Epoch::kStart;
+  ep.access_group = targets;
+  ep.max_origin_ns = 0;
+  ep.max_remote_ns = 0;
+  ep.ops = 0;
+  x.clock->resync_cpu();
+}
+
+void Win::complete() const {
+  check_win(st_.get(), "complete");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  if (ep.kind != WinState::Epoch::kStart)
+    throw jhpc::InvalidArgumentError("complete: no start() epoch open");
+  x.uni->entry_checks(x.me_w, x.cid, -1);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.complete", *x.clock);
+  const std::int64_t t0 = x.clock->vclock;
+  // ORIGIN completion only: my buffers are reusable, but the targets
+  // learn of target-completion through their own wait().
+  x.clock->observe(ep.max_origin_ns);
+  {
+    const detail::InternalTagScope tags;
+    const char token = 0;
+    for (const int t : ep.access_group)
+      comm_.send(&token, 1, t, win_complete_tag(st));
+  }
+  note_sync(x, t0, ep.ops);
+  ep.kind = ep.prev;
+  ep.prev = WinState::Epoch::kNone;
+  ep.access_group.clear();
+  ep.max_origin_ns = 0;
+  ep.max_remote_ns = 0;
+  ep.ops = 0;
+  x.clock->resync_cpu();
+}
+
+void Win::wait() const {
+  check_win(st_.get(), "wait");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  if (!ep.exposed)
+    throw jhpc::InvalidArgumentError("wait: no post() epoch open");
+  x.uni->entry_checks(x.me_w, x.cid, -1);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.wait", *x.clock);
+  const std::int64_t t0 = x.clock->vclock;
+  {
+    const detail::InternalTagScope tags;
+    char token;
+    for (const int o : ep.post_group)
+      comm_.recv(&token, 1, o, win_complete_tag(st));
+  }
+  // Every origin completed; their operations into my window are applied
+  // no later than my frontier says.
+  WinState::RankWin& mine = *st.ranks[static_cast<std::size_t>(my_rank_)];
+  x.clock->observe(mine.target_vtime.load(std::memory_order_acquire));
+  note_sync(x, t0, 0);
+  ep.exposed = false;
+  ep.post_group.clear();
+  x.clock->resync_cpu();
+}
+
+// ---------------------------------------------------------------------------
+// Passive-target synchronization.
+
+namespace {
+
+/// Acquire one rank's window lock, polling for failure conditions so a
+/// dead holder/target or an aborting job surfaces a typed error instead
+/// of a hang. Returns the previous holder's release vtime.
+std::int64_t lock_one(const Rma& x, WinState& st, WinState::RankWin& rw,
+                      int target, int tgt_w, LockType type, int my_rank) {
+  std::unique_lock<std::mutex> lk(rw.mu);
+  for (;;) {
+    const bool free_for_me = type == LockType::kExclusive
+                                 ? (!rw.exclusive_held &&
+                                    rw.shared_holders == 0)
+                                 : !rw.exclusive_held;
+    if (free_for_me) break;
+    const int holder = rw.exclusive_owner;
+    const bool holder_dead =
+        rw.exclusive_held && holder >= 0 &&
+        x.uni->rank_dead(st.group.world_rank(holder));
+    if (x.uni->abort.load(std::memory_order_relaxed) ||
+        x.uni->rank_dead(tgt_w) || holder_dead ||
+        x.uni->fail.revoked_count.load(std::memory_order_acquire) > 0) {
+      lk.unlock();
+      // Raises for self-death, revocation and a dead target...
+      x.uni->entry_checks(x.me_w, x.cid, tgt_w);
+      if (holder_dead)
+        // ...and a holder that died without unlocking strands every
+        // waiter: that too is a rank-failure condition.
+        x.uni->raise_failure(
+            x.me_w, x.cid, jhpc::ErrorCode::kRankFailed,
+            "rank " + std::to_string(st.group.world_rank(holder)) +
+                " failed holding a window lock",
+            {st.group.world_rank(holder)});
+      if (x.uni->abort.load(std::memory_order_relaxed))
+        throw detail::AbortError();
+      lk.lock();  // spurious (e.g. unrelated comm revoked): keep waiting
+      continue;
+    }
+    rw.cv.wait_for(lk, 1ms);
+  }
+  if (type == LockType::kExclusive) {
+    rw.exclusive_held = true;
+    rw.exclusive_owner = my_rank;
+  } else {
+    rw.shared_holders += 1;
+  }
+  (void)target;
+  return rw.lock_release_vtime;
+}
+
+void unlock_one(WinState::RankWin& rw, LockType type,
+                std::int64_t now_vns) {
+  std::lock_guard<std::mutex> lk(rw.mu);
+  if (type == LockType::kExclusive) {
+    rw.exclusive_held = false;
+    rw.exclusive_owner = -1;
+  } else {
+    rw.shared_holders -= 1;
+  }
+  rw.lock_release_vtime = std::max(rw.lock_release_vtime, now_vns);
+  rw.cv.notify_all();
+}
+
+}  // namespace
+
+void Win::lock(LockType type, int target) const {
+  check_win(st_.get(), "lock");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  check_target(st, target, "lock");
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  if (ep.kind != WinState::Epoch::kNone &&
+      ep.kind != WinState::Epoch::kFence)
+    throw jhpc::InvalidArgumentError(
+        "lock: another access epoch is already open");
+  const int tgt_w = st.group.world_rank(target);
+  x.uni->entry_checks(x.me_w, x.cid, tgt_w);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.lock", *x.clock);
+  const std::int64_t t0 = x.clock->vclock;
+  WinState::RankWin& rw = *st.ranks[static_cast<std::size_t>(target)];
+  const std::int64_t released =
+      lock_one(x, st, rw, target, tgt_w, type, my_rank_);
+  // The epoch serializes after the previous holder in virtual time, plus
+  // the lock-request round trip on the link.
+  x.clock->observe(released);
+  x.clock->charge(2 * x.uni->fabric.hop_latency_ns(x.me_w, tgt_w));
+  if (x.obs != nullptr)
+    x.obs->rec.pvars().record(x.obs->hist_rma_wait, x.me_w,
+                              x.clock->vclock - t0);
+  ep.prev = ep.kind;
+  ep.kind = WinState::Epoch::kLock;
+  ep.lock_target = target;
+  ep.lock_type = type;
+  ep.max_origin_ns = 0;
+  ep.max_remote_ns = 0;
+  ep.ops = 0;
+  x.clock->resync_cpu();
+}
+
+void Win::unlock(int target) const {
+  check_win(st_.get(), "unlock");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  if (ep.kind != WinState::Epoch::kLock || ep.lock_target != target)
+    throw jhpc::InvalidArgumentError(
+        "unlock: rank " + std::to_string(target) + " is not locked");
+  x.uni->entry_checks(x.me_w, x.cid, -1);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.unlock", *x.clock);
+  const std::int64_t t0 = x.clock->vclock;
+  // Passive-target close: EVERYTHING completes — origin and target side.
+  x.clock->observe(std::max(ep.max_origin_ns, ep.max_remote_ns));
+  WinState::RankWin& rw = *st.ranks[static_cast<std::size_t>(target)];
+  unlock_one(rw, ep.lock_type, x.clock->vclock);
+  note_sync(x, t0, ep.ops);
+  ep.kind = ep.prev;
+  ep.prev = WinState::Epoch::kNone;
+  ep.lock_target = -1;
+  ep.max_origin_ns = 0;
+  ep.max_remote_ns = 0;
+  ep.ops = 0;
+  x.clock->resync_cpu();
+}
+
+void Win::lock_all() const {
+  check_win(st_.get(), "lock_all");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  if (ep.kind != WinState::Epoch::kNone &&
+      ep.kind != WinState::Epoch::kFence)
+    throw jhpc::InvalidArgumentError(
+        "lock_all: another access epoch is already open");
+  x.uni->entry_checks(x.me_w, x.cid, -1);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.lock_all", *x.clock);
+  const std::int64_t t0 = x.clock->vclock;
+  // Shared lock on every member, ascending order (no deadlock cycles).
+  for (int r = 0; r < st.nranks; ++r) {
+    const int r_w = st.group.world_rank(r);
+    WinState::RankWin& rw = *st.ranks[static_cast<std::size_t>(r)];
+    const std::int64_t released =
+        lock_one(x, st, rw, r, r_w, LockType::kShared, my_rank_);
+    x.clock->observe(released);
+  }
+  x.clock->charge(2 * x.uni->fabric.hop_latency_ns(
+                          x.me_w, st.group.world_rank(st.nranks - 1)));
+  if (x.obs != nullptr)
+    x.obs->rec.pvars().record(x.obs->hist_rma_wait, x.me_w,
+                              x.clock->vclock - t0);
+  ep.prev = ep.kind;
+  ep.kind = WinState::Epoch::kLockAll;
+  ep.max_origin_ns = 0;
+  ep.max_remote_ns = 0;
+  ep.ops = 0;
+  x.clock->resync_cpu();
+}
+
+void Win::unlock_all() const {
+  check_win(st_.get(), "unlock_all");
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  x.clock->advance_cpu();
+  WinState::Epoch& ep = st.epochs[static_cast<std::size_t>(my_rank_)];
+  if (ep.kind != WinState::Epoch::kLockAll)
+    throw jhpc::InvalidArgumentError("unlock_all: no lock_all() epoch open");
+  x.uni->entry_checks(x.me_w, x.cid, -1);
+  detail::TransportSpan span(x.obs, x.me_w, "rma.unlock_all", *x.clock);
+  const std::int64_t t0 = x.clock->vclock;
+  x.clock->observe(std::max(ep.max_origin_ns, ep.max_remote_ns));
+  for (int r = st.nranks - 1; r >= 0; --r)
+    unlock_one(*st.ranks[static_cast<std::size_t>(r)], LockType::kShared,
+               x.clock->vclock);
+  note_sync(x, t0, ep.ops);
+  ep.kind = ep.prev;
+  ep.prev = WinState::Epoch::kNone;
+  ep.max_origin_ns = 0;
+  ep.max_remote_ns = 0;
+  ep.ops = 0;
+  x.clock->resync_cpu();
+}
+
+// ---------------------------------------------------------------------------
+
+void Win::free() {
+  if (st_ == nullptr) return;
+  WinState& st = *st_;
+  Rma x = rma_ctx(comm_);
+  // No member may tear the window down while a peer still has an epoch
+  // in flight against it.
+  comm_.barrier();
+  {
+    std::lock_guard<std::mutex> lk(x.uni->winboard.mu);
+    x.uni->winboard.wins.erase(
+        std::make_pair(st.context_id, st.win_id));
+  }
+  st_.reset();
+  comm_ = Comm();
+  my_rank_ = -1;
+}
+
+}  // namespace jhpc::minimpi

@@ -219,6 +219,14 @@ class Comm {
                  JArray<T>& recvbuf, std::span<const int> recvcounts,
                  std::span<const int> rdispls) const;
 
+  // --- One-sided communication (mpi.Win) ------------------------------------
+  /// Expose `bytes` of a direct ByteBuffer as this rank's window slice
+  /// (collective over the communicator). Heap buffers are rejected: RMA
+  /// needs a stable native address.
+  class Win winCreate(ByteBuffer& buf, std::size_t bytes) const;
+  /// Collectively allocate a zero-initialised window of `bytes`.
+  class Win winAllocate(std::size_t bytes) const;
+
   // --- Communicator management ----------------------------------------------
   Comm dup() const;
   Comm split(int color, int key) const;
@@ -245,6 +253,7 @@ class Comm {
 
  private:
   friend class Env;
+  friend class Win;  // one-sided paths reuse buffer_address/env_
   Comm(Env* env, minimpi::Comm native) : env_(env), native_(native) {}
 
   /// Native pointer of a direct buffer, via the JNI layer; validates

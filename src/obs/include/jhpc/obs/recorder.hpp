@@ -30,6 +30,10 @@ enum class FlightKind : std::uint8_t {
   kTimeout,     ///< delivery timeout declared (arg = sequence)
   kKill,        ///< this rank was fail-stopped
   kRevoke,      ///< a communicator was revoked (arg = context id)
+  kRmaPut,      ///< one-sided put issued (arg = payload bytes)
+  kRmaGet,      ///< one-sided get issued (arg = payload bytes)
+  kRmaAcc,      ///< one-sided accumulate/fetch_op applied (arg = bytes)
+  kRmaSync,     ///< RMA epoch closed (arg = ops completed in the epoch)
 };
 
 const char* flight_kind_name(FlightKind kind);

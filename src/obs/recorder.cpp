@@ -17,6 +17,10 @@ const char* flight_kind_name(FlightKind kind) {
     case FlightKind::kTimeout: return "timeout";
     case FlightKind::kKill: return "kill";
     case FlightKind::kRevoke: return "revoke";
+    case FlightKind::kRmaPut: return "rma_put";
+    case FlightKind::kRmaGet: return "rma_get";
+    case FlightKind::kRmaAcc: return "rma_acc";
+    case FlightKind::kRmaSync: return "rma_sync";
   }
   return "?";
 }
@@ -97,6 +101,10 @@ std::string FlightRecorder::report() const {
         case FlightKind::kMatch:
         case FlightKind::kEagerSend:
         case FlightKind::kRndvSend:
+        case FlightKind::kRmaPut:
+        case FlightKind::kRmaGet:
+        case FlightKind::kRmaAcc:
+        case FlightKind::kRmaSync:
           std::snprintf(line, sizeof(line),
                         "  @%12lldns  %-10s peer=%d tag=%d bytes=%lld\n",
                         static_cast<long long>(ev.vtime_ns),

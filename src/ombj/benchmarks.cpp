@@ -1,6 +1,8 @@
 // OMB-J benchmark bodies (see benchmarks.hpp).
 #include "jhpc/ombj/benchmarks.hpp"
 
+#include "jhpc/mv2j/win.hpp"
+
 #include <algorithm>
 #include <cstring>
 #include <string>
@@ -830,6 +832,79 @@ std::vector<ResultRow> run_iallreduce(EnvT& env, const BenchOptions& opt) {
   });
 }
 
+// --- One-sided benchmarks (osu_put_latency / osu_get_bw) --------------------
+
+template <typename EnvT>
+std::vector<ResultRow> run_put_latency(EnvT& env, const BenchOptions& opt) {
+  if (opt.api != Api::kBuffer) {
+    throw UnsupportedOperationError(
+        "one-sided benchmarks require the ByteBuffer API (an array origin "
+        "would reintroduce the staging copy RMA avoids)");
+  }
+  auto& world = env.COMM_WORLD();
+  const int rank = world.getRank();
+  auto origin = env.newDirectBuffer(opt.max_size);
+  auto win = world.winAllocate(opt.max_size);
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : byte_sizes(opt)) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    const int count = static_cast<int>(size);
+    world.barrier();
+    if (rank == 0) {
+      std::int64_t t0 = 0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) t0 = world.native().vtime_ns();
+        win.lock(minimpi::LockType::kExclusive, 1);
+        win.put(origin, count, BYTE, 1, 0);
+        win.unlock(1);  // forces origin AND target completion
+      }
+      const auto elapsed = world.native().vtime_ns() - t0;
+      rows.push_back({size, static_cast<double>(elapsed) / (iters * 1000.0)});
+    }
+    world.barrier();
+  }
+  win.free();
+  return rows;
+}
+
+template <typename EnvT>
+std::vector<ResultRow> run_get_bw(EnvT& env, const BenchOptions& opt) {
+  if (opt.api != Api::kBuffer) {
+    throw UnsupportedOperationError(
+        "one-sided benchmarks require the ByteBuffer API (an array origin "
+        "would reintroduce the staging copy RMA avoids)");
+  }
+  auto& world = env.COMM_WORLD();
+  const int rank = world.getRank();
+  auto origin = env.newDirectBuffer(opt.max_size);
+  auto win = world.winAllocate(opt.max_size);
+  std::vector<ResultRow> rows;
+  for (const std::size_t size : byte_sizes(opt)) {
+    const int iters = opt.iterations_for(size);
+    const int warmup = opt.warmup_for(size);
+    const int count = static_cast<int>(size);
+    world.barrier();
+    if (rank == 0) {
+      std::int64_t t0 = 0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) t0 = world.native().vtime_ns();
+        win.lock(minimpi::LockType::kShared, 1);
+        for (int w = 0; w < opt.window; ++w)
+          win.get(origin, count, BYTE, 1, 0);
+        win.unlock(1);
+      }
+      const auto elapsed = world.native().vtime_ns() - t0;
+      const auto total_bytes =
+          static_cast<std::int64_t>(size) * opt.window * iters;
+      rows.push_back({size, bandwidth_mbps(total_bytes, elapsed)});
+    }
+    world.barrier();
+  }
+  win.free();
+  return rows;
+}
+
 template <typename EnvT>
 std::vector<ResultRow> run_benchmark(BenchKind kind, EnvT& env,
                                      const BenchOptions& opt) {
@@ -866,6 +941,8 @@ std::vector<ResultRow> run_benchmark(BenchKind kind, EnvT& env,
     case BenchKind::kBarrier: return run_barrier(env, opt);
     case BenchKind::kIbcast: return run_ibcast(env, opt);
     case BenchKind::kIallreduce: return run_iallreduce(env, opt);
+    case BenchKind::kPutLatency: return run_put_latency(env, opt);
+    case BenchKind::kGetBandwidth: return run_get_bw(env, opt);
   }
   throw InternalError("unknown benchmark kind");
 }
@@ -915,6 +992,10 @@ std::vector<ResultRow> run_benchmark(BenchKind kind, EnvT& env,
                                                    const BenchOptions&);     \
   template std::vector<ResultRow> run_iallreduce<EnvT>(                      \
       EnvT&, const BenchOptions&);                                           \
+  template std::vector<ResultRow> run_put_latency<EnvT>(                     \
+      EnvT&, const BenchOptions&);                                           \
+  template std::vector<ResultRow> run_get_bw<EnvT>(EnvT&,                    \
+                                                   const BenchOptions&);     \
   template std::vector<ResultRow> run_benchmark<EnvT>(BenchKind, EnvT&,      \
                                                       const BenchOptions&);
 

@@ -77,6 +77,16 @@ std::vector<ResultRow> run_ibcast(EnvT& env, const BenchOptions& opt);
 template <typename EnvT>
 std::vector<ResultRow> run_iallreduce(EnvT& env, const BenchOptions& opt);
 
+// --- One-sided (osu_put_latency / osu_get_bw) -------------------------------
+// ByteBuffer API only: an array origin would stage a copy, which defeats
+// the zero-copy transfer these benchmarks measure. put_latency times one
+// passive-target lock/put/unlock round per iteration (unlock forces
+// target completion); get_bw streams `window` gets per exclusive epoch.
+template <typename EnvT>
+std::vector<ResultRow> run_put_latency(EnvT& env, const BenchOptions& opt);
+template <typename EnvT>
+std::vector<ResultRow> run_get_bw(EnvT& env, const BenchOptions& opt);
+
 // --- ULFM resilience mode (--kill-rank) -------------------------------------
 // The sweep runs with ERRORS_RETURN on the world communicator while the
 // fault plan kills ranks mid-run. Survivors catch RankFailedError /

@@ -50,6 +50,8 @@ enum class BenchKind {
   kBarrier,    // osu_barrier (single row)
   kIbcast,     // osu_ibcast (nonblocking; latency + overlap %)
   kIallreduce, // osu_iallreduce (nonblocking; latency + overlap %)
+  kPutLatency, // osu_put_latency (one-sided; passive-target lock/unlock)
+  kGetBandwidth, // osu_get_bw (one-sided; windowed gets per epoch)
 };
 
 const char* bench_name(BenchKind kind);

@@ -41,12 +41,14 @@ const char* bench_name(BenchKind kind) {
     case BenchKind::kBarrier: return "barrier";
     case BenchKind::kIbcast: return "ibcast";
     case BenchKind::kIallreduce: return "iallreduce";
+    case BenchKind::kPutLatency: return "put_latency";
+    case BenchKind::kGetBandwidth: return "get_bw";
   }
   return "?";
 }
 
 BenchKind bench_from_name(const std::string& name) {
-  for (int k = 0; k <= static_cast<int>(BenchKind::kIallreduce); ++k) {
+  for (int k = 0; k <= static_cast<int>(BenchKind::kGetBandwidth); ++k) {
     const auto kind = static_cast<BenchKind>(k);
     if (name == bench_name(kind)) return kind;
   }

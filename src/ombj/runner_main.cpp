@@ -24,7 +24,8 @@ void usage() {
       "  --bench NAME   latency|bw|bibw|mbw_mr|multi_lat|bcast|reduce|\n"
       "                 allreduce|reduce_scatter|scan|gather|scatter|\n"
       "                 allgather|alltoall|gatherv|scatterv|allgatherv|\n"
-      "                 alltoallv|barrier|ibcast|iallreduce (default latency;\n"
+      "                 alltoallv|barrier|ibcast|iallreduce|\n"
+      "                 put_latency|get_bw (default latency;\n"
       "                 the i* benchmarks also report overlap %)\n"
       "  --lib NAME     mv2j|ompij|native-mv2|native-ompi (default mv2j)\n"
       "  --api NAME     buffer|arrays (default buffer)\n"

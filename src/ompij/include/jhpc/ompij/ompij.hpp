@@ -31,6 +31,7 @@
 #include "jhpc/minijvm/jvm.hpp"
 #include "jhpc/minimpi/comm.hpp"
 #include "jhpc/minimpi/universe.hpp"
+#include "jhpc/minimpi/win.hpp"
 #include "jhpc/mv2j/request.hpp"
 #include "jhpc/mv2j/types.hpp"
 #include "jhpc/obs/obs.hpp"
@@ -51,6 +52,11 @@ using mv2j::ANY_TAG;
 using mv2j::Errhandler;
 using mv2j::ERRORS_ARE_FATAL;
 using mv2j::ERRORS_RETURN;
+
+/// Passive-target lock modes (same Java names as MVAPICH2-J).
+using LockType = minimpi::LockType;
+inline constexpr LockType LOCK_EXCLUSIVE = minimpi::LockType::kExclusive;
+inline constexpr LockType LOCK_SHARED = minimpi::LockType::kShared;
 
 class Env;
 
@@ -201,6 +207,10 @@ class Comm {
                  JArray<T>& recvbuf, std::span<const int> recvcounts,
                  std::span<const int> rdispls) const;
 
+  // --- One-sided communication (mpi.Win) ------------------------------------
+  class Win winCreate(ByteBuffer& buf, std::size_t bytes) const;
+  class Win winAllocate(std::size_t bytes) const;
+
   // --- Communicator management --------------------------------------------------
   Comm dup() const;
   Comm split(int color, int key) const;
@@ -220,6 +230,7 @@ class Comm {
 
  private:
   friend class Env;
+  friend class Win;  // one-sided paths reuse buffer_address/env_
   Comm(Env* env, minimpi::Comm native) : env_(env), native_(native) {}
 
   std::byte* buffer_address(const ByteBuffer& buf, std::size_t bytes,
@@ -227,6 +238,66 @@ class Comm {
 
   Env* env_ = nullptr;
   minimpi::Comm native_;
+};
+
+/// mpi.Win of the Open MPI-J baseline: the same one-sided ByteBuffer API
+/// as MVAPICH2-J (both bindings expose the same Java API) over the same
+/// native window engine. Direct buffers only — an array origin would
+/// need a staged copy, which defeats one-sided transfers outright, so
+/// this binding never offered one. Every call pays the baseline's extra
+/// per-call object-graph marshalling (crossing + handle walk).
+class Win {
+ public:
+  Win() = default;
+
+  bool valid() const { return native_.valid(); }
+  int getRank() const { return native_.rank(); }
+  int getSize() const { return native_.size(); }
+  std::size_t getBytes(int targetRank) const {
+    return native_.bytes(targetRank);
+  }
+
+  void put(const ByteBuffer& origin, int count, const Datatype& type,
+           int targetRank, std::size_t targetOffset) const;
+  void put(const ByteBuffer& origin, int count, const Datatype& type,
+           int targetRank, std::size_t targetOffset,
+           const Datatype& targetType) const;
+  void get(ByteBuffer& origin, int count, const Datatype& type,
+           int targetRank, std::size_t targetOffset) const;
+  void get(ByteBuffer& origin, int count, const Datatype& type,
+           int targetRank, std::size_t targetOffset,
+           const Datatype& targetType) const;
+  void accumulate(const ByteBuffer& origin, int count, const Datatype& type,
+                  const Op& op, int targetRank,
+                  std::size_t targetOffset) const;
+  void fetchOp(const ByteBuffer& value, ByteBuffer& result,
+               const Datatype& type, const Op& op, int targetRank,
+               std::size_t targetOffset) const;
+
+  void fence() const;
+  void post(std::span<const int> group) const;
+  void start(std::span<const int> group) const;
+  void complete() const;
+  void waitFor() const;
+  void lock(LockType type, int targetRank) const;
+  void unlock(int targetRank) const;
+  void lockAll() const;
+  void unlockAll() const;
+
+  void free();
+
+  const minimpi::Win& native() const { return native_; }
+
+ private:
+  friend class Comm;
+  Win(Comm comm, minimpi::Win native)
+      : comm_(std::move(comm)), native_(std::move(native)) {}
+
+  std::byte* origin_address(const ByteBuffer& buf, int count,
+                            const Datatype& type, const char* what) const;
+
+  Comm comm_;
+  minimpi::Win native_;
 };
 
 /// Job-level options.

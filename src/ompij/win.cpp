@@ -1,0 +1,163 @@
+// One-sided (mpi.Win) paths of the Open MPI-J baseline. Same native
+// window engine as MVAPICH2-J; what differs is the per-call binding
+// overhead — this baseline walks a Datatype/Win object graph on every
+// call (crossing + handle_check), the gap the paper's point-to-point
+// figures attribute to binding thickness.
+#include "jhpc/ompij/ompij.hpp"
+
+#include <vector>
+
+#include "jhpc/minijvm/jni.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::ompij {
+
+namespace {
+std::size_t payload_bytes(int count, const Datatype& type) {
+  JHPC_REQUIRE(count >= 0, "negative element count");
+  return static_cast<std::size_t>(count) * type.size();
+}
+}  // namespace
+
+std::byte* Win::origin_address(const ByteBuffer& buf, int count,
+                               const Datatype& type, const char* what) const {
+  JHPC_REQUIRE(valid(), std::string(what) + " on invalid window");
+  JHPC_REQUIRE(count >= 0, "negative element count");
+  // Origins are packed payloads (the window engine packs/scatters derived
+  // layouts target-side), so capacity checks use size().
+  minijvm::JniEnv& jni = comm_.env_->jvm().jni();
+  jni.crossing();
+  jni.handle_check();
+  return comm_.buffer_address(buf, payload_bytes(count, type), what);
+}
+
+void Win::put(const ByteBuffer& origin, int count, const Datatype& type,
+              int targetRank, std::size_t targetOffset) const {
+  const std::byte* p = origin_address(origin, count, type, "Win.put");
+  if (type.isBasic()) {
+    native_.put(p, payload_bytes(count, type), targetRank, targetOffset);
+  } else {
+    native_.put(p, count, type.native(), targetRank, targetOffset,
+                type.native());
+  }
+}
+
+void Win::put(const ByteBuffer& origin, int count, const Datatype& type,
+              int targetRank, std::size_t targetOffset,
+              const Datatype& targetType) const {
+  const std::byte* p = origin_address(origin, count, type, "Win.put");
+  native_.put(p, count, type.native(), targetRank, targetOffset,
+              targetType.native());
+}
+
+void Win::get(ByteBuffer& origin, int count, const Datatype& type,
+              int targetRank, std::size_t targetOffset) const {
+  std::byte* p = origin_address(origin, count, type, "Win.get");
+  if (type.isBasic()) {
+    native_.get(p, payload_bytes(count, type), targetRank, targetOffset);
+  } else {
+    native_.get(p, count, type.native(), targetRank, targetOffset,
+                type.native());
+  }
+}
+
+void Win::get(ByteBuffer& origin, int count, const Datatype& type,
+              int targetRank, std::size_t targetOffset,
+              const Datatype& targetType) const {
+  std::byte* p = origin_address(origin, count, type, "Win.get");
+  native_.get(p, count, type.native(), targetRank, targetOffset,
+              targetType.native());
+}
+
+void Win::accumulate(const ByteBuffer& origin, int count,
+                     const Datatype& type, const Op& op, int targetRank,
+                     std::size_t targetOffset) const {
+  const std::byte* p = origin_address(origin, count, type, "Win.accumulate");
+  native_.accumulate(p, count, type.native(), op.native(), targetRank,
+                     targetOffset);
+}
+
+void Win::fetchOp(const ByteBuffer& value, ByteBuffer& result,
+                  const Datatype& type, const Op& op, int targetRank,
+                  std::size_t targetOffset) const {
+  JHPC_REQUIRE(type.isBasic(), "Win.fetchOp requires a basic datatype");
+  const std::byte* v = origin_address(value, 1, type, "Win.fetchOp");
+  std::byte* r = comm_.buffer_address(result, type.size(), "Win.fetchOp");
+  native_.fetch_op(v, r, type.kind(), op.native(), targetRank, targetOffset);
+}
+
+void Win::fence() const {
+  JHPC_REQUIRE(valid(), "fence on invalid window");
+  comm_.env_->jvm().jni().crossing();
+  native_.fence();
+}
+
+void Win::post(std::span<const int> group) const {
+  JHPC_REQUIRE(valid(), "post on invalid window");
+  comm_.env_->jvm().jni().crossing();
+  native_.post(std::vector<int>(group.begin(), group.end()));
+}
+
+void Win::start(std::span<const int> group) const {
+  JHPC_REQUIRE(valid(), "start on invalid window");
+  comm_.env_->jvm().jni().crossing();
+  native_.start(std::vector<int>(group.begin(), group.end()));
+}
+
+void Win::complete() const {
+  JHPC_REQUIRE(valid(), "complete on invalid window");
+  comm_.env_->jvm().jni().crossing();
+  native_.complete();
+}
+
+void Win::waitFor() const {
+  JHPC_REQUIRE(valid(), "waitFor on invalid window");
+  comm_.env_->jvm().jni().crossing();
+  native_.wait();
+}
+
+void Win::lock(LockType type, int targetRank) const {
+  JHPC_REQUIRE(valid(), "lock on invalid window");
+  comm_.env_->jvm().jni().crossing();
+  native_.lock(type, targetRank);
+}
+
+void Win::unlock(int targetRank) const {
+  JHPC_REQUIRE(valid(), "unlock on invalid window");
+  comm_.env_->jvm().jni().crossing();
+  native_.unlock(targetRank);
+}
+
+void Win::lockAll() const {
+  JHPC_REQUIRE(valid(), "lockAll on invalid window");
+  comm_.env_->jvm().jni().crossing();
+  native_.lock_all();
+}
+
+void Win::unlockAll() const {
+  JHPC_REQUIRE(valid(), "unlockAll on invalid window");
+  comm_.env_->jvm().jni().crossing();
+  native_.unlock_all();
+}
+
+void Win::free() {
+  JHPC_REQUIRE(valid(), "free on invalid window");
+  comm_.env_->jvm().jni().crossing();
+  native_.free();
+  comm_ = Comm();
+}
+
+Win Comm::winCreate(ByteBuffer& buf, std::size_t bytes) const {
+  JHPC_REQUIRE(valid(), "winCreate on invalid communicator");
+  env_->jvm().jni().crossing();
+  std::byte* base = buffer_address(buf, bytes, "winCreate");
+  return Win(*this, native_.win_create(base, bytes));
+}
+
+Win Comm::winAllocate(std::size_t bytes) const {
+  JHPC_REQUIRE(valid(), "winAllocate on invalid communicator");
+  env_->jvm().jni().crossing();
+  return Win(*this, native_.win_allocate(bytes));
+}
+
+}  // namespace jhpc::ompij

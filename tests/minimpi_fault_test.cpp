@@ -813,5 +813,113 @@ TEST(FaultZeroCostTest, InactivePlanBehavesIdenticallyToNoPlan) {
   EXPECT_EQ(run(1), run(987654321));
 }
 
+// --- One-sided traffic under drop/jitter plans -----------------------------
+
+TEST(FaultRmaTest, PutAccumulateStreamSurvivesDropsWithExactAccounting) {
+  // A put+accumulate stream over every droppable link: the RDMA path
+  // rides the same reliable protocol as two-sided traffic, so the fault
+  // books must balance over RMA-only traffic too — and the window
+  // contents must come out exactly as a fault-free run would leave them
+  // (the retransmit-dedup floors at work).
+  UniverseConfig c = chaos_cfg(4, 1, 0.06, 400, 24680, "rma_chaos");
+  constexpr int kEpochs = 12;
+  constexpr std::size_t kSlice = 128;
+  bool accounting_done = false;
+  Universe::launch(c, [&](Comm& world) {
+    const int n = world.size();
+    const int me = world.rank();
+    const std::size_t acc_off = static_cast<std::size_t>(n) * kSlice;
+    Win win = world.win_allocate(acc_off + sizeof(std::int64_t));
+    win.fence();
+    for (int e = 0; e < kEpochs; ++e) {
+      const std::int64_t one = 1;
+      for (int t = 0; t < n; ++t) {
+        if (t == me) continue;
+        const auto payload =
+            pattern(kSlice, static_cast<unsigned>(e * 100 + me));
+        win.put(payload.data(), payload.size(), t,
+                static_cast<std::size_t>(me) * kSlice);
+        win.accumulate(&one, 1, Datatype::basic(BasicKind::kLong),
+                       ReduceOp::kSum, t, acc_off);
+      }
+      win.fence();
+      // Each peer's final-round slice and the shared counter are exact.
+      for (int o = 0; o < n; ++o) {
+        if (o == me) continue;
+        const auto* mem = static_cast<const std::uint8_t*>(win.base());
+        const auto want =
+            pattern(kSlice, static_cast<unsigned>(e * 100 + o));
+        EXPECT_EQ(0, std::memcmp(mem + static_cast<std::size_t>(o) * kSlice,
+                                 want.data(), kSlice))
+            << "epoch " << e << ": slice from origin " << o
+            << " corrupted under faults";
+      }
+      std::int64_t count;
+      std::memcpy(&count, static_cast<const std::uint8_t*>(win.base()) +
+                              acc_off, sizeof(count));
+      EXPECT_EQ(count, static_cast<std::int64_t>(e + 1) * (n - 1))
+          << "accumulate lost or double-applied under faults";
+      // Peers must not race ahead into the next epoch's puts while this
+      // rank is still reading its own window.
+      world.barrier();
+    }
+    drain_to_rank0(world);
+    if (me == 0) {
+      obs::PvarRegistry& reg = *world.pvars();
+      expect_fault_accounting(reg);
+      EXPECT_GT(total(reg, "fault.data_drops") +
+                    total(reg, "fault.ack_drops"),
+                0)
+          << "a 6% plan over this much RMA traffic should drop something";
+      EXPECT_EQ(total(reg, "fault.timeouts"), 0);
+      EXPECT_EQ(total(reg, "rma.put_bytes"),
+                static_cast<std::int64_t>(kEpochs) * 4 * 3 * kSlice);
+      accounting_done = true;
+    }
+    world.barrier();
+    win.free();
+  });
+  EXPECT_TRUE(accounting_done);
+}
+
+TEST(FaultRmaTest, LockUnlockUnderJitterKeepsRmwAtomic) {
+  // Passive target under jitter: n-1 ranks hammer a fetch_op ticket
+  // counter plus an exclusive-lock read-modify-write on rank 0's window;
+  // neither may lose an update however the retransmits land.
+  UniverseConfig c = chaos_cfg(3, 1, 0.05, 600, 13579, "rma_lock_chaos");
+  constexpr int kIters = 15;
+  Universe::launch(c, [&](Comm& world) {
+    const int n = world.size();
+    Win win = world.win_allocate(2 * sizeof(std::int64_t));
+    win.fence();
+    win.fence();  // window contents zeroed and visible everywhere
+    for (int i = 0; i < kIters; ++i) {
+      const std::int64_t one = 1;
+      std::int64_t ticket = -1;
+      win.fetch_op(&one, &ticket, BasicKind::kLong, ReduceOp::kSum, 0, 0);
+      EXPECT_GE(ticket, 0);
+      EXPECT_LT(ticket, static_cast<std::int64_t>(n) * kIters);
+      win.lock(LockType::kExclusive, 0);
+      std::int64_t cur;
+      win.get(&cur, sizeof(cur), 0, sizeof(std::int64_t));
+      ++cur;
+      win.put(&cur, sizeof(cur), 0, sizeof(std::int64_t));
+      win.unlock(0);
+    }
+    world.barrier();
+    if (world.rank() == 0) {
+      const auto* mem = static_cast<const std::int64_t*>(win.base());
+      EXPECT_EQ(mem[0], static_cast<std::int64_t>(n) * kIters)
+          << "fetch_op tickets lost under faults";
+      EXPECT_EQ(mem[1], static_cast<std::int64_t>(n) * kIters)
+          << "locked RMW lost an update under faults";
+      obs::PvarRegistry& reg = *world.pvars();
+      expect_fault_accounting(reg);
+    }
+    world.barrier();
+    win.free();
+  });
+}
+
 }  // namespace
 }  // namespace jhpc::minimpi

@@ -8,7 +8,10 @@
 // suites (the FuzzReplay ctest shard pins one in CI).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <numeric>
 #include <random>
 #include <string>
@@ -148,6 +151,189 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
+// --- One-sided fuzzing -------------------------------------------------------
+// Seeded random epoch/op interleavings over RMA windows: every round
+// picks a sync mode (fence / pscw / lock), every rank derives the SAME
+// global op list from the shared seed and maintains a shadow copy of
+// EVERY window, so each rank can verify its own memory — and anything it
+// gets — against a locally computed expectation. Puts keep per-origin
+// slices disjoint inside an epoch; accumulates fold commutative integer
+// sums; so the shadow is exact regardless of interleaving. The faulted
+// variant replays the identical schedule under a drop/jitter plan: the
+// reliable path's retransmit dedup must keep results bit-identical.
+
+constexpr std::size_t kRmaSlice = 32;
+constexpr int kRmaAccInts = 16;
+
+void rma_fuzz_job(unsigned seed, int world_size, bool faults) {
+  UniverseConfig cfg;
+  cfg.world_size = world_size;
+  cfg.fabric.ranks_per_node = 2;
+  if (faults) {
+    cfg.fabric.faults.seed = seed * 2654435761u + 1;
+    cfg.fabric.faults.link_defaults.drop_prob = 0.04;
+    cfg.fabric.faults.link_defaults.jitter_ns = 250;
+  }
+  SCOPED_TRACE(std::string("rma fuzz replay: JHPC_FUZZ_SEED=") +
+               std::to_string(seed) + (faults ? " (faulted run)" : ""));
+
+  Universe::launch(cfg, [seed, faults](Comm& world) {
+    (void)faults;               // same schedule with and without the plan
+    std::mt19937 rng(seed);     // identical on every rank
+    const int n = world.size();
+    const int me = world.rank();
+    const std::size_t acc_off = static_cast<std::size_t>(n) * kRmaSlice;
+    const std::size_t wbytes = acc_off + kRmaAccInts * sizeof(std::int32_t);
+    Win win = world.win_allocate(wbytes);
+    std::vector<int> others;
+    for (int r = 0; r < n; ++r)
+      if (r != me) others.push_back(r);
+
+    // Shadow of every rank's window, identical on all ranks.
+    std::vector<std::vector<std::uint8_t>> shadow(
+        static_cast<std::size_t>(n),
+        std::vector<std::uint8_t>(wbytes, 0));
+
+    struct WOp {
+      int origin, target;
+      bool acc;
+      std::int32_t salt;
+    };
+
+    for (int round = 0; round < 24; ++round) {
+      SCOPED_TRACE("round=" + std::to_string(round) +
+                   " rank=" + std::to_string(me));
+      const int mode = static_cast<int>(rng() % 3);  // 0 fence 1 pscw 2 lock
+
+      auto open_epoch = [&] {
+        if (mode == 0) win.fence();
+        if (mode == 1) {
+          win.post(others);
+          win.start(others);
+        }
+      };
+      auto close_epoch = [&] {
+        if (mode == 0) win.fence();
+        if (mode == 1) {
+          win.complete();
+          win.wait();
+          world.barrier();
+        }
+        if (mode == 2) world.barrier();
+      };
+      auto locked = [&](int t, const std::function<void()>& body) {
+        if (mode == 2) {
+          win.lock(LockType::kExclusive, t);
+          body();
+          win.unlock(t);
+        } else {
+          body();
+        }
+      };
+
+      // Write epoch: derive the global op list, execute my share, fold
+      // ALL of it into the shadow (disjoint slices + commutative sums
+      // make the shadow exact for any interleaving).
+      std::vector<WOp> ops;
+      for (int o = 0; o < n; ++o) {
+        const int nops = static_cast<int>(rng() % 3);
+        for (int k = 0; k < nops; ++k) {
+          WOp w;
+          w.origin = o;
+          w.target = static_cast<int>(rng() % (n - 1));
+          if (w.target >= o) ++w.target;
+          w.acc = (rng() & 1u) != 0;
+          w.salt = static_cast<std::int32_t>(rng() % 100000);
+          ops.push_back(w);
+        }
+      }
+      open_epoch();
+      for (const WOp& w : ops) {
+        auto& tgt_shadow = shadow[static_cast<std::size_t>(w.target)];
+        if (w.acc) {
+          std::int32_t addend[kRmaAccInts];
+          for (int i = 0; i < kRmaAccInts; ++i) addend[i] = w.salt + i;
+          if (w.origin == me) {
+            locked(w.target, [&] {
+              win.accumulate(addend, kRmaAccInts,
+                             Datatype::basic(BasicKind::kInt),
+                             ReduceOp::kSum, w.target, acc_off);
+            });
+          }
+          for (int i = 0; i < kRmaAccInts; ++i) {
+            std::int32_t cur;
+            std::memcpy(&cur, tgt_shadow.data() + acc_off + i * 4, 4);
+            cur += addend[i];
+            std::memcpy(tgt_shadow.data() + acc_off + i * 4, &cur, 4);
+          }
+        } else {
+          std::uint8_t payload[kRmaSlice];
+          for (std::size_t i = 0; i < kRmaSlice; ++i)
+            payload[i] = static_cast<std::uint8_t>(
+                (w.salt + static_cast<int>(i) * 31) & 0xff);
+          const std::size_t off =
+              static_cast<std::size_t>(w.origin) * kRmaSlice;
+          if (w.origin == me) {
+            locked(w.target,
+                   [&] { win.put(payload, kRmaSlice, w.target, off); });
+          }
+          std::memcpy(tgt_shadow.data() + off, payload, kRmaSlice);
+        }
+      }
+      close_epoch();
+
+      // My window must now equal its shadow exactly.
+      std::vector<std::uint8_t> mine(wbytes);
+      std::memcpy(mine.data(), win.base(), wbytes);
+      ASSERT_EQ(mine, shadow[static_cast<std::size_t>(me)]);
+
+      // Read epoch: every rank gets one random remote slice and checks
+      // it against the shadow (stable: no writes in this epoch).
+      std::vector<int> get_tgt(static_cast<std::size_t>(n));
+      std::vector<int> get_slice(static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        get_tgt[static_cast<std::size_t>(r)] =
+            static_cast<int>(rng() % (n - 1));
+        if (get_tgt[static_cast<std::size_t>(r)] >= r)
+          ++get_tgt[static_cast<std::size_t>(r)];
+        get_slice[static_cast<std::size_t>(r)] =
+            static_cast<int>(rng() % n);
+      }
+      const int t = get_tgt[static_cast<std::size_t>(me)];
+      const std::size_t s_off =
+          static_cast<std::size_t>(get_slice[static_cast<std::size_t>(me)]) *
+          kRmaSlice;
+      std::uint8_t got[kRmaSlice];
+      open_epoch();
+      locked(t, [&] { win.get(got, kRmaSlice, t, s_off); });
+      close_epoch();
+      ASSERT_EQ(0, std::memcmp(
+                       got,
+                       shadow[static_cast<std::size_t>(t)].data() + s_off,
+                       kRmaSlice));
+    }
+    world.barrier();
+    win.free();
+  });
+}
+
+class RmaFuzzTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool>> {};
+
+TEST_P(RmaFuzzTest, RandomEpochInterleavingsStayCorrect) {
+  const auto [seed, faults] = GetParam();
+  rma_fuzz_job(seed, 5, faults);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RmaFuzzTest,
+    ::testing::Combine(::testing::Values(3u, 11u, 99u, 2718u),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string("seed") + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_faults" : "_clean");
+    });
+
 // --- Seed replay -------------------------------------------------------------
 // `JHPC_FUZZ_SEED=<n>` replays one schedule across all three suites —
 // the debugging entry point the SCOPED_TRACE recipe above points at.
@@ -165,6 +351,19 @@ TEST(FuzzReplay, ReplaysSeedFromEnvironmentOnEverySuite) {
         CollectiveSuite::kHier}) {
     fuzz_job(suite, seed, 6);
   }
+}
+
+// Same entry point for the one-sided fuzzer: replays the env seed's
+// epoch/op interleaving clean AND under the drop/jitter plan (the
+// minimpi_rma_fuzz_replay ctest shard pins seed 314159 through this).
+TEST(RmaFuzzReplay, ReplaysSeedFromEnvironmentCleanAndFaulted) {
+  const char* env = std::getenv("JHPC_FUZZ_SEED");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set JHPC_FUZZ_SEED=<n> to replay a failing schedule";
+  }
+  const auto seed = static_cast<unsigned>(std::stoul(env));
+  rma_fuzz_job(seed, 5, /*faults=*/false);
+  rma_fuzz_job(seed, 5, /*faults=*/true);
 }
 
 }  // namespace

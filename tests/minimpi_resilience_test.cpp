@@ -328,7 +328,9 @@ TEST(ResilienceFatalTest, DefaultHandlerAbortsTheJob) {
 
 TEST(ResilienceFatalTest, RankKillDumpsFlightRecorderReport) {
   // A fatal rank failure must leave a black-box dump: the victim's ring
-  // carries the kill event, the survivor's its stranded receive.
+  // carries the kill event, the survivor's its stranded receive — the
+  // post is recorded ahead of the dead-peer entry check, so it appears
+  // even when the kill (instant 0) beats the survivor into recv.
   UniverseConfig c = kill_cfg(2, {{1, 0}});
   const std::string dump = testing::TempDir() + "flight_kill.txt";
   std::remove(dump.c_str());
@@ -494,6 +496,83 @@ TEST(ResilienceTaxonomyTest, ErrorCodesAreStable) {
   EXPECT_EQ(TruncationError("x").code(), ErrorCode::kTruncated);
   EXPECT_EQ(RankFailedError("x", {3}).code(), ErrorCode::kRankFailed);
   EXPECT_EQ(CommRevokedError("x").code(), ErrorCode::kCommRevoked);
+}
+
+// --- One-sided communication under rank failure -----------------------------
+
+TEST(ResilienceRmaTest, TargetKillMidEpochSurfacesTypedErrorWithoutHang) {
+  // Rank 2 dies mid-job while everyone loops put+fence epochs against a
+  // ring neighbour. Every survivor must get a typed ULFM error out of an
+  // epoch-closing call — never a hang (the suite TIMEOUT is the
+  // no-hang assertion's teeth).
+  UniverseConfig c = kill_cfg(3, {{2, 50'000}});
+  std::atomic<int> typed{0};
+  Universe::launch(c, [&](Comm& world) {
+    world.set_errhandler(Errhandler::kErrorsReturn);
+    try {
+      // win_allocate is itself collective: when sanitizer-inflated
+      // virtual clocks let the kill fire this early, the typed error
+      // must surface here just as it would from a fence.
+      Win win = world.win_allocate(256);
+      win.fence();
+      std::uint8_t payload[32] = {7};
+      for (;;) {
+        // The kill fires once the victim's virtual clock crosses the
+        // scheduled instant; survivors' next epoch close must throw.
+        win.put(payload, sizeof payload, (world.rank() + 1) % 3, 0);
+        win.fence();
+      }
+    } catch (const RankFailedError& e) {
+      // Concrete ULFM types only: the victim's own kill is a distinct
+      // (same-code) exception type that must unwind to the harness.
+      EXPECT_TRUE(world.rank() == 0 || world.rank() == 1)
+          << "only survivors should observe the failure: " << e.what();
+      typed.fetch_add(1);
+    } catch (const CommRevokedError&) {
+      EXPECT_TRUE(world.rank() == 0 || world.rank() == 1)
+          << "only survivors should observe the failure";
+      typed.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(typed.load(), 2) << "both survivors must see a typed error";
+}
+
+TEST(ResilienceRmaTest, TargetKillMidEpochDumpsRmaFlightEvents) {
+  // Fatal-by-default semantics, with the black box on: the dump must
+  // carry the survivor's one-sided activity (rma_put spans and the
+  // epoch-close rma_sync marker), not just the stranded two-sided posts.
+  // The kill instant must leave room for at least one full put+fence
+  // epoch even when sanitizers inflate the CPU-time-driven virtual
+  // clock (under TSan the initial fence alone crosses 100us).
+  UniverseConfig c = kill_cfg(2, {{1, 2'000'000}});
+  const std::string dump = testing::TempDir() + "flight_rma_kill.txt";
+  std::remove(dump.c_str());
+  c.obs.flight_dump_path = dump;
+  EXPECT_THROW(Universe::launch(c,
+                                [](Comm& world) {
+                                  Win win = world.win_allocate(128);
+                                  win.fence();
+                                  std::uint8_t payload[32] = {42};
+                                  for (;;) {
+                                    win.put(payload, sizeof payload,
+                                            (world.rank() + 1) % 2, 0);
+                                    win.fence();
+                                  }
+                                }),
+               RankFailedError);
+  std::ifstream f(dump);
+  ASSERT_TRUE(f.good()) << "flight dump not written to " << dump;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string report = ss.str();
+  EXPECT_NE(report.find("flight recorder"), std::string::npos);
+  EXPECT_NE(report.find("involved ranks: 0 1"), std::string::npos);
+  EXPECT_NE(report.find("rma_put"), std::string::npos)
+      << "one-sided puts missing from the black box:\n"
+      << report;
+  EXPECT_NE(report.find("rma_sync"), std::string::npos)
+      << "epoch-close markers missing from the black box:\n"
+      << report;
 }
 
 }  // namespace

@@ -1,0 +1,412 @@
+// Differential oracle for the one-sided subsystem: a seeded program of
+// put/get/accumulate operations is executed once over windows in each
+// RMA sync mode (fence, post/start/complete/wait, lock/unlock) and once
+// as a plain two-sided send/recv reference — every mode must produce
+// BIT-IDENTICAL window memory and read results, on pow2 and non-pow2
+// world sizes, with derived-datatype targets, and under an injected
+// drop/jitter fault plan (the retransmit-idempotence regression: a
+// double-applied put or accumulate diverges immediately).
+//
+// The program is a pure function of (seed, round, origin, target), so
+// every rank — and every execution engine — derives the same op list.
+// Writes keep per-origin target slices disjoint; accumulates fold
+// commutative integer sums so arrival order cannot matter; reads only
+// touch rounds' stable prefixes. Any difference is therefore a bug, not
+// a race.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "jhpc/minimpi/minimpi.hpp"
+#include "jhpc/obs/obs.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+namespace {
+
+constexpr std::size_t kSlice = 64;       // per-origin put slice, bytes
+constexpr int kAccInts = 32;             // shared accumulate zone, int32s
+constexpr int kRounds = 4;
+
+std::size_t win_bytes(int nranks) {
+  return static_cast<std::size_t>(nranks) * kSlice +
+         kAccInts * sizeof(std::int32_t);
+}
+
+/// Deterministic mixing (splitmix64): the single source of every value,
+/// length and mode choice in the program.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t op_key(std::uint64_t seed, int round, int origin, int target) {
+  return mix(seed ^ mix(static_cast<std::uint64_t>(round) * 1000003 +
+                        static_cast<std::uint64_t>(origin) * 1009 +
+                        static_cast<std::uint64_t>(target)));
+}
+
+std::vector<std::uint8_t> put_payload(std::uint64_t key) {
+  std::vector<std::uint8_t> v(kSlice);
+  for (std::size_t i = 0; i < kSlice; ++i)
+    v[i] = static_cast<std::uint8_t>(mix(key + i) & 0xff);
+  return v;
+}
+
+std::vector<std::int32_t> acc_payload(std::uint64_t key) {
+  std::vector<std::int32_t> v(kAccInts);
+  for (int i = 0; i < kAccInts; ++i)
+    v[i] = static_cast<std::int32_t>(mix(key + 100 + i) % 1000);
+  return v;
+}
+
+/// Per-(round, origin, target) op shape, derived identically everywhere.
+struct OpShape {
+  bool do_put;
+  bool typed_put;  // strided (vector of every-2nd-int) target layout
+  bool do_acc;
+};
+
+OpShape shape(std::uint64_t seed, int round, int origin, int target) {
+  const std::uint64_t k = op_key(seed, round, origin, target);
+  return {(k & 1) != 0, (k & 2) != 0, (k & 4) != 0};
+}
+
+/// The strided target layout typed puts scatter into: every second int
+/// of the 64-byte slice (8 ints, stride 2).
+Datatype stride2() {
+  return Datatype::vector(8, 1, 2, Datatype::basic(BasicKind::kInt));
+}
+
+/// Result of one engine run: each rank's final window memory plus its
+/// ordered get-result log.
+struct RunResult {
+  std::vector<std::vector<std::uint8_t>> windows;  // per rank
+  std::vector<std::vector<std::uint8_t>> reads;    // per rank
+};
+
+enum class SyncMode { kFence, kPscw, kLock };
+
+UniverseConfig diff_cfg(int ranks, const std::string& tag, bool faults,
+                        std::uint64_t fault_seed) {
+  UniverseConfig c;
+  c.world_size = ranks;
+  c.fabric.ranks_per_node = ranks > 2 ? 2 : 1;  // mixed intra/inter links
+  c.obs = obs::ObsConfig{};
+  c.obs.trace_path = testing::TempDir() + "rma_diff_" + tag + ".json";
+  if (faults) {
+    c.fabric.faults.seed = fault_seed;
+    c.fabric.faults.link_defaults.drop_prob = 0.05;
+    c.fabric.faults.link_defaults.jitter_ns = 300;
+  }
+  return c;
+}
+
+/// Execute the seeded program one-sided, under the given sync mode.
+RunResult run_rma(UniverseConfig c, std::uint64_t seed, SyncMode mode) {
+  const int n = c.world_size;
+  RunResult out;
+  out.windows.assign(static_cast<std::size_t>(n), {});
+  out.reads.assign(static_cast<std::size_t>(n), {});
+  Universe::launch(c, [&](Comm& world) {
+    const int me = world.rank();
+    Win win = world.win_allocate(win_bytes(n));
+    std::vector<int> others;
+    for (int r = 0; r < n; ++r)
+      if (r != me) others.push_back(r);
+
+    auto open_epoch = [&] {
+      switch (mode) {
+        case SyncMode::kFence: win.fence(); break;
+        case SyncMode::kPscw:
+          win.post(others);
+          win.start(others);
+          break;
+        case SyncMode::kLock: break;  // per-op locks
+      }
+    };
+    auto close_epoch = [&] {
+      switch (mode) {
+        case SyncMode::kFence: win.fence(); break;
+        case SyncMode::kPscw:
+          win.complete();
+          win.wait();
+          world.barrier();  // round separator (fence/wait imply it)
+          break;
+        case SyncMode::kLock: world.barrier(); break;
+      }
+    };
+    auto with_target = [&](int t, const std::function<void()>& body) {
+      if (mode == SyncMode::kLock) {
+        win.lock(LockType::kExclusive, t);
+        body();
+        win.unlock(t);
+      } else {
+        body();
+      }
+    };
+
+    for (int round = 0; round < kRounds; ++round) {
+      // Write phase: my slice of every target, plus accumulate folds.
+      open_epoch();
+      for (int t = 0; t < n; ++t) {
+        // The program never targets self: pscw access groups exclude
+        // self by construction, and skipping it everywhere keeps every
+        // engine's window contents comparable (self slices stay zero).
+        if (t == me) continue;
+        const OpShape s = shape(seed, round, me, t);
+        const std::uint64_t key = op_key(seed, round, me, t);
+        with_target(t, [&] {
+          if (s.do_put) {
+            const std::size_t off = static_cast<std::size_t>(me) * kSlice;
+            if (s.typed_put) {
+              std::vector<std::int32_t> src(8);
+              for (int i = 0; i < 8; ++i)
+                src[i] = static_cast<std::int32_t>(mix(key + 50 + i));
+              win.put(src.data(), 8, Datatype::basic(BasicKind::kInt), t,
+                      off, stride2());
+            } else {
+              const auto payload = put_payload(key);
+              win.put(payload.data(), payload.size(), t, off);
+            }
+          }
+          if (s.do_acc) {
+            const auto addend = acc_payload(key);
+            win.accumulate(addend.data(), kAccInts,
+                           Datatype::basic(BasicKind::kInt), ReduceOp::kSum,
+                           t, static_cast<std::size_t>(n) * kSlice);
+          }
+        });
+      }
+      close_epoch();
+
+      // Read phase: pull a (now stable) slice out of a rotating target.
+      // shift in [1, n-1] keeps the target strictly non-self so the
+      // same epoch code serves every sync mode.
+      const int shift = 1 + (round % (n - 1));
+      const int t = (me + shift) % n;
+      const int src_rank = (me + round) % n;
+      std::vector<std::uint8_t> got(kSlice);
+      open_epoch();
+      with_target(t, [&] {
+        win.get(got.data(), got.size(), t,
+                static_cast<std::size_t>(src_rank) * kSlice);
+      });
+      close_epoch();
+      out.reads[static_cast<std::size_t>(me)].insert(
+          out.reads[static_cast<std::size_t>(me)].end(), got.begin(),
+          got.end());
+    }
+
+    const auto* mem = static_cast<const std::uint8_t*>(win.base());
+    out.windows[static_cast<std::size_t>(me)].assign(mem,
+                                                     mem + win_bytes(n));
+    world.barrier();
+    win.free();
+  });
+  return out;
+}
+
+/// Execute the same program with two-sided messaging only: the golden
+/// reference the one-sided engine must match bit for bit.
+RunResult run_twosided(UniverseConfig c, std::uint64_t seed) {
+  const int n = c.world_size;
+  RunResult out;
+  out.windows.assign(static_cast<std::size_t>(n), {});
+  out.reads.assign(static_cast<std::size_t>(n), {});
+  Universe::launch(c, [&](Comm& world) {
+    const int me = world.rank();
+    std::vector<std::uint8_t> mem(win_bytes(n), 0);
+    auto* acc_zone = reinterpret_cast<std::int32_t*>(
+        mem.data() + static_cast<std::size_t>(n) * kSlice);
+
+    for (int round = 0; round < kRounds; ++round) {
+      // Write phase. Tags encode (origin, kind) so matching is exact.
+      std::vector<Request> reqs;
+      std::vector<std::vector<std::uint8_t>> put_bufs;
+      std::vector<std::vector<std::int32_t>> int_bufs;
+      std::vector<std::vector<std::int32_t>> acc_in(
+          static_cast<std::size_t>(n));
+      put_bufs.reserve(static_cast<std::size_t>(n));
+      int_bufs.reserve(static_cast<std::size_t>(2 * n));
+      // My sends (the program never targets self).
+      for (int t = 0; t < n; ++t) {
+        if (t == me) continue;
+        const OpShape s = shape(seed, round, me, t);
+        const std::uint64_t key = op_key(seed, round, me, t);
+        if (s.do_put) {
+          if (s.typed_put) {
+            int_bufs.emplace_back(8);
+            auto& src = int_bufs.back();
+            for (int i = 0; i < 8; ++i)
+              src[i] = static_cast<std::int32_t>(mix(key + 50 + i));
+            reqs.push_back(world.isend(src.data(), 8,
+                                       Datatype::basic(BasicKind::kInt), t,
+                                       2 * me));
+          } else {
+            put_bufs.push_back(put_payload(key));
+            reqs.push_back(world.isend(put_bufs.back().data(), kSlice, t,
+                                       2 * me));
+          }
+        }
+        if (s.do_acc) {
+          int_bufs.push_back(acc_payload(key));
+          reqs.push_back(world.isend(int_bufs.back().data(),
+                                     kAccInts * sizeof(std::int32_t), t,
+                                     2 * me + 1));
+        }
+      }
+      // Receives targeting me.
+      for (int o = 0; o < n; ++o) {
+        if (o == me) continue;
+        const OpShape s = shape(seed, round, o, me);
+        if (s.do_put) {
+          const std::size_t off = static_cast<std::size_t>(o) * kSlice;
+          if (s.typed_put) {
+            // 8 packed ints arrive as exactly one stride2 element.
+            reqs.push_back(world.irecv(mem.data() + off, 1, stride2(), o,
+                                       2 * o));
+          } else {
+            reqs.push_back(world.irecv(mem.data() + off, kSlice, o, 2 * o));
+          }
+        }
+        if (s.do_acc) {
+          acc_in[static_cast<std::size_t>(o)].resize(kAccInts);
+          reqs.push_back(
+              world.irecv(acc_in[static_cast<std::size_t>(o)].data(),
+                          kAccInts * sizeof(std::int32_t), o, 2 * o + 1));
+        }
+      }
+      Request::wait_all(reqs);
+      for (int o = 0; o < n; ++o)
+        if (!acc_in[static_cast<std::size_t>(o)].empty())
+          apply_reduce(ReduceOp::kSum, BasicKind::kInt, acc_zone,
+                       acc_in[static_cast<std::size_t>(o)].data(),
+                       kAccInts);
+      world.barrier();
+
+      // Read phase: get(origin<-target) becomes send(target->origin).
+      // Mirrors run_rma exactly: rank r reads from (r+shift)%n, so I
+      // serve the rank for whom (reader+shift)%n == me.
+      const int shift = 1 + (round % (n - 1));
+      const int t = (me + shift) % n;           // I read from t
+      const int reader = (me - shift + n) % n;  // t' == me for this rank
+      std::vector<Request> rr;
+      std::vector<std::uint8_t> got(kSlice);
+      const int src_rank = (me + round) % n;
+      rr.push_back(world.irecv(got.data(), kSlice, t, 7000 + round));
+      const int their_src = (reader + round) % n;
+      rr.push_back(world.isend(
+          mem.data() + static_cast<std::size_t>(their_src) * kSlice, kSlice,
+          reader, 7000 + round));
+      Request::wait_all(rr);
+      (void)src_rank;
+      out.reads[static_cast<std::size_t>(me)].insert(
+          out.reads[static_cast<std::size_t>(me)].end(), got.begin(),
+          got.end());
+      world.barrier();
+    }
+
+    out.windows[static_cast<std::size_t>(me)] = mem;
+  });
+  return out;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t r = 0; r < a.windows.size(); ++r) {
+    EXPECT_EQ(a.windows[r], b.windows[r])
+        << what << ": window memory of rank " << r << " diverged";
+    EXPECT_EQ(a.reads[r], b.reads[r])
+        << what << ": get results of rank " << r << " diverged";
+  }
+}
+
+class RmaDiffTest : public testing::TestWithParam<int> {};
+
+TEST_P(RmaDiffTest, AllSyncModesMatchTwoSidedReference) {
+  const int ranks = GetParam();
+  const std::uint64_t seed = 0xc0ffee ^ static_cast<std::uint64_t>(ranks);
+  const std::string tag = "w" + std::to_string(ranks);
+  const RunResult golden =
+      run_twosided(diff_cfg(ranks, tag + "_ref", false, 0), seed);
+  expect_identical(
+      run_rma(diff_cfg(ranks, tag + "_fence", false, 0), seed,
+              SyncMode::kFence),
+      golden, "fence");
+  expect_identical(
+      run_rma(diff_cfg(ranks, tag + "_pscw", false, 0), seed,
+              SyncMode::kPscw),
+      golden, "pscw");
+  expect_identical(
+      run_rma(diff_cfg(ranks, tag + "_lock", false, 0), seed,
+              SyncMode::kLock),
+      golden, "lock");
+}
+
+TEST_P(RmaDiffTest, FaultInjectedRunsStayBitIdentical) {
+  // Same program under a 5% drop plan: the reliable path retries and
+  // the sequence floors must keep every retransmitted put/accumulate
+  // exactly-once — any double application diverges from golden.
+  const int ranks = GetParam();
+  const std::uint64_t seed = 0xfeedface ^ static_cast<std::uint64_t>(ranks);
+  const std::string tag = "f" + std::to_string(ranks);
+  const RunResult golden =
+      run_twosided(diff_cfg(ranks, tag + "_ref", false, 0), seed);
+  expect_identical(
+      run_rma(diff_cfg(ranks, tag + "_fence_drop", true, 4242), seed,
+              SyncMode::kFence),
+      golden, "fence+faults");
+  expect_identical(
+      run_rma(diff_cfg(ranks, tag + "_lock_drop", true, 777), seed,
+              SyncMode::kLock),
+      golden, "lock+faults");
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, RmaDiffTest,
+                         testing::Values(2, 3, 5));
+
+TEST(RmaIdempotenceTest, AccumulateCountExactUnderHeavyDrops) {
+  // The sharpest idempotence probe: a counting accumulate under a heavy
+  // drop plan. Every duplicate application inflates the count.
+  UniverseConfig c;
+  c.world_size = 3;
+  c.fabric.ranks_per_node = 1;  // every pair crosses a droppable link
+  c.obs = obs::ObsConfig{};
+  c.obs.trace_path = testing::TempDir() + "rma_idem.json";
+  c.fabric.faults.seed = 987654321;
+  c.fabric.faults.link_defaults.drop_prob = 0.15;
+  c.fabric.faults.link_defaults.jitter_ns = 500;
+  constexpr int kFolds = 40;
+  Universe::launch(c, [](Comm& world) {
+    Win win = world.win_allocate(sizeof(std::int64_t));
+    win.fence();
+    const std::int64_t one = 1;
+    for (int i = 0; i < kFolds; ++i)
+      for (int t = 0; t < world.size(); ++t)
+        win.accumulate(&one, 1, Datatype::basic(BasicKind::kLong),
+                       ReduceOp::kSum, t, 0);
+    win.fence();
+    const auto* counter = static_cast<const std::int64_t*>(win.base());
+    EXPECT_EQ(*counter, static_cast<std::int64_t>(kFolds) * world.size())
+        << "retransmitted accumulate applied more than once";
+    // The plan really dropped packets (the probe probed something).
+    world.barrier();
+    if (world.rank() == 0) {
+      obs::PvarRegistry& reg = *world.pvars();
+      EXPECT_GT(reg.total(reg.find("fault.retransmits")), 0);
+    }
+    world.barrier();
+    win.free();
+  });
+}
+
+}  // namespace
+}  // namespace jhpc::minimpi

@@ -1,0 +1,510 @@
+// One-sided (RMA) battery (docs/API.md §"One-sided communication"):
+// epoch discipline is enforced with typed errors, fence orders like a
+// barrier, lock/unlock really mutually excludes concurrent rank
+// threads, post/start group violations are rejected, windows can be
+// rebuilt on a shrunk communicator after a failure, the rma.* pvars
+// account exactly, and a disabled-observability job pays none of it.
+//
+// Registered under `ctest -L rma` and part of the TSan/ASan sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "jhpc/minimpi/minimpi.hpp"
+#include "jhpc/obs/obs.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+namespace {
+
+/// Hermetic config; observability on (trace to a scratch file) so the
+/// pvar registry is alive without printing the finalize table.
+UniverseConfig rma_cfg(int ranks, const std::string& tag, int ppn = 1) {
+  UniverseConfig c;
+  c.world_size = ranks;
+  c.fabric.ranks_per_node = ppn;
+  c.obs = obs::ObsConfig{};
+  c.obs.trace_path = testing::TempDir() + "rma_" + tag + ".json";
+  return c;
+}
+
+std::vector<std::uint8_t> pattern(std::size_t n, unsigned key) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::uint8_t>((i * 31 + key * 17) & 0xff);
+  return v;
+}
+
+std::int64_t total(obs::PvarRegistry& reg, const char* name) {
+  return reg.total(reg.find(name));
+}
+
+// --- Epoch discipline -------------------------------------------------------
+
+TEST(RmaEpochTest, OpOutsideAnyEpochThrowsInvalidArgument) {
+  UniverseConfig c = rma_cfg(2, "no_epoch");
+  Universe::launch(c, [](Comm& world) {
+    std::vector<std::uint8_t> mem(64, 0);
+    Win win = world.win_create(mem.data(), mem.size());
+    const std::uint8_t byte = 7;
+    // No fence/start/lock yet: every operation must be rejected, typed.
+    EXPECT_THROW(win.put(&byte, 1, 1 - world.rank(), 0),
+                 jhpc::InvalidArgumentError);
+    std::uint8_t out = 0;
+    EXPECT_THROW(win.get(&out, 1, 1 - world.rank(), 0),
+                 jhpc::InvalidArgumentError);
+    std::int32_t v = 1, old = 0;
+    EXPECT_THROW(win.fetch_op(&v, &old, BasicKind::kInt, ReduceOp::kSum,
+                              1 - world.rank(), 0),
+                 jhpc::InvalidArgumentError);
+    // Closing calls without an open epoch are equally erroneous.
+    EXPECT_THROW(win.complete(), jhpc::InvalidArgumentError);
+    EXPECT_THROW(win.wait(), jhpc::InvalidArgumentError);
+    EXPECT_THROW(win.unlock(0), jhpc::InvalidArgumentError);
+    EXPECT_THROW(win.unlock_all(), jhpc::InvalidArgumentError);
+    win.free();
+  });
+}
+
+TEST(RmaEpochTest, BoundsAndArgumentViolationsAreTyped) {
+  UniverseConfig c = rma_cfg(2, "bounds");
+  Universe::launch(c, [](Comm& world) {
+    std::vector<std::uint8_t> mem(32, 0);
+    Win win = world.win_create(mem.data(), mem.size());
+    win.fence();
+    const int peer = 1 - world.rank();
+    std::vector<std::uint8_t> buf(64, 1);
+    // Past-the-end and out-of-range targets.
+    EXPECT_THROW(win.put(buf.data(), 64, peer, 0),
+                 jhpc::InvalidArgumentError);
+    EXPECT_THROW(win.put(buf.data(), 8, peer, 32),
+                 jhpc::InvalidArgumentError);
+    EXPECT_THROW(win.put(buf.data(), 8, 5, 0), jhpc::InvalidArgumentError);
+    EXPECT_THROW(win.get(buf.data(), 33, peer, 0),
+                 jhpc::InvalidArgumentError);
+    // Offset+span overflow must not wrap.
+    EXPECT_THROW(win.put(buf.data(), 8, peer,
+                         static_cast<std::size_t>(-4)),
+                 jhpc::InvalidArgumentError);
+    win.fence();
+    win.free();
+  });
+}
+
+TEST(RmaEpochTest, PostStartGroupMismatchRejected) {
+  UniverseConfig c = rma_cfg(3, "group_mismatch");
+  Universe::launch(c, [](Comm& world) {
+    std::vector<std::uint8_t> mem(16, 0);
+    Win win = world.win_create(mem.data(), mem.size());
+    // Locally detectable group violations: own rank, duplicates, range.
+    EXPECT_THROW(win.post({world.rank()}), jhpc::InvalidArgumentError);
+    EXPECT_THROW(win.start({world.rank()}), jhpc::InvalidArgumentError);
+    const int other = (world.rank() + 1) % 3;
+    EXPECT_THROW(win.post({other, other}), jhpc::InvalidArgumentError);
+    EXPECT_THROW(win.start({3}), jhpc::InvalidArgumentError);
+    EXPECT_THROW(win.post({-1}), jhpc::InvalidArgumentError);
+    // An op on a rank outside the access group is an epoch violation.
+    if (world.rank() == 0) {
+      win.start({1});
+      const std::uint8_t b = 1;
+      EXPECT_THROW(win.put(&b, 1, 2, 0), jhpc::InvalidArgumentError);
+      win.put(&b, 1, 1, 0);
+      win.complete();
+    } else if (world.rank() == 1) {
+      win.post({0});
+      win.wait();
+    }
+    world.barrier();
+    win.free();
+  });
+}
+
+// --- Fence epochs -----------------------------------------------------------
+
+TEST(RmaFenceTest, PutGetRoundtripAndFenceOrdering) {
+  // Ring of puts: rank r writes its pattern into rank r+1's window.
+  // After the closing fence every rank must see its predecessor's bytes
+  // in its OWN memory (fence-as-barrier: target completion included).
+  for (const int ranks : {2, 3, 5}) {
+    UniverseConfig c = rma_cfg(ranks, "ring" + std::to_string(ranks));
+    Universe::launch(c, [&](Comm& world) {
+      const int n = world.size();
+      const int me = world.rank();
+      std::vector<std::uint8_t> mem(256, 0);
+      Win win = world.win_create(mem.data(), mem.size());
+      win.fence();
+      const auto mine = pattern(256, static_cast<unsigned>(me));
+      win.put(mine.data(), mine.size(), (me + 1) % n, 0);
+      const std::int64_t before = world.vtime_ns();
+      win.fence();
+      EXPECT_GE(world.vtime_ns(), before);
+      // Direct load from my own exposed memory — legal between epochs.
+      EXPECT_EQ(mem, pattern(256, static_cast<unsigned>((me + n - 1) % n)));
+
+      // Second epoch: everyone gets the successor's window back and must
+      // read what the successor's predecessor put there.
+      std::vector<std::uint8_t> back(256);
+      win.get(back.data(), back.size(), (me + 1) % n, 0);
+      win.fence();
+      EXPECT_EQ(back, pattern(256, static_cast<unsigned>(me)));
+      win.free();
+    });
+  }
+}
+
+TEST(RmaFenceTest, AccumulateSumsAllRanksAndDerivedTypedPut) {
+  UniverseConfig c = rma_cfg(4, "acc");
+  Universe::launch(c, [](Comm& world) {
+    const int n = world.size();
+    const int me = world.rank();
+    Win win = world.win_allocate(64 * sizeof(std::int32_t));
+    auto* ints = static_cast<std::int32_t*>(win.base());
+    win.fence();  // win_allocate memory starts zeroed
+    std::vector<std::int32_t> contrib(64);
+    for (int i = 0; i < 64; ++i) contrib[i] = (me + 1) * (i + 1);
+    for (int t = 0; t < n; ++t)
+      win.accumulate(contrib.data(), 64, Datatype::basic(BasicKind::kInt),
+                     ReduceOp::kSum, t, 0);
+    win.fence();
+    const int scale = n * (n + 1) / 2;  // sum of (me+1) over all ranks
+    for (int i = 0; i < 64; ++i)
+      ASSERT_EQ(ints[i], scale * (i + 1)) << "element " << i;
+
+    // Derived-type put: pack a contiguous origin payload into every
+    // second int of the target (vector type), rank 0 -> rank 1.
+    win.fence();
+    if (me == 0) {
+      const Datatype stride2 =
+          Datatype::vector(32, 1, 2, Datatype::basic(BasicKind::kInt));
+      std::vector<std::int32_t> src(32);
+      for (int i = 0; i < 32; ++i) src[i] = 1000 + i;
+      win.put(src.data(), 32, Datatype::basic(BasicKind::kInt), 1, 0,
+              stride2);
+    }
+    win.fence();
+    if (me == 1) {
+      for (int i = 0; i < 32; ++i)
+        ASSERT_EQ(ints[2 * i], 1000 + i) << "strided slot " << i;
+    }
+    win.free();
+  });
+}
+
+TEST(RmaFenceTest, FetchOpHandsOutDistinctTickets) {
+  UniverseConfig c = rma_cfg(4, "fetch_op");
+  Universe::launch(c, [](Comm& world) {
+    Win win = world.win_allocate(sizeof(std::int64_t));
+    win.fence();
+    const std::int64_t one = 1;
+    std::int64_t ticket = -1;
+    win.fetch_op(&one, &ticket, BasicKind::kLong, ReduceOp::kSum, 0, 0);
+    win.fence();
+    // Every rank got a distinct pre-increment value in [0, n).
+    EXPECT_GE(ticket, 0);
+    EXPECT_LT(ticket, world.size());
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(world.size()));
+    std::uint8_t mine = 1;
+    world.gather(&mine, 1, seen.data(), 0);
+    if (world.rank() == 0) {
+      auto* counter = static_cast<std::int64_t*>(win.base());
+      EXPECT_EQ(*counter, world.size());
+    }
+    std::vector<std::int64_t> tickets(
+        static_cast<std::size_t>(world.size()));
+    world.gather(&ticket, sizeof(ticket), tickets.data(), 0);
+    if (world.rank() == 0) {
+      std::sort(tickets.begin(), tickets.end());
+      for (int r = 0; r < world.size(); ++r)
+        EXPECT_EQ(tickets[static_cast<std::size_t>(r)], r);
+    }
+    win.free();
+  });
+}
+
+// --- Generalized active target ---------------------------------------------
+
+TEST(RmaPscwTest, PostStartCompleteWaitMovesData) {
+  UniverseConfig c = rma_cfg(4, "pscw");
+  Universe::launch(c, [](Comm& world) {
+    // Ranks 1..3 put into rank 0's window; only rank 0 exposes.
+    const int me = world.rank();
+    std::vector<std::uint8_t> mem(3 * 64, 0);
+    Win win = world.win_create(mem.data(), me == 0 ? mem.size() : 0);
+    if (me == 0) {
+      win.post({1, 2, 3});
+      win.wait();
+      for (int r = 1; r <= 3; ++r) {
+        std::vector<std::uint8_t> slot(
+            mem.begin() + (r - 1) * 64, mem.begin() + r * 64);
+        EXPECT_EQ(slot, pattern(64, static_cast<unsigned>(r)));
+      }
+    } else {
+      win.start({0});
+      const auto mine = pattern(64, static_cast<unsigned>(me));
+      win.put(mine.data(), mine.size(), 0,
+              static_cast<std::size_t>(me - 1) * 64);
+      win.complete();
+    }
+    world.barrier();
+    win.free();
+  });
+}
+
+// --- Passive target ---------------------------------------------------------
+
+TEST(RmaLockTest, ExclusiveLockMutuallyExcludesRankThreads) {
+  // Classic lost-update probe: every rank performs read-modify-write
+  // increments on a counter in rank 0's window under an exclusive lock.
+  // Any mutual-exclusion failure loses updates.
+  UniverseConfig c = rma_cfg(4, "mutex");
+  constexpr int kIncrements = 25;
+  Universe::launch(c, [](Comm& world) {
+    Win win = world.win_allocate(sizeof(std::int64_t));
+    for (int i = 0; i < kIncrements; ++i) {
+      win.lock(LockType::kExclusive, 0);
+      std::int64_t v = 0;
+      win.get(&v, sizeof(v), 0, 0);
+      v += 1;
+      win.put(&v, sizeof(v), 0, 0);
+      win.unlock(0);
+    }
+    world.barrier();
+    if (world.rank() == 0) {
+      auto* counter = static_cast<std::int64_t*>(win.base());
+      EXPECT_EQ(*counter, static_cast<std::int64_t>(world.size()) *
+                              kIncrements)
+          << "lost update: exclusive lock failed to exclude";
+    }
+    world.barrier();
+    win.free();
+  });
+}
+
+TEST(RmaLockTest, SharedLocksCoexistAndLockAllWorks) {
+  UniverseConfig c = rma_cfg(4, "shared");
+  Universe::launch(c, [](Comm& world) {
+    const int me = world.rank();
+    Win win = world.win_allocate(
+        static_cast<std::size_t>(world.size()) * sizeof(std::int32_t));
+    // Seed my own slot in everyone's window via a fence epoch.
+    win.fence();
+    const std::int32_t tag = 100 + me;
+    for (int t = 0; t < world.size(); ++t)
+      win.put(&tag, sizeof(tag), t,
+              static_cast<std::size_t>(me) * sizeof(tag));
+    win.fence();
+    // All ranks shared-lock everything and read everyone's slots.
+    win.lock_all();
+    for (int t = 0; t < world.size(); ++t) {
+      for (int s = 0; s < world.size(); ++s) {
+        std::int32_t got = 0;
+        win.get(&got, sizeof(got), t,
+                static_cast<std::size_t>(s) * sizeof(got));
+        EXPECT_EQ(got, 100 + s);
+      }
+    }
+    win.unlock_all();
+    world.barrier();
+    win.free();
+  });
+}
+
+TEST(RmaLockTest, LockEpochDisciplineEnforced) {
+  UniverseConfig c = rma_cfg(2, "lock_discipline");
+  Universe::launch(c, [](Comm& world) {
+    std::vector<std::uint8_t> mem(16, 0);
+    Win win = world.win_create(mem.data(), mem.size());
+    win.lock(LockType::kShared, 0);
+    // Op on a rank other than the locked one; wrong-target unlock;
+    // double lock without unlock.
+    if (world.size() > 1) {
+      const std::uint8_t b = 1;
+      EXPECT_THROW(win.put(&b, 1, 1, 0), jhpc::InvalidArgumentError);
+      EXPECT_THROW(win.unlock(1), jhpc::InvalidArgumentError);
+    }
+    EXPECT_THROW(win.lock(LockType::kShared, 0),
+                 jhpc::InvalidArgumentError);
+    EXPECT_THROW(win.fence(), jhpc::InvalidArgumentError);
+    win.unlock(0);
+    world.barrier();
+    win.free();
+  });
+}
+
+// --- Failure recovery -------------------------------------------------------
+
+TEST(RmaResilienceTest, WindowRebuiltOnShrunkCommAfterFailure) {
+  // Rank 2 dies at t=0; survivors shrink and must be able to build and
+  // drive a fresh window on the shrunk communicator.
+  UniverseConfig c;
+  c.world_size = 4;
+  c.obs = obs::ObsConfig{};
+  c.fabric.faults.kills = {{2, 0}};
+  std::atomic<int> recovered{0};
+  Universe::launch(c, [&](Comm& world) {
+    world.set_errhandler(Errhandler::kErrorsReturn);
+    try {
+      for (;;) {
+        world.barrier();  // the dead rank eventually poisons this
+      }
+    } catch (const jhpc::Error& e) {
+      ASSERT_TRUE(e.code() == ErrorCode::kRankFailed ||
+                  e.code() == ErrorCode::kCommRevoked)
+          << e.what();
+    }
+    Comm alive = world.shrink();
+    ASSERT_EQ(alive.size(), 3);
+    // The window lives on the SHRUNK comm: full fence/put cycle works.
+    Win win = alive.win_allocate(128);
+    auto* bytes = static_cast<std::uint8_t*>(win.base());
+    win.fence();
+    const auto mine = pattern(128, static_cast<unsigned>(alive.rank()));
+    win.put(mine.data(), mine.size(), (alive.rank() + 1) % alive.size(), 0);
+    win.fence();
+    const int pred = (alive.rank() + alive.size() - 1) % alive.size();
+    for (std::size_t i = 0; i < 128; ++i)
+      ASSERT_EQ(bytes[i], pattern(128, static_cast<unsigned>(pred))[i]);
+    win.free();
+    recovered.fetch_add(1);
+  });
+  EXPECT_EQ(recovered.load(), 3);
+}
+
+// --- Observability ----------------------------------------------------------
+
+TEST(RmaObsTest, PvarAccountingIsExact) {
+  UniverseConfig c = rma_cfg(2, "pvars");
+  Universe::launch(c, [](Comm& world) {
+    Win win = world.win_allocate(4096);
+    win.fence();  // epoch 1 closed per rank
+    const int peer = 1 - world.rank();
+    std::vector<std::uint8_t> buf(512, 42);
+    for (int i = 0; i < 8; ++i)
+      win.put(buf.data(), 512, peer, 0);  // 8 * 512 bytes per rank
+    win.fence();  // epoch 2
+    for (int i = 0; i < 3; ++i)
+      win.get(buf.data(), 256, peer, 0);  // 3 * 256 bytes per rank
+    const std::int32_t one = 1;
+    std::int32_t old = 0;
+    win.fetch_op(&one, &old, BasicKind::kInt, ReduceOp::kSum, peer, 0);
+    std::vector<std::int32_t> addend(16, 1);
+    win.accumulate(addend.data(), 16, Datatype::basic(BasicKind::kInt),
+                   ReduceOp::kSum, peer, 64);
+    win.fence();  // epoch 3
+    world.barrier();
+    obs::PvarRegistry& reg = *world.pvars();
+    if (world.rank() == 0) {
+      EXPECT_EQ(total(reg, "rma.put_bytes"), 2 * 8 * 512);
+      EXPECT_EQ(total(reg, "rma.get_bytes"), 2 * 3 * 256);
+      // fetch_op + accumulate per rank.
+      EXPECT_EQ(total(reg, "rma.acc_ops"), 2 * 2);
+      // Three fences per rank.
+      EXPECT_EQ(total(reg, "rma.sync_epochs"), 2 * 3);
+    }
+    world.barrier();
+    win.free();
+  });
+}
+
+TEST(RmaObsTest, LockEpochsCountTowardSyncEpochs) {
+  UniverseConfig c = rma_cfg(2, "lock_pvars");
+  Universe::launch(c, [](Comm& world) {
+    Win win = world.win_allocate(64);
+    win.lock(LockType::kExclusive, 0);
+    const std::uint8_t b = 9;
+    win.put(&b, 1, 0, static_cast<std::size_t>(world.rank()));
+    win.unlock(0);
+    win.lock_all();
+    win.unlock_all();
+    world.barrier();
+    if (world.rank() == 0) {
+      obs::PvarRegistry& reg = *world.pvars();
+      // unlock + unlock_all per rank.
+      EXPECT_EQ(total(reg, "rma.sync_epochs"), 2 * 2);
+      EXPECT_EQ(total(reg, "rma.put_bytes"), 2);
+    }
+    world.barrier();
+    win.free();
+  });
+}
+
+TEST(RmaObsTest, ZeroCostOffJobStillWorks) {
+  // Observability disabled entirely: no pvar registry, no recorder —
+  // the RMA surface must behave identically.
+  UniverseConfig c;
+  c.world_size = 2;
+  c.obs = obs::ObsConfig{};  // all sinks off
+  Universe::launch(c, [](Comm& world) {
+    EXPECT_EQ(world.pvars(), nullptr);
+    Win win = world.win_allocate(256);
+    auto* mem = static_cast<std::uint8_t*>(win.base());
+    win.fence();
+    const auto mine = pattern(256, static_cast<unsigned>(world.rank()));
+    win.put(mine.data(), mine.size(), 1 - world.rank(), 0);
+    win.fence();
+    for (std::size_t i = 0; i < 256; ++i)
+      ASSERT_EQ(mem[i],
+                pattern(256, static_cast<unsigned>(1 - world.rank()))[i]);
+    win.free();
+  });
+}
+
+// --- Window lifecycle -------------------------------------------------------
+
+TEST(RmaWindowTest, PerRankSizesAndAllocateZeroing) {
+  UniverseConfig c = rma_cfg(3, "sizes");
+  Universe::launch(c, [](Comm& world) {
+    const int me = world.rank();
+    // Heterogeneous slices, including a zero-byte (access-only) one.
+    Win win = world.win_allocate(static_cast<std::size_t>(me) * 32);
+    EXPECT_EQ(win.bytes(), static_cast<std::size_t>(me) * 32);
+    for (int r = 0; r < 3; ++r)
+      EXPECT_EQ(win.bytes(r), static_cast<std::size_t>(r) * 32);
+    if (me > 0) {
+      auto* mem = static_cast<std::uint8_t*>(win.base());
+      for (std::size_t i = 0; i < win.bytes(); ++i)
+        ASSERT_EQ(mem[i], 0) << "win_allocate memory not zeroed";
+    } else {
+      // A zero-byte slice is access-only; putting INTO it must fail.
+      win.fence();
+      const std::uint8_t b = 1;
+      EXPECT_THROW(win.put(&b, 1, 0, 0), jhpc::InvalidArgumentError);
+      win.fence();
+    }
+    if (me != 0) {
+      win.fence();
+      win.fence();
+    }
+    win.free();
+    EXPECT_FALSE(win.valid());
+    EXPECT_THROW(win.fence(), jhpc::InvalidArgumentError);
+  });
+}
+
+TEST(RmaWindowTest, MultipleWindowsCoexistIndependently) {
+  UniverseConfig c = rma_cfg(2, "multi");
+  Universe::launch(c, [](Comm& world) {
+    Win a = world.win_allocate(64);
+    Win b = world.win_allocate(64);
+    a.fence();
+    b.fence();
+    const std::uint8_t va = 11, vb = 22;
+    a.put(&va, 1, 1 - world.rank(), 0);
+    b.put(&vb, 1, 1 - world.rank(), 0);
+    a.fence();
+    b.fence();
+    EXPECT_EQ(static_cast<std::uint8_t*>(a.base())[0], 11);
+    EXPECT_EQ(static_cast<std::uint8_t*>(b.base())[0], 22);
+    a.free();
+    b.free();
+  });
+}
+
+}  // namespace
+}  // namespace jhpc::minimpi

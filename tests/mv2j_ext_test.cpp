@@ -4,7 +4,10 @@
 // anticipates.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "jhpc/mv2j/env.hpp"
+#include "jhpc/mv2j/win.hpp"
 #include "jhpc/ompij/ompij.hpp"
 #include "jhpc/support/error.hpp"
 
@@ -309,6 +312,146 @@ TEST(DerivedTypeTest, GcSafeDuringDerivedNonBlocking) {
       for (std::size_t i = 0; i < 100; ++i)
         ASSERT_EQ(dst[i], static_cast<int>(2 * i));
     }
+  });
+}
+
+// --- One-sided (mpi.Win) through the bindings --------------------------------
+
+TEST(BindingRmaTest, Mv2jPutGetFenceRoundTrip) {
+  run(fast_opts(3), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    const int me = world.getRank();
+    const int n = world.getSize();
+    Win win = world.winAllocate(static_cast<std::size_t>(n) * 4);
+    EXPECT_EQ(win.getRank(), me);
+    EXPECT_EQ(win.getSize(), n);
+    EXPECT_EQ(win.getBytes((me + 1) % n), static_cast<std::size_t>(n) * 4);
+
+    auto origin = env.newDirectBuffer(4);
+    origin.put_int(0, 100 + me);
+    win.fence();
+    for (int t = 0; t < n; ++t) {
+      if (t == me) continue;
+      win.put(origin, 1, INT, t, static_cast<std::size_t>(me) * 4);
+    }
+    win.fence();
+    auto readback = env.newDirectBuffer(4);
+    for (int src = 0; src < n; ++src) {
+      if (src == me) continue;
+      win.get(readback, 1, INT, me, static_cast<std::size_t>(src) * 4);
+      EXPECT_EQ(readback.get_int(0), 100 + src);
+    }
+    win.fence();
+    win.free();
+    EXPECT_FALSE(win.valid());
+  });
+}
+
+TEST(BindingRmaTest, Mv2jDerivedPutAccumulateFetchOpUnderLocks) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    const int me = world.getRank();
+    const Datatype stride2 = Datatype::vector(4, 1, 2, INT);  // 4 ints, gap
+    Win win = world.winAllocate(64);
+    if (me == 0) {
+      auto packed = env.newDirectBuffer(16);
+      for (int i = 0; i < 4; ++i)
+        packed.put_int(static_cast<std::size_t>(i) * 4, 5 + i);
+      win.lock(LOCK_EXCLUSIVE, 1);
+      // Packed origin, strided target layout: ints land at 0,8,16,24.
+      win.put(packed, 4, INT, 1, 0, stride2);
+      win.unlock(1);
+
+      auto one = env.newDirectBuffer(8);
+      one.put_long(0, 3);
+      win.lock(LOCK_EXCLUSIVE, 1);
+      win.accumulate(one, 1, LONG, SUM, 1, 32);
+      win.accumulate(one, 1, LONG, SUM, 1, 32);
+      win.unlock(1);
+
+      auto fetched = env.newDirectBuffer(8);
+      win.lock(LOCK_EXCLUSIVE, 1);
+      win.fetchOp(one, fetched, LONG, SUM, 1, 32);
+      win.unlock(1);
+      EXPECT_EQ(fetched.get_long(0), 6) << "fetchOp returns pre-op value";
+    }
+    world.barrier();
+    if (me == 1) {
+      auto self = env.newDirectBuffer(64);
+      win.lock(LOCK_SHARED, 1);
+      win.get(self, 64, BYTE, 1, 0);
+      win.unlock(1);
+      EXPECT_EQ(self.get_int(0), 5);
+      EXPECT_EQ(self.get_int(8), 6);
+      EXPECT_EQ(self.get_int(16), 7);
+      EXPECT_EQ(self.get_int(24), 8);
+      EXPECT_EQ(self.get_long(32), 9) << "two accumulates plus fetchOp";
+    }
+    world.barrier();
+    win.free();
+  });
+}
+
+TEST(BindingRmaTest, Mv2jWinCreateExposesBufferZeroCopy) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    const int me = world.getRank();
+    auto exposed = env.newDirectBuffer(16);
+    exposed.put_int(0, -1);
+    Win win = world.winCreate(exposed, 16);
+    std::vector<int> peer = {1 - me};
+    if (me == 1) {
+      win.post(peer);
+      win.waitFor();
+      // The put landed in the ByteBuffer itself — no mailbox copy to
+      // drain; winCreate exposed this exact memory.
+      EXPECT_EQ(exposed.get_int(0), 4242);
+    } else {
+      win.start(peer);
+      auto origin = env.newDirectBuffer(4);
+      origin.put_int(0, 4242);
+      win.put(origin, 1, INT, 1, 0);
+      win.complete();
+    }
+    world.barrier();
+    win.free();
+  });
+}
+
+TEST(BindingRmaTest, Mv2jRejectsHeapOriginBuffers) {
+  run(fast_opts(2), [](Env& env) {
+    Comm& world = env.COMM_WORLD();
+    Win win = world.winAllocate(16);
+    auto heap = minijvm::ByteBuffer::allocate(env.jvm(), 16);
+    win.lockAll();
+    EXPECT_THROW(win.put(heap, 1, INT, 1 - world.getRank(), 0),
+                 UnsupportedOperationError);
+    win.unlockAll();
+    win.free();
+  });
+}
+
+TEST(BindingRmaTest, OmpijWinMirrorsTheApi) {
+  ompij::RunOptions o;
+  o.ranks = 2;
+  o.jvm.heap_bytes = 8 << 20;
+  o.jvm.jni_crossing_ns = 0;
+  ompij::run(o, [](ompij::Env& env) {
+    ompij::Comm& world = env.COMM_WORLD();
+    const int me = world.getRank();
+    ompij::Win win = world.winAllocate(8);
+    auto origin = env.newDirectBuffer(4);
+    origin.put_int(0, 77 + me);
+    win.fence();
+    win.put(origin, 1, INT, 1 - me, static_cast<std::size_t>(me) * 4);
+    win.fence();
+    auto readback = env.newDirectBuffer(4);
+    win.lock(ompij::LOCK_SHARED, me);
+    win.get(readback, 1, INT, me, static_cast<std::size_t>(1 - me) * 4);
+    win.unlock(me);
+    EXPECT_EQ(readback.get_int(0), 77 + (1 - me));
+    world.barrier();
+    win.free();
   });
 }
 

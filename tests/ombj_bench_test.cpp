@@ -36,7 +36,7 @@ FigureSpec tiny_fig(BenchKind kind, std::vector<SeriesSpec> series,
 }
 
 TEST(OptionsTest, BenchNamesRoundTrip) {
-  for (int k = 0; k <= static_cast<int>(BenchKind::kIallreduce); ++k) {
+  for (int k = 0; k <= static_cast<int>(BenchKind::kGetBandwidth); ++k) {
     const auto kind = static_cast<BenchKind>(k);
     EXPECT_EQ(bench_from_name(bench_name(kind)), kind);
   }
