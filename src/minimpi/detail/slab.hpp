@@ -1,5 +1,5 @@
-// The eager-path slab recycler: a per-Universe pool of transport buffers
-// in power-of-two size classes, with per-rank free lists (touched only by
+// The eager-path slab recycler: a pool of transport buffers in
+// power-of-two size classes, with per-rank free lists (touched only by
 // the owning rank thread, no lock) and one bounded shared depot that
 // rebalances slabs between ranks in batches.
 //
@@ -10,6 +10,14 @@
 // Java side (and Ibdxnet removes for IB messaging). In steady state the
 // recycler serves every eager send from a free list: zero allocations per
 // message.
+//
+// Multi-tenant sharing (src/jhpcd): the depot is a separate object so a
+// fleet of Universes can share ONE depot — a job that finishes donates
+// its warm slabs to whichever tenant runs next, and the depot's byte
+// ceiling is the fleet-wide memory bound the jhpcd scheduler audits.
+// Per-rank lists stay strictly per-Universe (they are touched locklessly
+// by that Universe's rank threads); only the mutexed depot is shared, so
+// tenant isolation is untouched.
 //
 // Concurrency contract: acquire(rank)/release(rank) must be called from
 // rank `rank`'s thread (the sender acquires with its own rank, the
@@ -26,6 +34,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -64,20 +73,135 @@ class Slab {
   std::uint32_t cls_ = 0;  // size-class index (capacity = kMinBytes << cls_)
 };
 
-/// Per-Universe recycler of eager payload slabs.
-class SlabPool {
+/// The mutexed rebalancing tier of the recycler: bounded per-class lists
+/// plus byte accounting. One SlabDepot may back several SlabPools (a
+/// jhpcd fleet); with `max_bytes` set it refuses to retain past the
+/// ceiling, so however many tenants share it, depot-resident memory is
+/// hard-bounded — excess releases are freed outright, never queued.
+class SlabDepot {
  public:
   /// Smallest slab handed out; requests round up to kMinBytes << k.
   static constexpr std::size_t kMinBytes = 64;
   /// Distinct size classes (64 B .. 2 GiB); larger requests are served
   /// unpooled (allocate on acquire, free on release).
   static constexpr std::uint32_t kClasses = 26;
+  /// Retention cap per class (slab count), independent of the ceiling.
+  static constexpr std::size_t kClassCap = 256;
+
+  explicit SlabDepot(
+      std::size_t max_bytes = std::numeric_limits<std::size_t>::max())
+      : max_bytes_(max_bytes) {}
+
+  SlabDepot(const SlabDepot&) = delete;
+  SlabDepot& operator=(const SlabDepot&) = delete;
+
+  ~SlabDepot() {
+    for (auto& list : lists_)
+      for (std::byte* p : list) delete[] p;
+  }
+
+  static std::size_t capacity_of(std::uint32_t cls) {
+    return kMinBytes << cls;
+  }
+
+  /// Size-class index for a payload of `bytes` (>= kClasses: unpooled).
+  static std::uint32_t class_of(std::size_t bytes) {
+    JHPC_REQUIRE(bytes <= (std::numeric_limits<std::size_t>::max() >> 1) + 1,
+                 "slab request too large");
+    const std::size_t cap = std::bit_ceil(std::max(bytes, kMinBytes));
+    return static_cast<std::uint32_t>(std::countr_zero(cap) -
+                                      std::countr_zero(kMinBytes));
+  }
+
+  /// Move up to `max_n` slabs of `cls` onto the back of `out`. One lock
+  /// per batch, not per message. Returns the number taken.
+  std::size_t take(std::uint32_t cls, std::size_t max_n,
+                   std::vector<std::byte*>& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& d = lists_[cls];
+    const std::size_t n = std::min(max_n, d.size());
+    if (n == 0) return 0;
+    out.insert(out.end(), d.end() - static_cast<std::ptrdiff_t>(n), d.end());
+    d.resize(d.size() - n);
+    retained_.fetch_sub(n * capacity_of(cls), std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Accept up to `max_n` slabs of `cls` from the back of `list`,
+  /// bounded by the per-class cap AND the byte ceiling; accepted slabs
+  /// are removed from `list`. Returns the number accepted (0 = full; the
+  /// caller frees what the depot refused).
+  std::size_t put(std::uint32_t cls, std::vector<std::byte*>& list,
+                  std::size_t max_n) {
+    const std::size_t cap_bytes = capacity_of(cls);
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& d = lists_[cls];
+    if (d.size() >= kClassCap) return 0;
+    std::size_t n = std::min({max_n, list.size(), kClassCap - d.size()});
+    const std::size_t held = retained_.load(std::memory_order_relaxed);
+    if (held >= max_bytes_) return 0;
+    n = std::min(n, (max_bytes_ - held) / cap_bytes);
+    if (n == 0) return 0;
+    d.insert(d.end(), list.end() - static_cast<std::ptrdiff_t>(n),
+             list.end());
+    list.resize(list.size() - n);
+    const std::size_t now =
+        retained_.fetch_add(n * cap_bytes, std::memory_order_relaxed) +
+        n * cap_bytes;
+    std::size_t h = hwm_.load(std::memory_order_relaxed);
+    while (now > h &&
+           !hwm_.compare_exchange_weak(h, now, std::memory_order_relaxed)) {
+    }
+    return n;
+  }
+
+  /// Free every retained slab (fleet shed-load, teardown). Returns the
+  /// bytes released back to the allocator.
+  std::size_t trim() {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t freed = 0;
+    for (std::uint32_t cls = 0; cls < kClasses; ++cls) {
+      auto& d = lists_[cls];
+      freed += d.size() * capacity_of(cls);
+      for (std::byte* p : d) delete[] p;
+      d.clear();
+    }
+    retained_.fetch_sub(freed, std::memory_order_relaxed);
+    return freed;
+  }
+
+  /// Bytes currently parked in the depot (gauge, relaxed).
+  std::size_t retained_bytes() const {
+    return retained_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of retained_bytes() over the depot's lifetime.
+  std::size_t hwm_bytes() const {
+    return hwm_.load(std::memory_order_relaxed);
+  }
+  /// The retention ceiling (SIZE_MAX = uncapped private depot).
+  std::size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  std::mutex mu_;
+  std::array<std::vector<std::byte*>, kClasses> lists_;
+  std::atomic<std::size_t> retained_{0};
+  std::atomic<std::size_t> hwm_{0};
+  std::size_t max_bytes_;
+};
+
+/// Per-Universe recycler of eager payload slabs. The per-rank tier is
+/// private to this Universe; the depot tier is either private (default)
+/// or a fleet-shared SlabDepot handed in at construction.
+class SlabPool {
+ public:
+  static constexpr std::size_t kMinBytes = SlabDepot::kMinBytes;
+  static constexpr std::uint32_t kClasses = SlabDepot::kClasses;
   /// Per-rank retention: at most this many slabs per class, and at most
   /// kPerRankCapBytes of storage per class (big classes keep fewer).
   static constexpr std::size_t kPerRankCap = 32;
   static constexpr std::size_t kPerRankCapBytes = 256 * 1024;
   /// Shared-depot retention cap per class.
-  static constexpr std::size_t kDepotCap = 256;
+  static constexpr std::size_t kDepotCap = SlabDepot::kClassCap;
   /// Slabs moved per depot round trip (amortizes the depot lock).
   static constexpr std::size_t kTransferBatch = 16;
 
@@ -87,9 +211,15 @@ class SlabPool {
     std::uint64_t recycled = 0;    ///< releases retained on a free list
     std::uint64_t recycled_bytes = 0;  ///< capacity bytes of those slabs
     std::uint64_t overflow_drops = 0;  ///< releases freed past every cap
+    /// Bytes currently parked in THIS pool's per-rank lists (gauge; the
+    /// depot's share is SlabDepot::retained_bytes()).
+    std::uint64_t retained_bytes = 0;
   };
 
-  explicit SlabPool(int ranks) : per_rank_(static_cast<std::size_t>(ranks)) {}
+  explicit SlabPool(int ranks, std::shared_ptr<SlabDepot> depot = nullptr)
+      : per_rank_(static_cast<std::size_t>(ranks)),
+        depot_(depot != nullptr ? std::move(depot)
+                                : std::make_shared<SlabDepot>()) {}
 
   SlabPool(const SlabPool&) = delete;
   SlabPool& operator=(const SlabPool&) = delete;
@@ -98,9 +228,12 @@ class SlabPool {
     for (PerRank& pr : per_rank_)
       for (auto& list : pr.free)
         for (std::byte* p : list) delete[] p;
-    for (auto& list : depot_)
-      for (std::byte* p : list) delete[] p;
   }
+
+  /// The depot this pool spills to / refills from (possibly shared with
+  /// other pools of a jhpcd fleet).
+  SlabDepot& depot() { return *depot_; }
+  const SlabDepot& depot() const { return *depot_; }
 
   /// A slab with capacity >= bytes, recycled when possible. `hit` (may be
   /// null) reports whether the free lists served it. Must run on rank
@@ -117,10 +250,18 @@ class SlabPool {
       return Slab{new std::byte[bytes], cls};
     }
     auto& list = per_rank_[static_cast<std::size_t>(rank)].free[cls];
-    if (list.empty()) refill_from_depot(list, cls);
+    if (list.empty()) {
+      const std::size_t took = depot_->take(cls, kTransferBatch, list);
+      if (took > 0) {
+        stats_.list_bytes.fetch_add(took * capacity_of(cls),
+                                    std::memory_order_relaxed);
+      }
+    }
     if (!list.empty()) {
       std::byte* p = list.back();
       list.pop_back();
+      stats_.list_bytes.fetch_sub(capacity_of(cls),
+                                  std::memory_order_relaxed);
       stats_.hits.fetch_add(1, std::memory_order_relaxed);
       if (hit != nullptr) *hit = true;
       return Slab{p, cls};
@@ -151,6 +292,7 @@ class SlabPool {
       return Released::kDropped;
     }
     list.push_back(p);
+    stats_.list_bytes.fetch_add(capacity_of(cls), std::memory_order_relaxed);
     stats_.recycled.fetch_add(1, std::memory_order_relaxed);
     stats_.recycled_bytes.fetch_add(capacity_of(cls),
                                     std::memory_order_relaxed);
@@ -168,11 +310,14 @@ class SlabPool {
         stats_.recycled_bytes.load(std::memory_order_relaxed);
     s.overflow_drops =
         stats_.overflow_drops.load(std::memory_order_relaxed);
+    s.retained_bytes = stats_.list_bytes.load(std::memory_order_relaxed);
     return s;
   }
 
-  /// Zero the counters (new job on a reused Universe; free lists keep
-  /// their slabs, so a warm pool stays warm across runs).
+  /// Zero the flow counters (new job on a reused Universe; free lists
+  /// keep their slabs, so a warm pool stays warm across runs). The
+  /// retained-bytes gauge is NOT reset: it tracks live storage, which
+  /// survives the job boundary by design.
   void reset_stats() {
     stats_.hits.store(0, std::memory_order_relaxed);
     stats_.misses.store(0, std::memory_order_relaxed);
@@ -182,16 +327,12 @@ class SlabPool {
   }
 
   static std::size_t capacity_of(std::uint32_t cls) {
-    return kMinBytes << cls;
+    return SlabDepot::capacity_of(cls);
   }
 
   /// Size-class index for a payload of `bytes` (>= kClasses: unpooled).
   static std::uint32_t class_of(std::size_t bytes) {
-    JHPC_REQUIRE(bytes <= (std::numeric_limits<std::size_t>::max() >> 1) + 1,
-                 "slab request too large");
-    const std::size_t cap = std::bit_ceil(std::max(bytes, kMinBytes));
-    return static_cast<std::uint32_t>(std::countr_zero(cap) -
-                                      std::countr_zero(kMinBytes));
+    return SlabDepot::class_of(bytes);
   }
 
   /// Per-rank retention cap for one class (bytes-aware: big classes keep
@@ -206,38 +347,24 @@ class SlabPool {
     std::array<std::vector<std::byte*>, kClasses> free;
   };
 
-  /// Pull up to kTransferBatch slabs of `cls` from the depot. One lock
-  /// per batch, not per message.
-  void refill_from_depot(std::vector<std::byte*>& list, std::uint32_t cls) {
-    std::lock_guard<std::mutex> lk(depot_mu_);
-    auto& d = depot_[cls];
-    const std::size_t take = std::min(kTransferBatch, d.size());
-    list.insert(list.end(), d.end() - static_cast<std::ptrdiff_t>(take),
-                d.end());
-    d.resize(d.size() - take);
-  }
-
   /// Move half a full per-rank list into the depot; false when the depot
   /// is full too (the caller drops its slab).
   bool spill_to_depot(std::vector<std::byte*>& list, std::uint32_t cls) {
-    std::lock_guard<std::mutex> lk(depot_mu_);
-    auto& d = depot_[cls];
-    if (d.size() >= kDepotCap) return false;
-    const std::size_t move = std::min({kTransferBatch, list.size(),
-                                       kDepotCap - d.size()});
-    d.insert(d.end(), list.end() - static_cast<std::ptrdiff_t>(move),
-             list.end());
-    list.resize(list.size() - move);
+    const std::size_t moved =
+        depot_->put(cls, list, std::min(kTransferBatch, list.size()));
+    if (moved == 0) return false;
+    stats_.list_bytes.fetch_sub(moved * capacity_of(cls),
+                                std::memory_order_relaxed);
     return true;
   }
 
   std::vector<PerRank> per_rank_;
-  std::mutex depot_mu_;
-  std::array<std::vector<std::byte*>, kClasses> depot_;
+  std::shared_ptr<SlabDepot> depot_;
 
   struct {
     std::atomic<std::uint64_t> hits{0}, misses{0}, recycled{0};
     std::atomic<std::uint64_t> recycled_bytes{0}, overflow_drops{0};
+    std::atomic<std::uint64_t> list_bytes{0};
   } stats_;
 };
 

@@ -1,0 +1,46 @@
+// Public handle on a fleet-shared slab depot.
+//
+// One Universe = one job, but a jhpcd fleet runs many Universes whose
+// jobs churn. Sharing the depot tier of the slab recycler across the
+// fleet means a completed tenant's warm slabs serve the next tenant's
+// eager traffic (steady-state churn does zero allocations), and the
+// depot's byte ceiling is the single fleet-wide memory bound the
+// scheduler audits and sheds load against. The depot itself lives in
+// minimpi's detail layer; this header exposes just enough to create one,
+// hand it to UniverseConfig::shared_depot, and audit it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace jhpc::minimpi {
+
+namespace detail {
+class SlabDepot;
+}  // namespace detail
+
+/// Shared-ownership handle; every Universe constructed with it keeps the
+/// depot alive, so the fleet may retire Universes in any order.
+using SlabDepotPtr = std::shared_ptr<detail::SlabDepot>;
+
+/// A depot whose retained storage never exceeds `max_bytes` (releases
+/// past the ceiling are freed outright, never queued). This is a HARD
+/// bound on depot-resident memory however many Universes share it.
+SlabDepotPtr make_slab_depot(std::size_t max_bytes);
+
+/// Point-in-time accounting of one depot (relaxed reads; exact when the
+/// fleet is quiescent).
+struct SlabDepotStats {
+  std::size_t retained_bytes = 0;  ///< bytes parked in the depot now
+  std::size_t hwm_bytes = 0;       ///< lifetime high-water mark
+  std::size_t max_bytes = 0;       ///< the retention ceiling
+};
+SlabDepotStats slab_depot_stats(const SlabDepotPtr& depot);
+
+/// Free every slab the depot retains; returns the bytes released. The
+/// jhpcd scheduler's shed-load path calls this when fleet memory
+/// approaches the ceiling (per-Universe free lists are untouched — they
+/// are bounded per rank and owned locklessly by rank threads).
+std::size_t slab_depot_trim(const SlabDepotPtr& depot);
+
+}  // namespace jhpc::minimpi

@@ -114,12 +114,33 @@ struct Status {
 /// Counters of the transport's eager-payload slab recycler (see
 /// Universe::slab_stats). In steady state every eager message is a hit
 /// and misses stay flat: zero heap allocations per message.
+///
+/// Aggregation semantics under concurrent jobs: the flow counters (hits,
+/// misses, recycled, recycled_bytes, overflow_drops) and retained_bytes
+/// are PER JOB — they describe this Universe's own free lists and reset
+/// (flow) at each run() start. The depot_* fields are the depot view:
+/// for a Universe built with UniverseConfig::shared_depot they are
+/// GLOBAL across every tenant sharing that depot (the fleet-wide number
+/// the jhpcd memory ceiling is audited against); for a default Universe
+/// the depot is private and they are per-job too. depot_shared says
+/// which reading you are holding.
 struct SlabStats {
   std::uint64_t hits = 0;        ///< acquires served from a free list
   std::uint64_t misses = 0;      ///< acquires that heap-allocated
   std::uint64_t recycled = 0;    ///< releases retained for reuse
   std::uint64_t recycled_bytes = 0;  ///< capacity bytes of those releases
   std::uint64_t overflow_drops = 0;  ///< releases freed past the caps
+  /// Bytes currently parked in THIS Universe's per-rank free lists
+  /// (gauge; survives run() boundaries — warm lists are the point).
+  std::uint64_t retained_bytes = 0;
+  /// Bytes currently parked in the depot tier (global when shared).
+  std::uint64_t depot_retained_bytes = 0;
+  /// Lifetime high-water mark of depot_retained_bytes.
+  std::uint64_t depot_hwm_bytes = 0;
+  /// The depot's retention ceiling (SIZE_MAX = uncapped private depot).
+  std::uint64_t depot_max_bytes = 0;
+  /// True when the depot is shared with other Universes (jhpcd fleet).
+  bool depot_shared = false;
 };
 
 }  // namespace jhpc::minimpi

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "jhpc/minimpi/comm.hpp"
+#include "jhpc/minimpi/slab_depot.hpp"
 #include "jhpc/minimpi/types.hpp"
 #include "jhpc/netsim/fabric.hpp"
 #include "jhpc/obs/obs.hpp"
@@ -53,6 +54,13 @@ struct UniverseConfig {
   /// hier_flag_ns instead of intra_latency_ns per tree hop. Env:
   /// JHPC_HIER_FLAG_NS.
   std::int64_t hier_flag_ns = 40;
+
+  /// Fleet-shared slab depot (see jhpc/minimpi/slab_depot.hpp). Null —
+  /// the default — gives the Universe a private, uncapped depot with the
+  /// pre-fleet behavior. A jhpcd fleet passes one make_slab_depot()
+  /// handle to every Universe it creates so completed jobs donate warm
+  /// slabs to the next tenant and the depot ceiling bounds fleet memory.
+  SlabDepotPtr shared_depot;
 
   /// Observability (MPI_T-style pvars + virtual-clock event tracing).
   /// Off by default and strictly zero-cost then: every instrumentation
@@ -107,11 +115,21 @@ class Universe {
   const UniverseConfig& config() const;
   netsim::Fabric& fabric();
 
-  /// Slab-recycler counters for the current job. Counters reset at each
-  /// run() start (the free lists stay warm, so a reused Universe's first
-  /// acquires are hits). Mirrored as transport.slab.* pvars when
+  /// Slab-recycler counters for the current job, plus the depot view.
+  /// Flow counters reset at each run() start (the free lists stay warm,
+  /// so a reused Universe's first acquires are hits); retained_bytes is
+  /// a live gauge of this Universe's lists; the depot_* fields read the
+  /// depot tier, which is GLOBAL across tenants when the Universe was
+  /// built with UniverseConfig::shared_depot (see SlabStats for the full
+  /// aggregation contract). Mirrored as transport.slab.* pvars when
   /// observability is on.
   SlabStats slab_stats() const;
+
+  /// Sum of pvar `name` across ranks, or 0 when observability is off or
+  /// the name is unknown. Safe from any thread while a run is in
+  /// progress (pvar reads are relaxed-atomic) — this is how the jhpcd
+  /// watchdog polls a tenant's transport counters against its quotas.
+  std::int64_t pvar_total(const std::string& name) const;
 
  private:
   std::unique_ptr<detail::UniverseImpl> impl_;

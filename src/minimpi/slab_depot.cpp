@@ -1,0 +1,27 @@
+#include "jhpc/minimpi/slab_depot.hpp"
+
+#include "detail/slab.hpp"
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::minimpi {
+
+SlabDepotPtr make_slab_depot(std::size_t max_bytes) {
+  JHPC_REQUIRE(max_bytes > 0, "slab depot ceiling must be positive");
+  return std::make_shared<detail::SlabDepot>(max_bytes);
+}
+
+SlabDepotStats slab_depot_stats(const SlabDepotPtr& depot) {
+  JHPC_REQUIRE(depot != nullptr, "null slab depot handle");
+  SlabDepotStats s;
+  s.retained_bytes = depot->retained_bytes();
+  s.hwm_bytes = depot->hwm_bytes();
+  s.max_bytes = depot->max_bytes();
+  return s;
+}
+
+std::size_t slab_depot_trim(const SlabDepotPtr& depot) {
+  JHPC_REQUIRE(depot != nullptr, "null slab depot handle");
+  return depot->trim();
+}
+
+}  // namespace jhpc::minimpi

@@ -411,7 +411,7 @@ bool envelope_matches(int msg_cid, int msg_src, int msg_tag, int want_cid,
 UniverseImpl::UniverseImpl(UniverseConfig cfg)
     : config(cfg),
       fabric(cfg.world_size, cfg.fabric),
-      slab(cfg.world_size) {
+      slab(cfg.world_size, cfg.shared_depot) {
   JHPC_REQUIRE(cfg.world_size >= 1, "world_size must be >= 1");
   endpoints.resize(static_cast<std::size_t>(cfg.world_size));
   for (auto& ep : endpoints) ep = std::make_unique<Endpoint>();

@@ -32,8 +32,8 @@ UniverseConfig& UniverseConfig::apply_env() {
     }
     apply_suite_profile();
   }
-  hier_flag_ns = env_int64("JHPC_HIER_FLAG_NS", hier_flag_ns);
-  JHPC_REQUIRE(hier_flag_ns >= 0, "$JHPC_HIER_FLAG_NS must be non-negative");
+  hier_flag_ns = env_int64_range("JHPC_HIER_FLAG_NS", hier_flag_ns,
+                                 /*min_value=*/0);
   return *this;
 }
 
@@ -54,7 +54,19 @@ SlabStats Universe::slab_stats() const {
   out.recycled = s.recycled;
   out.recycled_bytes = s.recycled_bytes;
   out.overflow_drops = s.overflow_drops;
+  out.retained_bytes = s.retained_bytes;
+  const detail::SlabDepot& depot = impl_->slab.depot();
+  out.depot_retained_bytes = depot.retained_bytes();
+  out.depot_hwm_bytes = depot.hwm_bytes();
+  out.depot_max_bytes = depot.max_bytes();
+  out.depot_shared = impl_->config.shared_depot != nullptr;
   return out;
+}
+
+std::int64_t Universe::pvar_total(const std::string& name) const {
+  if (impl_->obs == nullptr) return 0;
+  const obs::PvarRegistry& reg = impl_->obs->rec.pvars();
+  return reg.total(reg.find(name));
 }
 
 void Universe::run(const std::function<void(Comm&)>& rank_main) {
@@ -133,7 +145,7 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
   if (impl_->obs != nullptr) {
     obs::Recorder& rec = impl_->obs->rec;
     if (rec.tracing()) rec.write_trace();
-    if (rec.config().pvars) {
+    if (rec.config().pvars && !rec.config().quiet) {
       std::fputs("\n[jhpc-obs] performance variables\n", stderr);
       std::fputs(rec.summary_table().to_text().c_str(), stderr);
       if (rec.pvars().has_histograms()) {
@@ -142,7 +154,8 @@ void Universe::run(const std::function<void(Comm&)>& rank_main) {
         std::fputs(rec.pvars().hist_table().to_text().c_str(), stderr);
       }
     }
-    if (rec.config().comm_matrix && rec.matrix() != nullptr) {
+    if (rec.config().comm_matrix && !rec.config().quiet &&
+        rec.matrix() != nullptr) {
       std::fputs("\n[jhpc-obs] communication matrix (msgs/bytes)\n", stderr);
       std::fputs(rec.matrix()->to_table().to_text().c_str(), stderr);
     }

@@ -1,0 +1,60 @@
+// MVAPICH2-J service mode: submit/await jobs against a resident jhpcd
+// fleet instead of one-shot run() launches.
+//
+// The Java-side analogue is a long-lived scheduler JVM that keeps the
+// native library initialized and accepts job submissions; each job
+// still sees the ordinary per-rank Env. See docs/SERVICE.md.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "jhpc/jhpcd/jhpcd.hpp"
+#include "jhpc/mv2j/env.hpp"
+
+namespace jhpc::mv2j {
+
+/// One service submission: a diagnostic name, the ordinary RunOptions,
+/// and the jhpcd scheduling attributes.
+struct ServiceJobOptions {
+  std::string name;
+  RunOptions run{};
+  jhpcd::JobClass job_class = jhpcd::JobClass::kLatency;
+  int priority = 0;
+  jhpcd::JobQuota quota{};
+};
+
+/// A resident MVAPICH2-J scheduler. Thin facade over jhpcd::JobManager
+/// that wraps each submission's rank body in the bindings Env, exactly
+/// as run() does for a one-shot job.
+class Service {
+ public:
+  explicit Service(jhpcd::ServiceConfig config = jhpcd::ServiceConfig{})
+      : manager_(config) {}
+
+  /// Queue a job; same admission/quota errors as JobManager::submit.
+  jhpcd::JobHandle submit(const ServiceJobOptions& options,
+                          std::function<void(Env&)> rank_main);
+
+  /// Convenience: default scheduling attributes.
+  jhpcd::JobHandle submit(const std::string& name, const RunOptions& options,
+                          std::function<void(Env&)> rank_main) {
+    ServiceJobOptions job;
+    job.name = name;
+    job.run = options;
+    return submit(job, std::move(rank_main));
+  }
+
+  void drain() { manager_.drain(); }
+  void shutdown() { manager_.shutdown(); }
+  jhpcd::ServiceStats stats() const { return manager_.stats(); }
+
+  jhpcd::JobManager& manager() { return manager_; }
+  const jhpcd::JobManager& manager() const { return manager_; }
+
+ private:
+  jhpcd::JobManager manager_;
+};
+
+}  // namespace jhpc::mv2j

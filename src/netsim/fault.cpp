@@ -79,21 +79,17 @@ FaultPlan FaultPlan::from_env() {
   }
   validate_link_faults(plan.link_defaults, "$JHPC_FAULT_*");
 
-  plan.rto_ns = env_int64("JHPC_FAULT_RTO_NS", plan.rto_ns);
-  plan.rto_max_ns = env_int64("JHPC_FAULT_RTO_MAX_NS", plan.rto_max_ns);
-  plan.delivery_timeout_ns =
-      env_int64("JHPC_FAULT_TIMEOUT_NS", plan.delivery_timeout_ns);
-  JHPC_REQUIRE(plan.rto_ns > 0, "$JHPC_FAULT_RTO_NS must be positive");
-  JHPC_REQUIRE(plan.rto_max_ns >= plan.rto_ns,
-               "$JHPC_FAULT_RTO_MAX_NS must be >= the initial RTO");
-  JHPC_REQUIRE(plan.delivery_timeout_ns > 0,
-               "$JHPC_FAULT_TIMEOUT_NS must be positive");
+  plan.rto_ns = env_int64_range("JHPC_FAULT_RTO_NS", plan.rto_ns,
+                                /*min_value=*/1);
+  plan.rto_max_ns = env_int64_range("JHPC_FAULT_RTO_MAX_NS", plan.rto_max_ns,
+                                    /*min_value=*/plan.rto_ns);
+  plan.delivery_timeout_ns = env_int64_range(
+      "JHPC_FAULT_TIMEOUT_NS", plan.delivery_timeout_ns, /*min_value=*/1);
 
   if (auto links = env_string("JHPC_FAULT_LINKS")) plan.parse_links(*links);
 
-  plan.heartbeat_ns = env_int64("JHPC_FAULT_HB_NS", plan.heartbeat_ns);
-  JHPC_REQUIRE(plan.heartbeat_ns >= 0,
-               "$JHPC_FAULT_HB_NS must be non-negative");
+  plan.heartbeat_ns = env_int64_range("JHPC_FAULT_HB_NS", plan.heartbeat_ns,
+                                      /*min_value=*/0);
   if (auto kills = env_string("JHPC_FAULT_KILL")) plan.parse_kills(*kills);
   return plan;
 }

@@ -50,6 +50,11 @@ struct ObsConfig {
   /// When non-empty, the failure dump is also appended to this file (it
   /// always goes to stderr). Setting it by itself arms observability.
   std::string flight_dump_path;
+  /// Collect without the finalize stderr tables. The jhpcd service arms
+  /// pvars on tenant jobs to poll quotas (transport counters only exist
+  /// when observability is on); thousands of short jobs must not each
+  /// print a summary. Failure dumps and file outputs are unaffected.
+  bool quiet = false;
 
   bool enabled() const {
     return pvars || !trace_path.empty() || comm_matrix ||

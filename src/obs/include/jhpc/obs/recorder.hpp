@@ -34,6 +34,12 @@ enum class FlightKind : std::uint8_t {
   kRmaGet,      ///< one-sided get issued (arg = payload bytes)
   kRmaAcc,      ///< one-sided accumulate/fetch_op applied (arg = bytes)
   kRmaSync,     ///< RMA epoch closed (arg = ops completed in the epoch)
+  // jhpcd scheduler events (service ring: rank 0, service wall clock,
+  // arg = job id, peer = priority, tag = fairness class).
+  kJobAdmit,      ///< job accepted into the admission queue
+  kJobReject,     ///< job refused (queue full / shed-load / quota)
+  kJobQuotaTrip,  ///< a running job's quota tripped (being killed)
+  kJobDrain,      ///< job left the fleet (completed, failed or shed)
 };
 
 const char* flight_kind_name(FlightKind kind);

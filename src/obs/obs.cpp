@@ -11,16 +11,10 @@ namespace jhpc::obs {
 namespace {
 
 /// Env capacity knob: numeric and strictly positive, or
-/// InvalidArgumentError like every other jhpc tunable.
+/// InvalidArgumentError naming the knob (support/env's validated helper).
 std::size_t env_capacity(const char* name, std::size_t default_value) {
-  const std::int64_t v =
-      env_int64(name, static_cast<std::int64_t>(default_value));
-  if (v < 1) {
-    throw InvalidArgumentError(std::string(name) +
-                               " must be a positive event count, got " +
-                               std::to_string(v));
-  }
-  return static_cast<std::size_t>(v);
+  return static_cast<std::size_t>(env_int64_range(
+      name, static_cast<std::int64_t>(default_value), /*min_value=*/1));
 }
 
 }  // namespace

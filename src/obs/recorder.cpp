@@ -21,6 +21,10 @@ const char* flight_kind_name(FlightKind kind) {
     case FlightKind::kRmaGet: return "rma_get";
     case FlightKind::kRmaAcc: return "rma_acc";
     case FlightKind::kRmaSync: return "rma_sync";
+    case FlightKind::kJobAdmit: return "job_admit";
+    case FlightKind::kJobReject: return "job_reject";
+    case FlightKind::kJobQuotaTrip: return "job_quota_trip";
+    case FlightKind::kJobDrain: return "job_drain";
   }
   return "?";
 }
@@ -129,6 +133,16 @@ std::string FlightRecorder::report() const {
                         "  @%12lldns  revoke     context=%lld\n",
                         static_cast<long long>(ev.vtime_ns),
                         static_cast<long long>(ev.arg));
+          break;
+        case FlightKind::kJobAdmit:
+        case FlightKind::kJobReject:
+        case FlightKind::kJobQuotaTrip:
+        case FlightKind::kJobDrain:
+          std::snprintf(line, sizeof(line),
+                        "  @%12lldns  %-14s job=%lld prio=%d class=%d\n",
+                        static_cast<long long>(ev.vtime_ns),
+                        flight_kind_name(ev.kind),
+                        static_cast<long long>(ev.arg), ev.peer, ev.tag);
           break;
       }
       out += line;

@@ -1,0 +1,27 @@
+#include "jhpc/ompij/service.hpp"
+
+#include <memory>
+
+#include "jhpc/support/error.hpp"
+
+namespace jhpc::ompij {
+
+jhpcd::JobHandle Service::submit(const ServiceJobOptions& options,
+                                 std::function<void(Env&)> rank_main) {
+  JHPC_REQUIRE(static_cast<bool>(rank_main), "rank_main must be callable");
+  auto opts = std::make_shared<RunOptions>(options.run);
+  auto body = std::make_shared<std::function<void(Env&)>>(std::move(rank_main));
+  jhpcd::JobSpec spec;
+  spec.name = options.name;
+  spec.config = opts->universe_config();
+  spec.job_class = options.job_class;
+  spec.priority = options.priority;
+  spec.quota = options.quota;
+  spec.rank_main = [opts, body](minimpi::Comm& world) {
+    Env env(world, *opts);
+    (*body)(env);
+  };
+  return manager_.submit(std::move(spec));
+}
+
+}  // namespace jhpc::ompij

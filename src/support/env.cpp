@@ -28,6 +28,23 @@ std::int64_t env_int64(const char* name, std::int64_t default_value) {
   }
 }
 
+std::int64_t env_int64_range(const char* name, std::int64_t default_value,
+                             std::int64_t min_value,
+                             std::int64_t max_value) {
+  auto s = env_string(name);
+  if (!s) return default_value;
+  const std::int64_t v = env_int64(name, default_value);
+  if (v < min_value || v > max_value) {
+    std::string msg = std::string("$") + name + "=" + std::to_string(v) +
+                      " out of range: must be >= " + std::to_string(min_value);
+    if (max_value != std::numeric_limits<std::int64_t>::max()) {
+      msg += " and <= " + std::to_string(max_value);
+    }
+    throw InvalidArgumentError(msg);
+  }
+  return v;
+}
+
 double env_double(const char* name, double default_value) {
   auto s = env_string(name);
   if (!s) return default_value;

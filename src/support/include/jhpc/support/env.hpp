@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -16,6 +17,16 @@ std::optional<std::string> env_string(const char* name);
 
 /// Integer lookup with default. Throws InvalidArgumentError on garbage.
 std::int64_t env_int64(const char* name, std::int64_t default_value);
+
+/// Integer knob with a validated inclusive range. THE way to read a
+/// numeric JHPC_* tunable: every parse failure and every out-of-range
+/// value throws InvalidArgumentError naming the offending knob, so a
+/// typo'd environment fails loudly at startup instead of arming a
+/// zero-sized ring or a negative timeout. The default is NOT range
+/// checked (callers own their defaults).
+std::int64_t env_int64_range(
+    const char* name, std::int64_t default_value, std::int64_t min_value,
+    std::int64_t max_value = std::numeric_limits<std::int64_t>::max());
 
 /// Double lookup with default. Throws InvalidArgumentError on garbage.
 double env_double(const char* name, double default_value);

@@ -26,6 +26,8 @@ enum class ErrorCode : std::uint8_t {
   kRankFailed = 6,        ///< a peer rank fail-stopped (ULFM)
   kCommRevoked = 7,       ///< communicator revoked (ULFM)
   kAborted = 8,           ///< job-wide abort tore the operation down
+  kAdmissionRejected = 9,  ///< jhpcd scheduler refused to queue the job
+  kQuotaExceeded = 10,     ///< a per-job jhpcd quota tripped
 };
 
 /// Root of all jhpc exceptions. Carries an ErrorCode so every layer can

@@ -230,5 +230,67 @@ TEST(SlabTest, ZeroCostOffRunsWithoutPvarsAndResetsPerRun) {
   EXPECT_GT(second.hits, 0u) << "warm free lists carry across runs";
 }
 
+TEST(SlabDepotTest, SharedDepotDonatesWarmSlabsAcrossUniverses) {
+  // Two tenant Universes on one fleet depot: the first job's spilled
+  // slabs are visible (and reusable) through the second's stats view.
+  SlabDepotPtr depot = make_slab_depot(64u << 20);
+  UniverseConfig cfg = quiet_config(/*pvars=*/false);
+  cfg.shared_depot = depot;
+
+  Universe u1(cfg);
+  u1.run([](Comm& world) { gated_rounds(world, 4096, /*rounds=*/4, /*msgs=*/48); });
+  const SlabStats s1 = u1.slab_stats();
+  EXPECT_TRUE(s1.depot_shared);
+  const SlabDepotStats after_first = slab_depot_stats(depot);
+  EXPECT_GT(after_first.retained_bytes, 0u)
+      << "round bursts overflow the per-rank caps into the depot";
+
+  Universe u2(cfg);
+  const SlabStats s2 = u2.slab_stats();
+  // Same depot tier behind both handles, before u2 ever ran.
+  EXPECT_TRUE(s2.depot_shared);
+  EXPECT_EQ(s2.depot_retained_bytes, after_first.retained_bytes);
+  u2.run([](Comm& world) { gated_rounds(world, 4096, 2, 48); });
+  EXPECT_GT(u2.slab_stats().hits, 0u)
+      << "the second tenant starts on the first tenant's warm slabs";
+
+  // A private Universe reports an unshared, initially-empty depot.
+  Universe priv(quiet_config(false));
+  EXPECT_FALSE(priv.slab_stats().depot_shared);
+  EXPECT_EQ(priv.slab_stats().depot_retained_bytes, 0u);
+}
+
+TEST(SlabDepotTest, ByteCeilingBoundsRetentionAndTrimFrees) {
+  SlabDepotPtr depot = make_slab_depot(/*max_bytes=*/32 * 1024);
+  UniverseConfig cfg = quiet_config(/*pvars=*/false);
+  cfg.shared_depot = depot;
+  Universe u(cfg);
+  // Far more slab traffic than the ceiling admits.
+  u.run([](Comm& world) { gated_rounds(world, 8192, 6, 64); });
+  const SlabDepotStats st = slab_depot_stats(depot);
+  EXPECT_LE(st.retained_bytes, st.max_bytes);
+  EXPECT_LE(st.hwm_bytes, st.max_bytes);
+  EXPECT_EQ(st.max_bytes, 32u * 1024u);
+  slab_depot_trim(depot);
+  EXPECT_EQ(slab_depot_stats(depot).retained_bytes, 0u);
+  // The high-water mark survives the trim (it is the bound evidence).
+  EXPECT_EQ(slab_depot_stats(depot).hwm_bytes, st.hwm_bytes);
+}
+
+TEST(SlabDepotTest, PerJobRetainedGaugeTracksLists) {
+  // The per-job view: retained_bytes is a live gauge of this Universe's
+  // free lists, not a flow counter — it survives reset across runs and
+  // never exceeds what the job actually parked.
+  UniverseConfig cfg = quiet_config(/*pvars=*/false);
+  Universe u(cfg);
+  u.run([](Comm& world) { gated_rounds(world, 1024, 4, 32); });
+  const SlabStats first = u.slab_stats();
+  EXPECT_GT(first.retained_bytes, 0u);
+  u.run([](Comm& world) { gated_rounds(world, 1024, 1, 8); });
+  const SlabStats second = u.slab_stats();
+  EXPECT_GT(second.retained_bytes, 0u)
+      << "warm lists persist across runs even though flow counters reset";
+}
+
 }  // namespace
 }  // namespace jhpc::minimpi

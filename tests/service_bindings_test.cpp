@@ -1,0 +1,125 @@
+// The bindings' service facades: mv2j::Service and ompij::Service
+// submit Env-wrapped jobs to a resident jhpcd fleet. Exercises the
+// submit/await path each binding exposes, mixed-class scheduling and
+// quota surfacing through the facade (label: service).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "jhpc/jhpcd/jhpcd.hpp"
+#include "jhpc/mv2j/service.hpp"
+#include "jhpc/ompij/service.hpp"
+#include "jhpc/support/clock.hpp"
+
+namespace jhpc {
+namespace {
+
+mv2j::RunOptions fast_mv2j(int ranks) {
+  mv2j::RunOptions o;
+  o.ranks = ranks;
+  o.jvm.heap_bytes = 8 << 20;
+  o.jvm.jni_crossing_ns = 0;
+  return o;
+}
+
+ompij::RunOptions fast_ompij(int ranks) {
+  ompij::RunOptions o;
+  o.ranks = ranks;
+  o.jvm.heap_bytes = 8 << 20;
+  o.jvm.jni_crossing_ns = 0;
+  return o;
+}
+
+TEST(Mv2jServiceTest, SubmitAwaitPingpong) {
+  mv2j::Service svc;
+  std::atomic<int> exchanged{0};
+  jhpcd::JobHandle h = svc.submit(
+      "pp", fast_mv2j(2), [&exchanged](mv2j::Env& env) {
+        mv2j::Comm& world = env.COMM_WORLD();
+        auto buf = env.newDirectBuffer(64);
+        if (world.getRank() == 0) {
+          world.send(buf, 64, mv2j::BYTE, 1, 5);
+          world.recv(buf, 64, mv2j::BYTE, 1, 5);
+        } else {
+          world.recv(buf, 64, mv2j::BYTE, 0, 5);
+          world.send(buf, 64, mv2j::BYTE, 0, 5);
+        }
+        exchanged.fetch_add(1, std::memory_order_relaxed);
+      });
+  const jhpcd::JobResult r = h.await();
+  EXPECT_EQ(r.state, jhpcd::JobState::kCompleted) << r.error_what;
+  EXPECT_EQ(exchanged.load(), 2);
+  EXPECT_EQ(svc.stats().completed, 1u);
+}
+
+TEST(Mv2jServiceTest, QuotaSurfacesThroughFacade) {
+  mv2j::Service svc;
+  mv2j::ServiceJobOptions job;
+  job.name = "hog";
+  job.run = fast_mv2j(2);
+  job.quota.max_wall_ns = 10'000'000;  // 10 ms
+  jhpcd::JobHandle h = svc.submit(job, [](mv2j::Env& env) {
+    mv2j::Comm& world = env.COMM_WORLD();
+    auto buf = env.newDirectBuffer(8);
+    const std::int64_t start = now_ns();
+    while (now_ns() - start < 2'000'000'000) {
+      if (world.getRank() == 0) {
+        world.send(buf, 8, mv2j::BYTE, 1, 5);
+        world.recv(buf, 8, mv2j::BYTE, 1, 5);
+      } else {
+        world.recv(buf, 8, mv2j::BYTE, 0, 5);
+        world.send(buf, 8, mv2j::BYTE, 0, 5);
+      }
+    }
+  });
+  const jhpcd::JobResult r = h.await();
+  EXPECT_EQ(r.state, jhpcd::JobState::kFailed);
+  EXPECT_EQ(r.code, ErrorCode::kQuotaExceeded);
+}
+
+TEST(Mv2jServiceTest, MixedClassStream) {
+  jhpcd::ServiceConfig cfg;
+  cfg.workers = 2;
+  mv2j::Service svc(cfg);
+  std::vector<jhpcd::JobHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    mv2j::ServiceJobOptions job;
+    job.name = "mix" + std::to_string(i);
+    job.run = fast_mv2j(2);
+    job.job_class = (i % 2 == 0) ? jhpcd::JobClass::kLatency
+                                 : jhpcd::JobClass::kBandwidth;
+    handles.push_back(svc.submit(
+        job, [](mv2j::Env& env) { env.COMM_WORLD().barrier(); }));
+  }
+  for (auto& h : handles) {
+    EXPECT_EQ(h.await().state, jhpcd::JobState::kCompleted);
+  }
+  svc.drain();
+  EXPECT_EQ(svc.stats().completed, 6u);
+}
+
+TEST(OmpijServiceTest, SubmitAwaitBarrier) {
+  ompij::Service svc;
+  jhpcd::JobHandle h = svc.submit("bar", fast_ompij(3), [](ompij::Env& env) {
+    env.COMM_WORLD().barrier();
+  });
+  const jhpcd::JobResult r = h.await();
+  EXPECT_EQ(r.state, jhpcd::JobState::kCompleted) << r.error_what;
+  EXPECT_EQ(svc.stats().admitted, 1u);
+}
+
+TEST(OmpijServiceTest, RanksQuotaRejectsAtSubmit) {
+  ompij::Service svc;
+  ompij::ServiceJobOptions job;
+  job.name = "fat";
+  job.run = fast_ompij(8);
+  job.quota.max_ranks = 4;
+  EXPECT_THROW(
+      svc.submit(job, [](ompij::Env& env) { env.COMM_WORLD().barrier(); }),
+      jhpcd::QuotaExceededError);
+}
+
+}  // namespace
+}  // namespace jhpc

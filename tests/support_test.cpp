@@ -229,6 +229,33 @@ TEST(EnvTest, Int64ParseAndDefault) {
   ::unsetenv("JHPC_TEST_ENV_I");
 }
 
+TEST(EnvTest, Int64RangeValidates) {
+  ::unsetenv("JHPC_TEST_ENV_R");
+  EXPECT_EQ(env_int64_range("JHPC_TEST_ENV_R", 7, 1), 7);
+  ::setenv("JHPC_TEST_ENV_R", "5", 1);
+  EXPECT_EQ(env_int64_range("JHPC_TEST_ENV_R", 7, 1), 5);
+  // Below the minimum: typed failure naming the knob.
+  ::setenv("JHPC_TEST_ENV_R", "0", 1);
+  try {
+    env_int64_range("JHPC_TEST_ENV_R", 7, 1);
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("JHPC_TEST_ENV_R"),
+              std::string::npos);
+  }
+  // Above an explicit maximum.
+  ::setenv("JHPC_TEST_ENV_R", "100", 1);
+  EXPECT_THROW(env_int64_range("JHPC_TEST_ENV_R", 7, 1, 64),
+               InvalidArgumentError);
+  // No explicit maximum admits any large value.
+  EXPECT_EQ(env_int64_range("JHPC_TEST_ENV_R", 7, 1), 100);
+  // Garbage still fails the underlying parse.
+  ::setenv("JHPC_TEST_ENV_R", "junk", 1);
+  EXPECT_THROW(env_int64_range("JHPC_TEST_ENV_R", 7, 1),
+               InvalidArgumentError);
+  ::unsetenv("JHPC_TEST_ENV_R");
+}
+
 TEST(EnvTest, BoolForms) {
   ::setenv("JHPC_TEST_ENV_B", "TRUE", 1);
   EXPECT_TRUE(env_bool("JHPC_TEST_ENV_B", false));
